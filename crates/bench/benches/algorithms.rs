@@ -1,0 +1,103 @@
+//! Criterion benches for the algorithmic substrate (B5–B7): MST
+//! construction vs sequential verification (the paper's "verification is
+//! easier" motivation), the three path-maximum oracles, and union–find.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mstv_bench::workload;
+use mstv_graph::NodeId;
+use mstv_mst::{boruvka, check_mst, check_mst_lifting, check_mst_naive, kruskal, prim, UnionFind};
+use mstv_trees::{HeavyLightIndex, KruskalTree, PathMaxIndex, RootedTree};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Trimmed criterion settings so the full suite runs in minutes, not
+/// hours; the comparisons of interest are order-of-magnitude.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+}
+
+fn bench_mst_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst_build");
+    for n in [256usize, 2048] {
+        let g = workload(n, 1 << 20, n as u64);
+        group.bench_with_input(BenchmarkId::new("kruskal", n), &g, |b, g| {
+            b.iter(|| kruskal(black_box(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("prim", n), &g, |b, g| {
+            b.iter(|| prim(black_box(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("boruvka", n), &g, |b, g| {
+            b.iter(|| boruvka(black_box(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mst_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst_verify");
+    for n in [256usize, 2048] {
+        let g = workload(n, 1 << 20, n as u64 + 3);
+        let t = kruskal(&g);
+        group.bench_with_input(
+            BenchmarkId::new("kruskal_tree", n),
+            &(&g, &t),
+            |b, (g, t)| {
+                b.iter(|| check_mst(black_box(g), black_box(t)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("lifting", n), &(&g, &t), |b, (g, t)| {
+            b.iter(|| check_mst_lifting(black_box(g), black_box(t)));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &(&g, &t), |b, (g, t)| {
+            b.iter(|| check_mst_naive(black_box(g), black_box(t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_max_query");
+    let n = 16_384usize;
+    let g = workload(n, 1 << 20, 99);
+    let t = kruskal(&g);
+    let tree = RootedTree::from_graph_edges(&g, &t, NodeId(0)).unwrap();
+    let kt = KruskalTree::new(&tree);
+    let pm = PathMaxIndex::new(&tree);
+    let (u, v) = (NodeId(17), NodeId(n as u32 - 17));
+    group.bench_function("kruskal_tree_o1", |b| {
+        b.iter(|| kt.max_on_path(black_box(u), black_box(v)));
+    });
+    group.bench_function("binary_lifting_olog", |b| {
+        b.iter(|| pm.max_on_path(black_box(u), black_box(v)));
+    });
+    let hld = HeavyLightIndex::new(&tree);
+    group.bench_function("heavy_light_olog", |b| {
+        b.iter(|| hld.max_on_path(black_box(u), black_box(v)));
+    });
+    group.bench_function("naive_walk", |b| {
+        b.iter(|| tree.max_on_path_naive(black_box(u), black_box(v)));
+    });
+    group.finish();
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    c.bench_function("union_find_1e5_ops", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new(100_000);
+            for i in 1..100_000usize {
+                uf.union(i - 1, i);
+            }
+            black_box(uf.find(99_999))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mst_build, bench_mst_verify, bench_path_max, bench_union_find
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion benches for the labeling schemes (B1–B4): marker time,
+//! whole-network and per-node verification, `MAX` decoding, sensitivity
+//! queries, and the π_mst vs baseline marker comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mstv_bench::{mst_workload, workload};
+use mstv_core::{local_view, BoruvkaScheme, MstScheme, ProofLabelingScheme};
+use mstv_graph::NodeId;
+use mstv_labels::ImplicitMaxScheme;
+use mstv_mst::kruskal;
+use mstv_sensitivity::SensitivityLabels;
+use mstv_trees::RootedTree;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Trimmed criterion settings so the full suite runs in minutes, not
+/// hours; the comparisons of interest are order-of-magnitude.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+}
+
+fn bench_marker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marker");
+    for n in [64usize, 256, 1024] {
+        let cfg = mst_workload(n, 1 << 20, n as u64);
+        group.bench_with_input(BenchmarkId::new("pi_mst", n), &cfg, |b, cfg| {
+            let scheme = MstScheme::new();
+            b.iter(|| scheme.marker(black_box(cfg)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("boruvka_baseline", n), &cfg, |b, cfg| {
+            let scheme = BoruvkaScheme::new();
+            b.iter(|| scheme.marker(black_box(cfg)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verifier");
+    for n in [64usize, 256, 1024] {
+        let cfg = mst_workload(n, 1 << 20, n as u64 + 7);
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("pi_mst_all_nodes", n),
+            &(&cfg, &labeling),
+            |b, (cfg, labeling)| {
+                b.iter(|| scheme.verify_all(black_box(cfg), black_box(labeling)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pi_mst_parallel_4", n),
+            &(&cfg, &labeling),
+            |b, (cfg, labeling)| {
+                b.iter(|| scheme.verify_all_parallel(black_box(cfg), black_box(labeling), 4));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pi_mst_single_node", n),
+            &(&cfg, &labeling),
+            |b, (cfg, labeling)| {
+                let view = local_view(cfg, labeling.labels(), NodeId(0));
+                b.iter(|| scheme.verify(black_box(&view)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_decode");
+    for n in [256usize, 4096, 65_536] {
+        let g = workload(n, 1 << 20, n as u64 + 13);
+        let mst = kruskal(&g);
+        let tree = RootedTree::from_graph_edges(&g, &mst, NodeId(0)).unwrap();
+        let scheme = ImplicitMaxScheme::gamma_small(&tree);
+        let (u, v) = (NodeId(1), NodeId(n as u32 - 1));
+        group.bench_with_input(BenchmarkId::new("gamma_small", n), &scheme, |b, s| {
+            b.iter(|| s.query(black_box(u), black_box(v)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sensitivity_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensitivity");
+    for n in [256usize, 4096] {
+        let g = workload(n, 1 << 20, n as u64 + 17);
+        let t = kruskal(&g);
+        let labels = SensitivityLabels::new(&g, &t);
+        let e = g.edge_ids().last().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("labeled_query", n),
+            &(&g, &labels),
+            |b, (g, labels)| {
+                b.iter(|| labels.query(black_box(g), black_box(e)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build_labels", n),
+            &(&g, &t),
+            |b, (g, t)| {
+                b.iter(|| SensitivityLabels::new(black_box(g), black_box(t)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_marker, bench_verifier, bench_decode, bench_sensitivity_query
+}
+criterion_main!(benches);

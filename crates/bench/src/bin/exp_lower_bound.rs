@@ -1,0 +1,131 @@
+//! E6 / Figure 1 — the `Ω(log n log W)` lower bound machinery
+//! (Section 4).
+//!
+//! Reproduces the `(h, µ)`-hypertree construction of Figure 1, checks
+//! Claim 4.1 (legal paths realize `MAX`; the induced tree is an MST),
+//! plays the Lemma 4.3 weight-swap adversary against `π_mst`, and reports
+//! the family-size counting `log₂ |C(h, µ)|` that forces label growth —
+//! alongside our scheme's measured label size on the same hypertrees,
+//! which tracks the predicted `Θ(log n · log W)`.
+
+use mstv_bench::{lg, print_table};
+use mstv_core::{MstScheme, ProofLabelingScheme};
+use mstv_hypertree::{log2_family_size, num_vertices, weight_swap_experiment, Hypertree};
+
+fn main() {
+    println!("E6 / Figure 1 (Section 4): (h, µ)-hypertrees and the lower bound");
+
+    // Figure 1 reproduction + Claim 4.1.
+    let mut rows = Vec::new();
+    for &(h, mu) in &[(2u32, 2u64), (3, 4), (4, 8), (5, 16), (6, 4), (7, 2)] {
+        let ht = Hypertree::legal(h, mu);
+        let n = ht.num_vertices();
+        assert_eq!(n, num_vertices(h));
+        let legal = ht.is_legal();
+        let edges = ht.induced_tree_edges();
+        let mst = mstv_mst::is_mst(&ht.graph, &edges);
+        rows.push(vec![
+            h.to_string(),
+            mu.to_string(),
+            n.to_string(),
+            ht.graph.num_edges().to_string(),
+            ht.graph.max_weight().to_string(),
+            legal.to_string(),
+            mst.to_string(),
+        ]);
+    }
+    print_table(
+        "Claim 4.1 on legal hypertrees (legal & mst must be true)",
+        &["h", "µ", "n", "m", "W", "paths=MAX", "induced tree is MST"],
+        &rows,
+    );
+
+    // Lemma 4.3 adversary.
+    let mut rows = Vec::new();
+    for &(h, mu) in &[(2u32, 2u64), (3, 4), (4, 8), (5, 16), (6, 8)] {
+        let r = weight_swap_experiment(h, mu);
+        rows.push(vec![
+            h.to_string(),
+            mu.to_string(),
+            r.x_heavy.to_string(),
+            r.x_light.to_string(),
+            r.legal_accepted.to_string(),
+            r.swap_voids_mst.to_string(),
+            r.swap_rejected.to_string(),
+        ]);
+    }
+    print_table(
+        "Lemma 4.3 weight-swap adversary vs π_mst (all three columns must be true)",
+        &[
+            "h",
+            "µ",
+            "x",
+            "x'",
+            "legal accepted",
+            "swap voids MST",
+            "swap rejected",
+        ],
+        &rows,
+    );
+
+    // Lemma 4.3 measured directly: label-pair sets disjoint across x.
+    let mut rows = Vec::new();
+    for &(h, mu) in &[(2u32, 4u64), (3, 4), (4, 3), (5, 2)] {
+        let (pairs, collisions) = mstv_hypertree::label_pair_collisions(h, mu);
+        rows.push(vec![
+            h.to_string(),
+            mu.to_string(),
+            pairs.to_string(),
+            collisions.to_string(),
+        ]);
+    }
+    print_table(
+        "X(x) disjointness: π_mst label pairs shared across top weights (must be 0)",
+        &[
+            "h",
+            "µ",
+            "cross pairs per class",
+            "collisions across classes",
+        ],
+        &rows,
+    );
+
+    // Counting vs measured label sizes on hypertrees.
+    let mut rows = Vec::new();
+    for &(h, mu) in &[(3u32, 2u64), (4, 4), (5, 8), (6, 16), (7, 4)] {
+        let ht = Hypertree::legal(h, mu);
+        let n = ht.num_vertices() as u64;
+        let w = ht.graph.max_weight().0;
+        let cfg = ht.config();
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).expect("legal hypertree is an MST");
+        assert!(scheme.verify_all(&cfg, &labeling).accepted());
+        let bits = labeling.max_label_bits();
+        rows.push(vec![
+            h.to_string(),
+            mu.to_string(),
+            n.to_string(),
+            w.to_string(),
+            format!("{:.0}", log2_family_size(h, mu)),
+            bits.to_string(),
+            format!("{:.2}", bits as f64 / (lg(n) * lg(w))),
+        ]);
+    }
+    print_table(
+        "family counting and measured π_mst size on hypertrees",
+        &[
+            "h",
+            "µ",
+            "n",
+            "W",
+            "log₂|C(h,µ)|",
+            "π_mst bits",
+            "bits/(lg n·lg W)",
+        ],
+        &rows,
+    );
+    println!("\npaper claim: label sets for different x are disjoint (Lemma 4.3), so");
+    println!("labels need Ω(log n log W) bits; measured: the swap adversary is defeated");
+    println!("only because labels change with x, and π_mst's size on hypertrees tracks");
+    println!("the predicted product within a constant factor — upper meets lower bound.");
+}

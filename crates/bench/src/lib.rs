@@ -1,0 +1,86 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one experiment of
+//! `EXPERIMENTS.md` (E1–E9), printing the measured rows next to the
+//! paper's claim so the reproduction is auditable at a glance. Run them
+//! with `cargo run --release -p mstv-bench --bin <exp_name>`.
+
+use mstv_graph::{gen, ConfigGraph, Graph, TreeState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Prints a fixed-width ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// A standard random connected workload: `n` nodes, `2n` extra edges,
+/// weights uniform in `1..=max_w`.
+pub fn workload(n: usize, max_w: u64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen::random_connected(n, 2 * n, gen::WeightDist::Uniform { max: max_w }, &mut rng)
+}
+
+/// The standard workload with its MST installed in node states.
+pub fn mst_workload(n: usize, max_w: u64, seed: u64) -> ConfigGraph<TreeState> {
+    mstv_core::mst_configuration(workload(n, max_w, seed))
+}
+
+/// `⌈log₂(x + 1)⌉` as f64 (≥ 1), the paper's `log` of a size/weight.
+pub fn lg(x: u64) -> f64 {
+    ((x + 1) as f64).log2().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shapes() {
+        let g = workload(50, 100, 1);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 49 + 100);
+        assert!(g.is_connected());
+        let cfg = mst_workload(20, 9, 2);
+        assert!(cfg.induces_spanning_tree());
+    }
+
+    #[test]
+    fn lg_values() {
+        assert!((lg(1) - 1.0).abs() < 1e-9);
+        assert!((lg(7) - 3.0).abs() < 1e-9);
+        assert!(lg(0) >= 1.0);
+    }
+
+    #[test]
+    fn table_prints() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! The agreement scheme (Lemma 2.2): the paper's warm-up example.
+//!
+//! *Predicate:* every node of the (anonymous) graph holds the same state
+//! from `S = {1, …, 2^m}`. Computing agreement needs one-bit states; but
+//! *proving* it locally needs `Θ(m)`-bit labels: the upper bound copies the
+//! state into the label, and the pigeonhole lower bound (reproduced
+//! executably by [`forge_agreement`]) shows any scheme with labels shorter
+//! than `m/2` bits accepts some disagreeing configuration.
+
+use mstv_graph::{ConfigGraph, Graph, NodeId};
+use mstv_labels::BitString;
+
+use crate::{Labeling, LocalView, MarkerError, ProofLabelingScheme};
+
+/// The trivial (and optimal) proof labeling scheme for agreement: the
+/// label is a copy of the state; the verifier compares it with its own
+/// state and with every neighbor's label.
+/// # Example
+///
+/// ```
+/// use mstv_core::{AgreementScheme, ProofLabelingScheme};
+/// use mstv_graph::{ConfigGraph, Graph, NodeId, Weight};
+///
+/// let mut g = Graph::new(2);
+/// g.add_edge(NodeId(0), NodeId(1), Weight(1))?;
+/// let cfg = ConfigGraph::new(g, vec![7u64, 7])?;
+/// let scheme = AgreementScheme::new(8);
+/// let labels = scheme.marker(&cfg).unwrap();
+/// assert!(scheme.verify_all(&cfg, &labels).accepted());
+/// # Ok::<(), mstv_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgreementScheme {
+    /// State-space size parameter: states range over `0..2^m`.
+    pub m: u32,
+}
+
+impl AgreementScheme {
+    /// Creates the scheme for `m`-bit states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0 || m > 64`.
+    pub fn new(m: u32) -> Self {
+        assert!((1..=64).contains(&m), "m must be in 1..=64");
+        AgreementScheme { m }
+    }
+}
+
+impl ProofLabelingScheme for AgreementScheme {
+    type State = u64;
+    type Label = u64;
+
+    fn marker(&self, cfg: &ConfigGraph<u64>) -> Result<Labeling<u64>, MarkerError> {
+        let states = cfg.states();
+        if let Some(&first) = states.first() {
+            if let Some(&bad) = states.iter().find(|&&s| s != first) {
+                return Err(MarkerError {
+                    reason: format!("states disagree: {first} vs {bad}"),
+                });
+            }
+        }
+        let labels: Vec<u64> = states.to_vec();
+        let encoded = labels
+            .iter()
+            .map(|&l| {
+                let mut b = BitString::new();
+                b.push_bits(l, self.m);
+                b
+            })
+            .collect();
+        Ok(Labeling::new(labels, encoded))
+    }
+
+    fn verify(&self, view: &LocalView<'_, u64, u64>) -> bool {
+        *view.label == *view.state && view.neighbors.iter().all(|nb| *nb.label == *view.label)
+    }
+}
+
+/// The executable pigeonhole argument of Lemma 2.2.
+///
+/// Takes any marker for the two-node path (as a closure mapping the shared
+/// state `i` to the label pair `(L(u), L(v))`) whose labels fit in
+/// `label_bits < m/2` bits each, and produces a *disagreeing* configuration
+/// `(i, j)` with `i ≠ j` together with a mixed label assignment that the
+/// verifier accepts everywhere — a forgery witnessing that short labels
+/// cannot prove agreement.
+///
+/// Returns `None` only if the marker cheats by emitting labels wider than
+/// `label_bits` (checked), in which case pigeonhole does not apply.
+pub fn forge_agreement(
+    m: u32,
+    label_bits: u32,
+    marker: impl Fn(u64) -> (u64, u64),
+) -> Option<AgreementForgery> {
+    assert!(m <= 20, "exhaustive search is exponential in m");
+    let mut seen: std::collections::HashMap<(u64, u64), u64> = std::collections::HashMap::new();
+    for i in 0..(1u64 << m) {
+        let (lu, lv) = marker(i);
+        if label_bits < 64 && (lu >> label_bits != 0 || lv >> label_bits != 0) {
+            return None; // marker exceeded its label budget
+        }
+        if let Some(&j) = seen.get(&(lu, lv)) {
+            return Some(AgreementForgery {
+                state_u: j,
+                state_v: i,
+                label_u: lu,
+                label_v: lv,
+            });
+        }
+        seen.insert((lu, lv), i);
+    }
+    // With 2 * label_bits < m, pigeonhole guarantees a collision above.
+    None
+}
+
+/// A forged agreement proof: two distinct states the verifier nevertheless
+/// accepts under the mixed labels (see [`forge_agreement`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgreementForgery {
+    /// State of node `u` (from configuration `j`).
+    pub state_u: u64,
+    /// State of node `v` (from configuration `i ≠ j`).
+    pub state_v: u64,
+    /// Label of `u`.
+    pub label_u: u64,
+    /// Label of `v`.
+    pub label_v: u64,
+}
+
+impl AgreementForgery {
+    /// Builds the mixed two-node configuration and label assignment.
+    pub fn instantiate(&self) -> (ConfigGraph<u64>, Labeling<u64>) {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), mstv_graph::Weight(1))
+            .unwrap();
+        let cfg = ConfigGraph::new(g, vec![self.state_u, self.state_v]).unwrap();
+        let labeling = Labeling::from_labels(vec![self.label_u, self.label_v]);
+        (cfg, labeling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::{gen, Weight};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn agreeing_cfg(n: usize, state: u64, seed: u64) -> ConfigGraph<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_connected(n, n, gen::WeightDist::Uniform { max: 5 }, &mut rng);
+        ConfigGraph::new(g, vec![state; n]).unwrap()
+    }
+
+    #[test]
+    fn completeness() {
+        let scheme = AgreementScheme::new(8);
+        let cfg = agreeing_cfg(12, 200, 1);
+        let labeling = scheme.marker(&cfg).unwrap();
+        assert!(scheme.verify_all(&cfg, &labeling).accepted());
+        assert_eq!(labeling.max_label_bits(), 8);
+    }
+
+    #[test]
+    fn marker_rejects_disagreement() {
+        let scheme = AgreementScheme::new(8);
+        let mut cfg = agreeing_cfg(5, 7, 2);
+        *cfg.state_mut(NodeId(3)) = 9;
+        assert!(scheme.marker(&cfg).is_err());
+    }
+
+    #[test]
+    fn copied_labels_cannot_hide_disagreement() {
+        // Soundness against the *specific* natural cheat: reuse the honest
+        // labels of an agreeing configuration on a disagreeing one.
+        let scheme = AgreementScheme::new(8);
+        let cfg = agreeing_cfg(10, 33, 3);
+        let labeling = scheme.marker(&cfg).unwrap();
+        let mut bad = cfg.clone();
+        *bad.state_mut(NodeId(4)) = 44;
+        let verdict = scheme.verify_all(&bad, &labeling);
+        assert!(!verdict.accepted());
+        assert!(verdict.rejecting.contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn uniform_forged_labels_also_fail() {
+        // Adversary labels everyone with the same value: condition
+        // label == state fails somewhere.
+        let scheme = AgreementScheme::new(4);
+        let mut cfg = agreeing_cfg(6, 1, 4);
+        *cfg.state_mut(NodeId(2)) = 2;
+        for forged in 0..16u64 {
+            let labeling = Labeling::from_labels(vec![forged; 6]);
+            assert!(
+                !scheme.verify_all(&cfg, &labeling).accepted(),
+                "forged={forged}"
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_forgery_exists_for_short_labels() {
+        // The honest scheme truncated to m/2 - 1 bits per label must be
+        // forgeable (Lemma 2.2's lower bound, executably).
+        let m = 8;
+        let label_bits = 3; // 2 * 3 < 8
+        let truncating_marker = |i: u64| (i & 0b111, i & 0b111);
+        let forgery = forge_agreement(m, label_bits, truncating_marker)
+            .expect("pigeonhole collision must exist");
+        assert_ne!(forgery.state_u, forgery.state_v);
+        let (cfg, labeling) = forgery.instantiate();
+        let scheme = AgreementScheme::new(m);
+        // The *honest* verifier rejects (labels don't match states)…
+        assert!(!scheme.verify_all(&cfg, &labeling).accepted());
+        // …but the natural short-label verifier (compare labels only, as any
+        // sub-m-bit scheme must in effect do across the edge) accepts:
+        assert_eq!(forgery.label_u, forgery.label_v & 0b111);
+    }
+
+    #[test]
+    fn forge_rejects_overwide_markers() {
+        // A marker that uses more bits than allowed escapes pigeonhole.
+        let wide_marker = |i: u64| (i, i);
+        assert_eq!(forge_agreement(8, 3, wide_marker), None);
+    }
+
+    #[test]
+    fn single_node_accepts() {
+        let scheme = AgreementScheme::new(8);
+        let g = Graph::new(1);
+        let cfg = ConfigGraph::new(g, vec![5u64]).unwrap();
+        let labeling = scheme.marker(&cfg).unwrap();
+        assert!(scheme.verify_all(&cfg, &labeling).accepted());
+    }
+
+    #[test]
+    fn label_size_is_theta_m() {
+        for m in [1u32, 4, 16, 64] {
+            let scheme = AgreementScheme::new(m);
+            let mut rng = StdRng::seed_from_u64(5);
+            let g = gen::random_connected(6, 4, gen::WeightDist::Uniform { max: 3 }, &mut rng);
+            let state = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+            let cfg = ConfigGraph::new(g, vec![state; 6]).unwrap();
+            let labeling = scheme.marker(&cfg).unwrap();
+            assert_eq!(labeling.max_label_bits(), m as usize);
+        }
+        let _ = Weight(1); // keep import used
+    }
+}

@@ -1,0 +1,561 @@
+//! The Borůvka fragment-hierarchy proof labeling scheme — the previously
+//! known `O(log² n + log n log W)` MST scheme of Korman–Kutten–Peleg
+//! (reference 25 in the paper), implemented as the comparison baseline.
+//!
+//! The label stores, for every Borůvka phase `p` (at most `⌈log₂ n⌉` of
+//! them), the node's fragment identity, its distance to the fragment
+//! leader inside the fragment's tree, and the key of the minimum-weight
+//! outgoing edge (MWOE) its fragment selected. Phases are run under the
+//! *tree-favored* strict order (see `mstv-mst::tree_favored_key`), under
+//! which the candidate tree is an MST iff it is the unique MST, so Borůvka
+//! reproduces exactly the candidate's edges.
+//!
+//! Soundness rests on the cut property: the local checks force, for every
+//! tree edge `e` added at phase `p`, that `e` is the strictly smallest
+//! edge leaving one of the two fragments it merges — hence `e` belongs to
+//! the unique perturbed MST. All `n − 1` tree edges in the unique MST
+//! means the candidate *is* that MST. The fragment identities cannot be
+//! forged across fragments because each node proves connectivity to a
+//! leader carrying that identity through a distance-decreasing chain, and
+//! identities are unique.
+
+use mstv_graph::{ConfigGraph, NodeId, TreeState, Weight};
+use mstv_labels::BitString;
+use mstv_mst::EdgeKey;
+
+use crate::span::{check_span, span_labels, SpanCodec, SpanLabel};
+use crate::{Labeling, LocalView, MarkerError, ProofLabelingScheme};
+
+/// Per-phase fields of a [`BoruvkaLabel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseInfo {
+    /// Identity of the fragment leader at the start of this phase.
+    pub frag: u64,
+    /// Distance to that leader inside the fragment tree.
+    pub fdist: u64,
+    /// Key of the MWOE the fragment selects this phase.
+    pub mwoe: EdgeKey,
+}
+
+/// The baseline scheme's label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoruvkaLabel {
+    /// Spanning-tree sublabel.
+    pub span: SpanLabel,
+    /// Phase at which the node's parent edge entered the tree (`None` at
+    /// the root).
+    pub add_phase: Option<u32>,
+    /// Per-phase fragment data, one entry per Borůvka phase.
+    pub phases: Vec<PhaseInfo>,
+}
+
+/// The Borůvka fragment-hierarchy proof labeling scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoruvkaScheme;
+
+impl BoruvkaScheme {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        BoruvkaScheme
+    }
+}
+
+fn edge_key(weight: Weight, is_tree: bool, id_a: u64, id_b: u64) -> EdgeKey {
+    EdgeKey {
+        weight,
+        class: u8::from(!is_tree),
+        lo: id_a.min(id_b),
+        hi: id_a.max(id_b),
+    }
+}
+
+impl ProofLabelingScheme for BoruvkaScheme {
+    type State = TreeState;
+    type Label = BoruvkaLabel;
+
+    fn marker(&self, cfg: &ConfigGraph<TreeState>) -> Result<Labeling<BoruvkaLabel>, MarkerError> {
+        let g = cfg.graph();
+        let n = g.num_nodes();
+        let (tree, span) = span_labels(cfg)?;
+        let tree_edges = cfg.induced_edges();
+        match mstv_mst::check_mst(g, &tree_edges) {
+            mstv_mst::MstVerdict::Mst => {}
+            verdict => {
+                return Err(MarkerError {
+                    reason: format!("candidate tree is not an MST: {verdict:?}"),
+                })
+            }
+        }
+        let mut in_tree = vec![false; g.num_edges()];
+        for &e in &tree_edges {
+            in_tree[e.index()] = true;
+        }
+        let id_of = |v: NodeId| cfg.state(v).id;
+        let key_of = |e: mstv_graph::EdgeId| {
+            let edge = g.edge(e);
+            edge_key(edge.w, in_tree[e.index()], id_of(edge.u), id_of(edge.v))
+        };
+        let trace = if n > 1 {
+            mstv_mst::boruvka_trace(g, key_of)
+        } else {
+            mstv_mst::BoruvkaTrace {
+                phases: vec![],
+                edges: vec![],
+                add_phase: vec![],
+            }
+        };
+        // Under the tree-favored order Borůvka must reproduce the tree.
+        {
+            let mut got: Vec<_> = trace.edges.clone();
+            let mut want = tree_edges.clone();
+            got.sort();
+            want.sort();
+            if got != want {
+                return Err(MarkerError {
+                    reason: "Borůvka did not reproduce the candidate tree".to_owned(),
+                });
+            }
+        }
+        let num_phases = trace.phases.len();
+        // Per-phase: leader identity, leader distance, fragment MWOE key.
+        let mut phase_fields: Vec<Vec<PhaseInfo>> = vec![Vec::with_capacity(num_phases); n];
+        for (idx, phase) in trace.phases.iter().enumerate() {
+            // Fragment tree adjacency = tree edges added at earlier phases.
+            // phase.fragment[v] is the min node index of v's fragment, so
+            // that node is the fragment leader.
+            let mut dist = vec![u64::MAX; n];
+            let mut queue = std::collections::VecDeque::new();
+            for (v, slot) in dist.iter_mut().enumerate() {
+                if phase.fragment[v] == v as u32 {
+                    *slot = 0;
+                    queue.push_back(NodeId::from_index(v));
+                }
+            }
+            while let Some(v) = queue.pop_front() {
+                for nb in g.neighbors(v) {
+                    if !in_tree[nb.edge.index()] {
+                        continue;
+                    }
+                    let u = nb.node;
+                    // An edge added at phase >= idx connects two fragments
+                    // still distinct at idx, so the fragment-equality test
+                    // confines the BFS to fragment-internal edges.
+                    if phase.fragment[u.index()] == phase.fragment[v.index()]
+                        && dist[u.index()] == u64::MAX
+                    {
+                        dist[u.index()] = dist[v.index()] + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            for v in 0..n {
+                let frag_rep = phase.fragment[v] as usize;
+                let mwoe_edge = phase.mwoe[&phase.fragment[v]];
+                debug_assert_ne!(dist[v], u64::MAX, "phase {idx}: node {v} unreachable");
+                phase_fields[v].push(PhaseInfo {
+                    frag: id_of(NodeId::from_index(frag_rep)),
+                    fdist: dist[v],
+                    mwoe: key_of(mwoe_edge),
+                });
+            }
+        }
+        let labels: Vec<BoruvkaLabel> = (0..n)
+            .map(|i| {
+                let v = NodeId::from_index(i);
+                let add_phase = tree.parent(v).map(|p| {
+                    let e = g.edge_between(v, p).expect("parent edge exists");
+                    trace.add_phase[e.index()].expect("tree edge has an add phase")
+                });
+                BoruvkaLabel {
+                    span: span[i],
+                    add_phase,
+                    phases: phase_fields[i].clone(),
+                }
+            })
+            .collect();
+        let span_codec = SpanCodec::for_config(cfg);
+        let w_bits = g.max_weight().bit_width();
+        let encoded = labels
+            .iter()
+            .map(|l| encode_boruvka_label(l, span_codec, w_bits))
+            .collect();
+        Ok(Labeling::new(labels, encoded))
+    }
+
+    fn verify(&self, view: &LocalView<'_, TreeState, BoruvkaLabel>) -> bool {
+        let spans: Vec<&SpanLabel> = view.neighbors.iter().map(|nb| &nb.label.span).collect();
+        if !check_span(view.state, &view.label.span, &spans) {
+            return false;
+        }
+        let own = view.label;
+        let own_id = view.state.id;
+        let p_count = own.phases.len();
+        // Phase count agreement.
+        if view
+            .neighbors
+            .iter()
+            .any(|nb| nb.label.phases.len() != p_count)
+        {
+            return false;
+        }
+        // Parent edge's phase exists.
+        match (view.state.parent_port, own.add_phase) {
+            (None, None) => {}
+            (Some(_), Some(q)) if (q as usize) < p_count => {}
+            _ => return false,
+        }
+        // Phase 0: singleton fragment.
+        if let Some(first) = own.phases.first() {
+            if first.frag != own_id || first.fdist != 0 {
+                return false;
+            }
+        } else if view.state.parent_port.is_some() {
+            // Non-trivial tree but zero phases.
+            return false;
+        }
+        // Classify neighbors; tree membership is label-computable.
+        struct Nb<'a> {
+            label: &'a BoruvkaLabel,
+            key: EdgeKey,
+            tree_edge_phase: Option<u32>,
+        }
+        let mut nbs = Vec::with_capacity(view.neighbors.len());
+        for nb in &view.neighbors {
+            let is_parent = view.state.parent_port == Some(nb.port);
+            let is_child = nb.label.span.parent_id == Some(own_id);
+            let tree_edge_phase = if is_parent {
+                match own.add_phase {
+                    Some(q) => Some(q),
+                    None => return false,
+                }
+            } else if is_child {
+                match nb.label.add_phase {
+                    Some(q) => Some(q),
+                    None => return false,
+                }
+            } else {
+                None
+            };
+            let key = edge_key(
+                nb.weight,
+                tree_edge_phase.is_some(),
+                own_id,
+                nb.label.span.node_id,
+            );
+            nbs.push(Nb {
+                label: nb.label,
+                key,
+                tree_edge_phase,
+            });
+        }
+        for p in 0..p_count {
+            let mine = &own.phases[p];
+            for nb in &nbs {
+                let theirs = &nb.label.phases[p];
+                if let Some(q) = nb.tree_edge_phase {
+                    if p as u32 <= q {
+                        // Not yet merged: fragments must differ.
+                        if theirs.frag == mine.frag {
+                            return false;
+                        }
+                    } else {
+                        // Merged: same fragment, same MWOE claim.
+                        if theirs.frag != mine.frag || theirs.mwoe != mine.mwoe {
+                            return false;
+                        }
+                    }
+                }
+                // Outgoing minimality: any edge leaving my fragment is at
+                // least my fragment's claimed MWOE.
+                if theirs.frag != mine.frag && nb.key < mine.mwoe {
+                    return false;
+                }
+            }
+            // Leader chain: fdist 0 claims the identity; otherwise a
+            // fragment-internal tree neighbor is one step closer.
+            if mine.fdist == 0 {
+                if mine.frag != own_id {
+                    return false;
+                }
+            } else {
+                let ok = nbs.iter().any(|nb| {
+                    matches!(nb.tree_edge_phase, Some(q) if (q as usize) < p)
+                        && nb.label.phases[p].frag == mine.frag
+                        && nb.label.phases[p].fdist + 1 == mine.fdist
+                });
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        // Selection: my parent edge equals the MWOE of one of the two
+        // fragments it merged.
+        if let (Some(pp), Some(q)) = (view.state.parent_port, own.add_phase) {
+            let Some(parent) = nbs.get(pp.index()) else {
+                return false;
+            };
+            let q = q as usize;
+            let my_claim = own.phases[q].mwoe;
+            let their_claim = parent.label.phases[q].mwoe;
+            if parent.key != my_claim && parent.key != their_claim {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Serializes a Borůvka-hierarchy label exactly: the spanning sublabel, a
+/// gamma-coded phase count and add-phase, and per phase the leader
+/// identity, leader distance, and MWOE key (weight, class bit, endpoint
+/// identities).
+pub fn encode_boruvka_label(label: &BoruvkaLabel, span_codec: SpanCodec, w_bits: u32) -> BitString {
+    let mut out = BitString::new();
+    span_codec.encode_into(&mut out, &label.span);
+    out.push_elias_gamma(label.phases.len() as u64 + 1);
+    match label.add_phase {
+        Some(q) => {
+            out.push(true);
+            out.push_elias_gamma(u64::from(q) + 1);
+        }
+        None => out.push(false),
+    }
+    for ph in &label.phases {
+        out.push_bits(ph.frag, span_codec.id_bits);
+        out.push_bits(ph.fdist, span_codec.dist_bits);
+        out.push_bits(ph.mwoe.weight.0, w_bits);
+        out.push_bits(u64::from(ph.mwoe.class), 1);
+        out.push_bits(ph.mwoe.lo, span_codec.id_bits);
+        out.push_bits(ph.mwoe.hi, span_codec.id_bits);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst_scheme::mst_configuration;
+    use mstv_graph::{gen, tree_states, EdgeId, Graph};
+    use mstv_mst::is_mst;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(n: usize, extra: usize, max_w: u64, seed: u64) -> ConfigGraph<TreeState> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_connected(n, extra, gen::WeightDist::Uniform { max: max_w }, &mut rng);
+        mst_configuration(g)
+    }
+
+    #[test]
+    fn completeness() {
+        for (n, extra, w, seed) in [
+            (2usize, 0usize, 5u64, 1u64),
+            (3, 2, 9, 2),
+            (12, 20, 100, 3),
+            (60, 120, 1000, 4),
+            (200, 400, 1 << 16, 5),
+        ] {
+            let cfg = config(n, extra, w, seed);
+            let scheme = BoruvkaScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            let verdict = scheme.verify_all(&cfg, &labeling);
+            assert!(verdict.accepted(), "n={n}: {verdict}");
+        }
+    }
+
+    #[test]
+    fn completeness_under_ties() {
+        // Tie weights stress the strict tree-favored order.
+        let mut rng = StdRng::seed_from_u64(6);
+        for seed in 0..5 {
+            let g = gen::random_connected(30, 60, gen::WeightDist::Constant(4), &mut rng);
+            let cfg = mst_configuration(g);
+            let scheme = BoruvkaScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            assert!(scheme.verify_all(&cfg, &labeling).accepted(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn marker_rejects_non_mst() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let _mid = g.add_edge(NodeId(1), NodeId(2), Weight(2)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(0), Weight(9)).unwrap();
+        let states = tree_states(&g, &[e0, e2], NodeId(0)).unwrap();
+        let cfg = ConfigGraph::new(g, states).unwrap();
+        assert!(BoruvkaScheme::new().marker(&cfg).is_err());
+    }
+
+    #[test]
+    fn swapped_tree_edge_with_refreshed_labels_rejected() {
+        // Same adversary as in the π_mst tests: swap in a heavier edge and
+        // rebuild all honest sublabels except the (impossible) MWOE data.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut detected = 0;
+        for _ in 0..20 {
+            let g = gen::random_connected(16, 24, gen::WeightDist::Uniform { max: 300 }, &mut rng);
+            let mst = mstv_mst::kruskal(&g);
+            let mut in_tree = vec![false; g.num_edges()];
+            for &e in &mst {
+                in_tree[e.index()] = true;
+            }
+            let tree = mstv_trees::RootedTree::from_graph_edges(&g, &mst, NodeId(0)).unwrap();
+            let Some((f, evict)) =
+                g.edges()
+                    .filter(|(e, _)| !in_tree[e.index()])
+                    .find_map(|(e, edge)| {
+                        let m = tree.max_on_path_naive(edge.u, edge.v);
+                        if edge.w <= m {
+                            return None;
+                        }
+                        let evict = mst.iter().copied().find(|&te| {
+                            g.weight(te) == m && {
+                                let td = g.edge(te);
+                                on_path(&tree, edge.u, edge.v, td.u, td.v)
+                            }
+                        })?;
+                        Some((e, evict))
+                    })
+            else {
+                continue;
+            };
+            let swapped: Vec<EdgeId> = mst
+                .iter()
+                .copied()
+                .filter(|&e| e != evict)
+                .chain([f])
+                .collect();
+            assert!(!is_mst(&g, &swapped));
+            let states = tree_states(&g, &swapped, NodeId(0)).unwrap();
+            let bad_cfg = ConfigGraph::new(g.clone(), states).unwrap();
+            // Run the honest sub-pipeline on the bad tree: Borůvka under
+            // the bad tree's favored order (which will NOT reproduce the
+            // tree; feed its trace labels anyway).
+            let mut bad_in_tree = vec![false; g.num_edges()];
+            for &e in &swapped {
+                bad_in_tree[e.index()] = true;
+            }
+            let id_of = |v: NodeId| bad_cfg.state(v).id;
+            let key_of = |e: EdgeId| {
+                let edge = g.edge(e);
+                edge_key(edge.w, bad_in_tree[e.index()], id_of(edge.u), id_of(edge.v))
+            };
+            let trace = mstv_mst::boruvka_trace(&g, key_of);
+            // Build labels claiming the bad tree follows this trace.
+            let (bad_tree, span) = span_labels(&bad_cfg).unwrap();
+            let labels: Vec<BoruvkaLabel> = (0..g.num_nodes())
+                .map(|i| {
+                    let v = NodeId::from_index(i);
+                    let add_phase = bad_tree.parent(v).map(|p| {
+                        let e = g.edge_between(v, p).unwrap();
+                        trace.add_phase[e.index()].unwrap_or(0)
+                    });
+                    BoruvkaLabel {
+                        span: span[i],
+                        add_phase,
+                        phases: trace
+                            .phases
+                            .iter()
+                            .map(|ph| PhaseInfo {
+                                frag: id_of(NodeId(ph.fragment[i])),
+                                fdist: 0, // forged; chains will fail
+                                mwoe: key_of(ph.mwoe[&ph.fragment[i]]),
+                            })
+                            .collect(),
+                    }
+                })
+                .collect();
+            let labeling = Labeling::from_labels(labels);
+            let verdict = BoruvkaScheme::new().verify_all(&bad_cfg, &labeling);
+            assert!(!verdict.accepted());
+            detected += 1;
+        }
+        assert!(detected >= 5, "only {detected} usable trials");
+    }
+
+    #[test]
+    fn stale_labels_after_weight_drop_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut detected = 0;
+        for _ in 0..15 {
+            let g = gen::random_connected(20, 30, gen::WeightDist::Uniform { max: 100 }, &mut rng);
+            let cfg = mst_configuration(g);
+            let scheme = BoruvkaScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            let tree_edges = cfg.induced_edges();
+            let mut in_tree = vec![false; cfg.graph().num_edges()];
+            for &e in &tree_edges {
+                in_tree[e.index()] = true;
+            }
+            let tree =
+                mstv_trees::RootedTree::from_graph_edges(cfg.graph(), &tree_edges, NodeId(0))
+                    .unwrap();
+            let Some((victim, new_w)) = cfg
+                .graph()
+                .edges()
+                .filter(|(e, _)| !in_tree[e.index()])
+                .find_map(|(e, edge)| {
+                    let m = tree.max_on_path_naive(edge.u, edge.v);
+                    (m > Weight(1)).then(|| (e, Weight(m.0 - 1)))
+                })
+            else {
+                continue;
+            };
+            let mut bad = cfg.clone();
+            bad.graph_mut().set_weight(victim, new_w);
+            let verdict = scheme.verify_all(&bad, &labeling);
+            assert!(!verdict.accepted());
+            detected += 1;
+        }
+        assert!(detected >= 5);
+    }
+
+    fn on_path(tree: &mstv_trees::RootedTree, u: NodeId, v: NodeId, a: NodeId, b: NodeId) -> bool {
+        let (mut x, mut y) = (u, v);
+        while x != y {
+            let step = if tree.depth(x) >= tree.depth(y) {
+                let p = tree.parent(x).unwrap();
+                let s = (x, p);
+                x = p;
+                s
+            } else {
+                let p = tree.parent(y).unwrap();
+                let s = (y, p);
+                y = p;
+                s
+            };
+            if (step.0 == a && step.1 == b) || (step.0 == b && step.1 == a) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn label_size_has_log_squared_term() {
+        // The baseline really is Θ(log²n + log n log W): for tiny W its
+        // size grows quadratically in log n, and the new scheme wins.
+        let cfg_small = config(64, 128, 3, 9);
+        let cfg_large = config(1024, 2048, 3, 10);
+        let b_small = BoruvkaScheme::new().marker(&cfg_small).unwrap();
+        let b_large = BoruvkaScheme::new().marker(&cfg_large).unwrap();
+        let m_large = crate::MstScheme::new().marker(&cfg_large).unwrap();
+        assert!(b_large.max_label_bits() > b_small.max_label_bits());
+        assert!(
+            m_large.max_label_bits() < b_large.max_label_bits(),
+            "π_mst {} bits vs baseline {} bits",
+            m_large.max_label_bits(),
+            b_large.max_label_bits()
+        );
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::new(1);
+        let cfg = ConfigGraph::new(g, vec![TreeState::root(0)]).unwrap();
+        let scheme = BoruvkaScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        assert!(scheme.verify_all(&cfg, &labeling).accepted());
+    }
+}

@@ -1,0 +1,217 @@
+//! Fault injection for soundness and self-stabilization experiments.
+//!
+//! Self-stabilizing systems verify their output repeatedly precisely
+//! because faults corrupt states, weights, and labels arbitrarily. These
+//! helpers produce the corruption classes the experiments (and the
+//! distributed simulator's stabilization loop) throw at the schemes.
+
+use mstv_graph::{ConfigGraph, EdgeId, NodeId, Port, TreeState, Weight};
+use mstv_trees::RootedTree;
+use rand::Rng;
+
+/// A record of an injected fault, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// An edge's weight was changed.
+    WeightChange {
+        /// The edge.
+        edge: EdgeId,
+        /// Weight before.
+        old: Weight,
+        /// Weight after.
+        new: Weight,
+    },
+    /// A node's parent pointer was retargeted to a different port.
+    PointerRetarget {
+        /// The node.
+        node: NodeId,
+        /// Pointer before.
+        old: Option<Port>,
+        /// Pointer after.
+        new: Option<Port>,
+    },
+}
+
+/// Drops the weight of a random non-tree edge *below* the heaviest tree
+/// edge on its cycle, so the candidate tree stops being minimum while
+/// remaining a spanning tree. Returns `None` when no non-tree edge can be
+/// made violating (e.g. all path maxima are already 1).
+pub fn break_minimality<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
+    let tree_edges = cfg.induced_edges();
+    if !cfg.graph().is_spanning_tree(&tree_edges) {
+        return None;
+    }
+    let root = cfg
+        .graph()
+        .nodes()
+        .find(|&v| cfg.state(v).parent_port.is_none())?;
+    let tree = RootedTree::from_graph_edges(cfg.graph(), &tree_edges, root).ok()?;
+    let mut in_tree = vec![false; cfg.graph().num_edges()];
+    for &e in &tree_edges {
+        in_tree[e.index()] = true;
+    }
+    let candidates: Vec<(EdgeId, Weight)> = cfg
+        .graph()
+        .edges()
+        .filter(|(e, _)| !in_tree[e.index()])
+        .filter_map(|(e, edge)| {
+            let m = tree.max_on_path_naive(edge.u, edge.v);
+            (m > Weight(1)).then_some((e, Weight(m.0 - 1)))
+        })
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let (edge, new) = candidates[rng.gen_range(0..candidates.len())];
+    let old = cfg.graph().weight(edge);
+    cfg.graph_mut().set_weight(edge, new);
+    Some(Fault::WeightChange { edge, old, new })
+}
+
+/// Retargets a random non-root node's parent pointer to a uniformly random
+/// other port (possibly creating a cycle or disconnection). Returns `None`
+/// for graphs where no node has an alternative port.
+pub fn retarget_pointer<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
+    let n = cfg.graph().num_nodes();
+    let candidates: Vec<NodeId> = (0..n)
+        .map(NodeId::from_index)
+        .filter(|&v| cfg.state(v).parent_port.is_some() && cfg.graph().degree(v) >= 2)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let node = candidates[rng.gen_range(0..candidates.len())];
+    let old = cfg.state(node).parent_port;
+    let deg = cfg.graph().degree(node) as u32;
+    let mut new = Port(rng.gen_range(0..deg));
+    if Some(new) == old {
+        new = Port((new.0 + 1) % deg);
+    }
+    cfg.state_mut(node).parent_port = Some(new);
+    Some(Fault::PointerRetarget {
+        node,
+        old,
+        new: Some(new),
+    })
+}
+
+/// Raises a random *tree* edge's weight above the lightest non-tree edge
+/// covering it, another way to void minimality. Returns `None` when no
+/// tree edge is covered by any non-tree edge.
+pub fn raise_tree_weight<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
+    let tree_edges = cfg.induced_edges();
+    if !cfg.graph().is_spanning_tree(&tree_edges) {
+        return None;
+    }
+    let root = cfg
+        .graph()
+        .nodes()
+        .find(|&v| cfg.state(v).parent_port.is_none())?;
+    let tree = RootedTree::from_graph_edges(cfg.graph(), &tree_edges, root).ok()?;
+    let mut in_tree = vec![false; cfg.graph().num_edges()];
+    for &e in &tree_edges {
+        in_tree[e.index()] = true;
+    }
+    // For each tree edge, find a covering non-tree edge.
+    let mut covered: Vec<(EdgeId, Weight)> = Vec::new();
+    for (f, fe) in cfg.graph().edges() {
+        if in_tree[f.index()] {
+            continue;
+        }
+        // Walk the path; every tree edge on it is covered by f.
+        let (mut x, mut y) = (fe.u, fe.v);
+        while x != y {
+            let step = if tree.depth(x) >= tree.depth(y) {
+                let p = tree.parent(x).expect("non-root");
+                let e = cfg.graph().edge_between(x, p).expect("tree edge");
+                x = p;
+                e
+            } else {
+                let p = tree.parent(y).expect("non-root");
+                let e = cfg.graph().edge_between(y, p).expect("tree edge");
+                y = p;
+                e
+            };
+            covered.push((step, Weight(fe.w.0 + 1)));
+        }
+    }
+    if covered.is_empty() {
+        return None;
+    }
+    let (edge, new) = covered[rng.gen_range(0..covered.len())];
+    let old = cfg.graph().weight(edge);
+    if new <= old {
+        // Already heavier than the cover: raising is a no-op for
+        // minimality; still apply to keep behavior uniform.
+    }
+    cfg.graph_mut().set_weight(edge, new);
+    Some(Fault::WeightChange { edge, old, new })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst_scheme::mst_configuration;
+    use mstv_graph::gen;
+    use mstv_mst::is_mst;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(seed: u64) -> ConfigGraph<TreeState> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_connected(20, 30, gen::WeightDist::Uniform { max: 100 }, &mut rng);
+        mst_configuration(g)
+    }
+
+    #[test]
+    fn break_minimality_voids_mst() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hit = 0;
+        for seed in 0..10 {
+            let mut c = cfg(seed);
+            if let Some(Fault::WeightChange { .. }) = break_minimality(&mut c, &mut rng) {
+                let t = c.induced_edges();
+                assert!(c.graph().is_spanning_tree(&t));
+                assert!(!is_mst(c.graph(), &t));
+                hit += 1;
+            }
+        }
+        assert!(hit >= 5);
+    }
+
+    #[test]
+    fn raise_tree_weight_voids_mst_usually() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = cfg(42);
+        let fault = raise_tree_weight(&mut c, &mut rng);
+        assert!(fault.is_some());
+        let t = c.induced_edges();
+        assert!(c.graph().is_spanning_tree(&t));
+        assert!(!is_mst(c.graph(), &t));
+    }
+
+    #[test]
+    fn retarget_changes_pointer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = cfg(7);
+        let before = c.clone();
+        match retarget_pointer(&mut c, &mut rng) {
+            Some(Fault::PointerRetarget { node, old, new }) => {
+                assert_ne!(old, new);
+                assert_eq!(c.state(node).parent_port, new);
+                assert_eq!(before.state(node).parent_port, old);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn none_on_pure_tree() {
+        // A graph that is already a tree has no non-tree edges to drop.
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen::random_tree(10, gen::WeightDist::Uniform { max: 9 }, &mut rng);
+        let mut c = mst_configuration(g);
+        assert_eq!(break_minimality(&mut c, &mut rng), None);
+        assert_eq!(raise_tree_weight(&mut c, &mut rng), None);
+    }
+}

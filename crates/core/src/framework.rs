@@ -1,0 +1,420 @@
+//! The proof labeling scheme framework (Section 2 of the paper).
+//!
+//! A proof labeling scheme `π = (M, V)` for a predicate `f` over
+//! configuration graphs consists of a (possibly centralized) **marker**
+//! `M`, assigning a label to every node, and a **local verifier** `V`,
+//! run independently at each node with input `N_L(v)` — the node's own
+//! state and label plus, for each incident edge, its port number, its
+//! weight, and the *label* (not the state!) of the neighbor. Correctness:
+//!
+//! 1. if `f` holds, the marker's labels make every verifier accept;
+//! 2. if `f` fails, **every** possible label assignment makes at least one
+//!    verifier reject.
+//!
+//! [`LocalView`] reifies `N_L(v)` so that verifier implementations are
+//! structurally prevented from peeking at remote information.
+
+use mstv_graph::{ConfigGraph, NodeId, Port, Weight};
+use mstv_labels::BitString;
+use std::error::Error;
+use std::fmt;
+
+/// What a verifier sees of one neighbor: port, edge weight, and the
+/// neighbor's label — exactly the fields of `N_L(v)` in the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborView<'a, L> {
+    /// The local port number of the connecting edge.
+    pub port: Port,
+    /// The weight of the connecting edge.
+    pub weight: Weight,
+    /// The neighbor's label.
+    pub label: &'a L,
+}
+
+/// The complete verifier input `N_L(v)` at one node.
+#[derive(Debug, Clone)]
+pub struct LocalView<'a, S, L> {
+    /// The node (for diagnostics only; verifiers must not use it as data —
+    /// identities live in states).
+    pub node: NodeId,
+    /// The node's own state.
+    pub state: &'a S,
+    /// The node's own label.
+    pub label: &'a L,
+    /// One entry per incident edge, in port order.
+    pub neighbors: Vec<NeighborView<'a, L>>,
+}
+
+impl<S, L> LocalView<'_, S, L> {
+    /// The neighbor entry behind a port, if the port exists.
+    pub fn neighbor_at(&self, port: Port) -> Option<&NeighborView<'_, L>> {
+        self.neighbors.get(port.index())
+    }
+}
+
+/// Error returned by a marker asked to label a configuration that does not
+/// satisfy the scheme's predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkerError {
+    /// Why the predicate fails.
+    pub reason: String,
+}
+
+impl fmt::Display for MarkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "predicate does not hold: {}", self.reason)
+    }
+}
+
+impl Error for MarkerError {}
+
+/// A complete label assignment for one configuration graph, together with
+/// the exact bit encoding of every label (for honest size accounting).
+#[derive(Debug, Clone)]
+pub struct Labeling<L> {
+    labels: Vec<L>,
+    encoded: Vec<BitString>,
+}
+
+impl<L> Labeling<L> {
+    /// Pairs structured labels with their bit encodings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn new(labels: Vec<L>, encoded: Vec<BitString>) -> Self {
+        assert_eq!(labels.len(), encoded.len(), "labels/encodings mismatch");
+        Labeling { labels, encoded }
+    }
+
+    /// Wraps raw labels without encodings (adversarial experiments that
+    /// don't measure sizes).
+    pub fn from_labels(labels: Vec<L>) -> Self {
+        let encoded = labels.iter().map(|_| BitString::new()).collect();
+        Labeling { labels, encoded }
+    }
+
+    /// The label of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: NodeId) -> &L {
+        &self.labels[v.index()]
+    }
+
+    /// Mutable access (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label_mut(&mut self, v: NodeId) -> &mut L {
+        &mut self.labels[v.index()]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[L] {
+        &self.labels
+    }
+
+    /// The scheme size on this instance: maximum encoded label length in
+    /// bits.
+    pub fn max_label_bits(&self) -> usize {
+        self.encoded.iter().map(BitString::len).max().unwrap_or(0)
+    }
+
+    /// Sum of all label lengths in bits.
+    pub fn total_bits(&self) -> usize {
+        self.encoded.iter().map(BitString::len).sum()
+    }
+
+    /// The encoding of node `v`'s label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn encoded(&self, v: NodeId) -> &BitString {
+        &self.encoded[v.index()]
+    }
+}
+
+/// The outcome of running the verifier at every node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Nodes whose verifier output 0, in id order.
+    pub rejecting: Vec<NodeId>,
+    /// Number of nodes checked.
+    pub num_nodes: usize,
+}
+
+impl Verdict {
+    /// Whether every node accepted.
+    pub fn accepted(&self) -> bool {
+        self.rejecting.is_empty()
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.accepted() {
+            write!(f, "accepted by all {} nodes", self.num_nodes)
+        } else {
+            write!(
+                f,
+                "rejected at {} of {} nodes",
+                self.rejecting.len(),
+                self.num_nodes
+            )
+        }
+    }
+}
+
+/// A proof labeling scheme: a marker plus a local verifier.
+pub trait ProofLabelingScheme {
+    /// Node state type of the configuration graphs this scheme covers.
+    type State;
+    /// Label type.
+    type Label: Clone;
+
+    /// The marker `M`: labels a configuration satisfying the predicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkerError`] when the configuration does not satisfy the
+    /// scheme's predicate (no correct labeling exists).
+    fn marker(&self, cfg: &ConfigGraph<Self::State>) -> Result<Labeling<Self::Label>, MarkerError>;
+
+    /// The verifier `V` at one node, on its local view only.
+    fn verify(&self, view: &LocalView<'_, Self::State, Self::Label>) -> bool;
+
+    /// Runs the verifier at every node.
+    fn verify_all(
+        &self,
+        cfg: &ConfigGraph<Self::State>,
+        labeling: &Labeling<Self::Label>,
+    ) -> Verdict {
+        let n = cfg.graph().num_nodes();
+        let mut rejecting = Vec::new();
+        for i in 0..n {
+            let v = NodeId::from_index(i);
+            let view = local_view(cfg, labeling.labels(), v);
+            if !self.verify(&view) {
+                rejecting.push(v);
+            }
+        }
+        Verdict {
+            rejecting,
+            num_nodes: n,
+        }
+    }
+
+    /// Runs the verifier at every node across `threads` OS threads.
+    ///
+    /// Verification is embarrassingly parallel — each node's check reads
+    /// only its local view — which is the paper's whole point; this method
+    /// makes that literal on a multicore host. Produces exactly the same
+    /// verdict as [`ProofLabelingScheme::verify_all`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    fn verify_all_parallel(
+        &self,
+        cfg: &ConfigGraph<Self::State>,
+        labeling: &Labeling<Self::Label>,
+        threads: usize,
+    ) -> Verdict
+    where
+        Self: Sync,
+        Self::State: Sync,
+        Self::Label: Sync,
+    {
+        assert!(threads > 0, "need at least one thread");
+        let n = cfg.graph().num_nodes();
+        let chunk = n.div_ceil(threads.min(n.max(1)));
+        let mut rejecting = Vec::new();
+        if n == 0 {
+            return Verdict {
+                rejecting,
+                num_nodes: 0,
+            };
+        }
+        let partials = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for lo in (0..n).step_by(chunk) {
+                let hi = (lo + chunk).min(n);
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for i in lo..hi {
+                        let v = NodeId::from_index(i);
+                        let view = local_view(cfg, labeling.labels(), v);
+                        if !self.verify(&view) {
+                            local.push(v);
+                        }
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("verifier threads do not panic"))
+                .collect::<Vec<_>>()
+        });
+        for mut part in partials {
+            rejecting.append(&mut part);
+        }
+        rejecting.sort();
+        Verdict {
+            rejecting,
+            num_nodes: n,
+        }
+    }
+}
+
+/// Builds the local view `N_L(v)` for one node.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the node count or `v` is out of
+/// range.
+pub fn local_view<'a, S, L>(
+    cfg: &'a ConfigGraph<S>,
+    labels: &'a [L],
+    v: NodeId,
+) -> LocalView<'a, S, L> {
+    assert_eq!(
+        labels.len(),
+        cfg.graph().num_nodes(),
+        "one label per node required"
+    );
+    let neighbors = cfg
+        .graph()
+        .neighbors(v)
+        .map(|nb| NeighborView {
+            port: nb.port,
+            weight: nb.weight,
+            label: &labels[nb.node.index()],
+        })
+        .collect();
+    LocalView {
+        node: v,
+        state: cfg.state(v),
+        label: &labels[v.index()],
+        neighbors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::{Graph, TreeState};
+
+    #[test]
+    fn labeling_accessors() {
+        let mut bits = BitString::new();
+        bits.push_bits(5, 3);
+        let l = Labeling::new(vec![10u64, 20], vec![bits, BitString::new()]);
+        assert_eq!(*l.label(NodeId(0)), 10);
+        assert_eq!(l.labels(), &[10, 20]);
+        assert_eq!(l.max_label_bits(), 3);
+        assert_eq!(l.total_bits(), 3);
+        assert_eq!(l.encoded(NodeId(1)).len(), 0);
+    }
+
+    #[test]
+    fn labeling_from_labels_has_no_size() {
+        let l = Labeling::from_labels(vec![1u8, 2, 3]);
+        assert_eq!(l.max_label_bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn labeling_length_mismatch() {
+        let _ = Labeling::new(vec![1u8], vec![]);
+    }
+
+    #[test]
+    fn verdict_display() {
+        let ok = Verdict {
+            rejecting: vec![],
+            num_nodes: 4,
+        };
+        assert!(ok.accepted());
+        assert_eq!(ok.to_string(), "accepted by all 4 nodes");
+        let bad = Verdict {
+            rejecting: vec![NodeId(2)],
+            num_nodes: 4,
+        };
+        assert!(!bad.accepted());
+        assert_eq!(bad.to_string(), "rejected at 1 of 4 nodes");
+    }
+
+    #[test]
+    fn local_view_exposes_ports_weights_labels() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), Weight(4)).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), Weight(9)).unwrap();
+        let cfg = ConfigGraph::new(
+            g,
+            vec![
+                TreeState::root(0),
+                TreeState::child(1, Port(0)),
+                TreeState::child(2, Port(0)),
+            ],
+        )
+        .unwrap();
+        let labels = vec!["a", "b", "c"];
+        let view = local_view(&cfg, &labels, NodeId(0));
+        assert_eq!(view.neighbors.len(), 2);
+        assert_eq!(view.neighbors[0].weight, Weight(4));
+        assert_eq!(*view.neighbors[1].label, "c");
+        assert_eq!(*view.label, "a");
+        assert!(view.neighbor_at(Port(1)).is_some());
+        assert!(view.neighbor_at(Port(2)).is_none());
+        let leaf = local_view(&cfg, &labels, NodeId(2));
+        assert_eq!(leaf.neighbors.len(), 1);
+        assert_eq!(leaf.neighbors[0].weight, Weight(9));
+        assert_eq!(*leaf.neighbors[0].label, "a");
+    }
+
+    #[test]
+    fn parallel_verification_matches_sequential() {
+        use crate::{mst_configuration, MstScheme, ProofLabelingScheme};
+        use mstv_graph::gen;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        for seed in 0..4 {
+            let g = gen::random_connected(
+                40,
+                80,
+                gen::WeightDist::Uniform { max: 200 },
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let mut cfg = mst_configuration(g);
+            let scheme = MstScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            for threads in [1usize, 2, 7, 64] {
+                assert_eq!(
+                    scheme.verify_all_parallel(&cfg, &labeling, threads),
+                    scheme.verify_all(&cfg, &labeling),
+                    "threads={threads}"
+                );
+            }
+            // And on a faulty network (non-empty rejection set, ordered).
+            if crate::faults::break_minimality(&mut cfg, &mut rng).is_some() {
+                let seq = scheme.verify_all(&cfg, &labeling);
+                assert!(!seq.accepted());
+                assert_eq!(scheme.verify_all_parallel(&cfg, &labeling, 4), seq);
+            }
+        }
+    }
+
+    #[test]
+    fn marker_error_display() {
+        let e = MarkerError {
+            reason: "not a tree".into(),
+        };
+        assert_eq!(e.to_string(), "predicate does not hold: not a tree");
+    }
+}

@@ -1,0 +1,373 @@
+//! `π_flow` and the **maximum** spanning tree scheme — the `FLOW`-side
+//! dual of the paper's construction.
+//!
+//! A spanning tree is *maximum* iff every graph edge `(u, v)` weighs at
+//! most `FLOW(u, v)`, the lightest tree edge on the path between its
+//! endpoints — the mirror image of the MST cycle property. The whole
+//! `π_mst` pipeline dualizes field by field: `γ_small`'s `ω` maxima
+//! become `φ` minima (the `FLOW` labels of `mstv-labels`, which the paper
+//! introduces as a byproduct), and the Lemma 3.3 conditions 7/8
+//! accumulate with `min` instead of `max`. As with `MAX`, the self-level
+//! field needs no pinning: the decoder's `min` means an adversary can
+//! only *deflate* it, which makes verification stricter, never laxer.
+
+use mstv_graph::{ConfigGraph, NodeId, TreeState, Weight};
+use mstv_labels::{BitString, FlowLabel, LabelCodec, SepFieldCodec};
+use mstv_trees::centroid_decomposition;
+
+use crate::pi_gamma::{orient_fields, Orient};
+use crate::span::{check_span, span_labels, SpanCodec, SpanLabel};
+use crate::{Labeling, LocalView, MarkerError, ProofLabelingScheme};
+
+/// The pieces of a `π_flow` label the condition checker consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowParts<'a> {
+    /// Orientation fields (length `l`).
+    pub orient: &'a [Orient],
+    /// Separator-path fields of the claimed `FLOW` label.
+    pub sep: &'a [u64],
+    /// `φ` fields of the claimed `FLOW` label.
+    pub phi: &'a [Weight],
+}
+
+impl<'a> FlowParts<'a> {
+    /// Assembles parts from an orientation sublabel and a `FLOW` label.
+    pub fn new(orient: &'a [Orient], label: &'a FlowLabel) -> Self {
+        FlowParts {
+            orient,
+            sep: &label.sep,
+            phi: &label.phi,
+        }
+    }
+
+    fn level(&self) -> usize {
+        self.orient.len()
+    }
+}
+
+/// The min-accumulating analogue of `π_Γ`'s conditions 2–8.
+pub fn check_flow_conditions(
+    own: &FlowParts<'_>,
+    parent: Option<(Weight, FlowParts<'_>)>,
+    children: &[(Weight, FlowParts<'_>)],
+) -> bool {
+    let l = own.level();
+    if l == 0 || own.sep.len() != l || own.phi.len() != l {
+        return false;
+    }
+    if own.orient[l - 1] != Orient::SelfSep {
+        return false;
+    }
+    if own.orient[..l - 1].contains(&Orient::SelfSep) {
+        return false;
+    }
+    let tree_neighbors = parent.iter().chain(children.iter());
+    for (_, w) in tree_neighbors.clone() {
+        let min = l.min(w.sep.len());
+        if own.sep[..min] != w.sep[..min] {
+            return false;
+        }
+    }
+    for k in 0..l {
+        match own.orient[k] {
+            Orient::Up => {
+                let Some((pw, p)) = parent else {
+                    return false;
+                };
+                if p.level() <= k || p.phi.len() <= k {
+                    return false;
+                }
+                if children
+                    .iter()
+                    .any(|(_, c)| c.level() > k && c.orient[k] != Orient::Up)
+                {
+                    return false;
+                }
+                let expected = if p.orient[k] == Orient::SelfSep {
+                    pw
+                } else {
+                    p.phi[k].min(pw)
+                };
+                if own.phi[k] != expected {
+                    return false;
+                }
+            }
+            Orient::Down => {
+                if let Some((_, p)) = parent {
+                    if p.level() > k && p.orient[k] != Orient::Down {
+                        return false;
+                    }
+                }
+                let mut unique: Option<(Weight, &FlowParts<'_>)> = None;
+                for (cw, c) in children {
+                    if c.level() > k && matches!(c.orient[k], Orient::Down | Orient::SelfSep) {
+                        if unique.is_some() {
+                            return false;
+                        }
+                        unique = Some((*cw, c));
+                    }
+                }
+                let Some((cw, c)) = unique else {
+                    return false;
+                };
+                if c.phi.len() <= k {
+                    return false;
+                }
+                let expected = if c.orient[k] == Orient::SelfSep {
+                    cw
+                } else {
+                    c.phi[k].min(cw)
+                };
+                if own.phi[k] != expected {
+                    return false;
+                }
+            }
+            Orient::SelfSep => {
+                if tree_neighbors.clone().any(|(_, w)| w.level() == l) {
+                    return false;
+                }
+                if let Some((_, p)) = parent {
+                    if p.level() > k && p.orient[k] != Orient::Down {
+                        return false;
+                    }
+                }
+                if children
+                    .iter()
+                    .any(|(_, c)| c.level() > k && c.orient[k] != Orient::Up)
+                {
+                    return false;
+                }
+                let mut seen = Vec::new();
+                for (_, w) in tree_neighbors.clone() {
+                    if w.sep.len() > l {
+                        if seen.contains(&w.sep[l]) {
+                            return false;
+                        }
+                        seen.push(w.sep[l]);
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Non-panicking `FLOW` decoder for adversarial labels.
+fn try_decode_flow(a: &FlowLabel, b: &FlowLabel) -> Option<Weight> {
+    let cp = a
+        .sep
+        .iter()
+        .zip(b.sep.iter())
+        .take_while(|(x, y)| x == y)
+        .count();
+    if cp == 0 || cp > a.phi.len() || cp > b.phi.len() {
+        return None;
+    }
+    Some(a.phi[cp - 1].min(b.phi[cp - 1]))
+}
+
+/// The `π_maxst` label: spanning sublabel, `FLOW` sublabel, orientation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxStLabel {
+    /// Spanning-tree sublabel.
+    pub span: SpanLabel,
+    /// `FLOW` sublabel (implicit path-minimum label).
+    pub flow: FlowLabel,
+    /// `π_flow` orientation sublabel.
+    pub orient: Vec<Orient>,
+}
+
+/// The proof labeling scheme for *"the induced tree is a **maximum**
+/// spanning tree"* — `π_mst` with every `max` dualized to `min`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxStScheme;
+
+impl MaxStScheme {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        MaxStScheme
+    }
+}
+
+impl ProofLabelingScheme for MaxStScheme {
+    type State = TreeState;
+    type Label = MaxStLabel;
+
+    fn marker(&self, cfg: &ConfigGraph<TreeState>) -> Result<Labeling<MaxStLabel>, MarkerError> {
+        let g = cfg.graph();
+        let (tree, span) = span_labels(cfg)?;
+        let tree_edges = cfg.induced_edges();
+        if !mstv_mst::is_max_spanning_tree(g, &tree_edges) {
+            return Err(MarkerError {
+                reason: "candidate tree is not a maximum spanning tree".to_owned(),
+            });
+        }
+        let sep = centroid_decomposition(&tree);
+        let flows = mstv_labels::flow_labels(&tree, &sep);
+        let orients = orient_fields(&tree, &sep);
+        let labels: Vec<MaxStLabel> = (0..g.num_nodes())
+            .map(|i| MaxStLabel {
+                span: span[i],
+                flow: flows[i].clone(),
+                orient: orients[i].clone(),
+            })
+            .collect();
+        let span_codec = SpanCodec::for_config(cfg);
+        let codec = LabelCodec {
+            sep_codec: SepFieldCodec::EliasGamma,
+            omega_bits: g.max_weight().bit_width(),
+        };
+        let encoded = labels
+            .iter()
+            .map(|l| {
+                let mut out = BitString::new();
+                span_codec.encode_into(&mut out, &l.span);
+                out.extend_from(&codec.encode_flow(&l.flow));
+                for &o in &l.orient {
+                    out.push_bits(o.to_bits(), 2);
+                }
+                out
+            })
+            .collect();
+        Ok(Labeling::new(labels, encoded))
+    }
+
+    fn verify(&self, view: &LocalView<'_, TreeState, MaxStLabel>) -> bool {
+        let spans: Vec<&SpanLabel> = view.neighbors.iter().map(|nb| &nb.label.span).collect();
+        if !check_span(view.state, &view.label.span, &spans) {
+            return false;
+        }
+        let own = FlowParts::new(&view.label.orient, &view.label.flow);
+        let parent = view.state.parent_port.and_then(|p| {
+            view.neighbor_at(p)
+                .map(|nb| (nb.weight, FlowParts::new(&nb.label.orient, &nb.label.flow)))
+        });
+        if view.state.parent_port.is_some() && parent.is_none() {
+            return false;
+        }
+        let children: Vec<(Weight, FlowParts<'_>)> = view
+            .neighbors
+            .iter()
+            .filter(|nb| nb.label.span.parent_id == Some(view.state.id))
+            .map(|nb| (nb.weight, FlowParts::new(&nb.label.orient, &nb.label.flow)))
+            .collect();
+        if !check_flow_conditions(&own, parent, &children) {
+            return false;
+        }
+        // The dual cycle property: ω(v, u) ≤ FLOW(v, u) at every edge.
+        view.neighbors.iter().all(
+            |nb| match try_decode_flow(&view.label.flow, &nb.label.flow) {
+                Some(flow) => nb.weight <= flow,
+                None => false,
+            },
+        )
+    }
+}
+
+/// Convenience constructor: computes a maximum spanning tree of `graph`
+/// and installs it in node states (rooted at node 0).
+///
+/// # Panics
+///
+/// Panics if the graph is not connected.
+pub fn max_st_configuration(graph: mstv_graph::Graph) -> ConfigGraph<TreeState> {
+    let t = mstv_mst::maximum_spanning_tree(&graph);
+    let states = mstv_graph::tree_states(&graph, &t, NodeId(0)).expect("spanning tree");
+    ConfigGraph::new(graph, states).expect("one state per node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::{gen, tree_states, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn completeness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 10, 60, 150] {
+            let g =
+                gen::random_connected(n, 2 * n, gen::WeightDist::Uniform { max: 500 }, &mut rng);
+            let cfg = max_st_configuration(g);
+            let scheme = MaxStScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            assert!(scheme.verify_all(&cfg, &labeling).accepted(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn marker_rejects_minimum_tree() {
+        // Force the light tree: it is not maximum.
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(2)).unwrap();
+        let _chord = g.add_edge(NodeId(2), NodeId(0), Weight(9)).unwrap();
+        let states = tree_states(&g, &[e0, e1], NodeId(0)).unwrap();
+        let cfg = ConfigGraph::new(g, states).unwrap();
+        assert!(MaxStScheme::new().marker(&cfg).is_err());
+    }
+
+    #[test]
+    fn stale_labels_rejected_after_weight_raise() {
+        // Raising a non-tree edge above its path minimum voids maximality.
+        let mut detected = 0;
+        for seed in 0..15 {
+            let g = gen::random_connected(
+                20,
+                30,
+                gen::WeightDist::Uniform { max: 100 },
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let cfg = max_st_configuration(g);
+            let scheme = MaxStScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            let tree_edges = cfg.induced_edges();
+            let mut in_tree = vec![false; cfg.graph().num_edges()];
+            for &e in &tree_edges {
+                in_tree[e.index()] = true;
+            }
+            let Some(victim) = cfg
+                .graph()
+                .edges()
+                .find(|(e, _)| !in_tree[e.index()])
+                .map(|(e, _)| e)
+            else {
+                continue;
+            };
+            let mut bad = cfg.clone();
+            let w = bad.graph().max_weight();
+            bad.graph_mut().set_weight(victim, Weight(w.0 + 10));
+            assert!(!mstv_mst::is_max_spanning_tree(bad.graph(), &tree_edges));
+            assert!(
+                !scheme.verify_all(&bad, &labeling).accepted(),
+                "seed={seed}"
+            );
+            detected += 1;
+        }
+        assert!(detected >= 10);
+    }
+
+    #[test]
+    fn accepts_any_max_st_under_ties() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_connected(20, 30, gen::WeightDist::Constant(5), &mut rng);
+        // Under constant weights every spanning tree is maximum.
+        let cfg = crate::mst_configuration(g);
+        let scheme = MaxStScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        assert!(scheme.verify_all(&cfg, &labeling).accepted());
+    }
+
+    #[test]
+    fn min_and_max_schemes_disagree_on_nontrivial_graphs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen::random_connected(15, 25, gen::WeightDist::Uniform { max: 1000 }, &mut rng);
+        let min_cfg = crate::mst_configuration(g.clone());
+        let max_cfg = max_st_configuration(g);
+        // The minimum tree fails the maximum marker and vice versa
+        // (weights are almost surely distinct at W = 1000).
+        assert!(MaxStScheme::new().marker(&min_cfg).is_err());
+        assert!(crate::MstScheme::new().marker(&max_cfg).is_err());
+    }
+}

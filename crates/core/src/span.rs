@@ -1,0 +1,350 @@
+//! The spanning-tree proof labeling scheme (from \[KKP05\], Lemma 2.3 there;
+//! step (1) of the paper's MST scheme).
+//!
+//! States distributively represent a candidate tree (each node points at
+//! its parent port); the `O(log n)`-bit labels carry the root's identity
+//! and the node's distance to the root. The local checks — distances drop
+//! by one towards the parent, everyone agrees on the root identity, and a
+//! zero-distance node's own identity *is* the root identity — force the
+//! pointer edges to form a single spanning in-tree:
+//!
+//! * distances strictly decrease along pointers ⇒ no pointer cycles;
+//! * every pointer chain therefore ends at a pointerless node, which must
+//!   claim distance 0 and identity = root identity;
+//! * identities are unique and the graph is connected, so exactly one such
+//!   node exists ⇒ one tree containing all nodes.
+//!
+//! The label also carries the node's own identity and its parent's
+//! identity (both tied to the states by the checks); these make tree
+//! membership of any incident edge computable from labels alone, which the
+//! Borůvka-hierarchy baseline scheme relies on.
+
+use mstv_graph::{ConfigGraph, NodeId, TreeState, Weight};
+use mstv_labels::BitString;
+use mstv_trees::RootedTree;
+
+use crate::{Labeling, LocalView, MarkerError, ProofLabelingScheme};
+
+/// The spanning-tree sublabel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanLabel {
+    /// The node's own identity (must match its state).
+    pub node_id: u64,
+    /// The root's identity, agreed by all nodes.
+    pub root_id: u64,
+    /// Distance (in tree edges) to the root.
+    pub dist: u64,
+    /// The parent's identity; `None` at the root.
+    pub parent_id: Option<u64>,
+}
+
+/// Fixed widths used to encode [`SpanLabel`]s for one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanCodec {
+    /// Bits per identity field.
+    pub id_bits: u32,
+    /// Bits for the distance field.
+    pub dist_bits: u32,
+}
+
+impl SpanCodec {
+    /// Derives widths from a configuration: identities up to the maximum
+    /// id present, distances up to `n`.
+    pub fn for_config(cfg: &ConfigGraph<TreeState>) -> Self {
+        let max_id = cfg.states().iter().map(|s| s.id).max().unwrap_or(0);
+        let n = cfg.graph().num_nodes() as u64;
+        SpanCodec {
+            id_bits: Weight(max_id).bit_width(),
+            dist_bits: Weight(n).bit_width(),
+        }
+    }
+
+    /// Appends a [`SpanLabel`] to a bit string.
+    pub fn encode_into(&self, out: &mut BitString, label: &SpanLabel) {
+        out.push_bits(label.node_id, self.id_bits);
+        out.push_bits(label.root_id, self.id_bits);
+        out.push_bits(label.dist, self.dist_bits);
+        match label.parent_id {
+            Some(p) => {
+                out.push(true);
+                out.push_bits(p, self.id_bits);
+            }
+            None => out.push(false),
+        }
+    }
+
+    /// Reads a [`SpanLabel`] back.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated bit string.
+    pub fn decode_from(&self, r: &mut mstv_labels::BitReader<'_>) -> SpanLabel {
+        let node_id = r.read_bits(self.id_bits);
+        let root_id = r.read_bits(self.id_bits);
+        let dist = r.read_bits(self.dist_bits);
+        let parent_id = if r.read_bit() {
+            Some(r.read_bits(self.id_bits))
+        } else {
+            None
+        };
+        SpanLabel {
+            node_id,
+            root_id,
+            dist,
+            parent_id,
+        }
+    }
+}
+
+/// The local spanning-tree conditions, shared by every composite scheme.
+/// `neighbors[p]` is the span sublabel seen through port `p`.
+pub fn check_span(state: &TreeState, own: &SpanLabel, neighbors: &[&SpanLabel]) -> bool {
+    if own.node_id != state.id {
+        return false;
+    }
+    if neighbors.iter().any(|nb| nb.root_id != own.root_id) {
+        return false;
+    }
+    match state.parent_port {
+        None => own.dist == 0 && own.root_id == own.node_id && own.parent_id.is_none(),
+        Some(p) => {
+            let Some(parent) = neighbors.get(p.index()) else {
+                return false;
+            };
+            own.dist == parent.dist + 1 && own.parent_id == Some(parent.node_id)
+        }
+    }
+}
+
+/// Computes the honest span labels for a configuration whose states induce
+/// a spanning tree; also returns the reconstructed rooted tree.
+///
+/// # Errors
+///
+/// Returns an error if the parent pointers do not form a spanning tree
+/// (no unique root, cycles, disconnection) or node identities collide.
+pub fn span_labels(
+    cfg: &ConfigGraph<TreeState>,
+) -> Result<(RootedTree, Vec<SpanLabel>), MarkerError> {
+    let g = cfg.graph();
+    let n = g.num_nodes();
+    let mut ids = std::collections::HashSet::new();
+    for s in cfg.states() {
+        if !ids.insert(s.id) {
+            return Err(MarkerError {
+                reason: format!("duplicate node identity {}", s.id),
+            });
+        }
+    }
+    let mut root = None;
+    let mut parents: Vec<Option<(NodeId, Weight)>> = vec![None; n];
+    for (i, slot) in parents.iter_mut().enumerate() {
+        let v = NodeId::from_index(i);
+        match cfg.state(v).parent_port {
+            None => {
+                if root.replace(v).is_some() {
+                    return Err(MarkerError {
+                        reason: "multiple root candidates".to_owned(),
+                    });
+                }
+            }
+            Some(p) => {
+                if p.index() >= g.degree(v) {
+                    return Err(MarkerError {
+                        reason: format!("{v} points at nonexistent port {p}"),
+                    });
+                }
+                let e = g.edge_at_port(v, p);
+                *slot = Some((g.edge(e).other(v), g.weight(e)));
+            }
+        }
+    }
+    let root = root.ok_or_else(|| MarkerError {
+        reason: "no root candidate".to_owned(),
+    })?;
+    let tree = RootedTree::from_parents(root, parents).map_err(|e| MarkerError {
+        reason: e.to_string(),
+    })?;
+    let root_id = cfg.state(root).id;
+    let labels = (0..n)
+        .map(|i| {
+            let v = NodeId::from_index(i);
+            SpanLabel {
+                node_id: cfg.state(v).id,
+                root_id,
+                dist: u64::from(tree.depth(v)),
+                parent_id: tree.parent(v).map(|p| cfg.state(p).id),
+            }
+        })
+        .collect();
+    Ok((tree, labels))
+}
+
+/// The standalone spanning-tree proof labeling scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanningTreeScheme;
+
+impl SpanningTreeScheme {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        SpanningTreeScheme
+    }
+}
+
+impl ProofLabelingScheme for SpanningTreeScheme {
+    type State = TreeState;
+    type Label = SpanLabel;
+
+    fn marker(&self, cfg: &ConfigGraph<TreeState>) -> Result<Labeling<SpanLabel>, MarkerError> {
+        let (_, labels) = span_labels(cfg)?;
+        let codec = SpanCodec::for_config(cfg);
+        let encoded = labels
+            .iter()
+            .map(|l| {
+                let mut b = BitString::new();
+                codec.encode_into(&mut b, l);
+                b
+            })
+            .collect();
+        Ok(Labeling::new(labels, encoded))
+    }
+
+    fn verify(&self, view: &LocalView<'_, TreeState, SpanLabel>) -> bool {
+        let neighbors: Vec<&SpanLabel> = view.neighbors.iter().map(|nb| nb.label).collect();
+        check_span(view.state, view.label, &neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::{gen, tree_states, Port};
+    use mstv_mst::kruskal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree_config(n: usize, extra: usize, seed: u64) -> ConfigGraph<TreeState> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_connected(n, extra, gen::WeightDist::Uniform { max: 30 }, &mut rng);
+        let t = kruskal(&g);
+        let states = tree_states(&g, &t, NodeId(0)).unwrap();
+        ConfigGraph::new(g, states).unwrap()
+    }
+
+    #[test]
+    fn completeness() {
+        for (n, extra, seed) in [(2usize, 0usize, 1u64), (10, 15, 2), (80, 100, 3)] {
+            let cfg = tree_config(n, extra, seed);
+            let scheme = SpanningTreeScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            assert!(scheme.verify_all(&cfg, &labeling).accepted(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        let cfg = tree_config(20, 10, 4);
+        let scheme = SpanningTreeScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        let codec = SpanCodec::for_config(&cfg);
+        for v in cfg.graph().nodes() {
+            let mut r = labeling.encoded(v).reader();
+            assert_eq!(codec.decode_from(&mut r), *labeling.label(v));
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn label_size_logarithmic() {
+        let cfg = tree_config(100, 50, 5);
+        let scheme = SpanningTreeScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        // 3 id fields (7 bits) + dist (7 bits) + flag: comfortably < 64.
+        assert!(labeling.max_label_bits() <= 64);
+    }
+
+    #[test]
+    fn marker_rejects_cycle() {
+        // Two nodes pointing at each other.
+        let mut g = mstv_graph::Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), Weight(1)).unwrap();
+        let cfg = ConfigGraph::new(
+            g,
+            vec![
+                TreeState::child(0, Port(0)),
+                TreeState::child(1, Port(0)),
+                TreeState::root(2),
+            ],
+        )
+        .unwrap();
+        assert!(SpanningTreeScheme::new().marker(&cfg).is_err());
+    }
+
+    #[test]
+    fn marker_rejects_two_roots() {
+        let mut g = mstv_graph::Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let cfg = ConfigGraph::new(g, vec![TreeState::root(0), TreeState::root(1)]).unwrap();
+        assert!(SpanningTreeScheme::new().marker(&cfg).is_err());
+    }
+
+    #[test]
+    fn marker_rejects_duplicate_ids() {
+        let mut g = mstv_graph::Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let cfg =
+            ConfigGraph::new(g, vec![TreeState::root(7), TreeState::child(7, Port(0))]).unwrap();
+        assert!(SpanningTreeScheme::new().marker(&cfg).is_err());
+    }
+
+    #[test]
+    fn forged_labels_on_broken_tree_rejected() {
+        // Corrupt a pointer after honest labeling: some check must fail.
+        let cfg = tree_config(30, 20, 6);
+        let scheme = SpanningTreeScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        let mut broken = cfg.clone();
+        // Retarget node 5's parent pointer to a different port.
+        let v = NodeId(5);
+        let deg = broken.graph().degree(v);
+        let old = broken.state(v).parent_port;
+        for p in 0..deg {
+            let np = Port(p as u32);
+            if Some(np) != old {
+                broken.state_mut(v).parent_port = Some(np);
+                break;
+            }
+        }
+        if broken.state(NodeId(5)).parent_port != old {
+            let verdict = scheme.verify_all(&broken, &labeling);
+            assert!(!verdict.accepted());
+        }
+    }
+
+    #[test]
+    fn adversarial_distance_shift_rejected() {
+        let cfg = tree_config(25, 10, 7);
+        let scheme = SpanningTreeScheme::new();
+        let mut labeling = scheme.marker(&cfg).unwrap();
+        // Shift one node's distance; either it or its parent/child rejects.
+        labeling.label_mut(NodeId(9)).dist += 1;
+        assert!(!scheme.verify_all(&cfg, &labeling).accepted());
+    }
+
+    #[test]
+    fn adversarial_root_forgery_rejected() {
+        // A non-root node drops its parent pointer and claims root: its
+        // id cannot equal the agreed root id.
+        let cfg = tree_config(25, 10, 8);
+        let scheme = SpanningTreeScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        let mut bad = cfg.clone();
+        let victim = (0..25)
+            .map(NodeId::from_index)
+            .find(|&v| bad.state(v).parent_port.is_some())
+            .unwrap();
+        bad.state_mut(victim).parent_port = None;
+        assert!(!scheme.verify_all(&bad, &labeling).accepted());
+    }
+}

@@ -1,0 +1,242 @@
+//! A proof labeling scheme for **shortest-path trees** — another classic
+//! predicate from the proof-labeling literature the paper builds on
+//! (\[KKP05\] treats it alongside MST), included as a further instance of
+//! the framework and as a counterpoint: SPT verification needs only
+//! `O(log(nW))`-bit labels because shortest-path distances satisfy a
+//! *local fixpoint* (triangle) characterization, whereas MST minimality
+//! has no such one-field certificate — hence the paper's whole `γ_small` /
+//! `π_Γ` machinery.
+//!
+//! Label: the spanning sublabel plus `d(v)`, the claimed distance to the
+//! root. Checks at `v`: the spanning-tree conditions; `d(root) = 0`;
+//! `d(v) = d(parent) + ω(parent edge)` (distances realized by the tree);
+//! and `d(v) ≤ d(u) + ω(u, v)` for *every* neighbor `u` (no shortcut
+//! exists). Soundness is the Bellman–Ford fixpoint argument: the triangle
+//! inequalities force `d(v) ≤ dist_G(v, root)` by induction on shortest
+//! paths, while the tree equalities force `d(v) = dist_T(v, root) ≥
+//! dist_G(v, root)` — so tree paths are shortest.
+
+use mstv_graph::{ConfigGraph, NodeId, TreeState, Weight};
+use mstv_labels::BitString;
+use mstv_mst::shortest_path_tree;
+
+use crate::span::{check_span, span_labels, SpanCodec, SpanLabel};
+use crate::{Labeling, LocalView, MarkerError, ProofLabelingScheme};
+
+/// The SPT label: spanning sublabel plus the distance-to-root field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SptLabel {
+    /// Spanning-tree sublabel.
+    pub span: SpanLabel,
+    /// Claimed weighted distance from the node to the root.
+    pub dist_to_root: u64,
+}
+
+/// The proof labeling scheme for *"the induced tree is a shortest-path
+/// tree rooted at the pointerless node"*.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SptScheme;
+
+impl SptScheme {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        SptScheme
+    }
+}
+
+impl ProofLabelingScheme for SptScheme {
+    type State = TreeState;
+    type Label = SptLabel;
+
+    fn marker(&self, cfg: &ConfigGraph<TreeState>) -> Result<Labeling<SptLabel>, MarkerError> {
+        let g = cfg.graph();
+        let (tree, span) = span_labels(cfg)?;
+        // Weighted tree distances.
+        let mut wdepth = vec![0u64; g.num_nodes()];
+        for &v in tree.order() {
+            if let Some(p) = tree.parent(v) {
+                wdepth[v.index()] = wdepth[p.index()] + tree.parent_weight(v).0;
+            }
+        }
+        // The predicate: tree distances equal graph distances.
+        let (_, dist) = shortest_path_tree(g, tree.root());
+        for v in g.nodes() {
+            if wdepth[v.index()] != dist[v.index()] {
+                return Err(MarkerError {
+                    reason: format!(
+                        "tree path to {v} costs {} but a {}-cost path exists",
+                        wdepth[v.index()],
+                        dist[v.index()]
+                    ),
+                });
+            }
+        }
+        let labels: Vec<SptLabel> = (0..g.num_nodes())
+            .map(|i| SptLabel {
+                span: span[i],
+                dist_to_root: wdepth[i],
+            })
+            .collect();
+        let span_codec = SpanCodec::for_config(cfg);
+        let d_bits = Weight(wdepth.iter().copied().max().unwrap_or(0)).bit_width();
+        let encoded = labels
+            .iter()
+            .map(|l| {
+                let mut out = BitString::new();
+                span_codec.encode_into(&mut out, &l.span);
+                out.push_bits(l.dist_to_root, d_bits);
+                out
+            })
+            .collect();
+        Ok(Labeling::new(labels, encoded))
+    }
+
+    fn verify(&self, view: &LocalView<'_, TreeState, SptLabel>) -> bool {
+        let spans: Vec<&SpanLabel> = view.neighbors.iter().map(|nb| &nb.label.span).collect();
+        if !check_span(view.state, &view.label.span, &spans) {
+            return false;
+        }
+        let d = view.label.dist_to_root;
+        match view.state.parent_port {
+            None => {
+                if d != 0 {
+                    return false;
+                }
+            }
+            Some(p) => {
+                let Some(parent) = view.neighbor_at(p) else {
+                    return false;
+                };
+                if d != parent.label.dist_to_root.saturating_add(parent.weight.0) {
+                    return false;
+                }
+            }
+        }
+        // No neighbor offers a shortcut.
+        view.neighbors
+            .iter()
+            .all(|nb| d <= nb.label.dist_to_root.saturating_add(nb.weight.0))
+    }
+}
+
+/// Builds the SPT configuration for a graph: Dijkstra from `root`, parent
+/// pointers installed in the states.
+///
+/// # Panics
+///
+/// Panics if the graph is not connected.
+pub fn spt_configuration(graph: mstv_graph::Graph, root: NodeId) -> ConfigGraph<TreeState> {
+    let (edges, _) = shortest_path_tree(&graph, root);
+    let states = mstv_graph::tree_states(&graph, &edges, root).expect("dijkstra returns a tree");
+    ConfigGraph::new(graph, states).expect("one state per node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::{gen, tree_states, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn completeness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 10, 50, 120] {
+            let g = gen::random_connected(n, 2 * n, gen::WeightDist::Uniform { max: 50 }, &mut rng);
+            let cfg = spt_configuration(g, NodeId(0));
+            let scheme = SptScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            assert!(scheme.verify_all(&cfg, &labeling).accepted(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn marker_rejects_non_spt() {
+        // Triangle where the tree routes 0→2 through the long way.
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(5)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(5)).unwrap();
+        let _chord = g.add_edge(NodeId(2), NodeId(0), Weight(1)).unwrap();
+        let states = tree_states(&g, &[e0, e1], NodeId(0)).unwrap();
+        let cfg = ConfigGraph::new(g, states).unwrap();
+        assert!(SptScheme::new().marker(&cfg).is_err());
+    }
+
+    #[test]
+    fn stale_labels_rejected_after_weight_drop() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut detected = 0;
+        for seed in 0..15 {
+            let g = gen::random_connected(20, 40, gen::WeightDist::Uniform { max: 100 }, &mut rng);
+            let cfg = spt_configuration(g, NodeId(0));
+            let scheme = SptScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            // Make a non-tree edge a shortcut.
+            let tree_edges = cfg.induced_edges();
+            let mut in_tree = vec![false; cfg.graph().num_edges()];
+            for &e in &tree_edges {
+                in_tree[e.index()] = true;
+            }
+            let Some(victim) = cfg
+                .graph()
+                .edges()
+                .find(|(e, edge)| {
+                    !in_tree[e.index()]
+                        && labeling
+                            .label(edge.u)
+                            .dist_to_root
+                            .abs_diff(labeling.label(edge.v).dist_to_root)
+                            > 1
+                })
+                .map(|(e, _)| e)
+            else {
+                continue;
+            };
+            let mut bad = cfg.clone();
+            bad.graph_mut().set_weight(victim, Weight(1));
+            let verdict = scheme.verify_all(&bad, &labeling);
+            assert!(!verdict.accepted(), "seed={seed}");
+            detected += 1;
+        }
+        assert!(detected >= 5);
+    }
+
+    #[test]
+    fn forged_distance_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_connected(25, 50, gen::WeightDist::Uniform { max: 60 }, &mut rng);
+        let cfg = spt_configuration(g, NodeId(0));
+        let scheme = SptScheme::new();
+        let honest = scheme.marker(&cfg).unwrap();
+        for victim in 1..25u32 {
+            for delta in [1i64, -1] {
+                let old = honest.label(NodeId(victim)).dist_to_root as i64;
+                if old + delta < 0 {
+                    continue;
+                }
+                let mut labeling = Labeling::from_labels(honest.labels().to_vec());
+                labeling.label_mut(NodeId(victim)).dist_to_root = (old + delta) as u64;
+                assert!(
+                    !scheme.verify_all(&cfg, &labeling).accepted(),
+                    "victim={victim} delta={delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_size_is_log_nw() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen::random_connected(
+            500,
+            1000,
+            gen::WeightDist::Uniform { max: 1 << 20 },
+            &mut rng,
+        );
+        let cfg = spt_configuration(g, NodeId(0));
+        let labeling = SptScheme::new().marker(&cfg).unwrap();
+        // 3 ids (9 bits) + dist (9) + flag + d field (≤ 29 bits) — well
+        // under 100: O(log n + log nW), no log-product term.
+        assert!(labeling.max_label_bits() <= 100);
+    }
+}

@@ -1,0 +1,279 @@
+//! The universal proof labeling scheme — the trivial upper bound every
+//! PLS paper measures against.
+//!
+//! *Any* decidable predicate on configuration graphs has a proof labeling
+//! scheme: give every node a complete serialized **map** of the
+//! configuration (topology, weights, states) plus its own index in the
+//! map. The verifier checks that (1) its own map row matches its actual
+//! state, ports, and weights, (2) all neighbors carry a bit-identical
+//! map, and (3) the predicate holds on the map. Soundness is the
+//! standard argument: local map agreement plus connectivity forces one
+//! global map; each node vouches for its own row, so the map *is* the
+//! real configuration; hence the predicate really holds.
+//!
+//! The price is `O((n + m)·log n + m·log W + n·|state|)` bits per node —
+//! for MST, quadratic-ish where `π_mst` pays `O(log n log W)`. The size
+//! gap (measured in experiment E11) is exactly what the paper's machinery
+//! buys.
+
+use mstv_graph::{ConfigGraph, NodeId, TreeState, Weight};
+use mstv_labels::BitString;
+
+use crate::{Labeling, LocalView, MarkerError, ProofLabelingScheme};
+
+/// The universal label: a full map of the configuration plus the owner's
+/// index. The map is kept in structured form; [`encode_map`] provides the
+/// exact bit encoding used for size accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniversalLabel {
+    /// The owner's node index in the map.
+    pub me: u32,
+    /// Every node's state.
+    pub states: Vec<TreeState>,
+    /// Every edge `(u, v, w)` in the configuration's global edge order —
+    /// the order determines every node's port numbering, which the model
+    /// treats as significant.
+    pub edges: Vec<(u32, u32, Weight)>,
+}
+
+/// The universal scheme for a caller-supplied predicate over
+/// `TreeState` configurations.
+pub struct UniversalScheme<F> {
+    predicate: F,
+}
+
+impl<F> UniversalScheme<F>
+where
+    F: Fn(&ConfigGraph<TreeState>) -> bool,
+{
+    /// Creates the scheme for `predicate`.
+    pub fn new(predicate: F) -> Self {
+        UniversalScheme { predicate }
+    }
+
+    /// Rebuilds the configuration graph a label describes, if coherent.
+    /// Edge insertion order reproduces the original port numbering.
+    fn config_from_map(label: &UniversalLabel) -> Option<ConfigGraph<TreeState>> {
+        let n = label.states.len();
+        let mut g = mstv_graph::Graph::new(n);
+        for &(u, v, w) in &label.edges {
+            if (u as usize) >= n || (v as usize) >= n {
+                return None;
+            }
+            g.add_edge(NodeId(u), NodeId(v), w).ok()?;
+        }
+        ConfigGraph::new(g, label.states.clone()).ok()
+    }
+}
+
+impl<F> ProofLabelingScheme for UniversalScheme<F>
+where
+    F: Fn(&ConfigGraph<TreeState>) -> bool,
+{
+    type State = TreeState;
+    type Label = UniversalLabel;
+
+    fn marker(
+        &self,
+        cfg: &ConfigGraph<TreeState>,
+    ) -> Result<Labeling<UniversalLabel>, MarkerError> {
+        if !(self.predicate)(cfg) {
+            return Err(MarkerError {
+                reason: "predicate does not hold on this configuration".to_owned(),
+            });
+        }
+        let g = cfg.graph();
+        let states: Vec<TreeState> = cfg.states().to_vec();
+        let edges: Vec<(u32, u32, Weight)> = g
+            .edges()
+            .map(|(_, edge)| (edge.u.0, edge.v.0, edge.w))
+            .collect();
+        let labels: Vec<UniversalLabel> = (0..g.num_nodes())
+            .map(|i| UniversalLabel {
+                me: i as u32,
+                states: states.clone(),
+                edges: edges.clone(),
+            })
+            .collect();
+        let encoded = labels.iter().map(encode_map).collect();
+        Ok(Labeling::new(labels, encoded))
+    }
+
+    fn verify(&self, view: &LocalView<'_, TreeState, UniversalLabel>) -> bool {
+        let label = view.label;
+        let me = label.me as usize;
+        // (0) The map is coherent at all.
+        let Some(map_cfg) = Self::config_from_map(label) else {
+            return false;
+        };
+        if me >= map_cfg.graph().num_nodes() {
+            return false;
+        }
+        // (1a) My map row's state is my actual state.
+        if label.states.get(me) != Some(view.state) {
+            return false;
+        }
+        // (1b) My map row matches my actual ports, weights, and the
+        // indices my neighbors claim — tying map indices to real nodes.
+        let my_row: Vec<(u32, Weight)> = map_cfg
+            .graph()
+            .neighbors(NodeId::from_index(me))
+            .map(|nb| (nb.node.0, nb.weight))
+            .collect();
+        if my_row.len() != view.neighbors.len() {
+            return false;
+        }
+        for (nb, &(mapped_neighbor, mapped_w)) in view.neighbors.iter().zip(my_row.iter()) {
+            if nb.weight != mapped_w {
+                return false;
+            }
+            if nb.label.me != mapped_neighbor {
+                return false;
+            }
+        }
+        // (2) Neighbors carry the identical map.
+        for nb in &view.neighbors {
+            if nb.label.states != label.states || nb.label.edges != label.edges {
+                return false;
+            }
+        }
+        // (3) The predicate holds on the map.
+        (self.predicate)(&map_cfg)
+    }
+}
+
+/// Exact bit encoding of a universal label: `γ(n+1)`, `γ(m+1)`, the owner
+/// index, per node its state (id, optional parent port), and per edge its
+/// endpoints and weight.
+pub fn encode_map(label: &UniversalLabel) -> BitString {
+    let n = label.states.len() as u64;
+    let idx_bits = Weight(n).bit_width();
+    let max_id = label.states.iter().map(|s| s.id).max().unwrap_or(0);
+    let id_bits = Weight(max_id).bit_width();
+    let max_w = label
+        .edges
+        .iter()
+        .map(|&(_, _, w)| w)
+        .max()
+        .unwrap_or(Weight(1));
+    let w_bits = max_w.bit_width();
+    let mut out = BitString::new();
+    out.push_elias_gamma(n + 1);
+    out.push_elias_gamma(label.edges.len() as u64 + 1);
+    out.push_bits(u64::from(label.me), idx_bits);
+    for s in &label.states {
+        out.push_bits(s.id, id_bits);
+        match s.parent_port {
+            Some(p) => {
+                out.push(true);
+                out.push_bits(u64::from(p.0), idx_bits);
+            }
+            None => out.push(false),
+        }
+    }
+    for &(u, v, w) in &label.edges {
+        out.push_bits(u64::from(u), idx_bits);
+        out.push_bits(u64::from(v), idx_bits);
+        out.push_bits(w.0, w_bits);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mst_configuration, MstScheme};
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mst_predicate(cfg: &ConfigGraph<TreeState>) -> bool {
+        let edges = cfg.induced_edges();
+        mstv_mst::is_mst(cfg.graph(), &edges)
+    }
+
+    #[test]
+    fn completeness_for_the_mst_predicate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 10, 40] {
+            let g = gen::random_connected(n, 2 * n, gen::WeightDist::Uniform { max: 90 }, &mut rng);
+            let cfg = mst_configuration(g);
+            let scheme = UniversalScheme::new(mst_predicate);
+            let labeling = scheme.marker(&cfg).unwrap();
+            assert!(scheme.verify_all(&cfg, &labeling).accepted(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn marker_rejects_when_predicate_fails() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::random_connected(12, 20, gen::WeightDist::Uniform { max: 50 }, &mut rng);
+        let mut cfg = mst_configuration(g);
+        let scheme = UniversalScheme::new(mst_predicate);
+        assert!(scheme.marker(&cfg).is_ok());
+        if crate::faults::break_minimality(&mut cfg, &mut rng).is_some() {
+            assert!(scheme.marker(&cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn stale_map_rejected_after_weight_change() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_connected(15, 25, gen::WeightDist::Uniform { max: 80 }, &mut rng);
+        let mut cfg = mst_configuration(g);
+        let scheme = UniversalScheme::new(mst_predicate);
+        let labeling = scheme.marker(&cfg).unwrap();
+        if crate::faults::break_minimality(&mut cfg, &mut rng).is_some() {
+            // The map disagrees with the changed weight at its endpoints.
+            assert!(!scheme.verify_all(&cfg, &labeling).accepted());
+        }
+    }
+
+    #[test]
+    fn forged_map_rejected() {
+        // An adversary hands everyone a map of a DIFFERENT (valid) network:
+        // row checks fail wherever the real topology disagrees.
+        let mut rng = StdRng::seed_from_u64(4);
+        let g1 = gen::random_connected(10, 14, gen::WeightDist::Uniform { max: 40 }, &mut rng);
+        let g2 = gen::random_connected(10, 14, gen::WeightDist::Uniform { max: 40 }, &mut rng);
+        assert_ne!(g1, g2);
+        let cfg1 = mst_configuration(g1);
+        let cfg2 = mst_configuration(g2);
+        let scheme = UniversalScheme::new(mst_predicate);
+        let forged = scheme.marker(&cfg2).unwrap();
+        assert!(!scheme.verify_all(&cfg1, &forged).accepted());
+    }
+
+    #[test]
+    fn map_with_wrong_owner_index_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::random_connected(8, 10, gen::WeightDist::Uniform { max: 9 }, &mut rng);
+        let cfg = mst_configuration(g);
+        let scheme = UniversalScheme::new(mst_predicate);
+        let mut labeling = scheme.marker(&cfg).unwrap();
+        let l = labeling.label_mut(NodeId(3));
+        l.me = 4;
+        assert!(!scheme.verify_all(&cfg, &labeling).accepted());
+    }
+
+    #[test]
+    fn size_gap_vs_pi_mst() {
+        // The whole point: universal labels grow ~n log n, π_mst ~log²-ish.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut prev_ratio = 0.0;
+        for n in [32usize, 128, 512] {
+            let g =
+                gen::random_connected(n, 2 * n, gen::WeightDist::Uniform { max: 1000 }, &mut rng);
+            let cfg = mst_configuration(g);
+            let universal = UniversalScheme::new(mst_predicate).marker(&cfg).unwrap();
+            let compact = MstScheme::new().marker(&cfg).unwrap();
+            let ratio = universal.max_label_bits() as f64 / compact.max_label_bits() as f64;
+            assert!(ratio > prev_ratio, "gap must widen with n (got {ratio})");
+            prev_ratio = ratio;
+        }
+        assert!(
+            prev_ratio > 50.0,
+            "at n=512 the gap is dramatic: {prev_ratio}"
+        );
+    }
+}

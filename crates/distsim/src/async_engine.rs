@@ -1,0 +1,170 @@
+//! Asynchronous execution of the verification protocol.
+//!
+//! Proof labeling schemes compose naturally with asynchrony: labels are
+//! static data, so the one-round protocol ("send your label everywhere,
+//! decide when you have heard from everyone") needs no synchronizer. This
+//! event-driven engine delivers each label message after an independent
+//! random delay and records when every node decides — demonstrating that
+//! verdicts are delay-independent and measuring detection latency, the
+//! quantity a self-stabilizing system actually waits for.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mstv_core::{local_view, Labeling, ProofLabelingScheme, Verdict};
+use mstv_graph::{ConfigGraph, NodeId};
+use rand::Rng;
+
+/// Outcome of an asynchronous verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncReport {
+    /// The (delay-independent) verdict.
+    pub verdict: Verdict,
+    /// Time at which each node decided (received all neighbor labels).
+    pub decision_times: Vec<u64>,
+    /// Time at which the *last* node decided.
+    pub makespan: u64,
+    /// Time at which the first rejecting node decided, if any — the
+    /// network's fault-detection latency.
+    pub first_detection: Option<u64>,
+    /// Messages delivered (one per edge direction).
+    pub messages: usize,
+}
+
+/// Runs verification asynchronously: every label message is delayed
+/// independently and uniformly in `1..=max_delay` time units; a node
+/// decides the moment the last of its neighbors' labels arrives.
+///
+/// # Panics
+///
+/// Panics if `max_delay == 0`.
+pub fn async_verification<P: ProofLabelingScheme>(
+    scheme: &P,
+    cfg: &ConfigGraph<P::State>,
+    labeling: &Labeling<P::Label>,
+    max_delay: u64,
+    rng: &mut impl Rng,
+) -> AsyncReport {
+    assert!(max_delay >= 1, "delays must be at least one time unit");
+    let g = cfg.graph();
+    let n = g.num_nodes();
+    // Event queue of (arrival time, receiving node).
+    let mut queue: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let mut pending = vec![0usize; n];
+    let mut messages = 0usize;
+    for v in g.nodes() {
+        for nb in g.neighbors(v) {
+            // v's label travels to nb.node.
+            let delay = rng.gen_range(1..=max_delay);
+            queue.push(Reverse((delay, nb.node.0)));
+            pending[nb.node.index()] += 1;
+            messages += 1;
+        }
+    }
+    let mut decision_times = vec![0u64; n];
+    let mut decided = vec![false; n];
+    while let Some(Reverse((t, to))) = queue.pop() {
+        let to = to as usize;
+        debug_assert!(!decided[to], "no arrivals after the last one");
+        pending[to] -= 1;
+        if pending[to] == 0 {
+            decided[to] = true;
+            decision_times[to] = t;
+        }
+    }
+    // Isolated nodes (degree 0) decide immediately.
+    for v in 0..n {
+        if pending[v] == 0 && !decided[v] {
+            decided[v] = true;
+        }
+    }
+    // Verdicts are computed exactly as in the synchronous run: the labels
+    // a node saw are the same regardless of arrival order.
+    let mut rejecting = Vec::new();
+    for i in 0..n {
+        let v = NodeId::from_index(i);
+        let view = local_view(cfg, labeling.labels(), v);
+        if !scheme.verify(&view) {
+            rejecting.push(v);
+        }
+    }
+    let first_detection = rejecting.iter().map(|v| decision_times[v.index()]).min();
+    let makespan = decision_times.iter().copied().max().unwrap_or(0);
+    AsyncReport {
+        verdict: Verdict {
+            rejecting,
+            num_nodes: n,
+        },
+        decision_times,
+        makespan,
+        first_detection,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verification_round;
+    use mstv_core::{faults, mst_configuration, MstScheme};
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn verdict_is_delay_independent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen::random_connected(30, 60, gen::WeightDist::Uniform { max: 200 }, &mut rng);
+        let cfg = mst_configuration(g);
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        let (sync_verdict, _) = verification_round(&scheme, &cfg, &labeling);
+        for max_delay in [1u64, 7, 100] {
+            let report = async_verification(&scheme, &cfg, &labeling, max_delay, &mut rng);
+            assert_eq!(report.verdict, sync_verdict, "delay={max_delay}");
+            assert!(report.makespan <= max_delay);
+            assert!(report.makespan >= 1);
+            assert_eq!(report.messages, 2 * cfg.graph().num_edges());
+        }
+    }
+
+    #[test]
+    fn detection_latency_bounded_by_makespan() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut exercised = 0;
+        for seed in 0..10 {
+            let g = gen::random_connected(
+                25,
+                50,
+                gen::WeightDist::Uniform { max: 100 },
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let mut cfg = mst_configuration(g);
+            let scheme = MstScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            if faults::break_minimality(&mut cfg, &mut rng).is_none() {
+                continue;
+            }
+            let report = async_verification(&scheme, &cfg, &labeling, 50, &mut rng);
+            assert!(!report.verdict.accepted());
+            let first = report.first_detection.expect("a rejection exists");
+            assert!(first <= report.makespan);
+            assert!(first >= 1);
+            exercised += 1;
+        }
+        assert!(exercised >= 5);
+    }
+
+    #[test]
+    fn decision_times_respect_arrivals() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_connected(15, 20, gen::WeightDist::Uniform { max: 9 }, &mut rng);
+        let cfg = mst_configuration(g);
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        let report = async_verification(&scheme, &cfg, &labeling, 10, &mut rng);
+        for &t in &report.decision_times {
+            assert!((1..=10).contains(&t));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Distributed Bellman–Ford as a [`crate::RoundProtocol`]: every node
+//! relaxes its distance estimate from its neighbors' announcements and,
+//! after `n` rounds, its best predecessor port encodes a shortest-path
+//! tree — which the `SptScheme` proof labels can then certify. Together
+//! with the Borůvka protocol this gives the simulator distributed
+//! *construction* counterparts for both tree predicates the proof
+//! labeling schemes verify.
+
+use mstv_graph::Port;
+
+use crate::engine::{NodeCtx, RoundProtocol, Send};
+
+/// Per-node state of the distributed Bellman–Ford protocol.
+#[derive(Debug, Clone)]
+pub struct BellmanFordNode {
+    root_id: u64,
+    dist: u64,
+    parent_port: Option<Port>,
+    changed: bool,
+    rounds_total: usize,
+}
+
+impl BellmanFordNode {
+    /// Creates the node for a network of `n` nodes, growing the SPT from
+    /// the node whose identity is `root_id`.
+    pub fn new(n: usize, root_id: u64) -> Self {
+        BellmanFordNode {
+            root_id,
+            dist: u64::MAX,
+            parent_port: None,
+            changed: false,
+            rounds_total: n,
+        }
+    }
+
+    /// The node's final distance estimate.
+    pub fn dist(&self) -> u64 {
+        self.dist
+    }
+
+    /// The port towards the parent in the constructed tree (`None` at the
+    /// root).
+    pub fn parent_port(&self) -> Option<Port> {
+        self.parent_port
+    }
+}
+
+impl RoundProtocol for BellmanFordNode {
+    type Msg = u64;
+
+    fn msg_bits(&self, _msg: &u64) -> usize {
+        64
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) -> Vec<Send<u64>> {
+        if ctx.id == self.root_id {
+            self.dist = 0;
+            broadcast(ctx, 0)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn round(&mut self, ctx: &NodeCtx, round: usize, inbox: &[(Port, u64)]) -> Vec<Send<u64>> {
+        if round >= self.rounds_total {
+            return Vec::new();
+        }
+        self.changed = false;
+        for &(port, their_dist) in inbox {
+            let w = ctx.ports[port.index()].weight.0;
+            let candidate = their_dist.saturating_add(w);
+            // Deterministic tie-break: smaller distance, then smaller port.
+            let better = candidate < self.dist
+                || (candidate == self.dist && self.parent_port.is_some_and(|p| port < p));
+            if better {
+                self.dist = candidate;
+                self.parent_port = Some(port);
+                self.changed = true;
+            }
+        }
+        if self.changed {
+            broadcast(ctx, self.dist)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn halted(&self) -> bool {
+        !self.changed
+    }
+}
+
+fn broadcast(ctx: &NodeCtx, dist: u64) -> Vec<Send<u64>> {
+    ctx.ports
+        .iter()
+        .map(|p| Send {
+            port: p.port,
+            payload: dist,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_alpha_synchronized, run_synchronous};
+    use mstv_core::{ProofLabelingScheme, SptScheme};
+    use mstv_graph::{gen, ConfigGraph, NodeId, TreeState};
+    use mstv_mst::shortest_path_tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_and_extract(g: &mstv_graph::Graph) -> (Vec<BellmanFordNode>, ConfigGraph<TreeState>) {
+        let n = g.num_nodes();
+        let nodes: Vec<BellmanFordNode> = (0..n).map(|_| BellmanFordNode::new(n, 0)).collect();
+        let (nodes, _) = run_synchronous(g, nodes, 5 * n + 5);
+        let states: Vec<TreeState> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| TreeState {
+                id: i as u64,
+                parent_port: node.parent_port(),
+            })
+            .collect();
+        let cfg = ConfigGraph::new(g.clone(), states).unwrap();
+        (nodes, cfg)
+    }
+
+    #[test]
+    fn distances_match_dijkstra() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 12, 50] {
+            let g = gen::random_connected(n, 2 * n, gen::WeightDist::Uniform { max: 60 }, &mut rng);
+            let (nodes, _) = run_and_extract(&g);
+            let (_, dist) = shortest_path_tree(&g, NodeId(0));
+            for (i, node) in nodes.iter().enumerate() {
+                assert_eq!(node.dist(), dist[i], "n={n} node={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn constructed_tree_is_certified_by_spt_scheme() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::random_connected(30, 60, gen::WeightDist::Uniform { max: 100 }, &mut rng);
+        let (_, cfg) = run_and_extract(&g);
+        assert!(cfg.induces_spanning_tree());
+        let scheme = SptScheme::new();
+        let labeling = scheme.marker(&cfg).expect("Bellman-Ford builds an SPT");
+        assert!(scheme.verify_all(&cfg, &labeling).accepted());
+    }
+
+    #[test]
+    fn async_run_matches_lockstep() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_connected(18, 30, gen::WeightDist::Uniform { max: 40 }, &mut rng);
+        let n = g.num_nodes();
+        let (sync_nodes, _) = run_and_extract(&g);
+        let nodes: Vec<BellmanFordNode> = (0..n).map(|_| BellmanFordNode::new(n, 0)).collect();
+        let (nodes, _, _) = run_alpha_synchronized(&g, nodes, n, 23, &mut rng);
+        for (a, b) in nodes.iter().zip(sync_nodes.iter()) {
+            assert_eq!(a.dist(), b.dist());
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let g = mstv_graph::Graph::new(1);
+        let (nodes, _) = run_and_extract(&g);
+        assert_eq!(nodes[0].dist(), 0);
+        assert_eq!(nodes[0].parent_port(), None);
+    }
+}

@@ -1,0 +1,240 @@
+//! Synchronous distributed Borůvka — the MST *construction* the paper
+//! contrasts verification against.
+//!
+//! The protocol follows the classic GHS outline in a synchronous setting.
+//! Each phase consists of message-driven subphases, every one of which is
+//! simulated round by round with explicit per-port sends:
+//!
+//! 1. **fragment flood** — fragment identities (minimum member identity)
+//!    propagate along the already-chosen tree edges until stable;
+//! 2. **frontier exchange** — every node tells all neighbors its fragment,
+//!    so outgoing edges become locally recognizable;
+//! 3. **MWOE flood** — each node proposes its lightest outgoing edge; the
+//!    fragment-wide minimum floods along tree edges until stable;
+//! 4. **merge** — the endpoint owning the winning edge announces the merge
+//!    across it; both endpoints add the edge to the tree.
+//!
+//! Phases repeat until no fragment has an outgoing edge (one fragment =
+//! spanning tree). Ties are broken by endpoint identities, so the run is
+//! deterministic and cycle-free. The returned [`RunStats`] count every
+//! round and every message with its payload size — the numbers behind
+//! experiment E9.
+
+use std::collections::BTreeSet;
+
+use mstv_graph::{EdgeId, Graph, NodeId, Port, Weight};
+use mstv_mst::EdgeKey;
+
+use crate::RunStats;
+
+/// Result of a distributed Borůvka run.
+#[derive(Debug, Clone)]
+pub struct BoruvkaRun {
+    /// The constructed spanning tree.
+    pub edges: Vec<EdgeId>,
+    /// Communication costs of the whole run.
+    pub stats: RunStats,
+    /// Number of Borůvka phases executed (including the final, empty one
+    /// that detects termination).
+    pub phases: usize,
+}
+
+fn key_of(g: &Graph, e: EdgeId) -> EdgeKey {
+    let edge = g.edge(e);
+    let (lo, hi) = edge.normalized();
+    EdgeKey {
+        weight: edge.w,
+        class: 0,
+        lo: u64::from(lo.0),
+        hi: u64::from(hi.0),
+    }
+}
+
+/// Runs the synchronous distributed Borůvka protocol.
+///
+/// # Panics
+///
+/// Panics if the graph is not connected or is empty.
+pub fn distributed_boruvka(g: &Graph) -> BoruvkaRun {
+    let n = g.num_nodes();
+    assert!(n > 0, "distributed Borůvka needs at least one node");
+    let id_bits = Weight(n as u64).bit_width() as usize;
+    let key_bits = g.max_weight().bit_width() as usize + 2 * id_bits;
+
+    let mut stats = RunStats::new();
+    let mut frag: Vec<u64> = (0..n as u64).collect();
+    let mut tree_ports: Vec<BTreeSet<Port>> = vec![BTreeSet::new(); n];
+    let mut tree_edges: BTreeSet<EdgeId> = BTreeSet::new();
+    let mut phases = 0usize;
+
+    loop {
+        phases += 1;
+        // Subphase 1: fragment-identity flood along tree edges until no
+        // node's fragment changes. Every flood round, every node sends on
+        // every tree port (it cannot know stability in advance).
+        loop {
+            stats.rounds += 1;
+            let mut next = frag.clone();
+            let mut changed = false;
+            for ports in &tree_ports {
+                stats.add_messages(ports.len(), id_bits);
+            }
+            for v in 0..n {
+                for &p in &tree_ports[v] {
+                    let u = g.neighbor_at_port(NodeId::from_index(v), p);
+                    if frag[u.index()] < next[v] {
+                        next[v] = frag[u.index()];
+                        changed = true;
+                    }
+                }
+            }
+            frag = next;
+            if !changed {
+                break;
+            }
+        }
+        // Subphase 2: frontier exchange — every node announces (id, frag)
+        // on every port.
+        stats.rounds += 1;
+        for v in 0..n {
+            stats.add_messages(g.degree(NodeId::from_index(v)), 2 * id_bits);
+        }
+        // Subphase 3: MWOE candidates + min-flood along tree edges.
+        let mut best: Vec<Option<(EdgeKey, EdgeId)>> = (0..n)
+            .map(|v| {
+                g.neighbors(NodeId::from_index(v))
+                    .filter(|nb| frag[nb.node.index()] != frag[v])
+                    .map(|nb| (key_of(g, nb.edge), nb.edge))
+                    .min_by_key(|&(k, _)| k)
+            })
+            .collect();
+        loop {
+            stats.rounds += 1;
+            for ports in &tree_ports {
+                stats.add_messages(ports.len(), key_bits);
+            }
+            let snapshot = best.clone();
+            let mut changed = false;
+            for v in 0..n {
+                for &p in &tree_ports[v] {
+                    let u = g.neighbor_at_port(NodeId::from_index(v), p);
+                    if let Some(theirs) = snapshot[u.index()] {
+                        if best[v].is_none_or(|mine| theirs.0 < mine.0) {
+                            best[v] = Some(theirs);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Subphase 4: merge across winning edges. The endpoint whose own
+        // incident edge realizes the fragment minimum announces the merge.
+        stats.rounds += 1;
+        let mut merged_any = false;
+        for v in 0..n {
+            let Some((fk, fe)) = best[v] else { continue };
+            // Is the winning edge incident to v, pointing out of v's
+            // fragment?
+            let vid = NodeId::from_index(v);
+            let Some(nb) = g
+                .neighbors(vid)
+                .find(|nb| nb.edge == fe && frag[nb.node.index()] != frag[v])
+            else {
+                continue;
+            };
+            debug_assert_eq!(key_of(g, fe), fk);
+            stats.add_messages(1, key_bits);
+            if tree_edges.insert(fe) {
+                merged_any = true;
+            }
+            tree_ports[v].insert(nb.port);
+            let back = g.port_towards(nb.node, vid).expect("edges are symmetric");
+            tree_ports[nb.node.index()].insert(back);
+        }
+        if !merged_any {
+            break;
+        }
+    }
+    assert!(
+        g.is_spanning_tree(&tree_edges.iter().copied().collect::<Vec<_>>()) || n == 1,
+        "distributed Borůvka requires a connected graph"
+    );
+    BoruvkaRun {
+        edges: tree_edges.into_iter().collect(),
+        stats,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::gen;
+    use mstv_mst::{kruskal, mst_weight};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_an_mst() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (n, extra) in [(2usize, 0usize), (5, 5), (40, 80), (120, 240)] {
+            let g = gen::random_connected(n, extra, gen::WeightDist::Uniform { max: 50 }, &mut rng);
+            let run = distributed_boruvka(&g);
+            assert!(g.is_spanning_tree(&run.edges), "n={n}");
+            assert_eq!(
+                mst_weight(&g, &run.edges),
+                mst_weight(&g, &kruskal(&g)),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_ties_deterministically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::random_connected(30, 60, gen::WeightDist::Constant(7), &mut rng);
+        let a = distributed_boruvka(&g);
+        let b = distributed_boruvka(&g);
+        assert_eq!(a.edges, b.edges);
+        assert!(g.is_spanning_tree(&a.edges));
+    }
+
+    #[test]
+    fn phase_count_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_connected(256, 512, gen::WeightDist::Uniform { max: 10_000 }, &mut rng);
+        let run = distributed_boruvka(&g);
+        // ⌈log₂ 256⌉ = 8 merge phases + 1 terminal detection phase.
+        assert!(run.phases <= 9, "{} phases", run.phases);
+        assert!(run.stats.rounds > 1);
+        assert!(run.stats.messages > 2 * g.num_edges());
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::new(1);
+        let run = distributed_boruvka(&g);
+        assert!(run.edges.is_empty());
+        assert_eq!(run.phases, 1);
+    }
+
+    #[test]
+    fn construction_costs_dwarf_verification() {
+        // The paper's motivating asymmetry, in numbers.
+        use mstv_core::{mst_configuration, MstScheme, ProofLabelingScheme};
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen::random_connected(100, 200, gen::WeightDist::Uniform { max: 1000 }, &mut rng);
+        let run = distributed_boruvka(&g);
+        let cfg = mst_configuration(g);
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        let (verdict, vstats) = crate::verification_round(&scheme, &cfg, &labeling);
+        assert!(verdict.accepted());
+        assert_eq!(vstats.rounds, 1);
+        assert!(run.stats.rounds > 10 * vstats.rounds);
+        assert!(run.stats.messages > vstats.messages);
+    }
+}

@@ -1,0 +1,420 @@
+//! A generic round-protocol engine with synchronous and α-synchronized
+//! asynchronous execution.
+//!
+//! Protocols are written once against [`RoundProtocol`] — per-node state
+//! machines that consume a round's inbox and emit per-port messages — and
+//! can then run two ways:
+//!
+//! * [`run_synchronous`] — the classic lockstep model: every round, all
+//!   outboxes are delivered before the next round begins;
+//! * [`run_alpha_synchronized`] — the same protocol over an asynchronous
+//!   event queue with arbitrary per-message delays, made safe by the
+//!   α-synchronizer: every node sends a message to *every* neighbor every
+//!   round (empty payloads where the protocol is silent) and advances to
+//!   round `r + 1` only after hearing round-`r` traffic from all
+//!   neighbors. The protocol's observable behavior is identical; the
+//!   engine additionally counts the synchronizer's padding messages — the
+//!   textbook price of asynchrony.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mstv_graph::{Graph, NodeId, Port, Weight};
+use rand::Rng;
+
+use crate::RunStats;
+
+/// What a node sees about one incident edge at initialization.
+#[derive(Debug, Clone, Copy)]
+pub struct PortInfo {
+    /// The local port.
+    pub port: Port,
+    /// The edge weight.
+    pub weight: Weight,
+}
+
+/// Immutable per-node context handed to protocols.
+#[derive(Debug, Clone)]
+pub struct NodeCtx {
+    /// The node's unique identity (its index, in this engine).
+    pub id: u64,
+    /// The node's incident edges, in port order.
+    pub ports: Vec<PortInfo>,
+}
+
+/// A message queued for sending through a local port.
+#[derive(Debug, Clone)]
+pub struct Send<M> {
+    /// The port to send through.
+    pub port: Port,
+    /// The payload.
+    pub payload: M,
+}
+
+/// A per-node state machine executed round by round.
+pub trait RoundProtocol {
+    /// Message payload type.
+    type Msg: Clone;
+
+    /// Payload size in bits, for cost accounting.
+    fn msg_bits(&self, msg: &Self::Msg) -> usize;
+
+    /// Called once before round 0; returns the first outbox.
+    fn init(&mut self, ctx: &NodeCtx) -> Vec<Send<Self::Msg>>;
+
+    /// Called each round with the messages that arrived (port they came
+    /// in on, payload); returns the next outbox.
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &[(Port, Self::Msg)],
+    ) -> Vec<Send<Self::Msg>>;
+
+    /// Whether this node has halted (the run stops when all halt and no
+    /// messages are in flight).
+    fn halted(&self) -> bool;
+}
+
+fn contexts(graph: &Graph) -> Vec<NodeCtx> {
+    graph
+        .nodes()
+        .map(|v| NodeCtx {
+            id: u64::from(v.0),
+            ports: graph
+                .neighbors(v)
+                .map(|nb| PortInfo {
+                    port: nb.port,
+                    weight: nb.weight,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Runs a protocol in lockstep until every node halts and no messages are
+/// in flight, or `max_rounds` elapses.
+///
+/// # Panics
+///
+/// Panics if `nodes.len()` differs from the node count, or the round
+/// budget is exhausted (a protocol bug).
+pub fn run_synchronous<P: RoundProtocol>(
+    graph: &Graph,
+    mut nodes: Vec<P>,
+    max_rounds: usize,
+) -> (Vec<P>, RunStats) {
+    let n = graph.num_nodes();
+    assert_eq!(nodes.len(), n, "one protocol instance per node");
+    let ctxs = contexts(graph);
+    let mut stats = RunStats::new();
+    // inboxes[v] = messages arriving at v next round.
+    let mut inboxes: Vec<Vec<(Port, P::Msg)>> = vec![Vec::new(); n];
+    let deliver = |from: usize,
+                   sends: Vec<Send<P::Msg>>,
+                   inboxes: &mut Vec<Vec<(Port, P::Msg)>>,
+                   stats: &mut RunStats,
+                   proto: &P| {
+        for s in sends {
+            let v = NodeId::from_index(from);
+            let to = graph.neighbor_at_port(v, s.port);
+            let back = graph.port_towards(to, v).expect("edges are symmetric");
+            stats.add_messages(1, proto.msg_bits(&s.payload));
+            inboxes[to.index()].push((back, s.payload));
+        }
+    };
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let sends = node.init(&ctxs[i]);
+        let snapshot = &*node;
+        deliver(i, sends, &mut inboxes, &mut stats, snapshot);
+    }
+    for round in 0..max_rounds {
+        let in_flight: usize = inboxes.iter().map(Vec::len).sum();
+        if in_flight == 0 && nodes.iter().all(P::halted) {
+            return (nodes, stats);
+        }
+        stats.rounds += 1;
+        let current = std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+        for (i, inbox) in current.into_iter().enumerate() {
+            let sends = nodes[i].round(&ctxs[i], round, &inbox);
+            let snapshot = &nodes[i];
+            deliver(i, sends, &mut inboxes, &mut stats, snapshot);
+        }
+    }
+    let in_flight: usize = inboxes.iter().map(Vec::len).sum();
+    assert!(
+        in_flight == 0 && nodes.iter().all(P::halted),
+        "protocol did not terminate within {max_rounds} rounds"
+    );
+    (nodes, stats)
+}
+
+/// Runs the same protocol over an asynchronous event queue using the
+/// α-synchronizer, for exactly `rounds` rounds (typically the round count
+/// of the synchronous run). Every node sends a message to every neighbor
+/// every round — the protocol's payload where it has one, synchronizer
+/// padding where it is silent — and executes round `r` only once all its
+/// round-`r` traffic has arrived, so the protocol's observable behavior
+/// is *identical* to the synchronous run regardless of delays.
+///
+/// Returns the nodes, the protocol's own cost, and the synchronizer's
+/// padding-message count (the price of asynchrony).
+///
+/// # Panics
+///
+/// Panics if `nodes.len()` differs from the node count or
+/// `max_delay == 0`.
+pub fn run_alpha_synchronized<P: RoundProtocol>(
+    graph: &Graph,
+    mut nodes: Vec<P>,
+    rounds: usize,
+    max_delay: u64,
+    rng: &mut impl Rng,
+) -> (Vec<P>, RunStats, usize) {
+    let n = graph.num_nodes();
+    assert_eq!(nodes.len(), n, "one protocol instance per node");
+    assert!(max_delay >= 1, "delays must be positive");
+    let ctxs = contexts(graph);
+    let mut stats = RunStats::new();
+    stats.rounds = rounds;
+    let mut padding = 0usize;
+
+    struct Event<M> {
+        to: u32,
+        in_port: Port,
+        round: u32,
+        payload: Option<M>,
+    }
+    let mut queue: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut events: Vec<Option<Event<P::Msg>>> = Vec::new();
+    let mut seq = 0u64;
+
+    use std::collections::HashMap;
+    type RoundInbox<M> = HashMap<u32, Vec<(Port, M)>>;
+    let mut buffered: Vec<RoundInbox<P::Msg>> = (0..n).map(|_| HashMap::new()).collect();
+    let mut received: Vec<HashMap<u32, usize>> = (0..n).map(|_| HashMap::new()).collect();
+    let mut next_round: Vec<u32> = vec![0; n];
+
+    // Emits node i's full round-`round` traffic (payloads + padding).
+    #[allow(clippy::too_many_arguments)]
+    fn emit<P: RoundProtocol>(
+        graph: &Graph,
+        proto: &P,
+        i: usize,
+        round: u32,
+        sends: Vec<Send<P::Msg>>,
+        queue: &mut BinaryHeap<Reverse<(u64, u64)>>,
+        events: &mut Vec<Option<Event<P::Msg>>>,
+        seq: &mut u64,
+        stats: &mut RunStats,
+        padding: &mut usize,
+        now: u64,
+        max_delay: u64,
+        rng: &mut impl Rng,
+    ) {
+        let v = NodeId::from_index(i);
+        let deg = graph.degree(v);
+        let mut payloads: Vec<Option<P::Msg>> = vec![None; deg];
+        for s in sends {
+            stats.add_messages(1, proto.msg_bits(&s.payload));
+            payloads[s.port.index()] = Some(s.payload);
+        }
+        for (p, payload) in payloads.into_iter().enumerate() {
+            if payload.is_none() {
+                *padding += 1;
+            }
+            let port = Port(p as u32);
+            let to = graph.neighbor_at_port(v, port);
+            let back = graph.port_towards(to, v).expect("edges are symmetric");
+            let delay = rng.gen_range(1..=max_delay);
+            queue.push(Reverse((now + delay, *seq)));
+            events.push(Some(Event {
+                to: to.0,
+                in_port: back,
+                round,
+                payload,
+            }));
+            *seq += 1;
+        }
+    }
+
+    for i in 0..n {
+        let sends = nodes[i].init(&ctxs[i]);
+        emit(
+            graph,
+            &nodes[i],
+            i,
+            0,
+            sends,
+            &mut queue,
+            &mut events,
+            &mut seq,
+            &mut stats,
+            &mut padding,
+            0,
+            max_delay,
+            rng,
+        );
+    }
+    while let Some(Reverse((t, id))) = queue.pop() {
+        let ev = events[id as usize].take().expect("event delivered once");
+        let i = ev.to as usize;
+        if let Some(payload) = ev.payload {
+            buffered[i]
+                .entry(ev.round)
+                .or_default()
+                .push((ev.in_port, payload));
+        }
+        *received[i].entry(ev.round).or_insert(0) += 1;
+        while (next_round[i] as usize) < rounds
+            && received[i].get(&next_round[i]).copied().unwrap_or(0)
+                == graph.degree(NodeId::from_index(i))
+        {
+            let r = next_round[i];
+            received[i].remove(&r);
+            let inbox = buffered[i].remove(&r).unwrap_or_default();
+            let sends = nodes[i].round(&ctxs[i], r as usize, &inbox);
+            next_round[i] += 1;
+            if (next_round[i] as usize) <= rounds {
+                emit(
+                    graph,
+                    &nodes[i],
+                    i,
+                    next_round[i],
+                    sends,
+                    &mut queue,
+                    &mut events,
+                    &mut seq,
+                    &mut stats,
+                    &mut padding,
+                    t,
+                    max_delay,
+                    rng,
+                );
+            }
+        }
+    }
+    (nodes, stats, padding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Min-id flooding: every node learns the smallest identity in the
+    /// network; halts when its value is stable for a round.
+    #[derive(Debug, Clone)]
+    struct MinFlood {
+        value: u64,
+        changed: bool,
+        quiet_rounds: usize,
+    }
+
+    impl MinFlood {
+        fn new() -> Self {
+            MinFlood {
+                value: u64::MAX,
+                changed: true,
+                quiet_rounds: 0,
+            }
+        }
+    }
+
+    impl RoundProtocol for MinFlood {
+        type Msg = u64;
+
+        fn msg_bits(&self, _: &u64) -> usize {
+            64
+        }
+
+        fn init(&mut self, ctx: &NodeCtx) -> Vec<Send<u64>> {
+            self.value = ctx.id;
+            broadcast(ctx, self.value)
+        }
+
+        fn round(&mut self, ctx: &NodeCtx, _round: usize, inbox: &[(Port, u64)]) -> Vec<Send<u64>> {
+            let before = self.value;
+            for &(_, v) in inbox {
+                self.value = self.value.min(v);
+            }
+            self.changed = self.value != before;
+            if self.changed {
+                self.quiet_rounds = 0;
+                broadcast(ctx, self.value)
+            } else {
+                self.quiet_rounds += 1;
+                Vec::new()
+            }
+        }
+
+        fn halted(&self) -> bool {
+            !self.changed && self.quiet_rounds >= 1
+        }
+    }
+
+    fn broadcast(ctx: &NodeCtx, v: u64) -> Vec<Send<u64>> {
+        ctx.ports
+            .iter()
+            .map(|p| Send {
+                port: p.port,
+                payload: v,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn synchronous_min_flood_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 10, 60] {
+            let g = gen::random_connected(n, n, gen::WeightDist::Constant(1), &mut rng);
+            let nodes = (0..n).map(|_| MinFlood::new()).collect();
+            let (nodes, stats) = run_synchronous(&g, nodes, 10 * n + 10);
+            for node in &nodes {
+                assert_eq!(node.value, 0, "n={n}");
+            }
+            assert!(stats.messages > 0);
+            assert!(stats.rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn alpha_synchronizer_matches_synchronous() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::random_connected(25, 30, gen::WeightDist::Constant(1), &mut rng);
+        let sync_nodes = (0..25).map(|_| MinFlood::new()).collect();
+        let (sync_nodes, sync_stats) = run_synchronous(&g, sync_nodes, 300);
+        for max_delay in [1u64, 13, 97] {
+            let nodes = (0..25).map(|_| MinFlood::new()).collect();
+            let (nodes, stats, padding) =
+                run_alpha_synchronized(&g, nodes, sync_stats.rounds, max_delay, &mut rng);
+            for (a, b) in nodes.iter().zip(sync_nodes.iter()) {
+                assert_eq!(a.value, b.value, "delay={max_delay}");
+            }
+            // Protocol traffic matches; the synchronizer pays extra.
+            assert_eq!(stats.messages, sync_stats.messages);
+            assert!(padding > 0, "padding must be accounted");
+        }
+    }
+
+    #[test]
+    fn min_flood_on_path_takes_diameter_rounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::path(20, gen::WeightDist::Constant(1), &mut rng);
+        let nodes = (0..20).map(|_| MinFlood::new()).collect();
+        let (_, stats) = run_synchronous(&g, nodes, 100);
+        // Information from node 0 needs 19 hops.
+        assert!(stats.rounds >= 19, "{} rounds", stats.rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not terminate")]
+    fn round_budget_enforced() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen::path(30, gen::WeightDist::Constant(1), &mut rng);
+        let nodes = (0..30).map(|_| MinFlood::new()).collect();
+        let _ = run_synchronous(&g, nodes, 3);
+    }
+}

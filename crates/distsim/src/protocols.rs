@@ -1,0 +1,188 @@
+//! The one-round verification protocol as a [`crate::RoundProtocol`].
+//!
+//! [`crate::verification_round`] computes the verdict and its cost
+//! directly; this module instead *executes* the protocol message by
+//! message on the generic engine, so it can run synchronously or under
+//! the α-synchronizer with arbitrary delays — node code identical in
+//! both, exactly the paper's claim that the verifier is a purely local,
+//! one-shot computation.
+
+use mstv_core::{LocalView, NeighborView, ProofLabelingScheme};
+use mstv_graph::{NodeId, Port};
+
+use crate::engine::{NodeCtx, RoundProtocol, Send};
+
+/// Per-node instance of the verification protocol.
+#[derive(Debug, Clone)]
+pub struct VerifyNode<P: ProofLabelingScheme> {
+    scheme: P,
+    state: P::State,
+    label: P::Label,
+    label_bits: usize,
+    verdict: Option<bool>,
+}
+
+impl<P: ProofLabelingScheme> VerifyNode<P> {
+    /// Creates the node with its state, its label, and the label's
+    /// encoded size (for message accounting).
+    pub fn new(scheme: P, state: P::State, label: P::Label, label_bits: usize) -> Self {
+        VerifyNode {
+            scheme,
+            state,
+            label,
+            label_bits,
+            verdict: None,
+        }
+    }
+
+    /// The node's decision, once round 0 has executed.
+    pub fn verdict(&self) -> Option<bool> {
+        self.verdict
+    }
+}
+
+impl<P: ProofLabelingScheme> RoundProtocol for VerifyNode<P>
+where
+    P: Clone,
+    P::State: Clone,
+{
+    type Msg = P::Label;
+
+    fn msg_bits(&self, _msg: &P::Label) -> usize {
+        self.label_bits
+    }
+
+    fn init(&mut self, ctx: &NodeCtx) -> Vec<Send<P::Label>> {
+        ctx.ports
+            .iter()
+            .map(|p| Send {
+                port: p.port,
+                payload: self.label.clone(),
+            })
+            .collect()
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &[(Port, P::Label)],
+    ) -> Vec<Send<P::Label>> {
+        if round > 0 || self.verdict.is_some() {
+            return Vec::new();
+        }
+        // Assemble N_L(v) from the received labels, in port order.
+        let mut by_port: Vec<Option<&P::Label>> = vec![None; ctx.ports.len()];
+        for (port, label) in inbox {
+            by_port[port.index()] = Some(label);
+        }
+        let neighbors: Vec<NeighborView<'_, P::Label>> = ctx
+            .ports
+            .iter()
+            .map(|p| NeighborView {
+                port: p.port,
+                weight: p.weight,
+                label: by_port[p.port.index()].expect("one label per neighbor"),
+            })
+            .collect();
+        let view = LocalView {
+            node: NodeId(ctx.id as u32),
+            state: &self.state,
+            label: &self.label,
+            neighbors,
+        };
+        self.verdict = Some(self.scheme.verify(&view));
+        Vec::new()
+    }
+
+    fn halted(&self) -> bool {
+        self.verdict.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_alpha_synchronized, run_synchronous};
+    use mstv_core::{faults, mst_configuration, Labeling, MstScheme};
+    use mstv_graph::{gen, ConfigGraph, TreeState};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_nodes(
+        cfg: &ConfigGraph<TreeState>,
+        labeling: &Labeling<mstv_core::MstLabel>,
+    ) -> Vec<VerifyNode<MstScheme>> {
+        cfg.graph()
+            .nodes()
+            .map(|v| {
+                VerifyNode::new(
+                    MstScheme::new(),
+                    *cfg.state(v),
+                    labeling.label(v).clone(),
+                    labeling.encoded(v).len().max(1),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_run_matches_direct_verification() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen::random_connected(20, 35, gen::WeightDist::Uniform { max: 90 }, &mut rng);
+        let cfg = mst_configuration(g);
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        let nodes = build_nodes(&cfg, &labeling);
+        let (nodes, stats) = run_synchronous(cfg.graph(), nodes, 5);
+        assert!(nodes.iter().all(|n| n.verdict() == Some(true)));
+        assert_eq!(stats.messages, 2 * cfg.graph().num_edges());
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn faulty_network_rejected_on_engine_sync_and_async() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut exercised = 0;
+        for seed in 0..8 {
+            let g = gen::random_connected(
+                18,
+                30,
+                gen::WeightDist::Uniform { max: 100 },
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let mut cfg = mst_configuration(g);
+            let scheme = MstScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            if faults::break_minimality(&mut cfg, &mut rng).is_none() {
+                continue;
+            }
+            let expected = scheme.verify_all(&cfg, &labeling);
+            // Synchronous engine run.
+            let (nodes, _) = run_synchronous(cfg.graph(), build_nodes(&cfg, &labeling), 5);
+            let sync_reject: Vec<u32> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.verdict() == Some(false))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(
+                sync_reject,
+                expected.rejecting.iter().map(|v| v.0).collect::<Vec<_>>()
+            );
+            // α-synchronized asynchronous run: identical outcome.
+            let (nodes, _, padding) =
+                run_alpha_synchronized(cfg.graph(), build_nodes(&cfg, &labeling), 1, 31, &mut rng);
+            let async_reject: Vec<u32> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.verdict() == Some(false))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(async_reject, sync_reject);
+            let _ = padding;
+            exercised += 1;
+        }
+        assert!(exercised >= 5);
+    }
+}

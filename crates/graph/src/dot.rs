@@ -1,0 +1,68 @@
+//! Graphviz DOT export, for inspecting workloads and candidate trees.
+
+use std::collections::HashSet;
+use std::fmt::Write;
+
+use crate::{EdgeId, Graph};
+
+/// Renders the graph in Graphviz DOT format. Edges listed in `highlight`
+/// (typically a candidate spanning tree) are drawn bold; every edge shows
+/// its weight.
+///
+/// ```
+/// use mstv_graph::{dot::to_dot, Graph, NodeId, Weight};
+///
+/// let mut g = Graph::new(2);
+/// let e = g.add_edge(NodeId(0), NodeId(1), Weight(7)).unwrap();
+/// let rendered = to_dot(&g, &[e]);
+/// assert!(rendered.contains("v0 -- v1"));
+/// assert!(rendered.contains("label=\"7\""));
+/// ```
+pub fn to_dot(graph: &Graph, highlight: &[EdgeId]) -> String {
+    let marked: HashSet<EdgeId> = highlight.iter().copied().collect();
+    let mut out = String::from("graph g {\n  node [shape=circle];\n");
+    for v in graph.nodes() {
+        writeln!(out, "  v{};", v.0).expect("writing to String cannot fail");
+    }
+    for (e, edge) in graph.edges() {
+        let style = if marked.contains(&e) {
+            ", style=bold, penwidth=2"
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "  v{} -- v{} [label=\"{}\"{}];",
+            edge.u.0, edge.v.0, edge.w, style
+        )
+        .expect("writing to String cannot fail");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, Weight};
+
+    #[test]
+    fn renders_nodes_edges_and_highlights() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(3)).unwrap();
+        let _other = g.add_edge(NodeId(1), NodeId(2), Weight(5)).unwrap();
+        let dot = to_dot(&g, &[e0]);
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("v0;"));
+        assert!(dot.contains("v2;"));
+        assert!(dot.contains("v0 -- v1 [label=\"3\", style=bold"));
+        assert!(dot.contains("v1 -- v2 [label=\"5\"];"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let dot = to_dot(&Graph::new(0), &[]);
+        assert!(dot.contains("graph g {"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{EdgeId, NodeId};
+
+/// Errors produced while building or querying a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge id referenced an edge outside `0..m`.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The number of edges in the graph.
+        m: usize,
+    },
+    /// A self-loop `(v, v)` was rejected; the paper's graphs are simple.
+    SelfLoop {
+        /// The node at both endpoints.
+        node: NodeId,
+    },
+    /// A parallel edge was rejected.
+    ParallelEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// An edge weight of zero was rejected; weights are positive integers
+    /// (`Weight(0)` is reserved for the empty-path maximum).
+    ZeroWeight,
+    /// The edge set given to a tree constructor does not form a spanning
+    /// tree of the node set.
+    NotASpanningTree {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::EdgeOutOfRange { edge, m } => {
+                write!(f, "edge {edge} out of range for graph with {m} edges")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge between {u} and {v}")
+            }
+            GraphError::ZeroWeight => write!(f, "edge weight must be positive"),
+            GraphError::NotASpanningTree { reason } => {
+                write!(f, "edge set is not a spanning tree: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId(9),
+            n: 4,
+        };
+        assert_eq!(e.to_string(), "node v9 out of range for graph with 4 nodes");
+        let e = GraphError::SelfLoop { node: NodeId(1) };
+        assert_eq!(e.to_string(), "self-loop at node v1");
+        let e = GraphError::ParallelEdge {
+            u: NodeId(0),
+            v: NodeId(1),
+        };
+        assert_eq!(e.to_string(), "parallel edge between v0 and v1");
+        assert_eq!(
+            GraphError::ZeroWeight.to_string(),
+            "edge weight must be positive"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(GraphError::ZeroWeight);
+        assert!(e.to_string().contains("positive"));
+    }
+}

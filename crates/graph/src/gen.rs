@@ -1,0 +1,372 @@
+//! Workload generators: random trees, random connected graphs, and the
+//! structured topologies used by the experiment harnesses.
+//!
+//! All generators are deterministic given the caller's RNG; experiments use
+//! `StdRng::seed_from_u64` for reproducibility.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Graph, NodeId, Weight};
+
+/// How edge weights are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightDist {
+    /// Independently uniform in `1..=max`.
+    Uniform {
+        /// Largest weight `W`.
+        max: u64,
+    },
+    /// A constant weight for every edge.
+    Constant(u64),
+}
+
+impl WeightDist {
+    /// Draws a single weight.
+    pub fn sample(self, rng: &mut impl Rng) -> Weight {
+        match self {
+            WeightDist::Uniform { max } => Weight(rng.gen_range(1..=max.max(1))),
+            WeightDist::Constant(w) => Weight(w.max(1)),
+        }
+    }
+
+    /// The largest weight this distribution can produce.
+    pub fn max_weight(self) -> Weight {
+        match self {
+            WeightDist::Uniform { max } => Weight(max.max(1)),
+            WeightDist::Constant(w) => Weight(w.max(1)),
+        }
+    }
+}
+
+/// Generates a uniformly random labelled tree on `n` nodes via a random
+/// Prüfer sequence, with weights from `dist`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    assert!(n > 0, "tree must have at least one node");
+    let mut g = Graph::new(n);
+    if n == 1 {
+        return g;
+    }
+    if n == 2 {
+        g.add_edge(NodeId(0), NodeId(1), dist.sample(rng)).unwrap();
+        return g;
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    for (u, v) in prufer_to_edges(n, &prufer) {
+        g.add_edge(
+            NodeId::from_index(u),
+            NodeId::from_index(v),
+            dist.sample(rng),
+        )
+        .unwrap();
+    }
+    g
+}
+
+/// Decodes a Prüfer sequence into the edge list of the corresponding tree.
+fn prufer_to_edges(n: usize, prufer: &[usize]) -> Vec<(usize, usize)> {
+    debug_assert_eq!(prufer.len(), n - 2);
+    let mut degree = vec![1usize; n];
+    for &x in prufer {
+        degree[x] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // Min-leaf extraction with a pointer sweep (classic O(n log n)-free trick).
+    let mut ptr = 0;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &x in prufer {
+        edges.push((leaf, x));
+        degree[x] -= 1;
+        if degree[x] == 1 && x < ptr {
+            leaf = x;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    edges.push((leaf, n - 1));
+    edges
+}
+
+/// Generates a connected graph: a random spanning tree plus `extra` random
+/// non-tree edges (no self-loops, no parallels). Fewer than `extra` edges
+/// may be added if the graph saturates.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_connected(n: usize, extra: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    let mut g = random_tree(n, dist, rng);
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let target = extra.min(max_extra);
+    let mut added = 0;
+    let mut attempts = 0;
+    let attempt_budget = 20 * target + 100;
+    while added < target && attempts < attempt_budget {
+        attempts += 1;
+        let u = NodeId(rng.gen_range(0..n as u32));
+        let v = NodeId(rng.gen_range(0..n as u32));
+        if u == v || g.edge_between(u, v).is_some() {
+            continue;
+        }
+        g.add_edge(u, v, dist.sample(rng)).unwrap();
+        added += 1;
+    }
+    // Dense tail: enumerate remaining non-edges if random probing stalled.
+    if added < target {
+        let mut non_edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+                if g.edge_between(u, v).is_none() {
+                    non_edges.push((u, v));
+                }
+            }
+        }
+        non_edges.shuffle(rng);
+        for (u, v) in non_edges.into_iter().take(target - added) {
+            g.add_edge(u, v, dist.sample(rng)).unwrap();
+        }
+    }
+    g
+}
+
+/// Generates an Erdős–Rényi `G(n, p)` graph forced connected by overlaying
+/// a random spanning tree.
+pub fn gnp_connected(n: usize, p: f64, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    let mut g = random_tree(n, dist, rng);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+            if g.edge_between(u, v).is_none() && rng.gen_bool(p) {
+                g.add_edge(u, v, dist.sample(rng)).unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// A simple path `0 - 1 - ... - (n-1)`.
+pub fn path(n: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(
+            NodeId::from_index(i - 1),
+            NodeId::from_index(i),
+            dist.sample(rng),
+        )
+        .unwrap();
+    }
+    g
+}
+
+/// A cycle on `n >= 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut g = path(n, dist, rng);
+    g.add_edge(NodeId::from_index(n - 1), NodeId(0), dist.sample(rng))
+        .unwrap();
+    g
+}
+
+/// A star with center `0` and `n - 1` leaves.
+pub fn star(n: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId::from_index(i), dist.sample(rng))
+            .unwrap();
+    }
+    g
+}
+
+/// A complete graph `K_n`.
+pub fn complete(n: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(
+                NodeId::from_index(u),
+                NodeId::from_index(v),
+                dist.sample(rng),
+            )
+            .unwrap();
+        }
+    }
+    g
+}
+
+/// A `rows × cols` grid graph.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn grid(rows: usize, cols: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = Graph::new(rows * cols);
+    let at = |r: usize, c: usize| NodeId::from_index(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(at(r, c), at(r, c + 1), dist.sample(rng))
+                    .unwrap();
+            }
+            if r + 1 < rows {
+                g.add_edge(at(r, c), at(r + 1, c), dist.sample(rng))
+                    .unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves. Useful as a worst case for naive path-walking verification.
+pub fn caterpillar(spine: usize, legs: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    let n = spine + spine * legs;
+    let mut g = Graph::new(n);
+    for i in 1..spine {
+        g.add_edge(
+            NodeId::from_index(i - 1),
+            NodeId::from_index(i),
+            dist.sample(rng),
+        )
+        .unwrap();
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            g.add_edge(
+                NodeId::from_index(s),
+                NodeId::from_index(next),
+                dist.sample(rng),
+            )
+            .unwrap();
+            next += 1;
+        }
+    }
+    g
+}
+
+/// A balanced binary tree on `n` nodes (heap indexing).
+pub fn balanced_binary_tree(n: usize, dist: WeightDist, rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(
+            NodeId::from_index((i - 1) / 2),
+            NodeId::from_index(i),
+            dist.sample(rng),
+        )
+        .unwrap();
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut r = rng();
+        for n in [1usize, 2, 3, 5, 17, 100] {
+            let g = random_tree(n, WeightDist::Uniform { max: 50 }, &mut r);
+            assert_eq!(g.num_edges(), n - 1, "n = {n}");
+            assert!(g.is_connected(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic_per_seed() {
+        let g1 = random_tree(40, WeightDist::Uniform { max: 9 }, &mut rng());
+        let g2 = random_tree(40, WeightDist::Uniform { max: 9 }, &mut rng());
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn prufer_decoding_small_case() {
+        // Prüfer sequence [3, 3] on n=4 is the star centered at 3.
+        let edges = prufer_to_edges(4, &[3, 3]);
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u == 3 || v == 3);
+        }
+    }
+
+    #[test]
+    fn random_connected_edge_counts() {
+        let mut r = rng();
+        let g = random_connected(30, 40, WeightDist::Uniform { max: 100 }, &mut r);
+        assert!(g.is_connected());
+        assert_eq!(g.num_edges(), 29 + 40);
+    }
+
+    #[test]
+    fn random_connected_saturates_gracefully() {
+        let mut r = rng();
+        // K4 has 6 edges; ask for far more extras than exist.
+        let g = random_connected(4, 100, WeightDist::Uniform { max: 10 }, &mut r);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn gnp_connected_always_connected() {
+        let mut r = rng();
+        for &p in &[0.0, 0.1, 0.9] {
+            let g = gnp_connected(25, p, WeightDist::Uniform { max: 8 }, &mut r);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn structured_topologies() {
+        let mut r = rng();
+        let d = WeightDist::Constant(1);
+        assert_eq!(path(5, d, &mut r).num_edges(), 4);
+        assert_eq!(cycle(5, d, &mut r).num_edges(), 5);
+        assert_eq!(star(5, d, &mut r).num_edges(), 4);
+        assert_eq!(complete(5, d, &mut r).num_edges(), 10);
+        assert_eq!(grid(3, 4, d, &mut r).num_edges(), 3 * 3 + 2 * 4);
+        let cat = caterpillar(4, 2, d, &mut r);
+        assert_eq!(cat.num_nodes(), 12);
+        assert_eq!(cat.num_edges(), 11);
+        assert!(cat.is_connected());
+        let bt = balanced_binary_tree(15, d, &mut r);
+        assert_eq!(bt.num_edges(), 14);
+        assert!(bt.is_connected());
+        assert_eq!(bt.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn weight_dist_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let w = WeightDist::Uniform { max: 7 }.sample(&mut r);
+            assert!(w >= Weight(1) && w <= Weight(7));
+        }
+        assert_eq!(WeightDist::Constant(3).sample(&mut r), Weight(3));
+        assert_eq!(WeightDist::Uniform { max: 7 }.max_weight(), Weight(7));
+        // Degenerate zero bounds clamp to 1.
+        assert_eq!(WeightDist::Constant(0).sample(&mut r), Weight(1));
+        assert_eq!(WeightDist::Uniform { max: 0 }.sample(&mut r), Weight(1));
+    }
+}

@@ -1,0 +1,198 @@
+//! Strongly-typed identifiers for nodes, edges, ports, and weights.
+
+use std::fmt;
+
+/// Identifier of a node (vertex) in a [`crate::Graph`].
+///
+/// Node identifiers are dense indices `0..n`. In the paper's id-based model
+/// every node additionally carries a unique *identity* known to the node
+/// itself; in this implementation the identity of node `v` defaults to its
+/// index but configuration graphs may carry arbitrary identities in node
+/// states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a node id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index out of range"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+/// Identifier of an undirected edge in a [`crate::Graph`].
+///
+/// Edge identifiers are dense indices `0..m` in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the edge id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an edge id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index out of range"))
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(value: u32) -> Self {
+        EdgeId(value)
+    }
+}
+
+/// A local port number at a node.
+///
+/// Node `v` has ports `0..deg(v)`, each corresponding to one incident edge.
+/// The numbering is internal to the node: the two endpoints of an edge
+/// generally see it under different port numbers. (The paper numbers ports
+/// from 1; we use zero-based numbering.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Port(pub u32);
+
+impl Port {
+    /// Returns the port as a `usize` index into the adjacency list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for Port {
+    fn from(value: u32) -> Self {
+        Port(value)
+    }
+}
+
+/// An integral edge weight.
+///
+/// The paper bounds weights by `W` from above; weights are positive
+/// integers. `Weight(0)` is reserved for the neutral element of `MAX`
+/// (the maximum over an empty path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Weight(pub u64);
+
+impl Weight {
+    /// The neutral element of `MAX` over an empty path.
+    pub const ZERO: Weight = Weight(0);
+
+    /// Returns the raw weight value.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Number of bits needed to store any weight in `1..=self`
+    /// (i.e. `ceil(log2(self + 1))`), at least 1.
+    #[inline]
+    pub fn bit_width(self) -> u32 {
+        (64 - self.0.leading_zeros()).max(1)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Weight {
+    fn from(value: u64) -> Self {
+        Weight(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, NodeId(42));
+        assert_eq!(v.to_string(), "v42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from_index(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(e.to_string(), "e7");
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(Port(3).to_string(), "p3");
+        assert_eq!(Port(3).index(), 3);
+    }
+
+    #[test]
+    fn weight_bit_width() {
+        assert_eq!(Weight(0).bit_width(), 1);
+        assert_eq!(Weight(1).bit_width(), 1);
+        assert_eq!(Weight(2).bit_width(), 2);
+        assert_eq!(Weight(3).bit_width(), 2);
+        assert_eq!(Weight(4).bit_width(), 3);
+        assert_eq!(Weight(255).bit_width(), 8);
+        assert_eq!(Weight(256).bit_width(), 9);
+        assert_eq!(Weight(u64::MAX).bit_width(), 64);
+    }
+
+    #[test]
+    fn weight_ordering() {
+        assert!(Weight(3) < Weight(5));
+        assert_eq!(Weight::ZERO, Weight(0));
+    }
+
+    #[test]
+    fn conversions_from_raw() {
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+        assert_eq!(EdgeId::from(3u32), EdgeId(3));
+        assert_eq!(Port::from(3u32), Port(3));
+        assert_eq!(Weight::from(3u64), Weight(3));
+    }
+}

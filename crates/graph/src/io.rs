@@ -1,0 +1,195 @@
+//! Plain-text edge-list I/O for workloads.
+//!
+//! The format is one edge per line — `u v w` (zero-based endpoints,
+//! positive integral weight) — with `#` comments and blank lines ignored.
+//! The node count is one more than the largest endpoint mentioned, unless
+//! a `nodes N` header line raises it (isolated trailing nodes).
+
+use crate::{EdgeId, Graph, GraphError, NodeId, Weight};
+
+/// An error while parsing an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGraphError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+/// Parses a graph from edge-list text.
+///
+/// # Errors
+///
+/// Returns the first malformed line (bad arity, non-numeric fields, zero
+/// weight, self-loop, or duplicate edge).
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
+    let mut declared_nodes = 0usize;
+    let mut edges: Vec<(u32, u32, u64, usize)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields[0] == "nodes" {
+            if fields.len() != 2 {
+                return Err(ParseGraphError {
+                    line: line_no,
+                    reason: "expected `nodes N`".to_owned(),
+                });
+            }
+            declared_nodes = fields[1].parse().map_err(|e| ParseGraphError {
+                line: line_no,
+                reason: format!("bad node count: {e}"),
+            })?;
+            continue;
+        }
+        if fields.len() != 3 {
+            return Err(ParseGraphError {
+                line: line_no,
+                reason: format!("expected `u v w`, found {} fields", fields.len()),
+            });
+        }
+        let parse = |s: &str| -> Result<u64, ParseGraphError> {
+            s.parse().map_err(|e| ParseGraphError {
+                line: line_no,
+                reason: format!("bad number {s:?}: {e}"),
+            })
+        };
+        let (u, v, w) = (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
+        if u > u32::MAX as u64 || v > u32::MAX as u64 {
+            return Err(ParseGraphError {
+                line: line_no,
+                reason: "endpoint out of range".to_owned(),
+            });
+        }
+        edges.push((u as u32, v as u32, w, line_no));
+    }
+    let max_node = edges
+        .iter()
+        .map(|&(u, v, _, _)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut g = Graph::new(declared_nodes.max(max_node));
+    for (u, v, w, line) in edges {
+        g.add_edge(NodeId(u), NodeId(v), Weight(w))
+            .map_err(|e: GraphError| ParseGraphError {
+                line,
+                reason: e.to_string(),
+            })?;
+    }
+    Ok(g)
+}
+
+/// Renders a graph as edge-list text (round-trips with
+/// [`parse_edge_list`]).
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = format!("nodes {}\n", graph.num_nodes());
+    for (_, edge) in graph.edges() {
+        out.push_str(&format!("{} {} {}\n", edge.u.0, edge.v.0, edge.w));
+    }
+    out
+}
+
+/// Parses a tree file: one `u v` endpoint pair per line, resolved to edge
+/// ids of `graph`.
+///
+/// # Errors
+///
+/// Returns the first malformed or unresolvable line.
+pub fn parse_tree_file(graph: &Graph, text: &str) -> Result<Vec<EdgeId>, ParseGraphError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 2 {
+            return Err(ParseGraphError {
+                line: line_no,
+                reason: format!("expected `u v`, found {} fields", fields.len()),
+            });
+        }
+        let parse = |s: &str| -> Result<u32, ParseGraphError> {
+            s.parse().map_err(|e| ParseGraphError {
+                line: line_no,
+                reason: format!("bad number {s:?}: {e}"),
+            })
+        };
+        let (u, v) = (NodeId(parse(fields[0])?), NodeId(parse(fields[1])?));
+        let e = graph.edge_between(u, v).ok_or_else(|| ParseGraphError {
+            line: line_no,
+            reason: format!("no edge between {u} and {v}"),
+        })?;
+        out.push(e);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), Weight(3)).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), Weight(7)).unwrap();
+        let text = to_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let g = parse_edge_list("# header\n\n0 1 5 # inline\n1 2 6\n").unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.weight(EdgeId(1)), Weight(6));
+    }
+
+    #[test]
+    fn nodes_header_raises_count() {
+        let g = parse_edge_list("nodes 10\n0 1 2\n").unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert_eq!(parse_edge_list("0 1\n").unwrap_err().line, 1);
+        assert!(parse_edge_list("0 1 x\n")
+            .unwrap_err()
+            .reason
+            .contains("bad number"));
+        assert!(parse_edge_list("0 0 3\n")
+            .unwrap_err()
+            .reason
+            .contains("self-loop"));
+        assert!(parse_edge_list("0 1 3\n1 0 4\n")
+            .unwrap_err()
+            .reason
+            .contains("parallel"));
+        let e = parse_edge_list("nodes\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn tree_file_resolution() {
+        let g = parse_edge_list("0 1 5\n1 2 6\n0 2 7\n").unwrap();
+        let t = parse_tree_file(&g, "0 1\n2 1 # reversed is fine\n").unwrap();
+        assert_eq!(t, vec![EdgeId(0), EdgeId(1)]);
+        assert!(parse_tree_file(&g, "0 3\n").is_err());
+        assert!(parse_tree_file(&g, "0\n").is_err());
+    }
+}

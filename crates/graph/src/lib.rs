@@ -1,0 +1,38 @@
+//! Port-numbered weighted graphs and configuration graphs.
+//!
+//! This crate provides the network model of Korman & Kutten,
+//! *Distributed Verification of Minimum Spanning Trees* (PODC 2006):
+//! undirected connected graphs `G = (V, E)` with integral edge weights,
+//! where every node `v` has internal ports numbered `0..deg(v)` (the paper
+//! numbers them `1..deg(v)`; we use zero-based ports throughout), and a
+//! *configuration graph* attaches a local state to every node.
+//!
+//! A spanning subgraph is represented distributively: each node's state may
+//! point at one of its own ports (the "parent" pointer), and an edge belongs
+//! to the induced subgraph iff at least one endpoint points at it
+//! (Definition 2.1 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use mstv_graph::{Graph, NodeId, Weight};
+//!
+//! let mut g = Graph::new(3);
+//! g.add_edge(NodeId(0), NodeId(1), Weight(2)).unwrap();
+//! g.add_edge(NodeId(1), NodeId(2), Weight(5)).unwrap();
+//! assert!(g.is_connected());
+//! assert_eq!(g.degree(NodeId(1)), 2);
+//! ```
+
+mod config;
+pub mod dot;
+mod error;
+pub mod gen;
+mod graph;
+mod ids;
+pub mod io;
+
+pub use config::{induced_subgraph, tree_states, ConfigGraph, PortPointers, TreeState};
+pub use error::GraphError;
+pub use graph::{Edge, Graph, Neighbor};
+pub use ids::{EdgeId, NodeId, Port, Weight};

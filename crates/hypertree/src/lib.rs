@@ -1,0 +1,644 @@
+//! `(h, µ)`-hypertrees — the combinatorial structure behind the paper's
+//! `Ω(log n log W)` lower bound (Section 4, Figure 1).
+//!
+//! An `(h, µ)`-hypertree is built recursively: a `(1, µ)`-hypertree is a
+//! single vertex; an `(h, µ)`-hypertree joins two `(h−1, µ)`-hypertrees
+//! `H_0, H_1` under a fresh root `r` by edges of a weight
+//! `x ∈ Q_{h−1}(µ) = {µ(h−1), …, µ(h−1) + µ − 1}`, and connects every
+//! vertex `a_0 ∈ H_0` to its *homologous* vertex `a_1 ∈ H_1` through a
+//! fresh path `a_0 — â_0 — â_1 — a_1` whose outer edges weigh 1 and whose
+//! middle edge takes a weight from the same `Q_{h−1}(µ)`. Node states
+//! encode the spanning tree drawn in Figure 1 (`â_i` points at `a_i`, the
+//! subtree roots point at `r`), and identities are assigned by preorder.
+//!
+//! A hypertree is *legal* when every middle weight added at a level equals
+//! that level's `x`. Claim 4.1 — verified executably here — states that in
+//! a legal hypertree the weight of every legal path equals `MAX` between
+//! its endpoints, and the induced spanning tree is an MST.
+//!
+//! The lower-bound argument (Lemma 4.3): labels used by any correct
+//! scheme on hypertrees with different top weights `x ≠ x'` must differ —
+//! otherwise transplanting one path's weight produces a non-MST that every
+//! verifier accepts. [`weight_swap_experiment`] plays this adversary
+//! against an actual scheme. Counting the disjoint label sets over the
+//! `µ` choices per level and `Θ(log n)` levels yields
+//! `Ω(log n log W)`-bit labels ([`log2_family_size`] reports the counting).
+
+use mstv_graph::{ConfigGraph, EdgeId, Graph, NodeId, TreeState, Weight};
+
+/// The weight class `Q_i(µ) = {µ·i + j | 0 ≤ j < µ}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightClass {
+    /// The index `i`.
+    pub i: u32,
+    /// The parameter `µ`.
+    pub mu: u64,
+}
+
+impl WeightClass {
+    /// The `j`-th weight of the class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= µ`.
+    pub fn weight(&self, j: u64) -> Weight {
+        assert!(j < self.mu, "class offset out of range");
+        Weight(self.mu * u64::from(self.i) + j)
+    }
+
+    /// Whether `w` belongs to this class.
+    pub fn contains(&self, w: Weight) -> bool {
+        let base = self.mu * u64::from(self.i);
+        w.0 >= base && w.0 < base + self.mu
+    }
+}
+
+/// One `Path(a_0, a_1)` added during construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HyperPath {
+    /// Endpoint in the first copy.
+    pub a0: NodeId,
+    /// New vertex adjacent to `a0`.
+    pub hat0: NodeId,
+    /// New vertex adjacent to `a1`.
+    pub hat1: NodeId,
+    /// Endpoint in the second copy.
+    pub a1: NodeId,
+    /// The middle edge `(â_0, â_1)` carrying the class weight.
+    pub middle: EdgeId,
+    /// The construction level `h` at which the path was added (its weight
+    /// class is `Q_{h-1}(µ)`).
+    pub level: u32,
+}
+
+/// Chooses the free weights of the construction.
+pub trait WeightChooser {
+    /// The top weight `x` for a level-`h` joining step (must lie in
+    /// `Q_{h-1}(µ)`); `step` numbers the joining steps of that level.
+    fn top_weight(&mut self, level: u32, step: usize, class: WeightClass) -> Weight;
+
+    /// The middle weight of a path added at a level-`h` joining step.
+    /// Legal hypertrees return the step's top weight.
+    fn path_weight(
+        &mut self,
+        level: u32,
+        step: usize,
+        path_index: usize,
+        class: WeightClass,
+    ) -> Weight;
+}
+
+/// The legal chooser: fixed offset `j` per level; every path weight equals
+/// the level's top weight.
+#[derive(Debug, Clone)]
+pub struct LegalChooser {
+    offsets: Vec<u64>,
+}
+
+impl LegalChooser {
+    /// Uses offset `offsets[h - 2]` for level-`h` joins (clamped into the
+    /// class). An empty vector means offset 0 everywhere.
+    pub fn new(offsets: Vec<u64>) -> Self {
+        LegalChooser { offsets }
+    }
+
+    fn offset(&self, level: u32, mu: u64) -> u64 {
+        self.offsets
+            .get(level as usize - 2)
+            .copied()
+            .unwrap_or(0)
+            .min(mu - 1)
+    }
+}
+
+impl WeightChooser for LegalChooser {
+    fn top_weight(&mut self, level: u32, _step: usize, class: WeightClass) -> Weight {
+        class.weight(self.offset(level, class.mu))
+    }
+
+    fn path_weight(
+        &mut self,
+        level: u32,
+        _step: usize,
+        _path_index: usize,
+        class: WeightClass,
+    ) -> Weight {
+        class.weight(self.offset(level, class.mu))
+    }
+}
+
+/// A fully built `(h, µ)`-hypertree.
+/// # Example
+///
+/// ```
+/// use mstv_hypertree::Hypertree;
+///
+/// let ht = Hypertree::legal(3, 4);
+/// assert_eq!(ht.num_vertices(), 21);
+/// assert!(ht.is_legal());
+/// assert!(mstv_mst::is_mst(&ht.graph, &ht.induced_tree_edges()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hypertree {
+    /// The underlying weighted graph.
+    pub graph: Graph,
+    /// Node states inducing the Figure 1 spanning tree, with preorder
+    /// identities.
+    pub states: Vec<TreeState>,
+    /// The root vertex `r` of the top joining step (the whole tree's
+    /// root), or the single vertex when `h = 1`.
+    pub root: NodeId,
+    /// All paths added during construction, in creation order.
+    pub paths: Vec<HyperPath>,
+    /// The `h` parameter.
+    pub h: u32,
+    /// The `µ` parameter.
+    pub mu: u64,
+}
+
+impl Hypertree {
+    /// Builds an `(h, µ)`-hypertree with the given weight chooser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h == 0` or `mu == 0`, or if the chooser returns a weight
+    /// outside its class.
+    pub fn build(h: u32, mu: u64, chooser: &mut dyn WeightChooser) -> Self {
+        assert!(h >= 1, "h must be at least 1");
+        assert!(mu >= 1, "µ must be at least 1");
+        let n = num_vertices(h);
+        let mut graph = Graph::new(n);
+        let mut parent_of: Vec<Option<NodeId>> = vec![None; n];
+        let mut paths = Vec::new();
+        let mut next = 0usize;
+        let mut steps_at_level = vec![0usize; h as usize + 1];
+        let root = build_rec(
+            h,
+            mu,
+            chooser,
+            &mut graph,
+            &mut parent_of,
+            &mut paths,
+            &mut next,
+            &mut steps_at_level,
+        );
+        debug_assert_eq!(next, n);
+        // States: parent ports from parent_of; identities by preorder of
+        // the induced spanning tree (paper step 4; id(root) = 1).
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, p) in parent_of.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.index()].push(NodeId::from_index(i));
+            }
+        }
+        let mut ids = vec![0u64; n];
+        let mut stack = vec![root];
+        let mut counter = 1u64;
+        while let Some(v) = stack.pop() {
+            ids[v.index()] = counter;
+            counter += 1;
+            for &c in children[v.index()].iter().rev() {
+                stack.push(c);
+            }
+        }
+        let states = (0..n)
+            .map(|i| {
+                let v = NodeId::from_index(i);
+                TreeState {
+                    id: ids[i],
+                    parent_port: parent_of[i]
+                        .map(|p| graph.port_towards(v, p).expect("parent is adjacent")),
+                }
+            })
+            .collect();
+        Hypertree {
+            graph,
+            states,
+            root,
+            paths,
+            h,
+            mu,
+        }
+    }
+
+    /// Builds the canonical *legal* hypertree (offset 0 at every level).
+    pub fn legal(h: u32, mu: u64) -> Self {
+        Self::build(h, mu, &mut LegalChooser::new(vec![]))
+    }
+
+    /// The configuration graph (graph + tree states).
+    pub fn config(&self) -> ConfigGraph<TreeState> {
+        ConfigGraph::new(self.graph.clone(), self.states.clone()).expect("one state per node")
+    }
+
+    /// The spanning tree induced by the states.
+    pub fn induced_tree_edges(&self) -> Vec<EdgeId> {
+        self.config().induced_edges()
+    }
+
+    /// Whether every path's middle weight equals its level's class weight
+    /// chosen for the top edges — i.e. whether the hypertree is legal.
+    /// (For trees built by [`Hypertree::legal`] this is true by
+    /// construction; it is checked structurally via `MAX`.)
+    pub fn is_legal(&self) -> bool {
+        let edges = self.induced_tree_edges();
+        if !self.graph.is_spanning_tree(&edges) {
+            return false;
+        }
+        let tree = mstv_trees::RootedTree::from_graph_edges(&self.graph, &edges, self.root)
+            .expect("states induce a spanning tree");
+        self.paths
+            .iter()
+            .all(|p| self.graph.weight(p.middle) == tree.max_on_path_naive(p.hat0, p.hat1))
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+/// `n(h) = (4^h − 1) / 3`: vertex count of an `(h, µ)`-hypertree
+/// (`n(h) = 4·n(h−1) + 1`).
+pub fn num_vertices(h: u32) -> usize {
+    ((4usize.pow(h)) - 1) / 3
+}
+
+/// Number of free weight choices in the construction (one top weight per
+/// joining step plus one per path). Each ranges over `µ` values, so
+/// `log₂ |C(h, µ)| =` [`log2_family_size`].
+pub fn num_weight_choices(h: u32) -> u64 {
+    // At level k (2..=h) there are 2^(h-k) joining steps; each chooses a
+    // top weight and n(k-1) path weights.
+    (2..=h)
+        .map(|k| {
+            let steps = 1u64 << (h - k);
+            steps * (1 + num_vertices(k - 1) as u64)
+        })
+        .sum()
+}
+
+/// `log₂` of the hypertree family size `µ^{choices}` — the quantity whose
+/// growth in `h` and `µ` drives the `Ω(log n log W)` bound.
+pub fn log2_family_size(h: u32, mu: u64) -> f64 {
+    num_weight_choices(h) as f64 * (mu as f64).log2()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_rec(
+    h: u32,
+    mu: u64,
+    chooser: &mut dyn WeightChooser,
+    graph: &mut Graph,
+    parent_of: &mut [Option<NodeId>],
+    paths: &mut Vec<HyperPath>,
+    next: &mut usize,
+    steps_at_level: &mut [usize],
+) -> NodeId {
+    if h == 1 {
+        let v = NodeId::from_index(*next);
+        *next += 1;
+        return v;
+    }
+    // Build the two copies, collecting their members in homologous order.
+    let start0 = *next;
+    let r0 = build_rec(
+        h - 1,
+        mu,
+        chooser,
+        graph,
+        parent_of,
+        paths,
+        next,
+        steps_at_level,
+    );
+    let end0 = *next;
+    let r1 = build_rec(
+        h - 1,
+        mu,
+        chooser,
+        graph,
+        parent_of,
+        paths,
+        next,
+        steps_at_level,
+    );
+    let end1 = *next;
+    debug_assert_eq!(end0 - start0, end1 - end0);
+    let size = end0 - start0;
+    let r = NodeId::from_index(*next);
+    *next += 1;
+    let class = WeightClass { i: h - 1, mu };
+    let step = steps_at_level[h as usize];
+    steps_at_level[h as usize] += 1;
+    let x = chooser.top_weight(h, step, class);
+    assert!(class.contains(x), "top weight outside its class");
+    graph.add_edge(r0, r, x).expect("fresh edge");
+    graph.add_edge(r1, r, x).expect("fresh edge");
+    parent_of[r0.index()] = Some(r);
+    parent_of[r1.index()] = Some(r);
+    // Paths between homologous vertices (including the two copy roots).
+    for k in 0..size {
+        let a0 = NodeId::from_index(start0 + k);
+        let a1 = NodeId::from_index(end0 + k);
+        let hat0 = NodeId::from_index(*next);
+        *next += 1;
+        let hat1 = NodeId::from_index(*next);
+        *next += 1;
+        let w = chooser.path_weight(h, step, k, class);
+        assert!(class.contains(w), "path weight outside its class");
+        graph.add_edge(a0, hat0, Weight(1)).expect("fresh edge");
+        let middle = graph.add_edge(hat0, hat1, w).expect("fresh edge");
+        graph.add_edge(hat1, a1, Weight(1)).expect("fresh edge");
+        parent_of[hat0.index()] = Some(a0);
+        parent_of[hat1.index()] = Some(a1);
+        paths.push(HyperPath {
+            a0,
+            hat0,
+            hat1,
+            a1,
+            middle,
+            level: h,
+        });
+    }
+    r
+}
+
+/// Lemma 4.3, measured directly: the *label-pair sets* `X(x)` must be
+/// disjoint across top weights.
+///
+/// For every offset `j < µ`, builds the legal hypertree whose top-level
+/// weight is `Q_{h-1}(µ)`'s `j`-th element (identical sub-hypertrees),
+/// labels it with `π_mst`, and collects the set of encoded label pairs
+/// `(L(a_0), L(a_1))` over all cross pairs `a_0 ∈ H_0, a_1 ∈ H_1`.
+/// Returns `(pairs_per_class, total_pairwise_collisions)`.
+///
+/// For any *correct* scheme collisions must be zero: the decoder applied
+/// to a cross pair returns `MAX(a_0, a_1) = x` (every cross path tops out
+/// at the root edges), so a shared pair would decode two different
+/// weights at once. The counting over the `µ` disjoint sets at each of
+/// `Θ(log n)` levels is what forces `Ω(log n log W)`-bit labels.
+///
+/// # Panics
+///
+/// Panics if `h < 2` or `mu == 0`.
+pub fn label_pair_collisions(h: u32, mu: u64) -> (usize, usize) {
+    use mstv_core::ProofLabelingScheme;
+    use std::collections::HashSet;
+    assert!(h >= 2 && mu >= 1, "need h ≥ 2 and µ ≥ 1");
+    let half = num_vertices(h - 1);
+    let scheme = mstv_core::MstScheme::new();
+    let mut sets: Vec<HashSet<(String, String)>> = Vec::new();
+    for j in 0..mu {
+        let mut offsets = vec![0u64; h as usize - 1];
+        offsets[h as usize - 2] = j;
+        let ht = Hypertree::build(h, mu, &mut LegalChooser::new(offsets));
+        let cfg = ht.config();
+        let labeling = scheme.marker(&cfg).expect("legal hypertree is an MST");
+        // Build order puts H_0 at indices 0..half and H_1 right after.
+        let mut set = HashSet::new();
+        for a0 in 0..half {
+            for a1 in half..2 * half {
+                set.insert((
+                    labeling.encoded(NodeId::from_index(a0)).to_string(),
+                    labeling.encoded(NodeId::from_index(a1)).to_string(),
+                ));
+            }
+        }
+        sets.push(set);
+    }
+    let pairs_per_class = half * half;
+    let mut collisions = 0;
+    for i in 0..sets.len() {
+        for j in (i + 1)..sets.len() {
+            collisions += sets[i].intersection(&sets[j]).count();
+        }
+    }
+    (pairs_per_class, collisions)
+}
+
+/// Outcome of the Lemma 4.3 adversarial experiment (see
+/// [`weight_swap_experiment`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightSwapReport {
+    /// The two top-level weights used.
+    pub x_heavy: Weight,
+    /// The lighter replacement.
+    pub x_light: Weight,
+    /// Whether the legal hypertree's own labels were accepted.
+    pub legal_accepted: bool,
+    /// Whether the tree stopped being an MST after the swap.
+    pub swap_voids_mst: bool,
+    /// Whether the stale labels were rejected on the swapped instance.
+    pub swap_rejected: bool,
+}
+
+impl WeightSwapReport {
+    /// Whether the experiment confirms the lower-bound mechanism: labels
+    /// for different `x` cannot be shared.
+    pub fn confirms_lower_bound(&self) -> bool {
+        self.legal_accepted && self.swap_voids_mst && self.swap_rejected
+    }
+}
+
+/// Plays the Lemma 4.3 adversary against `π_mst`: build a legal hypertree
+/// whose top level uses offset `µ − 1` (the heaviest class weight), label
+/// it, then swap one top-level path's middle weight down to offset 0. The
+/// spanning tree is no longer minimum; if the verifier still accepted the
+/// stale labels, the same labels would serve two different weights `x ≠
+/// x'` — exactly the collision the disjointness lemma forbids.
+///
+/// # Panics
+///
+/// Panics if `h < 2` or `mu < 2` (no two distinct weights to swap).
+pub fn weight_swap_experiment(h: u32, mu: u64) -> WeightSwapReport {
+    use mstv_core::ProofLabelingScheme;
+    assert!(h >= 2 && mu >= 2, "need h ≥ 2 and µ ≥ 2");
+    // Legal hypertree with the heaviest offset at the top level.
+    let mut offsets = vec![0u64; h as usize - 1];
+    offsets[h as usize - 2] = mu - 1;
+    let ht = Hypertree::build(h, mu, &mut LegalChooser::new(offsets));
+    let cfg = ht.config();
+    let scheme = mstv_core::MstScheme::new();
+    let labeling = scheme.marker(&cfg).expect("legal hypertree encodes an MST");
+    let legal_accepted = scheme.verify_all(&cfg, &labeling).accepted();
+    // Swap: take a top-level path and drop its middle weight to offset 0.
+    let class = WeightClass { i: h - 1, mu };
+    let top_path = ht
+        .paths
+        .iter()
+        .find(|p| p.level == h)
+        .expect("top level adds paths");
+    let x_heavy = class.weight(mu - 1);
+    let x_light = class.weight(0);
+    let mut swapped = cfg.clone();
+    swapped.graph_mut().set_weight(top_path.middle, x_light);
+    let tree_edges = swapped.induced_edges();
+    let swap_voids_mst = !mstv_mst::is_mst(swapped.graph(), &tree_edges);
+    let swap_rejected = !scheme.verify_all(&swapped, &labeling).accepted();
+    WeightSwapReport {
+        x_heavy,
+        x_light,
+        legal_accepted,
+        swap_voids_mst,
+        swap_rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_core::ProofLabelingScheme;
+
+    #[test]
+    fn vertex_counts() {
+        assert_eq!(num_vertices(1), 1);
+        assert_eq!(num_vertices(2), 5);
+        assert_eq!(num_vertices(3), 21);
+        assert_eq!(num_vertices(4), 85);
+        assert_eq!(num_vertices(5), 341);
+        for h in 2..=6 {
+            assert_eq!(num_vertices(h), 4 * num_vertices(h - 1) + 1);
+        }
+    }
+
+    #[test]
+    fn builds_expected_structure() {
+        let ht = Hypertree::legal(2, 3);
+        assert_eq!(ht.num_vertices(), 5);
+        // 2 root edges + 1 path (3 edges) = 5 edges.
+        assert_eq!(ht.graph.num_edges(), 5);
+        assert_eq!(ht.paths.len(), 1);
+        let edges = ht.induced_tree_edges();
+        assert!(ht.graph.is_spanning_tree(&edges));
+        // The middle edge is NOT in the induced tree.
+        assert!(!edges.contains(&ht.paths[0].middle));
+    }
+
+    #[test]
+    fn preorder_identities() {
+        let ht = Hypertree::legal(3, 2);
+        // Identities are a permutation of 1..=n with the root at 1.
+        let mut ids: Vec<u64> = ht.states.iter().map(|s| s.id).collect();
+        assert_eq!(ht.states[ht.root.index()].id, 1);
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=21u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unweighted_shape_is_h_mu_independent() {
+        // Given h, all (h, µ)-hypertrees are identical as unweighted
+        // graphs (paper remark).
+        let a = Hypertree::legal(3, 2);
+        let b = Hypertree::build(3, 7, &mut LegalChooser::new(vec![1, 5]));
+        assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for (ea, eb) in a.graph.edges().zip(b.graph.edges()) {
+            assert_eq!((ea.1.u, ea.1.v), (eb.1.u, eb.1.v));
+        }
+        assert_eq!(
+            a.states.iter().map(|s| s.parent_port).collect::<Vec<_>>(),
+            b.states.iter().map(|s| s.parent_port).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn claim_4_1_legal_paths_realize_max() {
+        for (h, mu) in [(2u32, 2u64), (3, 3), (4, 4), (5, 2)] {
+            let ht = Hypertree::legal(h, mu);
+            assert!(ht.is_legal(), "h={h} µ={mu}");
+        }
+    }
+
+    #[test]
+    fn claim_4_1_induced_tree_is_mst() {
+        for (h, mu) in [(2u32, 2u64), (3, 3), (4, 4)] {
+            let ht = Hypertree::legal(h, mu);
+            let edges = ht.induced_tree_edges();
+            assert!(mstv_mst::is_mst(&ht.graph, &edges), "h={h} µ={mu}");
+        }
+    }
+
+    #[test]
+    fn legal_with_nonzero_offsets_is_mst_too() {
+        let ht = Hypertree::build(4, 5, &mut LegalChooser::new(vec![4, 0, 2]));
+        assert!(ht.is_legal());
+        assert!(mstv_mst::is_mst(&ht.graph, &ht.induced_tree_edges()));
+    }
+
+    #[test]
+    fn illegal_hypertree_detected() {
+        // A chooser that gives paths a weight lighter than the top weight
+        // makes the induced tree non-minimum.
+        struct Illegal;
+        impl WeightChooser for Illegal {
+            fn top_weight(&mut self, _: u32, _: usize, class: WeightClass) -> Weight {
+                class.weight(class.mu - 1)
+            }
+            fn path_weight(&mut self, _: u32, _: usize, _: usize, class: WeightClass) -> Weight {
+                class.weight(0)
+            }
+        }
+        let ht = Hypertree::build(3, 4, &mut Illegal);
+        assert!(!ht.is_legal());
+        assert!(!mstv_mst::is_mst(&ht.graph, &ht.induced_tree_edges()));
+    }
+
+    #[test]
+    fn pi_mst_on_hypertrees() {
+        // Our scheme labels and accepts legal hypertrees.
+        for (h, mu) in [(2u32, 4u64), (4, 8)] {
+            let ht = Hypertree::legal(h, mu);
+            let cfg = ht.config();
+            let scheme = mstv_core::MstScheme::new();
+            let labeling = scheme.marker(&cfg).unwrap();
+            assert!(scheme.verify_all(&cfg, &labeling).accepted(), "h={h}");
+        }
+    }
+
+    #[test]
+    fn weight_swap_confirms_lower_bound_mechanism() {
+        for (h, mu) in [(2u32, 2u64), (3, 4), (4, 8), (5, 3)] {
+            let report = weight_swap_experiment(h, mu);
+            assert!(report.confirms_lower_bound(), "h={h} µ={mu}: {report:?}");
+            assert!(report.x_heavy > report.x_light);
+        }
+    }
+
+    #[test]
+    fn label_pair_sets_disjoint_across_top_weights() {
+        for (h, mu) in [(2u32, 3u64), (3, 4), (4, 2)] {
+            let (pairs, collisions) = label_pair_collisions(h, mu);
+            assert!(pairs > 0);
+            assert_eq!(collisions, 0, "h={h} µ={mu}");
+        }
+    }
+
+    #[test]
+    fn family_counting_grows() {
+        assert_eq!(num_weight_choices(1), 0);
+        assert_eq!(num_weight_choices(2), 2); // 1 top + 1 path
+                                              // h=3: level-3 step: 1 + n(2)=5 paths → 6; two level-2 steps → 2·2.
+        assert_eq!(num_weight_choices(3), 10);
+        assert!(log2_family_size(4, 8) > log2_family_size(3, 8));
+        assert!(log2_family_size(3, 16) > log2_family_size(3, 8));
+        assert_eq!(log2_family_size(3, 1), 0.0);
+    }
+
+    #[test]
+    fn weight_class_membership() {
+        let c = WeightClass { i: 3, mu: 5 };
+        assert_eq!(c.weight(0), Weight(15));
+        assert_eq!(c.weight(4), Weight(19));
+        assert!(c.contains(Weight(17)));
+        assert!(!c.contains(Weight(20)));
+        assert!(!c.contains(Weight(14)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn weight_class_bounds() {
+        let c = WeightClass { i: 1, mu: 3 };
+        let _ = c.weight(3);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the hypertree construction.
+
+use mstv_graph::Weight;
+use mstv_hypertree::{num_vertices, Hypertree, LegalChooser, WeightChooser, WeightClass};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn legal_hypertrees_satisfy_claim_4_1(
+        h in 2u32..6,
+        mu in 1u64..10,
+        offsets in proptest::collection::vec(0u64..16, 4),
+    ) {
+        let ht = Hypertree::build(h, mu, &mut LegalChooser::new(offsets));
+        prop_assert_eq!(ht.num_vertices(), num_vertices(h));
+        prop_assert!(ht.is_legal());
+        let edges = ht.induced_tree_edges();
+        prop_assert!(ht.graph.is_spanning_tree(&edges));
+        prop_assert!(mstv_mst::is_mst(&ht.graph, &edges));
+    }
+
+    #[test]
+    fn arbitrary_choosers_yield_spanning_trees(
+        h in 2u32..5,
+        mu in 2u64..8,
+        top_offsets in proptest::collection::vec(0u64..8, 16),
+        path_offsets in proptest::collection::vec(0u64..8, 64),
+    ) {
+        // Even illegal weight choices keep the structural invariants: the
+        // induced subgraph is a spanning tree and all weights stay in
+        // their classes (only minimality may break).
+        struct FromLists {
+            tops: Vec<u64>,
+            paths: Vec<u64>,
+            ti: usize,
+            pi: usize,
+        }
+        impl WeightChooser for FromLists {
+            fn top_weight(&mut self, _: u32, _: usize, class: WeightClass) -> Weight {
+                let j = self.tops[self.ti % self.tops.len()] % class.mu;
+                self.ti += 1;
+                class.weight(j)
+            }
+            fn path_weight(&mut self, _: u32, _: usize, _: usize, class: WeightClass) -> Weight {
+                let j = self.paths[self.pi % self.paths.len()] % class.mu;
+                self.pi += 1;
+                class.weight(j)
+            }
+        }
+        let ht = Hypertree::build(
+            h,
+            mu,
+            &mut FromLists { tops: top_offsets, paths: path_offsets, ti: 0, pi: 0 },
+        );
+        let edges = ht.induced_tree_edges();
+        prop_assert!(ht.graph.is_spanning_tree(&edges));
+        // Every path's middle weight lies in its level's class.
+        for p in &ht.paths {
+            let class = WeightClass { i: p.level - 1, mu };
+            prop_assert!(class.contains(ht.graph.weight(p.middle)));
+        }
+        // Identities are a permutation of 1..=n.
+        let mut ids: Vec<u64> = ht.states.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (1..=ht.num_vertices() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn path_counts_match_the_recursion(h in 1u32..6, mu in 1u64..6) {
+        let ht = Hypertree::legal(h, mu);
+        // #paths(h) = n(h-1) + 2 * #paths(h-1); closed form below.
+        let expected: usize = (2..=h)
+            .map(|k| (1usize << (h - k)) * num_vertices(k - 1))
+            .sum();
+        prop_assert_eq!(ht.paths.len(), expected);
+        // Edge count: n-1 tree edges + 2 extra per path (the middle edge
+        // and… actually each path adds 3 edges of which 2 are tree edges
+        // for the hats): m = (n - 1) + #paths.
+        prop_assert_eq!(
+            ht.graph.num_edges(),
+            ht.num_vertices() - 1 + ht.paths.len()
+        );
+    }
+}

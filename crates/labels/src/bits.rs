@@ -1,0 +1,335 @@
+//! Bit-exact label serialization.
+//!
+//! Every labeling scheme in this workspace reports sizes in *bits*, not
+//! estimated from struct layouts: labels serialize into [`BitString`]s via
+//! self-delimiting codes, and the experiments measure the maximum encoded
+//! length — the exact quantity the paper's bounds speak about.
+
+use std::fmt;
+
+/// A growable bit string (MSB-first within the logical stream).
+/// # Example
+///
+/// ```
+/// use mstv_labels::BitString;
+///
+/// let mut bits = BitString::new();
+/// bits.push_bits(0b101, 3);
+/// bits.push_elias_gamma(9);
+/// let mut r = bits.reader();
+/// assert_eq!(r.read_bits(3), 0b101);
+/// assert_eq!(r.read_elias_gamma(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitString {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitString {
+    /// An empty bit string.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits have been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a single bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let offset = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << offset;
+        }
+        self.len += 1;
+    }
+
+    /// Reads the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index out of range");
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Appends the lowest `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` does not fit in `width` bits.
+    pub fn push_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width exceeds 64");
+        assert!(
+            width == 64 || value < 1u64 << width,
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            self.push(value >> i & 1 == 1);
+        }
+    }
+
+    /// Appends the Elias gamma code of `value` (requires `value >= 1`):
+    /// `⌊log₂ v⌋` zeros, then the binary expansion of `v`. Costs
+    /// `2⌊log₂ v⌋ + 1` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    pub fn push_elias_gamma(&mut self, value: u64) {
+        assert!(value >= 1, "Elias gamma encodes positive integers");
+        let bits = 64 - value.leading_zeros();
+        for _ in 0..bits - 1 {
+            self.push(false);
+        }
+        self.push_bits(value, bits);
+    }
+
+    /// Appends the Elias delta code of `value >= 1`: the gamma code of the
+    /// bit length, then the value without its leading 1. Costs
+    /// `⌊log₂ v⌋ + 2⌊log₂(⌊log₂ v⌋ + 1)⌋ + 1` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    pub fn push_elias_delta(&mut self, value: u64) {
+        assert!(value >= 1, "Elias delta encodes positive integers");
+        let bits = 64 - value.leading_zeros();
+        self.push_elias_gamma(u64::from(bits));
+        if bits > 1 {
+            self.push_bits(value & ((1u64 << (bits - 1)) - 1), bits - 1);
+        }
+    }
+
+    /// Appends all bits of another bit string.
+    pub fn extend_from(&mut self, other: &BitString) {
+        for i in 0..other.len() {
+            self.push(other.get(i));
+        }
+    }
+
+    /// A cursor for reading this bit string from the start.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader { bits: self, pos: 0 }
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len == 0 {
+            write!(f, "ε")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sequential reader over a [`BitString`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bits: &'a BitString,
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    /// Current read position in bits.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics at end of stream.
+    pub fn read_bit(&mut self) -> bool {
+        let b = self.bits.get(self.pos);
+        self.pos += 1;
+        b
+    }
+
+    /// Reads `width` bits, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `width` bits remain or `width > 64`.
+    pub fn read_bits(&mut self, width: u32) -> u64 {
+        assert!(width <= 64, "width exceeds 64");
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | u64::from(self.read_bit());
+        }
+        v
+    }
+
+    /// Reads an Elias gamma code.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated stream.
+    pub fn read_elias_gamma(&mut self) -> u64 {
+        let mut zeros = 0u32;
+        while !self.read_bit() {
+            zeros += 1;
+        }
+        let mut v = 1u64;
+        for _ in 0..zeros {
+            v = (v << 1) | u64::from(self.read_bit());
+        }
+        v
+    }
+
+    /// Reads an Elias delta code.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated stream.
+    pub fn read_elias_delta(&mut self) -> u64 {
+        let bits = self.read_elias_gamma() as u32;
+        let mut v = 1u64;
+        for _ in 0..bits - 1 {
+            v = (v << 1) | u64::from(self.read_bit());
+        }
+        v
+    }
+}
+
+/// Length in bits of the Elias gamma code of `value >= 1`.
+pub fn elias_gamma_len(value: u64) -> usize {
+    debug_assert!(value >= 1);
+    let bits = (64 - value.leading_zeros()) as usize;
+    2 * bits - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut b = BitString::new();
+        b.push(true);
+        b.push(false);
+        b.push(true);
+        assert_eq!(b.len(), 3);
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(2));
+        assert_eq!(b.to_string(), "101");
+        assert_eq!(BitString::new().to_string(), "ε");
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut b = BitString::new();
+        b.push_bits(0b1011, 4);
+        b.push_bits(7, 10);
+        b.push_bits(u64::MAX, 64);
+        let mut r = b.reader();
+        assert_eq!(r.read_bits(4), 0b1011);
+        assert_eq!(r.read_bits(10), 7);
+        assert_eq!(r.read_bits(64), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_rejected() {
+        let mut b = BitString::new();
+        b.push_bits(16, 4);
+    }
+
+    #[test]
+    fn elias_gamma_roundtrip() {
+        let mut b = BitString::new();
+        let values = [1u64, 2, 3, 4, 5, 17, 100, 1_000_000, u64::MAX];
+        for &v in &values {
+            b.push_elias_gamma(v);
+        }
+        let mut r = b.reader();
+        for &v in &values {
+            assert_eq!(r.read_elias_gamma(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn elias_gamma_known_codes() {
+        let mut b = BitString::new();
+        b.push_elias_gamma(1);
+        assert_eq!(b.to_string(), "1");
+        let mut b = BitString::new();
+        b.push_elias_gamma(5);
+        assert_eq!(b.to_string(), "00101");
+        assert_eq!(elias_gamma_len(1), 1);
+        assert_eq!(elias_gamma_len(5), 5);
+        assert_eq!(elias_gamma_len(8), 7);
+    }
+
+    #[test]
+    fn elias_delta_roundtrip() {
+        let mut b = BitString::new();
+        let values = [1u64, 2, 3, 10, 31, 32, 12345, u64::MAX];
+        for &v in &values {
+            b.push_elias_delta(v);
+        }
+        let mut r = b.reader();
+        for &v in &values {
+            assert_eq!(r.read_elias_delta(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn delta_shorter_than_gamma_for_large_values() {
+        let mut g = BitString::new();
+        g.push_elias_gamma(1_000_000);
+        let mut d = BitString::new();
+        d.push_elias_delta(1_000_000);
+        assert!(d.len() < g.len());
+    }
+
+    #[test]
+    fn extend_and_cross_word_boundaries() {
+        let mut a = BitString::new();
+        for i in 0..130 {
+            a.push(i % 3 == 0);
+        }
+        let mut b = BitString::new();
+        b.push(true);
+        b.extend_from(&a);
+        assert_eq!(b.len(), 131);
+        assert!(b.get(0));
+        for i in 0..130 {
+            assert_eq!(b.get(i + 1), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range() {
+        let b = BitString::new();
+        let _ = b.get(0);
+    }
+}

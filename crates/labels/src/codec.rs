@@ -1,0 +1,426 @@
+//! Bit-level encodings of the implicit labels, with exact size accounting.
+//!
+//! Two separator-field codecs realize the paper's size distinction:
+//!
+//! * [`SepFieldCodec::EliasGamma`] — `γ_small` (Section 3.1.2): ranks are
+//!   ordered by decreasing subtree size, so the rank written at level `k`
+//!   costs `O(1 + log(size_{k-1} / size_k))` bits and the whole separator
+//!   path telescopes to `O(log n)` bits (the technique borrowed from the
+//!   approximate-distance labels of Gavoille–Peleg–Pérennes–Raz).
+//! * [`SepFieldCodec::FixedWidth`] — the unoptimized member of `Γ`:
+//!   `⌈log₂ n⌉` bits per field, `O(log² n)` total, which is exactly the
+//!   separator-path cost of the earlier `O(log² n + log n log W)` schemes
+//!   (\[KKP05\] for MST, \[KKKP04\] for FLOW). Keeping it around gives the
+//!   baseline for experiments E2/E8 and the ablation of DESIGN.md.
+//!
+//! `ω` fields are fixed-width at `⌈log₂(W+1)⌉` bits. All encodings are
+//! self-delimiting and round-trip exactly, so reported bit counts are
+//! honest.
+
+use mstv_graph::{NodeId, Weight};
+use mstv_trees::{centroid_decomposition, RootedTree, SeparatorDecomposition};
+
+use crate::{
+    decode_flow, decode_max, flow_labels, max_labels, BitString, FlowLabel, MaxLabel, FLOW_INFINITY,
+};
+
+/// How separator-path fields are written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SepFieldCodec {
+    /// Elias gamma of `rank + 1`; sizes telescope for size-ordered ranks.
+    EliasGamma,
+    /// A fixed number of bits per field.
+    FixedWidth {
+        /// Bits per separator field.
+        bits: u32,
+    },
+}
+
+/// Scheme-level encoding parameters, shared by all labels of one instance
+/// (they are "known to the algorithm", not carried per label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelCodec {
+    /// Separator-field codec.
+    pub sep_codec: SepFieldCodec,
+    /// Width of each `ω` field: `⌈log₂(W+1)⌉` for maximum weight `W`.
+    pub omega_bits: u32,
+}
+
+impl LabelCodec {
+    /// Derives a codec for `tree`: `ω` fields sized for the tree's largest
+    /// weight.
+    pub fn for_tree(tree: &RootedTree, sep_codec: SepFieldCodec) -> Self {
+        let max_w = tree.edges().map(|(_, _, w)| w).max().unwrap_or(Weight(1));
+        LabelCodec {
+            sep_codec,
+            omega_bits: max_w.bit_width(),
+        }
+    }
+
+    fn push_sep_field(&self, out: &mut BitString, value: u64) {
+        match self.sep_codec {
+            SepFieldCodec::EliasGamma => out.push_elias_gamma(value + 1),
+            SepFieldCodec::FixedWidth { bits } => out.push_bits(value, bits),
+        }
+    }
+
+    fn read_sep_field(&self, r: &mut crate::BitReader<'_>) -> u64 {
+        match self.sep_codec {
+            SepFieldCodec::EliasGamma => r.read_elias_gamma() - 1,
+            SepFieldCodec::FixedWidth { bits } => r.read_bits(bits),
+        }
+    }
+
+    /// Serializes a `MAX` label: `gamma(l)`, then the `l - 1` non-constant
+    /// separator fields, then `l` fixed-width `ω` fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `ω` value does not fit in `omega_bits` or a separator
+    /// field overflows a fixed-width codec.
+    pub fn encode_max(&self, label: &MaxLabel) -> BitString {
+        let mut out = BitString::new();
+        out.push_elias_gamma(label.level() as u64);
+        for &f in &label.sep[1..] {
+            self.push_sep_field(&mut out, f);
+        }
+        for &w in &label.omega {
+            out.push_bits(w.0, self.omega_bits);
+        }
+        out
+    }
+
+    /// Deserializes a `MAX` label.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated bit string.
+    pub fn decode_max_label(&self, bits: &BitString) -> MaxLabel {
+        let mut r = bits.reader();
+        let l = r.read_elias_gamma() as usize;
+        let mut sep = Vec::with_capacity(l);
+        sep.push(0);
+        for _ in 1..l {
+            sep.push(self.read_sep_field(&mut r));
+        }
+        let omega = (0..l)
+            .map(|_| Weight(r.read_bits(self.omega_bits)))
+            .collect();
+        MaxLabel { sep, omega }
+    }
+
+    /// Serializes a `FLOW` label; the neutral `+∞` is written as the
+    /// reserved pattern `0` (weights are positive, so `0` is free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a finite `φ` value does not fit in `omega_bits`.
+    pub fn encode_flow(&self, label: &FlowLabel) -> BitString {
+        let mut out = BitString::new();
+        out.push_elias_gamma(label.level() as u64);
+        for &f in &label.sep[1..] {
+            self.push_sep_field(&mut out, f);
+        }
+        for &w in &label.phi {
+            let raw = if w == FLOW_INFINITY { 0 } else { w.0 };
+            out.push_bits(raw, self.omega_bits);
+        }
+        out
+    }
+
+    /// Deserializes a `FLOW` label.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated bit string.
+    pub fn decode_flow_label(&self, bits: &BitString) -> FlowLabel {
+        let mut r = bits.reader();
+        let l = r.read_elias_gamma() as usize;
+        let mut sep = Vec::with_capacity(l);
+        sep.push(0);
+        for _ in 1..l {
+            sep.push(self.read_sep_field(&mut r));
+        }
+        let phi = (0..l)
+            .map(|_| {
+                let raw = r.read_bits(self.omega_bits);
+                if raw == 0 {
+                    FLOW_INFINITY
+                } else {
+                    Weight(raw)
+                }
+            })
+            .collect();
+        FlowLabel { sep, phi }
+    }
+}
+
+/// A fully materialized implicit `MAX` labeling scheme over one tree:
+/// structured labels, their exact bit encodings, and the decoder.
+#[derive(Debug, Clone)]
+pub struct ImplicitMaxScheme {
+    codec: LabelCodec,
+    labels: Vec<MaxLabel>,
+    encoded: Vec<BitString>,
+}
+
+impl ImplicitMaxScheme {
+    /// `γ_small` (Lemma 3.2): perfect (centroid) separator decomposition
+    /// with size-ordered Elias-gamma ranks — `O(log n log W)` bits.
+    pub fn gamma_small(tree: &RootedTree) -> Self {
+        let sep = centroid_decomposition(tree);
+        Self::with_decomposition(tree, &sep, SepFieldCodec::EliasGamma)
+    }
+
+    /// The unoptimized baseline: centroid decomposition with fixed-width
+    /// `⌈log₂ n⌉`-bit separator fields — `O(log² n + log n log W)` bits,
+    /// the size of the previously known schemes.
+    pub fn fixed_width_baseline(tree: &RootedTree) -> Self {
+        let sep = centroid_decomposition(tree);
+        let bits = (usize::BITS - tree.num_nodes().leading_zeros()).max(1);
+        Self::with_decomposition(tree, &sep, SepFieldCodec::FixedWidth { bits })
+    }
+
+    /// An arbitrary member of `Γ`: any decomposition, any codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sep` does not match `tree`, or if a rank overflows a
+    /// fixed-width codec.
+    pub fn with_decomposition(
+        tree: &RootedTree,
+        sep: &SeparatorDecomposition,
+        sep_codec: SepFieldCodec,
+    ) -> Self {
+        let codec = LabelCodec::for_tree(tree, sep_codec);
+        let labels = max_labels(tree, sep);
+        let encoded = labels.iter().map(|l| codec.encode_max(l)).collect();
+        ImplicitMaxScheme {
+            codec,
+            labels,
+            encoded,
+        }
+    }
+
+    /// The codec shared by all labels.
+    pub fn codec(&self) -> LabelCodec {
+        self.codec
+    }
+
+    /// The structured label of `v`.
+    pub fn label(&self, v: NodeId) -> &MaxLabel {
+        &self.labels[v.index()]
+    }
+
+    /// All structured labels.
+    pub fn labels(&self) -> &[MaxLabel] {
+        &self.labels
+    }
+
+    /// The bit encoding of `v`'s label.
+    pub fn encoded(&self, v: NodeId) -> &BitString {
+        &self.encoded[v.index()]
+    }
+
+    /// The scheme's size: the maximum label length in bits.
+    pub fn max_label_bits(&self) -> usize {
+        self.encoded.iter().map(BitString::len).max().unwrap_or(0)
+    }
+
+    /// Total bits over all labels.
+    pub fn total_bits(&self) -> usize {
+        self.encoded.iter().map(BitString::len).sum()
+    }
+
+    /// `MAX(u, v)` through the decoder.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Weight {
+        decode_max(self.label(u), self.label(v))
+    }
+}
+
+/// A fully materialized implicit `FLOW` labeling scheme; mirrors
+/// [`ImplicitMaxScheme`].
+#[derive(Debug, Clone)]
+pub struct ImplicitFlowScheme {
+    codec: LabelCodec,
+    labels: Vec<FlowLabel>,
+    encoded: Vec<BitString>,
+}
+
+impl ImplicitFlowScheme {
+    /// The `O(log n log W)` `FLOW` scheme derived from `γ_small`.
+    pub fn gamma_small(tree: &RootedTree) -> Self {
+        let sep = centroid_decomposition(tree);
+        Self::with_decomposition(tree, &sep, SepFieldCodec::EliasGamma)
+    }
+
+    /// The `O(log² n + log n log W)` baseline shape of \[KKKP04\].
+    pub fn fixed_width_baseline(tree: &RootedTree) -> Self {
+        let sep = centroid_decomposition(tree);
+        let bits = (usize::BITS - tree.num_nodes().leading_zeros()).max(1);
+        Self::with_decomposition(tree, &sep, SepFieldCodec::FixedWidth { bits })
+    }
+
+    /// An arbitrary member of the family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sep` does not match `tree`.
+    pub fn with_decomposition(
+        tree: &RootedTree,
+        sep: &SeparatorDecomposition,
+        sep_codec: SepFieldCodec,
+    ) -> Self {
+        let codec = LabelCodec::for_tree(tree, sep_codec);
+        let labels = flow_labels(tree, sep);
+        let encoded = labels.iter().map(|l| codec.encode_flow(l)).collect();
+        ImplicitFlowScheme {
+            codec,
+            labels,
+            encoded,
+        }
+    }
+
+    /// The codec shared by all labels.
+    pub fn codec(&self) -> LabelCodec {
+        self.codec
+    }
+
+    /// The structured label of `v`.
+    pub fn label(&self, v: NodeId) -> &FlowLabel {
+        &self.labels[v.index()]
+    }
+
+    /// The bit encoding of `v`'s label.
+    pub fn encoded(&self, v: NodeId) -> &BitString {
+        &self.encoded[v.index()]
+    }
+
+    /// The scheme's size: the maximum label length in bits.
+    pub fn max_label_bits(&self) -> usize {
+        self.encoded.iter().map(BitString::len).max().unwrap_or(0)
+    }
+
+    /// `FLOW(u, v)` through the decoder.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Weight {
+        decode_flow(self.label(u), self.label(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree_of(n: usize, max_w: u64, seed: u64) -> RootedTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_tree(n, gen::WeightDist::Uniform { max: max_w }, &mut rng);
+        RootedTree::from_graph(&g, NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn max_label_roundtrip() {
+        let t = tree_of(80, 1000, 1);
+        for scheme in [
+            ImplicitMaxScheme::gamma_small(&t),
+            ImplicitMaxScheme::fixed_width_baseline(&t),
+        ] {
+            for v in t.nodes() {
+                let decoded = scheme.codec().decode_max_label(scheme.encoded(v));
+                assert_eq!(&decoded, scheme.label(v), "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn flow_label_roundtrip() {
+        let t = tree_of(80, 1000, 2);
+        for scheme in [
+            ImplicitFlowScheme::gamma_small(&t),
+            ImplicitFlowScheme::fixed_width_baseline(&t),
+        ] {
+            for v in t.nodes() {
+                let decoded = scheme.codec().decode_flow_label(scheme.encoded(v));
+                assert_eq!(&decoded, scheme.label(v), "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn queries_through_encoded_labels() {
+        // Decode from bits, then run the decoder: end-to-end correctness.
+        let t = tree_of(50, 300, 3);
+        let scheme = ImplicitMaxScheme::gamma_small(&t);
+        let codec = scheme.codec();
+        for u in t.nodes() {
+            for v in t.nodes() {
+                if u == v {
+                    continue;
+                }
+                let a = codec.decode_max_label(scheme.encoded(u));
+                let b = codec.decode_max_label(scheme.encoded(v));
+                assert_eq!(decode_max(&a, &b), t.max_on_path_naive(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_small_never_larger_than_fixed_width() {
+        for (n, w, seed) in [(20usize, 10u64, 4u64), (200, 1000, 5), (999, 7, 6)] {
+            let t = tree_of(n, w, seed);
+            let small = ImplicitMaxScheme::gamma_small(&t);
+            let wide = ImplicitMaxScheme::fixed_width_baseline(&t);
+            assert!(
+                small.max_label_bits() <= wide.max_label_bits(),
+                "n={n} w={w}: {} > {}",
+                small.max_label_bits(),
+                wide.max_label_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_small_size_is_log_n_log_w() {
+        // Generous constant-factor check of Lemma 3.2 on random trees.
+        for (n, w, seed) in [(64usize, 255u64, 7u64), (512, 65_535, 8), (2048, 3, 9)] {
+            let t = tree_of(n, w, seed);
+            let scheme = ImplicitMaxScheme::gamma_small(&t);
+            let log_n = (usize::BITS - n.leading_zeros()) as usize;
+            let log_w = Weight(w).bit_width() as usize;
+            let bound = 6 * log_n * log_w + 8 * log_n + 32;
+            assert!(
+                scheme.max_label_bits() <= bound,
+                "n={n} W={w}: {} bits > bound {bound}",
+                scheme.max_label_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn flow_scheme_correct_through_bits() {
+        let t = tree_of(40, 500, 10);
+        let scheme = ImplicitFlowScheme::gamma_small(&t);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                if u != v {
+                    assert_eq!(scheme.query(u, v), t.min_on_path_naive(u, v));
+                }
+            }
+        }
+        assert_eq!(scheme.query(NodeId(0), NodeId(0)), FLOW_INFINITY);
+    }
+
+    #[test]
+    fn sizes_reported_consistently() {
+        let t = tree_of(30, 50, 11);
+        let scheme = ImplicitMaxScheme::gamma_small(&t);
+        let max = scheme.max_label_bits();
+        let total = scheme.total_bits();
+        assert!(max > 0);
+        assert!(total >= max);
+        assert!(total <= max * t.num_nodes());
+        assert_eq!(scheme.labels().len(), 30);
+    }
+}

@@ -1,0 +1,167 @@
+//! Implicit labels supporting `FLOW(·,·)` (path minimum) on weighted trees.
+//!
+//! The paper remarks (Section 3.1.2) that `γ_small` transforms directly
+//! into a `FLOW` labeling scheme of the same `O(log n log W)` size,
+//! improving the `O(log² n + log n log W)` bound of Katz–Katz–Korman–Peleg.
+//! The construction is the `MAX` scheme with minima in the `ω` fields and a
+//! `min` in the decoder; the empty path carries the neutral element `+∞`.
+
+use mstv_graph::{NodeId, Weight};
+use mstv_trees::{PathMaxIndex, RootedTree, SeparatorDecomposition};
+
+use crate::max_label::common_prefix;
+
+/// The neutral element of the path minimum: `FLOW(v, v)`.
+pub const FLOW_INFINITY: Weight = Weight(u64::MAX);
+
+/// A `FLOW` label for one vertex; shape mirrors [`crate::MaxLabel`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlowLabel {
+    /// Separator-path fields, exactly as in the `MAX` labels.
+    pub sep: Vec<u64>,
+    /// `phi[k]` = `FLOW(v, v_{k+1})`; the last field is [`FLOW_INFINITY`].
+    pub phi: Vec<Weight>,
+}
+
+impl FlowLabel {
+    /// The separator level `l` of the labelled vertex.
+    pub fn level(&self) -> usize {
+        self.sep.len()
+    }
+}
+
+/// Encodes `FLOW` labels for every vertex under the given decomposition.
+///
+/// # Panics
+///
+/// Panics if `sep` does not belong to `tree`.
+pub fn flow_labels(tree: &RootedTree, sep: &SeparatorDecomposition) -> Vec<FlowLabel> {
+    assert_eq!(
+        tree.num_nodes(),
+        sep.num_nodes(),
+        "decomposition does not match tree"
+    );
+    let idx = PathMaxIndex::new(tree);
+    tree.nodes()
+        .map(|v| {
+            let chain = sep.ancestors(v);
+            let mut fields = Vec::with_capacity(chain.len());
+            fields.push(0u64);
+            for &a in &chain[1..] {
+                fields.push(u64::from(sep.child_rank(a)));
+            }
+            let phi = chain.iter().map(|&a| idx.min_on_path(v, a)).collect();
+            FlowLabel { sep: fields, phi }
+        })
+        .collect()
+}
+
+/// The `FLOW` decoder: returns the smallest edge weight on the tree path
+/// between the two labelled vertices ([`FLOW_INFINITY`] when they
+/// coincide).
+///
+/// # Panics
+///
+/// Panics if the labels share no prefix field.
+pub fn decode_flow(a: &FlowLabel, b: &FlowLabel) -> Weight {
+    let cp = common_prefix(&a.sep, &b.sep);
+    assert!(cp >= 1, "labels from different schemes");
+    a.phi[cp - 1].min(b.phi[cp - 1])
+}
+
+/// Whole-tree `FLOW` oracle for tests and benchmarks.
+#[derive(Debug, Clone)]
+pub struct FlowLabelOracle {
+    labels: Vec<FlowLabel>,
+}
+
+impl FlowLabelOracle {
+    /// Encodes labels under the given decomposition.
+    pub fn new(tree: &RootedTree, sep: &SeparatorDecomposition) -> Self {
+        FlowLabelOracle {
+            labels: flow_labels(tree, sep),
+        }
+    }
+
+    /// The label of vertex `v`.
+    pub fn label(&self, v: NodeId) -> &FlowLabel {
+        &self.labels[v.index()]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[FlowLabel] {
+        &self.labels
+    }
+
+    /// `FLOW(u, v)` via the two labels.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Weight {
+        decode_flow(self.label(u), self.label(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::gen;
+    use mstv_trees::{centroid_decomposition, random_decomposition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree_of(n: usize, max_w: u64, seed: u64) -> RootedTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_tree(n, gen::WeightDist::Uniform { max: max_w }, &mut rng);
+        RootedTree::from_graph(&g, NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn decoder_correct_exhaustively() {
+        for (n, seed) in [(2usize, 40u64), (9, 41), (70, 42)] {
+            let t = tree_of(n, 200, seed);
+            let d = centroid_decomposition(&t);
+            let oracle = FlowLabelOracle::new(&t, &d);
+            for u in t.nodes() {
+                for v in t.nodes() {
+                    if u != v {
+                        assert_eq!(
+                            oracle.query(u, v),
+                            t.min_on_path_naive(u, v),
+                            "n={n} u={u} v={v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_for_any_decomposition() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let t = tree_of(40, 60, 44);
+        let d = random_decomposition(&t, &mut rng);
+        let oracle = FlowLabelOracle::new(&t, &d);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                if u != v {
+                    assert_eq!(oracle.query(u, v), t.min_on_path_naive(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_is_infinity() {
+        let t = tree_of(10, 9, 45);
+        let d = centroid_decomposition(&t);
+        let oracle = FlowLabelOracle::new(&t, &d);
+        assert_eq!(oracle.query(NodeId(3), NodeId(3)), FLOW_INFINITY);
+    }
+
+    #[test]
+    fn last_field_is_neutral() {
+        let t = tree_of(25, 30, 46);
+        let d = centroid_decomposition(&t);
+        for l in FlowLabelOracle::new(&t, &d).labels() {
+            assert_eq!(l.phi[l.level() - 1], FLOW_INFINITY);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the bit-exact codec layer: arbitrary interleavings
+//! of fixed-width, Elias-gamma, and Elias-delta writes must round-trip,
+//! and label encodings must round-trip for arbitrary valid labels.
+
+use mstv_graph::Weight;
+use mstv_labels::{BitString, LabelCodec, MaxLabel, SepFieldCodec};
+use proptest::prelude::*;
+
+/// One write operation against the bit stream.
+#[derive(Debug, Clone)]
+enum Op {
+    Bits(u64, u32),
+    Gamma(u64),
+    Delta(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u64>(), 1u32..=64).prop_map(|(v, w)| {
+            let v = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            Op::Bits(v, w)
+        }),
+        (1u64..u64::MAX).prop_map(Op::Gamma),
+        (1u64..u64::MAX).prop_map(Op::Delta),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn interleaved_writes_roundtrip(ops in proptest::collection::vec(op_strategy(), 0..50)) {
+        let mut b = BitString::new();
+        for op in &ops {
+            match *op {
+                Op::Bits(v, w) => b.push_bits(v, w),
+                Op::Gamma(v) => b.push_elias_gamma(v),
+                Op::Delta(v) => b.push_elias_delta(v),
+            }
+        }
+        let mut r = b.reader();
+        for op in &ops {
+            match *op {
+                Op::Bits(v, w) => prop_assert_eq!(r.read_bits(w), v),
+                Op::Gamma(v) => prop_assert_eq!(r.read_elias_gamma(), v),
+                Op::Delta(v) => prop_assert_eq!(r.read_elias_delta(), v),
+            }
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bit_pushes_match_gets(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let mut b = BitString::new();
+        for &bit in &bits {
+            b.push(bit);
+        }
+        prop_assert_eq!(b.len(), bits.len());
+        for (i, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(b.get(i), bit);
+        }
+    }
+
+    #[test]
+    fn extend_concatenates(
+        a in proptest::collection::vec(any::<bool>(), 0..100),
+        c in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let mut left = BitString::new();
+        for &bit in &a {
+            left.push(bit);
+        }
+        let mut right = BitString::new();
+        for &bit in &c {
+            right.push(bit);
+        }
+        let mut both = BitString::new();
+        both.extend_from(&left);
+        both.extend_from(&right);
+        prop_assert_eq!(both.len(), a.len() + c.len());
+        for (i, &bit) in a.iter().chain(c.iter()).enumerate() {
+            prop_assert_eq!(both.get(i), bit);
+        }
+    }
+
+    #[test]
+    fn max_label_codec_roundtrips_arbitrary_labels(
+        level in 1usize..12,
+        seps in proptest::collection::vec(0u64..1000, 11),
+        omegas in proptest::collection::vec(0u64..(1 << 20), 12),
+        fixed in any::<bool>(),
+    ) {
+        let mut sep = vec![0u64];
+        sep.extend(seps.into_iter().take(level - 1));
+        let omega: Vec<Weight> = omegas.into_iter().take(level).map(Weight).collect();
+        let label = MaxLabel { sep, omega };
+        let codec = LabelCodec {
+            sep_codec: if fixed {
+                SepFieldCodec::FixedWidth { bits: 10 }
+            } else {
+                SepFieldCodec::EliasGamma
+            },
+            omega_bits: 20,
+        };
+        let bits = codec.encode_max(&label);
+        let back = codec.decode_max_label(&bits);
+        prop_assert_eq!(back, label);
+    }
+}

@@ -1,0 +1,247 @@
+//! Kruskal's and Prim's MST algorithms.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mstv_graph::{EdgeId, Graph, NodeId};
+
+use crate::UnionFind;
+
+/// Computes an MST of a connected graph with Kruskal's algorithm.
+///
+/// Ties are broken by edge id, so the result is deterministic. Returns the
+/// MST's edge ids (unsorted).
+///
+/// # Panics
+///
+/// Panics if the graph is not connected.
+pub fn kruskal(graph: &Graph) -> Vec<EdgeId> {
+    let mut order: Vec<EdgeId> = graph.edge_ids().collect();
+    order.sort_by_key(|&e| (graph.weight(e), e));
+    let mut uf = UnionFind::new(graph.num_nodes());
+    let mut out = Vec::with_capacity(graph.num_nodes().saturating_sub(1));
+    for e in order {
+        let edge = graph.edge(e);
+        if uf.union(edge.u.index(), edge.v.index()) {
+            out.push(e);
+        }
+    }
+    assert!(
+        uf.num_components() <= 1,
+        "kruskal requires a connected graph"
+    );
+    out
+}
+
+/// Computes an MST of a connected graph with Prim's algorithm (binary
+/// heap), starting from node 0.
+///
+/// # Panics
+///
+/// Panics if the graph is not connected or empty.
+pub fn prim(graph: &Graph) -> Vec<EdgeId> {
+    let n = graph.num_nodes();
+    assert!(n > 0, "prim requires a nonempty graph");
+    let mut in_tree = vec![false; n];
+    let mut out = Vec::with_capacity(n - 1);
+    // (weight, edge id for tie-break, edge, frontier node)
+    let mut heap: BinaryHeap<Reverse<(u64, u32, NodeId)>> = BinaryHeap::new();
+    in_tree[0] = true;
+    for nb in graph.neighbors(NodeId(0)) {
+        heap.push(Reverse((nb.weight.0, nb.edge.0, nb.node)));
+    }
+    while let Some(Reverse((_, eid, v))) = heap.pop() {
+        if in_tree[v.index()] {
+            continue;
+        }
+        in_tree[v.index()] = true;
+        out.push(EdgeId(eid));
+        for nb in graph.neighbors(v) {
+            if !in_tree[nb.node.index()] {
+                heap.push(Reverse((nb.weight.0, nb.edge.0, nb.node)));
+            }
+        }
+    }
+    assert!(
+        in_tree.iter().all(|&b| b),
+        "prim requires a connected graph"
+    );
+    out
+}
+
+/// Total weight of an edge set.
+pub fn mst_weight(graph: &Graph, edges: &[EdgeId]) -> u128 {
+    edges.iter().map(|&e| u128::from(graph.weight(e).0)).sum()
+}
+
+/// Computes a shortest-path tree from `root` with Dijkstra's algorithm.
+///
+/// Returns `(parent_edges, dist)`: for every non-root node its tree edge
+/// towards the root, and every node's shortest-path distance. Ties break
+/// deterministically by edge id.
+///
+/// # Panics
+///
+/// Panics if the graph is not connected.
+pub fn shortest_path_tree(graph: &Graph, root: NodeId) -> (Vec<EdgeId>, Vec<u64>) {
+    let n = graph.num_nodes();
+    let mut dist = vec![u64::MAX; n];
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+    dist[root.index()] = 0;
+    heap.push(Reverse((0, u32::MAX, root.0)));
+    while let Some(Reverse((d, via, v))) = heap.pop() {
+        let v = NodeId(v);
+        if done[v.index()] {
+            continue;
+        }
+        done[v.index()] = true;
+        if via != u32::MAX {
+            parent_edge[v.index()] = Some(EdgeId(via));
+        }
+        for nb in graph.neighbors(v) {
+            let nd = d + nb.weight.0;
+            if nd < dist[nb.node.index()]
+                || (nd == dist[nb.node.index()]
+                    && parent_edge[nb.node.index()].is_none_or(|e| nb.edge < e)
+                    && !done[nb.node.index()])
+            {
+                dist[nb.node.index()] = nd;
+                heap.push(Reverse((nd, nb.edge.0, nb.node.0)));
+            }
+        }
+    }
+    assert!(
+        done.iter().all(|&b| b),
+        "dijkstra requires a connected graph"
+    );
+    let edges = parent_edge.into_iter().flatten().collect();
+    (edges, dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::{gen, Weight};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hand_built_example() {
+        // Classic 4-cycle with a chord.
+        let mut g = Graph::new(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let _heavy = g.add_edge(NodeId(1), NodeId(2), Weight(4)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(3), Weight(2)).unwrap();
+        let e3 = g.add_edge(NodeId(3), NodeId(0), Weight(3)).unwrap();
+        let _chord = g.add_edge(NodeId(1), NodeId(3), Weight(5)).unwrap();
+        let mut t = kruskal(&g);
+        t.sort();
+        assert_eq!(t, vec![e0, e2, e3]);
+        assert_eq!(mst_weight(&g, &t), 6);
+    }
+
+    #[test]
+    fn kruskal_and_prim_agree_on_weight() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2usize, 5, 20, 100] {
+            for extra in [0usize, 5, 50] {
+                let g =
+                    gen::random_connected(n, extra, gen::WeightDist::Uniform { max: 40 }, &mut rng);
+                let k = kruskal(&g);
+                let p = prim(&g);
+                assert!(g.is_spanning_tree(&k));
+                assert!(g.is_spanning_tree(&p));
+                assert_eq!(
+                    mst_weight(&g, &k),
+                    mst_weight(&g, &p),
+                    "n={n} extra={extra}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_weights_give_identical_trees() {
+        // With all-distinct weights the MST is unique.
+        let mut g = Graph::new(6);
+        let mut w = 1u64;
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                g.add_edge(NodeId(u), NodeId(v), Weight(w * 7 % 101 + 1))
+                    .unwrap();
+                w += 1;
+            }
+        }
+        let mut k = kruskal(&g);
+        let mut p = prim(&g);
+        k.sort();
+        p.sort();
+        assert_eq!(k, p);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::new(1);
+        assert!(kruskal(&g).is_empty());
+        assert!(prim(&g).is_empty());
+    }
+
+    #[test]
+    fn dijkstra_distances_match_brute_force() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [2usize, 6, 25] {
+            let g = gen::random_connected(n, 2 * n, gen::WeightDist::Uniform { max: 30 }, &mut rng);
+            let (edges, dist) = shortest_path_tree(&g, NodeId(0));
+            assert!(g.is_spanning_tree(&edges), "n={n}");
+            // Bellman-Ford style fixpoint check characterizes shortest paths.
+            for (_, edge) in g.edges() {
+                let (du, dv) = (dist[edge.u.index()], dist[edge.v.index()]);
+                assert!(du <= dv + edge.w.0);
+                assert!(dv <= du + edge.w.0);
+            }
+            // Tree distances realize dist[].
+            use mstv_trees::RootedTree;
+            let t = RootedTree::from_graph_edges(&g, &edges, NodeId(0)).unwrap();
+            for v in g.nodes() {
+                let mut d = 0;
+                let mut cur = v;
+                while let Some(p) = t.parent(cur) {
+                    d += t.parent_weight(cur).0;
+                    cur = p;
+                }
+                assert_eq!(d, dist[v.index()], "n={n} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_single_node() {
+        let g = Graph::new(1);
+        let (edges, dist) = shortest_path_tree(&g, NodeId(0));
+        assert!(edges.is_empty());
+        assert_eq!(dist, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn dijkstra_panics_on_disconnected() {
+        let g = Graph::new(2);
+        let _ = shortest_path_tree(&g, NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn kruskal_panics_on_disconnected() {
+        let g = Graph::new(2);
+        let _ = kruskal(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn prim_panics_on_disconnected() {
+        let g = Graph::new(2);
+        let _ = prim(&g);
+    }
+}

@@ -1,0 +1,206 @@
+//! Borůvka's algorithm with a full execution trace.
+//!
+//! The trace — per-phase fragment identities and the minimum-weight
+//! outgoing edge (MWOE) each fragment selects — is exactly the information
+//! the \[KKP05\] fragment-hierarchy proof labeling scheme distributes into
+//! node labels, so the algorithm exposes it as a first-class structure.
+
+use std::collections::BTreeMap;
+
+use mstv_graph::{EdgeId, Graph};
+
+use crate::{tree_favored_key, EdgeKey, UnionFind};
+
+/// One Borůvka phase: fragment memberships at the start of the phase and
+/// the MWOE chosen by every fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoruvkaPhase {
+    /// Fragment identity of each node — the minimum node index in its
+    /// fragment at the start of the phase.
+    pub fragment: Vec<u32>,
+    /// The minimum-weight outgoing edge selected by each fragment, keyed by
+    /// fragment identity.
+    pub mwoe: BTreeMap<u32, EdgeId>,
+}
+
+/// The complete run of Borůvka's algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoruvkaTrace {
+    /// Phases in execution order (at most `⌈log₂ n⌉`).
+    pub phases: Vec<BoruvkaPhase>,
+    /// The resulting spanning tree's edges.
+    pub edges: Vec<EdgeId>,
+    /// For every graph edge, the phase (0-based) at which it entered the
+    /// tree, or `None` for non-tree edges.
+    pub add_phase: Vec<Option<u32>>,
+}
+
+impl BoruvkaTrace {
+    /// Number of phases executed.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+/// Runs Borůvka's algorithm under an arbitrary *strict total order* on
+/// edges given by `key`, recording the full trace.
+///
+/// # Panics
+///
+/// Panics if the graph is not connected, or if `key` maps two distinct
+/// edges to equal keys (the order must be total for Borůvka to be
+/// cycle-free).
+pub fn boruvka_trace(graph: &Graph, key: impl Fn(EdgeId) -> EdgeKey) -> BoruvkaTrace {
+    let n = graph.num_nodes();
+    let mut uf = UnionFind::new(n);
+    let mut phases = Vec::new();
+    let mut edges = Vec::new();
+    let mut add_phase = vec![None; graph.num_edges()];
+    let mut phase_no = 0u32;
+    while uf.num_components() > 1 {
+        // Canonical fragment identity: min node index per component.
+        let mut min_of_root: Vec<u32> = (0..n as u32).collect();
+        for v in 0..n {
+            let r = uf.find(v);
+            min_of_root[r] = min_of_root[r].min(v as u32);
+        }
+        let fragment: Vec<u32> = (0..n).map(|v| min_of_root[uf.find(v)]).collect();
+        // MWOE per fragment.
+        let mut mwoe: BTreeMap<u32, (EdgeKey, EdgeId)> = BTreeMap::new();
+        for (e, edge) in graph.edges() {
+            let (fu, fv) = (fragment[edge.u.index()], fragment[edge.v.index()]);
+            if fu == fv {
+                continue;
+            }
+            let k = key(e);
+            for f in [fu, fv] {
+                match mwoe.get(&f) {
+                    Some(&(best, best_e)) => {
+                        assert!(k != best || e == best_e, "edge key order must be strict");
+                        if k < best {
+                            mwoe.insert(f, (k, e));
+                        }
+                    }
+                    None => {
+                        mwoe.insert(f, (k, e));
+                    }
+                }
+            }
+        }
+        assert!(!mwoe.is_empty(), "boruvka requires a connected graph");
+        let phase = BoruvkaPhase {
+            fragment,
+            mwoe: mwoe.iter().map(|(&f, &(_, e))| (f, e)).collect(),
+        };
+        for &(_, e) in mwoe.values() {
+            let edge = graph.edge(e);
+            if uf.union(edge.u.index(), edge.v.index()) {
+                edges.push(e);
+                add_phase[e.index()] = Some(phase_no);
+            }
+        }
+        phases.push(phase);
+        phase_no += 1;
+    }
+    BoruvkaTrace {
+        phases,
+        edges,
+        add_phase,
+    }
+}
+
+/// Computes an MST with Borůvka's algorithm under the default strict order
+/// (weight, then endpoints).
+///
+/// # Panics
+///
+/// Panics if the graph is not connected.
+pub fn boruvka(graph: &Graph) -> Vec<EdgeId> {
+    let none = vec![false; graph.num_edges()];
+    boruvka_trace(graph, |e| tree_favored_key(graph, &none, e)).edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kruskal, mst_weight};
+    use mstv_graph::{gen, NodeId, Weight};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn agrees_with_kruskal_on_weight() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 3, 10, 60] {
+            for extra in [0usize, 10, 100] {
+                let g =
+                    gen::random_connected(n, extra, gen::WeightDist::Uniform { max: 25 }, &mut rng);
+                let b = boruvka(&g);
+                assert!(g.is_spanning_tree(&b), "n={n} extra={extra}");
+                assert_eq!(mst_weight(&g, &b), mst_weight(&g, &kruskal(&g)));
+            }
+        }
+    }
+
+    #[test]
+    fn phase_count_is_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = gen::random_connected(256, 600, gen::WeightDist::Uniform { max: 10_000 }, &mut rng);
+        let none = vec![false; g.num_edges()];
+        let trace = boruvka_trace(&g, |e| tree_favored_key(&g, &none, e));
+        assert!(trace.num_phases() <= 8, "{} phases", trace.num_phases());
+        assert_eq!(trace.edges.len(), 255);
+    }
+
+    #[test]
+    fn trace_structure() {
+        // Path 0-1-2: phase 0 has 3 singleton fragments.
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(2)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(1)).unwrap();
+        let none = vec![false; 2];
+        let trace = boruvka_trace(&g, |e| tree_favored_key(&g, &none, e));
+        assert_eq!(trace.phases[0].fragment, vec![0, 1, 2]);
+        // Fragment {0} picks e0, fragments {1} and {2} pick e1.
+        assert_eq!(trace.phases[0].mwoe[&0], e0);
+        assert_eq!(trace.phases[0].mwoe[&1], e1);
+        assert_eq!(trace.phases[0].mwoe[&2], e1);
+        assert_eq!(trace.num_phases(), 1);
+        assert_eq!(trace.add_phase, vec![Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn tree_favored_order_reproduces_given_mst() {
+        // With uniform weights many MSTs exist; favoring a chosen one makes
+        // Borůvka select exactly it.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let g = gen::random_connected(40, 80, gen::WeightDist::Constant(5), &mut rng);
+            let t = kruskal(&g);
+            let mut in_tree = vec![false; g.num_edges()];
+            for &e in &t {
+                in_tree[e.index()] = true;
+            }
+            let trace = boruvka_trace(&g, |e| tree_favored_key(&g, &in_tree, e));
+            let mut got = trace.edges.clone();
+            let mut want = t.clone();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn two_nodes() {
+        let mut g = Graph::new(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), Weight(3)).unwrap();
+        assert_eq!(boruvka(&g), vec![e]);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn panics_on_disconnected() {
+        let g = Graph::new(3);
+        let _ = boruvka(&g);
+    }
+}

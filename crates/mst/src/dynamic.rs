@@ -1,0 +1,270 @@
+//! Incremental MST repair after a single edge-weight change.
+//!
+//! Closely related to the sensitivity problem: when one weight moves past
+//! its sensitivity threshold, the MST changes by exactly **one swap** —
+//! the changed non-tree edge replaces the heaviest tree edge on its
+//! cycle, or the changed tree edge is replaced by the lightest non-tree
+//! edge covering it. This module performs that repair in `O(n + m)` time,
+//! the cheap alternative to recomputation that a self-stabilizing system
+//! can use when it knows *which* weight changed.
+
+use mstv_graph::{EdgeId, Graph, NodeId, Weight};
+use mstv_trees::RootedTree;
+
+/// The outcome of a repair attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repair {
+    /// The tree is still a minimum spanning tree.
+    Unchanged,
+    /// One swap restored minimality.
+    Swapped {
+        /// The tree edge that left the MST.
+        removed: EdgeId,
+        /// The edge that entered the MST.
+        added: EdgeId,
+    },
+}
+
+/// Repairs `tree_edges` (in place) after the weight of `changed` was
+/// modified in `graph`. The tree must have been an MST under the old
+/// weight; afterwards it is an MST under the new one.
+///
+/// # Panics
+///
+/// Panics if `tree_edges` is not a spanning tree of `graph`, or
+/// `changed` is out of range.
+/// # Example
+///
+/// ```
+/// use mstv_graph::{Graph, NodeId, Weight};
+/// use mstv_mst::{is_mst, repair_after_weight_change, Repair};
+///
+/// let mut g = Graph::new(3);
+/// let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1))?;
+/// let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(5))?;
+/// let e2 = g.add_edge(NodeId(2), NodeId(0), Weight(9))?;
+/// let mut mst = vec![e0, e1];
+/// g.set_weight(e2, Weight(2)); // the chord got cheap
+/// let repair = repair_after_weight_change(&g, &mut mst, e2);
+/// assert_eq!(repair, Repair::Swapped { removed: e1, added: e2 });
+/// assert!(is_mst(&g, &mst));
+/// # Ok::<(), mstv_graph::GraphError>(())
+/// ```
+pub fn repair_after_weight_change(
+    graph: &Graph,
+    tree_edges: &mut Vec<EdgeId>,
+    changed: EdgeId,
+) -> Repair {
+    assert!(
+        graph.is_spanning_tree(tree_edges),
+        "repair requires a spanning tree"
+    );
+    let in_tree = tree_edges.contains(&changed);
+    let root = graph.edge(changed).u;
+    let tree = RootedTree::from_graph_edges(graph, tree_edges, root)
+        .expect("spanning tree was just validated");
+    let mut tree_flags = vec![false; graph.num_edges()];
+    for &e in tree_edges.iter() {
+        tree_flags[e.index()] = true;
+    }
+    if in_tree {
+        // The changed edge may now be too heavy: compare with the
+        // lightest non-tree edge crossing its cut.
+        let ce = graph.edge(changed);
+        // The child side of the edge (deeper endpoint) spans one shore.
+        let child = if tree.parent(ce.u) == Some(ce.v) {
+            ce.u
+        } else {
+            ce.v
+        };
+        let shore = subtree_membership(&tree, child);
+        let mut best: Option<(Weight, EdgeId)> = None;
+        for (f, fe) in graph.edges() {
+            if tree_flags[f.index()] {
+                continue;
+            }
+            if shore[fe.u.index()] != shore[fe.v.index()] {
+                let cand = (fe.w, f);
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        match best {
+            Some((w, f)) if w < ce.w => {
+                tree_edges.retain(|&e| e != changed);
+                tree_edges.push(f);
+                Repair::Swapped {
+                    removed: changed,
+                    added: f,
+                }
+            }
+            _ => Repair::Unchanged,
+        }
+    } else {
+        // The changed edge may now undercut the tree path between its
+        // endpoints: compare with the heaviest tree edge on that path.
+        let ce = graph.edge(changed);
+        let (heaviest, max_w) = heaviest_path_edge(graph, &tree, ce.u, ce.v);
+        if ce.w < max_w {
+            tree_edges.retain(|&e| e != heaviest);
+            tree_edges.push(changed);
+            Repair::Swapped {
+                removed: heaviest,
+                added: changed,
+            }
+        } else {
+            Repair::Unchanged
+        }
+    }
+}
+
+/// `true` for nodes inside the subtree rooted at `top`.
+fn subtree_membership(tree: &RootedTree, top: NodeId) -> Vec<bool> {
+    let mut inside = vec![false; tree.num_nodes()];
+    let mut stack = vec![top];
+    inside[top.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &c in tree.children(v) {
+            inside[c.index()] = true;
+            stack.push(c);
+        }
+    }
+    inside
+}
+
+/// The heaviest tree edge on the path between `u` and `v`, with its
+/// weight.
+fn heaviest_path_edge(graph: &Graph, tree: &RootedTree, u: NodeId, v: NodeId) -> (EdgeId, Weight) {
+    let (mut a, mut b) = (u, v);
+    let mut best: Option<(Weight, EdgeId)> = None;
+    while a != b {
+        let e = if tree.depth(a) >= tree.depth(b) {
+            let p = tree.parent(a).expect("non-root");
+            let e = graph.edge_between(a, p).expect("tree edge");
+            a = p;
+            e
+        } else {
+            let p = tree.parent(b).expect("non-root");
+            let e = graph.edge_between(b, p).expect("tree edge");
+            b = p;
+            e
+        };
+        let cand = (graph.weight(e), e);
+        if best.is_none_or(|x| cand > x) {
+            best = Some(cand);
+        }
+    }
+    let (w, e) = best.expect("u != v implies a nonempty path");
+    (e, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_mst, kruskal, mst_weight};
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn non_tree_drop_swaps() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(5)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(0), Weight(9)).unwrap();
+        let mut t = vec![e0, e1];
+        g.set_weight(e2, Weight(2));
+        let r = repair_after_weight_change(&g, &mut t, e2);
+        assert_eq!(
+            r,
+            Repair::Swapped {
+                removed: e1,
+                added: e2
+            }
+        );
+        assert!(is_mst(&g, &t));
+    }
+
+    #[test]
+    fn tree_raise_swaps() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(5)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(0), Weight(9)).unwrap();
+        let mut t = vec![e0, e1];
+        g.set_weight(e1, Weight(20));
+        let r = repair_after_weight_change(&g, &mut t, e1);
+        assert_eq!(
+            r,
+            Repair::Swapped {
+                removed: e1,
+                added: e2
+            }
+        );
+        assert!(is_mst(&g, &t));
+    }
+
+    #[test]
+    fn harmless_changes_keep_tree() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(5)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(0), Weight(9)).unwrap();
+        let mut t = vec![e0, e1];
+        // Raising a non-tree edge: nothing happens.
+        g.set_weight(e2, Weight(50));
+        assert_eq!(
+            repair_after_weight_change(&g, &mut t, e2),
+            Repair::Unchanged
+        );
+        // Lowering a tree edge: nothing happens.
+        g.set_weight(e0, Weight(1));
+        assert_eq!(
+            repair_after_weight_change(&g, &mut t, e0),
+            Repair::Unchanged
+        );
+        assert!(is_mst(&g, &t));
+    }
+
+    #[test]
+    fn randomized_repairs_match_recomputation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..60 {
+            let mut g =
+                gen::random_connected(25, 40, gen::WeightDist::Uniform { max: 200 }, &mut rng);
+            let mut t = kruskal(&g);
+            // Random weight change on a random edge.
+            let e = EdgeId(rng.gen_range(0..g.num_edges() as u32));
+            let new_w = Weight(rng.gen_range(1..=400));
+            g.set_weight(e, new_w);
+            repair_after_weight_change(&g, &mut t, e);
+            assert!(g.is_spanning_tree(&t));
+            assert!(is_mst(&g, &t), "repair must restore minimality");
+            assert_eq!(mst_weight(&g, &t), mst_weight(&g, &kruskal(&g)));
+        }
+    }
+
+    #[test]
+    fn repeated_changes_stay_minimal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = gen::random_connected(30, 60, gen::WeightDist::Uniform { max: 99 }, &mut rng);
+        let mut t = kruskal(&g);
+        for _ in 0..40 {
+            let e = EdgeId(rng.gen_range(0..g.num_edges() as u32));
+            g.set_weight(e, Weight(rng.gen_range(1..=99)));
+            repair_after_weight_change(&g, &mut t, e);
+            assert!(is_mst(&g, &t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spanning tree")]
+    fn rejects_non_tree_input() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let _ = g.add_edge(NodeId(1), NodeId(2), Weight(2)).unwrap();
+        let mut t = vec![e0];
+        let _ = repair_after_weight_change(&g, &mut t, e0);
+    }
+}

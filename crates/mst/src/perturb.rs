@@ -1,0 +1,98 @@
+//! Tie-breaking edge orders.
+//!
+//! Borůvka-style algorithms (and the fragment-hierarchy proof labeling
+//! scheme of \[KKP05\] implemented in `mstv-core`) need a *strict total
+//! order* on edges under which the candidate tree is the unique MST.
+//! The standard trick: refine the weight order so that, among equal
+//! weights, candidate-tree edges come first, with edge endpoints as the
+//! final tie-break.
+//!
+//! **Fact.** Let `T` be a spanning tree of `G`. `T` is an MST of `G` under
+//! `ω` iff `T` is the unique MST of `G` under the tree-favored key order.
+//! (⇒: for any non-tree edge `f` and tree edge `e` on its cycle,
+//! `ω(e) ≤ ω(f)` implies `key(e) < key(f)`, so `T` satisfies the strict
+//! cycle property; ⇐: the key order refines the weight order, so a minimum
+//! under keys is minimum under weights.)
+//!
+//! Crucially for the distributed setting, a node can evaluate the key of
+//! any incident edge locally: the weight and port are visible, whether the
+//! edge is marked is in the endpoint states, and endpoint identities travel
+//! in the labels.
+
+use mstv_graph::{EdgeId, Graph, Weight};
+
+/// A strict total order key for an edge: weight, then candidate-tree
+/// membership (tree edges first), then normalized endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeKey {
+    /// The original weight (most significant).
+    pub weight: Weight,
+    /// `0` for candidate-tree edges, `1` otherwise.
+    pub class: u8,
+    /// Smaller endpoint identity.
+    pub lo: u64,
+    /// Larger endpoint identity.
+    pub hi: u64,
+}
+
+/// Builds the tree-favored key for edge `e`, where `in_tree[e]` marks the
+/// candidate tree's edges.
+///
+/// # Panics
+///
+/// Panics if `e` is out of range for `graph` or `in_tree`.
+pub fn tree_favored_key(graph: &Graph, in_tree: &[bool], e: EdgeId) -> EdgeKey {
+    let edge = graph.edge(e);
+    let (lo, hi) = edge.normalized();
+    EdgeKey {
+        weight: edge.w,
+        class: u8::from(!in_tree[e.index()]),
+        lo: u64::from(lo.0),
+        hi: u64::from(hi.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::NodeId;
+
+    #[test]
+    fn ordering_prefers_light_then_tree_then_ids() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(5)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(5)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(0), Weight(3)).unwrap();
+        let in_tree = vec![false, true, false];
+        let k0 = tree_favored_key(&g, &in_tree, e0);
+        let k1 = tree_favored_key(&g, &in_tree, e1);
+        let k2 = tree_favored_key(&g, &in_tree, e2);
+        // Lighter weight dominates.
+        assert!(k2 < k0 && k2 < k1);
+        // Same weight: tree edge first.
+        assert!(k1 < k0);
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let mut g = Graph::new(4);
+        let mut keys = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                let e = g.add_edge(NodeId(u), NodeId(v), Weight(7)).unwrap();
+                keys.push(tree_favored_key(&g, &[false; 6], e));
+            }
+        }
+        keys.sort();
+        assert!(keys.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn normalized_endpoints() {
+        let mut g = Graph::new(2);
+        let e = g.add_edge(NodeId(1), NodeId(0), Weight(2)).unwrap();
+        let k = tree_favored_key(&g, &[true], e);
+        assert_eq!((k.lo, k.hi), (0, 1));
+        assert_eq!(k.class, 0);
+    }
+}

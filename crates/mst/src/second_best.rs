@@ -1,0 +1,125 @@
+//! Second-best spanning trees.
+//!
+//! A classic application of path maxima (and a close relative of the
+//! sensitivity problem in `mstv-sensitivity`): given an MST `T`, the best
+//! spanning tree different from `T` is obtained by swapping in one
+//! non-tree edge `f = (u, v)` and removing the heaviest tree edge on the
+//! path between `u` and `v`, minimizing the weight increase
+//! `ω(f) − MAX(u, v)`.
+
+use mstv_graph::{EdgeId, Graph, NodeId};
+use mstv_trees::{KruskalTree, RootedTree};
+
+use crate::mst_weight;
+
+/// The total weight of the second-best spanning tree, given a graph and an
+/// MST of it; `None` when the graph has no other spanning tree (it is a
+/// tree itself).
+///
+/// # Panics
+///
+/// Panics if `mst_edges` is not a spanning tree of `graph`.
+pub fn second_best_mst_weight(graph: &Graph, mst_edges: &[EdgeId]) -> Option<u128> {
+    assert!(
+        graph.is_spanning_tree(mst_edges),
+        "second_best_mst_weight requires a spanning tree"
+    );
+    let root = mst_edges
+        .first()
+        .map(|&e| graph.edge(e).u)
+        .unwrap_or(NodeId(0));
+    let tree = RootedTree::from_graph_edges(graph, mst_edges, root)
+        .expect("spanning tree was just validated");
+    let kt = KruskalTree::new(&tree);
+    let mut in_tree = vec![false; graph.num_edges()];
+    for &e in mst_edges {
+        in_tree[e.index()] = true;
+    }
+    let base = mst_weight(graph, mst_edges);
+    let mut best: Option<u128> = None;
+    for (e, edge) in graph.edges() {
+        if in_tree[e.index()] {
+            continue;
+        }
+        let m = kt.max_on_path(edge.u, edge.v);
+        let candidate = base + u128::from(edge.w.0) - u128::from(m.0);
+        best = Some(best.map_or(candidate, |b| b.min(candidate)));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal;
+    use mstv_graph::{gen, Weight};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triangle() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), Weight(2)).unwrap();
+        g.add_edge(NodeId(2), NodeId(0), Weight(9)).unwrap();
+        let t = kruskal(&g);
+        // MST = {1, 2} with weight 3. Second best swaps 9 for 2: 1 + 9 = 10.
+        assert_eq!(second_best_mst_weight(&g, &t), Some(10));
+    }
+
+    #[test]
+    fn pure_tree_has_no_second() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = gen::random_tree(10, gen::WeightDist::Uniform { max: 5 }, &mut rng);
+        let t: Vec<EdgeId> = g.edge_ids().collect();
+        assert_eq!(second_best_mst_weight(&g, &t), None);
+    }
+
+    #[test]
+    fn ties_make_second_equal_first() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = gen::random_connected(10, 12, gen::WeightDist::Constant(3), &mut rng);
+        let t = kruskal(&g);
+        assert_eq!(second_best_mst_weight(&g, &t), Some(mst_weight(&g, &t)));
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        // Enumerate all spanning trees of small graphs and compare.
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..10 {
+            let g = gen::random_connected(6, 5, gen::WeightDist::Uniform { max: 20 }, &mut rng);
+            let t = kruskal(&g);
+            let base = mst_weight(&g, &t);
+            let mut best_other: Option<u128> = None;
+            // Enumerate all (n-1)-subsets of edges.
+            let m = g.num_edges();
+            let n = g.num_nodes();
+            for mask in 0u32..(1 << m) {
+                if mask.count_ones() as usize != n - 1 {
+                    continue;
+                }
+                let edges: Vec<EdgeId> = (0..m)
+                    .filter(|&i| mask >> i & 1 == 1)
+                    .map(EdgeId::from_index)
+                    .collect();
+                if !g.is_spanning_tree(&edges) {
+                    continue;
+                }
+                let mut sorted = edges.clone();
+                sorted.sort();
+                let mut t_sorted = t.clone();
+                t_sorted.sort();
+                if sorted == t_sorted {
+                    continue;
+                }
+                let w = mst_weight(&g, &edges);
+                best_other = Some(best_other.map_or(w, |b| b.min(w)));
+            }
+            assert_eq!(second_best_mst_weight(&g, &t), best_other);
+            if let Some(b) = best_other {
+                assert!(b >= base);
+            }
+        }
+    }
+}

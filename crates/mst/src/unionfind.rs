@@ -1,0 +1,148 @@
+//! Disjoint-set union with union by rank and path halving.
+
+/// A disjoint-set (union–find) structure over `0..n`.
+///
+/// Uses union by rank and path halving, giving the inverse-Ackermann
+/// amortized bound `O(α(n))` per operation.
+/// # Example
+///
+/// ```
+/// use mstv_mst::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.num_components(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// The canonical representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            self.parent[x] = self.parent[self.parent[x] as usize];
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    /// Merges the sets containing `x` and `y`; returns `false` when they
+    /// were already in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()` or `y >= len()`.
+    pub fn union(&mut self, x: usize, y: usize) -> bool {
+        let (mut rx, mut ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        if self.rank[rx] < self.rank[ry] {
+            std::mem::swap(&mut rx, &mut ry);
+        }
+        self.parent[ry] = rx as u32;
+        if self.rank[rx] == self.rank[ry] {
+            self.rank[rx] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `x` and `y` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()` or `y >= len()`.
+    pub fn connected(&mut self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(1, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.num_components(), 2);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn find_is_idempotent() {
+        let mut uf = UnionFind::new(10);
+        for i in 1..10 {
+            uf.union(0, i);
+        }
+        let r = uf.find(7);
+        assert_eq!(uf.find(7), r);
+        for i in 0..10 {
+            assert_eq!(uf.find(i), r);
+        }
+        assert_eq!(uf.num_components(), 1);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.connected(0, n - 1));
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_components(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The near-linear sensitivity solver.
+//!
+//! Non-tree sensitivities are `MAX` queries (O(1) each via the Kruskal
+//! reconstruction tree). Tree-edge covers use the classic union–find
+//! path-jumping sweep: process non-tree edges by increasing weight; each
+//! walks its tree path assigning itself as the cover of every not-yet-
+//! covered tree edge, then contracts those edges so no tree edge is
+//! visited twice — `O(m log m + (n + m) α(n))` overall.
+
+use mstv_graph::{EdgeId, Graph, NodeId, Weight};
+
+use mstv_trees::{KruskalTree, LcaIndex, RootedTree};
+
+/// The sensitivity of one edge (see the crate docs for the convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeSensitivity {
+    /// A tree edge: minimum *increase* voiding minimality, `None` for
+    /// bridges (insensitive).
+    Tree {
+        /// `cover(e) − ω(e) + 1`, or `None` if uncovered.
+        increase: Option<u64>,
+    },
+    /// A non-tree edge: minimum *decrease* voiding minimality.
+    NonTree {
+        /// `ω(f) − MAX(u, v) + 1`.
+        decrease: u64,
+    },
+}
+
+/// Computes the sensitivity of every edge; the result is indexed by
+/// [`EdgeId`].
+///
+/// # Panics
+///
+/// Panics if `tree_edges` is not an MST of `graph` (sensitivity is
+/// defined relative to an MST).
+pub fn sensitivity(graph: &Graph, tree_edges: &[EdgeId]) -> Vec<EdgeSensitivity> {
+    assert!(
+        mstv_mst::is_mst(graph, tree_edges),
+        "sensitivity is defined for an MST"
+    );
+    let n = graph.num_nodes();
+    let root = tree_edges
+        .first()
+        .map(|&e| graph.edge(e).u)
+        .unwrap_or(NodeId(0));
+    let tree = RootedTree::from_graph_edges(graph, tree_edges, root)
+        .expect("MST check validated the tree");
+    let kt = KruskalTree::new(&tree);
+    let lca = LcaIndex::new(&tree);
+    let mut in_tree = vec![false; graph.num_edges()];
+    for &e in tree_edges {
+        in_tree[e.index()] = true;
+    }
+    // Tree edge of each non-root node = its parent edge.
+    let parent_edge: Vec<Option<EdgeId>> = (0..n)
+        .map(|i| {
+            let v = NodeId::from_index(i);
+            tree.parent(v)
+                .map(|p| graph.edge_between(v, p).expect("tree edge exists"))
+        })
+        .collect();
+    // cover[v] = lightest non-tree weight covering v's parent edge.
+    let mut cover: Vec<Option<Weight>> = vec![None; n];
+    // Path-jumping with directed, path-compressed skip pointers:
+    // next[v] = the nearest node at-or-above v whose parent edge is still
+    // uncovered (v itself while its own parent edge is uncovered). When a
+    // parent edge is covered, its lower endpoint's pointer moves to the
+    // parent, so every tree edge is visited exactly once across the sweep.
+    let mut next: Vec<u32> = (0..n as u32).collect();
+    fn find(next: &mut [u32], v: usize) -> usize {
+        let mut root = v;
+        while next[root] as usize != root {
+            root = next[root] as usize;
+        }
+        let mut cur = v;
+        while next[cur] as usize != root {
+            let up = next[cur] as usize;
+            next[cur] = root as u32;
+            cur = up;
+        }
+        root
+    }
+    let mut non_tree: Vec<(Weight, EdgeId)> = graph
+        .edges()
+        .filter(|(e, _)| !in_tree[e.index()])
+        .map(|(e, edge)| (edge.w, e))
+        .collect();
+    non_tree.sort();
+    for &(w, f) in &non_tree {
+        let fe = graph.edge(f);
+        let top = lca.lca(fe.u, fe.v);
+        for side in [fe.u, fe.v] {
+            let mut x = find(&mut next, side.index());
+            while tree.depth(NodeId::from_index(x)) > tree.depth(top) {
+                debug_assert!(cover[x].is_none());
+                cover[x] = Some(w);
+                let p = tree.parent(NodeId::from_index(x)).expect("deeper than top");
+                next[x] = p.0;
+                x = find(&mut next, x);
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(graph.num_edges());
+    for (e, edge) in graph.edges() {
+        if in_tree[e.index()] {
+            // The child endpoint of e is the deeper one.
+            let child = if tree.parent(edge.u) == Some(edge.v) {
+                edge.u
+            } else {
+                edge.v
+            };
+            debug_assert_eq!(parent_edge[child.index()], Some(e));
+            let increase = cover[child.index()].map(|c| c.0 - edge.w.0 + 1);
+            out.push(EdgeSensitivity::Tree { increase });
+        } else {
+            let m = kt.max_on_path(edge.u, edge.v);
+            out.push(EdgeSensitivity::NonTree {
+                decrease: edge.w.0 - m.0 + 1,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_sensitivity;
+    use mstv_graph::gen;
+    use mstv_mst::kruskal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triangle() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(2)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(0), Weight(9)).unwrap();
+        let t = vec![e0, e1];
+        let s = sensitivity(&g, &t);
+        // e0 (w=1) covered by e2 (w=9): increase 9.
+        assert_eq!(s[e0.index()], EdgeSensitivity::Tree { increase: Some(9) });
+        // e1 (w=2) covered by e2: increase 8.
+        assert_eq!(s[e1.index()], EdgeSensitivity::Tree { increase: Some(8) });
+        // e2 (w=9): MAX(2,0) = 2, decrease 8.
+        assert_eq!(s[e2.index()], EdgeSensitivity::NonTree { decrease: 8 });
+    }
+
+    #[test]
+    fn bridge_is_insensitive() {
+        // Path 0-1-2 plus chord (0,2): edge (1,2)... all covered; instead
+        // attach a pendant: 3 hangs off 0 with no chord.
+        let mut g = Graph::new(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(2)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(3)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(0), Weight(7)).unwrap();
+        let bridge = g.add_edge(NodeId(0), NodeId(3), Weight(5)).unwrap();
+        let t = vec![e0, e1, bridge];
+        let s = sensitivity(&g, &t);
+        assert_eq!(s[bridge.index()], EdgeSensitivity::Tree { increase: None });
+        assert_eq!(s[e0.index()], EdgeSensitivity::Tree { increase: Some(6) });
+        assert_eq!(s[e2.index()], EdgeSensitivity::NonTree { decrease: 5 });
+        let _ = e1;
+    }
+
+    #[test]
+    fn matches_brute_force_randomized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 4, 8, 15, 40] {
+            for extra in [0usize, 3, 12, 30] {
+                let g =
+                    gen::random_connected(n, extra, gen::WeightDist::Uniform { max: 25 }, &mut rng);
+                let t = kruskal(&g);
+                assert_eq!(
+                    sensitivity(&g, &t),
+                    brute_force_sensitivity(&g, &t),
+                    "n={n} extra={extra}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn definitional_check() {
+        // Applying a change of c(e) − 1 keeps T minimum; applying c(e)
+        // voids it.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::random_connected(10, 12, gen::WeightDist::Uniform { max: 50 }, &mut rng);
+        let t = kruskal(&g);
+        let s = sensitivity(&g, &t);
+        for (e, _) in g.edges() {
+            match s[e.index()] {
+                EdgeSensitivity::Tree { increase: Some(c) } => {
+                    let w = g.weight(e);
+                    let mut g2 = g.clone();
+                    g2.set_weight(e, Weight(w.0 + c - 1));
+                    assert!(mstv_mst::is_mst(&g2, &t), "{e} at c-1");
+                    g2.set_weight(e, Weight(w.0 + c));
+                    assert!(!mstv_mst::is_mst(&g2, &t), "{e} at c");
+                }
+                EdgeSensitivity::Tree { increase: None } => {
+                    let mut g2 = g.clone();
+                    g2.set_weight(e, Weight(1 << 40));
+                    assert!(mstv_mst::is_mst(&g2, &t), "bridge {e}");
+                }
+                EdgeSensitivity::NonTree { decrease: c } => {
+                    let w = g.weight(e);
+                    if w.0 > c {
+                        let mut g2 = g.clone();
+                        g2.set_weight(e, Weight(w.0 - (c - 1)));
+                        assert!(mstv_mst::is_mst(&g2, &t), "{e} at c-1");
+                        g2.set_weight(e, Weight(w.0 - c));
+                        assert!(!mstv_mst::is_mst(&g2, &t), "{e} at c");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "defined for an MST")]
+    fn rejects_non_mst() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let _mid = g.add_edge(NodeId(1), NodeId(2), Weight(2)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(0), Weight(9)).unwrap();
+        let _ = sensitivity(&g, &[e0, e2]);
+    }
+}

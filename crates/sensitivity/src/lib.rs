@@ -1,0 +1,28 @@
+//! Tree sensitivity analysis for minimum spanning trees (Tarjan's
+//! sensitivity problem; Sections 1–1.1 of the paper).
+//!
+//! Given a graph `G` and an MST `T`, the *sensitivity* `c(e)` of an edge
+//! is the smallest integral weight change that stops `T` from being a
+//! minimum spanning tree:
+//!
+//! * a **non-tree** edge `f = (u, v)` must *decrease* below the heaviest
+//!   tree edge on its cycle: `c(f) = ω(f) − MAX(u, v) + 1`;
+//! * a **tree** edge `e` must *increase* above the lightest non-tree edge
+//!   covering it: `c(e) = cover(e) − ω(e) + 1`, and `e` is insensitive
+//!   (`c = ∞`) when no non-tree edge covers it (it is a bridge).
+//!
+//! Any algorithm writing all sensitivities explicitly needs
+//! `Ω(|E| log W)` output bits; the paper's relaxed variant instead stores
+//! *auxiliary labels* from which each query is answered in constant time —
+//! realized here by [`SensitivityLabels`] (`γ_small` labels for `MAX`
+//! queries plus one cover field per node), which doubles as the
+//! *distributed* sensitivity scheme: every edge's sensitivity is
+//! computable from its two endpoints' labels alone.
+
+mod brute;
+mod exact;
+mod labeled;
+
+pub use brute::brute_force_sensitivity;
+pub use exact::{sensitivity, EdgeSensitivity};
+pub use labeled::SensitivityLabels;

@@ -1,0 +1,98 @@
+//! Property tests for the sensitivity solvers.
+
+use mstv_graph::{gen, EdgeId, Graph, Weight};
+use mstv_mst::{is_mst, kruskal};
+use mstv_sensitivity::{brute_force_sensitivity, sensitivity, EdgeSensitivity, SensitivityLabels};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn make_graph(n: usize, extra: usize, w: u64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen::random_connected(n, extra, gen::WeightDist::Uniform { max: w }, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solver_matches_brute_force(
+        n in 2usize..22,
+        extra in 0usize..30,
+        w in 1u64..100,
+        seed in any::<u64>(),
+    ) {
+        let g = make_graph(n, extra, w, seed);
+        let t = kruskal(&g);
+        prop_assert_eq!(sensitivity(&g, &t), brute_force_sensitivity(&g, &t));
+    }
+
+    #[test]
+    fn labeled_queries_match_solver(
+        n in 2usize..25,
+        extra in 0usize..35,
+        w in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        let g = make_graph(n, extra, w, seed);
+        let t = kruskal(&g);
+        let labels = SensitivityLabels::new(&g, &t);
+        let exact = sensitivity(&g, &t);
+        for e in g.edge_ids() {
+            prop_assert_eq!(labels.query(&g, e), exact[e.index()]);
+        }
+    }
+
+    #[test]
+    fn sensitivities_are_tight(
+        n in 3usize..15,
+        extra in 1usize..15,
+        w in 2u64..60,
+        seed in any::<u64>(),
+    ) {
+        // c(e) − 1 keeps the tree minimum; c(e) voids it (the definition).
+        let g = make_graph(n, extra, w, seed);
+        let t = kruskal(&g);
+        let report = sensitivity(&g, &t);
+        for (e, edge) in g.edges() {
+            match report[e.index()] {
+                EdgeSensitivity::Tree { increase: Some(c) } => {
+                    let mut g2 = g.clone();
+                    g2.set_weight(e, Weight(edge.w.0 + c - 1));
+                    prop_assert!(is_mst(&g2, &t));
+                    g2.set_weight(e, Weight(edge.w.0 + c));
+                    prop_assert!(!is_mst(&g2, &t));
+                }
+                EdgeSensitivity::NonTree { decrease: c } if edge.w.0 > c => {
+                    let mut g2 = g.clone();
+                    g2.set_weight(e, Weight(edge.w.0 - (c - 1)));
+                    prop_assert!(is_mst(&g2, &t));
+                    g2.set_weight(e, Weight(edge.w.0 - c));
+                    prop_assert!(!is_mst(&g2, &t));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn nontree_slack_positive_and_bounded(
+        n in 2usize..20,
+        extra in 0usize..25,
+        w in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let g = make_graph(n, extra, w, seed);
+        let t = kruskal(&g);
+        let report = sensitivity(&g, &t);
+        for (e, edge) in g.edges() {
+            if let EdgeSensitivity::NonTree { decrease } = report[e.index()] {
+                // Non-tree edges weigh at least the path max, so the
+                // minimal voiding decrease is at least 1 and at most w.
+                prop_assert!(decrease >= 1);
+                prop_assert!(decrease <= edge.w.0);
+                let _ = EdgeId(0);
+            }
+        }
+    }
+}

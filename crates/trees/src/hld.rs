@@ -1,0 +1,188 @@
+//! Heavy-light decomposition: a third, independent path-maximum oracle.
+//!
+//! Decomposes the tree into heavy chains (every root-to-leaf walk crosses
+//! `O(log n)` of them); each chain carries a sparse table over its edge
+//! weights, so `MAX(u, v)` decomposes into `O(log n)` constant-time chain
+//! queries. Useful both as a cross-check for the Kruskal-tree oracle and
+//! as the classic alternative in the benchmarks.
+
+use mstv_graph::{NodeId, Weight};
+use std::cmp::Reverse;
+
+use crate::{RootedTree, SparseTableRmq};
+
+/// A heavy-light decomposition with `O(log n)` path-maximum queries.
+/// # Example
+///
+/// ```
+/// use mstv_graph::{NodeId, Weight};
+/// use mstv_trees::{HeavyLightIndex, RootedTree};
+///
+/// let tree = RootedTree::from_parents(
+///     NodeId(0),
+///     vec![None, Some((NodeId(0), Weight(3))), Some((NodeId(1), Weight(8)))],
+/// )?;
+/// let hld = HeavyLightIndex::new(&tree);
+/// assert_eq!(hld.max_on_path(NodeId(0), NodeId(2)), Weight(8));
+/// # Ok::<(), mstv_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeavyLightIndex {
+    parent: Vec<Option<NodeId>>,
+    depth: Vec<u32>,
+    /// Chain head of each node.
+    head: Vec<NodeId>,
+    /// Position of each node in the linearized chain array.
+    pos: Vec<u32>,
+    /// `values[pos[v]]` = weight of `v`'s parent edge (`Reverse` so the
+    /// min-sparse-table answers maxima).
+    rmq: SparseTableRmq<Reverse<Weight>>,
+}
+
+impl HeavyLightIndex {
+    /// Builds the decomposition.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.num_nodes();
+        let sizes = tree.subtree_sizes();
+        // Heavy child of every node.
+        let mut heavy: Vec<Option<NodeId>> = vec![None; n];
+        for v in tree.nodes() {
+            heavy[v.index()] = tree
+                .children(v)
+                .iter()
+                .copied()
+                .max_by_key(|c| sizes[c.index()]);
+        }
+        // Assign heads and positions: walk chains from their tops in a
+        // DFS that always descends the heavy edge first.
+        let mut head = vec![tree.root(); n];
+        let mut pos = vec![0u32; n];
+        let mut values = vec![Reverse(Weight::ZERO); n];
+        let mut counter = 0u32;
+        let mut stack = vec![(tree.root(), tree.root())];
+        while let Some((v, h)) = stack.pop() {
+            head[v.index()] = h;
+            pos[v.index()] = counter;
+            values[counter as usize] = Reverse(tree.parent_weight(v));
+            counter += 1;
+            // Continue this chain through the heavy child; light children
+            // start their own chains (pushed first so the heavy path is
+            // processed contiguously right away).
+            for &c in tree.children(v) {
+                if Some(c) != heavy[v.index()] {
+                    stack.push((c, c));
+                }
+            }
+            if let Some(hc) = heavy[v.index()] {
+                stack.push((hc, h));
+            }
+        }
+        debug_assert_eq!(counter as usize, n);
+        let parent = tree.nodes().map(|v| tree.parent(v)).collect();
+        let depth = tree.nodes().map(|v| tree.depth(v)).collect();
+        HeavyLightIndex {
+            parent,
+            depth,
+            head,
+            pos,
+            rmq: SparseTableRmq::new(values),
+        }
+    }
+
+    /// `MAX(u, v)` on the tree path (`Weight::ZERO` when `u == v`);
+    /// `O(log n)` per query.
+    pub fn max_on_path(&self, mut u: NodeId, mut v: NodeId) -> Weight {
+        let mut best = Weight::ZERO;
+        while self.head[u.index()] != self.head[v.index()] {
+            // Lift the node whose chain head is deeper.
+            if self.depth[self.head[u.index()].index()] < self.depth[self.head[v.index()].index()] {
+                std::mem::swap(&mut u, &mut v);
+            }
+            let h = self.head[u.index()];
+            let lo = self.pos[h.index()] as usize;
+            let hi = self.pos[u.index()] as usize;
+            best = best.max(self.rmq.min(lo, hi).0);
+            u = self.parent[h.index()].expect("non-root chain head has a parent");
+        }
+        if u != v {
+            let (lo, hi) = if self.pos[u.index()] < self.pos[v.index()] {
+                (self.pos[u.index()], self.pos[v.index()])
+            } else {
+                (self.pos[v.index()], self.pos[u.index()])
+            };
+            // Exclude the upper node's own parent edge.
+            best = best.max(self.rmq.min(lo as usize + 1, hi as usize).0);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 5, 30, 200] {
+            let g = gen::random_tree(n, gen::WeightDist::Uniform { max: 500 }, &mut rng);
+            let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+            let hld = HeavyLightIndex::new(&t);
+            for u in t.nodes() {
+                for v in t.nodes() {
+                    assert_eq!(
+                        hld.max_on_path(u, v),
+                        t.max_on_path_naive(u, v),
+                        "n={n} u={u} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_and_star() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for g in [
+            gen::path(64, gen::WeightDist::Uniform { max: 99 }, &mut rng),
+            gen::star(64, gen::WeightDist::Uniform { max: 99 }, &mut rng),
+            gen::balanced_binary_tree(63, gen::WeightDist::Uniform { max: 99 }, &mut rng),
+        ] {
+            let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+            let hld = HeavyLightIndex::new(&t);
+            for u in (0..64).step_by(5) {
+                for v in (0..63).step_by(7) {
+                    let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+                    if u.index() < t.num_nodes() && v.index() < t.num_nodes() {
+                        assert_eq!(hld.max_on_path(u, v), t.max_on_path_naive(u, v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_kruskal_tree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_tree(300, gen::WeightDist::Uniform { max: 10 }, &mut rng);
+        let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let hld = HeavyLightIndex::new(&t);
+        let kt = crate::KruskalTree::new(&t);
+        for u in (0..300).step_by(11) {
+            for v in (0..300).step_by(13) {
+                let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+                assert_eq!(hld.max_on_path(u, v), kt.max_on_path(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let t = RootedTree::from_parents(NodeId(0), vec![None]).unwrap();
+        let hld = HeavyLightIndex::new(&t);
+        assert_eq!(hld.max_on_path(NodeId(0), NodeId(0)), Weight::ZERO);
+    }
+}

@@ -1,0 +1,242 @@
+//! The Kruskal reconstruction tree: O(1) path-maximum queries.
+//!
+//! Merging the tree's edges in increasing weight order and materializing one
+//! internal node per union yields a binary "reconstruction" tree whose
+//! leaves are the original vertices and whose internal nodes carry edge
+//! weights. `MAX(u, v)` on the original tree equals the weight stored at
+//! the LCA of leaves `u` and `v` in the reconstruction tree — so after
+//! O(n log n) preprocessing every path-maximum query is answered in O(1).
+//!
+//! This is the ground-truth oracle used by the tests of the implicit
+//! labeling schemes and by the sensitivity solver.
+
+use mstv_graph::{NodeId, Weight};
+
+use crate::{RootedTree, SparseTableRmq};
+
+/// O(1) `MAX(u, v)` oracle built from a [`RootedTree`].
+#[derive(Debug, Clone)]
+pub struct KruskalTree {
+    /// Parent of each reconstruction-tree node; `usize::MAX` at the root.
+    /// Nodes `0..n` are leaves (original vertices); `n..2n-1` are unions.
+    parent: Vec<usize>,
+    /// Weight at each internal node (ZERO at leaves).
+    node_weight: Vec<Weight>,
+    /// Euler tour for LCA.
+    tour: Vec<u32>,
+    first: Vec<u32>,
+    rmq: SparseTableRmq<u32>,
+    n: usize,
+}
+
+impl KruskalTree {
+    /// Builds the reconstruction tree from the edges of `tree`.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.num_nodes();
+        let mut edges: Vec<(Weight, NodeId, NodeId)> =
+            tree.edges().map(|(c, p, w)| (w, c, p)).collect();
+        edges.sort_by_key(|&(w, c, _)| (w, c));
+
+        let total = 2 * n - 1;
+        let mut parent = vec![usize::MAX; total];
+        let mut node_weight = vec![Weight::ZERO; total];
+        // Union-find over original vertices; `top[root]` = current
+        // reconstruction-tree node representing that component.
+        let mut uf: Vec<usize> = (0..n).collect();
+        let mut top: Vec<usize> = (0..n).collect();
+        fn find(uf: &mut [usize], mut x: usize) -> usize {
+            while uf[x] != x {
+                uf[x] = uf[uf[x]];
+                x = uf[x];
+            }
+            x
+        }
+        let mut next = n;
+        for (w, a, b) in edges {
+            let ra = find(&mut uf, a.index());
+            let rb = find(&mut uf, b.index());
+            debug_assert_ne!(ra, rb, "tree edges cannot form a cycle");
+            let node = next;
+            next += 1;
+            node_weight[node] = w;
+            parent[top[ra]] = node;
+            parent[top[rb]] = node;
+            uf[ra] = rb;
+            top[rb] = node;
+        }
+        debug_assert_eq!(next, total);
+
+        // Children lists for the Euler tour.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); total];
+        let mut root = total - 1;
+        for (v, &p) in parent.iter().enumerate() {
+            if p == usize::MAX {
+                root = v;
+            } else {
+                children[p].push(v);
+            }
+        }
+        // Depths + Euler tour (iterative).
+        let mut depth = vec![0u32; total];
+        let mut tour = Vec::with_capacity(2 * total - 1);
+        let mut first = vec![u32::MAX; total];
+        enum Step {
+            Visit(usize),
+            Emit(usize),
+        }
+        let mut stack = vec![Step::Visit(root)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Visit(v) => {
+                    if first[v] == u32::MAX {
+                        first[v] = tour.len() as u32;
+                    }
+                    tour.push(v as u32);
+                    for &c in children[v].iter().rev() {
+                        depth[c] = depth[v] + 1;
+                        stack.push(Step::Emit(v));
+                        stack.push(Step::Visit(c));
+                    }
+                }
+                Step::Emit(v) => tour.push(v as u32),
+            }
+        }
+        let depths: Vec<u32> = tour.iter().map(|&v| depth[v as usize]).collect();
+        KruskalTree {
+            parent,
+            node_weight,
+            rmq: SparseTableRmq::new(depths),
+            tour,
+            first,
+            n,
+        }
+    }
+
+    /// `MAX(u, v)` on the original tree (`Weight::ZERO` when `u == v`).
+    ///
+    /// O(1) per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn max_on_path(&self, u: NodeId, v: NodeId) -> Weight {
+        if u == v {
+            return Weight::ZERO;
+        }
+        let (mut a, mut b) = (
+            self.first[u.index()] as usize,
+            self.first[v.index()] as usize,
+        );
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let lca = self.tour[self.rmq.argmin(a, b)] as usize;
+        self.node_weight[lca]
+    }
+
+    /// Number of original vertices.
+    pub fn num_leaves(&self) -> usize {
+        self.n
+    }
+
+    /// The reconstruction-tree parent of a node (for tests and debugging).
+    pub fn reconstruction_parent(&self, node: usize) -> Option<usize> {
+        match self.parent.get(node) {
+            Some(&p) if p != usize::MAX => Some(p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> RootedTree {
+        RootedTree::from_parents(
+            NodeId(0),
+            vec![
+                None,
+                Some((NodeId(0), Weight(5))),
+                Some((NodeId(0), Weight(3))),
+                Some((NodeId(1), Weight(2))),
+                Some((NodeId(1), Weight(7))),
+                Some((NodeId(2), Weight(1))),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_naive_on_sample() {
+        let t = sample();
+        let kt = KruskalTree::new(&t);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                assert_eq!(
+                    kt.max_on_path(u, v),
+                    t.max_on_path_naive(u, v),
+                    "u={u} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_cross_check() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 3, 9, 50, 300] {
+            let g = gen::random_tree(n, gen::WeightDist::Uniform { max: 30 }, &mut rng);
+            let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+            let kt = KruskalTree::new(&t);
+            assert_eq!(kt.num_leaves(), n);
+            for u in 0..n {
+                for v in (0..n).step_by(4) {
+                    let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+                    assert_eq!(kt.max_on_path(u, v), t.max_on_path_naive(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_weights() {
+        // All weights equal: MAX between distinct nodes is that weight.
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = gen::random_tree(20, gen::WeightDist::Constant(4), &mut rng);
+        let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let kt = KruskalTree::new(&t);
+        for u in 0..20 {
+            for v in 0..20 {
+                let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+                let expect = if u == v { Weight::ZERO } else { Weight(4) };
+                assert_eq!(kt.max_on_path(u, v), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_shape() {
+        let t = sample();
+        let kt = KruskalTree::new(&t);
+        // 6 leaves + 5 internal nodes; global root has no parent.
+        assert_eq!(kt.reconstruction_parent(10), None);
+        // Every leaf has a parent.
+        for v in 0..6 {
+            assert!(kt.reconstruction_parent(v).is_some());
+        }
+        assert_eq!(kt.reconstruction_parent(999), None);
+    }
+
+    #[test]
+    fn two_nodes() {
+        let t =
+            RootedTree::from_parents(NodeId(0), vec![None, Some((NodeId(0), Weight(9)))]).unwrap();
+        let kt = KruskalTree::new(&t);
+        assert_eq!(kt.max_on_path(NodeId(0), NodeId(1)), Weight(9));
+        assert_eq!(kt.max_on_path(NodeId(1), NodeId(1)), Weight::ZERO);
+    }
+}

@@ -1,0 +1,165 @@
+//! O(1) lowest-common-ancestor queries via Euler tour + sparse-table RMQ.
+
+use mstv_graph::NodeId;
+
+use crate::{RootedTree, SparseTableRmq};
+
+/// A static LCA index over a [`RootedTree`].
+///
+/// Preprocessing is O(n log n); queries are O(1).
+#[derive(Debug, Clone)]
+pub struct LcaIndex {
+    /// Euler tour of the tree (2n - 1 entries).
+    tour: Vec<NodeId>,
+    /// First occurrence of each node in the tour.
+    first: Vec<u32>,
+    /// Depths along the tour, indexed like `tour`.
+    rmq: SparseTableRmq<u32>,
+    depth: Vec<u32>,
+}
+
+impl LcaIndex {
+    /// Builds the index.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.num_nodes();
+        let mut tour = Vec::with_capacity(2 * n - 1);
+        let mut first = vec![u32::MAX; n];
+        // Iterative Euler tour.
+        enum Step {
+            Visit(NodeId),
+            Emit(NodeId),
+        }
+        let mut stack = vec![Step::Visit(tree.root())];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Visit(v) => {
+                    if first[v.index()] == u32::MAX {
+                        first[v.index()] = tour.len() as u32;
+                    }
+                    tour.push(v);
+                    // Push children interleaved with re-emissions of v.
+                    for &c in tree.children(v).iter().rev() {
+                        stack.push(Step::Emit(v));
+                        stack.push(Step::Visit(c));
+                    }
+                }
+                Step::Emit(v) => tour.push(v),
+            }
+        }
+        let depths: Vec<u32> = tour.iter().map(|&v| tree.depth(v)).collect();
+        let depth: Vec<u32> = (0..n).map(|i| tree.depth(NodeId::from_index(i))).collect();
+        LcaIndex {
+            rmq: SparseTableRmq::new(depths),
+            tour,
+            first,
+            depth,
+        }
+    }
+
+    /// The lowest common ancestor of `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
+        let (mut a, mut b) = (
+            self.first[u.index()] as usize,
+            self.first[v.index()] as usize,
+        );
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        self.tour[self.rmq.argmin(a, b)]
+    }
+
+    /// The number of edges on the tree path between `u` and `v`.
+    pub fn path_len(&self, u: NodeId, v: NodeId) -> u32 {
+        let l = self.lca(u, v);
+        self.depth[u.index()] + self.depth[v.index()] - 2 * self.depth[l.index()]
+    }
+
+    /// Whether `a` is an ancestor of `d` (inclusive: every node is its own
+    /// ancestor).
+    pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
+        self.lca(a, d) == a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::{gen, Weight};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> RootedTree {
+        // Same shape as rooted.rs's sample tree.
+        RootedTree::from_parents(
+            NodeId(0),
+            vec![
+                None,
+                Some((NodeId(0), Weight(5))),
+                Some((NodeId(0), Weight(3))),
+                Some((NodeId(1), Weight(2))),
+                Some((NodeId(1), Weight(7))),
+                Some((NodeId(2), Weight(1))),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_lca() {
+        let idx = LcaIndex::new(&sample());
+        assert_eq!(idx.lca(NodeId(3), NodeId(4)), NodeId(1));
+        assert_eq!(idx.lca(NodeId(3), NodeId(5)), NodeId(0));
+        assert_eq!(idx.lca(NodeId(1), NodeId(3)), NodeId(1));
+        assert_eq!(idx.lca(NodeId(2), NodeId(2)), NodeId(2));
+    }
+
+    #[test]
+    fn path_len_and_ancestor() {
+        let idx = LcaIndex::new(&sample());
+        assert_eq!(idx.path_len(NodeId(3), NodeId(4)), 2);
+        assert_eq!(idx.path_len(NodeId(3), NodeId(5)), 4);
+        assert_eq!(idx.path_len(NodeId(0), NodeId(0)), 0);
+        assert!(idx.is_ancestor(NodeId(0), NodeId(5)));
+        assert!(idx.is_ancestor(NodeId(1), NodeId(1)));
+        assert!(!idx.is_ancestor(NodeId(1), NodeId(5)));
+    }
+
+    /// Naive LCA by walking up, for cross-checking.
+    fn lca_naive(t: &RootedTree, mut a: NodeId, mut b: NodeId) -> NodeId {
+        while a != b {
+            if t.depth(a) >= t.depth(b) {
+                a = t.parent(a).unwrap();
+            } else {
+                b = t.parent(b).unwrap();
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn randomized_cross_check() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [2usize, 3, 10, 64, 200] {
+            let g = gen::random_tree(n, gen::WeightDist::Uniform { max: 10 }, &mut rng);
+            let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+            let idx = LcaIndex::new(&t);
+            for u in 0..n {
+                for v in 0..n.min(25) {
+                    let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+                    assert_eq!(idx.lca(u, v), lca_naive(&t, u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let t = RootedTree::from_parents(NodeId(0), vec![None]).unwrap();
+        let idx = LcaIndex::new(&t);
+        assert_eq!(idx.lca(NodeId(0), NodeId(0)), NodeId(0));
+    }
+}

@@ -1,0 +1,228 @@
+//! Binary-lifting path-maximum (and minimum) queries.
+
+use mstv_graph::{NodeId, Weight};
+
+use crate::RootedTree;
+
+/// A binary-lifting index answering `MAX(u, v)` and `FLOW(u, v)` (path
+/// minimum) queries on a rooted weighted tree in O(log n), after O(n log n)
+/// preprocessing.
+///
+/// This is one of the `MAX` oracles used to validate the paper's implicit
+/// labeling schemes, and the reference implementation of the quantity
+/// checked by the MST cycle property.
+#[derive(Debug, Clone)]
+pub struct PathMaxIndex {
+    /// `up[k][v]` = the 2^k-th ancestor of `v` (root maps to itself).
+    up: Vec<Vec<u32>>,
+    /// `mx[k][v]` = max edge weight on the path from `v` to `up[k][v]`.
+    mx: Vec<Vec<Weight>>,
+    /// `mn[k][v]` = min edge weight on the same path.
+    mn: Vec<Vec<Weight>>,
+    depth: Vec<u32>,
+}
+
+impl PathMaxIndex {
+    /// Builds the index.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.num_nodes();
+        let levels = (usize::BITS - n.leading_zeros()).max(1) as usize;
+        let mut up = vec![vec![0u32; n]; levels];
+        let mut mx = vec![vec![Weight::ZERO; n]; levels];
+        let mut mn = vec![vec![Weight(u64::MAX); n]; levels];
+        for v in tree.nodes() {
+            match tree.parent(v) {
+                Some(p) => {
+                    up[0][v.index()] = p.0;
+                    mx[0][v.index()] = tree.parent_weight(v);
+                    mn[0][v.index()] = tree.parent_weight(v);
+                }
+                None => {
+                    up[0][v.index()] = v.0;
+                    // Root-to-root "step" is the empty path.
+                    mx[0][v.index()] = Weight::ZERO;
+                    mn[0][v.index()] = Weight(u64::MAX);
+                }
+            }
+        }
+        for k in 1..levels {
+            for v in 0..n {
+                let mid = up[k - 1][v] as usize;
+                up[k][v] = up[k - 1][mid];
+                mx[k][v] = mx[k - 1][v].max(mx[k - 1][mid]);
+                mn[k][v] = mn[k - 1][v].min(mn[k - 1][mid]);
+            }
+        }
+        let depth = (0..n).map(|i| tree.depth(NodeId::from_index(i))).collect();
+        PathMaxIndex { up, mx, mn, depth }
+    }
+
+    fn lift(&self, v: NodeId, levels_up: u32) -> (NodeId, Weight, Weight) {
+        let mut cur = v.0 as usize;
+        let mut best_max = Weight::ZERO;
+        let mut best_min = Weight(u64::MAX);
+        let mut remaining = levels_up;
+        let mut k = 0;
+        while remaining > 0 {
+            if remaining & 1 == 1 {
+                best_max = best_max.max(self.mx[k][cur]);
+                best_min = best_min.min(self.mn[k][cur]);
+                cur = self.up[k][cur] as usize;
+            }
+            remaining >>= 1;
+            k += 1;
+        }
+        (NodeId(cur as u32), best_max, best_min)
+    }
+
+    /// `(lca, max, min)` over the path between `u` and `v`.
+    fn path_stats(&self, u: NodeId, v: NodeId) -> (NodeId, Weight, Weight) {
+        let (du, dv) = (self.depth[u.index()], self.depth[v.index()]);
+        let (mut a, mut b) = (u, v);
+        let mut best_max = Weight::ZERO;
+        let mut best_min = Weight(u64::MAX);
+        if du > dv {
+            let (na, mx, mn) = self.lift(a, du - dv);
+            a = na;
+            best_max = best_max.max(mx);
+            best_min = best_min.min(mn);
+        } else if dv > du {
+            let (nb, mx, mn) = self.lift(b, dv - du);
+            b = nb;
+            best_max = best_max.max(mx);
+            best_min = best_min.min(mn);
+        }
+        if a == b {
+            return (a, best_max, best_min);
+        }
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][a.index()] != self.up[k][b.index()] {
+                best_max = best_max
+                    .max(self.mx[k][a.index()])
+                    .max(self.mx[k][b.index()]);
+                best_min = best_min
+                    .min(self.mn[k][a.index()])
+                    .min(self.mn[k][b.index()]);
+                a = NodeId(self.up[k][a.index()]);
+                b = NodeId(self.up[k][b.index()]);
+            }
+        }
+        best_max = best_max
+            .max(self.mx[0][a.index()])
+            .max(self.mx[0][b.index()]);
+        best_min = best_min
+            .min(self.mn[0][a.index()])
+            .min(self.mn[0][b.index()]);
+        (NodeId(self.up[0][a.index()]), best_max, best_min)
+    }
+
+    /// `MAX(u, v)`: the largest edge weight on the tree path
+    /// (`Weight::ZERO` when `u == v`).
+    pub fn max_on_path(&self, u: NodeId, v: NodeId) -> Weight {
+        if u == v {
+            return Weight::ZERO;
+        }
+        self.path_stats(u, v).1
+    }
+
+    /// `FLOW(u, v)`: the smallest edge weight on the tree path
+    /// (`Weight(u64::MAX)` when `u == v`).
+    pub fn min_on_path(&self, u: NodeId, v: NodeId) -> Weight {
+        if u == v {
+            return Weight(u64::MAX);
+        }
+        self.path_stats(u, v).2
+    }
+
+    /// The lowest common ancestor of `u` and `v` (by lifting; O(log n)).
+    pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
+        self.path_stats(u, v).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> RootedTree {
+        RootedTree::from_parents(
+            NodeId(0),
+            vec![
+                None,
+                Some((NodeId(0), Weight(5))),
+                Some((NodeId(0), Weight(3))),
+                Some((NodeId(1), Weight(2))),
+                Some((NodeId(1), Weight(7))),
+                Some((NodeId(2), Weight(1))),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_naive_on_sample() {
+        let t = sample();
+        let idx = PathMaxIndex::new(&t);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                assert_eq!(idx.max_on_path(u, v), t.max_on_path_naive(u, v));
+                assert_eq!(idx.min_on_path(u, v), t.min_on_path_naive(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_on_sample() {
+        let idx = PathMaxIndex::new(&sample());
+        assert_eq!(idx.lca(NodeId(3), NodeId(4)), NodeId(1));
+        assert_eq!(idx.lca(NodeId(4), NodeId(5)), NodeId(0));
+        assert_eq!(idx.lca(NodeId(1), NodeId(4)), NodeId(1));
+    }
+
+    #[test]
+    fn randomized_cross_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [2usize, 3, 17, 128, 300] {
+            let g = gen::random_tree(n, gen::WeightDist::Uniform { max: 1000 }, &mut rng);
+            let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+            let idx = PathMaxIndex::new(&t);
+            for u in (0..n).step_by(3) {
+                for v in (0..n).step_by(7) {
+                    let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+                    assert_eq!(
+                        idx.max_on_path(u, v),
+                        t.max_on_path_naive(u, v),
+                        "n={n} u={u} v={v}"
+                    );
+                    assert_eq!(idx.min_on_path(u, v), t.min_on_path_naive(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_tree() {
+        // A path tree exercises the lifting depth logic.
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = gen::path(100, gen::WeightDist::Uniform { max: 50 }, &mut rng);
+        let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let idx = PathMaxIndex::new(&t);
+        for a in [0usize, 1, 50, 98] {
+            for b in [0usize, 42, 99] {
+                let (u, v) = (NodeId::from_index(a), NodeId::from_index(b));
+                assert_eq!(idx.max_on_path(u, v), t.max_on_path_naive(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let t = RootedTree::from_parents(NodeId(0), vec![None]).unwrap();
+        let idx = PathMaxIndex::new(&t);
+        assert_eq!(idx.max_on_path(NodeId(0), NodeId(0)), Weight::ZERO);
+        assert_eq!(idx.min_on_path(NodeId(0), NodeId(0)), Weight(u64::MAX));
+    }
+}

@@ -1,0 +1,414 @@
+//! Rooted weighted trees with precomputed traversal orders.
+
+use std::collections::BTreeSet;
+
+use mstv_graph::{EdgeId, Graph, GraphError, NodeId, Weight};
+
+/// A rooted weighted tree on nodes `0..n`.
+///
+/// Stores, per node: parent, weight of the parent edge, depth, preorder
+/// position, and children lists. The preorder [`RootedTree::order`] visits
+/// parents before children, so bottom-up passes can iterate it in reverse.
+/// # Example
+///
+/// ```
+/// use mstv_graph::{NodeId, Weight};
+/// use mstv_trees::RootedTree;
+///
+/// // A path 0 - 1 - 2 rooted at node 0.
+/// let tree = RootedTree::from_parents(
+///     NodeId(0),
+///     vec![None, Some((NodeId(0), Weight(4))), Some((NodeId(1), Weight(9)))],
+/// )?;
+/// assert_eq!(tree.depth(NodeId(2)), 2);
+/// assert_eq!(tree.max_on_path_naive(NodeId(0), NodeId(2)), Weight(9));
+/// # Ok::<(), mstv_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    parent_weight: Vec<Weight>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    order: Vec<NodeId>,
+}
+
+impl RootedTree {
+    /// Builds a rooted tree from an explicit parent list.
+    ///
+    /// `parents[v]` is `Some((p, w))` where `p` is the parent of `v` and `w`
+    /// the weight of the edge `(v, p)`, or `None` exactly at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parent pointers do not form a tree rooted at
+    /// `root` (cycles, unreachable nodes, or extra roots).
+    pub fn from_parents(
+        root: NodeId,
+        parents: Vec<Option<(NodeId, Weight)>>,
+    ) -> Result<Self, GraphError> {
+        let n = parents.len();
+        if root.index() >= n {
+            return Err(GraphError::NodeOutOfRange { node: root, n });
+        }
+        if parents[root.index()].is_some() {
+            return Err(GraphError::NotASpanningTree {
+                reason: format!("root {root} has a parent pointer"),
+            });
+        }
+        let mut parent = vec![None; n];
+        let mut parent_weight = vec![Weight::ZERO; n];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, entry) in parents.iter().enumerate() {
+            let v = NodeId::from_index(i);
+            if let Some((p, w)) = *entry {
+                if p.index() >= n {
+                    return Err(GraphError::NodeOutOfRange { node: p, n });
+                }
+                parent[i] = Some(p);
+                parent_weight[i] = w;
+                children[p.index()].push(v);
+            } else if v != root {
+                return Err(GraphError::NotASpanningTree {
+                    reason: format!("{v} has no parent but is not the root"),
+                });
+            }
+        }
+        // Preorder BFS from root; detects unreachable nodes (cycles).
+        let mut depth = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+        let mut stack = vec![root];
+        let mut seen = vec![false; n];
+        seen[root.index()] = true;
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &c in &children[v.index()] {
+                if seen[c.index()] {
+                    return Err(GraphError::NotASpanningTree {
+                        reason: format!("node {c} reached twice"),
+                    });
+                }
+                seen[c.index()] = true;
+                depth[c.index()] = depth[v.index()] + 1;
+                stack.push(c);
+            }
+        }
+        if order.len() != n {
+            return Err(GraphError::NotASpanningTree {
+                reason: format!("only {} of {} nodes reachable from root", order.len(), n),
+            });
+        }
+        Ok(RootedTree {
+            root,
+            parent,
+            parent_weight,
+            children,
+            depth,
+            order,
+        })
+    }
+
+    /// Builds a rooted tree from a graph that *is* a tree (all edges used).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph's edge set is not a spanning tree.
+    pub fn from_graph(graph: &Graph, root: NodeId) -> Result<Self, GraphError> {
+        let all: Vec<EdgeId> = graph.edge_ids().collect();
+        Self::from_graph_edges(graph, &all, root)
+    }
+
+    /// Builds a rooted tree from a subset of a graph's edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tree_edges` is not a spanning tree of `graph`.
+    pub fn from_graph_edges(
+        graph: &Graph,
+        tree_edges: &[EdgeId],
+        root: NodeId,
+    ) -> Result<Self, GraphError> {
+        if !graph.is_spanning_tree(tree_edges) {
+            return Err(GraphError::NotASpanningTree {
+                reason: "edge set fails spanning-tree check".to_owned(),
+            });
+        }
+        let n = graph.num_nodes();
+        let in_tree: BTreeSet<EdgeId> = tree_edges.iter().copied().collect();
+        let mut parents: Vec<Option<(NodeId, Weight)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[root.index()] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for nb in graph.neighbors(v) {
+                if in_tree.contains(&nb.edge) && !seen[nb.node.index()] {
+                    seen[nb.node.index()] = true;
+                    parents[nb.node.index()] = Some((v, nb.weight));
+                    queue.push_back(nb.node);
+                }
+            }
+        }
+        Self::from_parents(root, parents)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `v`, or `None` at the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Weight of the edge from `v` to its parent (`Weight::ZERO` at root).
+    #[inline]
+    pub fn parent_weight(&self, v: NodeId) -> Weight {
+        self.parent_weight[v.index()]
+    }
+
+    /// Children of `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Depth of `v` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// A preorder over all nodes: every parent precedes its children.
+    #[inline]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Iterator over all nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId::from_index)
+    }
+
+    /// Iterator over the tree's edges as `(child, parent, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.nodes()
+            .filter_map(move |v| self.parent(v).map(|p| (v, p, self.parent_weight(v))))
+    }
+
+    /// Subtree sizes, computed bottom-up.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut size = vec![1usize; self.num_nodes()];
+        for &v in self.order.iter().rev() {
+            if let Some(p) = self.parent(v) {
+                size[p.index()] += size[v.index()];
+            }
+        }
+        size
+    }
+
+    /// The path from `u` up to the root, inclusive.
+    pub fn path_to_root(&self, u: NodeId) -> Vec<NodeId> {
+        let mut path = vec![u];
+        let mut cur = u;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Naive `MAX(u, v)`: the largest edge weight on the tree path, by
+    /// walking both nodes up to their meeting point. `Weight::ZERO` when
+    /// `u == v`. O(depth) per query; this is the reference oracle.
+    pub fn max_on_path_naive(&self, u: NodeId, v: NodeId) -> Weight {
+        let (mut a, mut b) = (u, v);
+        let mut best = Weight::ZERO;
+        while a != b {
+            if self.depth(a) >= self.depth(b) {
+                best = best.max(self.parent_weight(a));
+                a = self.parent(a).expect("non-root node has parent");
+            } else {
+                best = best.max(self.parent_weight(b));
+                b = self.parent(b).expect("non-root node has parent");
+            }
+        }
+        best
+    }
+
+    /// Naive `FLOW(u, v)`: the smallest edge weight on the tree path, or
+    /// `Weight(u64::MAX)` when `u == v` (empty-path minimum).
+    pub fn min_on_path_naive(&self, u: NodeId, v: NodeId) -> Weight {
+        let (mut a, mut b) = (u, v);
+        let mut best = Weight(u64::MAX);
+        while a != b {
+            if self.depth(a) >= self.depth(b) {
+                best = best.min(self.parent_weight(a));
+                a = self.parent(a).expect("non-root node has parent");
+            } else {
+                best = best.min(self.parent_weight(b));
+                b = self.parent(b).expect("non-root node has parent");
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed 6-node tree:
+    /// ```text
+    ///        0
+    ///      5/ \3
+    ///      1   2
+    ///    2/ \7  \1
+    ///    3   4   5
+    /// ```
+    fn sample() -> RootedTree {
+        RootedTree::from_parents(
+            NodeId(0),
+            vec![
+                None,
+                Some((NodeId(0), Weight(5))),
+                Some((NodeId(0), Weight(3))),
+                Some((NodeId(1), Weight(2))),
+                Some((NodeId(1), Weight(7))),
+                Some((NodeId(2), Weight(1))),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn structure() {
+        let t = sample();
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.parent_weight(NodeId(4)), Weight(7));
+        assert_eq!(t.depth(NodeId(5)), 2);
+        assert_eq!(t.children(NodeId(1)), &[NodeId(3), NodeId(4)]);
+        assert_eq!(t.edges().count(), 5);
+    }
+
+    #[test]
+    fn preorder_parents_first() {
+        let t = sample();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 6];
+            for (i, &v) in t.order().iter().enumerate() {
+                pos[v.index()] = i;
+            }
+            pos
+        };
+        for v in t.nodes() {
+            if let Some(p) = t.parent(v) {
+                assert!(pos[p.index()] < pos[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_sizes() {
+        let t = sample();
+        let s = t.subtree_sizes();
+        assert_eq!(s[0], 6);
+        assert_eq!(s[1], 3);
+        assert_eq!(s[2], 2);
+        assert_eq!(s[3], 1);
+    }
+
+    #[test]
+    fn naive_path_max() {
+        let t = sample();
+        assert_eq!(t.max_on_path_naive(NodeId(3), NodeId(4)), Weight(7));
+        assert_eq!(t.max_on_path_naive(NodeId(3), NodeId(5)), Weight(5));
+        assert_eq!(t.max_on_path_naive(NodeId(0), NodeId(5)), Weight(3));
+        assert_eq!(t.max_on_path_naive(NodeId(2), NodeId(2)), Weight::ZERO);
+        // Symmetry.
+        assert_eq!(
+            t.max_on_path_naive(NodeId(4), NodeId(5)),
+            t.max_on_path_naive(NodeId(5), NodeId(4))
+        );
+    }
+
+    #[test]
+    fn naive_path_min() {
+        let t = sample();
+        assert_eq!(t.min_on_path_naive(NodeId(3), NodeId(4)), Weight(2));
+        assert_eq!(t.min_on_path_naive(NodeId(3), NodeId(5)), Weight(1));
+        assert_eq!(t.min_on_path_naive(NodeId(2), NodeId(2)), Weight(u64::MAX));
+    }
+
+    #[test]
+    fn path_to_root() {
+        let t = sample();
+        assert_eq!(
+            t.path_to_root(NodeId(3)),
+            vec![NodeId(3), NodeId(1), NodeId(0)]
+        );
+        assert_eq!(t.path_to_root(NodeId(0)), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn rejects_root_with_parent() {
+        let r = RootedTree::from_parents(NodeId(0), vec![Some((NodeId(1), Weight(1))), None]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_orphan() {
+        let r = RootedTree::from_parents(NodeId(0), vec![None, None]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        // 1 -> 2 -> 1 cycle, disconnected from root 0.
+        let r = RootedTree::from_parents(
+            NodeId(0),
+            vec![
+                None,
+                Some((NodeId(2), Weight(1))),
+                Some((NodeId(1), Weight(1))),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn from_graph_edges() {
+        let mut g = Graph::new(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(4)).unwrap();
+        let _e1 = g.add_edge(NodeId(1), NodeId(2), Weight(6)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(3), Weight(2)).unwrap();
+        let e3 = g.add_edge(NodeId(3), NodeId(0), Weight(9)).unwrap();
+        let t = RootedTree::from_graph_edges(&g, &[e0, e2, e3], NodeId(2)).unwrap();
+        assert_eq!(t.root(), NodeId(2));
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(t.parent(NodeId(0)), Some(NodeId(3)));
+        assert_eq!(t.parent_weight(NodeId(0)), Weight(9));
+        assert_eq!(t.max_on_path_naive(NodeId(1), NodeId(2)), Weight(9));
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = RootedTree::from_parents(NodeId(0), vec![None]).unwrap();
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.max_on_path_naive(NodeId(0), NodeId(0)), Weight::ZERO);
+        assert_eq!(t.subtree_sizes(), vec![1]);
+    }
+}

@@ -1,0 +1,528 @@
+//! Separator decompositions of trees (Section 3 of the paper).
+//!
+//! A separator decomposition recursively removes a chosen vertex (the
+//! *separator*); the tree breaks into subtrees, each decomposed in turn.
+//! The removed vertex at recursion depth `k` is a *level-k* separator
+//! (levels are 1-based, following the paper). A decomposition is *perfect*
+//! when every subtree formed by a separator has at most half the vertices
+//! of the tree it was chosen in; centroid decomposition realizes this and
+//! bounds the number of levels by `⌊log₂ n⌋ + 1`.
+//!
+//! The family `Γ` of implicit labeling schemes is parameterized by (a) the
+//! choice of decomposition and (b) the numbers `ρ(j)` given to the subtrees
+//! formed by each separator. We record the latter as a per-node
+//! `child_rank`: the number assigned to the subtree (of the node's
+//! separator-tree parent) that contains it. For the small scheme `γ_small`,
+//! ranks order subtrees by decreasing size, which is what makes the
+//! separator-path component of the label telescope to `O(log n)` bits
+//! (the technique of Gavoille–Peleg–Pérennes–Raz used by the paper).
+
+use mstv_graph::NodeId;
+use rand::Rng;
+
+use crate::RootedTree;
+
+/// A separator decomposition of a tree, with subtree numbering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeparatorDecomposition {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    level: Vec<u32>,
+    child_rank: Vec<u32>,
+    component_size: Vec<usize>,
+}
+
+impl SeparatorDecomposition {
+    /// Assembles a decomposition from raw per-node data (used by proof
+    /// labeling schemes that *reconstruct* a decomposition from node
+    /// states). Only length consistency is checked here; run
+    /// [`SeparatorDecomposition::validate`] against the tree to check
+    /// structural soundness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the vectors disagree in length or the root
+    /// is out of range / not at level 1.
+    pub fn from_parts(
+        root: NodeId,
+        parent: Vec<Option<NodeId>>,
+        level: Vec<u32>,
+        child_rank: Vec<u32>,
+        component_size: Vec<usize>,
+    ) -> Result<Self, String> {
+        let n = level.len();
+        if parent.len() != n || child_rank.len() != n || component_size.len() != n {
+            return Err("mismatched vector lengths".to_owned());
+        }
+        if root.index() >= n {
+            return Err(format!("root {root} out of range"));
+        }
+        if level[root.index()] != 1 || parent[root.index()].is_some() {
+            return Err("root must be the level-1 separator with no parent".to_owned());
+        }
+        Ok(SeparatorDecomposition {
+            root,
+            parent,
+            level,
+            child_rank,
+            component_size,
+        })
+    }
+
+    /// The level-1 separator.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.level.len()
+    }
+
+    /// 1-based separator level of `v` (the root has level 1).
+    #[inline]
+    pub fn level(&self, v: NodeId) -> u32 {
+        self.level[v.index()]
+    }
+
+    /// Parent of `v` in the separator tree, `None` at the root.
+    #[inline]
+    pub fn sep_parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The number `ρ` given to the subtree (of `v`'s separator parent)
+    /// containing `v`. Zero at the root.
+    #[inline]
+    pub fn child_rank(&self, v: NodeId) -> u32 {
+        self.child_rank[v.index()]
+    }
+
+    /// Size of the component `v` was chosen in as a separator.
+    #[inline]
+    pub fn component_size(&self, v: NodeId) -> usize {
+        self.component_size[v.index()]
+    }
+
+    /// The separator ancestors of `v` from level 1 down to `v` itself
+    /// (`result[k-1]` is the level-`k` separator of `v`).
+    pub fn ancestors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut chain = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.sep_parent(cur) {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The deepest level in the decomposition.
+    pub fn max_level(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether every separator splits its component into subtrees of at
+    /// most half its size (the paper's *perfect* property).
+    pub fn is_perfect(&self) -> bool {
+        (0..self.level.len()).all(|i| {
+            let v = NodeId::from_index(i);
+            match self.sep_parent(v) {
+                Some(p) => 2 * self.component_size(v) <= self.component_size(p),
+                None => true,
+            }
+        })
+    }
+
+    /// Checks that this decomposition is structurally consistent with
+    /// `tree`: levels increase along the recursion, each component has
+    /// exactly one separator, and sibling subtrees carry distinct ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self, tree: &RootedTree) -> Result<(), String> {
+        let n = tree.num_nodes();
+        if n != self.num_nodes() {
+            return Err(format!("{} nodes vs tree's {n}", self.num_nodes()));
+        }
+        let adj = adjacency(tree);
+        let mut removed = vec![false; n];
+        self.validate_component(&adj, &mut removed, self.root, 1, n)
+    }
+
+    fn validate_component(
+        &self,
+        adj: &[Vec<NodeId>],
+        removed: &mut [bool],
+        sep: NodeId,
+        level: u32,
+        expected_size: usize,
+    ) -> Result<(), String> {
+        // Collect the component containing `sep`.
+        let comp = component_of(adj, removed, sep);
+        if comp.len() != expected_size {
+            return Err(format!(
+                "component of {sep} has {} nodes, expected {expected_size}",
+                comp.len()
+            ));
+        }
+        if self.level(sep) != level {
+            return Err(format!(
+                "{sep} has level {}, expected {level}",
+                self.level(sep)
+            ));
+        }
+        if self.component_size(sep) != comp.len() {
+            return Err(format!("{sep} records wrong component size"));
+        }
+        for &v in &comp {
+            if v != sep && self.level(v) <= level {
+                return Err(format!(
+                    "{v} has level <= its level-{level} separator {sep}"
+                ));
+            }
+        }
+        removed[sep.index()] = true;
+        let mut ranks = Vec::new();
+        for &nb in &adj[sep.index()] {
+            if removed[nb.index()] {
+                continue;
+            }
+            let sub = component_of(adj, removed, nb);
+            // Find the unique next-level separator of this subtree.
+            let mut next = None;
+            for &v in &sub {
+                if self.level(v) == level + 1 {
+                    if next.is_some() {
+                        return Err(format!("two level-{} separators in one subtree", level + 1));
+                    }
+                    next = Some(v);
+                }
+            }
+            let next = next.ok_or_else(|| {
+                format!(
+                    "subtree of {sep} through {nb} has no level-{} separator",
+                    level + 1
+                )
+            })?;
+            if self.sep_parent(next) != Some(sep) {
+                return Err(format!(
+                    "{next} does not point at {sep} in the separator tree"
+                ));
+            }
+            for &v in &sub {
+                // Every node of the subtree must descend from `next` in the
+                // separator tree (checked transitively via the recursion) —
+                // here we check the rank consistency instead.
+                let _ = v;
+            }
+            ranks.push(self.child_rank(next));
+            self.validate_component(adj, removed, next, level + 1, sub.len())?;
+        }
+        ranks.sort_unstable();
+        if ranks.windows(2).any(|w| w[0] == w[1]) {
+            return Err(format!("duplicate subtree ranks under {sep}"));
+        }
+        Ok(())
+    }
+}
+
+fn adjacency(tree: &RootedTree) -> Vec<Vec<NodeId>> {
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); tree.num_nodes()];
+    for (c, p, _) in tree.edges() {
+        adj[c.index()].push(p);
+        adj[p.index()].push(c);
+    }
+    adj
+}
+
+fn component_of(adj: &[Vec<NodeId>], removed: &[bool], start: NodeId) -> Vec<NodeId> {
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![start];
+    seen.insert(start);
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        for &nb in &adj[v.index()] {
+            if !removed[nb.index()] && seen.insert(nb) {
+                stack.push(nb);
+            }
+        }
+    }
+    out
+}
+
+/// How a decomposition builder picks each separator.
+trait SeparatorChooser {
+    fn choose(&mut self, adj: &[Vec<NodeId>], removed: &[bool], component: &[NodeId]) -> NodeId;
+}
+
+/// Generic recursive builder. Subtree ranks are assigned by decreasing
+/// subtree size (rank 0 = largest), the ordering `γ_small` needs; other
+/// schemes in `Γ` are free to renumber but this canonical order is valid
+/// for all of them.
+fn decompose(tree: &RootedTree, chooser: &mut dyn SeparatorChooser) -> SeparatorDecomposition {
+    let n = tree.num_nodes();
+    let adj = adjacency(tree);
+    let mut removed = vec![false; n];
+    let mut parent = vec![None; n];
+    let mut level = vec![0u32; n];
+    let mut child_rank = vec![0u32; n];
+    let mut component_size = vec![0usize; n];
+
+    // Work queue of (component-representative, sep-parent, level, rank).
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back((NodeId(0), None::<NodeId>, 1u32, 0u32));
+    let mut root = NodeId(0);
+    while let Some((rep, sp, lv, rank)) = queue.pop_back() {
+        let comp = component_of(&adj, &removed, rep);
+        let sep = chooser.choose(&adj, &removed, &comp);
+        debug_assert!(comp.contains(&sep));
+        parent[sep.index()] = sp;
+        level[sep.index()] = lv;
+        child_rank[sep.index()] = rank;
+        component_size[sep.index()] = comp.len();
+        if sp.is_none() {
+            root = sep;
+        }
+        removed[sep.index()] = true;
+        // Children components, ordered by decreasing size.
+        let mut subs: Vec<Vec<NodeId>> = adj[sep.index()]
+            .iter()
+            .filter(|nb| !removed[nb.index()])
+            .map(|&nb| component_of(&adj, &removed, nb))
+            .collect();
+        subs.sort_by_key(|s| std::cmp::Reverse(s.len()));
+        for (j, sub) in subs.into_iter().enumerate() {
+            queue.push_back((sub[0], Some(sep), lv + 1, j as u32));
+        }
+    }
+    SeparatorDecomposition {
+        root,
+        parent,
+        level,
+        child_rank,
+        component_size,
+    }
+}
+
+/// The *perfect* separator decomposition: every separator is a centroid of
+/// its component, so each formed subtree has at most half the component's
+/// vertices and the depth is at most `⌊log₂ n⌋ + 1`.
+pub fn centroid_decomposition(tree: &RootedTree) -> SeparatorDecomposition {
+    struct Centroid;
+    impl SeparatorChooser for Centroid {
+        fn choose(
+            &mut self,
+            adj: &[Vec<NodeId>],
+            removed: &[bool],
+            component: &[NodeId],
+        ) -> NodeId {
+            let total = component.len();
+            // Subtree sizes via DFS from component[0].
+            let root = component[0];
+            let mut order = Vec::with_capacity(total);
+            let mut parent: std::collections::HashMap<NodeId, NodeId> =
+                std::collections::HashMap::new();
+            let mut stack = vec![root];
+            let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+            seen.insert(root);
+            while let Some(v) = stack.pop() {
+                order.push(v);
+                for &nb in &adj[v.index()] {
+                    if !removed[nb.index()] && seen.insert(nb) {
+                        parent.insert(nb, v);
+                        stack.push(nb);
+                    }
+                }
+            }
+            let mut size: std::collections::HashMap<NodeId, usize> =
+                order.iter().map(|&v| (v, 1)).collect();
+            for &v in order.iter().rev() {
+                if let Some(&p) = parent.get(&v) {
+                    *size.get_mut(&p).unwrap() += size[&v];
+                }
+            }
+            // Centroid: max piece after removal is minimal (<= total/2 exists).
+            let mut best = root;
+            let mut best_piece = usize::MAX;
+            for &v in &order {
+                let mut piece = total - size[&v];
+                for &nb in &adj[v.index()] {
+                    if !removed[nb.index()] && parent.get(&nb) == Some(&v) {
+                        piece = piece.max(size[&nb]);
+                    }
+                }
+                if piece < best_piece {
+                    best_piece = piece;
+                    best = v;
+                }
+            }
+            debug_assert!(2 * best_piece <= total);
+            best
+        }
+    }
+    decompose(tree, &mut Centroid)
+}
+
+/// A deliberately bad decomposition: always removes the smallest-id vertex
+/// of the component. On a path with sorted ids this has depth `n` — used to
+/// exercise the generality of the `Γ` family (any member must verify).
+pub fn first_vertex_decomposition(tree: &RootedTree) -> SeparatorDecomposition {
+    struct First;
+    impl SeparatorChooser for First {
+        fn choose(&mut self, _: &[Vec<NodeId>], _: &[bool], component: &[NodeId]) -> NodeId {
+            *component.iter().min().expect("component is nonempty")
+        }
+    }
+    decompose(tree, &mut First)
+}
+
+/// A uniformly random separator at every step.
+pub fn random_decomposition<R: Rng>(tree: &RootedTree, rng: &mut R) -> SeparatorDecomposition {
+    struct Random<'a, R: Rng>(&'a mut R);
+    impl<R: Rng> SeparatorChooser for Random<'_, R> {
+        fn choose(&mut self, _: &[Vec<NodeId>], _: &[bool], component: &[NodeId]) -> NodeId {
+            component[self.0.gen_range(0..component.len())]
+        }
+    }
+    decompose(tree, &mut Random(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree_of(n: usize, seed: u64) -> RootedTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_tree(n, gen::WeightDist::Uniform { max: 20 }, &mut rng);
+        RootedTree::from_graph(&g, NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn centroid_is_perfect_and_shallow() {
+        for n in [1usize, 2, 3, 10, 64, 257, 1000] {
+            let t = tree_of(n, n as u64);
+            let d = centroid_decomposition(&t);
+            assert!(d.is_perfect(), "n = {n}");
+            d.validate(&t).unwrap();
+            let bound = (usize::BITS - n.leading_zeros()) + 1;
+            assert!(d.max_level() <= bound, "n={n}: {} > {bound}", d.max_level());
+        }
+    }
+
+    #[test]
+    fn centroid_on_path() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen::path(31, gen::WeightDist::Constant(1), &mut rng);
+        let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let d = centroid_decomposition(&t);
+        // Midpoint of a 31-path is node 15.
+        assert_eq!(d.root(), NodeId(15));
+        assert_eq!(d.max_level(), 5);
+        d.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn first_vertex_is_deep_on_path() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::path(16, gen::WeightDist::Constant(1), &mut rng);
+        let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let d = first_vertex_decomposition(&t);
+        assert_eq!(d.root(), NodeId(0));
+        assert_eq!(d.max_level(), 16);
+        assert!(!d.is_perfect());
+        d.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn random_decomposition_validates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 5, 40, 150] {
+            let t = tree_of(n, 100 + n as u64);
+            let d = random_decomposition(&t, &mut rng);
+            d.validate(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn ancestors_chain() {
+        let t = tree_of(50, 9);
+        let d = centroid_decomposition(&t);
+        for v in t.nodes() {
+            let chain = d.ancestors(v);
+            assert_eq!(chain.len() as u32, d.level(v));
+            assert_eq!(chain[0], d.root());
+            assert_eq!(*chain.last().unwrap(), v);
+            for (k, &a) in chain.iter().enumerate() {
+                assert_eq!(d.level(a), k as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_distinct_among_siblings() {
+        let t = tree_of(200, 17);
+        let d = centroid_decomposition(&t);
+        use std::collections::HashMap;
+        let mut seen: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for v in t.nodes() {
+            if let Some(p) = d.sep_parent(v) {
+                seen.entry(p).or_default().push(d.child_rank(v));
+            }
+        }
+        for (_, mut ranks) in seen {
+            ranks.sort_unstable();
+            assert!(ranks.windows(2).all(|w| w[0] != w[1]));
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_largest_subtree() {
+        let t = tree_of(300, 23);
+        let d = centroid_decomposition(&t);
+        // For each separator, the rank-0 child's component is the biggest.
+        use std::collections::HashMap;
+        let mut kids: HashMap<NodeId, Vec<(u32, usize)>> = HashMap::new();
+        for v in t.nodes() {
+            if let Some(p) = d.sep_parent(v) {
+                kids.entry(p)
+                    .or_default()
+                    .push((d.child_rank(v), d.component_size(v)));
+            }
+        }
+        for (_, mut entries) in kids {
+            entries.sort_unstable();
+            for w in entries.windows(2) {
+                assert!(w[0].1 >= w[1].1, "rank order must follow size order");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_decomposition() {
+        let t = RootedTree::from_parents(NodeId(0), vec![None]).unwrap();
+        let d = centroid_decomposition(&t);
+        assert_eq!(d.root(), NodeId(0));
+        assert_eq!(d.level(NodeId(0)), 1);
+        assert_eq!(d.max_level(), 1);
+        d.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_tampering() {
+        let t = tree_of(30, 31);
+        let d = centroid_decomposition(&t);
+        let mut bad = d.clone();
+        // Corrupt a level.
+        let v = t.nodes().find(|&v| bad.sep_parent(v).is_some()).unwrap();
+        bad.level[v.index()] += 3;
+        assert!(bad.validate(&t).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! A maximum-bandwidth backbone with local proofs — the FLOW-side dual.
+//!
+//! ```text
+//! cargo run --release --example max_bandwidth_backbone
+//! ```
+//!
+//! Scenario: links are rated by bandwidth and the backbone should be a
+//! **maximum** spanning tree (the widest-path tree: between any two
+//! routers, the backbone path maximizes the bottleneck bandwidth). The
+//! dual of the paper's scheme — `FLOW` labels plus min-accumulating
+//! orientation conditions — lets every router verify the backbone is
+//! bandwidth-optimal from its neighbors' labels alone, and detect
+//! degraded links the moment a rating changes.
+
+use mst_verification::core::{max_st_configuration, MaxStScheme, ProofLabelingScheme};
+use mst_verification::graph::{gen, Weight};
+use mst_verification::mst::is_max_spanning_tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1080);
+    let net = gen::random_connected(40, 80, gen::WeightDist::Uniform { max: 10_000 }, &mut rng);
+    println!(
+        "network: {} routers, {} links, ratings up to {} Mbps",
+        net.num_nodes(),
+        net.num_edges(),
+        net.max_weight()
+    );
+
+    // Build and prove the maximum spanning tree.
+    let cfg = max_st_configuration(net);
+    let backbone = cfg.induced_edges();
+    assert!(is_max_spanning_tree(cfg.graph(), &backbone));
+    let scheme = MaxStScheme::new();
+    let labeling = scheme.marker(&cfg).expect("max-ST labels");
+    let verdict = scheme.verify_all(&cfg, &labeling);
+    println!(
+        "backbone of {} links proven optimal: {verdict}; labels ≤ {} bits/router",
+        backbone.len(),
+        labeling.max_label_bits()
+    );
+    assert!(verdict.accepted());
+
+    // The bottleneck guarantee, spot-checked: the minimum rating on the
+    // backbone path between two routers is at least that of ANY path.
+    let tree = mst_verification::trees::RootedTree::from_graph_edges(
+        cfg.graph(),
+        &backbone,
+        mst_verification::graph::NodeId(0),
+    )
+    .unwrap();
+    let bottleneck = tree.min_on_path_naive(
+        mst_verification::graph::NodeId(3),
+        mst_verification::graph::NodeId(29),
+    );
+    println!("bottleneck v3 → v29 over the backbone: {bottleneck} Mbps");
+
+    // A link degrades: a non-backbone link is now faster than a backbone
+    // bottleneck — the stale proof fails locally.
+    let mut in_tree = vec![false; cfg.graph().num_edges()];
+    for &e in &backbone {
+        in_tree[e.index()] = true;
+    }
+    let outside = cfg
+        .graph()
+        .edge_ids()
+        .find(|e| !in_tree[e.index()])
+        .expect("non-tree link exists");
+    let mut degraded = cfg.clone();
+    let boost = degraded.graph().max_weight();
+    degraded
+        .graph_mut()
+        .set_weight(outside, Weight(boost.0 + 500));
+    let verdict = scheme.verify_all(&degraded, &labeling);
+    println!("\nlink {outside} upgraded past the backbone: stale proof now {verdict}",);
+    assert!(!verdict.accepted());
+    println!("alarmed routers: {:?}", verdict.rejecting);
+
+    // Re-plan and re-prove.
+    let replanned = max_st_configuration(degraded.graph().clone());
+    let labeling = scheme.marker(&replanned).unwrap();
+    assert!(scheme.verify_all(&replanned, &labeling).accepted());
+    println!("backbone re-planned and re-proven optimal");
+}

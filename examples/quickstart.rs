@@ -1,0 +1,67 @@
+//! Quickstart: label a network's MST and verify it locally.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a random weighted network, computes its MST, runs the paper's
+//! `π_mst` marker to produce `O(log n log W)`-bit proof labels, verifies
+//! the proof at every node, and then demonstrates detection: after an
+//! adversarial weight change the stale proof is rejected by nodes *next to
+//! the problem*.
+
+use mst_verification::core::{mst_configuration, MstScheme, ProofLabelingScheme};
+use mst_verification::graph::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2006);
+
+    // A random connected network: 64 nodes, ~190 weighted links.
+    let graph = gen::random_connected(64, 128, gen::WeightDist::Uniform { max: 1000 }, &mut rng);
+    println!(
+        "network: {} nodes, {} edges, max weight {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.max_weight()
+    );
+
+    // Compute an MST and install it in the node states (each node points
+    // at its parent — the paper's distributed representation).
+    let cfg = mst_configuration(graph);
+    println!("MST installed: {} tree edges", cfg.induced_edges().len());
+
+    // The marker assigns every node its proof label.
+    let scheme = MstScheme::new();
+    let labeling = scheme.marker(&cfg).expect("a fresh MST always labels");
+    println!(
+        "labels assigned: max {} bits per node ({} bits total)",
+        labeling.max_label_bits(),
+        labeling.total_bits()
+    );
+
+    // Every node verifies locally: one look at its own label and its
+    // neighbors' labels.
+    let verdict = scheme.verify_all(&cfg, &labeling);
+    println!("verification: {verdict}");
+    assert!(verdict.accepted());
+
+    // Adversity strikes: a non-tree link becomes cheaper than the tree
+    // path it shortcuts. The tree is no longer minimum — and the stale
+    // proof fails exactly where it matters.
+    let mut faulty = cfg.clone();
+    let fault = mst_verification::core::faults::break_minimality(&mut faulty, &mut rng)
+        .expect("this workload has swappable edges");
+    println!("\ninjected fault: {fault:?}");
+    let verdict = scheme.verify_all(&faulty, &labeling);
+    println!("stale proof now: {verdict}");
+    assert!(!verdict.accepted());
+    println!("rejecting nodes: {:?}", verdict.rejecting);
+
+    // Recovery: recompute, relabel, verify green again.
+    let recovered = mst_configuration(faulty.graph().clone());
+    let labeling = scheme.marker(&recovered).expect("recomputed MST labels");
+    assert!(scheme.verify_all(&recovered, &labeling).accepted());
+    println!("\nrecomputed + relabelled: proof accepted everywhere again");
+}

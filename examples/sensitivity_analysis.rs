@@ -1,0 +1,95 @@
+//! Link-pricing sensitivity for a backbone network.
+//!
+//! ```text
+//! cargo run --release --example sensitivity_analysis
+//! ```
+//!
+//! Scenario: an ISP leases links at listed prices and runs its backbone on
+//! the minimum spanning tree. Procurement wants to know, per link: *how
+//! much can this price move before our backbone choice is wrong?* That is
+//! exactly Tarjan's sensitivity problem. The paper's relaxed variant
+//! answers each query in O(1) from compact per-router labels — so the
+//! question can even be answered inside the network, by the two routers
+//! at the ends of the link.
+
+use mst_verification::graph::gen;
+use mst_verification::mst::kruskal;
+use mst_verification::sensitivity::{sensitivity, EdgeSensitivity, SensitivityLabels};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(404);
+    let net = gen::random_connected(24, 40, gen::WeightDist::Uniform { max: 900 }, &mut rng);
+    let backbone = kruskal(&net);
+    println!(
+        "network: {} routers, {} leased links; backbone uses {}",
+        net.num_nodes(),
+        net.num_edges(),
+        backbone.len()
+    );
+
+    // Offline: the full sensitivity report.
+    let report = sensitivity(&net, &backbone);
+    let mut tightest_tree: Option<(mst_verification::graph::EdgeId, u64)> = None;
+    let mut tightest_alt: Option<(mst_verification::graph::EdgeId, u64)> = None;
+    let mut bridges = 0;
+    for (e, _) in net.edges() {
+        match report[e.index()] {
+            EdgeSensitivity::Tree { increase: Some(c) } => {
+                if tightest_tree.is_none_or(|(_, b)| c < b) {
+                    tightest_tree = Some((e, c));
+                }
+            }
+            EdgeSensitivity::Tree { increase: None } => bridges += 1,
+            EdgeSensitivity::NonTree { decrease: c } => {
+                if tightest_alt.is_none_or(|(_, b)| c < b) {
+                    tightest_alt = Some((e, c));
+                }
+            }
+        }
+    }
+    if let Some((e, c)) = tightest_tree {
+        let edge = net.edge(e);
+        println!(
+            "most price-fragile backbone link: {e} ({} – {}), listed {}, tolerates +{} before a swap",
+            edge.u,
+            edge.v,
+            edge.w,
+            c - 1
+        );
+    }
+    if let Some((e, c)) = tightest_alt {
+        let edge = net.edge(e);
+        println!(
+            "closest alternative link: {e} ({} – {}), listed {}, becomes attractive at -{}",
+            edge.u, edge.v, edge.w, c
+        );
+    }
+    println!("insensitive (bridge) links: {bridges}");
+
+    // Online: the labeled O(1)-query scheme — and it agrees everywhere.
+    let labels = SensitivityLabels::new(&net, &backbone);
+    for e in net.edge_ids() {
+        assert_eq!(labels.query(&net, e), report[e.index()]);
+    }
+    println!(
+        "\nper-router sensitivity labels: ≤ {} bits each; all {} O(1) queries agree with the offline report",
+        labels.max_label_bits(),
+        net.num_edges()
+    );
+
+    // Spot check the semantics for one tree edge.
+    if let Some((e, c)) = tightest_tree {
+        let w = net.weight(e);
+        let mut what_if = net.clone();
+        what_if.set_weight(e, mst_verification::graph::Weight(w.0 + c - 1));
+        assert!(mst_verification::mst::is_mst(&what_if, &backbone));
+        what_if.set_weight(e, mst_verification::graph::Weight(w.0 + c));
+        assert!(!mst_verification::mst::is_mst(&what_if, &backbone));
+        println!(
+            "spot check: +{} keeps the backbone optimal, +{c} does not — exactly as reported",
+            c - 1
+        );
+    }
+}

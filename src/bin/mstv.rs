@@ -1,0 +1,206 @@
+//! `mstv` — command-line front end for the MST verification toolkit.
+//!
+//! ```text
+//! mstv gen --nodes 64 --extra 128 --max-weight 1000 --seed 7 > net.txt
+//! mstv mst net.txt > tree.txt
+//! mstv label net.txt
+//! mstv verify net.txt tree.txt
+//! mstv sensitivity net.txt
+//! mstv dot net.txt
+//! ```
+//!
+//! Graphs are plain edge lists (`u v w` per line, `#` comments, optional
+//! `nodes N` header); trees are endpoint pairs (`u v` per line).
+
+use std::process::ExitCode;
+
+use mst_verification::core::{MstScheme, ProofLabelingScheme};
+use mst_verification::graph::io::{parse_edge_list, parse_tree_file, to_edge_list};
+use mst_verification::graph::{dot::to_dot, gen, tree_states, ConfigGraph, NodeId};
+use mst_verification::mst::{check_mst, kruskal, mst_weight, MstVerdict};
+use mst_verification::sensitivity::{sensitivity, EdgeSensitivity};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USAGE: &str = "usage:
+  mstv gen --nodes N [--extra M] [--max-weight W] [--seed S]
+      generate a random connected graph (edge list on stdout)
+  mstv mst <graph-file>
+      compute an MST (endpoint pairs on stdout)
+  mstv label <graph-file>
+      compute an MST, assign π_mst proof labels, report sizes
+  mstv verify <graph-file> <tree-file>
+      check whether the tree is an MST, sequentially and via labels
+  mstv sensitivity <graph-file>
+      per-edge sensitivity report
+  mstv dot <graph-file> [<tree-file>]
+      Graphviz DOT rendering (tree edges bold)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mstv: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&args[1..]),
+        "mst" => cmd_mst(&args[1..]),
+        "label" => cmd_label(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
+        "sensitivity" => cmd_sensitivity(&args[1..]),
+        "dot" => cmd_dot(&args[1..]),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} needs a value"))?;
+            raw.parse()
+                .map(Some)
+                .map_err(|e| format!("bad value for {name}: {e}"))
+        }
+        None => Ok(None),
+    }
+}
+
+fn load_graph(path: &str) -> Result<mst_verification::graph::Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let g = parse_edge_list(&text).map_err(|e| format!("{path}: {e}"))?;
+    if !g.is_connected() {
+        return Err(format!("{path}: graph is not connected"));
+    }
+    Ok(g)
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let n = flag_value(args, "--nodes")?.ok_or("--nodes is required")? as usize;
+    if n == 0 {
+        return Err("--nodes must be positive".to_owned());
+    }
+    let extra = flag_value(args, "--extra")?.unwrap_or(2 * n as u64) as usize;
+    let max_w = flag_value(args, "--max-weight")?.unwrap_or(1000);
+    let seed = flag_value(args, "--seed")?.unwrap_or(0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_connected(n, extra, gen::WeightDist::Uniform { max: max_w }, &mut rng);
+    print!("{}", to_edge_list(&g));
+    Ok(())
+}
+
+fn cmd_mst(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing graph file")?;
+    let g = load_graph(path)?;
+    let t = kruskal(&g);
+    println!(
+        "# MST: {} edges, total weight {}",
+        t.len(),
+        mst_weight(&g, &t)
+    );
+    for &e in &t {
+        let edge = g.edge(e);
+        println!("{} {}", edge.u.0, edge.v.0);
+    }
+    Ok(())
+}
+
+fn cmd_label(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing graph file")?;
+    let g = load_graph(path)?;
+    let n = g.num_nodes();
+    let cfg = mst_verification::core::mst_configuration(g);
+    let scheme = MstScheme::new();
+    let labeling = scheme.marker(&cfg).map_err(|e| e.to_string())?;
+    let verdict = scheme.verify_all(&cfg, &labeling);
+    println!("π_mst labels for {} nodes:", n);
+    println!("  max label: {} bits", labeling.max_label_bits());
+    println!("  total:     {} bits", labeling.total_bits());
+    println!("  self-check: {verdict}");
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let gpath = args.first().ok_or("missing graph file")?;
+    let tpath = args.get(1).ok_or("missing tree file")?;
+    let g = load_graph(gpath)?;
+    let ttext = std::fs::read_to_string(tpath).map_err(|e| format!("cannot read {tpath}: {e}"))?;
+    let t = parse_tree_file(&g, &ttext).map_err(|e| format!("{tpath}: {e}"))?;
+    // Sequential verdict.
+    match check_mst(&g, &t) {
+        MstVerdict::Mst => println!("sequential check: MST ✓"),
+        MstVerdict::NotSpanningTree => {
+            println!("sequential check: not a spanning tree ✗");
+            return Ok(());
+        }
+        MstVerdict::CycleViolation {
+            non_tree_edge,
+            weight,
+            max_on_path,
+        } => {
+            let e = g.edge(non_tree_edge);
+            println!(
+                "sequential check: not minimum ✗ (edge {} {} of weight {weight} undercuts path max {max_on_path})",
+                e.u.0, e.v.0
+            );
+        }
+    }
+    // Distributed verdict through the labels.
+    let states = tree_states(&g, &t, NodeId(0)).map_err(|e| e.to_string())?;
+    let cfg = ConfigGraph::new(g, states).map_err(|e| e.to_string())?;
+    let scheme = MstScheme::new();
+    match scheme.marker(&cfg) {
+        Ok(labeling) => {
+            let verdict = scheme.verify_all(&cfg, &labeling);
+            println!("distributed check: {verdict}");
+        }
+        Err(e) => println!("distributed check: marker refuses — {e}"),
+    }
+    Ok(())
+}
+
+fn cmd_sensitivity(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing graph file")?;
+    let g = load_graph(path)?;
+    let t = kruskal(&g);
+    let report = sensitivity(&g, &t);
+    println!("# u v weight kind slack");
+    for (e, edge) in g.edges() {
+        match report[e.index()] {
+            EdgeSensitivity::Tree { increase: Some(c) } => {
+                println!("{} {} {} tree +{c}", edge.u.0, edge.v.0, edge.w);
+            }
+            EdgeSensitivity::Tree { increase: None } => {
+                println!("{} {} {} bridge inf", edge.u.0, edge.v.0, edge.w);
+            }
+            EdgeSensitivity::NonTree { decrease } => {
+                println!("{} {} {} alt -{decrease}", edge.u.0, edge.v.0, edge.w);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing graph file")?;
+    let g = load_graph(path)?;
+    let highlight = match args.get(1) {
+        Some(tpath) => {
+            let ttext =
+                std::fs::read_to_string(tpath).map_err(|e| format!("cannot read {tpath}: {e}"))?;
+            parse_tree_file(&g, &ttext).map_err(|e| format!("{tpath}: {e}"))?
+        }
+        None => kruskal(&g),
+    };
+    print!("{}", to_dot(&g, &highlight));
+    Ok(())
+}

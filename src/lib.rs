@@ -1,0 +1,46 @@
+//! # mst-verification
+//!
+//! A full reproduction of Korman & Kutten, *Distributed Verification of
+//! Minimum Spanning Trees* (PODC 2006): proof labeling schemes that let
+//! every node of a network check, from its own label and its neighbors'
+//! labels alone, that the locally marked edges form a minimum spanning
+//! tree — with labels of only `O(log n · log W)` bits.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`graph`] — port-numbered weighted graphs and configuration graphs,
+//! * [`trees`] — LCA / path-maxima / separator-decomposition utilities,
+//! * [`mst`] — MST construction and sequential verification,
+//! * [`labels`] — bit-exact implicit labeling schemes (`MAX`, `FLOW`),
+//! * [`core`] — the proof labeling schemes (`π_mst`, `π_Γ`, baselines),
+//! * [`distsim`] — a synchronous message-passing network simulator,
+//! * [`sensitivity`] — Tarjan's tree-sensitivity problem,
+//! * [`hypertree`] — the `(h, µ)`-hypertree lower-bound construction.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mst_verification::graph::{gen, tree_states, ConfigGraph};
+//! use mst_verification::mst::kruskal;
+//! use mst_verification::core::{MstScheme, ProofLabelingScheme};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let g = gen::random_connected(64, 128, gen::WeightDist::Uniform { max: 1000 }, &mut rng);
+//! let mst = kruskal(&g);
+//! let states = tree_states(&g, &mst, mst_verification::graph::NodeId(0)).unwrap();
+//! let cfg = ConfigGraph::new(g, states).unwrap();
+//!
+//! let scheme = MstScheme::new();
+//! let labels = scheme.marker(&cfg).unwrap();
+//! assert!(scheme.verify_all(&cfg, &labels).accepted());
+//! ```
+
+pub use mstv_core as core;
+pub use mstv_distsim as distsim;
+pub use mstv_graph as graph;
+pub use mstv_hypertree as hypertree;
+pub use mstv_labels as labels;
+pub use mstv_mst as mst;
+pub use mstv_sensitivity as sensitivity;
+pub use mstv_trees as trees;

@@ -1,0 +1,116 @@
+//! End-to-end tests of the `mstv` command-line binary.
+
+use std::process::Command;
+
+fn mstv() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mstv"))
+}
+
+fn run_ok(args: &[&str], stdin_files: &[(&str, &str)]) -> String {
+    let dir = std::env::temp_dir().join(format!("mstv-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut full_args: Vec<String> = Vec::new();
+    for a in args {
+        full_args.push(a.to_string());
+    }
+    for (name, contents) in stdin_files {
+        let p = dir.join(name);
+        std::fs::write(&p, contents).unwrap();
+        // Replace placeholder file names with absolute paths.
+        for a in full_args.iter_mut() {
+            if a == name {
+                *a = p.to_string_lossy().into_owned();
+            }
+        }
+    }
+    let out = mstv().args(&full_args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "mstv {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn gen_then_mst_then_verify_pipeline() {
+    let graph = run_ok(
+        &[
+            "gen",
+            "--nodes",
+            "20",
+            "--extra",
+            "30",
+            "--max-weight",
+            "99",
+            "--seed",
+            "5",
+        ],
+        &[],
+    );
+    assert!(graph.starts_with("nodes 20"));
+    let tree = run_ok(&["mst", "g.txt"], &[("g.txt", &graph)]);
+    assert!(tree.contains("# MST: 19 edges"));
+    let tree_body: String = tree
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let verdict = run_ok(
+        &["verify", "g.txt", "t.txt"],
+        &[("g.txt", &graph), ("t.txt", &tree_body)],
+    );
+    assert!(verdict.contains("sequential check: MST ✓"), "{verdict}");
+    assert!(verdict.contains("accepted by all 20 nodes"), "{verdict}");
+}
+
+#[test]
+fn verify_rejects_bad_tree() {
+    // Triangle with the heavy edge forced into the tree.
+    let graph = "0 1 1\n1 2 2\n2 0 9\n";
+    let bad_tree = "0 1\n2 0\n";
+    let verdict = run_ok(
+        &["verify", "g.txt", "t.txt"],
+        &[("g.txt", graph), ("t.txt", bad_tree)],
+    );
+    assert!(verdict.contains("not minimum ✗"), "{verdict}");
+    assert!(verdict.contains("marker refuses"), "{verdict}");
+}
+
+#[test]
+fn label_reports_sizes() {
+    let graph = run_ok(&["gen", "--nodes", "16", "--seed", "1"], &[]);
+    let out = run_ok(&["label", "g.txt"], &[("g.txt", &graph)]);
+    assert!(out.contains("max label:"), "{out}");
+    assert!(out.contains("accepted by all 16 nodes"), "{out}");
+}
+
+#[test]
+fn sensitivity_lists_every_edge() {
+    let graph = "0 1 1\n1 2 2\n2 0 9\n";
+    let out = run_ok(&["sensitivity", "g.txt"], &[("g.txt", graph)]);
+    assert!(out.contains("0 1 1 tree +9"), "{out}");
+    assert!(out.contains("1 2 2 tree +8"), "{out}");
+    assert!(out.contains("2 0 9 alt -8"), "{out}");
+}
+
+#[test]
+fn dot_renders() {
+    let graph = "0 1 3\n1 2 4\n";
+    let out = run_ok(&["dot", "g.txt"], &[("g.txt", graph)]);
+    assert!(out.starts_with("graph g {"));
+    assert!(out.contains("style=bold"));
+}
+
+#[test]
+fn helpful_errors() {
+    let out = mstv().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("usage:"));
+
+    let out = mstv().args(["gen"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--nodes is required"));
+}

@@ -1,0 +1,120 @@
+//! Exhaustive small-scale verification: on complete graphs with tiny
+//! weight alphabets we can enumerate *every* weight assignment and
+//! *every* spanning tree, run the honest sub-marker pipeline on each
+//! (bypassing the marker's own MST check — the strongest natural
+//! forgery), and demand that the verdict equals ground truth exactly.
+//! This finite check covers every tie pattern and every tree shape that
+//! fits, complementing the randomized suites.
+
+use mst_verification::core::{
+    orient_fields, span_labels, Labeling, MstLabel, MstScheme, ProofLabelingScheme,
+};
+use mst_verification::graph::{tree_states, ConfigGraph, EdgeId, Graph, NodeId, Weight};
+use mst_verification::labels::max_labels;
+use mst_verification::mst::{is_mst, UnionFind};
+use mst_verification::trees::centroid_decomposition;
+
+/// All `(n-1)`-subsets of edges forming spanning trees.
+fn spanning_trees(g: &Graph) -> Vec<Vec<EdgeId>> {
+    let m = g.num_edges();
+    let n = g.num_nodes();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << m) {
+        if mask.count_ones() as usize != n - 1 {
+            continue;
+        }
+        let edges: Vec<EdgeId> = (0..m)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(EdgeId::from_index)
+            .collect();
+        if g.is_spanning_tree(&edges) {
+            out.push(edges);
+        }
+    }
+    out
+}
+
+/// Runs the honest pipeline on an arbitrary tree and returns acceptance.
+fn honest_pipeline_accepts(g: &Graph, t: &[EdgeId]) -> bool {
+    let states = tree_states(g, t, NodeId(0)).unwrap();
+    let cfg = ConfigGraph::new(g.clone(), states).unwrap();
+    let (tree, span) = span_labels(&cfg).unwrap();
+    let sep = centroid_decomposition(&tree);
+    let gammas = max_labels(&tree, &sep);
+    let orients = orient_fields(&tree, &sep);
+    let labels: Vec<MstLabel> = (0..g.num_nodes())
+        .map(|i| MstLabel {
+            span: span[i],
+            gamma: gammas[i].clone(),
+            orient: orients[i].clone(),
+        })
+        .collect();
+    let labeling = Labeling::from_labels(labels);
+    MstScheme::new().verify_all(&cfg, &labeling).accepted()
+}
+
+#[test]
+fn k4_all_weightings_all_trees() {
+    // K4: 6 edges, weights in {1, 2} → 64 weightings × 16 spanning trees.
+    let base_edges = [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    let mut cases = 0u32;
+    for wmask in 0u32..(1 << 6) {
+        let mut g = Graph::new(4);
+        for (i, &(u, v)) in base_edges.iter().enumerate() {
+            let w = 1 + (wmask >> i & 1) as u64;
+            g.add_edge(NodeId(u), NodeId(v), Weight(w)).unwrap();
+        }
+        for t in spanning_trees(&g) {
+            let accepted = honest_pipeline_accepts(&g, &t);
+            assert_eq!(accepted, is_mst(&g, &t), "wmask={wmask:06b} tree={t:?}");
+            cases += 1;
+        }
+    }
+    assert_eq!(cases, 64 * 16);
+}
+
+#[test]
+fn cycle5_all_weightings_all_trees() {
+    // C5: 5 edges, weights in {1, 2, 3} → 243 weightings × 5 trees.
+    let mut cases = 0u32;
+    for assignment in 0u32..243 {
+        let mut g = Graph::new(5);
+        let mut a = assignment;
+        for i in 0..5u32 {
+            let w = 1 + (a % 3) as u64;
+            a /= 3;
+            g.add_edge(NodeId(i), NodeId((i + 1) % 5), Weight(w))
+                .unwrap();
+        }
+        for t in spanning_trees(&g) {
+            assert_eq!(
+                honest_pipeline_accepts(&g, &t),
+                is_mst(&g, &t),
+                "assignment={assignment} tree={t:?}"
+            );
+            cases += 1;
+        }
+    }
+    assert_eq!(cases, 243 * 5);
+}
+
+#[test]
+fn all_spanning_trees_of_k4_counted() {
+    // Cayley: K4 has 4^2 = 16 spanning trees.
+    let mut g = Graph::new(4);
+    for u in 0..4u32 {
+        for v in (u + 1)..4 {
+            g.add_edge(NodeId(u), NodeId(v), Weight(1)).unwrap();
+        }
+    }
+    assert_eq!(spanning_trees(&g).len(), 16);
+    // Sanity for the helper: every enumerated set really spans.
+    for t in spanning_trees(&g) {
+        let mut uf = UnionFind::new(4);
+        for &e in &t {
+            let edge = g.edge(e);
+            uf.union(edge.u.index(), edge.v.index());
+        }
+        assert_eq!(uf.num_components(), 1);
+    }
+}

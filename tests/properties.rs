@@ -1,0 +1,202 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use mst_verification::core::{mst_configuration, MstScheme, ProofLabelingScheme};
+use mst_verification::graph::{gen, Graph, NodeId, Weight};
+use mst_verification::labels::{ImplicitFlowScheme, ImplicitMaxScheme};
+use mst_verification::mst::{is_mst, kruskal, mst_weight, prim, UnionFind};
+use mst_verification::sensitivity::{brute_force_sensitivity, sensitivity};
+use mst_verification::trees::{centroid_decomposition, RootedTree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: seeds and sizes for a random connected graph.
+fn graph_params() -> impl Strategy<Value = (usize, usize, u64, u64)> {
+    (2usize..40, 0usize..60, 1u64..1000, any::<u64>())
+}
+
+fn make_graph(n: usize, extra: usize, w: u64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen::random_connected(n, extra, gen::WeightDist::Uniform { max: w }, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mst_algorithms_agree((n, extra, w, seed) in graph_params()) {
+        let g = make_graph(n, extra, w, seed);
+        let k = kruskal(&g);
+        let p = prim(&g);
+        prop_assert!(g.is_spanning_tree(&k));
+        prop_assert!(g.is_spanning_tree(&p));
+        prop_assert_eq!(mst_weight(&g, &k), mst_weight(&g, &p));
+        prop_assert!(is_mst(&g, &k));
+        prop_assert!(is_mst(&g, &p));
+    }
+
+    #[test]
+    fn gamma_small_decodes_max((n, _extra, w, seed) in graph_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_tree(n, gen::WeightDist::Uniform { max: w }, &mut rng);
+        let tree = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let scheme = ImplicitMaxScheme::gamma_small(&tree);
+        for u in tree.nodes() {
+            for v in tree.nodes() {
+                if u != v {
+                    prop_assert_eq!(scheme.query(u, v), tree.max_on_path_naive(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flow_decodes_min((n, _extra, w, seed) in graph_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_tree(n, gen::WeightDist::Uniform { max: w }, &mut rng);
+        let tree = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let scheme = ImplicitFlowScheme::gamma_small(&tree);
+        for u in tree.nodes() {
+            for v in tree.nodes() {
+                if u != v {
+                    prop_assert_eq!(scheme.query(u, v), tree.min_on_path_naive(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pi_mst_complete_on_random_graphs((n, extra, w, seed) in graph_params()) {
+        let g = make_graph(n, extra, w, seed);
+        let cfg = mst_configuration(g);
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        prop_assert!(scheme.verify_all(&cfg, &labeling).accepted());
+    }
+
+    #[test]
+    fn pi_mst_rejects_weight_drops((n, extra, w, seed) in graph_params()) {
+        prop_assume!(extra > 0 && w > 2);
+        let g = make_graph(n, extra, w, seed);
+        let cfg = mst_configuration(g);
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let mut bad = cfg.clone();
+        if mst_verification::core::faults::break_minimality(&mut bad, &mut rng).is_some() {
+            prop_assert!(!scheme.verify_all(&bad, &labeling).accepted());
+        }
+    }
+
+    #[test]
+    fn sensitivity_solver_matches_brute_force((n, extra, w, seed) in graph_params()) {
+        prop_assume!(n <= 25);
+        let g = make_graph(n, extra, w, seed);
+        let t = kruskal(&g);
+        prop_assert_eq!(sensitivity(&g, &t), brute_force_sensitivity(&g, &t));
+    }
+
+    #[test]
+    fn centroid_decomposition_is_perfect((n, _extra, w, seed) in graph_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_tree(n, gen::WeightDist::Uniform { max: w }, &mut rng);
+        let tree = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let d = centroid_decomposition(&tree);
+        prop_assert!(d.is_perfect());
+        prop_assert!(d.validate(&tree).is_ok());
+        let bound = (usize::BITS - n.leading_zeros()) + 1;
+        prop_assert!(d.max_level() <= bound);
+    }
+
+    #[test]
+    fn union_find_partition_refinement(ops in proptest::collection::vec((0usize..30, 0usize..30), 1..100)) {
+        // Union-find agrees with a naive partition under arbitrary unions.
+        let mut uf = UnionFind::new(30);
+        let mut naive: Vec<usize> = (0..30).collect();
+        for (a, b) in ops {
+            uf.union(a, b);
+            let (ra, rb) = (naive[a], naive[b]);
+            if ra != rb {
+                for x in naive.iter_mut() {
+                    if *x == rb {
+                        *x = ra;
+                    }
+                }
+            }
+        }
+        for x in 0..30 {
+            for y in 0..30 {
+                prop_assert_eq!(uf.connected(x, y), naive[x] == naive[y]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_property_characterizes_msts((n, extra, w, seed) in graph_params()) {
+        // For any spanning tree: is_mst == (weight equals the optimum).
+        prop_assume!(n <= 20);
+        let g = make_graph(n, extra, w, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        use rand::seq::SliceRandom;
+        let mut ids: Vec<_> = g.edge_ids().collect();
+        ids.shuffle(&mut rng);
+        let mut uf = UnionFind::new(g.num_nodes());
+        let mut t = Vec::new();
+        for e in ids {
+            let edge = g.edge(e);
+            if uf.union(edge.u.index(), edge.v.index()) {
+                t.push(e);
+            }
+        }
+        let optimal = mst_weight(&g, &kruskal(&g));
+        prop_assert_eq!(is_mst(&g, &t), mst_weight(&g, &t) == optimal);
+    }
+
+    #[test]
+    fn pi_mst_soundness_vs_honest_pipeline_forgery((n, extra, w, seed) in graph_params()) {
+        // The strongest natural adversary: take ANY spanning tree (maybe
+        // not minimum) and run the full honest sub-marker pipeline on it
+        // (consistent spanning proof, γ labels, orientation). The verdict
+        // must equal the ground truth `is_mst` exactly: accepted iff MST.
+        prop_assume!(n <= 25);
+        let g = make_graph(n, extra, w, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        use rand::seq::SliceRandom;
+        let mut ids: Vec<_> = g.edge_ids().collect();
+        ids.shuffle(&mut rng);
+        let mut uf = UnionFind::new(g.num_nodes());
+        let mut t = Vec::new();
+        for e in ids {
+            let edge = g.edge(e);
+            if uf.union(edge.u.index(), edge.v.index()) {
+                t.push(e);
+            }
+        }
+        let states = mst_verification::graph::tree_states(&g, &t, NodeId(0)).unwrap();
+        let cfg = mst_verification::graph::ConfigGraph::new(g.clone(), states).unwrap();
+        let (tree, span) = mst_verification::core::span_labels(&cfg).unwrap();
+        let sep = centroid_decomposition(&tree);
+        let gammas = mst_verification::labels::max_labels(&tree, &sep);
+        let orients = mst_verification::core::orient_fields(&tree, &sep);
+        let labels: Vec<mst_verification::core::MstLabel> = (0..g.num_nodes())
+            .map(|i| mst_verification::core::MstLabel {
+                span: span[i],
+                gamma: gammas[i].clone(),
+                orient: orients[i].clone(),
+            })
+            .collect();
+        let labeling = mst_verification::core::Labeling::from_labels(labels);
+        let scheme = MstScheme::new();
+        let verdict = scheme.verify_all(&cfg, &labeling);
+        prop_assert_eq!(verdict.accepted(), is_mst(&g, &t));
+    }
+
+    #[test]
+    fn weights_bounded_by_distribution((n, extra, w, seed) in graph_params()) {
+        let g = make_graph(n, extra, w, seed);
+        prop_assert!(g.max_weight() <= Weight(w.max(1)));
+        for (_, edge) in g.edges() {
+            prop_assert!(edge.w >= Weight(1));
+        }
+    }
+}
