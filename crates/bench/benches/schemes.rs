@@ -4,13 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mstv_bench::{mst_workload, workload};
-use mstv_core::{local_view, BoruvkaScheme, MstScheme, ProofLabelingScheme};
+use mstv_core::{local_view, BoruvkaScheme, MstScheme, ParallelConfig, ProofLabelingScheme};
 use mstv_graph::NodeId;
 use mstv_labels::ImplicitMaxScheme;
 use mstv_mst::kruskal;
 use mstv_sensitivity::SensitivityLabels;
 use mstv_trees::RootedTree;
 use std::hint::black_box;
+use std::num::NonZeroUsize;
 use std::time::Duration;
 
 /// Trimmed criterion settings so the full suite runs in minutes, not
@@ -55,7 +56,8 @@ fn bench_verifier(c: &mut Criterion) {
             BenchmarkId::new("pi_mst_parallel_4", n),
             &(&cfg, &labeling),
             |b, (cfg, labeling)| {
-                b.iter(|| scheme.verify_all_parallel(black_box(cfg), black_box(labeling), 4));
+                let four = ParallelConfig::with_threads(NonZeroUsize::new(4).unwrap());
+                b.iter(|| scheme.verify_all_parallel(black_box(cfg), black_box(labeling), four));
             },
         );
         group.bench_with_input(

@@ -7,7 +7,10 @@
 //! some node.
 
 use mstv_bench::print_table;
-use mstv_core::{Labeling, Orient, PiGammaScheme, PiGammaState, ProofLabelingScheme};
+use mstv_core::{
+    Labeling, Orient, PiGammaScheme, PiGammaState, ProofLabelingScheme, SessionMetrics,
+    VerifySession,
+};
 use mstv_graph::{gen, tree_states, ConfigGraph, NodeId, Weight};
 use mstv_labels::max_labels;
 use mstv_trees::RootedTree;
@@ -63,9 +66,13 @@ fn main() {
         &rows,
     );
 
-    // Adversarial soundness.
+    // Adversarial soundness. Each trial runs through a `VerifySession`:
+    // the honest labeling verifies once in full, then the corruption is
+    // applied as an incremental mutation and only the dirty frontier
+    // re-verifies — the session's verdict is exactly `verify_all`'s.
     let mut rng = StdRng::seed_from_u64(7);
     let mut rows = Vec::new();
+    let mut totals = SessionMetrics::new();
     for (name, trials_target) in [
         ("ω-field deflation", 200usize),
         ("ω-field inflation", 200),
@@ -78,19 +85,19 @@ fn main() {
         while applied < trials_target {
             let cfg = build_config(50, rng.gen(), "centroid");
             let honest = scheme.marker(&cfg).unwrap();
-            let mut labeling = Labeling::from_labels(honest.labels().to_vec());
-            let mut cfg2 = cfg.clone();
+            let labeling = Labeling::from_labels(honest.labels().to_vec());
+            let mut session = VerifySession::with_labeling(PiGammaScheme::new(), cfg, labeling);
             let v = NodeId(rng.gen_range(0..50));
-            let lv = labeling.label(v).copy.level();
+            let lv = session.labeling().label(v).copy.level();
             let changed = match name {
                 "ω-field deflation" => {
                     let k = rng.gen_range(0..lv);
-                    let old = labeling.label(v).copy.omega[k];
+                    let old = session.labeling().label(v).copy.omega[k];
                     if old == Weight::ZERO {
                         false
                     } else {
-                        labeling.label_mut(v).copy.omega[k] = Weight(old.0 - 1);
-                        cfg2.state_mut(v).gamma.omega[k] = Weight(old.0 - 1);
+                        session.mutate_label(v, |l| l.copy.omega[k] = Weight(old.0 - 1));
+                        session.mutate_state(v, |s| s.gamma.omega[k] = Weight(old.0 - 1));
                         // Skip the unconstrained self-level field (see the
                         // π_mst module docs): it cannot mislead a decoder.
                         k + 1 != lv
@@ -98,20 +105,20 @@ fn main() {
                 }
                 "ω-field inflation" => {
                     let k = rng.gen_range(0..lv);
-                    let old = labeling.label(v).copy.omega[k];
-                    labeling.label_mut(v).copy.omega[k] = Weight(old.0 + 7);
-                    cfg2.state_mut(v).gamma.omega[k] = Weight(old.0 + 7);
+                    let old = session.labeling().label(v).copy.omega[k];
+                    session.mutate_label(v, |l| l.copy.omega[k] = Weight(old.0 + 7));
+                    session.mutate_state(v, |s| s.gamma.omega[k] = Weight(old.0 + 7));
                     k + 1 != lv
                 }
                 "orientation flip" => {
                     let k = rng.gen_range(0..lv);
-                    let old = labeling.label(v).orient[k];
+                    let old = session.labeling().label(v).orient[k];
                     let new = match old {
                         Orient::Down => Orient::Up,
                         Orient::Up => Orient::Down,
                         Orient::SelfSep => Orient::Up,
                     };
-                    labeling.label_mut(v).orient[k] = new;
+                    session.mutate_label(v, |l| l.orient[k] = new);
                     true
                 }
                 "sep-rank tamper" => {
@@ -119,15 +126,15 @@ fn main() {
                         false
                     } else {
                         let k = rng.gen_range(1..lv);
-                        labeling.label_mut(v).copy.sep[k] += 1;
-                        cfg2.state_mut(v).gamma.sep[k] += 1;
+                        session.mutate_label(v, |l| l.copy.sep[k] += 1);
+                        session.mutate_state(v, |s| s.gamma.sep[k] += 1);
                         true
                     }
                 }
                 _ => {
                     // Divergence: corrupt the label copy only.
                     let k = rng.gen_range(0..lv);
-                    labeling.label_mut(v).copy.omega[k] = Weight(u64::MAX >> 1);
+                    session.mutate_label(v, |l| l.copy.omega[k] = Weight(u64::MAX >> 1));
                     true
                 }
             };
@@ -135,9 +142,15 @@ fn main() {
                 continue;
             }
             applied += 1;
-            if !scheme.verify_all(&cfg2, &labeling).accepted() {
+            if !session.verdict().accepted() {
                 rejected += 1;
             }
+            let m = session.metrics();
+            totals.full_runs += m.full_runs;
+            totals.incremental_runs += m.incremental_runs;
+            totals.mutations_applied += m.mutations_applied;
+            totals.nodes_verified += m.nodes_verified;
+            totals.nodes_skipped += m.nodes_skipped;
         }
         rows.push(vec![
             name.to_string(),
@@ -149,6 +162,15 @@ fn main() {
         "soundness under corruption",
         &["corruption", "rejected", "rate"],
         &rows,
+    );
+    println!(
+        "\nsession totals: {} mutations over {} trials re-verified {} nodes and \
+         reused {} cached verdicts ({:.1}% skipped)",
+        totals.mutations_applied,
+        totals.full_runs,
+        totals.nodes_verified,
+        totals.nodes_skipped,
+        totals.skip_ratio() * 100.0
     );
     println!("\npaper claim: no labeling of a non-member configuration passes all nodes.");
     println!("measured: ω and orientation corruptions (which change decoded MAX values)");

@@ -55,9 +55,9 @@ impl ProofLabelingScheme for AgreementScheme {
         let states = cfg.states();
         if let Some(&first) = states.first() {
             if let Some(&bad) = states.iter().find(|&&s| s != first) {
-                return Err(MarkerError {
-                    reason: format!("states disagree: {first} vs {bad}"),
-                });
+                return Err(MarkerError::BadStates(format!(
+                    "states disagree: {first} vs {bad}"
+                )));
             }
         }
         let labels: Vec<u64> = states.to_vec();

@@ -80,9 +80,10 @@ impl ProofLabelingScheme for BoruvkaScheme {
         let tree_edges = cfg.induced_edges();
         match mstv_mst::check_mst(g, &tree_edges) {
             mstv_mst::MstVerdict::Mst => {}
-            verdict => {
-                return Err(MarkerError {
-                    reason: format!("candidate tree is not an MST: {verdict:?}"),
+            mstv_mst::MstVerdict::NotSpanningTree => return Err(MarkerError::NotSpanning),
+            mstv_mst::MstVerdict::CycleViolation { non_tree_edge, .. } => {
+                return Err(MarkerError::NotMinimum {
+                    witness_edge: non_tree_edge,
                 })
             }
         }
@@ -111,9 +112,9 @@ impl ProofLabelingScheme for BoruvkaScheme {
             got.sort();
             want.sort();
             if got != want {
-                return Err(MarkerError {
-                    reason: "Borůvka did not reproduce the candidate tree".to_owned(),
-                });
+                return Err(MarkerError::bad_states(
+                    "Borůvka did not reproduce the candidate tree",
+                ));
             }
         }
         let num_phases = trace.phases.len();

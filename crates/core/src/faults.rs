@@ -4,12 +4,23 @@
 //! because faults corrupt states, weights, and labels arbitrarily. These
 //! helpers produce the corruption classes the experiments (and the
 //! distributed simulator's stabilization loop) throw at the schemes.
+//!
+//! Injection is split into *planning* and *application*: the `plan_*`
+//! functions inspect a configuration and return a [`Fault`] without
+//! touching it, and [`Fault::to_mutation`] turns the plan into a
+//! [`Mutation`] replayable through a [`VerifySession`] — so corruption
+//! loops pay only the dirty-frontier re-verification cost. The classic
+//! one-shot helpers ([`break_minimality`] and friends) remain as
+//! plan-then-apply wrappers over a bare [`ConfigGraph`].
 
-use mstv_graph::{ConfigGraph, EdgeId, NodeId, Port, TreeState, Weight};
+use mstv_graph::{ConfigGraph, EdgeId, GraphError, NodeId, ParentPointer, Port, TreeState, Weight};
 use mstv_trees::RootedTree;
 use rand::Rng;
 
-/// A record of an injected fault, for reporting.
+use crate::framework::{ProofLabelingScheme, Verdict};
+use crate::session::{Mutation, VerifySession};
+
+/// A record of an injected (or planned) fault, for reporting and replay.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Fault {
     /// An edge's weight was changed.
@@ -32,11 +43,67 @@ pub enum Fault {
     },
 }
 
-/// Drops the weight of a random non-tree edge *below* the heaviest tree
-/// edge on its cycle, so the candidate tree stops being minimum while
-/// remaining a spanning tree. Returns `None` when no non-tree edge can be
-/// made violating (e.g. all path maxima are already 1).
-pub fn break_minimality<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
+impl Fault {
+    /// The session [`Mutation`] applying this fault.
+    pub fn to_mutation<L>(&self) -> Mutation<L> {
+        match *self {
+            Fault::WeightChange { edge, new, .. } => Mutation::SetWeight { edge, weight: new },
+            Fault::PointerRetarget { node, new, .. } => Mutation::FlipTreeEdge {
+                node,
+                new_parent: new,
+            },
+        }
+    }
+
+    /// The session [`Mutation`] undoing this fault.
+    pub fn to_undo_mutation<L>(&self) -> Mutation<L> {
+        match *self {
+            Fault::WeightChange { edge, old, .. } => Mutation::SetWeight { edge, weight: old },
+            Fault::PointerRetarget { node, old, .. } => Mutation::FlipTreeEdge {
+                node,
+                new_parent: old,
+            },
+        }
+    }
+
+    /// Applies this fault to a bare configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault references an edge, node, or port the
+    /// configuration does not have.
+    pub fn apply_to<S: ParentPointer>(&self, cfg: &mut ConfigGraph<S>) {
+        match *self {
+            Fault::WeightChange { edge, new, .. } => cfg.set_weight(edge, new),
+            Fault::PointerRetarget { node, new, .. } => cfg
+                .retarget_parent(node, new)
+                .unwrap_or_else(|e| panic!("fault replays on its own configuration: {e}")),
+        }
+    }
+}
+
+/// Applies a planned fault through a session, re-verifying only the
+/// fault's dirty frontier, and returns the updated verdict.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] (leaving the session unchanged) when the
+/// fault does not fit the session's configuration.
+pub fn inject<P>(session: &mut VerifySession<P>, fault: &Fault) -> Result<Verdict, GraphError>
+where
+    P: ProofLabelingScheme,
+    P::State: ParentPointer,
+    P::Label: Clone,
+{
+    session.apply(fault.to_mutation())
+}
+
+/// Plans dropping the weight of a random non-tree edge *below* the
+/// heaviest tree edge on its cycle, so the candidate tree stops being
+/// minimum while remaining a spanning tree. Returns `None` when no
+/// non-tree edge can be made violating (e.g. all path maxima are
+/// already 1). The configuration is not modified.
+pub fn plan_break_minimality<R: Rng>(cfg: &ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
     let tree_edges = cfg.induced_edges();
     if !cfg.graph().is_spanning_tree(&tree_edges) {
         return None;
@@ -63,15 +130,18 @@ pub fn break_minimality<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -
         return None;
     }
     let (edge, new) = candidates[rng.gen_range(0..candidates.len())];
-    let old = cfg.graph().weight(edge);
-    cfg.graph_mut().set_weight(edge, new);
-    Some(Fault::WeightChange { edge, old, new })
+    Some(Fault::WeightChange {
+        edge,
+        old: cfg.graph().weight(edge),
+        new,
+    })
 }
 
-/// Retargets a random non-root node's parent pointer to a uniformly random
-/// other port (possibly creating a cycle or disconnection). Returns `None`
-/// for graphs where no node has an alternative port.
-pub fn retarget_pointer<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
+/// Plans retargeting a random non-root node's parent pointer to a
+/// uniformly random other port (possibly creating a cycle or
+/// disconnection). Returns `None` for graphs where no node has an
+/// alternative port. The configuration is not modified.
+pub fn plan_retarget_pointer<R: Rng>(cfg: &ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
     let n = cfg.graph().num_nodes();
     let candidates: Vec<NodeId> = (0..n)
         .map(NodeId::from_index)
@@ -87,7 +157,6 @@ pub fn retarget_pointer<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -
     if Some(new) == old {
         new = Port((new.0 + 1) % deg);
     }
-    cfg.state_mut(node).parent_port = Some(new);
     Some(Fault::PointerRetarget {
         node,
         old,
@@ -95,10 +164,11 @@ pub fn retarget_pointer<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -
     })
 }
 
-/// Raises a random *tree* edge's weight above the lightest non-tree edge
-/// covering it, another way to void minimality. Returns `None` when no
-/// tree edge is covered by any non-tree edge.
-pub fn raise_tree_weight<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
+/// Plans raising a random *tree* edge's weight above the lightest
+/// non-tree edge covering it, another way to void minimality. Returns
+/// `None` when no tree edge is covered by any non-tree edge. The
+/// configuration is not modified.
+pub fn plan_raise_tree_weight<R: Rng>(cfg: &ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
     let tree_edges = cfg.induced_edges();
     if !cfg.graph().is_spanning_tree(&tree_edges) {
         return None;
@@ -139,19 +209,38 @@ pub fn raise_tree_weight<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) 
         return None;
     }
     let (edge, new) = covered[rng.gen_range(0..covered.len())];
-    let old = cfg.graph().weight(edge);
-    if new <= old {
-        // Already heavier than the cover: raising is a no-op for
-        // minimality; still apply to keep behavior uniform.
-    }
-    cfg.graph_mut().set_weight(edge, new);
-    Some(Fault::WeightChange { edge, old, new })
+    Some(Fault::WeightChange {
+        edge,
+        old: cfg.graph().weight(edge),
+        new,
+    })
+}
+
+/// Plans and applies [`plan_break_minimality`] on a bare configuration.
+pub fn break_minimality<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
+    let fault = plan_break_minimality(cfg, rng)?;
+    fault.apply_to(cfg);
+    Some(fault)
+}
+
+/// Plans and applies [`plan_retarget_pointer`] on a bare configuration.
+pub fn retarget_pointer<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
+    let fault = plan_retarget_pointer(cfg, rng)?;
+    fault.apply_to(cfg);
+    Some(fault)
+}
+
+/// Plans and applies [`plan_raise_tree_weight`] on a bare configuration.
+pub fn raise_tree_weight<R: Rng>(cfg: &mut ConfigGraph<TreeState>, rng: &mut R) -> Option<Fault> {
+    let fault = plan_raise_tree_weight(cfg, rng)?;
+    fault.apply_to(cfg);
+    Some(fault)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mst_scheme::mst_configuration;
+    use crate::mst_scheme::{mst_configuration, MstScheme};
     use mstv_graph::gen;
     use mstv_mst::is_mst;
     use rand::rngs::StdRng;
@@ -213,5 +302,44 @@ mod tests {
         let mut c = mst_configuration(g);
         assert_eq!(break_minimality(&mut c, &mut rng), None);
         assert_eq!(raise_tree_weight(&mut c, &mut rng), None);
+    }
+
+    #[test]
+    fn plan_does_not_mutate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = cfg(11);
+        let snapshot = c.clone();
+        let _ = plan_break_minimality(&c, &mut rng);
+        let _ = plan_retarget_pointer(&c, &mut rng);
+        let _ = plan_raise_tree_weight(&c, &mut rng);
+        assert_eq!(c, snapshot);
+    }
+
+    #[test]
+    fn inject_and_undo_through_session() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = cfg(13);
+        let fault = plan_break_minimality(&c, &mut rng).unwrap();
+        let mut session = VerifySession::new(MstScheme::new(), c).unwrap();
+        assert!(session.verdict().accepted());
+        let v = inject(&mut session, &fault).unwrap();
+        assert!(!v.accepted(), "a minimality fault must be detected");
+        // The session's incremental verdict matches a scratch pass.
+        let scheme = MstScheme::new();
+        assert_eq!(v, scheme.verify_all(session.config(), session.labeling()));
+        let v = session.apply(fault.to_undo_mutation()).unwrap();
+        assert!(v.accepted(), "undoing the fault restores acceptance");
+        assert!(session.metrics().nodes_skipped > 0);
+    }
+
+    #[test]
+    fn pointer_fault_through_session() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let c = cfg(17);
+        let fault = plan_retarget_pointer(&c, &mut rng).unwrap();
+        let mut session = VerifySession::new(MstScheme::new(), c).unwrap();
+        let v = inject(&mut session, &fault).unwrap();
+        let scheme = MstScheme::new();
+        assert_eq!(v, scheme.verify_all(session.config(), session.labeling()));
     }
 }

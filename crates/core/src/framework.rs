@@ -14,10 +14,11 @@
 //! [`LocalView`] reifies `N_L(v)` so that verifier implementations are
 //! structurally prevented from peeking at remote information.
 
-use mstv_graph::{ConfigGraph, NodeId, Port, Weight};
+use mstv_graph::{ConfigGraph, EdgeId, NodeId, Port, Weight};
 use mstv_labels::BitString;
 use std::error::Error;
 use std::fmt;
+use std::num::NonZeroUsize;
 
 /// What a verifier sees of one neighbor: port, edge weight, and the
 /// neighbor's label — exactly the fields of `N_L(v)` in the paper.
@@ -54,19 +55,87 @@ impl<S, L> LocalView<'_, S, L> {
 
 /// Error returned by a marker asked to label a configuration that does not
 /// satisfy the scheme's predicate.
+///
+/// Fault-injection experiments match on the variant: a weight corruption
+/// that voids minimality surfaces as [`MarkerError::NotMinimum`] with the
+/// witnessing non-tree edge, while a pointer corruption that breaks the
+/// tree structure surfaces as [`MarkerError::NotSpanning`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MarkerError {
-    /// Why the predicate fails.
-    pub reason: String,
+pub enum MarkerError {
+    /// The states do not induce a rooted spanning tree of the graph.
+    NotSpanning,
+    /// The induced tree spans but is not minimum: the witness non-tree
+    /// edge is strictly lighter than the heaviest tree edge on its cycle.
+    NotMinimum {
+        /// A non-tree edge violating the cycle property.
+        witness_edge: EdgeId,
+    },
+    /// The states are malformed for the scheme's family in some other way
+    /// (disagreeing agreement states, a state that is not a valid label of
+    /// the implicit family, ...).
+    BadStates(String),
+}
+
+impl MarkerError {
+    /// Convenience constructor for the free-form variant.
+    pub fn bad_states(reason: impl Into<String>) -> Self {
+        MarkerError::BadStates(reason.into())
+    }
 }
 
 impl fmt::Display for MarkerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "predicate does not hold: {}", self.reason)
+        match self {
+            MarkerError::NotSpanning => {
+                write!(f, "predicate does not hold: states do not induce a spanning tree")
+            }
+            MarkerError::NotMinimum { witness_edge } => write!(
+                f,
+                "predicate does not hold: tree is not minimum (witness non-tree edge {witness_edge})"
+            ),
+            MarkerError::BadStates(reason) => {
+                write!(f, "predicate does not hold: {reason}")
+            }
+        }
     }
 }
 
 impl Error for MarkerError {}
+
+/// Error returned by [`try_local_view`] when the requested view cannot be
+/// assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewError {
+    /// The label vector does not have one entry per node.
+    LabelCountMismatch {
+        /// Number of labels supplied.
+        labels: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// The requested node is not in the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::LabelCountMismatch { labels, nodes } => {
+                write!(f, "{labels} labels for {nodes} nodes")
+            }
+            ViewError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl Error for ViewError {}
 
 /// A complete label assignment for one configuration graph, together with
 /// the exact bit encoding of every label (for honest size accounting).
@@ -94,13 +163,24 @@ impl<L> Labeling<L> {
         Labeling { labels, encoded }
     }
 
+    /// The label of node `v`, or `None` if `v` is out of range.
+    pub fn try_label(&self, v: NodeId) -> Option<&L> {
+        self.labels.get(v.index())
+    }
+
     /// The label of node `v`.
     ///
     /// # Panics
     ///
-    /// Panics if `v` is out of range.
+    /// Panics if `v` is out of range; [`Labeling::try_label`] is the
+    /// non-panicking variant.
     pub fn label(&self, v: NodeId) -> &L {
-        &self.labels[v.index()]
+        self.try_label(v).unwrap_or_else(|| {
+            panic!(
+                "no label for {v}: labeling covers {} nodes",
+                self.labels.len()
+            )
+        })
     }
 
     /// Mutable access (fault injection).
@@ -128,13 +208,24 @@ impl<L> Labeling<L> {
         self.encoded.iter().map(BitString::len).sum()
     }
 
+    /// The encoding of node `v`'s label, or `None` if `v` is out of range.
+    pub fn try_encoded(&self, v: NodeId) -> Option<&BitString> {
+        self.encoded.get(v.index())
+    }
+
     /// The encoding of node `v`'s label.
     ///
     /// # Panics
     ///
-    /// Panics if `v` is out of range.
+    /// Panics if `v` is out of range; [`Labeling::try_encoded`] is the
+    /// non-panicking variant.
     pub fn encoded(&self, v: NodeId) -> &BitString {
-        &self.encoded[v.index()]
+        self.try_encoded(v).unwrap_or_else(|| {
+            panic!(
+                "no encoding for {v}: labeling covers {} nodes",
+                self.encoded.len()
+            )
+        })
     }
 }
 
@@ -169,6 +260,50 @@ impl fmt::Display for Verdict {
     }
 }
 
+/// Thread-count policy for [`ProofLabelingScheme::verify_all_parallel`].
+///
+/// The default (`threads: None`) sizes the pool from
+/// [`std::thread::available_parallelism`], so callers no longer hand-pick
+/// thread counts:
+///
+/// ```
+/// use mstv_core::ParallelConfig;
+/// use std::num::NonZeroUsize;
+///
+/// let auto = ParallelConfig::default();
+/// let four = ParallelConfig::with_threads(NonZeroUsize::new(4).unwrap());
+/// assert!(auto.resolved_threads().get() >= 1);
+/// assert_eq!(four.resolved_threads().get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Explicit worker-thread count; `None` = available parallelism.
+    pub threads: Option<NonZeroUsize>,
+}
+
+impl ParallelConfig {
+    /// A configuration pinned to exactly `threads` workers.
+    pub fn with_threads(threads: NonZeroUsize) -> Self {
+        ParallelConfig {
+            threads: Some(threads),
+        }
+    }
+
+    /// The effective worker count: the explicit setting, else the host's
+    /// available parallelism, else 1.
+    pub fn resolved_threads(&self) -> NonZeroUsize {
+        self.threads
+            .or_else(|| std::thread::available_parallelism().ok())
+            .unwrap_or(NonZeroUsize::MIN)
+    }
+}
+
+impl From<NonZeroUsize> for ParallelConfig {
+    fn from(threads: NonZeroUsize) -> Self {
+        ParallelConfig::with_threads(threads)
+    }
+}
+
 /// A proof labeling scheme: a marker plus a local verifier.
 pub trait ProofLabelingScheme {
     /// Node state type of the configuration graphs this scheme covers.
@@ -188,6 +323,11 @@ pub trait ProofLabelingScheme {
     fn verify(&self, view: &LocalView<'_, Self::State, Self::Label>) -> bool;
 
     /// Runs the verifier at every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labeling does not cover every node (see
+    /// [`try_local_view`]).
     fn verify_all(
         &self,
         cfg: &ConfigGraph<Self::State>,
@@ -197,7 +337,8 @@ pub trait ProofLabelingScheme {
         let mut rejecting = Vec::new();
         for i in 0..n {
             let v = NodeId::from_index(i);
-            let view = local_view(cfg, labeling.labels(), v);
+            let view = try_local_view(cfg, labeling.labels(), v)
+                .unwrap_or_else(|e| panic!("cannot build local view: {e}"));
             if !self.verify(&view) {
                 rejecting.push(v);
             }
@@ -208,7 +349,8 @@ pub trait ProofLabelingScheme {
         }
     }
 
-    /// Runs the verifier at every node across `threads` OS threads.
+    /// Runs the verifier at every node across a pool of OS threads sized
+    /// by `config` (default: the host's available parallelism).
     ///
     /// Verification is embarrassingly parallel — each node's check reads
     /// only its local view — which is the paper's whole point; this method
@@ -217,19 +359,20 @@ pub trait ProofLabelingScheme {
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0`.
+    /// Panics if the labeling does not cover every node (see
+    /// [`try_local_view`]).
     fn verify_all_parallel(
         &self,
         cfg: &ConfigGraph<Self::State>,
         labeling: &Labeling<Self::Label>,
-        threads: usize,
+        config: ParallelConfig,
     ) -> Verdict
     where
         Self: Sync,
         Self::State: Sync,
         Self::Label: Sync,
     {
-        assert!(threads > 0, "need at least one thread");
+        let threads = config.resolved_threads().get();
         let n = cfg.graph().num_nodes();
         let chunk = n.div_ceil(threads.min(n.max(1)));
         let mut rejecting = Vec::new();
@@ -247,7 +390,8 @@ pub trait ProofLabelingScheme {
                     let mut local = Vec::new();
                     for i in lo..hi {
                         let v = NodeId::from_index(i);
-                        let view = local_view(cfg, labeling.labels(), v);
+                        let view = try_local_view(cfg, labeling.labels(), v)
+                            .unwrap_or_else(|e| panic!("cannot build local view: {e}"));
                         if !self.verify(&view) {
                             local.push(v);
                         }
@@ -271,22 +415,29 @@ pub trait ProofLabelingScheme {
     }
 }
 
-/// Builds the local view `N_L(v)` for one node.
+/// Builds the local view `N_L(v)` for one node, or reports why it cannot
+/// be built.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `labels.len()` differs from the node count or `v` is out of
-/// range.
-pub fn local_view<'a, S, L>(
+/// Returns [`ViewError::LabelCountMismatch`] when `labels` does not have
+/// one entry per node, and [`ViewError::NodeOutOfRange`] when `v` is not a
+/// node of the graph.
+pub fn try_local_view<'a, S, L>(
     cfg: &'a ConfigGraph<S>,
     labels: &'a [L],
     v: NodeId,
-) -> LocalView<'a, S, L> {
-    assert_eq!(
-        labels.len(),
-        cfg.graph().num_nodes(),
-        "one label per node required"
-    );
+) -> Result<LocalView<'a, S, L>, ViewError> {
+    let nodes = cfg.graph().num_nodes();
+    if labels.len() != nodes {
+        return Err(ViewError::LabelCountMismatch {
+            labels: labels.len(),
+            nodes,
+        });
+    }
+    if v.index() >= nodes {
+        return Err(ViewError::NodeOutOfRange { node: v, nodes });
+    }
     let neighbors = cfg
         .graph()
         .neighbors(v)
@@ -296,12 +447,26 @@ pub fn local_view<'a, S, L>(
             label: &labels[nb.node.index()],
         })
         .collect();
-    LocalView {
+    Ok(LocalView {
         node: v,
         state: cfg.state(v),
         label: &labels[v.index()],
         neighbors,
-    }
+    })
+}
+
+/// Builds the local view `N_L(v)` for one node.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the node count or `v` is out of
+/// range; [`try_local_view`] is the non-panicking variant.
+pub fn local_view<'a, S, L>(
+    cfg: &'a ConfigGraph<S>,
+    labels: &'a [L],
+    v: NodeId,
+) -> LocalView<'a, S, L> {
+    try_local_view(cfg, labels, v).unwrap_or_else(|e| panic!("cannot build local view: {e}"))
 }
 
 #[cfg(test)]
@@ -395,26 +560,76 @@ mod tests {
             let scheme = MstScheme::new();
             let labeling = scheme.marker(&cfg).unwrap();
             for threads in [1usize, 2, 7, 64] {
+                let config = ParallelConfig::with_threads(NonZeroUsize::new(threads).unwrap());
                 assert_eq!(
-                    scheme.verify_all_parallel(&cfg, &labeling, threads),
+                    scheme.verify_all_parallel(&cfg, &labeling, config),
                     scheme.verify_all(&cfg, &labeling),
                     "threads={threads}"
                 );
             }
+            // The default configuration sizes itself from the host.
+            assert_eq!(
+                scheme.verify_all_parallel(&cfg, &labeling, ParallelConfig::default()),
+                scheme.verify_all(&cfg, &labeling),
+            );
             // And on a faulty network (non-empty rejection set, ordered).
             if crate::faults::break_minimality(&mut cfg, &mut rng).is_some() {
                 let seq = scheme.verify_all(&cfg, &labeling);
                 assert!(!seq.accepted());
-                assert_eq!(scheme.verify_all_parallel(&cfg, &labeling, 4), seq);
+                let four = ParallelConfig::from(NonZeroUsize::new(4).unwrap());
+                assert_eq!(scheme.verify_all_parallel(&cfg, &labeling, four), seq);
             }
         }
     }
 
     #[test]
     fn marker_error_display() {
-        let e = MarkerError {
-            reason: "not a tree".into(),
+        assert_eq!(
+            MarkerError::NotSpanning.to_string(),
+            "predicate does not hold: states do not induce a spanning tree"
+        );
+        let e = MarkerError::NotMinimum {
+            witness_edge: EdgeId(7),
         };
+        assert_eq!(
+            e.to_string(),
+            "predicate does not hold: tree is not minimum (witness non-tree edge e7)"
+        );
+        let e = MarkerError::bad_states("not a tree");
         assert_eq!(e.to_string(), "predicate does not hold: not a tree");
+    }
+
+    #[test]
+    fn try_local_view_reports_errors() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), Weight(3)).unwrap();
+        let cfg =
+            ConfigGraph::new(g, vec![TreeState::root(0), TreeState::child(1, Port(0))]).unwrap();
+        let labels = vec!["a"];
+        match try_local_view(&cfg, &labels, NodeId(0)) {
+            Err(ViewError::LabelCountMismatch {
+                labels: 1,
+                nodes: 2,
+            }) => {}
+            other => panic!("expected LabelCountMismatch, got {other:?}"),
+        }
+        let labels = vec!["a", "b"];
+        match try_local_view(&cfg, &labels, NodeId(9)) {
+            Err(ViewError::NodeOutOfRange {
+                node: NodeId(9),
+                nodes: 2,
+            }) => {}
+            other => panic!("expected NodeOutOfRange, got {other:?}"),
+        }
+        assert!(try_local_view(&cfg, &labels, NodeId(1)).is_ok());
+    }
+
+    #[test]
+    fn try_labeling_accessors() {
+        let l = Labeling::from_labels(vec![10u64, 20]);
+        assert_eq!(l.try_label(NodeId(1)), Some(&20));
+        assert_eq!(l.try_label(NodeId(2)), None);
+        assert!(l.try_encoded(NodeId(0)).is_some());
+        assert!(l.try_encoded(NodeId(5)).is_none());
     }
 }

@@ -41,10 +41,12 @@ mod boruvka_scheme;
 mod combine;
 pub mod faults;
 mod framework;
+pub mod metrics;
 mod mst_scheme;
 mod pi_dist;
 mod pi_flow;
 mod pi_gamma;
+pub mod session;
 mod span;
 mod spt_scheme;
 mod universal;
@@ -53,8 +55,10 @@ pub use agreement::{forge_agreement, AgreementForgery, AgreementScheme};
 pub use boruvka_scheme::{encode_boruvka_label, BoruvkaLabel, BoruvkaScheme, PhaseInfo};
 pub use combine::BothSchemes;
 pub use framework::{
-    local_view, Labeling, LocalView, MarkerError, NeighborView, ProofLabelingScheme, Verdict,
+    local_view, try_local_view, Labeling, LocalView, MarkerError, NeighborView, ParallelConfig,
+    ProofLabelingScheme, Verdict, ViewError,
 };
+pub use metrics::{Histogram, SessionMetrics};
 pub use mst_scheme::{encode_mst_label, mst_configuration, MstLabel, MstRejectReason, MstScheme};
 pub use pi_dist::{check_dist_conditions, DistParts, PiDistLabel, PiDistScheme, PiDistState};
 pub use pi_flow::{
@@ -64,6 +68,7 @@ pub use pi_gamma::{
     check_gamma_conditions, encode_pi_gamma, orient_fields, reconstruct_decomposition, GammaParts,
     Orient, PiGammaLabel, PiGammaScheme, PiGammaState,
 };
+pub use session::{Mutation, VerifySession};
 pub use span::{check_span, span_labels, SpanCodec, SpanLabel, SpanningTreeScheme};
 pub use spt_scheme::{spt_configuration, SptLabel, SptScheme};
 pub use universal::{encode_map, UniversalLabel, UniversalScheme};

@@ -1,0 +1,293 @@
+//! Dependency-free instrumentation for verification sessions.
+//!
+//! [`SessionMetrics`] is a plain struct of counters and
+//! power-of-two-bucket [`Histogram`]s — no atomics, no external crates —
+//! that [`crate::session::VerifySession`] fills in as it runs. The
+//! one-line [`SessionMetrics::to_json`] export is what the `mstv session`
+//! subcommand prints, so experiment scripts can scrape machine-readable
+//! numbers without a serde dependency.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket `i` counts samples whose value has bit length `i` — bucket 0
+/// holds the value 0, bucket 1 the value 1, bucket 2 values 2–3, bucket 3
+/// values 4–7, and so on. Exact min/max/sum/count are tracked alongside,
+/// so coarse buckets never lose the headline statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(bucket_lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                (lo, c)
+            })
+            .collect()
+    }
+
+    /// Renders the histogram as a JSON object fragment.
+    fn json_into(&self, out: &mut String) {
+        use fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.2},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+            self.mean()
+        );
+        for (i, (lo, c)) in self.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{lo},{c}]");
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Counters and timings collected over the lifetime of one
+/// [`crate::session::VerifySession`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionMetrics {
+    /// Full (every-node) verification passes run.
+    pub full_runs: u64,
+    /// Incremental (dirty-frontier-only) verification passes run.
+    pub incremental_runs: u64,
+    /// Mutations applied through the session.
+    pub mutations_applied: u64,
+    /// Individual node verifications executed, across all passes.
+    pub nodes_verified: u64,
+    /// Node verifications *skipped* by incremental passes — the cache-hit
+    /// count: clean nodes whose cached verdict was reused.
+    pub nodes_skipped: u64,
+    /// Size of the dirty frontier at each incremental pass.
+    pub frontier_sizes: Histogram,
+    /// Wall-clock spent inside the marker, in nanoseconds.
+    pub marker_nanos: u64,
+    /// Wall-clock spent inside verifiers, in nanoseconds.
+    pub verify_nanos: u64,
+    /// Largest encoded label, in bits (0 if the labeling carries no
+    /// encodings).
+    pub max_label_bits: u64,
+    /// Total encoded label volume across all nodes, in bits.
+    pub total_label_bits: u64,
+}
+
+impl SessionMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        SessionMetrics::default()
+    }
+
+    /// Adds `d` to the marker wall-clock.
+    pub fn add_marker_time(&mut self, d: Duration) {
+        self.marker_nanos = self.marker_nanos.saturating_add(d.as_nanos() as u64);
+    }
+
+    /// Adds `d` to the verifier wall-clock.
+    pub fn add_verify_time(&mut self, d: Duration) {
+        self.verify_nanos = self.verify_nanos.saturating_add(d.as_nanos() as u64);
+    }
+
+    /// The fraction of node verifications avoided by incremental reuse,
+    /// in `[0, 1]` (0.0 before any pass runs).
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.nodes_verified + self.nodes_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.nodes_skipped as f64 / total as f64
+        }
+    }
+
+    /// One-line JSON export of every field, for scripts and logs.
+    pub fn to_json(&self) -> String {
+        use fmt::Write;
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"full_runs\":{},\"incremental_runs\":{},\"mutations_applied\":{},\
+             \"nodes_verified\":{},\"nodes_skipped\":{},\"skip_ratio\":{:.4},\
+             \"marker_nanos\":{},\"verify_nanos\":{},\
+             \"max_label_bits\":{},\"total_label_bits\":{},\"frontier_sizes\":",
+            self.full_runs,
+            self.incremental_runs,
+            self.mutations_applied,
+            self.nodes_verified,
+            self.nodes_skipped,
+            self.skip_ratio(),
+            self.marker_nanos,
+            self.verify_nanos,
+            self.max_label_bits,
+            self.total_label_bits,
+        );
+        self.frontier_sizes.json_into(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for SessionMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} full + {} incremental runs, {} mutations, {} verified / {} skipped ({:.1}% reuse), frontier mean {:.1}",
+            self.full_runs,
+            self.incremental_runs,
+            self.mutations_applied,
+            self.nodes_verified,
+            self.nodes_skipped,
+            self.skip_ratio() * 100.0,
+            self.frontier_sizes.mean(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1025);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 128.125).abs() < 1e-9);
+        // 0 → bucket lo 0; 1 → lo 1; 2,3 → lo 2; 4,7 → lo 4; 8 → lo 8;
+        // 1000 → lo 512.
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (512, 1)]
+        );
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn json_is_one_line_and_balanced() {
+        let mut m = SessionMetrics::new();
+        m.full_runs = 1;
+        m.incremental_runs = 3;
+        m.mutations_applied = 3;
+        m.nodes_verified = 10;
+        m.nodes_skipped = 90;
+        m.frontier_sizes.record(2);
+        m.frontier_sizes.record(5);
+        m.add_marker_time(Duration::from_micros(15));
+        let json = m.to_json();
+        assert!(!json.contains('\n'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert!(json.contains("\"full_runs\":1"));
+        assert!(json.contains("\"nodes_skipped\":90"));
+        assert!(json.contains("\"skip_ratio\":0.9000"));
+        assert!(json.contains("\"marker_nanos\":15000"));
+        assert!(json.contains("\"frontier_sizes\":{\"count\":2"));
+    }
+
+    #[test]
+    fn skip_ratio_handles_zero() {
+        assert_eq!(SessionMetrics::new().skip_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let mut m = SessionMetrics::new();
+        m.full_runs = 1;
+        m.nodes_verified = 4;
+        let s = m.to_string();
+        assert!(s.contains("1 full"));
+        assert!(s.contains("4 verified"));
+    }
+}

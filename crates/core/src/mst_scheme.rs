@@ -78,9 +78,10 @@ impl ProofLabelingScheme for MstScheme {
         let tree_edges = cfg.induced_edges();
         match mstv_mst::check_mst(g, &tree_edges) {
             mstv_mst::MstVerdict::Mst => {}
-            verdict => {
-                return Err(MarkerError {
-                    reason: format!("candidate tree is not an MST: {verdict:?}"),
+            mstv_mst::MstVerdict::NotSpanningTree => return Err(MarkerError::NotSpanning),
+            mstv_mst::MstVerdict::CycleViolation { non_tree_edge, .. } => {
+                return Err(MarkerError::NotMinimum {
+                    witness_edge: non_tree_edge,
                 })
             }
         }

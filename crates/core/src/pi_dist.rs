@@ -174,6 +174,16 @@ pub struct PiDistState {
     pub dist: DistLabel,
 }
 
+impl mstv_graph::ParentPointer for PiDistState {
+    fn parent_port(&self) -> Option<mstv_graph::Port> {
+        self.parent_port
+    }
+
+    fn set_parent_port(&mut self, port: Option<mstv_graph::Port>) {
+        self.parent_port = port;
+    }
+}
+
 /// The `π_dist` label: spanning sublabel, orientation fields, state copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PiDistLabel {
@@ -210,9 +220,9 @@ impl ProofLabelingScheme for PiDistScheme {
         });
         let (tree, span) = crate::span::span_labels(&tree_cfg)?;
         if g.num_edges() != n - 1 {
-            return Err(MarkerError {
-                reason: "π_dist operates on configuration trees".to_owned(),
-            });
+            return Err(MarkerError::bad_states(
+                "π_dist operates on configuration trees",
+            ));
         }
         let levels: Vec<u32> = (0..n)
             .map(|i| cfg.state(NodeId::from_index(i)).dist.sep.len() as u32)
@@ -223,16 +233,16 @@ impl ProofLabelingScheme for PiDistScheme {
                 *s.last().unwrap_or(&0) as u32
             })
             .collect();
-        let sep = reconstruct_decomposition(&tree, &levels, &ranks)
-            .map_err(|reason| MarkerError { reason })?;
+        let sep =
+            reconstruct_decomposition(&tree, &levels, &ranks).map_err(MarkerError::BadStates)?;
         let expected = mstv_labels::dist_labels(&tree, &sep);
         for (i, exp) in expected.iter().enumerate() {
             let v = NodeId::from_index(i);
             let got = &cfg.state(v).dist;
             if got.delta != exp.delta || got.sep[1..] != exp.sep[1..] {
-                return Err(MarkerError {
-                    reason: format!("state of {v} is not a distance label of the family"),
-                });
+                return Err(MarkerError::BadStates(format!(
+                    "state of {v} is not a distance label of the family"
+                )));
             }
         }
         let orients = orient_fields(&tree, &sep);

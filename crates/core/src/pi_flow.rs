@@ -198,9 +198,9 @@ impl ProofLabelingScheme for MaxStScheme {
         let (tree, span) = span_labels(cfg)?;
         let tree_edges = cfg.induced_edges();
         if !mstv_mst::is_max_spanning_tree(g, &tree_edges) {
-            return Err(MarkerError {
-                reason: "candidate tree is not a maximum spanning tree".to_owned(),
-            });
+            return Err(MarkerError::bad_states(
+                "candidate tree is not a maximum spanning tree",
+            ));
         }
         let sep = centroid_decomposition(&tree);
         let flows = mstv_labels::flow_labels(&tree, &sep);

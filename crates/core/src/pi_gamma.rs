@@ -263,6 +263,16 @@ pub struct PiGammaState {
     pub gamma: MaxLabel,
 }
 
+impl mstv_graph::ParentPointer for PiGammaState {
+    fn parent_port(&self) -> Option<Port> {
+        self.parent_port
+    }
+
+    fn set_parent_port(&mut self, port: Option<Port>) {
+        self.parent_port = port;
+    }
+}
+
 /// The `π_Γ` label: a spanning/orientation sublabel, the orientation
 /// fields, and a copy of the state's `γ` label (condition 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -399,9 +409,9 @@ impl ProofLabelingScheme for PiGammaScheme {
         });
         let (tree, span) = crate::span::span_labels(&tree_cfg)?;
         if g.num_edges() != n - 1 {
-            return Err(MarkerError {
-                reason: "π_Γ operates on configuration trees".to_owned(),
-            });
+            return Err(MarkerError::bad_states(
+                "π_Γ operates on configuration trees",
+            ));
         }
         // Reconstruct the decomposition the states imply and re-derive the
         // labels; the predicate holds iff they match the states.
@@ -414,8 +424,8 @@ impl ProofLabelingScheme for PiGammaScheme {
                 *s.last().unwrap_or(&0) as u32
             })
             .collect();
-        let sep = reconstruct_decomposition(&tree, &levels, &ranks)
-            .map_err(|reason| MarkerError { reason })?;
+        let sep =
+            reconstruct_decomposition(&tree, &levels, &ranks).map_err(MarkerError::BadStates)?;
         let expected = mstv_labels::max_labels(&tree, &sep);
         for (i, exp) in expected.iter().enumerate() {
             let v = NodeId::from_index(i);
@@ -423,9 +433,9 @@ impl ProofLabelingScheme for PiGammaScheme {
             // The shared first field is arbitrary but must be uniform; our
             // re-derivation uses 0, so compare modulo field 1 by aligning.
             if got.omega != exp.omega || got.sep[1..] != exp.sep[1..] {
-                return Err(MarkerError {
-                    reason: format!("state of {v} is not a label of any γ ∈ Γ"),
-                });
+                return Err(MarkerError::BadStates(format!(
+                    "state of {v} is not a label of any γ ∈ Γ"
+                )));
             }
         }
         let orients = orient_fields(&tree, &sep);

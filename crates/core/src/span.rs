@@ -131,9 +131,10 @@ pub fn span_labels(
     let mut ids = std::collections::HashSet::new();
     for s in cfg.states() {
         if !ids.insert(s.id) {
-            return Err(MarkerError {
-                reason: format!("duplicate node identity {}", s.id),
-            });
+            return Err(MarkerError::BadStates(format!(
+                "duplicate node identity {}",
+                s.id
+            )));
         }
     }
     let mut root = None;
@@ -143,28 +144,20 @@ pub fn span_labels(
         match cfg.state(v).parent_port {
             None => {
                 if root.replace(v).is_some() {
-                    return Err(MarkerError {
-                        reason: "multiple root candidates".to_owned(),
-                    });
+                    return Err(MarkerError::NotSpanning);
                 }
             }
             Some(p) => {
                 if p.index() >= g.degree(v) {
-                    return Err(MarkerError {
-                        reason: format!("{v} points at nonexistent port {p}"),
-                    });
+                    return Err(MarkerError::NotSpanning);
                 }
                 let e = g.edge_at_port(v, p);
                 *slot = Some((g.edge(e).other(v), g.weight(e)));
             }
         }
     }
-    let root = root.ok_or_else(|| MarkerError {
-        reason: "no root candidate".to_owned(),
-    })?;
-    let tree = RootedTree::from_parents(root, parents).map_err(|e| MarkerError {
-        reason: e.to_string(),
-    })?;
+    let root = root.ok_or(MarkerError::NotSpanning)?;
+    let tree = RootedTree::from_parents(root, parents).map_err(|_| MarkerError::NotSpanning)?;
     let root_id = cfg.state(root).id;
     let labels = (0..n)
         .map(|i| {

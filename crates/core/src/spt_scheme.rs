@@ -62,13 +62,11 @@ impl ProofLabelingScheme for SptScheme {
         let (_, dist) = shortest_path_tree(g, tree.root());
         for v in g.nodes() {
             if wdepth[v.index()] != dist[v.index()] {
-                return Err(MarkerError {
-                    reason: format!(
-                        "tree path to {v} costs {} but a {}-cost path exists",
-                        wdepth[v.index()],
-                        dist[v.index()]
-                    ),
-                });
+                return Err(MarkerError::BadStates(format!(
+                    "tree path to {v} costs {} but a {}-cost path exists",
+                    wdepth[v.index()],
+                    dist[v.index()]
+                )));
             }
         }
         let labels: Vec<SptLabel> = (0..g.num_nodes())

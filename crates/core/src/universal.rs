@@ -78,9 +78,9 @@ where
         cfg: &ConfigGraph<TreeState>,
     ) -> Result<Labeling<UniversalLabel>, MarkerError> {
         if !(self.predicate)(cfg) {
-            return Err(MarkerError {
-                reason: "predicate does not hold on this configuration".to_owned(),
-            });
+            return Err(MarkerError::bad_states(
+                "universal scheme predicate rejects this configuration",
+            ));
         }
         let g = cfg.graph();
         let states: Vec<TreeState> = cfg.states().to_vec();

@@ -7,13 +7,27 @@
 
 use std::collections::BTreeSet;
 
-use crate::{EdgeId, Graph, GraphError, NodeId, Port};
+use crate::{EdgeId, Graph, GraphError, NodeId, Port, Weight};
 
 /// Types of node state that designate some of the node's ports, thereby
 /// inducing a subgraph of the configuration graph (Definition 2.1).
 pub trait PortPointers {
     /// The ports of the owning node that this state points at.
     fn pointed_ports(&self) -> Vec<Port>;
+}
+
+/// States carrying the standard distributed spanning-tree representation:
+/// a single mutable parent-port pointer (`None` at the root).
+///
+/// Generic machinery — fault injection, incremental re-verification
+/// sessions — uses this to retarget tree pointers without knowing the
+/// concrete state type.
+pub trait ParentPointer {
+    /// The port towards the parent, `None` at the root.
+    fn parent_port(&self) -> Option<Port>;
+
+    /// Repoints the parent pointer (or makes the node a root).
+    fn set_parent_port(&mut self, port: Option<Port>);
 }
 
 /// The standard distributed representation of a rooted spanning tree:
@@ -48,6 +62,16 @@ impl TreeState {
 impl PortPointers for TreeState {
     fn pointed_ports(&self) -> Vec<Port> {
         self.parent_port.into_iter().collect()
+    }
+}
+
+impl ParentPointer for TreeState {
+    fn parent_port(&self) -> Option<Port> {
+        self.parent_port
+    }
+
+    fn set_parent_port(&mut self, port: Option<Port>) {
+        self.parent_port = port;
     }
 }
 
@@ -126,6 +150,15 @@ impl<S> ConfigGraph<S> {
         &mut self.graph
     }
 
+    /// Replaces the weight of edge `e` (fault injection, sensitivity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range or `w` is zero.
+    pub fn set_weight(&mut self, e: EdgeId, w: Weight) {
+        self.graph.set_weight(e, w);
+    }
+
     /// Decomposes into graph and states.
     pub fn into_parts(self) -> (Graph, Vec<S>) {
         (self.graph, self.states)
@@ -144,6 +177,32 @@ impl<S> ConfigGraph<S> {
             graph: self.graph.clone(),
             states,
         }
+    }
+}
+
+impl<S: ParentPointer> ConfigGraph<S> {
+    /// Repoints the parent pointer of `v` at `port` (or makes `v` a root).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `port` names a port `v` does not have; the
+    /// configuration is left unchanged.
+    pub fn retarget_parent(&mut self, v: NodeId, port: Option<Port>) -> Result<(), GraphError> {
+        if v.index() >= self.graph.num_nodes() {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                n: self.graph.num_nodes(),
+            });
+        }
+        if let Some(p) = port {
+            if p.index() >= self.graph.degree(v) {
+                return Err(GraphError::NotASpanningTree {
+                    reason: format!("port {p} out of range for node {v}"),
+                });
+            }
+        }
+        self.states[v.index()].set_parent_port(port);
+        Ok(())
     }
 }
 
@@ -307,6 +366,31 @@ mod tests {
     fn tree_states_rejects_non_tree() {
         let g = path3();
         assert!(tree_states(&g, &[EdgeId(0)], NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn set_weight_and_retarget_parent() {
+        let g = path3();
+        let mut cfg = ConfigGraph::new(
+            g,
+            vec![
+                TreeState::root(0),
+                TreeState::child(1, Port(0)),
+                TreeState::child(2, Port(0)),
+            ],
+        )
+        .unwrap();
+        cfg.set_weight(EdgeId(1), Weight(9));
+        assert_eq!(cfg.graph().weight(EdgeId(1)), Weight(9));
+        // Middle node has degree 2; move its pointer to port 1.
+        cfg.retarget_parent(NodeId(1), Some(Port(1))).unwrap();
+        assert_eq!(cfg.state(NodeId(1)).parent_port(), Some(Port(1)));
+        cfg.retarget_parent(NodeId(1), None).unwrap();
+        assert_eq!(cfg.state(NodeId(1)).parent_port(), None);
+        // Degree-1 endpoint has no port 1; error leaves state untouched.
+        assert!(cfg.retarget_parent(NodeId(0), Some(Port(1))).is_err());
+        assert_eq!(cfg.state(NodeId(0)).parent_port(), None);
+        assert!(cfg.retarget_parent(NodeId(9), None).is_err());
     }
 
     #[test]

@@ -32,7 +32,9 @@ mod graph;
 mod ids;
 pub mod io;
 
-pub use config::{induced_subgraph, tree_states, ConfigGraph, PortPointers, TreeState};
+pub use config::{
+    induced_subgraph, tree_states, ConfigGraph, ParentPointer, PortPointers, TreeState,
+};
 pub use error::GraphError;
 pub use graph::{Edge, Graph, Neighbor};
 pub use ids::{EdgeId, NodeId, Port, Weight};

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the full test suite.
+# The workspace vendors its dependencies (vendor/), so everything runs
+# with --offline and needs no network.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --offline --workspace
+
+echo "ci: all checks passed"

@@ -4,6 +4,8 @@
 set -euo pipefail
 out="${1:-experiment-results}"
 mkdir -p "$out"
+# Gate on the CI checks first: fmt, clippy, tests (all offline).
+"$(dirname "$0")/ci.sh"
 exps=(exp_label_size exp_baseline_compare exp_gamma_small exp_pi_gamma_soundness
       exp_agreement exp_lower_bound exp_sensitivity exp_flow exp_distributed
       exp_ablation exp_extensions)

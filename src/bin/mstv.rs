@@ -6,17 +6,21 @@
 //! mstv label net.txt
 //! mstv verify net.txt tree.txt
 //! mstv sensitivity net.txt
+//! mstv session net.txt script.txt
 //! mstv dot net.txt
 //! ```
 //!
 //! Graphs are plain edge lists (`u v w` per line, `#` comments, optional
 //! `nodes N` header); trees are endpoint pairs (`u v` per line).
+//! Mutation scripts are one mutation per line (see `mstv session`).
 
 use std::process::ExitCode;
 
-use mst_verification::core::{MstScheme, ProofLabelingScheme};
+use mst_verification::core::{MstScheme, Mutation, ProofLabelingScheme, VerifySession};
 use mst_verification::graph::io::{parse_edge_list, parse_tree_file, to_edge_list};
-use mst_verification::graph::{dot::to_dot, gen, tree_states, ConfigGraph, NodeId};
+use mst_verification::graph::{
+    dot::to_dot, gen, tree_states, ConfigGraph, EdgeId, NodeId, Port, Weight,
+};
 use mst_verification::mst::{check_mst, kruskal, mst_weight, MstVerdict};
 use mst_verification::sensitivity::{sensitivity, EdgeSensitivity};
 use rand::rngs::StdRng;
@@ -33,6 +37,14 @@ const USAGE: &str = "usage:
       check whether the tree is an MST, sequentially and via labels
   mstv sensitivity <graph-file>
       per-edge sensitivity report
+  mstv session <graph-file> <script-file>
+      label the graph's MST, replay a mutation script through an
+      incremental VerifySession, print per-step verdicts and metrics
+      JSON; script lines are one of
+        setweight <edge> <weight>
+        corrupt <node> <from-node>   (forge <node>'s label from another)
+        flip <node> <port|root>
+        restore <node>
   mstv dot <graph-file> [<tree-file>]
       Graphviz DOT rendering (tree edges bold)";
 
@@ -56,6 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "label" => cmd_label(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "sensitivity" => cmd_sensitivity(&args[1..]),
+        "session" => cmd_session(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -187,6 +200,63 @@ fn cmd_sensitivity(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+fn cmd_session(args: &[String]) -> Result<(), String> {
+    let gpath = args.first().ok_or("missing graph file")?;
+    let spath = args.get(1).ok_or("missing script file")?;
+    let g = load_graph(gpath)?;
+    let script = std::fs::read_to_string(spath).map_err(|e| format!("cannot read {spath}: {e}"))?;
+    let cfg = mst_verification::core::mst_configuration(g);
+    let mut session =
+        VerifySession::new(MstScheme::new(), cfg).map_err(|e| format!("marker: {e}"))?;
+    println!("initial: {}", session.verdict());
+    for (lineno, line) in script.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let loc = format!("{spath}:{}", lineno + 1);
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let parse = |w: &str| -> Result<u64, String> {
+            w.parse()
+                .map_err(|e| format!("{loc}: bad number {w:?}: {e}"))
+        };
+        let mutation = match words.as_slice() {
+            ["setweight", e, w] => Mutation::SetWeight {
+                edge: EdgeId(parse(e)? as u32),
+                weight: Weight(parse(w)?),
+            },
+            ["corrupt", v, from] => {
+                let from = NodeId(parse(from)? as u32);
+                let label = session
+                    .labeling()
+                    .try_label(from)
+                    .ok_or_else(|| format!("{loc}: node {from} out of range"))?
+                    .clone();
+                Mutation::CorruptLabel {
+                    node: NodeId(parse(v)? as u32),
+                    label,
+                }
+            }
+            ["flip", v, "root"] => Mutation::FlipTreeEdge {
+                node: NodeId(parse(v)? as u32),
+                new_parent: None,
+            },
+            ["flip", v, p] => Mutation::FlipTreeEdge {
+                node: NodeId(parse(v)? as u32),
+                new_parent: Some(Port(parse(p)? as u32)),
+            },
+            ["restore", v] => Mutation::RestoreLabel {
+                node: NodeId(parse(v)? as u32),
+            },
+            _ => return Err(format!("{loc}: cannot parse mutation {line:?}")),
+        };
+        let verdict = session.apply(mutation).map_err(|e| format!("{loc}: {e}"))?;
+        println!("{line}: {verdict}");
+    }
+    println!("{}", session.metrics().to_json());
     Ok(())
 }
 

@@ -35,6 +35,46 @@
 //! let labels = scheme.marker(&cfg).unwrap();
 //! assert!(scheme.verify_all(&cfg, &labels).accepted());
 //! ```
+//!
+//! # Incremental re-verification
+//!
+//! Verification is local, so after a small mutation only the **dirty
+//! frontier** needs re-checking. [`core::VerifySession`] owns a
+//! configuration plus its labeling, keeps the verdict current across a
+//! stream of [`core::Mutation`]s, and counts exactly how much work
+//! incrementality saved:
+//!
+//! ```
+//! use mst_verification::core::{mst_configuration, MstScheme, VerifySession};
+//! use mst_verification::graph::{gen, NodeId};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let g = gen::random_connected(64, 128, gen::WeightDist::Uniform { max: 1000 }, &mut rng);
+//! let mut session = VerifySession::new(MstScheme::new(), mst_configuration(g)).unwrap();
+//! assert!(session.verdict().accepted());
+//!
+//! // An adversary forges node 0's label: only node 0 and its neighbors
+//! // re-verify; every other cached verdict is reused.
+//! let forged = session.labeling().label(NodeId(5)).clone();
+//! let verdict = session.corrupt_label(NodeId(0), forged);
+//! assert!(!verdict.accepted());
+//! assert!(session.metrics().nodes_skipped > 0);
+//!
+//! session.restore_label(NodeId(0));
+//! assert!(session.verdict().accepted());
+//! println!("{}", session.metrics().to_json());
+//! ```
+//!
+//! # Errors
+//!
+//! The framework reports failures through typed errors rather than
+//! panics: [`core::MarkerError`] (`NotSpanning`, `NotMinimum` with its
+//! witness edge, or `BadStates`) when a marker is asked to label a
+//! configuration violating its predicate, and [`core::ViewError`] from
+//! [`core::try_local_view`] when a local view cannot be assembled.
+//! `Labeling::try_label` / `try_encoded` are the non-panicking accessors
+//! behind the classic `label` / `encoded`.
 
 pub use mstv_core as core;
 pub use mstv_distsim as distsim;

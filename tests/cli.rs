@@ -95,6 +95,54 @@ fn sensitivity_lists_every_edge() {
 }
 
 #[test]
+fn session_replays_script_and_prints_metrics() {
+    let graph = run_ok(
+        &["gen", "--nodes", "14", "--extra", "10", "--seed", "9"],
+        &[],
+    );
+    let script = "# corrupt one label, then heal it\n\
+                  corrupt 3 7\n\
+                  restore 3\n\
+                  setweight 0 500000\n";
+    let out = run_ok(
+        &["session", "g.txt", "s.txt"],
+        &[("g.txt", &graph), ("s.txt", script)],
+    );
+    assert!(out.contains("initial: accepted by all 14 nodes"), "{out}");
+    assert!(out.contains("corrupt 3 7: rejected at"), "{out}");
+    assert!(out.contains("restore 3: accepted by all 14 nodes"), "{out}");
+    // The last line is the one-line metrics JSON with frontier sizes and
+    // cache-skip counts.
+    let json = out.lines().last().unwrap();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"mutations_applied\":3"), "{json}");
+    assert!(json.contains("\"frontier_sizes\":{"), "{json}");
+    assert!(json.contains("\"nodes_skipped\":"), "{json}");
+    assert!(json.contains("\"full_runs\":1"), "{json}");
+}
+
+#[test]
+fn session_rejects_bad_script() {
+    let graph = "0 1 1\n1 2 2\n";
+    let out = mstv().args(["session", "g.txt", "s.txt"]).output().unwrap();
+    // Missing files fail cleanly; a malformed line names its location.
+    assert!(!out.status.success());
+    let dir = std::env::temp_dir().join(format!("mstv-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let gp = dir.join("bad-g.txt");
+    let sp = dir.join("bad-s.txt");
+    std::fs::write(&gp, graph).unwrap();
+    std::fs::write(&sp, "teleport 3\n").unwrap();
+    let out = mstv()
+        .args(["session", gp.to_str().unwrap(), sp.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse mutation"), "{err}");
+}
+
+#[test]
 fn dot_renders() {
     let graph = "0 1 3\n1 2 4\n";
     let out = run_ok(&["dot", "g.txt"], &[("g.txt", graph)]);

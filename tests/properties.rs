@@ -200,3 +200,133 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Differential test of the incremental engine: after EVERY mutation
+    /// in a random sequence, the session's maintained verdict equals a
+    /// scratch `verify_all` over the session's current configuration and
+    /// labeling, and each single-node mutation re-verifies at most
+    /// `1 + max_degree` nodes.
+    #[test]
+    fn session_matches_scratch_verification((n, extra, w, seed) in graph_params()) {
+        use mst_verification::core::{Mutation, VerifySession};
+        use mst_verification::graph::{EdgeId, Port};
+        use rand::Rng;
+
+        let g = make_graph(n, extra, w.max(2), seed);
+        let n_nodes = g.num_nodes();
+        let max_degree = (0..n_nodes)
+            .map(|i| g.degree(NodeId::from_index(i)))
+            .max()
+            .unwrap();
+        let cfg = mst_configuration(g);
+        let mut session = VerifySession::new(MstScheme::new(), cfg).unwrap();
+        prop_assert!(session.verdict().accepted());
+        let scheme = MstScheme::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+        for _ in 0..8 {
+            let node = NodeId(rng.gen_range(0..n_nodes as u32));
+            let mutation = match rng.gen_range(0..4u32) {
+                0 => Mutation::SetWeight {
+                    edge: EdgeId(rng.gen_range(0..session.config().graph().num_edges() as u32)),
+                    weight: Weight(rng.gen_range(1..=1000u64)),
+                },
+                1 => Mutation::CorruptLabel {
+                    node,
+                    label: session
+                        .labeling()
+                        .label(NodeId(rng.gen_range(0..n_nodes as u32)))
+                        .clone(),
+                },
+                2 => {
+                    let deg = session.config().graph().degree(node) as u32;
+                    let new_parent = if rng.gen_bool(0.2) {
+                        None
+                    } else {
+                        Some(Port(rng.gen_range(0..deg)))
+                    };
+                    Mutation::FlipTreeEdge { node, new_parent }
+                }
+                _ => Mutation::RestoreLabel { node },
+            };
+            let verified_before = session.metrics().nodes_verified;
+            let verdict = session.apply(mutation).unwrap();
+            let verified_delta = session.metrics().nodes_verified - verified_before;
+            prop_assert!(
+                verified_delta <= 1 + max_degree as u64,
+                "one mutation re-verified {verified_delta} nodes, max degree {max_degree}"
+            );
+            let scratch = scheme.verify_all(session.config(), session.labeling());
+            prop_assert_eq!(verdict, scratch);
+        }
+    }
+}
+
+/// Same seed and delay bound ⇒ bit-identical `RunStats` and padding
+/// count from the α-synchronizer, across three topologies.
+#[test]
+fn alpha_synchronizer_is_deterministic() {
+    use mst_verification::core::Labeling;
+    use mst_verification::distsim::{run_alpha_synchronized, RunStats, VerifyNode};
+    use mst_verification::graph::{gen as ggen, ConfigGraph, TreeState};
+
+    fn build_nodes(
+        cfg: &ConfigGraph<TreeState>,
+        labeling: &Labeling<mst_verification::core::MstLabel>,
+    ) -> Vec<VerifyNode<MstScheme>> {
+        cfg.graph()
+            .nodes()
+            .map(|v| {
+                VerifyNode::new(
+                    MstScheme::new(),
+                    *cfg.state(v),
+                    labeling.label(v).clone(),
+                    labeling.encoded(v).len().max(1),
+                )
+            })
+            .collect()
+    }
+
+    let topologies: Vec<(&str, mst_verification::graph::Graph)> = vec![
+        ("tree", {
+            let mut rng = StdRng::seed_from_u64(0xA1);
+            ggen::random_tree(24, ggen::WeightDist::Uniform { max: 50 }, &mut rng)
+        }),
+        ("sparse", {
+            let mut rng = StdRng::seed_from_u64(0xA2);
+            ggen::random_connected(24, 12, ggen::WeightDist::Uniform { max: 50 }, &mut rng)
+        }),
+        ("dense", {
+            let mut rng = StdRng::seed_from_u64(0xA3);
+            ggen::random_connected(24, 120, ggen::WeightDist::Uniform { max: 50 }, &mut rng)
+        }),
+    ];
+    for (name, g) in topologies {
+        let cfg = mst_configuration(g);
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        let mut runs: Vec<(RunStats, usize, Vec<Option<bool>>)> = Vec::new();
+        for _ in 0..2 {
+            let mut rng = StdRng::seed_from_u64(0xDE7E);
+            let (nodes, stats, padding) =
+                run_alpha_synchronized(cfg.graph(), build_nodes(&cfg, &labeling), 1, 17, &mut rng);
+            let verdicts = nodes.iter().map(|n| n.verdict()).collect();
+            runs.push((stats, padding, verdicts));
+        }
+        assert_eq!(runs[0].0, runs[1].0, "{name}: RunStats must be identical");
+        assert_eq!(runs[0].1, runs[1].1, "{name}: padding must be identical");
+        assert_eq!(runs[0].2, runs[1].2, "{name}: verdicts must be identical");
+        assert!(
+            runs[0].2.iter().all(|&v| v == Some(true)),
+            "{name}: honest run accepts"
+        );
+        // A different delay seed still accepts but may schedule (and thus
+        // pad) differently — determinism is per seed, not vacuous.
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let (nodes, _, _) =
+            run_alpha_synchronized(cfg.graph(), build_nodes(&cfg, &labeling), 1, 17, &mut rng);
+        assert!(nodes.iter().all(|n| n.verdict() == Some(true)));
+    }
+}

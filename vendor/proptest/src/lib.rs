@@ -1,0 +1,524 @@
+//! Offline drop-in shim for the subset of the `proptest` 1.x API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing harness: the [`proptest!`] macro
+//! (with `#![proptest_config(...)]` support), range / tuple / mapped /
+//! one-of / vector strategies, `any::<T>()`, and the `prop_assert*` /
+//! [`prop_assume!`] macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case panics with the assertion message and
+//!   the deterministic case index, which is enough to replay it;
+//! * generation is deterministic: case `i` of test `t` always sees the
+//!   same inputs, derived from a hash of the test's module path and name.
+
+pub mod test_runner {
+    //! Configuration and the deterministic case generator.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (only `cases` is honored).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The generator handed to strategies, deterministic per (test, case).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// A generator for case `case` of the test named `name`.
+        pub fn deterministic(name: &str, case: u32) -> Self {
+            // FNV-1a over the fully qualified test name, mixed with the
+            // case index, so every (test, case) pair has its own stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case)),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.inner.next_u64()
+        }
+
+        /// A uniform draw from `[0, span)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `span == 0`.
+        pub fn below(&mut self, span: u128) -> u128 {
+            assert!(span > 0, "empty range");
+            (u128::from(self.next_u64()) * span) >> 64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// A uniform choice among type-erased alternatives ([`crate::prop_oneof!`]).
+    pub struct OneOf<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Default for OneOf<V> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<V> OneOf<V> {
+        /// An empty choice; add alternatives with [`OneOf::or`].
+        pub fn new() -> Self {
+            OneOf { arms: Vec::new() }
+        }
+
+        /// Adds an alternative.
+        pub fn or<S: Strategy<Value = V> + 'static>(mut self, s: S) -> Self {
+            self.arms.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.below(self.arms.len() as u128) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the full-range strategy of a type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible element counts for a collection strategy.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(
+                self.size.lo < self.size.hi_exclusive,
+                "empty size range for collection::vec"
+            );
+            let span = (self.size.hi_exclusive - self.size.lo) as u128;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length lies in `size` (a `usize`, `a..b`, or `a..=b`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The customary glob import.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: an optional `#![proptest_config(...)]` inner
+/// attribute followed by `#[test] fn name(pat in strategy, ...) { ... }`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __name = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(__name, __case);
+                    // `Err(())` = case rejected by `prop_assume!`; real
+                    // failures panic inside with the case index attached.
+                    let __one = |__rng: &mut $crate::test_runner::TestRng|
+                        -> ::std::result::Result<(), ()> {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    let _ = __one(&mut __rng);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        ::std::assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        ::std::assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr) => {
+        ::std::assert_eq!($l, $r)
+    };
+    ($l:expr, $r:expr, $($fmt:tt)+) => {
+        ::std::assert_eq!($l, $r, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr) => {
+        ::std::assert_ne!($l, $r)
+    };
+    ($l:expr, $r:expr, $($fmt:tt)+) => {
+        ::std::assert_ne!($l, $r, $($fmt)+)
+    };
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(());
+        }
+    };
+}
+
+/// A uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new()$(.or($arm))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Tag {
+        Small(u64),
+        Big(u64),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u64..10, 5usize..8)) {
+            prop_assert!(a < 10);
+            prop_assert!((5..8).contains(&b));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map(t in prop_oneof![
+            (0u64..5).prop_map(Tag::Small),
+            (100u64..105).prop_map(Tag::Big),
+        ]) {
+            match t {
+                Tag::Small(v) => prop_assert!(v < 5),
+                Tag::Big(v) => prop_assert!((100..105).contains(&v)),
+            }
+        }
+
+        #[test]
+        fn vectors(v in crate::collection::vec(any::<bool>(), 0..20), exact in crate::collection::vec(0u64..3, 4)) {
+            prop_assert!(v.len() < 20);
+            prop_assert_eq!(exact.len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = (0u64..1000, any::<u64>());
+        let a = s.generate(&mut TestRng::deterministic("t", 3));
+        let b = s.generate(&mut TestRng::deterministic("t", 3));
+        assert_eq!(a, b);
+        let c = s.generate(&mut TestRng::deterministic("t", 4));
+        assert_ne!(a, c);
+    }
+}
