@@ -119,7 +119,7 @@ fn main() {
             n.to_string(),
             format!("{repair_us}"),
             format!("{rebuild_us}"),
-            dist.stats.messages.to_string(),
+            dist.stats.msgs.to_string(),
             dist.stats.rounds.to_string(),
         ]);
     }

@@ -26,10 +26,10 @@ fn main() {
             n.to_string(),
             m.to_string(),
             format!("{}", vstats.rounds),
-            format!("{}", vstats.messages),
+            format!("{}", vstats.msgs),
             format!("{}", vstats.bits),
             format!("{}", run.stats.rounds),
-            format!("{}", run.stats.messages),
+            format!("{}", run.stats.msgs),
             format!("{}", run.stats.bits),
         ]);
     }
@@ -62,9 +62,9 @@ fn main() {
         rows.push(vec![
             n.to_string(),
             harness.stats.rounds.to_string(),
-            harness.stats.messages.to_string(),
+            harness.stats.msgs.to_string(),
             proto_stats.rounds.to_string(),
-            proto_stats.messages.to_string(),
+            proto_stats.msgs.to_string(),
         ]);
     }
     print_table(

@@ -58,8 +58,10 @@ pub use framework::{
     local_view, try_local_view, Labeling, LocalView, MarkerError, NeighborView, ParallelConfig,
     ProofLabelingScheme, Verdict, ViewError,
 };
-pub use metrics::{Histogram, SessionMetrics};
-pub use mst_scheme::{encode_mst_label, mst_configuration, MstLabel, MstRejectReason, MstScheme};
+pub use metrics::{Histogram, MessageCost, SessionMetrics};
+pub use mst_scheme::{
+    decode_mst_label, encode_mst_label, mst_configuration, MstLabel, MstRejectReason, MstScheme,
+};
 pub use pi_dist::{check_dist_conditions, DistParts, PiDistLabel, PiDistScheme, PiDistState};
 pub use pi_flow::{
     check_flow_conditions, max_st_configuration, FlowParts, MaxStLabel, MaxStScheme,

@@ -8,7 +8,69 @@
 //! numbers without a serde dependency.
 
 use std::fmt;
+use std::ops::AddAssign;
 use std::time::Duration;
+
+/// Communication costs of one protocol run: point-to-point messages
+/// offered to the links, total payload bits carried by them, and rounds
+/// (synchronous rounds, or retransmission generations on a lossy
+/// runtime).
+///
+/// This is the single cost vocabulary shared by the synchronous simulator
+/// (`mstv-distsim`), the asynchronous engines, and the concurrent runtime
+/// (`mstv-net`), so experiment tables stay comparable across execution
+/// models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MessageCost {
+    /// Point-to-point messages sent (one per edge direction per send,
+    /// retransmissions included).
+    pub msgs: u64,
+    /// Total payload bits carried by those messages.
+    pub bits: u128,
+    /// Rounds elapsed: lockstep rounds in the synchronous model,
+    /// `1 + retransmission generations` on a lossy runtime.
+    pub rounds: u64,
+}
+
+impl MessageCost {
+    /// The zero cost.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` messages of `bits_each` bits within the current
+    /// round structure.
+    pub fn add_messages(&mut self, count: u64, bits_each: u64) {
+        self.msgs += count;
+        self.bits += u128::from(count) * u128::from(bits_each);
+    }
+
+    /// One-line JSON export, for scripts and the `mstv net` subcommand.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"msgs\":{},\"bits\":{},\"rounds\":{}}}",
+            self.msgs, self.bits, self.rounds
+        )
+    }
+}
+
+impl AddAssign for MessageCost {
+    fn add_assign(&mut self, rhs: MessageCost) {
+        self.msgs += rhs.msgs;
+        self.bits += rhs.bits;
+        self.rounds += rhs.rounds;
+    }
+}
+
+impl fmt::Display for MessageCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages, {} bits",
+            self.rounds, self.msgs, self.bits
+        )
+    }
+}
 
 /// A histogram over `u64` samples with power-of-two buckets.
 ///
@@ -223,6 +285,26 @@ impl fmt::Display for SessionMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn message_cost_accumulates_and_exports() {
+        let mut c = MessageCost::new();
+        c.add_messages(10, 32);
+        c.rounds += 1;
+        assert_eq!(c.msgs, 10);
+        assert_eq!(c.bits, 320);
+        let mut t = MessageCost {
+            msgs: 5,
+            bits: 50,
+            rounds: 2,
+        };
+        t += c;
+        assert_eq!(t.msgs, 15);
+        assert_eq!(t.bits, 370);
+        assert_eq!(t.rounds, 3);
+        assert_eq!(t.to_string(), "3 rounds, 15 messages, 370 bits");
+        assert_eq!(t.to_json(), "{\"msgs\":15,\"bits\":370,\"rounds\":3}");
+    }
 
     #[test]
     fn histogram_buckets_and_stats() {

@@ -214,6 +214,39 @@ pub fn encode_mst_label(
     out
 }
 
+/// Deserializes a `π_mst` label produced by [`encode_mst_label`] with the
+/// same codecs. The orientation-field count is not written on the wire —
+/// it always equals the `γ` sublabel's separator level, which is how a
+/// receiving node (knowing only the instance-wide codec parameters)
+/// recovers the full label from bits. Returns `None` when `bits` is
+/// truncated, has trailing garbage, or encodes an out-of-range
+/// orientation — the wire-level rejects a malformed frame instead of
+/// panicking mid-protocol.
+pub fn decode_mst_label(
+    bits: &BitString,
+    span_codec: SpanCodec,
+    gamma_codec: LabelCodec,
+) -> Option<MstLabel> {
+    let mut r = bits.reader();
+    let span = span_codec.try_decode_from(&mut r)?;
+    let gamma = gamma_codec.try_decode_max_from(&mut r)?;
+    let mut orient = Vec::with_capacity(gamma.level());
+    for _ in 0..gamma.level() {
+        if r.remaining() < 2 {
+            return None;
+        }
+        orient.push(Orient::try_from_bits(r.read_bits(2))?);
+    }
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(MstLabel {
+        span,
+        gamma,
+        orient,
+    })
+}
+
 /// Convenience constructor: builds the MST configuration for a graph by
 /// computing an MST and encoding it in the node states (rooted at node 0).
 ///
@@ -557,6 +590,34 @@ mod tests {
             scheme.diagnose(&view),
             Some(MstRejectReason::UndecodableNeighbor { .. } | MstRejectReason::GammaMembership)
         ));
+    }
+
+    #[test]
+    fn wire_roundtrip_decodes_every_label() {
+        let cfg = config(40, 80, 1000, 21);
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).unwrap();
+        let span_codec = SpanCodec::for_config(&cfg);
+        let gamma_codec = LabelCodec {
+            sep_codec: SepFieldCodec::EliasGamma,
+            omega_bits: cfg.graph().max_weight().bit_width(),
+        };
+        for v in cfg.graph().nodes() {
+            let decoded = decode_mst_label(labeling.encoded(v), span_codec, gamma_codec)
+                .expect("honest encoding decodes");
+            assert_eq!(&decoded, labeling.label(v), "v={v}");
+        }
+        // Truncated frames are rejected, not panicked on.
+        let enc = labeling.encoded(NodeId(0));
+        let mut cut = BitString::new();
+        for i in 0..enc.len() - 3 {
+            cut.push(enc.get(i));
+        }
+        assert_eq!(decode_mst_label(&cut, span_codec, gamma_codec), None);
+        assert_eq!(
+            decode_mst_label(&BitString::new(), span_codec, gamma_codec),
+            None
+        );
     }
 
     #[test]

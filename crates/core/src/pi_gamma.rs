@@ -57,11 +57,16 @@ impl Orient {
     ///
     /// Panics on the reserved pattern `3`.
     pub fn from_bits(v: u64) -> Self {
+        Self::try_from_bits(v).unwrap_or_else(|| panic!("invalid orientation encoding {v}"))
+    }
+
+    /// Decodes the two-bit encoding; `None` on the reserved pattern `3`.
+    pub fn try_from_bits(v: u64) -> Option<Self> {
         match v {
-            0 => Orient::Down,
-            1 => Orient::Up,
-            2 => Orient::SelfSep,
-            _ => panic!("invalid orientation encoding {v}"),
+            0 => Some(Orient::Down),
+            1 => Some(Orient::Up),
+            2 => Some(Orient::SelfSep),
+            _ => None,
         }
     }
 }

@@ -94,6 +94,24 @@ impl SpanCodec {
             parent_id,
         }
     }
+
+    /// Non-panicking [`SpanCodec::decode_from`]: `None` on truncation.
+    pub fn try_decode_from(&self, r: &mut mstv_labels::BitReader<'_>) -> Option<SpanLabel> {
+        let node_id = r.try_read_bits(self.id_bits)?;
+        let root_id = r.try_read_bits(self.id_bits)?;
+        let dist = r.try_read_bits(self.dist_bits)?;
+        let parent_id = if r.try_read_bit()? {
+            Some(r.try_read_bits(self.id_bits)?)
+        } else {
+            None
+        };
+        Some(SpanLabel {
+            node_id,
+            root_id,
+            dist,
+            parent_id,
+        })
+    }
 }
 
 /// The local spanning-tree conditions, shared by every composite scheme.

@@ -11,7 +11,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use mstv_core::{local_view, Labeling, ProofLabelingScheme, Verdict};
+use mstv_core::{local_view, Labeling, MessageCost, ProofLabelingScheme, Verdict};
 use mstv_graph::{ConfigGraph, NodeId};
 use rand::Rng;
 
@@ -27,8 +27,9 @@ pub struct AsyncReport {
     /// Time at which the first rejecting node decided, if any — the
     /// network's fault-detection latency.
     pub first_detection: Option<u64>,
-    /// Messages delivered (one per edge direction).
-    pub messages: usize,
+    /// Communication cost: one label message per edge direction, one
+    /// logical round.
+    pub cost: MessageCost,
 }
 
 /// Runs verification asynchronously: every label message is delayed
@@ -51,14 +52,15 @@ pub fn async_verification<P: ProofLabelingScheme>(
     // Event queue of (arrival time, receiving node).
     let mut queue: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
     let mut pending = vec![0usize; n];
-    let mut messages = 0usize;
+    let mut cost = MessageCost::new();
+    cost.rounds = 1;
     for v in g.nodes() {
         for nb in g.neighbors(v) {
             // v's label travels to nb.node.
             let delay = rng.gen_range(1..=max_delay);
             queue.push(Reverse((delay, nb.node.0)));
             pending[nb.node.index()] += 1;
-            messages += 1;
+            cost.add_messages(1, labeling.encoded(v).len() as u64);
         }
     }
     let mut decision_times = vec![0u64; n];
@@ -98,7 +100,7 @@ pub fn async_verification<P: ProofLabelingScheme>(
         decision_times,
         makespan,
         first_detection,
-        messages,
+        cost,
     }
 }
 
@@ -124,7 +126,9 @@ mod tests {
             assert_eq!(report.verdict, sync_verdict, "delay={max_delay}");
             assert!(report.makespan <= max_delay);
             assert!(report.makespan >= 1);
-            assert_eq!(report.messages, 2 * cfg.graph().num_edges());
+            assert_eq!(report.cost.msgs, 2 * cfg.graph().num_edges() as u64);
+            assert_eq!(report.cost.rounds, 1);
+            assert!(report.cost.bits > 0);
         }
     }
 

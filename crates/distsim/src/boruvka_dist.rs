@@ -77,7 +77,7 @@ pub fn distributed_boruvka(g: &Graph) -> BoruvkaRun {
             let mut next = frag.clone();
             let mut changed = false;
             for ports in &tree_ports {
-                stats.add_messages(ports.len(), id_bits);
+                stats.add_messages(ports.len() as u64, id_bits as u64);
             }
             for v in 0..n {
                 for &p in &tree_ports[v] {
@@ -97,7 +97,7 @@ pub fn distributed_boruvka(g: &Graph) -> BoruvkaRun {
         // on every port.
         stats.rounds += 1;
         for v in 0..n {
-            stats.add_messages(g.degree(NodeId::from_index(v)), 2 * id_bits);
+            stats.add_messages(g.degree(NodeId::from_index(v)) as u64, 2 * id_bits as u64);
         }
         // Subphase 3: MWOE candidates + min-flood along tree edges.
         let mut best: Vec<Option<(EdgeKey, EdgeId)>> = (0..n)
@@ -111,7 +111,7 @@ pub fn distributed_boruvka(g: &Graph) -> BoruvkaRun {
         loop {
             stats.rounds += 1;
             for ports in &tree_ports {
-                stats.add_messages(ports.len(), key_bits);
+                stats.add_messages(ports.len() as u64, key_bits as u64);
             }
             let snapshot = best.clone();
             let mut changed = false;
@@ -146,7 +146,7 @@ pub fn distributed_boruvka(g: &Graph) -> BoruvkaRun {
                 continue;
             };
             debug_assert_eq!(key_of(g, fe), fk);
-            stats.add_messages(1, key_bits);
+            stats.add_messages(1, key_bits as u64);
             if tree_edges.insert(fe) {
                 merged_any = true;
             }
@@ -210,7 +210,7 @@ mod tests {
         // ⌈log₂ 256⌉ = 8 merge phases + 1 terminal detection phase.
         assert!(run.phases <= 9, "{} phases", run.phases);
         assert!(run.stats.rounds > 1);
-        assert!(run.stats.messages > 2 * g.num_edges());
+        assert!(run.stats.msgs > 2 * g.num_edges() as u64);
     }
 
     #[test]
@@ -235,6 +235,6 @@ mod tests {
         assert!(verdict.accepted());
         assert_eq!(vstats.rounds, 1);
         assert!(run.stats.rounds > 10 * vstats.rounds);
-        assert!(run.stats.messages > vstats.messages);
+        assert!(run.stats.msgs > vstats.msgs);
     }
 }

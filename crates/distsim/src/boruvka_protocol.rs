@@ -277,7 +277,7 @@ fn run_for_schedule(
     let mut rng = rand::rngs::mock::StepRng::new(0, 0);
     let (nodes, mut stats, _padding) =
         crate::engine::run_alpha_synchronized(graph, nodes, rounds, 1, &mut rng);
-    stats.rounds = rounds;
+    stats.rounds = rounds as u64;
     (nodes, stats)
 }
 
@@ -302,7 +302,7 @@ mod tests {
                 "n={n}"
             );
             // Fixed schedule: Θ(n log n) rounds.
-            assert_eq!(stats.rounds, BoruvkaNode::total_rounds(n) + 2);
+            assert_eq!(stats.rounds, (BoruvkaNode::total_rounds(n) + 2) as u64);
         }
     }
 

@@ -119,7 +119,7 @@ pub fn run_synchronous<P: RoundProtocol>(
             let v = NodeId::from_index(from);
             let to = graph.neighbor_at_port(v, s.port);
             let back = graph.port_towards(to, v).expect("edges are symmetric");
-            stats.add_messages(1, proto.msg_bits(&s.payload));
+            stats.add_messages(1, proto.msg_bits(&s.payload) as u64);
             inboxes[to.index()].push((back, s.payload));
         }
     };
@@ -176,7 +176,7 @@ pub fn run_alpha_synchronized<P: RoundProtocol>(
     assert!(max_delay >= 1, "delays must be positive");
     let ctxs = contexts(graph);
     let mut stats = RunStats::new();
-    stats.rounds = rounds;
+    stats.rounds = rounds as u64;
     let mut padding = 0usize;
 
     struct Event<M> {
@@ -216,7 +216,7 @@ pub fn run_alpha_synchronized<P: RoundProtocol>(
         let deg = graph.degree(v);
         let mut payloads: Vec<Option<P::Msg>> = vec![None; deg];
         for s in sends {
-            stats.add_messages(1, proto.msg_bits(&s.payload));
+            stats.add_messages(1, proto.msg_bits(&s.payload) as u64);
             payloads[s.port.index()] = Some(s.payload);
         }
         for (p, payload) in payloads.into_iter().enumerate() {
@@ -375,7 +375,7 @@ mod tests {
             for node in &nodes {
                 assert_eq!(node.value, 0, "n={n}");
             }
-            assert!(stats.messages > 0);
+            assert!(stats.msgs > 0);
             assert!(stats.rounds >= 1);
         }
     }
@@ -389,12 +389,12 @@ mod tests {
         for max_delay in [1u64, 13, 97] {
             let nodes = (0..25).map(|_| MinFlood::new()).collect();
             let (nodes, stats, padding) =
-                run_alpha_synchronized(&g, nodes, sync_stats.rounds, max_delay, &mut rng);
+                run_alpha_synchronized(&g, nodes, sync_stats.rounds as usize, max_delay, &mut rng);
             for (a, b) in nodes.iter().zip(sync_nodes.iter()) {
                 assert_eq!(a.value, b.value, "delay={max_delay}");
             }
             // Protocol traffic matches; the synchronizer pays extra.
-            assert_eq!(stats.messages, sync_stats.messages);
+            assert_eq!(stats.msgs, sync_stats.msgs);
             assert!(padding > 0, "padding must be accounted");
         }
     }

@@ -34,5 +34,5 @@ pub use boruvka_protocol::{boruvka_protocol_run, BoruvkaMsg, BoruvkaNode};
 pub use engine::{run_alpha_synchronized, run_synchronous, NodeCtx, PortInfo, RoundProtocol, Send};
 pub use protocols::VerifyNode;
 pub use selfstab::{SelfStabilizingMst, StabilizationOutcome};
-pub use stats::RunStats;
+pub use stats::{MessageCost, RunStats};
 pub use verify_protocol::verification_round;

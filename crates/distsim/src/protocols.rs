@@ -136,7 +136,7 @@ mod tests {
         let nodes = build_nodes(&cfg, &labeling);
         let (nodes, stats) = run_synchronous(cfg.graph(), nodes, 5);
         assert!(nodes.iter().all(|n| n.verdict() == Some(true)));
-        assert_eq!(stats.messages, 2 * cfg.graph().num_edges());
+        assert_eq!(stats.msgs, 2 * cfg.graph().num_edges() as u64);
         assert_eq!(stats.rounds, 1);
     }
 

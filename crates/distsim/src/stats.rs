@@ -1,71 +1,36 @@
 //! Cost accounting for synchronous protocols.
+//!
+//! Historically this crate had its own `RunStats` struct while the
+//! concurrent runtime (`mstv-net`) grew a second, slightly different
+//! counter — and the two counted bits inconsistently. Both now share
+//! [`mstv_core::MessageCost`] (`msgs`, `bits`, `rounds`), re-exported
+//! here under the old `RunStats` name so existing call sites keep
+//! reading naturally.
 
-use std::fmt;
-use std::ops::AddAssign;
+pub use mstv_core::MessageCost;
 
-/// Communication costs of a protocol run in the synchronous model:
-/// rounds, point-to-point messages, and total bits on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct RunStats {
-    /// Synchronous rounds elapsed.
-    pub rounds: usize,
-    /// Point-to-point messages sent (one per edge direction per send).
-    pub messages: usize,
-    /// Total payload bits carried by those messages.
-    pub bits: u128,
-}
-
-impl RunStats {
-    /// The zero cost.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records `count` messages of `bits_each` bits within the current
-    /// round structure.
-    pub fn add_messages(&mut self, count: usize, bits_each: usize) {
-        self.messages += count;
-        self.bits += count as u128 * bits_each as u128;
-    }
-}
-
-impl AddAssign for RunStats {
-    fn add_assign(&mut self, rhs: RunStats) {
-        self.rounds += rhs.rounds;
-        self.messages += rhs.messages;
-        self.bits += rhs.bits;
-    }
-}
-
-impl fmt::Display for RunStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} rounds, {} messages, {} bits",
-            self.rounds, self.messages, self.bits
-        )
-    }
-}
+/// The synchronous simulator's historical name for [`MessageCost`].
+pub type RunStats = MessageCost;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn accumulate() {
+    fn run_stats_is_message_cost() {
         let mut s = RunStats::new();
         s.add_messages(10, 32);
         s.rounds += 1;
-        assert_eq!(s.messages, 10);
+        assert_eq!(s.msgs, 10);
         assert_eq!(s.bits, 320);
-        let mut t = RunStats {
-            rounds: 2,
-            messages: 5,
+        let mut t = MessageCost {
+            msgs: 5,
             bits: 50,
+            rounds: 2,
         };
         t += s;
         assert_eq!(t.rounds, 3);
-        assert_eq!(t.messages, 15);
+        assert_eq!(t.msgs, 15);
         assert_eq!(t.bits, 370);
         assert_eq!(t.to_string(), "3 rounds, 15 messages, 370 bits");
     }

@@ -24,7 +24,7 @@ pub fn verification_round<P: ProofLabelingScheme>(
     stats.rounds = 1;
     // Each node sends its label through each port.
     for v in g.nodes() {
-        stats.add_messages(g.degree(v), labeling.encoded(v).len());
+        stats.add_messages(g.degree(v) as u64, labeling.encoded(v).len() as u64);
     }
     // Labels delivered: run the local verifier everywhere.
     let mut rejecting = Vec::new();
@@ -63,7 +63,7 @@ mod tests {
         let (verdict, stats) = verification_round(&scheme, &cfg, &labeling);
         assert!(verdict.accepted());
         assert_eq!(stats.rounds, 1);
-        assert_eq!(stats.messages, 2 * m);
+        assert_eq!(stats.msgs, 2 * m as u64);
         assert!(stats.bits > 0);
         // Each message carries at most the scheme's max label size.
         assert!(stats.bits <= (2 * m) as u128 * labeling.max_label_bits() as u128);

@@ -126,6 +126,38 @@ impl BitString {
     pub fn reader(&self) -> BitReader<'_> {
         BitReader { bits: self, pos: 0 }
     }
+
+    /// Packs the bits into bytes (LSB-first within each byte; the last
+    /// byte is zero-padded). Pair with [`BitString::len`] and
+    /// [`BitString::from_bytes`] to ship labels over a byte-oriented
+    /// wire without losing the exact bit count.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for i in 0..self.len {
+            if self.get(i) {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a bit string of exactly `len` bits from
+    /// [`BitString::to_bytes`] output. Returns `None` if `bytes` is too
+    /// short for `len` bits or padding bits are non-zero (a framing
+    /// error on the wire).
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Option<Self> {
+        if bytes.len() != len.div_ceil(8) {
+            return None;
+        }
+        let mut out = BitString::new();
+        for i in 0..len {
+            out.push(bytes[i / 8] >> (i % 8) & 1 == 1);
+        }
+        if !len.is_multiple_of(8) && bytes[len / 8] >> (len % 8) != 0 {
+            return None;
+        }
+        Some(out)
+    }
 }
 
 impl fmt::Display for BitString {
@@ -198,6 +230,33 @@ impl BitReader<'_> {
             v = (v << 1) | u64::from(self.read_bit());
         }
         v
+    }
+
+    /// Reads one bit, or `None` at end of stream.
+    pub fn try_read_bit(&mut self) -> Option<bool> {
+        (self.remaining() >= 1).then(|| self.read_bit())
+    }
+
+    /// Reads `width` bits MSB first, or `None` if fewer remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn try_read_bits(&mut self, width: u32) -> Option<u64> {
+        (self.remaining() >= width as usize).then(|| self.read_bits(width))
+    }
+
+    /// Reads an Elias gamma code, or `None` on a truncated stream.
+    pub fn try_read_elias_gamma(&mut self) -> Option<u64> {
+        let mut zeros = 0u32;
+        while !self.try_read_bit()? {
+            zeros += 1;
+        }
+        let mut v = 1u64;
+        for _ in 0..zeros {
+            v = (v << 1) | u64::from(self.try_read_bit()?);
+        }
+        Some(v)
     }
 
     /// Reads an Elias delta code.
@@ -331,5 +390,30 @@ mod tests {
     fn get_out_of_range() {
         let b = BitString::new();
         let _ = b.get(0);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 130] {
+            let mut a = BitString::new();
+            for i in 0..len {
+                a.push(i % 3 == 0 || i % 7 == 2);
+            }
+            let bytes = a.to_bytes();
+            assert_eq!(bytes.len(), len.div_ceil(8));
+            let back = BitString::from_bytes(&bytes, len).expect("roundtrip");
+            assert_eq!(back, a, "len={len}");
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_framing_errors() {
+        let mut a = BitString::new();
+        a.push_bits(0b1011, 4);
+        let bytes = a.to_bytes();
+        // Wrong byte count for the claimed bit length.
+        assert!(BitString::from_bytes(&bytes, 20).is_none());
+        // Dirty padding bits beyond the bit length.
+        assert!(BitString::from_bytes(&[0xF0], 4).is_none());
     }
 }

@@ -71,6 +71,13 @@ impl LabelCodec {
         }
     }
 
+    fn try_read_sep_field(&self, r: &mut crate::BitReader<'_>) -> Option<u64> {
+        match self.sep_codec {
+            SepFieldCodec::EliasGamma => Some(r.try_read_elias_gamma()? - 1),
+            SepFieldCodec::FixedWidth { bits } => r.try_read_bits(bits),
+        }
+    }
+
     /// Serializes a `MAX` label: `gamma(l)`, then the `l - 1` non-constant
     /// separator fields, then `l` fixed-width `ω` fields.
     ///
@@ -96,17 +103,48 @@ impl LabelCodec {
     ///
     /// Panics on a truncated bit string.
     pub fn decode_max_label(&self, bits: &BitString) -> MaxLabel {
-        let mut r = bits.reader();
+        self.decode_max_from(&mut bits.reader())
+    }
+
+    /// Deserializes a `MAX` label from an open reader, leaving the
+    /// cursor just past the label — for composite encodings (such as
+    /// `π_mst` wire messages) that append further sublabels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated bit string.
+    pub fn decode_max_from(&self, r: &mut crate::BitReader<'_>) -> MaxLabel {
         let l = r.read_elias_gamma() as usize;
         let mut sep = Vec::with_capacity(l);
         sep.push(0);
         for _ in 1..l {
-            sep.push(self.read_sep_field(&mut r));
+            sep.push(self.read_sep_field(r));
         }
         let omega = (0..l)
             .map(|_| Weight(r.read_bits(self.omega_bits)))
             .collect();
         MaxLabel { sep, omega }
+    }
+
+    /// Non-panicking [`LabelCodec::decode_max_from`]: returns `None` on a
+    /// truncated or implausible stream (a claimed level that cannot fit
+    /// in the remaining bits), for wire-level validation of untrusted
+    /// frames.
+    pub fn try_decode_max_from(&self, r: &mut crate::BitReader<'_>) -> Option<MaxLabel> {
+        let l = r.try_read_elias_gamma()? as usize;
+        if l == 0 || l > r.remaining() + 1 {
+            return None;
+        }
+        let mut sep = Vec::with_capacity(l);
+        sep.push(0);
+        for _ in 1..l {
+            sep.push(self.try_read_sep_field(r)?);
+        }
+        let mut omega = Vec::with_capacity(l);
+        for _ in 0..l {
+            omega.push(Weight(r.try_read_bits(self.omega_bits)?));
+        }
+        Some(MaxLabel { sep, omega })
     }
 
     /// Serializes a `FLOW` label; the neutral `+∞` is written as the

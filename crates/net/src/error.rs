@@ -1,0 +1,57 @@
+//! Error type of the runtime, replayer, and log parser.
+
+use std::error::Error;
+use std::fmt;
+
+use mstv_graph::NodeId;
+
+/// Why a run, replay, or log parse failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The run did not quiesce with every node decided within the round
+    /// budget — the fault schedule starved some edge of delivery.
+    NoConvergence {
+        /// Rounds executed before giving up.
+        rounds: u64,
+    },
+    /// A replayed schedule ended with an undecided node: the log is
+    /// truncated or was produced by a different configuration.
+    Undecided {
+        /// The first undecided node.
+        node: NodeId,
+    },
+    /// The log text is malformed.
+    BadLog {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The log lacks a header the caller needs (e.g. to rebuild the
+    /// instance for a replay).
+    MissingHeader {
+        /// The absent key.
+        key: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoConvergence { rounds } => {
+                write!(f, "run did not converge within {rounds} rounds")
+            }
+            NetError::Undecided { node } => {
+                write!(f, "replayed schedule leaves {node} undecided")
+            }
+            NetError::BadLog { line, reason } => {
+                write!(f, "malformed event log at line {line}: {reason}")
+            }
+            NetError::MissingHeader { key } => {
+                write!(f, "event log lacks required header {key:?}")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}

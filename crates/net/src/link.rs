@@ -1,0 +1,193 @@
+//! Pluggable network layer: perfect and lossy links.
+//!
+//! A [`Link`] decides the fate of every offered frame — delivered,
+//! dropped, delayed, or duplicated — and which nodes crash-restart at
+//! each retransmission boundary. Decisions are content-independent
+//! (the adversary of the self-stabilization model is oblivious), so a
+//! link never inspects frames; it only answers scheduling questions
+//! from a seeded random stream, which makes a whole fault schedule
+//! reproducible from `(profile, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of the fault injector, all off by default.
+///
+/// See the crate docs for how each knob maps onto an assumption of the
+/// Korman–Kutten self-stabilization model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability that an offered frame is silently dropped.
+    pub drop: f64,
+    /// Probability that a delivered frame is delivered twice (the copy
+    /// gets an independent delay, so duplicates can also reorder).
+    pub duplicate: f64,
+    /// Maximum holdback, in scheduler steps, applied uniformly at
+    /// random to each delivered copy. Any value above zero lets frames
+    /// overtake each other, i.e. enables reordering.
+    pub max_delay: u32,
+    /// Per-node probability of a crash-restart at each retransmission
+    /// boundary.
+    pub crash: f64,
+    /// Hard cap on the total number of crash-restarts across the run,
+    /// so a run with `crash > 0` still quiesces.
+    pub max_crashes: u64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            drop: 0.0,
+            duplicate: 0.0,
+            max_delay: 0,
+            crash: 0.0,
+            max_crashes: 0,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// Whether the profile injects no faults at all.
+    pub fn is_perfect(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.max_delay == 0 && self.crash == 0.0
+    }
+}
+
+/// The network layer seen by the runtime's router.
+///
+/// Implementations must be deterministic functions of their own state:
+/// the runtime calls them from a single thread in a well-defined order,
+/// and the event log (not the link) is what replays capture — so a
+/// custom link may be as exotic as it likes (scripted partitions,
+/// targeted crashes) and replay still reproduces the run.
+pub trait Link: Send {
+    /// The fate of one offered frame: one entry per delivered copy,
+    /// giving the copy's holdback in scheduler steps. An empty vector
+    /// drops the frame; two entries duplicate it.
+    fn offer(&mut self) -> Vec<u32>;
+
+    /// Indices of nodes to crash-restart at a retransmission boundary
+    /// (called once per boundary with the node count).
+    fn crash_picks(&mut self, _nodes: usize) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+/// The ideal in-process transport: every frame is delivered exactly
+/// once, immediately, and nobody crashes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectLink;
+
+impl Link for PerfectLink {
+    fn offer(&mut self) -> Vec<u32> {
+        vec![0]
+    }
+}
+
+/// A link driven by a [`FaultProfile`] and a seeded RNG.
+#[derive(Debug, Clone)]
+pub struct LossyLink {
+    profile: FaultProfile,
+    rng: StdRng,
+    crashes_done: u64,
+}
+
+impl LossyLink {
+    /// A lossy link with the given fault profile and RNG seed.
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        LossyLink {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+            crashes_done: 0,
+        }
+    }
+
+    /// Crash-restarts issued so far.
+    pub fn crashes_done(&self) -> u64 {
+        self.crashes_done
+    }
+
+    fn delay(&mut self) -> u32 {
+        if self.profile.max_delay == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=self.profile.max_delay)
+        }
+    }
+}
+
+impl Link for LossyLink {
+    fn offer(&mut self) -> Vec<u32> {
+        if self.profile.drop > 0.0 && self.rng.gen_bool(self.profile.drop) {
+            return Vec::new();
+        }
+        let mut copies = vec![self.delay()];
+        if self.profile.duplicate > 0.0 && self.rng.gen_bool(self.profile.duplicate) {
+            copies.push(self.delay());
+        }
+        copies
+    }
+
+    fn crash_picks(&mut self, nodes: usize) -> Vec<usize> {
+        let mut picks = Vec::new();
+        if self.profile.crash == 0.0 {
+            return picks;
+        }
+        for v in 0..nodes {
+            if self.crashes_done >= self.profile.max_crashes {
+                break;
+            }
+            if self.rng.gen_bool(self.profile.crash) {
+                picks.push(v);
+                self.crashes_done += 1;
+            }
+        }
+        picks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_link_delivers_once_immediately() {
+        let mut link = PerfectLink;
+        for _ in 0..10 {
+            assert_eq!(link.offer(), vec![0]);
+        }
+        assert!(link.crash_picks(8).is_empty());
+    }
+
+    #[test]
+    fn lossy_link_is_reproducible_from_seed() {
+        let profile = FaultProfile {
+            drop: 0.3,
+            duplicate: 0.2,
+            max_delay: 4,
+            crash: 0.1,
+            max_crashes: 5,
+        };
+        let mut a = LossyLink::new(profile, 42);
+        let mut b = LossyLink::new(profile, 42);
+        for _ in 0..200 {
+            assert_eq!(a.offer(), b.offer());
+        }
+        assert_eq!(a.crash_picks(16), b.crash_picks(16));
+    }
+
+    #[test]
+    fn crash_cap_is_respected() {
+        let profile = FaultProfile {
+            crash: 1.0,
+            max_crashes: 3,
+            ..Default::default()
+        };
+        let mut link = LossyLink::new(profile, 7);
+        let mut total = 0;
+        for _ in 0..10 {
+            total += link.crash_picks(100).len();
+        }
+        assert_eq!(total, 3);
+    }
+}

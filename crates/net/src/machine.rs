@@ -1,0 +1,275 @@
+//! Per-node protocol machines.
+//!
+//! Each graph node is a *pure, deterministic* state machine: an input
+//! event (start, frame delivery, retransmission tick, crash-restart)
+//! maps to a list of output frames plus a state update. All
+//! nondeterminism of a live run — thread interleaving, drops, delays,
+//! duplicates, crashes — lives in *which events arrive in which
+//! order*, never inside a machine. That separation is what makes the
+//! event log sufficient for exact replay: feeding a machine the same
+//! event sequence reproduces the same outputs bit for bit.
+
+use mstv_core::{LocalView, NeighborView};
+use mstv_graph::{ConfigGraph, NodeId, Port, Weight};
+use mstv_labels::BitString;
+
+use crate::wire::WireMsg;
+
+/// An input to a node machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// Protocol start: send the own label on every port.
+    Start,
+    /// A frame arrived on a port.
+    Deliver {
+        /// The local port the frame arrived on.
+        port: Port,
+        /// The frame.
+        msg: WireMsg,
+    },
+    /// A retransmission boundary: re-offer the label on every
+    /// unacknowledged port.
+    Tick,
+    /// Crash-restart: volatile protocol memory (received frames, acks,
+    /// verdict) is wiped; persistent memory (state, label) survives, as
+    /// the self-stabilization model assumes. The node restarts the
+    /// protocol immediately.
+    CrashRestart,
+}
+
+/// A proof labeling scheme that can ride the wire: it can decode a
+/// label frame back into a structured label using only instance-wide
+/// codec parameters ("known to the algorithm", as the paper assumes),
+/// and verify a local view.
+pub trait WireScheme: Clone + Send + 'static {
+    /// Node state type.
+    type State: Clone + Send + 'static;
+    /// Label type.
+    type Label: Clone + Send + 'static;
+
+    /// Decodes a label frame. `None` means the frame is malformed for
+    /// the instance codecs — a verifier-visible fault.
+    fn decode_label(&self, bits: &BitString) -> Option<Self::Label>;
+
+    /// Runs the scheme's local verifier on an assembled view.
+    fn verify(&self, view: &LocalView<'_, Self::State, Self::Label>) -> bool;
+}
+
+/// The Korman–Kutten `π_mst` scheme bundled with the instance-wide
+/// codecs a node needs to decode neighbor labels off the wire.
+#[derive(Debug, Clone, Copy)]
+pub struct MstWireScheme {
+    /// The underlying scheme.
+    pub scheme: mstv_core::MstScheme,
+    /// Codec for the spanning-tree sublabel.
+    pub span_codec: mstv_core::SpanCodec,
+    /// Codec for the `γ` sublabel.
+    pub gamma_codec: mstv_labels::LabelCodec,
+}
+
+impl MstWireScheme {
+    /// Derives the codecs from the instance, exactly as the marker
+    /// does: identity widths from the node count, ω widths from the
+    /// whole graph's weight range.
+    pub fn for_config(cfg: &ConfigGraph<mstv_graph::TreeState>) -> Self {
+        MstWireScheme {
+            scheme: mstv_core::MstScheme::new(),
+            span_codec: mstv_core::SpanCodec::for_config(cfg),
+            gamma_codec: mstv_labels::LabelCodec {
+                sep_codec: mstv_labels::SepFieldCodec::EliasGamma,
+                omega_bits: cfg.graph().max_weight().bit_width(),
+            },
+        }
+    }
+}
+
+impl WireScheme for MstWireScheme {
+    type State = mstv_graph::TreeState;
+    type Label = mstv_core::MstLabel;
+
+    fn decode_label(&self, bits: &BitString) -> Option<Self::Label> {
+        mstv_core::decode_mst_label(bits, self.span_codec, self.gamma_codec)
+    }
+
+    fn verify(&self, view: &LocalView<'_, Self::State, Self::Label>) -> bool {
+        use mstv_core::ProofLabelingScheme;
+        self.scheme.verify(view)
+    }
+}
+
+/// One node of the one-round verification protocol, hardened for lossy
+/// links with ack-gated retransmission.
+///
+/// Protocol: on start (and after a crash-restart) send the own label
+/// frame on every port, flagged `refresh` because the sender holds no
+/// neighbor labels yet. On receiving a label, store it and reply with
+/// an ack — also for duplicates, so a restarted sender can still
+/// silence its retransmissions; a *duplicate* carrying the `refresh`
+/// flag additionally answers with the own label, which is how a
+/// crash-restarted neighbor re-collects labels its peers believe were
+/// long since delivered. On a tick, resend the label on every port
+/// whose exchange is incomplete in either direction (own label not
+/// acked, or neighbor label not received — the latter again flagged
+/// `refresh`). Decide as soon as a frame has been received on every
+/// port: reject if any frame failed to decode (including the own,
+/// possibly corrupted, certificate), otherwise run the scheme's local
+/// verifier.
+///
+/// Answer frames never carry `refresh` (the answering node, having
+/// just processed a duplicate, holds the sender's label), so an answer
+/// can never trigger another answer: refresh chains have depth one and
+/// the protocol cannot ping-pong.
+#[derive(Debug, Clone)]
+pub struct VerifierMachine<W: WireScheme> {
+    scheme: W,
+    node: NodeId,
+    state: W::State,
+    /// The node's own certificate as wire bits — persistent memory.
+    encoded: BitString,
+    /// `(port, weight)` per incident edge, in port order.
+    ports: Vec<(Port, Weight)>,
+    /// Per port: `None` until a label frame arrives, then the decode
+    /// result (`Some(None)` = arrived but malformed).
+    received: Vec<Option<Option<W::Label>>>,
+    /// Per port: whether the neighbor acked our label.
+    acked: Vec<bool>,
+    verdict: Option<bool>,
+}
+
+impl<W: WireScheme> VerifierMachine<W> {
+    /// A machine for node `v` of the configuration, holding `encoded`
+    /// as its certificate.
+    pub fn new(scheme: W, cfg: &ConfigGraph<W::State>, v: NodeId, encoded: BitString) -> Self {
+        let ports: Vec<(Port, Weight)> = cfg
+            .graph()
+            .neighbors(v)
+            .map(|nb| (nb.port, nb.weight))
+            .collect();
+        let deg = ports.len();
+        VerifierMachine {
+            scheme,
+            node: v,
+            state: cfg.state(v).clone(),
+            encoded,
+            ports,
+            received: vec![None; deg],
+            acked: vec![false; deg],
+            verdict: None,
+        }
+    }
+
+    /// The node this machine runs at.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The local verdict, once every port has delivered a label.
+    pub fn decided(&self) -> Option<bool> {
+        self.verdict
+    }
+
+    /// Feeds one event, returning the frames to send (paired with the
+    /// local out-port).
+    pub fn on_event(&mut self, ev: &NodeEvent) -> Vec<(Port, WireMsg)> {
+        match ev {
+            NodeEvent::Start | NodeEvent::CrashRestart => {
+                for slot in &mut self.received {
+                    *slot = None;
+                }
+                self.acked.fill(false);
+                self.verdict = None;
+                self.try_decide();
+                self.broadcast(|_, _| true)
+            }
+            NodeEvent::Deliver { port, msg } => match msg {
+                WireMsg::Label { bits, refresh } => {
+                    let i = port.index();
+                    if i >= self.received.len() {
+                        return Vec::new();
+                    }
+                    let mut out = vec![(*port, WireMsg::Ack)];
+                    if self.received[i].is_none() {
+                        self.received[i] = Some(self.scheme.decode_label(bits));
+                        self.try_decide();
+                    } else if *refresh {
+                        // A duplicate pull: the sender restarted and
+                        // lost our label. Answer without the refresh
+                        // flag — we hold the sender's label — so the
+                        // answer cannot trigger another answer.
+                        out.push((
+                            *port,
+                            WireMsg::Label {
+                                bits: self.encoded.clone(),
+                                refresh: false,
+                            },
+                        ));
+                    }
+                    out
+                }
+                WireMsg::Ack => {
+                    if let Some(a) = self.acked.get_mut(port.index()) {
+                        *a = true;
+                    }
+                    Vec::new()
+                }
+            },
+            NodeEvent::Tick => self.broadcast(|acked, received| !acked || !received),
+        }
+    }
+
+    /// Offers the own label on every port `send_on(acked, received)`
+    /// selects, flagging `refresh` on ports whose neighbor label is
+    /// still missing.
+    fn broadcast(&self, send_on: impl Fn(bool, bool) -> bool) -> Vec<(Port, WireMsg)> {
+        self.ports
+            .iter()
+            .zip(self.acked.iter().zip(&self.received))
+            .filter(|(_, (&acked, received))| send_on(acked, received.is_some()))
+            .map(|(&(p, _), (_, received))| {
+                (
+                    p,
+                    WireMsg::Label {
+                        bits: self.encoded.clone(),
+                        refresh: received.is_none(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn try_decide(&mut self) {
+        if self.verdict.is_some() || self.received.iter().any(Option::is_none) {
+            return;
+        }
+        // The own certificate must decode too: a node whose persistent
+        // label bits were corrupted beyond the codecs rejects itself.
+        let Some(own) = self.scheme.decode_label(&self.encoded) else {
+            self.verdict = Some(false);
+            return;
+        };
+        let mut neighbors = Vec::with_capacity(self.ports.len());
+        for (&(port, weight), slot) in self.ports.iter().zip(&self.received) {
+            match slot.as_ref().expect("all ports received") {
+                Some(label) => neighbors.push(NeighborView {
+                    port,
+                    weight,
+                    label,
+                }),
+                // A malformed neighbor frame is a rejection, exactly as
+                // a malformed label would be in the shared-memory
+                // verifier.
+                None => {
+                    self.verdict = Some(false);
+                    return;
+                }
+            }
+        }
+        let view = LocalView {
+            node: self.node,
+            state: &self.state,
+            label: &own,
+            neighbors,
+        };
+        self.verdict = Some(self.scheme.verify(&view));
+    }
+}

@@ -1,0 +1,97 @@
+//! Single-threaded deterministic replay of an event log.
+//!
+//! The replayer re-feeds a recorded schedule to fresh machines, in the
+//! log's dispatch order, on one thread. Machines are pure functions of
+//! their event sequence and the log preserves each node's sequence
+//! exactly, so a replay recomputes every send the live run counted —
+//! message and bit counters are *recomputed from machine outputs*, not
+//! copied from the trailer, which is what makes a trailer comparison a
+//! real cross-check of the runtime and not a tautology.
+
+use mstv_core::{Labeling, MessageCost, Verdict};
+use mstv_graph::{ConfigGraph, NodeId};
+
+use crate::error::NetError;
+use crate::log::EventLog;
+use crate::machine::{VerifierMachine, WireScheme};
+use crate::runtime::NetRun;
+
+/// Replays `log` against the given instance, returning the reproduced
+/// outcome. The input log rides along in the result (trailer included,
+/// untouched) so callers can diff it against the reproduced cost.
+///
+/// # Errors
+///
+/// [`NetError::Undecided`] if the schedule ends before every node has
+/// decided, [`NetError::BadLog`] if an event targets a node or port
+/// outside the instance.
+///
+/// # Panics
+///
+/// Panics if `labeling` does not cover the configuration's nodes.
+pub fn replay<W: WireScheme>(
+    scheme: &W,
+    cfg: &ConfigGraph<W::State>,
+    labeling: &Labeling<W::Label>,
+    log: &EventLog,
+) -> Result<NetRun, NetError> {
+    let n = cfg.graph().num_nodes();
+    let mut machines: Vec<VerifierMachine<W>> = (0..n)
+        .map(|v| {
+            VerifierMachine::new(
+                scheme.clone(),
+                cfg,
+                NodeId(v as u32),
+                labeling.encoded(NodeId(v as u32)).clone(),
+            )
+        })
+        .collect();
+
+    let mut cost = MessageCost {
+        rounds: 1,
+        ..MessageCost::new()
+    };
+    let mut crash_restarts = 0u64;
+    for (i, ev) in log.events.iter().enumerate() {
+        let Some(target) = ev.target() else {
+            cost.rounds += 1;
+            continue;
+        };
+        let machine = machines
+            .get_mut(target as usize)
+            .ok_or_else(|| NetError::BadLog {
+                line: i + 1,
+                reason: format!("event targets node {target} outside the instance"),
+            })?;
+        if matches!(ev, crate::log::LogEvent::Crash { .. }) {
+            crash_restarts += 1;
+        }
+        let sends = machine.on_event(&ev.to_node_event().expect("targeted events map to inputs"));
+        for (_, msg) in sends {
+            cost.msgs += 1;
+            cost.bits += u128::from(msg.wire_bits());
+        }
+    }
+
+    let mut rejecting = Vec::new();
+    for machine in &machines {
+        match machine.decided() {
+            Some(false) => rejecting.push(machine.node()),
+            Some(true) => {}
+            None => {
+                return Err(NetError::Undecided {
+                    node: machine.node(),
+                })
+            }
+        }
+    }
+    Ok(NetRun {
+        verdict: Verdict {
+            rejecting,
+            num_nodes: n,
+        },
+        cost,
+        crash_restarts,
+        log: log.clone(),
+    })
+}

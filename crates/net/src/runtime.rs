@@ -1,0 +1,298 @@
+//! The live concurrent runtime: one worker thread per node, a router
+//! on the calling thread.
+//!
+//! Workers own their [`VerifierMachine`](crate::machine::VerifierMachine)
+//! and a `mpsc` mailbox; the router owns the graph topology, the
+//! [`Link`] (fault decisions), the event log, and the cost counters.
+//! Every frame a worker emits travels router-ward, is offered to the
+//! link, and the surviving copies are dispatched to the receiving
+//! worker's mailbox — so the *threads* race freely, but every decision
+//! that affects the protocol (drop, delay, duplicate, crash) is made
+//! in one place, in a well-defined order, and logged.
+//!
+//! Quiescence is tracked by an outstanding-event counter: an event is
+//! outstanding from dispatch until its worker's report (outputs +
+//! local verdict) has been processed. When no event is outstanding and
+//! no frame is held back, either every node has decided — the run is
+//! over — or some label was lost and a retransmission boundary fires:
+//! the round counter increments, the link may pick crash victims, and
+//! every node gets a tick to re-offer unacknowledged labels.
+
+use std::sync::mpsc;
+use std::thread;
+
+use mstv_core::{Labeling, MessageCost, Verdict};
+use mstv_graph::{ConfigGraph, NodeId, Port};
+
+use crate::error::NetError;
+use crate::link::Link;
+use crate::log::{EventLog, LogEvent, RunSummary};
+use crate::machine::{NodeEvent, VerifierMachine, WireScheme};
+use crate::wire::WireMsg;
+
+/// Runtime limits and switches.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Give up (with [`NetError::NoConvergence`]) after this many
+    /// retransmission rounds.
+    pub max_rounds: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig { max_rounds: 10_000 }
+    }
+}
+
+/// Outcome of a live run or a replay.
+#[derive(Debug, Clone)]
+pub struct NetRun {
+    /// The global verdict (per-node verifier outputs, aggregated).
+    pub verdict: Verdict,
+    /// Messages, bits, and rounds consumed.
+    pub cost: MessageCost,
+    /// Crash-restarts that occurred.
+    pub crash_restarts: u64,
+    /// The complete event schedule, replayable with
+    /// [`replay`](crate::replay::replay).
+    pub log: EventLog,
+}
+
+/// What a worker sends back after processing one event.
+struct Report {
+    node: usize,
+    sends: Vec<(Port, WireMsg)>,
+    verdict: Option<bool>,
+}
+
+/// A frame in flight, held back by the link's delay decision.
+struct HeldFrame {
+    steps: u32,
+    to: usize,
+    port: Port,
+    msg: WireMsg,
+}
+
+/// Runs the ack-hardened one-round verification protocol live: one OS
+/// thread per node, frames subjected to `link`'s fault decisions.
+///
+/// Returns the aggregated verdict, the exact communication cost, and
+/// an event log whose replay reproduces both.
+///
+/// # Errors
+///
+/// [`NetError::NoConvergence`] if the round budget runs out before
+/// every node decides.
+///
+/// # Panics
+///
+/// Panics if `labeling` does not cover the configuration's nodes.
+pub fn run_verification<W: WireScheme>(
+    scheme: &W,
+    cfg: &ConfigGraph<W::State>,
+    labeling: &Labeling<W::Label>,
+    link: &mut dyn Link,
+    net: NetConfig,
+) -> Result<NetRun, NetError> {
+    let g = cfg.graph();
+    let n = g.num_nodes();
+
+    // Destinations resolved up front so the router loop never touches
+    // the graph: other_end[v][p] = (neighbor, neighbor's in-port).
+    let other_end: Vec<Vec<(usize, Port)>> = (0..n)
+        .map(|v| {
+            g.neighbors(NodeId(v as u32))
+                .map(|nb| {
+                    let back = g
+                        .port_towards(nb.node, NodeId(v as u32))
+                        .expect("edges are bidirectional");
+                    (nb.node.index(), back)
+                })
+                .collect()
+        })
+        .collect();
+
+    let (report_tx, report_rx) = mpsc::channel::<Report>();
+    let mut mailboxes: Vec<mpsc::Sender<Option<NodeEvent>>> = Vec::with_capacity(n);
+    let mut joins = Vec::with_capacity(n);
+    for v in 0..n {
+        let machine = VerifierMachine::new(
+            scheme.clone(),
+            cfg,
+            NodeId(v as u32),
+            labeling.encoded(NodeId(v as u32)).clone(),
+        );
+        let (tx, rx) = mpsc::channel::<Option<NodeEvent>>();
+        mailboxes.push(tx);
+        let report_tx = report_tx.clone();
+        joins.push(thread::spawn(move || {
+            let mut machine = machine;
+            while let Ok(Some(ev)) = rx.recv() {
+                let sends = machine.on_event(&ev);
+                let report = Report {
+                    node: v,
+                    sends,
+                    verdict: machine.decided(),
+                };
+                if report_tx.send(report).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    drop(report_tx);
+
+    let mut log = EventLog::new();
+    let mut cost = MessageCost {
+        rounds: 1,
+        ..MessageCost::new()
+    };
+    let mut verdicts: Vec<Option<bool>> = vec![None; n];
+    let mut outstanding = 0usize;
+    let mut held: Vec<HeldFrame> = Vec::new();
+    let mut crash_restarts = 0u64;
+
+    let dispatch = |ev: LogEvent, log: &mut EventLog, outstanding: &mut usize| {
+        let node = ev.target().expect("dispatched events target a node") as usize;
+        let nev = ev.to_node_event().expect("dispatched events map to inputs");
+        log.events.push(ev);
+        mailboxes[node]
+            .send(Some(nev))
+            .expect("worker alive while events outstanding");
+        *outstanding += 1;
+    };
+
+    for v in 0..n {
+        dispatch(
+            LogEvent::Start { node: v as u32 },
+            &mut log,
+            &mut outstanding,
+        );
+    }
+
+    let result = loop {
+        while outstanding > 0 {
+            let report = report_rx.recv().expect("workers outlive the router loop");
+            outstanding -= 1;
+            verdicts[report.node] = report.verdict;
+            for (port, msg) in report.sends {
+                cost.msgs += 1;
+                cost.bits += u128::from(msg.wire_bits());
+                let (to, in_port) = other_end[report.node][port.index()];
+                for steps in link.offer() {
+                    held.push(HeldFrame {
+                        steps,
+                        to,
+                        port: in_port,
+                        msg: msg.clone(),
+                    });
+                }
+            }
+            // One scheduler step: everything due is dispatched, the
+            // rest of the holdback ages by one.
+            let mut still_held = Vec::with_capacity(held.len());
+            for mut frame in held.drain(..) {
+                if frame.steps == 0 {
+                    dispatch(
+                        LogEvent::Deliver {
+                            to: frame.to as u32,
+                            port: frame.port.0,
+                            msg: frame.msg,
+                        },
+                        &mut log,
+                        &mut outstanding,
+                    );
+                } else {
+                    frame.steps -= 1;
+                    still_held.push(frame);
+                }
+            }
+            held = still_held;
+        }
+
+        if !held.is_empty() {
+            // Quiescent but frames are still aging: advance the clock
+            // without a retransmission round.
+            let mut still_held = Vec::with_capacity(held.len());
+            for mut frame in held.drain(..) {
+                if frame.steps == 0 {
+                    dispatch(
+                        LogEvent::Deliver {
+                            to: frame.to as u32,
+                            port: frame.port.0,
+                            msg: frame.msg,
+                        },
+                        &mut log,
+                        &mut outstanding,
+                    );
+                } else {
+                    frame.steps -= 1;
+                    still_held.push(frame);
+                }
+            }
+            held = still_held;
+            continue;
+        }
+
+        if verdicts.iter().all(Option::is_some) {
+            break Ok(());
+        }
+
+        if cost.rounds >= net.max_rounds {
+            break Err(NetError::NoConvergence {
+                rounds: cost.rounds,
+            });
+        }
+
+        // Retransmission boundary: some label was lost. Crash picks
+        // first (a crashed node restarts and re-offers everything),
+        // then every node re-offers on unacked ports.
+        cost.rounds += 1;
+        log.events.push(LogEvent::Round);
+        let crashed = link.crash_picks(n);
+        for v in crashed {
+            crash_restarts += 1;
+            verdicts[v] = None;
+            dispatch(
+                LogEvent::Crash { node: v as u32 },
+                &mut log,
+                &mut outstanding,
+            );
+        }
+        for v in 0..n {
+            dispatch(
+                LogEvent::Tick { node: v as u32 },
+                &mut log,
+                &mut outstanding,
+            );
+        }
+    };
+
+    for tx in &mailboxes {
+        let _ = tx.send(None);
+    }
+    drop(mailboxes);
+    for join in joins {
+        let _ = join.join();
+    }
+
+    result?;
+
+    let rejecting: Vec<NodeId> = verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v == Some(false))
+        .map(|(i, _)| NodeId(i as u32))
+        .collect();
+    let verdict = Verdict {
+        rejecting: rejecting.clone(),
+        num_nodes: n,
+    };
+    log.summary = Some(RunSummary { rejecting, cost });
+    Ok(NetRun {
+        verdict,
+        cost,
+        crash_restarts,
+        log,
+    })
+}

@@ -31,8 +31,8 @@ fn main() {
         net.labeling().max_label_bits()
     );
 
-    let mut verify_msgs = 0usize;
-    let mut rebuild_msgs = 0usize;
+    let mut verify_msgs = 0u64;
+    let mut rebuild_msgs = 0u64;
     let mut rebuilds = 0usize;
     for cycle in 1..=12 {
         // Roughly every third cycle, the environment interferes.
@@ -49,7 +49,7 @@ fn main() {
         }
         match net.maintenance_cycle() {
             StabilizationOutcome::Clean { verify_cost } => {
-                verify_msgs += verify_cost.messages;
+                verify_msgs += verify_cost.msgs;
                 println!("cycle {cycle:2}: verified clean ({verify_cost})");
             }
             StabilizationOutcome::Recovered {
@@ -57,8 +57,8 @@ fn main() {
                 verify_cost,
                 recompute_cost,
             } => {
-                verify_msgs += verify_cost.messages;
-                rebuild_msgs += recompute_cost.messages;
+                verify_msgs += verify_cost.msgs;
+                rebuild_msgs += recompute_cost.msgs;
                 rebuilds += 1;
                 println!(
                     "cycle {cycle:2}: ALARM at {} sensor(s) {:?} → rebuilt backbone ({recompute_cost})",

@@ -13,6 +13,21 @@ echo "== cargo clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== cargo test =="
+# RUST_TEST_THREADS deliberately unpinned: the mstv-net runtime spawns
+# one OS thread per node, and the suite must pass under whatever
+# parallelism the host picks — serializing tests could mask races.
+unset RUST_TEST_THREADS
 cargo test -q --offline --workspace
+
+echo "== mstv-net determinism smoke (16 seeds) =="
+# A loom-style sweep: the lossy-convergence test asserts that whatever
+# schedule the threads and the fault injector produce, the wire verdict
+# equals the offline verifier's. Sixteen distinct seeds give sixteen
+# different fault schedules; any nondeterministic verdict fails the run.
+for seed in $(seq 0 15); do
+    MSTV_NET_SEED="$seed" cargo test -q --offline -p mstv-net --test net_protocol \
+        lossy_smoke_verdicts_are_schedule_independent >/dev/null \
+        || { echo "ci: net smoke failed at seed $seed"; exit 1; }
+done
 
 echo "ci: all checks passed"

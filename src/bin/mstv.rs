@@ -45,6 +45,17 @@ const USAGE: &str = "usage:
         corrupt <node> <from-node>   (forge <node>'s label from another)
         flip <node> <port|root>
         restore <node>
+  mstv net --nodes N [--extra M] [--max-weight W] [--seed S]
+           [--drop P] [--dup P] [--delay D] [--crash P] [--max-crashes K]
+           [--fault none|weight|pointer|label] [--max-rounds R] [--log FILE]
+      run the one-round verification protocol on the concurrent
+      runtime: one thread per node, serialized label frames on a lossy
+      link (drop/duplicate probabilities, bounded random delay,
+      crash-restarts). Prints the verdict and the MessageCost JSON;
+      --log saves a replayable event log
+  mstv net --replay <log-file>
+      re-run a saved event log deterministically on one thread and
+      cross-check verdict and counts against the recorded run
   mstv dot <graph-file> [<tree-file>]
       Graphviz DOT rendering (tree edges bold)";
 
@@ -69,6 +80,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "verify" => cmd_verify(&args[1..]),
         "sensitivity" => cmd_sensitivity(&args[1..]),
         "session" => cmd_session(&args[1..]),
+        "net" => cmd_net(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -258,6 +270,225 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
     }
     println!("{}", session.metrics().to_json());
     Ok(())
+}
+
+/// Parameters a net run needs to rebuild its instance, as recorded in
+/// (and recovered from) the event log's provenance headers.
+struct NetInstanceParams {
+    nodes: usize,
+    extra: usize,
+    max_weight: u64,
+    seed: u64,
+    fault: String,
+}
+
+impl NetInstanceParams {
+    fn to_headers(&self, log: &mut mst_verification::net::EventLog) {
+        log.push_header("nodes", self.nodes);
+        log.push_header("extra", self.extra);
+        log.push_header("max-weight", self.max_weight);
+        log.push_header("seed", self.seed);
+        log.push_header("fault", &self.fault);
+    }
+
+    fn from_headers(log: &mst_verification::net::EventLog) -> Result<Self, String> {
+        fn get<T: std::str::FromStr>(
+            log: &mst_verification::net::EventLog,
+            key: &str,
+        ) -> Result<T, String> {
+            log.header(key)
+                .ok_or_else(|| format!("log lacks header {key:?}"))?
+                .parse()
+                .map_err(|_| format!("log header {key:?} is malformed"))
+        }
+        Ok(NetInstanceParams {
+            nodes: get(log, "nodes")?,
+            extra: get(log, "extra")?,
+            max_weight: get(log, "max-weight")?,
+            seed: get(log, "seed")?,
+            fault: get(log, "fault")?,
+        })
+    }
+
+    /// Rebuilds the instance: graph, configuration, labels, and the
+    /// injected fault — all deterministic functions of the parameters,
+    /// so a replay reconstructs exactly what the live run verified.
+    fn build(
+        &self,
+    ) -> Result<
+        (
+            ConfigGraph<mst_verification::graph::TreeState>,
+            mst_verification::core::Labeling<mst_verification::core::MstLabel>,
+        ),
+        String,
+    > {
+        use mst_verification::core::{encode_mst_label, faults, SpanCodec};
+        use mst_verification::labels::{LabelCodec, SepFieldCodec};
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let g = gen::random_connected(
+            self.nodes,
+            self.extra,
+            gen::WeightDist::Uniform {
+                max: self.max_weight,
+            },
+            &mut rng,
+        );
+        let mut cfg = mst_verification::core::mst_configuration(g);
+        // Labels certify the pre-fault MST: state/weight faults are
+        // what the certificate is supposed to catch.
+        let mut labeling = MstScheme::new()
+            .marker(&cfg)
+            .map_err(|e| format!("marker: {e}"))?;
+        match self.fault.as_str() {
+            "none" => {}
+            "weight" => {
+                faults::break_minimality(&mut cfg, &mut rng)
+                    .ok_or("graph admits no minimality-breaking weight fault")?;
+            }
+            "pointer" => {
+                faults::retarget_pointer(&mut cfg, &mut rng)
+                    .ok_or("graph admits no pointer fault")?;
+            }
+            "label" => {
+                let victim = NodeId(self.nodes as u32 / 2);
+                let mut labels = labeling.labels().to_vec();
+                labels[victim.index()].span.dist += 1;
+                let span_codec = SpanCodec::for_config(&cfg);
+                let gamma_codec = LabelCodec {
+                    sep_codec: SepFieldCodec::EliasGamma,
+                    omega_bits: cfg.graph().max_weight().bit_width(),
+                };
+                let encoded = labels
+                    .iter()
+                    .map(|l| encode_mst_label(l, span_codec, gamma_codec))
+                    .collect();
+                labeling = mst_verification::core::Labeling::new(labels, encoded);
+            }
+            other => return Err(format!("unknown fault kind {other:?}")),
+        }
+        Ok((cfg, labeling))
+    }
+}
+
+fn flag_f64(args: &[String], name: &str) -> Result<Option<f64>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} needs a value"))?;
+            let v: f64 = raw
+                .parse()
+                .map_err(|e| format!("bad value for {name}: {e}"))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be a probability in [0, 1]"));
+            }
+            Ok(Some(v))
+        }
+        None => Ok(None),
+    }
+}
+
+fn flag_str(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn print_net_run(run: &mst_verification::net::NetRun) {
+    println!("verdict: {}", run.verdict);
+    println!("cost: {}", run.cost.to_json());
+    if run.crash_restarts > 0 {
+        println!("crash-restarts: {}", run.crash_restarts);
+    }
+}
+
+fn cmd_net(args: &[String]) -> Result<(), String> {
+    use mst_verification::net::{
+        replay, run_verification, EventLog, FaultProfile, LossyLink, MstWireScheme, NetConfig,
+        PerfectLink,
+    };
+
+    if let Some(log_path) = flag_str(args, "--replay") {
+        let text = std::fs::read_to_string(&log_path)
+            .map_err(|e| format!("cannot read {log_path}: {e}"))?;
+        let log = EventLog::parse(&text).map_err(|e| e.to_string())?;
+        let params = NetInstanceParams::from_headers(&log)?;
+        let (cfg, labeling) = params.build()?;
+        let wire = MstWireScheme::for_config(&cfg);
+        let run = replay(&wire, &cfg, &labeling, &log).map_err(|e| e.to_string())?;
+        print_net_run(&run);
+        match &log.summary {
+            Some(summary) => {
+                if summary.rejecting == run.verdict.rejecting && summary.cost == run.cost {
+                    println!("replay: matches the recorded run (verdict and counts identical)");
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "replay diverges from the recorded run: recorded rejecting={:?} {}, \
+                         replayed rejecting={:?} {}",
+                        summary.rejecting,
+                        summary.cost.to_json(),
+                        run.verdict.rejecting,
+                        run.cost.to_json(),
+                    ))
+                }
+            }
+            None => {
+                println!("replay: log has no recorded summary to cross-check");
+                Ok(())
+            }
+        }
+    } else {
+        let nodes = flag_value(args, "--nodes")?.ok_or("--nodes is required")? as usize;
+        if nodes == 0 {
+            return Err("--nodes must be positive".to_owned());
+        }
+        let params = NetInstanceParams {
+            nodes,
+            extra: flag_value(args, "--extra")?.unwrap_or(2 * nodes as u64) as usize,
+            max_weight: flag_value(args, "--max-weight")?.unwrap_or(1000),
+            seed: flag_value(args, "--seed")?.unwrap_or(0),
+            fault: flag_str(args, "--fault").unwrap_or_else(|| "none".to_owned()),
+        };
+        let profile = FaultProfile {
+            drop: flag_f64(args, "--drop")?.unwrap_or(0.0),
+            duplicate: flag_f64(args, "--dup")?.unwrap_or(0.0),
+            max_delay: flag_value(args, "--delay")?.unwrap_or(0) as u32,
+            crash: flag_f64(args, "--crash")?.unwrap_or(0.0),
+            max_crashes: flag_value(args, "--max-crashes")?.unwrap_or(8),
+        };
+        let net = NetConfig {
+            max_rounds: flag_value(args, "--max-rounds")?.unwrap_or(10_000),
+        };
+        let (cfg, labeling) = params.build()?;
+        let wire = MstWireScheme::for_config(&cfg);
+        // The link RNG is decoupled from the instance RNG so the same
+        // topology can be rerun under different fault schedules.
+        let link_seed = params.seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut run = if profile.is_perfect() {
+            run_verification(&wire, &cfg, &labeling, &mut PerfectLink, net)
+        } else {
+            let mut link = LossyLink::new(profile, link_seed);
+            run_verification(&wire, &cfg, &labeling, &mut link, net)
+        }
+        .map_err(|e| e.to_string())?;
+        params.to_headers(&mut run.log);
+        run.log.push_header("drop", profile.drop);
+        run.log.push_header("dup", profile.duplicate);
+        run.log.push_header("delay", profile.max_delay);
+        run.log.push_header("crash", profile.crash);
+        run.log.push_header("max-crashes", profile.max_crashes);
+        run.log.push_header("link-seed", link_seed);
+        print_net_run(&run);
+        if let Some(path) = flag_str(args, "--log") {
+            std::fs::write(&path, run.log.to_string())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("log: {path} ({} events)", run.log.events.len());
+        }
+        Ok(())
+    }
 }
 
 fn cmd_dot(args: &[String]) -> Result<(), String> {

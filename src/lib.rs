@@ -14,6 +14,8 @@
 //! * [`labels`] — bit-exact implicit labeling schemes (`MAX`, `FLOW`),
 //! * [`core`] — the proof labeling schemes (`π_mst`, `π_Γ`, baselines),
 //! * [`distsim`] — a synchronous message-passing network simulator,
+//! * [`net`] — a concurrent runtime with lossy links, crash-restarts,
+//!   and deterministic event-log replay,
 //! * [`sensitivity`] — Tarjan's tree-sensitivity problem,
 //! * [`hypertree`] — the `(h, µ)`-hypertree lower-bound construction.
 //!
@@ -66,6 +68,36 @@
 //! println!("{}", session.metrics().to_json());
 //! ```
 //!
+//! # Verification over a faulty network
+//!
+//! The [`net`] runtime runs the one-round protocol with one thread per
+//! node and real serialized frames on the wire. A seeded
+//! [`net::LossyLink`] injects drops, delays, duplicates, and
+//! crash-restarts; the run's event log replays deterministically:
+//!
+//! ```
+//! use mst_verification::core::{mst_configuration, MstScheme, ProofLabelingScheme};
+//! use mst_verification::graph::gen;
+//! use mst_verification::net::{
+//!     replay, run_verification, FaultProfile, LossyLink, MstWireScheme, NetConfig,
+//! };
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let g = gen::random_connected(24, 30, gen::WeightDist::Uniform { max: 64 }, &mut rng);
+//! let cfg = mst_configuration(g);
+//! let labeling = MstScheme::new().marker(&cfg).unwrap();
+//! let wire = MstWireScheme::for_config(&cfg);
+//!
+//! let profile = FaultProfile { drop: 0.2, max_delay: 3, ..Default::default() };
+//! let mut link = LossyLink::new(profile, 7);
+//! let live = run_verification(&wire, &cfg, &labeling, &mut link, NetConfig::default()).unwrap();
+//! assert!(live.verdict.accepted());
+//!
+//! let again = replay(&wire, &cfg, &labeling, &live.log).unwrap();
+//! assert_eq!((again.verdict, again.cost), (live.verdict, live.cost));
+//! ```
+//!
 //! # Errors
 //!
 //! The framework reports failures through typed errors rather than
@@ -82,5 +114,6 @@ pub use mstv_graph as graph;
 pub use mstv_hypertree as hypertree;
 pub use mstv_labels as labels;
 pub use mstv_mst as mst;
+pub use mstv_net as net;
 pub use mstv_sensitivity as sensitivity;
 pub use mstv_trees as trees;

@@ -162,3 +162,47 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--nodes is required"));
 }
+
+#[test]
+fn net_runs_lossy_verification_and_replays_its_log() {
+    let dir = std::env::temp_dir().join(format!("mstv-cli-net-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("run.log");
+    let log_path = log_path.to_string_lossy();
+
+    let out = run_ok(
+        &[
+            "net", "--nodes", "32", "--extra", "48", "--drop", "0.2", "--dup", "0.1", "--delay",
+            "2", "--seed", "7", "--log", &log_path,
+        ],
+        &[],
+    );
+    assert!(out.contains("verdict: accepted by all 32 nodes"), "{out}");
+    assert!(out.contains("cost: {\"msgs\":"), "{out}");
+
+    let replayed = run_ok(&["net", "--replay", &log_path], &[]);
+    assert!(
+        replayed.contains("replay: matches the recorded run"),
+        "{replayed}"
+    );
+    // The replay reprints the same verdict and cost lines it recomputed.
+    for line in out.lines().take(2) {
+        assert!(replayed.contains(line), "missing {line:?} in {replayed}");
+    }
+}
+
+#[test]
+fn net_detects_injected_faults_on_the_wire() {
+    for fault in ["weight", "pointer", "label"] {
+        let out = run_ok(
+            &[
+                "net", "--nodes", "24", "--drop", "0.15", "--seed", "3", "--fault", fault,
+            ],
+            &[],
+        );
+        assert!(
+            out.contains("rejected at"),
+            "fault {fault} went undetected: {out}"
+        );
+    }
+}
