@@ -184,6 +184,116 @@ impl Histogram {
     }
 }
 
+/// Counters and gauges for a label-serving tier: cache behaviour and
+/// throughput of a batch query engine answering `MAX`/`FLOW`/`VerifyEdge`
+/// from stored labels (the `mstv-store` query engine, `mstv query --bench`,
+/// and the `exp_serve` experiment all report through this block).
+///
+/// Like [`SessionMetrics`], this is a plain struct — no atomics — that the
+/// engine's shards fill in privately and merge; the one-line
+/// [`ServeMetrics::to_json`] export keeps experiment scripts serde-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Queries answered (errors included — every routed query counts).
+    pub queries: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Worker shards that served the queries.
+    pub shards: u64,
+    /// Decoded-label cache hits across all shards.
+    pub cache_hits: u64,
+    /// Decoded-label cache misses (each miss decodes a label from bits).
+    pub cache_misses: u64,
+    /// Queries that surfaced a typed error instead of an answer.
+    pub errors: u64,
+    /// Wall-clock spent inside batch execution, in nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+impl ServeMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Merges another block into this one (shard counters are summed for
+    /// hits/misses/queries; `shards` takes the maximum so merging per-shard
+    /// blocks reports the fleet width, not the sum of ones).
+    pub fn merge(&mut self, other: &ServeMetrics) {
+        self.queries += other.queries;
+        self.batches += other.batches;
+        self.shards = self.shards.max(other.shards);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.errors += other.errors;
+        self.elapsed_nanos += other.elapsed_nanos;
+    }
+
+    /// Adds `d` to the batch-execution wall-clock.
+    pub fn add_elapsed(&mut self, d: Duration) {
+        self.elapsed_nanos = self.elapsed_nanos.saturating_add(d.as_nanos() as u64);
+    }
+
+    /// Cache hit ratio in `[0, 1]` (0.0 before any lookup).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The throughput gauge: queries per second of batch wall-clock
+    /// (0.0 before any timed batch runs).
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.elapsed_nanos as f64 / 1e9)
+        }
+    }
+
+    /// One-line JSON export of every counter plus the derived gauges.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queries\":{},\"batches\":{},\"shards\":{},\"cache_hits\":{},\
+             \"cache_misses\":{},\"hit_ratio\":{:.4},\"errors\":{},\
+             \"elapsed_nanos\":{},\"queries_per_sec\":{:.1}}}",
+            self.queries,
+            self.batches,
+            self.shards,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_ratio(),
+            self.errors,
+            self.elapsed_nanos,
+            self.queries_per_sec(),
+        )
+    }
+}
+
+impl AddAssign for ServeMetrics {
+    fn add_assign(&mut self, rhs: ServeMetrics) {
+        self.merge(&rhs);
+    }
+}
+
+impl fmt::Display for ServeMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queries in {} batches over {} shards: {:.0} q/s, {:.1}% cache hits, {} errors",
+            self.queries,
+            self.batches,
+            self.shards,
+            self.queries_per_sec(),
+            self.hit_ratio() * 100.0,
+            self.errors,
+        )
+    }
+}
+
 /// Counters and timings collected over the lifetime of one
 /// [`crate::session::VerifySession`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -356,6 +466,44 @@ mod tests {
         assert!(json.contains("\"skip_ratio\":0.9000"));
         assert!(json.contains("\"marker_nanos\":15000"));
         assert!(json.contains("\"frontier_sizes\":{\"count\":2"));
+    }
+
+    #[test]
+    fn serve_metrics_gauges_and_json() {
+        let mut m = ServeMetrics::new();
+        m.queries = 1000;
+        m.batches = 2;
+        m.shards = 4;
+        m.cache_hits = 750;
+        m.cache_misses = 250;
+        m.add_elapsed(Duration::from_millis(500));
+        assert!((m.hit_ratio() - 0.75).abs() < 1e-9);
+        assert!((m.queries_per_sec() - 2000.0).abs() < 1e-6);
+        let json = m.to_json();
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"queries\":1000"));
+        assert!(json.contains("\"hit_ratio\":0.7500"));
+        assert!(json.contains("\"queries_per_sec\":2000.0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Merging per-shard blocks: counts sum, shard width is a max.
+        let mut total = ServeMetrics {
+            shards: 4,
+            ..ServeMetrics::new()
+        };
+        total += m;
+        total.merge(&m);
+        assert_eq!(total.queries, 2000);
+        assert_eq!(total.shards, 4);
+        assert_eq!(total.cache_hits, 1500);
+        assert!(total.to_string().contains("q/s"));
+    }
+
+    #[test]
+    fn serve_metrics_zero_safe() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.hit_ratio(), 0.0);
+        assert_eq!(m.queries_per_sec(), 0.0);
+        assert!(m.to_json().contains("\"queries_per_sec\":0.0"));
     }
 
     #[test]

@@ -21,7 +21,8 @@ use mstv_graph::{NodeId, Weight};
 use mstv_trees::{centroid_decomposition, RootedTree, SeparatorDecomposition};
 
 use crate::{
-    decode_flow, decode_max, flow_labels, max_labels, BitString, FlowLabel, MaxLabel, FLOW_INFINITY,
+    decode_flow, decode_max, flow_labels, max_labels, BitString, DistLabel, FlowLabel, MaxLabel,
+    FLOW_INFINITY,
 };
 
 /// How separator-path fields are written.
@@ -145,6 +146,68 @@ impl LabelCodec {
             omega.push(Weight(r.try_read_bits(self.omega_bits)?));
         }
         Some(MaxLabel { sep, omega })
+    }
+
+    /// Non-panicking [`LabelCodec::decode_max_label`]: decodes a whole
+    /// bit string as one `MAX` label, rejecting truncated streams and
+    /// trailing garbage — the shape snapshot loaders want, where every
+    /// record claims to be exactly one label.
+    pub fn try_decode_max_label(&self, bits: &BitString) -> Option<MaxLabel> {
+        let mut r = bits.reader();
+        let label = self.try_decode_max_from(&mut r)?;
+        (r.remaining() == 0).then_some(label)
+    }
+
+    /// Non-panicking `FLOW` twin of [`LabelCodec::try_decode_max_from`]:
+    /// returns `None` on a truncated or implausible stream, for
+    /// validating untrusted frames and snapshot records.
+    pub fn try_decode_flow_from(&self, r: &mut crate::BitReader<'_>) -> Option<FlowLabel> {
+        let l = r.try_read_elias_gamma()? as usize;
+        if l == 0 || l > r.remaining() + 1 {
+            return None;
+        }
+        let mut sep = Vec::with_capacity(l);
+        sep.push(0);
+        for _ in 1..l {
+            sep.push(self.try_read_sep_field(r)?);
+        }
+        let mut phi = Vec::with_capacity(l);
+        for _ in 0..l {
+            let raw = r.try_read_bits(self.omega_bits)?;
+            phi.push(if raw == 0 { FLOW_INFINITY } else { Weight(raw) });
+        }
+        Some(FlowLabel { sep, phi })
+    }
+
+    /// Non-panicking [`LabelCodec::decode_flow_label`]: one whole bit
+    /// string, no trailing garbage.
+    pub fn try_decode_flow_label(&self, bits: &BitString) -> Option<FlowLabel> {
+        let mut r = bits.reader();
+        let label = self.try_decode_flow_from(&mut r)?;
+        (r.remaining() == 0).then_some(label)
+    }
+
+    /// Non-panicking decoder for the distance labels written by
+    /// [`ImplicitDistScheme`]: the separator fields follow this codec's
+    /// `sep_codec`, the `δ` fields are `delta_bits` wide (the scheme's
+    /// own width, carried separately because distances are bounded by
+    /// `n·W`, not `W`). Rejects truncated streams and trailing garbage.
+    pub fn try_decode_dist_label(&self, bits: &BitString, delta_bits: u32) -> Option<DistLabel> {
+        let mut r = bits.reader();
+        let l = r.try_read_elias_gamma()? as usize;
+        if l == 0 || l > r.remaining() + 1 {
+            return None;
+        }
+        let mut sep = Vec::with_capacity(l);
+        sep.push(0);
+        for _ in 1..l {
+            sep.push(self.try_read_sep_field(&mut r)?);
+        }
+        let mut delta = Vec::with_capacity(l);
+        for _ in 0..l {
+            delta.push(r.try_read_bits(delta_bits)?);
+        }
+        (r.remaining() == 0).then_some(DistLabel { sep, delta })
     }
 
     /// Serializes a `FLOW` label; the neutral `+∞` is written as the
@@ -402,6 +465,46 @@ mod tests {
                 assert_eq!(decode_max(&a, &b), t.max_on_path_naive(u, v));
             }
         }
+    }
+
+    #[test]
+    fn try_decoders_roundtrip_and_reject_garbage() {
+        let t = tree_of(60, 700, 12);
+        let max_scheme = ImplicitMaxScheme::gamma_small(&t);
+        let flow_scheme = ImplicitFlowScheme::gamma_small(&t);
+        let dist_scheme = crate::ImplicitDistScheme::gamma_small(&t);
+        let codec = max_scheme.codec();
+        for v in t.nodes() {
+            assert_eq!(
+                codec.try_decode_max_label(max_scheme.encoded(v)).as_ref(),
+                Some(max_scheme.label(v))
+            );
+            assert_eq!(
+                codec.try_decode_flow_label(flow_scheme.encoded(v)).as_ref(),
+                Some(flow_scheme.label(v))
+            );
+            assert_eq!(
+                codec
+                    .try_decode_dist_label(dist_scheme.encoded(v), dist_scheme.delta_bits())
+                    .as_ref(),
+                Some(dist_scheme.label(v))
+            );
+        }
+        // Trailing garbage after a well-formed label is rejected.
+        let mut padded = max_scheme.encoded(NodeId(3)).clone();
+        padded.push(true);
+        assert_eq!(codec.try_decode_max_label(&padded), None);
+        let mut padded = flow_scheme.encoded(NodeId(3)).clone();
+        padded.push(true);
+        assert_eq!(codec.try_decode_flow_label(&padded), None);
+        // Truncated streams are rejected, never panic.
+        let enc = flow_scheme.encoded(NodeId(5));
+        let mut cut = BitString::new();
+        for i in 0..enc.len() / 2 {
+            cut.push(enc.get(i));
+        }
+        assert_eq!(codec.try_decode_flow_label(&cut), None);
+        assert_eq!(codec.try_decode_max_label(&BitString::new()), None);
     }
 
     #[test]

@@ -85,6 +85,17 @@ pub fn decode_dist(a: &DistLabel, b: &DistLabel) -> u64 {
     a.delta[cp - 1] + b.delta[cp - 1]
 }
 
+/// Non-panicking variant of [`decode_dist`] for untrusted labels: `None`
+/// when the labels share no prefix field, a prefix overruns either `δ`
+/// sublabel, or the sum overflows.
+pub fn try_decode_dist(a: &DistLabel, b: &DistLabel) -> Option<u64> {
+    let cp = common_prefix(&a.sep, &b.sep);
+    if cp == 0 || cp > a.delta.len() || cp > b.delta.len() {
+        return None;
+    }
+    a.delta[cp - 1].checked_add(b.delta[cp - 1])
+}
+
 /// A fully materialized implicit distance scheme with exact bit sizes;
 /// mirrors [`crate::ImplicitMaxScheme`].
 #[derive(Debug, Clone)]

@@ -69,6 +69,18 @@ pub fn decode_flow(a: &FlowLabel, b: &FlowLabel) -> Weight {
     a.phi[cp - 1].min(b.phi[cp - 1])
 }
 
+/// Non-panicking variant of [`decode_flow`] for callers confronting
+/// untrusted labels (adversarial verifiers, foreign snapshots): `None`
+/// when the labels share no prefix field or a prefix points past either
+/// `φ` sublabel.
+pub fn try_decode_flow(a: &FlowLabel, b: &FlowLabel) -> Option<Weight> {
+    let cp = common_prefix(&a.sep, &b.sep);
+    if cp == 0 || cp > a.phi.len() || cp > b.phi.len() {
+        return None;
+    }
+    Some(a.phi[cp - 1].min(b.phi[cp - 1]))
+}
+
 /// Whole-tree `FLOW` oracle for tests and benchmarks.
 #[derive(Debug, Clone)]
 pub struct FlowLabelOracle {
@@ -154,6 +166,33 @@ mod tests {
         let d = centroid_decomposition(&t);
         let oracle = FlowLabelOracle::new(&t, &d);
         assert_eq!(oracle.query(NodeId(3), NodeId(3)), FLOW_INFINITY);
+    }
+
+    #[test]
+    fn try_decode_matches_decode_and_rejects_foreign() {
+        let t = tree_of(30, 40, 47);
+        let d = centroid_decomposition(&t);
+        let oracle = FlowLabelOracle::new(&t, &d);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                assert_eq!(
+                    try_decode_flow(oracle.label(u), oracle.label(v)),
+                    Some(oracle.query(u, v))
+                );
+            }
+        }
+        // Labels with no shared prefix field come from different schemes.
+        let foreign = FlowLabel {
+            sep: vec![99],
+            phi: vec![FLOW_INFINITY],
+        };
+        assert_eq!(try_decode_flow(oracle.label(NodeId(0)), &foreign), None);
+        // A plausible prefix that overruns a truncated phi sublabel.
+        let truncated = FlowLabel {
+            sep: vec![0, 1],
+            phi: vec![],
+        };
+        assert_eq!(try_decode_flow(&truncated, oracle.label(NodeId(0))), None);
     }
 
     #[test]

@@ -39,8 +39,13 @@ fn check_with(
     if !graph.is_spanning_tree(tree_edges) {
         return MstVerdict::NotSpanningTree;
     }
-    let tree = RootedTree::from_graph_edges(graph, tree_edges, root_of(tree_edges, graph))
-        .expect("spanning tree was just validated");
+    // `is_spanning_tree` passed, but degenerate inputs (an empty graph,
+    // ids from a foreign snapshot) can still fail tree construction;
+    // reject them instead of panicking.
+    let Ok(tree) = RootedTree::from_graph_edges(graph, tree_edges, root_of(tree_edges, graph))
+    else {
+        return MstVerdict::NotSpanningTree;
+    };
     let mut in_tree = vec![false; graph.num_edges()];
     for &e in tree_edges {
         in_tree[e.index()] = true;
@@ -68,8 +73,13 @@ pub fn check_mst(graph: &Graph, tree_edges: &[EdgeId]) -> MstVerdict {
     if !graph.is_spanning_tree(tree_edges) {
         return MstVerdict::NotSpanningTree;
     }
-    let tree = RootedTree::from_graph_edges(graph, tree_edges, root_of(tree_edges, graph))
-        .expect("spanning tree was just validated");
+    // `is_spanning_tree` passed, but degenerate inputs (an empty graph,
+    // ids from a foreign snapshot) can still fail tree construction;
+    // reject them instead of panicking.
+    let Ok(tree) = RootedTree::from_graph_edges(graph, tree_edges, root_of(tree_edges, graph))
+    else {
+        return MstVerdict::NotSpanningTree;
+    };
     let kt = KruskalTree::new(&tree);
     let mut in_tree = vec![false; graph.num_edges()];
     for &e in tree_edges {
@@ -104,8 +114,13 @@ pub fn check_mst_lifting(graph: &Graph, tree_edges: &[EdgeId]) -> MstVerdict {
     if !graph.is_spanning_tree(tree_edges) {
         return MstVerdict::NotSpanningTree;
     }
-    let tree = RootedTree::from_graph_edges(graph, tree_edges, root_of(tree_edges, graph))
-        .expect("spanning tree was just validated");
+    // `is_spanning_tree` passed, but degenerate inputs (an empty graph,
+    // ids from a foreign snapshot) can still fail tree construction;
+    // reject them instead of panicking.
+    let Ok(tree) = RootedTree::from_graph_edges(graph, tree_edges, root_of(tree_edges, graph))
+    else {
+        return MstVerdict::NotSpanningTree;
+    };
     let idx = PathMaxIndex::new(&tree);
     let mut in_tree = vec![false; graph.num_edges()];
     for &e in tree_edges {
@@ -163,8 +178,10 @@ pub fn is_max_spanning_tree(graph: &Graph, tree_edges: &[EdgeId]) -> bool {
     if !graph.is_spanning_tree(tree_edges) {
         return false;
     }
-    let tree = RootedTree::from_graph_edges(graph, tree_edges, root_of(tree_edges, graph))
-        .expect("spanning tree was just validated");
+    let Ok(tree) = RootedTree::from_graph_edges(graph, tree_edges, root_of(tree_edges, graph))
+    else {
+        return false;
+    };
     let idx = PathMaxIndex::new(&tree);
     let mut in_tree = vec![false; graph.num_edges()];
     for &e in tree_edges {

@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3) over byte slices.
+//!
+//! The snapshot container checksums every section payload so bit flips
+//! are caught at load time instead of surfacing as wrong query answers.
+//! The polynomial is the ubiquitous reflected `0xEDB88320`; the table is
+//! built at compile time, so there is no runtime initialisation and no
+//! external dependency.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"some snapshot payload");
+        let mut tampered = b"some snapshot payload".to_vec();
+        for byte in 0..tampered.len() {
+            for bit in 0..8 {
+                tampered[byte] ^= 1 << bit;
+                assert_ne!(crc32(&tampered), base, "flip at {byte}.{bit} undetected");
+                tampered[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! The sharded, cache-fronted query engine over a loaded snapshot.
+//!
+//! One [`QueryEngine`] owns a [`Snapshot`] and answers `MAX`, `FLOW`,
+//! `DIST`, and `VerifyEdge` queries purely from the stored label stack —
+//! the point of the paper's implicit schemes is that two labels suffice,
+//! so the engine never materialises the tree. Node-id space is
+//! partitioned across shards (`u mod shards`); each shard fronts the
+//! bit-level decoder with per-kind [`LruCache`]s of decoded labels, so a
+//! hot node costs a hash lookup instead of an Elias-gamma walk.
+//!
+//! Batches fan out with scoped threads, one per non-empty shard, and
+//! results come back in input order. All failures are typed
+//! [`StoreError`]s: unknown node ids, undecodable records, and foreign
+//! label pairs are answers, not panics.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mstv_core::ServeMetrics;
+use mstv_graph::{NodeId, Weight};
+use mstv_labels::{
+    try_decode_dist, try_decode_flow, try_decode_max, DistLabel, FlowLabel, MaxLabel, FLOW_INFINITY,
+};
+
+use crate::{LruCache, Snapshot, StoreError};
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of shards (threads) a batch fans out over; clamped to ≥ 1.
+    pub shards: usize,
+    /// Decoded-label LRU capacity per shard *per label kind*; 0 disables
+    /// caching, giving a decode-every-time baseline.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 4,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// A single query against the label store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// `MAX(u, v)`: the heaviest edge on the tree path.
+    Max {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// `FLOW(u, v)`: the lightest edge on the tree path.
+    Flow {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// `DIST(u, v)`: the weighted path length.
+    Dist {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// The MST cycle check for a non-tree edge `(u, v)` of weight `w`:
+    /// accepted iff `w ≥ MAX(u, v)`.
+    VerifyEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+        /// The non-tree edge's weight.
+        w: Weight,
+    },
+}
+
+impl Query {
+    /// The endpoint that picks the serving shard.
+    fn primary(&self) -> NodeId {
+        match *self {
+            Query::Max { u, .. }
+            | Query::Flow { u, .. }
+            | Query::Dist { u, .. }
+            | Query::VerifyEdge { u, .. } => u,
+        }
+    }
+}
+
+/// A successful query result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Answer {
+    /// The path maximum (`Weight::ZERO` for `u == v`).
+    Max(Weight),
+    /// The path minimum ([`FLOW_INFINITY`] for `u == v`).
+    Flow(Weight),
+    /// The weighted distance.
+    Dist(u64),
+    /// The cycle-check verdict.
+    VerifyEdge {
+        /// Whether the edge passed (`w ≥ MAX(u, v)`).
+        accept: bool,
+        /// The path maximum the weight was compared against.
+        max_on_path: Weight,
+    },
+}
+
+struct Shard {
+    max: LruCache<Arc<MaxLabel>>,
+    flow: LruCache<Arc<FlowLabel>>,
+    dist: LruCache<Arc<DistLabel>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            max: LruCache::new(capacity),
+            flow: LruCache::new(capacity),
+            dist: LruCache::new(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// A multi-threaded query service over one loaded [`Snapshot`].
+pub struct QueryEngine {
+    snap: Snapshot,
+    shards: Vec<Mutex<Shard>>,
+    agg: Mutex<ServeMetrics>,
+}
+
+impl QueryEngine {
+    /// Wraps a loaded snapshot in a serving engine.
+    pub fn new(snap: Snapshot, config: EngineConfig) -> QueryEngine {
+        let shards = config.shards.max(1);
+        QueryEngine {
+            snap,
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(config.cache_capacity)))
+                .collect(),
+            agg: Mutex::new(ServeMetrics::new()),
+        }
+    }
+
+    /// The snapshot being served.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
+    }
+
+    /// Number of shards the engine fans out over.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Answers one query.
+    ///
+    /// # Errors
+    ///
+    /// See [`QueryEngine::run_batch`].
+    pub fn query(&self, q: Query) -> Result<Answer, StoreError> {
+        self.run_batch(std::slice::from_ref(&q))
+            .pop()
+            .expect("one query in, one answer out")
+    }
+
+    /// Answers a batch, fanning out across shards; results are returned
+    /// in input order, one per query.
+    ///
+    /// # Errors
+    ///
+    /// Per-query (the batch itself never fails):
+    /// [`StoreError::UnknownNode`] for an endpoint the snapshot carries
+    /// no label for, [`StoreError::CorruptLabel`] when a stored record
+    /// does not decode, [`StoreError::LabelMismatch`] when two labels
+    /// come from different schemes, and [`StoreError::MissingSection`]
+    /// for `Dist` queries against a snapshot without a dist section.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<Answer, StoreError>> {
+        let start = Instant::now();
+        let ns = self.shards.len();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); ns];
+        for (i, q) in queries.iter().enumerate() {
+            buckets[q.primary().0 as usize % ns].push(i);
+        }
+        let mut results: Vec<Option<Result<Answer, StoreError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        if ns == 1 {
+            let mut shard = self.shards[0].lock().expect("shard poisoned");
+            for &i in &buckets[0] {
+                results[i] = Some(self.answer(&mut shard, &queries[i]));
+            }
+        } else {
+            let per_shard: Vec<Vec<(usize, Result<Answer, StoreError>)>> =
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, bucket)| !bucket.is_empty())
+                        .map(|(si, bucket)| {
+                            scope.spawn(move || {
+                                let mut shard = self.shards[si].lock().expect("shard poisoned");
+                                bucket
+                                    .iter()
+                                    .map(|&i| (i, self.answer(&mut shard, &queries[i])))
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .map(|w| w.join().expect("shard worker panicked"))
+                        .collect()
+                });
+            for pairs in per_shard {
+                for (i, r) in pairs {
+                    results[i] = Some(r);
+                }
+            }
+        }
+        let errors = results.iter().filter(|r| matches!(r, Some(Err(_)))).count() as u64;
+        let mut agg = self.agg.lock().expect("metrics poisoned");
+        agg.queries += queries.len() as u64;
+        agg.batches += 1;
+        agg.errors += errors;
+        agg.add_elapsed(start.elapsed());
+        drop(agg);
+        results
+            .into_iter()
+            .map(|r| r.expect("every query was routed to a shard"))
+            .collect()
+    }
+
+    /// A point-in-time snapshot of the serving counters, aggregated
+    /// across shards.
+    pub fn metrics(&self) -> ServeMetrics {
+        let mut m = *self.agg.lock().expect("metrics poisoned");
+        m.shards = self.shards.len() as u64;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            m.cache_hits += shard.hits;
+            m.cache_misses += shard.misses;
+        }
+        m
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), StoreError> {
+        if v.0 >= self.snap.num_nodes() {
+            return Err(StoreError::UnknownNode {
+                node: v.0,
+                nodes: self.snap.num_nodes(),
+            });
+        }
+        Ok(())
+    }
+
+    fn answer(&self, shard: &mut Shard, q: &Query) -> Result<Answer, StoreError> {
+        let mismatch = |u: NodeId, v: NodeId| StoreError::LabelMismatch { u: u.0, v: v.0 };
+        match *q {
+            Query::Max { u, v } => Ok(Answer::Max(self.max_of(shard, u, v)?)),
+            Query::Flow { u, v } => {
+                if u == v {
+                    self.check_node(u)?;
+                    return Ok(Answer::Flow(FLOW_INFINITY));
+                }
+                let a = self.flow_label(shard, u)?;
+                let b = self.flow_label(shard, v)?;
+                let w = try_decode_flow(&a, &b).ok_or_else(|| mismatch(u, v))?;
+                Ok(Answer::Flow(w))
+            }
+            Query::Dist { u, v } => {
+                if self.snap.dist().is_none() {
+                    return Err(StoreError::MissingSection { section: "dist" });
+                }
+                if u == v {
+                    self.check_node(u)?;
+                    return Ok(Answer::Dist(0));
+                }
+                let a = self.dist_label(shard, u)?;
+                let b = self.dist_label(shard, v)?;
+                let d = try_decode_dist(&a, &b).ok_or_else(|| mismatch(u, v))?;
+                Ok(Answer::Dist(d))
+            }
+            Query::VerifyEdge { u, v, w } => {
+                let max_on_path = self.max_of(shard, u, v)?;
+                Ok(Answer::VerifyEdge {
+                    accept: w >= max_on_path,
+                    max_on_path,
+                })
+            }
+        }
+    }
+
+    fn max_of(&self, shard: &mut Shard, u: NodeId, v: NodeId) -> Result<Weight, StoreError> {
+        if u == v {
+            self.check_node(u)?;
+            return Ok(Weight::ZERO);
+        }
+        let a = self.max_label(shard, u)?;
+        let b = self.max_label(shard, v)?;
+        try_decode_max(&a, &b).ok_or(StoreError::LabelMismatch { u: u.0, v: v.0 })
+    }
+
+    fn max_label(&self, shard: &mut Shard, v: NodeId) -> Result<Arc<MaxLabel>, StoreError> {
+        self.check_node(v)?;
+        if let Some(label) = shard.max.get(v.0) {
+            shard.hits += 1;
+            return Ok(label);
+        }
+        shard.misses += 1;
+        let label = Arc::new(
+            self.snap
+                .codec()
+                .try_decode_max_label(&self.snap.max_labels()[v.0 as usize])
+                .ok_or(StoreError::CorruptLabel {
+                    section: "max",
+                    node: v.0,
+                })?,
+        );
+        shard.max.insert(v.0, Arc::clone(&label));
+        Ok(label)
+    }
+
+    fn flow_label(&self, shard: &mut Shard, v: NodeId) -> Result<Arc<FlowLabel>, StoreError> {
+        self.check_node(v)?;
+        if let Some(label) = shard.flow.get(v.0) {
+            shard.hits += 1;
+            return Ok(label);
+        }
+        shard.misses += 1;
+        let label = Arc::new(
+            self.snap
+                .codec()
+                .try_decode_flow_label(&self.snap.flow_labels()[v.0 as usize])
+                .ok_or(StoreError::CorruptLabel {
+                    section: "flow",
+                    node: v.0,
+                })?,
+        );
+        shard.flow.insert(v.0, Arc::clone(&label));
+        Ok(label)
+    }
+
+    fn dist_label(&self, shard: &mut Shard, v: NodeId) -> Result<Arc<DistLabel>, StoreError> {
+        self.check_node(v)?;
+        if let Some(label) = shard.dist.get(v.0) {
+            shard.hits += 1;
+            return Ok(label);
+        }
+        shard.misses += 1;
+        let dist = self
+            .snap
+            .dist()
+            .ok_or(StoreError::MissingSection { section: "dist" })?;
+        let label = Arc::new(
+            self.snap
+                .codec()
+                .try_decode_dist_label(&dist.labels[v.0 as usize], dist.delta_bits)
+                .ok_or(StoreError::CorruptLabel {
+                    section: "dist",
+                    node: v.0,
+                })?,
+        );
+        shard.dist.insert(v.0, Arc::clone(&label));
+        Ok(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_labels::SepFieldCodec;
+    use mstv_trees::{PathMaxIndex, RootedTree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree_of(n: usize, max_w: u64, seed: u64) -> RootedTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = mstv_graph::gen::random_tree(
+            n,
+            mstv_graph::gen::WeightDist::Uniform { max: max_w },
+            &mut rng,
+        );
+        RootedTree::from_graph(&g, NodeId(0)).unwrap()
+    }
+
+    fn engine_of(tree: &RootedTree, shards: usize, cache: usize) -> QueryEngine {
+        let snap = Snapshot::build(tree, SepFieldCodec::EliasGamma);
+        QueryEngine::new(
+            snap,
+            EngineConfig {
+                shards,
+                cache_capacity: cache,
+            },
+        )
+    }
+
+    #[test]
+    fn answers_match_tree_oracle_across_shard_counts() {
+        let t = tree_of(150, 700, 11);
+        let idx = PathMaxIndex::new(&t);
+        let mut wdepth = vec![0u64; t.num_nodes()];
+        for &v in t.order() {
+            if let Some(p) = t.parent(v) {
+                wdepth[v.index()] = wdepth[p.index()] + t.parent_weight(v).0;
+            }
+        }
+        let mut queries = Vec::new();
+        for i in (0..150u32).step_by(4) {
+            for j in (1..150u32).step_by(7) {
+                let (u, v) = (NodeId(i), NodeId(j));
+                queries.push(Query::Max { u, v });
+                queries.push(Query::Flow { u, v });
+                queries.push(Query::Dist { u, v });
+                queries.push(Query::VerifyEdge {
+                    u,
+                    v,
+                    w: Weight(u64::from(i) * 13 % 700),
+                });
+            }
+        }
+        for shards in [1usize, 2, 4, 8] {
+            let engine = engine_of(&t, shards, 64);
+            let answers = engine.run_batch(&queries);
+            assert_eq!(answers.len(), queries.len());
+            for (q, a) in queries.iter().zip(&answers) {
+                let a = a.as_ref().expect("in-range queries succeed");
+                match (*q, *a) {
+                    (Query::Max { u, v }, Answer::Max(w)) => {
+                        let want = if u == v {
+                            Weight::ZERO
+                        } else {
+                            idx.max_on_path(u, v)
+                        };
+                        assert_eq!(w, want, "MAX({u}, {v}) shards={shards}");
+                    }
+                    (Query::Flow { u, v }, Answer::Flow(w)) => {
+                        let want = if u == v {
+                            FLOW_INFINITY
+                        } else {
+                            idx.min_on_path(u, v)
+                        };
+                        assert_eq!(w, want, "FLOW({u}, {v}) shards={shards}");
+                    }
+                    (Query::Dist { u, v }, Answer::Dist(d)) => {
+                        let x = idx.lca(u, v);
+                        let want = wdepth[u.index()] + wdepth[v.index()] - 2 * wdepth[x.index()];
+                        assert_eq!(d, want, "DIST({u}, {v}) shards={shards}");
+                    }
+                    (
+                        Query::VerifyEdge { u, v, w },
+                        Answer::VerifyEdge {
+                            accept,
+                            max_on_path,
+                        },
+                    ) => {
+                        let want = if u == v {
+                            Weight::ZERO
+                        } else {
+                            idx.max_on_path(u, v)
+                        };
+                        assert_eq!(max_on_path, want);
+                        assert_eq!(accept, w >= want, "verify({u}, {v}, {w})");
+                    }
+                    other => panic!("answer kind mismatch: {other:?}"),
+                }
+            }
+            let m = engine.metrics();
+            assert_eq!(m.queries, queries.len() as u64);
+            assert_eq!(m.batches, 1);
+            assert_eq!(m.shards, shards as u64);
+            assert_eq!(m.errors, 0);
+            assert!(m.cache_misses > 0);
+            assert!(
+                m.cache_hits > 0,
+                "repeated endpoints must hit the cache (shards={shards})"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_nodes_are_typed_errors_not_panics() {
+        let t = tree_of(10, 50, 12);
+        let engine = engine_of(&t, 2, 8);
+        for q in [
+            Query::Max {
+                u: NodeId(10),
+                v: NodeId(0),
+            },
+            Query::Flow {
+                u: NodeId(0),
+                v: NodeId(u32::MAX),
+            },
+            Query::Dist {
+                u: NodeId(99),
+                v: NodeId(99),
+            },
+            Query::VerifyEdge {
+                u: NodeId(3),
+                v: NodeId(11),
+                w: Weight(1),
+            },
+        ] {
+            assert!(
+                matches!(engine.query(q), Err(StoreError::UnknownNode { .. })),
+                "{q:?} should name the unknown node"
+            );
+        }
+        assert_eq!(engine.metrics().errors, 4);
+    }
+
+    #[test]
+    fn dist_without_section_is_missing_section() {
+        let t = tree_of(20, 50, 13);
+        let mut snap = Snapshot::build(&t, SepFieldCodec::EliasGamma);
+        snap.strip_dist();
+        let engine = QueryEngine::new(snap, EngineConfig::default());
+        assert!(matches!(
+            engine.query(Query::Dist {
+                u: NodeId(1),
+                v: NodeId(2)
+            }),
+            Err(StoreError::MissingSection { section: "dist" })
+        ));
+        // The mandatory sections still serve.
+        assert!(engine
+            .query(Query::Max {
+                u: NodeId(1),
+                v: NodeId(2)
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn corrupt_record_is_reported_per_query() {
+        let t = tree_of(30, 90, 14);
+        let mut snap = Snapshot::build(&t, SepFieldCodec::EliasGamma);
+        snap.corrupt_max_label_for_test(NodeId(7));
+        let engine = QueryEngine::new(snap, EngineConfig::default());
+        assert!(matches!(
+            engine.query(Query::Max {
+                u: NodeId(7),
+                v: NodeId(2)
+            }),
+            Err(StoreError::CorruptLabel {
+                section: "max",
+                node: 7
+            })
+        ));
+        // Other nodes are unaffected.
+        assert!(engine
+            .query(Query::Max {
+                u: NodeId(3),
+                v: NodeId(2)
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_cache_still_correct() {
+        let t = tree_of(40, 200, 15);
+        let idx = PathMaxIndex::new(&t);
+        let engine = engine_of(&t, 3, 0);
+        for (u, v) in [(0u32, 39u32), (5, 5), (17, 23)] {
+            let (u, v) = (NodeId(u), NodeId(v));
+            let want = if u == v {
+                Weight::ZERO
+            } else {
+                idx.max_on_path(u, v)
+            };
+            assert_eq!(
+                engine.query(Query::Max { u, v }).unwrap(),
+                Answer::Max(want)
+            );
+        }
+        let m = engine.metrics();
+        assert_eq!(m.cache_hits, 0, "capacity 0 must never hit");
+        assert!(m.cache_misses > 0);
+    }
+}

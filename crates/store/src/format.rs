@@ -1,0 +1,753 @@
+//! The versioned binary snapshot container.
+//!
+//! A snapshot persists everything the serving tier needs to answer
+//! `MAX`/`FLOW`/`DIST`/`VerifyEdge` queries for one marked tree: the tree
+//! itself plus the full encoded label stack. All integers are
+//! little-endian; every section payload carries a CRC32 so bit flips are
+//! rejected at load time with a typed [`StoreError`], never served as a
+//! wrong answer.
+//!
+//! ```text
+//! offset size  field
+//! 0      8     magic  "MSTVSNAP"
+//! 8      2     version (= 1)
+//! 10     2     reserved (= 0)
+//! 12     4     header length H
+//! 16     4     header CRC32
+//! 20     H     header: n u32 · root u32 · max_weight u64 · sep_codec u8
+//!              · sep_bits u32 · omega_bits u32 · section count u32
+//! then, per section:
+//!        1     tag (1 = tree, 2 = max, 3 = flow, 4 = dist)
+//!        8     payload length
+//!        4     payload CRC32
+//!        ...   payload
+//! ```
+//!
+//! The tree payload is `n` records of `parent u32` (`0xFFFF_FFFF` at the
+//! root) and `weight u64`. Label payloads are `n` length-prefixed records
+//! (`bit_len u32`, then `⌈bit_len/8⌉` bytes from
+//! [`BitString::to_bytes`]); the dist payload additionally opens with its
+//! `delta_bits u32` field width. Tree, max, and flow sections are
+//! mandatory; dist is optional. Unknown tags are rejected — version 1
+//! files contain exactly these sections.
+
+use std::path::Path;
+
+use mstv_graph::{NodeId, Weight};
+use mstv_labels::{
+    BitString, ImplicitDistScheme, ImplicitFlowScheme, ImplicitMaxScheme, LabelCodec, SepFieldCodec,
+};
+use mstv_trees::{centroid_decomposition, PathMaxIndex, RootedTree};
+
+use crate::crc::crc32;
+use crate::StoreError;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"MSTVSNAP";
+
+/// The container version this code writes and reads.
+pub const VERSION: u16 = 1;
+
+/// Parent sentinel for the root node in the tree section.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Largest label record accepted on read (bits). Labels are
+/// `O(log n · log W)`, so even pathological trees stay far below this;
+/// the cap keeps a corrupted length prefix from driving allocations.
+const MAX_LABEL_BITS: u32 = 1 << 26;
+
+mod tag {
+    pub const TREE: u8 = 1;
+    pub const MAX: u8 = 2;
+    pub const FLOW: u8 = 3;
+    pub const DIST: u8 = 4;
+}
+
+/// The optional distance-label section: `δ` fields are wider than `ω`
+/// fields (distances are bounded by `n·W`), so the section carries its
+/// own field width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistSection {
+    /// Width of each `δ` field in bits.
+    pub delta_bits: u32,
+    /// Encoded distance label per node.
+    pub labels: Vec<BitString>,
+}
+
+/// What `fsck` verified, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Nodes in the snapshot.
+    pub nodes: u32,
+    /// Whether a dist section was present and checked.
+    pub has_dist: bool,
+    /// Largest encoded label across all sections, in bits.
+    pub max_label_bits: usize,
+    /// Total encoded label volume, in bits.
+    pub total_label_bits: usize,
+    /// Node pairs cross-checked against the tree oracle.
+    pub pairs_checked: usize,
+}
+
+/// An in-memory label snapshot: one marked tree plus its full label
+/// stack, exactly what [`Snapshot::to_bytes`] persists and
+/// [`Snapshot::from_bytes`] restores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    root: NodeId,
+    max_weight: Weight,
+    codec: LabelCodec,
+    parents: Vec<Option<(NodeId, Weight)>>,
+    max_labels: Vec<BitString>,
+    flow_labels: Vec<BitString>,
+    dist: Option<DistSection>,
+}
+
+impl Snapshot {
+    /// Runs the markers over `tree` and captures the full label stack:
+    /// `MAX`, `FLOW`, and `DIST` labels under one shared centroid
+    /// decomposition and the given separator-field codec.
+    pub fn build(tree: &RootedTree, sep_codec: SepFieldCodec) -> Snapshot {
+        let sep = centroid_decomposition(tree);
+        let max_scheme = ImplicitMaxScheme::with_decomposition(tree, &sep, sep_codec);
+        let flow_scheme = ImplicitFlowScheme::with_decomposition(tree, &sep, sep_codec);
+        let dist_scheme = ImplicitDistScheme::with_decomposition(tree, &sep, sep_codec);
+        let parents = tree
+            .nodes()
+            .map(|v| tree.parent(v).map(|p| (p, tree.parent_weight(v))))
+            .collect();
+        let collect = |enc: &dyn Fn(NodeId) -> BitString| tree.nodes().map(enc).collect();
+        Snapshot {
+            root: tree.root(),
+            max_weight: tree.edges().map(|(_, _, w)| w).max().unwrap_or(Weight(1)),
+            codec: max_scheme.codec(),
+            parents,
+            max_labels: collect(&|v| max_scheme.encoded(v).clone()),
+            flow_labels: collect(&|v| flow_scheme.encoded(v).clone()),
+            dist: Some(DistSection {
+                delta_bits: dist_scheme.delta_bits(),
+                labels: collect(&|v| dist_scheme.encoded(v).clone()),
+            }),
+        }
+    }
+
+    /// Number of labelled nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.parents.len() as u32
+    }
+
+    /// The root the stored tree is hung from.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The largest tree-edge weight (`W`), as recorded in the header.
+    pub fn max_weight(&self) -> Weight {
+        self.max_weight
+    }
+
+    /// The codec all stored `MAX`/`FLOW` labels were encoded under.
+    pub fn codec(&self) -> LabelCodec {
+        self.codec
+    }
+
+    /// The encoded `MAX` label records.
+    pub fn max_labels(&self) -> &[BitString] {
+        &self.max_labels
+    }
+
+    /// The encoded `FLOW` label records.
+    pub fn flow_labels(&self) -> &[BitString] {
+        &self.flow_labels
+    }
+
+    /// The distance section, if the snapshot carries one.
+    pub fn dist(&self) -> Option<&DistSection> {
+        self.dist.as_ref()
+    }
+
+    /// Largest encoded label across all sections, in bits.
+    pub fn max_label_bits(&self) -> usize {
+        self.label_sections()
+            .flat_map(|(_, labels)| labels.iter().map(BitString::len))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total encoded label volume across all sections, in bits.
+    pub fn total_label_bits(&self) -> usize {
+        self.label_sections()
+            .flat_map(|(_, labels)| labels.iter().map(BitString::len))
+            .sum()
+    }
+
+    fn label_sections(&self) -> impl Iterator<Item = (&'static str, &[BitString])> {
+        [
+            ("max", self.max_labels.as_slice()),
+            ("flow", self.flow_labels.as_slice()),
+        ]
+        .into_iter()
+        .chain(self.dist.iter().map(|d| ("dist", d.labels.as_slice())))
+    }
+
+    /// Drops the optional dist section; `MAX`/`FLOW`/`VerifyEdge`
+    /// queries are unaffected and the written file shrinks accordingly.
+    pub fn strip_dist(&mut self) {
+        self.dist = None;
+    }
+
+    #[cfg(test)]
+    pub(crate) fn corrupt_max_label_for_test(&mut self, v: NodeId) {
+        self.max_labels[v.index()] = BitString::new();
+    }
+
+    /// Reconstructs the stored tree.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] if the parent pointers do not form a
+    /// tree rooted at the recorded root.
+    pub fn tree(&self) -> Result<RootedTree, StoreError> {
+        RootedTree::from_parents(self.root, self.parents.clone()).map_err(|e| {
+            StoreError::Malformed {
+                context: "tree section",
+                reason: e.to_string(),
+            }
+        })
+    }
+
+    /// Serializes the snapshot into the container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.total_label_bits() / 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+
+        let (sep_id, sep_bits) = match self.codec.sep_codec {
+            SepFieldCodec::EliasGamma => (0u8, 0u32),
+            SepFieldCodec::FixedWidth { bits } => (1u8, bits),
+        };
+        let mut header = Vec::with_capacity(29);
+        header.extend_from_slice(&self.num_nodes().to_le_bytes());
+        header.extend_from_slice(&self.root.0.to_le_bytes());
+        header.extend_from_slice(&self.max_weight.0.to_le_bytes());
+        header.push(sep_id);
+        header.extend_from_slice(&sep_bits.to_le_bytes());
+        header.extend_from_slice(&self.codec.omega_bits.to_le_bytes());
+        let section_count = 3 + u32::from(self.dist.is_some());
+        header.extend_from_slice(&section_count.to_le_bytes());
+        out.extend_from_slice(&(header.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&header).to_le_bytes());
+        out.extend_from_slice(&header);
+
+        let mut tree_payload = Vec::with_capacity(12 * self.parents.len());
+        for entry in &self.parents {
+            let (parent, w) = match entry {
+                Some((p, w)) => (p.0, w.0),
+                None => (NO_PARENT, 0),
+            };
+            tree_payload.extend_from_slice(&parent.to_le_bytes());
+            tree_payload.extend_from_slice(&w.to_le_bytes());
+        }
+        push_section(&mut out, tag::TREE, &tree_payload);
+        push_section(&mut out, tag::MAX, &label_payload(&self.max_labels, &[]));
+        push_section(&mut out, tag::FLOW, &label_payload(&self.flow_labels, &[]));
+        if let Some(dist) = &self.dist {
+            let prefix = dist.delta_bits.to_le_bytes();
+            push_section(&mut out, tag::DIST, &label_payload(&dist.labels, &prefix));
+        }
+        out
+    }
+
+    /// Parses a snapshot, validating magic, version, every CRC, and the
+    /// framing of every record.
+    ///
+    /// # Errors
+    ///
+    /// The precise [`StoreError`] naming what was wrong: [`StoreError::BadMagic`],
+    /// [`StoreError::UnsupportedVersion`], [`StoreError::Truncated`],
+    /// [`StoreError::CrcMismatch`], or [`StoreError::Malformed`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(8, "magic")? != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = r.read_u16("version")?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let reserved = r.read_u16("reserved")?;
+        if reserved != 0 {
+            // Version 1 writes zero; insisting on it keeps every byte of
+            // the file covered by some check.
+            return Err(StoreError::Malformed {
+                context: "container",
+                reason: format!("reserved field is {reserved:#06x}, expected 0"),
+            });
+        }
+        let header_len = r.read_u32("header length")? as usize;
+        let header_crc = r.read_u32("header checksum")?;
+        let header_bytes = r.take(header_len, "header")?;
+        let computed = crc32(header_bytes);
+        if computed != header_crc {
+            return Err(StoreError::CrcMismatch {
+                section: "header",
+                stored: header_crc,
+                computed,
+            });
+        }
+        let mut h = ByteReader::new(header_bytes);
+        let n = h.read_u32("node count")?;
+        let root = NodeId(h.read_u32("root")?);
+        let max_weight = Weight(h.read_u64("max weight")?);
+        let sep_id = h.read_u8("separator codec id")?;
+        let sep_bits = h.read_u32("separator field width")?;
+        let omega_bits = h.read_u32("omega field width")?;
+        let section_count = h.read_u32("section count")?;
+        let sep_codec = match sep_id {
+            0 => SepFieldCodec::EliasGamma,
+            1 => SepFieldCodec::FixedWidth { bits: sep_bits },
+            other => {
+                return Err(StoreError::Malformed {
+                    context: "header",
+                    reason: format!("unknown separator codec id {other}"),
+                })
+            }
+        };
+        if root.0 >= n.max(1) {
+            return Err(StoreError::Malformed {
+                context: "header",
+                reason: format!("root {} out of range for {n} nodes", root.0),
+            });
+        }
+        if omega_bits == 0 || omega_bits > 64 || sep_bits > 64 {
+            return Err(StoreError::Malformed {
+                context: "header",
+                reason: format!("implausible field widths ω={omega_bits} sep={sep_bits}"),
+            });
+        }
+        let codec = LabelCodec {
+            sep_codec,
+            omega_bits,
+        };
+
+        let mut parents = None;
+        let mut max_labels = None;
+        let mut flow_labels = None;
+        let mut dist = None;
+        for _ in 0..section_count {
+            let tag = r.read_u8("section tag")?;
+            let len = r.read_u64("section length")? as usize;
+            let stored = r.read_u32("section checksum")?;
+            let section_name = section_name(tag)?;
+            let payload = r.take(len, section_name)?;
+            let computed = crc32(payload);
+            if computed != stored {
+                return Err(StoreError::CrcMismatch {
+                    section: section_name,
+                    stored,
+                    computed,
+                });
+            }
+            match tag {
+                tag::TREE => {
+                    reject_duplicate(parents.is_some(), section_name)?;
+                    parents = Some(parse_tree_payload(payload, n)?);
+                }
+                tag::MAX => {
+                    reject_duplicate(max_labels.is_some(), section_name)?;
+                    max_labels = Some(parse_label_payload(payload, n, section_name)?);
+                }
+                tag::FLOW => {
+                    reject_duplicate(flow_labels.is_some(), section_name)?;
+                    flow_labels = Some(parse_label_payload(payload, n, section_name)?);
+                }
+                tag::DIST => {
+                    reject_duplicate(dist.is_some(), section_name)?;
+                    let mut d = ByteReader::new(payload);
+                    let delta_bits = d.read_u32("delta field width")?;
+                    if delta_bits == 0 || delta_bits > 64 {
+                        return Err(StoreError::Malformed {
+                            context: "dist section",
+                            reason: format!("implausible delta width {delta_bits}"),
+                        });
+                    }
+                    let labels = parse_label_payload(d.rest(), n, section_name)?;
+                    dist = Some(DistSection { delta_bits, labels });
+                }
+                _ => unreachable!("section_name rejected unknown tags"),
+            }
+        }
+        if !r.rest().is_empty() {
+            return Err(StoreError::Malformed {
+                context: "container",
+                reason: format!("{} trailing bytes after last section", r.rest().len()),
+            });
+        }
+        let missing = |section| StoreError::MissingSection { section };
+        Ok(Snapshot {
+            root,
+            max_weight,
+            codec,
+            parents: parents.ok_or(missing("tree"))?,
+            max_labels: max_labels.ok_or(missing("max"))?,
+            flow_labels: flow_labels.ok_or(missing("flow"))?,
+            dist,
+        })
+    }
+
+    /// Writes the snapshot to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        std::fs::write(path, self.to_bytes()).map_err(StoreError::from)
+    }
+
+    /// Reads and parses a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure, otherwise whatever
+    /// [`Snapshot::from_bytes`] reports.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
+        Snapshot::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Deep-checks the snapshot: decodes every label record through the
+    /// non-panicking codecs, reconstructs the tree, and cross-checks
+    /// `pairs` deterministic node pairs against a fresh path oracle on
+    /// the stored tree — so a snapshot whose labels belong to a
+    /// *different* tree (every CRC intact) is still caught.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CorruptLabel`] naming the first undecodable record,
+    /// [`StoreError::Malformed`] for a broken tree or an oracle
+    /// disagreement, [`StoreError::LabelMismatch`] for label pairs from
+    /// different schemes.
+    pub fn fsck(&self, pairs: usize) -> Result<FsckReport, StoreError> {
+        let n = self.num_nodes();
+        let corrupt = |section, node: u32| StoreError::CorruptLabel { section, node };
+        let mut max_decoded = Vec::with_capacity(n as usize);
+        let mut flow_decoded = Vec::with_capacity(n as usize);
+        for v in 0..n {
+            max_decoded.push(
+                self.codec
+                    .try_decode_max_label(&self.max_labels[v as usize])
+                    .ok_or_else(|| corrupt("max", v))?,
+            );
+            flow_decoded.push(
+                self.codec
+                    .try_decode_flow_label(&self.flow_labels[v as usize])
+                    .ok_or_else(|| corrupt("flow", v))?,
+            );
+        }
+        let mut dist_decoded = Vec::new();
+        if let Some(dist) = &self.dist {
+            for v in 0..n {
+                dist_decoded.push(
+                    self.codec
+                        .try_decode_dist_label(&dist.labels[v as usize], dist.delta_bits)
+                        .ok_or_else(|| corrupt("dist", v))?,
+                );
+            }
+        }
+
+        let tree = self.tree()?;
+        let idx = PathMaxIndex::new(&tree);
+        let mut wdepth = vec![0u64; tree.num_nodes()];
+        for &v in tree.order() {
+            if let Some(p) = tree.parent(v) {
+                wdepth[v.index()] = wdepth[p.index()] + tree.parent_weight(v).0;
+            }
+        }
+        let mut checked = 0;
+        if n > 0 {
+            for i in 0..pairs {
+                // A deterministic low-discrepancy sweep over node pairs;
+                // no RNG so fsck results are reproducible byte-for-byte.
+                let u = ((i as u64).wrapping_mul(0x9E37_79B9) % u64::from(n)) as u32;
+                let mut v = ((i as u64).wrapping_mul(0x85EB_CA6B) + 1) as u32 % n;
+                if u == v {
+                    // Decoders answer path queries, which are only
+                    // specified for distinct endpoints.
+                    v = (v + 1) % n;
+                    if u == v {
+                        continue;
+                    }
+                }
+                let (nu, nv) = (NodeId(u), NodeId(v));
+                let mismatch = |what: &str, got: String, want: String| StoreError::Malformed {
+                    context: "label cross-check",
+                    reason: format!("{what}({u}, {v}) decodes to {got}, tree oracle says {want}"),
+                };
+                let got =
+                    mstv_labels::try_decode_max(&max_decoded[u as usize], &max_decoded[v as usize])
+                        .ok_or(StoreError::LabelMismatch { u, v })?;
+                let want = idx
+                    .try_max_on_path(nu, nv)
+                    .expect("fsck pairs are in range");
+                if got != want {
+                    return Err(mismatch("MAX", got.to_string(), want.to_string()));
+                }
+                let got = mstv_labels::try_decode_flow(
+                    &flow_decoded[u as usize],
+                    &flow_decoded[v as usize],
+                )
+                .ok_or(StoreError::LabelMismatch { u, v })?;
+                let want = idx
+                    .try_min_on_path(nu, nv)
+                    .expect("fsck pairs are in range");
+                if got != want {
+                    return Err(mismatch("FLOW", got.to_string(), want.to_string()));
+                }
+                if !dist_decoded.is_empty() {
+                    let got = mstv_labels::try_decode_dist(
+                        &dist_decoded[u as usize],
+                        &dist_decoded[v as usize],
+                    )
+                    .ok_or(StoreError::LabelMismatch { u, v })?;
+                    let x = idx.try_lca(nu, nv).expect("fsck pairs are in range");
+                    let want = wdepth[nu.index()] + wdepth[nv.index()] - 2 * wdepth[x.index()];
+                    if got != want {
+                        return Err(mismatch("DIST", got.to_string(), want.to_string()));
+                    }
+                }
+                checked += 1;
+            }
+        }
+        Ok(FsckReport {
+            nodes: n,
+            has_dist: self.dist.is_some(),
+            max_label_bits: self.max_label_bits(),
+            total_label_bits: self.total_label_bits(),
+            pairs_checked: checked,
+        })
+    }
+}
+
+fn section_name(tag: u8) -> Result<&'static str, StoreError> {
+    match tag {
+        tag::TREE => Ok("tree"),
+        tag::MAX => Ok("max"),
+        tag::FLOW => Ok("flow"),
+        tag::DIST => Ok("dist"),
+        other => Err(StoreError::Malformed {
+            context: "container",
+            reason: format!("unknown section tag {other}"),
+        }),
+    }
+}
+
+fn reject_duplicate(present: bool, section: &'static str) -> Result<(), StoreError> {
+    if present {
+        return Err(StoreError::Malformed {
+            context: "container",
+            reason: format!("duplicate {section} section"),
+        });
+    }
+    Ok(())
+}
+
+fn push_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn label_payload(labels: &[BitString], prefix: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(prefix.len() + labels.len() * 8);
+    payload.extend_from_slice(prefix);
+    for bits in labels {
+        payload.extend_from_slice(&(bits.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&bits.to_bytes());
+    }
+    payload
+}
+
+fn parse_tree_payload(payload: &[u8], n: u32) -> Result<Vec<Option<(NodeId, Weight)>>, StoreError> {
+    let mut r = ByteReader::new(payload);
+    let mut parents = Vec::with_capacity(n as usize);
+    for v in 0..n {
+        let parent = r.read_u32("tree record parent")?;
+        let w = r.read_u64("tree record weight")?;
+        if parent == NO_PARENT {
+            parents.push(None);
+        } else {
+            if parent >= n {
+                return Err(StoreError::Malformed {
+                    context: "tree section",
+                    reason: format!("node {v} points at out-of-range parent {parent}"),
+                });
+            }
+            parents.push(Some((NodeId(parent), Weight(w))));
+        }
+    }
+    if !r.rest().is_empty() {
+        return Err(StoreError::Malformed {
+            context: "tree section",
+            reason: format!("{} trailing bytes after {n} records", r.rest().len()),
+        });
+    }
+    Ok(parents)
+}
+
+fn parse_label_payload(
+    payload: &[u8],
+    n: u32,
+    section: &'static str,
+) -> Result<Vec<BitString>, StoreError> {
+    let mut r = ByteReader::new(payload);
+    let mut labels = Vec::with_capacity(n as usize);
+    for v in 0..n {
+        let bit_len = r.read_u32("label record length")?;
+        if bit_len > MAX_LABEL_BITS {
+            return Err(StoreError::Malformed {
+                context: section,
+                reason: format!("record {v} claims {bit_len} bits"),
+            });
+        }
+        let bytes = r.take((bit_len as usize).div_ceil(8), "label record")?;
+        labels.push(
+            BitString::from_bytes(bytes, bit_len as usize)
+                .ok_or(StoreError::CorruptLabel { section, node: v })?,
+        );
+    }
+    if !r.rest().is_empty() {
+        return Err(StoreError::Malformed {
+            context: section,
+            reason: format!("{} trailing bytes after {n} records", r.rest().len()),
+        });
+    }
+    Ok(labels)
+}
+
+/// A bounds-checked little-endian cursor; every read that would run past
+/// the end reports [`StoreError::Truncated`] with the offset it needed.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.buf.len() - self.pos < len {
+            return Err(StoreError::Truncated {
+                context,
+                offset: self.pos,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn read_u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn read_u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn read_u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn read_u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree_of(n: usize, max_w: u64, seed: u64) -> RootedTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_tree(n, gen::WeightDist::Uniform { max: max_w }, &mut rng);
+        RootedTree::from_graph(&g, NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for (n, w, seed) in [(1usize, 1u64, 1u64), (2, 5, 2), (60, 900, 3), (257, 7, 4)] {
+            let t = tree_of(n, w, seed);
+            for codec in [
+                SepFieldCodec::EliasGamma,
+                SepFieldCodec::FixedWidth { bits: 12 },
+            ] {
+                let snap = Snapshot::build(&t, codec);
+                let bytes = snap.to_bytes();
+                let back = Snapshot::from_bytes(&bytes).expect("roundtrip");
+                assert_eq!(back, snap, "n={n} codec={codec:?}");
+                assert_eq!(back.tree().unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn fsck_accepts_honest_snapshots() {
+        let t = tree_of(120, 500, 5);
+        let snap = Snapshot::build(&t, SepFieldCodec::EliasGamma);
+        let report = snap.fsck(200).expect("honest snapshot");
+        assert_eq!(report.nodes, 120);
+        assert!(report.has_dist);
+        assert_eq!(report.pairs_checked, 200);
+        assert!(report.max_label_bits > 0);
+        assert!(report.total_label_bits >= report.max_label_bits);
+    }
+
+    #[test]
+    fn fsck_catches_labels_from_a_different_tree() {
+        // Swap the max labels for another tree's: every CRC is intact,
+        // only the semantic cross-check can notice.
+        let t1 = tree_of(80, 300, 6);
+        let t2 = tree_of(80, 300, 7);
+        let mut snap = Snapshot::build(&t1, SepFieldCodec::EliasGamma);
+        let foreign = Snapshot::build(&t2, SepFieldCodec::EliasGamma);
+        snap.max_labels = foreign.max_labels.clone();
+        let reparsed = Snapshot::from_bytes(&snap.to_bytes()).expect("structurally valid");
+        assert!(matches!(
+            reparsed.fsck(400),
+            Err(StoreError::Malformed { context, .. }) if context == "label cross-check"
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_truncated_not_panic() {
+        assert!(matches!(
+            Snapshot::from_bytes(&[]),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn single_node_tree_roundtrips() {
+        let t = RootedTree::from_parents(NodeId(0), vec![None]).unwrap();
+        let snap = Snapshot::build(&t, SepFieldCodec::EliasGamma);
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back.num_nodes(), 1);
+        back.fsck(10).unwrap();
+    }
+}

@@ -1,0 +1,65 @@
+//! `mstv-store`: persistent label snapshots and a sharded query service.
+//!
+//! The paper's labeling schemes ([`mstv_labels`]) assign every vertex a
+//! short label such that `MAX(u, v)` — the heaviest edge on the tree
+//! path — is computable from the two labels alone. That definition is
+//! *made for serving*: once the marker has run, the labels are the whole
+//! database. This crate takes that observation to its operational
+//! conclusion in two layers:
+//!
+//! 1. **[`Snapshot`]** — a versioned little-endian container
+//!    (`MSTVSNAP`) persisting one marked tree plus its full label stack
+//!    (`MAX`, `FLOW`, and optionally `DIST` labels) with a CRC32 per
+//!    section. The reader is paranoid: bad magic, future versions,
+//!    truncation, bit flips, duplicate sections, trailing bytes, and
+//!    undecodable records each surface as their own typed
+//!    [`StoreError`]. `Snapshot::fsck` goes further and cross-checks
+//!    decoded answers against a fresh path oracle on the stored tree,
+//!    catching the one corruption CRCs cannot: intact labels belonging
+//!    to a *different* tree.
+//!
+//! 2. **[`QueryEngine`]** — a multi-threaded serving layer that
+//!    partitions node-id space across shards, fronts the bit-level
+//!    decoders with per-shard [`LruCache`]s of decoded labels, and
+//!    answers `Max`/`Flow`/`Dist`/`VerifyEdge` batches in input order.
+//!    Serving counters (queries, cache hits/misses, throughput) are
+//!    reported as [`mstv_core::ServeMetrics`].
+//!
+//! ```
+//! use mstv_graph::{gen, NodeId, Weight};
+//! use mstv_labels::SepFieldCodec;
+//! use mstv_store::{EngineConfig, Query, QueryEngine, Snapshot};
+//! use mstv_trees::RootedTree;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = gen::random_tree(64, gen::WeightDist::Uniform { max: 100 }, &mut rng);
+//! let tree = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+//!
+//! // Marker side: label once, persist.
+//! let snap = Snapshot::build(&tree, SepFieldCodec::EliasGamma);
+//! let bytes = snap.to_bytes();
+//!
+//! // Serving side: load, verify integrity, answer queries.
+//! let snap = Snapshot::from_bytes(&bytes).unwrap();
+//! snap.fsck(100).unwrap();
+//! let engine = QueryEngine::new(snap, EngineConfig::default());
+//! let answers = engine.run_batch(&[Query::VerifyEdge {
+//!     u: NodeId(3),
+//!     v: NodeId(42),
+//!     w: Weight(1_000),
+//! }]);
+//! assert!(answers[0].is_ok());
+//! ```
+
+mod crc;
+mod engine;
+mod error;
+mod format;
+mod lru;
+
+pub use crc::crc32;
+pub use engine::{Answer, EngineConfig, Query, QueryEngine};
+pub use error::StoreError;
+pub use format::{DistSection, FsckReport, Snapshot, MAGIC, VERSION};
+pub use lru::LruCache;

@@ -1,0 +1,222 @@
+//! A fixed-capacity LRU cache with O(1) lookup, insert, and eviction.
+//!
+//! Each query-engine shard keeps one of these per label kind, mapping
+//! node ids to decoded label views so hot nodes skip the bit-level
+//! decode. The implementation is the textbook hash-map-plus-intrusive-
+//! list, with the list nodes held in a slab so there is no unsafe code
+//! and no pointer juggling.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<V> {
+    key: u32,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache from node ids to values.
+///
+/// Capacity 0 is legal and means "caching disabled": every lookup
+/// misses and inserts are dropped, which gives experiments an honest
+/// no-cache baseline through the same code path.
+pub struct LruCache<V> {
+    map: HashMap<u32, usize>,
+    slab: Vec<Entry<V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: u32) -> Option<V> {
+        let &i = self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(self.slab[i].value.clone())
+    }
+
+    /// Inserts `key → value`, evicting the least recently used entry if
+    /// the cache is full. Re-inserting an existing key refreshes both
+    /// its value and its recency.
+    pub fn insert(&mut self, key: u32, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.map.len() == self.capacity {
+            // Reuse the evicted tail's slab slot.
+            let lru = self.tail;
+            self.unlink(lru);
+            self.map.remove(&self.slab[lru].key);
+            self.slab[lru].key = key;
+            self.slab[lru].value = value;
+            lru
+        } else {
+            self.slab.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.push_front(i);
+        self.map.insert(key, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c: LruCache<String> = LruCache::new(2);
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        assert_eq!(c.get(1).as_deref(), Some("a"));
+        assert_eq!(c.get(2).as_deref(), Some("b"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u64> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(c.get(1), Some(10));
+        c.insert(3, 30);
+        assert_eq!(c.get(2), None, "2 should have been evicted");
+        assert_eq!(c.get(1), Some(10));
+        assert_eq!(c.get(3), Some(30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c: LruCache<u64> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        c.insert(3, 30);
+        assert_eq!(c.get(1), Some(11));
+        assert_eq!(c.get(2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u64> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_slot_cycles() {
+        let mut c: LruCache<u64> = LruCache::new(1);
+        for k in 0..100u32 {
+            c.insert(k, u64::from(k));
+            assert_eq!(c.get(k), Some(u64::from(k)));
+            if k > 0 {
+                assert_eq!(c.get(k - 1), None);
+            }
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn randomized_against_reference_model() {
+        // Cross-check against a naive recency-list model.
+        let mut c: LruCache<u32> = LruCache::new(8);
+        let mut model: Vec<(u32, u32)> = Vec::new(); // front = MRU
+        let mut state = 0x243F_6A88u32;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let key = (state >> 16) % 24;
+            if state & 1 == 0 {
+                let val = state >> 8;
+                c.insert(key, val);
+                model.retain(|&(k, _)| k != key);
+                model.insert(0, (key, val));
+                model.truncate(8);
+            } else {
+                let got = c.get(key);
+                let want = model.iter().position(|&(k, _)| k == key);
+                assert_eq!(got, want.map(|i| model[i].1), "key {key}");
+                if let Some(i) = want {
+                    let e = model.remove(i);
+                    model.insert(0, e);
+                }
+            }
+        }
+    }
+}

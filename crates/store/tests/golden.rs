@@ -1,0 +1,69 @@
+//! Golden-fixture test: the snapshot encoding of a fixed seeded tree is
+//! committed to the repo and checked byte-for-byte, so any accidental
+//! change to the container layout (or to the label encodings underneath
+//! it) fails CI instead of silently orphaning existing snapshot files.
+//!
+//! To bless a deliberate format change, bump `VERSION` and run
+//! `MSTV_BLESS=1 cargo test -p mstv-store --test golden`.
+
+use mstv_graph::{gen, NodeId};
+use mstv_labels::SepFieldCodec;
+use mstv_store::{EngineConfig, Query, QueryEngine, Snapshot, VERSION};
+use mstv_trees::{PathMaxIndex, RootedTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.snap");
+const GOLDEN_NODES: usize = 96;
+
+fn golden_tree() -> RootedTree {
+    let mut rng = StdRng::seed_from_u64(0x00C0_FFEE);
+    let g = gen::random_tree(
+        GOLDEN_NODES,
+        gen::WeightDist::Uniform { max: 5000 },
+        &mut rng,
+    );
+    RootedTree::from_graph(&g, NodeId(0)).unwrap()
+}
+
+#[test]
+fn golden_fixture_matches_byte_for_byte() {
+    let bytes = Snapshot::build(&golden_tree(), SepFieldCodec::EliasGamma).to_bytes();
+    if std::env::var_os("MSTV_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &bytes).unwrap();
+    }
+    let golden = std::fs::read(GOLDEN_PATH)
+        .expect("fixture missing; create with MSTV_BLESS=1 cargo test -p mstv-store --test golden");
+    assert_eq!(
+        bytes, golden,
+        "snapshot encoding drifted from the committed golden fixture; \
+         if the change is deliberate, bump mstv_store::VERSION and re-bless \
+         with MSTV_BLESS=1 (version is currently {VERSION})"
+    );
+}
+
+#[test]
+fn golden_fixture_loads_fscks_and_serves() {
+    let snap = Snapshot::read_file(GOLDEN_PATH).expect("committed fixture parses");
+    assert_eq!(snap.num_nodes() as usize, GOLDEN_NODES);
+    assert_eq!(snap.root(), NodeId(0));
+    let report = snap
+        .fsck(128)
+        .expect("committed fixture is self-consistent");
+    assert_eq!(report.nodes as usize, GOLDEN_NODES);
+    assert!(report.has_dist);
+
+    // The served answers must match a fresh path oracle on the same tree.
+    let tree = golden_tree();
+    let idx = PathMaxIndex::new(&tree);
+    let engine = QueryEngine::new(snap, EngineConfig::default());
+    for (u, v) in [(0u32, 95u32), (3, 42), (17, 71), (94, 1)] {
+        let (u, v) = (NodeId(u), NodeId(v));
+        let got = engine.query(Query::Max { u, v }).unwrap();
+        assert_eq!(
+            got,
+            mstv_store::Answer::Max(idx.max_on_path(u, v)),
+            "MAX({u}, {v})"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests for the snapshot container: serialization is a
+//! round-trip identity on arbitrary trees, and *every* single-bit flip
+//! or truncation of a snapshot file is rejected with a typed error —
+//! never a panic, never a silently wrong snapshot.
+
+use mstv_graph::{NodeId, Weight};
+use mstv_labels::SepFieldCodec;
+use mstv_store::{Snapshot, StoreError};
+use mstv_trees::RootedTree;
+use proptest::prelude::*;
+
+/// An arbitrary rooted tree: node `i > 0` hangs off a uniformly random
+/// earlier node, so every parent array drawn this way is a valid tree.
+fn tree_strategy() -> impl Strategy<Value = RootedTree> {
+    (
+        1usize..60,
+        proptest::collection::vec(any::<u64>(), 60),
+        proptest::collection::vec(1u64..100_000, 60),
+    )
+        .prop_map(|(n, parent_picks, weights)| {
+            let parents = (0..n)
+                .map(|i| {
+                    (i > 0).then(|| {
+                        (
+                            NodeId((parent_picks[i] % i as u64) as u32),
+                            Weight(weights[i]),
+                        )
+                    })
+                })
+                .collect();
+            RootedTree::from_parents(NodeId(0), parents).expect("construction is valid")
+        })
+}
+
+fn codec_strategy() -> impl Strategy<Value = SepFieldCodec> {
+    prop_oneof![
+        Just(SepFieldCodec::EliasGamma),
+        (7u32..20).prop_map(|bits| SepFieldCodec::FixedWidth { bits }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn roundtrip_is_identity(tree in tree_strategy(), codec in codec_strategy()) {
+        let snap = Snapshot::build(&tree, codec);
+        let back = Snapshot::from_bytes(&snap.to_bytes()).expect("own bytes parse");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.tree().expect("tree reconstructs"), tree);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected(
+        tree in tree_strategy(),
+        byte_pick in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let bytes = Snapshot::build(&tree, SepFieldCodec::EliasGamma).to_bytes();
+        let mut tampered = bytes.clone();
+        let pos = (byte_pick % bytes.len() as u64) as usize;
+        tampered[pos] ^= 1 << bit;
+        prop_assert!(
+            Snapshot::from_bytes(&tampered).is_err(),
+            "flip at byte {} bit {} of {} went unnoticed",
+            pos, bit, bytes.len()
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(tree in tree_strategy(), cut_pick in any::<u64>()) {
+        let bytes = Snapshot::build(&tree, SepFieldCodec::EliasGamma).to_bytes();
+        let cut = (cut_pick % bytes.len() as u64) as usize;
+        prop_assert!(
+            Snapshot::from_bytes(&bytes[..cut]).is_err(),
+            "file cut to {} of {} bytes still parsed",
+            cut, bytes.len()
+        );
+    }
+
+    #[test]
+    fn fsck_passes_on_honest_snapshots(tree in tree_strategy(), codec in codec_strategy()) {
+        let snap = Snapshot::build(&tree, codec);
+        let report = snap.fsck(64).expect("honest snapshot");
+        prop_assert_eq!(report.nodes as usize, tree.num_nodes());
+    }
+}
+
+fn sample_bytes() -> Vec<u8> {
+    let parents = (0..40)
+        .map(|i: u32| (i > 0).then(|| (NodeId(i / 2), Weight(u64::from(i) * 37 % 1000 + 1))))
+        .collect();
+    let tree = RootedTree::from_parents(NodeId(0), parents).unwrap();
+    Snapshot::build(&tree, SepFieldCodec::EliasGamma).to_bytes()
+}
+
+#[test]
+fn wrong_magic_is_bad_magic() {
+    let mut bytes = sample_bytes();
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(StoreError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_version_is_unsupported_version() {
+    let mut bytes = sample_bytes();
+    bytes[8] = 0x2A; // version field, little-endian low byte
+    bytes[9] = 0x00;
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(StoreError::UnsupportedVersion { found: 0x2A })
+    ));
+}
+
+#[test]
+fn flipped_header_byte_is_header_crc_mismatch() {
+    let mut bytes = sample_bytes();
+    bytes[20] ^= 0x01; // first byte of the header payload (node count)
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(StoreError::CrcMismatch {
+            section: "header",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn flipped_stored_crc_byte_is_crc_mismatch() {
+    let mut bytes = sample_bytes();
+    bytes[16] ^= 0x01; // the header's stored CRC32 itself
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(StoreError::CrcMismatch {
+            section: "header",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn flipped_payload_byte_is_section_crc_mismatch() {
+    let mut bytes = sample_bytes();
+    let last = bytes.len() - 1; // inside the final (dist) section payload
+    bytes[last] ^= 0x80;
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(StoreError::CrcMismatch {
+            section: "dist",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn hard_truncations_are_truncated_errors() {
+    let bytes = sample_bytes();
+    for cut in [0, 4, 12, 19, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            matches!(
+                Snapshot::from_bytes(&bytes[..cut]),
+                Err(StoreError::Truncated { .. }) | Err(StoreError::CrcMismatch { .. })
+            ),
+            "cut at {cut} not reported as truncation/corruption"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_malformed() {
+    let mut bytes = sample_bytes();
+    bytes.push(0xAA);
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(StoreError::Malformed {
+            context: "container",
+            ..
+        })
+    ));
+}

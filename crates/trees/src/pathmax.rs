@@ -116,8 +116,22 @@ impl PathMaxIndex {
         (NodeId(self.up[0][a.index()]), best_max, best_min)
     }
 
+    /// Number of indexed nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.depth.len()
+    }
+
+    fn in_range(&self, v: NodeId) -> bool {
+        v.index() < self.depth.len()
+    }
+
     /// `MAX(u, v)`: the largest edge weight on the tree path
     /// (`Weight::ZERO` when `u == v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range; use
+    /// [`PathMaxIndex::try_max_on_path`] for untrusted node ids.
     pub fn max_on_path(&self, u: NodeId, v: NodeId) -> Weight {
         if u == v {
             return Weight::ZERO;
@@ -125,8 +139,20 @@ impl PathMaxIndex {
         self.path_stats(u, v).1
     }
 
+    /// Non-panicking [`PathMaxIndex::max_on_path`] for node ids read from
+    /// untrusted input (snapshot files, query strings): `None` when either
+    /// node is outside the indexed tree.
+    pub fn try_max_on_path(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        (self.in_range(u) && self.in_range(v)).then(|| self.max_on_path(u, v))
+    }
+
     /// `FLOW(u, v)`: the smallest edge weight on the tree path
     /// (`Weight(u64::MAX)` when `u == v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range; use
+    /// [`PathMaxIndex::try_min_on_path`] for untrusted node ids.
     pub fn min_on_path(&self, u: NodeId, v: NodeId) -> Weight {
         if u == v {
             return Weight(u64::MAX);
@@ -134,9 +160,26 @@ impl PathMaxIndex {
         self.path_stats(u, v).2
     }
 
+    /// Non-panicking [`PathMaxIndex::min_on_path`]: `None` when either
+    /// node is outside the indexed tree.
+    pub fn try_min_on_path(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        (self.in_range(u) && self.in_range(v)).then(|| self.min_on_path(u, v))
+    }
+
     /// The lowest common ancestor of `u` and `v` (by lifting; O(log n)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range; use
+    /// [`PathMaxIndex::try_lca`] for untrusted node ids.
     pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
         self.path_stats(u, v).0
+    }
+
+    /// Non-panicking [`PathMaxIndex::lca`]: `None` when either node is
+    /// outside the indexed tree.
+    pub fn try_lca(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        (self.in_range(u) && self.in_range(v)).then(|| self.lca(u, v))
     }
 }
 
@@ -216,6 +259,27 @@ mod tests {
                 assert_eq!(idx.max_on_path(u, v), t.max_on_path_naive(u, v));
             }
         }
+    }
+
+    #[test]
+    fn try_queries_bound_check_untrusted_ids() {
+        let t = sample();
+        let idx = PathMaxIndex::new(&t);
+        assert_eq!(idx.num_nodes(), 6);
+        assert_eq!(
+            idx.try_max_on_path(NodeId(3), NodeId(4)),
+            Some(t.max_on_path_naive(NodeId(3), NodeId(4)))
+        );
+        assert_eq!(
+            idx.try_min_on_path(NodeId(3), NodeId(4)),
+            Some(t.min_on_path_naive(NodeId(3), NodeId(4)))
+        );
+        assert_eq!(idx.try_lca(NodeId(3), NodeId(4)), Some(NodeId(1)));
+        // Out-of-range ids (as read from a foreign snapshot or a typo'd
+        // query) must be rejected, not panic.
+        assert_eq!(idx.try_max_on_path(NodeId(6), NodeId(0)), None);
+        assert_eq!(idx.try_min_on_path(NodeId(0), NodeId(100)), None);
+        assert_eq!(idx.try_lca(NodeId(6), NodeId(6)), None);
     }
 
     #[test]

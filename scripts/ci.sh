@@ -30,4 +30,23 @@ for seed in $(seq 0 15); do
         || { echo "ci: net smoke failed at seed $seed"; exit 1; }
 done
 
+echo "== label-store golden fixture (byte-for-byte) =="
+# The committed fixture pins the snapshot container layout and the label
+# encodings underneath it; any drift fails here rather than silently
+# orphaning existing snapshot files.
+cargo test -q --offline -p mstv-store --test golden
+
+echo "== label-store serving smoke (fixed seed, verdicts only) =="
+# Write a snapshot, fsck it, and serve a seeded query workload with
+# every answer cross-checked against the in-memory oracle. Verdicts are
+# asserted; timings are not (CI machines are noisy).
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q --offline --bin mstv -- gen --nodes 200 --extra 400 --seed 7 > "$tmp/g.txt"
+cargo run -q --offline --bin mstv -- snapshot write "$tmp/g.txt" "$tmp/g.snap" >/dev/null
+cargo run -q --offline --bin mstv -- snapshot fsck "$tmp/g.snap" >/dev/null
+cargo run -q --offline --bin mstv -- query "$tmp/g.snap" --bench --queries 5000 \
+    --shards 4 --cache 256 --seed 7 --verify-against "$tmp/g.txt" \
+    | grep -q "oracle: ok" || { echo "ci: serving smoke failed"; exit 1; }
+
 echo "ci: all checks passed"

@@ -21,10 +21,13 @@ use mst_verification::graph::io::{parse_edge_list, parse_tree_file, to_edge_list
 use mst_verification::graph::{
     dot::to_dot, gen, tree_states, ConfigGraph, EdgeId, NodeId, Port, Weight,
 };
+use mst_verification::labels::SepFieldCodec;
 use mst_verification::mst::{check_mst, kruskal, mst_weight, MstVerdict};
 use mst_verification::sensitivity::{sensitivity, EdgeSensitivity};
+use mst_verification::store::{Answer, EngineConfig, Query, QueryEngine, Snapshot};
+use mst_verification::trees::{PathMaxIndex, RootedTree};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 const USAGE: &str = "usage:
   mstv gen --nodes N [--extra M] [--max-weight W] [--seed S]
@@ -56,6 +59,27 @@ const USAGE: &str = "usage:
   mstv net --replay <log-file>
       re-run a saved event log deterministically on one thread and
       cross-check verdict and counts against the recorded run
+  mstv snapshot write <graph-file> <out.snap> [--codec gamma|fixed]
+           [--no-dist]
+      compute the graph's MST and persist the marked tree plus its full
+      MAX/FLOW/DIST label stack as a CRC-checked binary snapshot
+  mstv snapshot inspect <file.snap>
+      print the snapshot header and per-section statistics
+  mstv snapshot fsck <file.snap> [--pairs N]
+      deep-check a snapshot: CRCs, framing, every label record decoded,
+      and N decoded answers cross-checked against a fresh path oracle
+  mstv query <file.snap> max|flow|dist <u> <v>
+  mstv query <file.snap> verify <u> <v> <w>
+      answer one query from the stored labels alone (verify runs the
+      MST cycle check: accept iff w ≥ MAX(u, v))
+  mstv query <file.snap> --batch <query-file> [--shards S] [--cache C]
+      one query per line (same syntax), answers in order, then serving
+      metrics JSON
+  mstv query <file.snap> --bench [--queries N] [--shards S] [--cache C]
+           [--seed X] [--verify-against <graph-file>]
+      sharded throughput benchmark over seeded random queries; prints
+      ServeMetrics JSON; --verify-against cross-checks every answer
+      against an in-memory oracle rebuilt from the graph
   mstv dot <graph-file> [<tree-file>]
       Graphviz DOT rendering (tree edges bold)";
 
@@ -81,6 +105,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "sensitivity" => cmd_sensitivity(&args[1..]),
         "session" => cmd_session(&args[1..]),
         "net" => cmd_net(&args[1..]),
+        "snapshot" => cmd_snapshot(&args[1..]),
+        "query" => cmd_query(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -489,6 +515,293 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
         }
         Ok(())
     }
+}
+
+/// The snapshot-side half of the serving tier: the marker runs once,
+/// here, and everything the query side needs goes into one file.
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    let sub = args
+        .first()
+        .ok_or("snapshot needs a subcommand: write, inspect, or fsck")?;
+    match sub.as_str() {
+        "write" => {
+            let gpath = args.get(1).ok_or("missing graph file")?;
+            let out = args.get(2).ok_or("missing output file")?;
+            let g = load_graph(gpath)?;
+            let mst = kruskal(&g);
+            let tree = RootedTree::from_graph_edges(&g, &mst, NodeId(0))
+                .map_err(|e| format!("{gpath}: {e}"))?;
+            let codec = match flag_str(args, "--codec").as_deref() {
+                None | Some("gamma") => SepFieldCodec::EliasGamma,
+                Some("fixed") => SepFieldCodec::FixedWidth {
+                    bits: (usize::BITS - tree.num_nodes().leading_zeros()).max(1),
+                },
+                Some(other) => return Err(format!("unknown codec {other:?} (gamma|fixed)")),
+            };
+            let mut snap = Snapshot::build(&tree, codec);
+            if args.iter().any(|a| a == "--no-dist") {
+                snap.strip_dist();
+            }
+            let bytes = snap.to_bytes();
+            std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "wrote {out}: {} nodes, {} bytes ({} label bits, max label {} bits)",
+                snap.num_nodes(),
+                bytes.len(),
+                snap.total_label_bits(),
+                snap.max_label_bits(),
+            );
+            Ok(())
+        }
+        "inspect" => {
+            let path = args.get(1).ok_or("missing snapshot file")?;
+            let snap = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
+            let codec = snap.codec();
+            println!(
+                "{path}: snapshot version {}",
+                mst_verification::store::VERSION
+            );
+            println!("  nodes:      {} (root {})", snap.num_nodes(), snap.root());
+            println!("  max weight: {}", snap.max_weight());
+            println!(
+                "  codec:      {:?}, ω = {} bits",
+                codec.sep_codec, codec.omega_bits
+            );
+            println!(
+                "  labels:     {} bits total, largest {} bits",
+                snap.total_label_bits(),
+                snap.max_label_bits(),
+            );
+            match snap.dist() {
+                Some(d) => println!("  dist:       present (δ = {} bits)", d.delta_bits),
+                None => println!("  dist:       absent"),
+            }
+            Ok(())
+        }
+        "fsck" => {
+            let path = args.get(1).ok_or("missing snapshot file")?;
+            let pairs = flag_value(args, "--pairs")?.unwrap_or(256) as usize;
+            let snap = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
+            let report = snap.fsck(pairs).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: ok — {} nodes, every label decodes, {} sampled answers match the tree \
+                 oracle{}",
+                report.nodes,
+                report.pairs_checked,
+                if report.has_dist {
+                    ""
+                } else {
+                    " (no dist section)"
+                },
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown snapshot subcommand {other:?}")),
+    }
+}
+
+fn parse_query(words: &[&str], loc: &str) -> Result<Query, String> {
+    let num = |w: &str| -> Result<u64, String> {
+        w.parse()
+            .map_err(|e| format!("{loc}: bad number {w:?}: {e}"))
+    };
+    let node = |w: &str| -> Result<NodeId, String> { Ok(NodeId(num(w)? as u32)) };
+    match words {
+        ["max", u, v] => Ok(Query::Max {
+            u: node(u)?,
+            v: node(v)?,
+        }),
+        ["flow", u, v] => Ok(Query::Flow {
+            u: node(u)?,
+            v: node(v)?,
+        }),
+        ["dist", u, v] => Ok(Query::Dist {
+            u: node(u)?,
+            v: node(v)?,
+        }),
+        ["verify", u, v, w] => Ok(Query::VerifyEdge {
+            u: node(u)?,
+            v: node(v)?,
+            w: Weight(num(w)?),
+        }),
+        _ => Err(format!(
+            "{loc}: cannot parse query (expected max|flow|dist U V or verify U V W)"
+        )),
+    }
+}
+
+fn show_answer(a: &Answer) -> String {
+    match *a {
+        Answer::Max(w) => format!("{w}"),
+        Answer::Flow(w) if w == mst_verification::labels::FLOW_INFINITY => "inf".to_owned(),
+        Answer::Flow(w) => format!("{w}"),
+        Answer::Dist(d) => format!("{d}"),
+        Answer::VerifyEdge {
+            accept,
+            max_on_path,
+        } => {
+            if accept {
+                format!("accept (path max {max_on_path})")
+            } else {
+                format!("reject (path max {max_on_path})")
+            }
+        }
+    }
+}
+
+/// The serving-side half: load a snapshot once, answer queries from the
+/// labels alone.
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing snapshot file")?;
+    let snap = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
+    let config = EngineConfig {
+        shards: flag_value(args, "--shards")?.unwrap_or(4) as usize,
+        cache_capacity: flag_value(args, "--cache")?.unwrap_or(1024) as usize,
+    };
+    let engine = QueryEngine::new(snap, config);
+
+    if let Some(batch_path) = flag_str(args, "--batch") {
+        let text = std::fs::read_to_string(&batch_path)
+            .map_err(|e| format!("cannot read {batch_path}: {e}"))?;
+        let mut lines = Vec::new();
+        let mut queries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            queries.push(parse_query(
+                &words,
+                &format!("{batch_path}:{}", lineno + 1),
+            )?);
+            lines.push(line);
+        }
+        for (line, result) in lines.iter().zip(engine.run_batch(&queries)) {
+            match result {
+                Ok(a) => println!("{line}: {}", show_answer(&a)),
+                Err(e) => println!("{line}: error — {e}"),
+            }
+        }
+        println!("{}", engine.metrics().to_json());
+        Ok(())
+    } else if args.iter().any(|a| a == "--bench") {
+        cmd_query_bench(args, &engine)
+    } else {
+        let words: Vec<&str> = args[1..]
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .collect();
+        if words.is_empty() {
+            return Err("missing query (or --batch/--bench)".to_owned());
+        }
+        let q = parse_query(&words, "query")?;
+        let a = engine.query(q).map_err(|e| e.to_string())?;
+        println!("{}", show_answer(&a));
+        Ok(())
+    }
+}
+
+fn cmd_query_bench(args: &[String], engine: &QueryEngine) -> Result<(), String> {
+    const BATCH: usize = 1024;
+    let count = flag_value(args, "--queries")?.unwrap_or(100_000) as usize;
+    let seed = flag_value(args, "--seed")?.unwrap_or(0);
+    let n = engine.snapshot().num_nodes();
+    if n == 0 {
+        return Err("snapshot is empty".to_owned());
+    }
+    let has_dist = engine.snapshot().dist().is_some();
+    let max_w = engine.snapshot().max_weight().0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let queries: Vec<Query> = (0..count)
+        .map(|i| {
+            let u = NodeId(rng.gen_range(0..n));
+            let v = NodeId(rng.gen_range(0..n));
+            match i % 4 {
+                0 => Query::Max { u, v },
+                1 => Query::Flow { u, v },
+                2 if has_dist => Query::Dist { u, v },
+                _ => Query::VerifyEdge {
+                    u,
+                    v,
+                    w: Weight(rng.gen_range(0..=max_w)),
+                },
+            }
+        })
+        .collect();
+    let mut answers = Vec::with_capacity(count);
+    for chunk in queries.chunks(BATCH) {
+        answers.extend(engine.run_batch(chunk));
+    }
+    println!("{}", engine.metrics().to_json());
+
+    if let Some(gpath) = flag_str(args, "--verify-against") {
+        let g = load_graph(&gpath)?;
+        let mst = kruskal(&g);
+        let tree = RootedTree::from_graph_edges(&g, &mst, NodeId(0))
+            .map_err(|e| format!("{gpath}: {e}"))?;
+        if tree.num_nodes() != n as usize {
+            return Err(format!(
+                "{gpath} has {} nodes but the snapshot holds {n}",
+                tree.num_nodes()
+            ));
+        }
+        let idx = PathMaxIndex::new(&tree);
+        let mut wdepth = vec![0u64; tree.num_nodes()];
+        for &v in tree.order() {
+            if let Some(p) = tree.parent(v) {
+                wdepth[v.index()] = wdepth[p.index()] + tree.parent_weight(v).0;
+            }
+        }
+        for (q, a) in queries.iter().zip(&answers) {
+            let a = a
+                .as_ref()
+                .map_err(|e| format!("oracle check: query {q:?} failed: {e}"))?;
+            let ok = match (*q, *a) {
+                (Query::Max { u, v }, Answer::Max(w)) => {
+                    w == if u == v {
+                        mst_verification::graph::Weight::ZERO
+                    } else {
+                        idx.max_on_path(u, v)
+                    }
+                }
+                (Query::Flow { u, v }, Answer::Flow(w)) => {
+                    w == if u == v {
+                        mst_verification::labels::FLOW_INFINITY
+                    } else {
+                        idx.min_on_path(u, v)
+                    }
+                }
+                (Query::Dist { u, v }, Answer::Dist(d)) => {
+                    let x = idx.lca(u, v);
+                    d == wdepth[u.index()] + wdepth[v.index()] - 2 * wdepth[x.index()]
+                }
+                (
+                    Query::VerifyEdge { u, v, w },
+                    Answer::VerifyEdge {
+                        accept,
+                        max_on_path,
+                    },
+                ) => {
+                    let want = if u == v {
+                        mst_verification::graph::Weight::ZERO
+                    } else {
+                        idx.max_on_path(u, v)
+                    };
+                    max_on_path == want && accept == (w >= want)
+                }
+                _ => false,
+            };
+            if !ok {
+                return Err(format!(
+                    "oracle check: {q:?} answered {a:?}, which contradicts the in-memory oracle"
+                ));
+            }
+        }
+        println!("oracle: ok ({} answers match)", answers.len());
+    }
+    Ok(())
 }
 
 fn cmd_dot(args: &[String]) -> Result<(), String> {

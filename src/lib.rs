@@ -17,7 +17,10 @@
 //! * [`net`] — a concurrent runtime with lossy links, crash-restarts,
 //!   and deterministic event-log replay,
 //! * [`sensitivity`] — Tarjan's tree-sensitivity problem,
-//! * [`hypertree`] — the `(h, µ)`-hypertree lower-bound construction.
+//! * [`hypertree`] — the `(h, µ)`-hypertree lower-bound construction,
+//! * [`store`] — persistent label snapshots (CRC-checked binary
+//!   container) and a sharded, cache-fronted query engine serving
+//!   `MAX`/`FLOW`/`DIST`/`VerifyEdge` straight from stored labels.
 //!
 //! # Quickstart
 //!
@@ -116,4 +119,5 @@ pub use mstv_labels as labels;
 pub use mstv_mst as mst;
 pub use mstv_net as net;
 pub use mstv_sensitivity as sensitivity;
+pub use mstv_store as store;
 pub use mstv_trees as trees;
