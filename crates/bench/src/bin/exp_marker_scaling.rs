@@ -1,0 +1,170 @@
+//! E14 — marker pipeline scaling: labels per second of the end-to-end
+//! parallel marker (centroid decomposition, per-node label assembly,
+//! bit-level encoding) as the worker count grows, on 10k- and 100k-node
+//! instances.
+//!
+//! Three stages are timed separately so the table shows where the time
+//! goes: the `π_mst` marker (`MstScheme::marker_parallel`), and the full
+//! snapshot pipeline (`Snapshot::build_parallel`, which additionally
+//! builds `FLOW` and `DIST` labels and serializes nothing). Every
+//! parallel run is cross-checked bit-for-bit against the single-worker
+//! baseline on the same instance, so the table cannot be
+//! fast-but-wrong; timings themselves are reported, never asserted.
+//! Speedups depend on the machine — on a single-core box every row
+//! reports ~1× and that is the honest answer.
+//!
+//! Besides the greppable per-point JSON lines, the whole series is
+//! written to `BENCH_marker.json` (override the path with the first
+//! positional argument).
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use mstv_bench::{mst_workload, print_table};
+use mstv_core::{MstScheme, ParallelConfig};
+use mstv_graph::NodeId;
+use mstv_labels::SepFieldCodec;
+use mstv_mst::kruskal;
+use mstv_store::Snapshot;
+use mstv_trees::RootedTree;
+
+const SIZES: [usize; 2] = [10_000, 100_000];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Point {
+    nodes: usize,
+    threads: usize,
+    marker_secs: f64,
+    snapshot_secs: f64,
+}
+
+impl Point {
+    fn labels_per_sec(&self) -> f64 {
+        self.nodes as f64 / self.marker_secs
+    }
+}
+
+fn main() {
+    println!("E14: parallel marker scaling (labels/sec vs worker count)");
+    println!(
+        "host parallelism: {}",
+        std::thread::available_parallelism().map_or(0, NonZeroUsize::get)
+    );
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        let cfg = mst_workload(n, 1 << 20, 0xE14 + n as u64);
+        let mst = kruskal(cfg.graph());
+        let tree =
+            RootedTree::from_graph_edges(cfg.graph(), &mst, NodeId(0)).expect("kruskal spans");
+        let scheme = MstScheme::new();
+
+        // Single-worker baselines: the reference bits every parallel run
+        // must reproduce, and the denominator of the speedup column.
+        let baseline_labeling = scheme
+            .marker_parallel(&cfg, one_worker())
+            .expect("workload is an MST");
+        let baseline_snap =
+            Snapshot::build_parallel(&tree, SepFieldCodec::EliasGamma, one_worker());
+
+        for &threads in &THREADS {
+            let pc = ParallelConfig::with_threads(NonZeroUsize::new(threads).unwrap());
+
+            let t0 = Instant::now();
+            let labeling = scheme
+                .marker_parallel(&cfg, pc)
+                .expect("workload is an MST");
+            let marker_secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+            let t1 = Instant::now();
+            let snap = Snapshot::build_parallel(&tree, SepFieldCodec::EliasGamma, pc);
+            let snapshot_secs = t1.elapsed().as_secs_f64().max(1e-9);
+
+            for v in tree.nodes() {
+                assert_eq!(
+                    labeling.encoded(v),
+                    baseline_labeling.encoded(v),
+                    "marker bits diverged at {v} with {threads} workers"
+                );
+            }
+            assert_eq!(
+                snap, baseline_snap,
+                "snapshot diverged from the single-worker build at {threads} workers"
+            );
+
+            let p = Point {
+                nodes: n,
+                threads,
+                marker_secs,
+                snapshot_secs,
+            };
+            println!(
+                "{{\"experiment\":\"marker_scaling\",\"nodes\":{},\"threads\":{},\
+                 \"marker_secs\":{:.6},\"snapshot_secs\":{:.6},\"labels_per_sec\":{:.1}}}",
+                p.nodes,
+                p.threads,
+                p.marker_secs,
+                p.snapshot_secs,
+                p.labels_per_sec()
+            );
+            points.push(p);
+        }
+    }
+
+    for &n in &SIZES {
+        let base = points
+            .iter()
+            .find(|p| p.nodes == n && p.threads == 1)
+            .expect("baseline point exists");
+        let base_lps = base.labels_per_sec();
+        rows.extend(points.iter().filter(|p| p.nodes == n).map(|p| {
+            vec![
+                p.nodes.to_string(),
+                p.threads.to_string(),
+                format!("{:.0}", p.labels_per_sec()),
+                format!("{:.2}x", p.labels_per_sec() / base_lps),
+                format!("{:.3}", p.snapshot_secs),
+            ]
+        }));
+    }
+    print_table(
+        "parallel marker scaling (all runs bit-checked against 1 worker)",
+        &["nodes", "threads", "labels/sec", "speedup", "snapshot secs"],
+        &rows,
+    );
+
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_marker.json".to_owned());
+    std::fs::write(&out, series_json(&points)).expect("write benchmark series");
+    println!("series written to {out}");
+}
+
+fn one_worker() -> ParallelConfig {
+    ParallelConfig::with_threads(NonZeroUsize::MIN)
+}
+
+/// The committed `BENCH_marker.json` schema: experiment id, host
+/// parallelism, and one object per (nodes, threads) point.
+fn series_json(points: &[Point]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"marker_scaling\",\n");
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n  \"points\": [\n",
+        std::thread::available_parallelism().map_or(0, NonZeroUsize::get)
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"threads\": {}, \"marker_secs\": {:.6}, \
+             \"snapshot_secs\": {:.6}, \"labels_per_sec\": {:.1}}}{}\n",
+            p.nodes,
+            p.threads,
+            p.marker_secs,
+            p.snapshot_secs,
+            p.labels_per_sec(),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

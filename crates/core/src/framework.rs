@@ -18,7 +18,6 @@ use mstv_graph::{ConfigGraph, EdgeId, NodeId, Port, Weight};
 use mstv_labels::BitString;
 use std::error::Error;
 use std::fmt;
-use std::num::NonZeroUsize;
 
 /// What a verifier sees of one neighbor: port, edge weight, and the
 /// neighbor's label — exactly the fields of `N_L(v)` in the paper.
@@ -260,49 +259,13 @@ impl fmt::Display for Verdict {
     }
 }
 
-/// Thread-count policy for [`ProofLabelingScheme::verify_all_parallel`].
+/// Thread-count policy for [`ProofLabelingScheme::verify_all_parallel`]
+/// and the parallel marker pipeline.
 ///
-/// The default (`threads: None`) sizes the pool from
-/// [`std::thread::available_parallelism`], so callers no longer hand-pick
-/// thread counts:
-///
-/// ```
-/// use mstv_core::ParallelConfig;
-/// use std::num::NonZeroUsize;
-///
-/// let auto = ParallelConfig::default();
-/// let four = ParallelConfig::with_threads(NonZeroUsize::new(4).unwrap());
-/// assert!(auto.resolved_threads().get() >= 1);
-/// assert_eq!(four.resolved_threads().get(), 4);
-/// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ParallelConfig {
-    /// Explicit worker-thread count; `None` = available parallelism.
-    pub threads: Option<NonZeroUsize>,
-}
-
-impl ParallelConfig {
-    /// A configuration pinned to exactly `threads` workers.
-    pub fn with_threads(threads: NonZeroUsize) -> Self {
-        ParallelConfig {
-            threads: Some(threads),
-        }
-    }
-
-    /// The effective worker count: the explicit setting, else the host's
-    /// available parallelism, else 1.
-    pub fn resolved_threads(&self) -> NonZeroUsize {
-        self.threads
-            .or_else(|| std::thread::available_parallelism().ok())
-            .unwrap_or(NonZeroUsize::MIN)
-    }
-}
-
-impl From<NonZeroUsize> for ParallelConfig {
-    fn from(threads: NonZeroUsize) -> Self {
-        ParallelConfig::with_threads(threads)
-    }
-}
+/// The type now lives in `mstv-trees` (the marker's parallel decomposition
+/// needs it below this crate in the stack); this re-export keeps
+/// `mstv_core::ParallelConfig` working unchanged.
+pub use mstv_trees::ParallelConfig;
 
 /// A proof labeling scheme: a marker plus a local verifier.
 pub trait ProofLabelingScheme {
@@ -473,6 +436,7 @@ pub fn local_view<'a, S, L>(
 mod tests {
     use super::*;
     use mstv_graph::{Graph, TreeState};
+    use std::num::NonZeroUsize;
 
     #[test]
     fn labeling_accessors() {

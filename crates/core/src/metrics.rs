@@ -235,22 +235,30 @@ impl ServeMetrics {
     }
 
     /// Cache hit ratio in `[0, 1]` (0.0 before any lookup).
+    ///
+    /// Always finite: a zero-lookup block (empty batch, cache disabled)
+    /// reports 0.0 rather than dividing by zero, so the JSON export can
+    /// never contain `NaN`.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
         if total == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / total as f64
+            finite_or_zero(self.cache_hits as f64 / total as f64)
         }
     }
 
     /// The throughput gauge: queries per second of batch wall-clock
     /// (0.0 before any timed batch runs).
+    ///
+    /// Always finite: a zero-elapsed block (a batch so small the clock
+    /// did not tick, or no batch at all) reports 0.0 rather than `inf`,
+    /// so tiny `mstv query --bench` runs emit valid JSON.
     pub fn queries_per_sec(&self) -> f64 {
         if self.elapsed_nanos == 0 {
             0.0
         } else {
-            self.queries as f64 / (self.elapsed_nanos as f64 / 1e9)
+            finite_or_zero(self.queries as f64 / (self.elapsed_nanos as f64 / 1e9))
         }
     }
 
@@ -270,6 +278,17 @@ impl ServeMetrics {
             self.elapsed_nanos,
             self.queries_per_sec(),
         )
+    }
+}
+
+/// Clamps a derived gauge to 0.0 if a pathological counter combination
+/// ever produced a non-finite value — the JSON line must stay parseable
+/// no matter what the counters hold.
+fn finite_or_zero(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
     }
 }
 
@@ -504,6 +523,41 @@ mod tests {
         assert_eq!(m.hit_ratio(), 0.0);
         assert_eq!(m.queries_per_sec(), 0.0);
         assert!(m.to_json().contains("\"queries_per_sec\":0.0"));
+    }
+
+    #[test]
+    fn serve_metrics_empty_batch_emits_finite_json() {
+        // The empty-batch path: a batch was routed but carried no queries
+        // and completed before the clock ticked. Zero lookups and zero
+        // elapsed must not reach the gauges as divisions by zero.
+        let m = ServeMetrics {
+            queries: 0,
+            batches: 1,
+            shards: 4,
+            cache_hits: 0,
+            cache_misses: 0,
+            errors: 0,
+            elapsed_nanos: 0,
+        };
+        assert_eq!(m.hit_ratio(), 0.0);
+        assert_eq!(m.queries_per_sec(), 0.0);
+        let json = m.to_json();
+        assert!(
+            !json.contains("NaN") && !json.contains("inf"),
+            "non-finite gauge leaked into JSON: {json}"
+        );
+        assert!(json.contains("\"hit_ratio\":0.0000"));
+        assert!(json.contains("\"queries_per_sec\":0.0"));
+        // Queries recorded against a zero-elapsed clock (batch faster than
+        // the timer resolution) must also stay finite.
+        let fast = ServeMetrics {
+            queries: 17,
+            batches: 1,
+            elapsed_nanos: 0,
+            ..ServeMetrics::new()
+        };
+        assert_eq!(fast.queries_per_sec(), 0.0);
+        assert!(!fast.to_json().contains("inf"));
     }
 
     #[test]

@@ -28,11 +28,11 @@
 
 use mstv_graph::{ConfigGraph, EdgeId, NodeId, TreeState, Weight};
 use mstv_labels::{try_decode_max, BitString, LabelCodec, MaxLabel, SepFieldCodec};
-use mstv_trees::centroid_decomposition;
+use mstv_trees::{centroid_decomposition_parallel, par_map_chunks};
 
-use crate::pi_gamma::{check_gamma_conditions, orient_fields, GammaParts, Orient};
+use crate::pi_gamma::{check_gamma_conditions, orient_fields_parallel, GammaParts, Orient};
 use crate::span::{check_span, span_labels, SpanCodec, SpanLabel};
-use crate::{Labeling, LocalView, MarkerError, ProofLabelingScheme};
+use crate::{Labeling, LocalView, MarkerError, ParallelConfig, ProofLabelingScheme};
 
 /// The `π_mst` label.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,13 +65,25 @@ impl MstScheme {
     pub fn candidate_edges(cfg: &ConfigGraph<TreeState>) -> Vec<EdgeId> {
         cfg.induced_edges()
     }
-}
 
-impl ProofLabelingScheme for MstScheme {
-    type State = TreeState;
-    type Label = MstLabel;
-
-    fn marker(&self, cfg: &ConfigGraph<TreeState>) -> Result<Labeling<MstLabel>, MarkerError> {
+    /// The marker with every stage after the MST check fanned across a
+    /// scoped thread pool: centroid decomposition, `γ` / orientation
+    /// assembly, `MstLabel` construction, and bit encoding.
+    ///
+    /// The labeling (structured labels *and* encoded bits) is
+    /// **byte-identical** to [`ProofLabelingScheme::marker`] for every
+    /// thread count; the sequential marker is this method pinned to one
+    /// worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkerError`] when the configuration does not satisfy
+    /// the scheme's predicate, exactly as the sequential marker does.
+    pub fn marker_parallel(
+        &self,
+        cfg: &ConfigGraph<TreeState>,
+        config: ParallelConfig,
+    ) -> Result<Labeling<MstLabel>, MarkerError> {
         let g = cfg.graph();
         let (tree, span) = span_labels(cfg)?;
         // The induced tree must be a *minimum* spanning tree.
@@ -85,16 +97,19 @@ impl ProofLabelingScheme for MstScheme {
                 })
             }
         }
-        let sep = centroid_decomposition(&tree);
-        let gammas = mstv_labels::max_labels(&tree, &sep);
-        let orients = orient_fields(&tree, &sep);
-        let labels: Vec<MstLabel> = (0..g.num_nodes())
-            .map(|i| MstLabel {
-                span: span[i],
-                gamma: gammas[i].clone(),
-                orient: orients[i].clone(),
-            })
-            .collect();
+        let sep = centroid_decomposition_parallel(&tree, config);
+        let gammas = mstv_labels::max_labels_parallel(&tree, &sep, config);
+        let orients = orient_fields_parallel(&tree, &sep, config);
+        let threads = config.resolved_threads();
+        let labels: Vec<MstLabel> = par_map_chunks(g.num_nodes(), threads, |lo, hi| {
+            (lo..hi)
+                .map(|i| MstLabel {
+                    span: span[i],
+                    gamma: gammas[i].clone(),
+                    orient: orients[i].clone(),
+                })
+                .collect()
+        });
         let span_codec = SpanCodec::for_config(cfg);
         // ω fields must span the whole graph's weight range, not just the
         // tree's: the family is F(n, W).
@@ -102,11 +117,26 @@ impl ProofLabelingScheme for MstScheme {
             sep_codec: SepFieldCodec::EliasGamma,
             omega_bits: g.max_weight().bit_width(),
         };
-        let encoded = labels
-            .iter()
-            .map(|l| encode_mst_label(l, span_codec, gamma_codec))
-            .collect();
+        let encoded = par_map_chunks(g.num_nodes(), threads, |lo, hi| {
+            (lo..hi)
+                .map(|i| encode_mst_label(&labels[i], span_codec, gamma_codec))
+                .collect()
+        });
         Ok(Labeling::new(labels, encoded))
+    }
+}
+
+impl ProofLabelingScheme for MstScheme {
+    type State = TreeState;
+    type Label = MstLabel;
+
+    fn marker(&self, cfg: &ConfigGraph<TreeState>) -> Result<Labeling<MstLabel>, MarkerError> {
+        // One worker = the sequential pipeline (no pool is spawned); the
+        // parallel marker is byte-identical at any thread count.
+        self.marker_parallel(
+            cfg,
+            ParallelConfig::with_threads(std::num::NonZeroUsize::MIN),
+        )
     }
 
     fn verify(&self, view: &LocalView<'_, TreeState, MstLabel>) -> bool {
@@ -264,6 +294,9 @@ pub fn mst_configuration(graph: mstv_graph::Graph) -> ConfigGraph<TreeState> {
 mod tests {
     use super::*;
     use mstv_graph::{gen, tree_states, Graph, Port};
+    use mstv_trees::centroid_decomposition;
+
+    use crate::pi_gamma::orient_fields;
     use mstv_mst::{is_mst, kruskal, UnionFind};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -332,6 +365,34 @@ mod tests {
             let scheme = MstScheme::new();
             let labeling = scheme.marker(&cfg).unwrap();
             assert!(scheme.verify_all(&cfg, &labeling).accepted(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn marker_parallel_is_byte_identical_to_sequential() {
+        use std::num::NonZeroUsize;
+        for seed in 0..3u64 {
+            let g = gen::random_connected(
+                90,
+                200,
+                gen::WeightDist::Uniform { max: 500 },
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let cfg = mst_configuration(g);
+            let scheme = MstScheme::new();
+            let seq = scheme.marker(&cfg).unwrap();
+            for threads in [1usize, 2, 8] {
+                let pc = ParallelConfig::with_threads(NonZeroUsize::new(threads).unwrap());
+                let par = scheme.marker_parallel(&cfg, pc).unwrap();
+                for v in cfg.graph().nodes() {
+                    assert_eq!(par.label(v), seq.label(v), "seed={seed} threads={threads}");
+                    assert_eq!(
+                        par.encoded(v),
+                        seq.encoded(v),
+                        "encoded bits diverged: seed={seed} threads={threads} v={v}"
+                    );
+                }
+            }
         }
     }
 

@@ -13,11 +13,11 @@
 
 use mstv_graph::{ConfigGraph, NodeId, TreeState, Weight};
 use mstv_labels::{BitString, FlowLabel, LabelCodec, SepFieldCodec};
-use mstv_trees::centroid_decomposition;
+use mstv_trees::{centroid_decomposition_parallel, par_map_chunks};
 
-use crate::pi_gamma::{orient_fields, Orient};
+use crate::pi_gamma::{orient_fields_parallel, Orient};
 use crate::span::{check_span, span_labels, SpanCodec, SpanLabel};
-use crate::{Labeling, LocalView, MarkerError, ProofLabelingScheme};
+use crate::{Labeling, LocalView, MarkerError, ParallelConfig, ProofLabelingScheme};
 
 /// The pieces of a `π_flow` label the condition checker consumes.
 #[derive(Debug, Clone, Copy)]
@@ -187,13 +187,21 @@ impl MaxStScheme {
     pub fn new() -> Self {
         MaxStScheme
     }
-}
 
-impl ProofLabelingScheme for MaxStScheme {
-    type State = TreeState;
-    type Label = MaxStLabel;
-
-    fn marker(&self, cfg: &ConfigGraph<TreeState>) -> Result<Labeling<MaxStLabel>, MarkerError> {
+    /// The marker with every stage after the maximality check fanned
+    /// across a scoped thread pool; byte-identical to the sequential
+    /// [`ProofLabelingScheme::marker`] for every thread count (which is
+    /// this method pinned to one worker).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkerError`] when the configuration does not satisfy
+    /// the scheme's predicate, exactly as the sequential marker does.
+    pub fn marker_parallel(
+        &self,
+        cfg: &ConfigGraph<TreeState>,
+        config: ParallelConfig,
+    ) -> Result<Labeling<MaxStLabel>, MarkerError> {
         let g = cfg.graph();
         let (tree, span) = span_labels(cfg)?;
         let tree_edges = cfg.induced_edges();
@@ -202,34 +210,52 @@ impl ProofLabelingScheme for MaxStScheme {
                 "candidate tree is not a maximum spanning tree",
             ));
         }
-        let sep = centroid_decomposition(&tree);
-        let flows = mstv_labels::flow_labels(&tree, &sep);
-        let orients = orient_fields(&tree, &sep);
-        let labels: Vec<MaxStLabel> = (0..g.num_nodes())
-            .map(|i| MaxStLabel {
-                span: span[i],
-                flow: flows[i].clone(),
-                orient: orients[i].clone(),
-            })
-            .collect();
+        let sep = centroid_decomposition_parallel(&tree, config);
+        let flows = mstv_labels::flow_labels_parallel(&tree, &sep, config);
+        let orients = orient_fields_parallel(&tree, &sep, config);
+        let threads = config.resolved_threads();
+        let labels: Vec<MaxStLabel> = par_map_chunks(g.num_nodes(), threads, |lo, hi| {
+            (lo..hi)
+                .map(|i| MaxStLabel {
+                    span: span[i],
+                    flow: flows[i].clone(),
+                    orient: orients[i].clone(),
+                })
+                .collect()
+        });
         let span_codec = SpanCodec::for_config(cfg);
         let codec = LabelCodec {
             sep_codec: SepFieldCodec::EliasGamma,
             omega_bits: g.max_weight().bit_width(),
         };
-        let encoded = labels
-            .iter()
-            .map(|l| {
-                let mut out = BitString::new();
-                span_codec.encode_into(&mut out, &l.span);
-                out.extend_from(&codec.encode_flow(&l.flow));
-                for &o in &l.orient {
-                    out.push_bits(o.to_bits(), 2);
-                }
-                out
-            })
-            .collect();
+        let encoded = par_map_chunks(g.num_nodes(), threads, |lo, hi| {
+            (lo..hi)
+                .map(|i| {
+                    let l = &labels[i];
+                    let mut out = BitString::new();
+                    span_codec.encode_into(&mut out, &l.span);
+                    out.extend_from(&codec.encode_flow(&l.flow));
+                    for &o in &l.orient {
+                        out.push_bits(o.to_bits(), 2);
+                    }
+                    out
+                })
+                .collect()
+        });
         Ok(Labeling::new(labels, encoded))
+    }
+}
+
+impl ProofLabelingScheme for MaxStScheme {
+    type State = TreeState;
+    type Label = MaxStLabel;
+
+    fn marker(&self, cfg: &ConfigGraph<TreeState>) -> Result<Labeling<MaxStLabel>, MarkerError> {
+        // One worker = the sequential pipeline; see `marker_parallel`.
+        self.marker_parallel(
+            cfg,
+            ParallelConfig::with_threads(std::num::NonZeroUsize::MIN),
+        )
     }
 
     fn verify(&self, view: &LocalView<'_, TreeState, MaxStLabel>) -> bool {
@@ -293,6 +319,24 @@ mod tests {
             let scheme = MaxStScheme::new();
             let labeling = scheme.marker(&cfg).unwrap();
             assert!(scheme.verify_all(&cfg, &labeling).accepted(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn marker_parallel_is_byte_identical_to_sequential() {
+        use std::num::NonZeroUsize;
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = gen::random_connected(80, 180, gen::WeightDist::Uniform { max: 400 }, &mut rng);
+        let cfg = max_st_configuration(g);
+        let scheme = MaxStScheme::new();
+        let seq = scheme.marker(&cfg).unwrap();
+        for threads in [1usize, 2, 8] {
+            let pc = ParallelConfig::with_threads(NonZeroUsize::new(threads).unwrap());
+            let par = scheme.marker_parallel(&cfg, pc).unwrap();
+            for v in cfg.graph().nodes() {
+                assert_eq!(par.label(v), seq.label(v), "threads={threads} v={v}");
+                assert_eq!(par.encoded(v), seq.encoded(v), "threads={threads} v={v}");
+            }
         }
     }
 

@@ -239,19 +239,41 @@ pub fn check_gamma_conditions(
 pub fn orient_fields(tree: &RootedTree, sep: &SeparatorDecomposition) -> Vec<Vec<Orient>> {
     let lca = LcaIndex::new(tree);
     tree.nodes()
-        .map(|v| {
-            sep.ancestors(v)
-                .into_iter()
-                .map(|a| {
-                    if a == v {
-                        Orient::SelfSep
-                    } else if lca.is_ancestor(v, a) {
-                        Orient::Down
-                    } else {
-                        Orient::Up
-                    }
-                })
-                .collect()
+        .map(|v| orient_field_of(&lca, sep, v))
+        .collect()
+}
+
+/// [`orient_fields`] with per-node assembly fanned across a scoped thread
+/// pool (the LCA index is built once and shared read-only). Output is
+/// identical to the sequential builder for every thread count.
+pub fn orient_fields_parallel(
+    tree: &RootedTree,
+    sep: &SeparatorDecomposition,
+    config: crate::ParallelConfig,
+) -> Vec<Vec<Orient>> {
+    let lca = LcaIndex::new(tree);
+    mstv_trees::par_map_chunks(tree.num_nodes(), config.resolved_threads(), |lo, hi| {
+        (lo..hi)
+            .map(|i| orient_field_of(&lca, sep, mstv_graph::NodeId::from_index(i)))
+            .collect()
+    })
+}
+
+fn orient_field_of(
+    lca: &LcaIndex,
+    sep: &SeparatorDecomposition,
+    v: mstv_graph::NodeId,
+) -> Vec<Orient> {
+    sep.ancestors(v)
+        .into_iter()
+        .map(|a| {
+            if a == v {
+                Orient::SelfSep
+            } else if lca.is_ancestor(v, a) {
+                Orient::Down
+            } else {
+                Orient::Up
+            }
         })
         .collect()
 }

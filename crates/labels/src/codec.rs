@@ -303,6 +303,32 @@ impl ImplicitMaxScheme {
         }
     }
 
+    /// [`ImplicitMaxScheme::with_decomposition`] with label assembly and
+    /// encoding fanned across a scoped thread pool. Byte-identical to
+    /// the sequential builder for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// As [`ImplicitMaxScheme::with_decomposition`].
+    pub fn with_decomposition_parallel(
+        tree: &RootedTree,
+        sep: &SeparatorDecomposition,
+        sep_codec: SepFieldCodec,
+        config: mstv_trees::ParallelConfig,
+    ) -> Self {
+        let codec = LabelCodec::for_tree(tree, sep_codec);
+        let labels = crate::max_labels_parallel(tree, sep, config);
+        let encoded =
+            mstv_trees::par_map_chunks(labels.len(), config.resolved_threads(), |lo, hi| {
+                labels[lo..hi].iter().map(|l| codec.encode_max(l)).collect()
+            });
+        ImplicitMaxScheme {
+            codec,
+            labels,
+            encoded,
+        }
+    }
+
     /// The codec shared by all labels.
     pub fn codec(&self) -> LabelCodec {
         self.codec
@@ -375,6 +401,35 @@ impl ImplicitFlowScheme {
         let codec = LabelCodec::for_tree(tree, sep_codec);
         let labels = flow_labels(tree, sep);
         let encoded = labels.iter().map(|l| codec.encode_flow(l)).collect();
+        ImplicitFlowScheme {
+            codec,
+            labels,
+            encoded,
+        }
+    }
+
+    /// [`ImplicitFlowScheme::with_decomposition`] with label assembly
+    /// and encoding fanned across a scoped thread pool. Byte-identical
+    /// to the sequential builder for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// As [`ImplicitFlowScheme::with_decomposition`].
+    pub fn with_decomposition_parallel(
+        tree: &RootedTree,
+        sep: &SeparatorDecomposition,
+        sep_codec: SepFieldCodec,
+        config: mstv_trees::ParallelConfig,
+    ) -> Self {
+        let codec = LabelCodec::for_tree(tree, sep_codec);
+        let labels = crate::flow_labels_parallel(tree, sep, config);
+        let encoded =
+            mstv_trees::par_map_chunks(labels.len(), config.resolved_threads(), |lo, hi| {
+                labels[lo..hi]
+                    .iter()
+                    .map(|l| codec.encode_flow(l))
+                    .collect()
+            });
         ImplicitFlowScheme {
             codec,
             labels,

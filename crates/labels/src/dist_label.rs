@@ -42,36 +42,67 @@ impl DistLabel {
 ///
 /// Panics if `sep` does not belong to `tree`.
 pub fn dist_labels(tree: &RootedTree, sep: &SeparatorDecomposition) -> Vec<DistLabel> {
-    assert_eq!(
-        tree.num_nodes(),
-        sep.num_nodes(),
-        "decomposition does not match tree"
-    );
-    // Weighted depth from the root lets dist(u, v) be computed through
-    // the LCA in O(1) per (vertex, separator) pair.
-    let lca = LcaIndex::new(tree);
-    let mut wdepth = vec![0u64; tree.num_nodes()];
-    for &v in tree.order() {
-        if let Some(p) = tree.parent(v) {
-            wdepth[v.index()] = wdepth[p.index()] + tree.parent_weight(v).0;
-        }
-    }
-    let dist = |u: NodeId, v: NodeId| {
-        let x = lca.lca(u, v);
-        wdepth[u.index()] + wdepth[v.index()] - 2 * wdepth[x.index()]
-    };
+    let oracle = DistOracle::new(tree, sep);
     tree.nodes()
-        .map(|v| {
-            let chain = sep.ancestors(v);
-            let mut fields = Vec::with_capacity(chain.len());
-            fields.push(0u64);
-            for &a in &chain[1..] {
-                fields.push(u64::from(sep.child_rank(a)));
-            }
-            let delta = chain.iter().map(|&a| dist(v, a)).collect();
-            DistLabel { sep: fields, delta }
-        })
+        .map(|v| dist_label_of(&oracle, sep, v))
         .collect()
+}
+
+/// [`dist_labels`] with per-node assembly fanned across a scoped thread
+/// pool (the distance oracle is built once and shared read-only). Output
+/// is identical to the sequential builder for every thread count.
+pub fn dist_labels_parallel(
+    tree: &RootedTree,
+    sep: &SeparatorDecomposition,
+    config: mstv_trees::ParallelConfig,
+) -> Vec<DistLabel> {
+    let oracle = DistOracle::new(tree, sep);
+    mstv_trees::par_map_chunks(tree.num_nodes(), config.resolved_threads(), |lo, hi| {
+        (lo..hi)
+            .map(|i| dist_label_of(&oracle, sep, NodeId::from_index(i)))
+            .collect()
+    })
+}
+
+/// Weighted depth from the root lets dist(u, v) be computed through
+/// the LCA in O(1) per (vertex, separator) pair.
+struct DistOracle {
+    lca: LcaIndex,
+    wdepth: Vec<u64>,
+}
+
+impl DistOracle {
+    fn new(tree: &RootedTree, sep: &SeparatorDecomposition) -> Self {
+        assert_eq!(
+            tree.num_nodes(),
+            sep.num_nodes(),
+            "decomposition does not match tree"
+        );
+        let lca = LcaIndex::new(tree);
+        let mut wdepth = vec![0u64; tree.num_nodes()];
+        for &v in tree.order() {
+            if let Some(p) = tree.parent(v) {
+                wdepth[v.index()] = wdepth[p.index()] + tree.parent_weight(v).0;
+            }
+        }
+        DistOracle { lca, wdepth }
+    }
+
+    fn dist(&self, u: NodeId, v: NodeId) -> u64 {
+        let x = self.lca.lca(u, v);
+        self.wdepth[u.index()] + self.wdepth[v.index()] - 2 * self.wdepth[x.index()]
+    }
+}
+
+fn dist_label_of(oracle: &DistOracle, sep: &SeparatorDecomposition, v: NodeId) -> DistLabel {
+    let chain = sep.ancestors(v);
+    let mut fields = Vec::with_capacity(chain.len());
+    fields.push(0u64);
+    for &a in &chain[1..] {
+        fields.push(u64::from(sep.child_rank(a)));
+    }
+    let delta = chain.iter().map(|&a| oracle.dist(v, a)).collect();
+    DistLabel { sep: fields, delta }
 }
 
 /// The distance decoder: exact `dist(u, v)` from the two labels.
@@ -123,30 +154,57 @@ impl ImplicitDistScheme {
         sep: &SeparatorDecomposition,
         sep_codec: SepFieldCodec,
     ) -> Self {
-        let labels = dist_labels(tree, sep);
+        Self::from_labels(
+            dist_labels(tree, sep),
+            sep_codec,
+            std::num::NonZeroUsize::MIN,
+        )
+    }
+
+    /// [`ImplicitDistScheme::with_decomposition`] with label assembly
+    /// and encoding fanned across a scoped thread pool. Byte-identical
+    /// to the sequential builder for every thread count.
+    pub fn with_decomposition_parallel(
+        tree: &RootedTree,
+        sep: &SeparatorDecomposition,
+        sep_codec: SepFieldCodec,
+        config: mstv_trees::ParallelConfig,
+    ) -> Self {
+        Self::from_labels(
+            dist_labels_parallel(tree, sep, config),
+            sep_codec,
+            config.resolved_threads(),
+        )
+    }
+
+    fn from_labels(
+        labels: Vec<DistLabel>,
+        sep_codec: SepFieldCodec,
+        threads: std::num::NonZeroUsize,
+    ) -> Self {
         let max_delta = labels
             .iter()
             .flat_map(|l| l.delta.iter().copied())
             .max()
             .unwrap_or(0);
         let delta_bits = Weight(max_delta).bit_width();
-        let encoded = labels
-            .iter()
-            .map(|l| {
-                let mut out = BitString::new();
-                out.push_elias_gamma(l.level() as u64);
-                for &f in &l.sep[1..] {
-                    match sep_codec {
-                        SepFieldCodec::EliasGamma => out.push_elias_gamma(f + 1),
-                        SepFieldCodec::FixedWidth { bits } => out.push_bits(f, bits),
-                    }
+        let encode_one = |l: &DistLabel| {
+            let mut out = BitString::new();
+            out.push_elias_gamma(l.level() as u64);
+            for &f in &l.sep[1..] {
+                match sep_codec {
+                    SepFieldCodec::EliasGamma => out.push_elias_gamma(f + 1),
+                    SepFieldCodec::FixedWidth { bits } => out.push_bits(f, bits),
                 }
-                for &d in &l.delta {
-                    out.push_bits(d, delta_bits);
-                }
-                out
-            })
-            .collect();
+            }
+            for &d in &l.delta {
+                out.push_bits(d, delta_bits);
+            }
+            out
+        };
+        let encoded = mstv_trees::par_map_chunks(labels.len(), threads, |lo, hi| {
+            labels[lo..hi].iter().map(encode_one).collect()
+        });
         ImplicitDistScheme {
             sep_codec,
             delta_bits,

@@ -42,18 +42,39 @@ pub fn flow_labels(tree: &RootedTree, sep: &SeparatorDecomposition) -> Vec<FlowL
         "decomposition does not match tree"
     );
     let idx = PathMaxIndex::new(tree);
-    tree.nodes()
-        .map(|v| {
-            let chain = sep.ancestors(v);
-            let mut fields = Vec::with_capacity(chain.len());
-            fields.push(0u64);
-            for &a in &chain[1..] {
-                fields.push(u64::from(sep.child_rank(a)));
-            }
-            let phi = chain.iter().map(|&a| idx.min_on_path(v, a)).collect();
-            FlowLabel { sep: fields, phi }
-        })
-        .collect()
+    tree.nodes().map(|v| flow_label_of(&idx, sep, v)).collect()
+}
+
+/// [`flow_labels`] with per-node assembly fanned across a scoped thread
+/// pool (the lifting oracle is built once and shared read-only). Output
+/// is identical to the sequential builder for every thread count.
+pub fn flow_labels_parallel(
+    tree: &RootedTree,
+    sep: &SeparatorDecomposition,
+    config: mstv_trees::ParallelConfig,
+) -> Vec<FlowLabel> {
+    assert_eq!(
+        tree.num_nodes(),
+        sep.num_nodes(),
+        "decomposition does not match tree"
+    );
+    let idx = PathMaxIndex::new(tree);
+    mstv_trees::par_map_chunks(tree.num_nodes(), config.resolved_threads(), |lo, hi| {
+        (lo..hi)
+            .map(|i| flow_label_of(&idx, sep, NodeId::from_index(i)))
+            .collect()
+    })
+}
+
+fn flow_label_of(idx: &PathMaxIndex, sep: &SeparatorDecomposition, v: NodeId) -> FlowLabel {
+    let chain = sep.ancestors(v);
+    let mut fields = Vec::with_capacity(chain.len());
+    fields.push(0u64);
+    for &a in &chain[1..] {
+        fields.push(u64::from(sep.child_rank(a)));
+    }
+    let phi = chain.iter().map(|&a| idx.min_on_path(v, a)).collect();
+    FlowLabel { sep: fields, phi }
 }
 
 /// The `FLOW` decoder: returns the smallest edge weight on the tree path

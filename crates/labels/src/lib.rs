@@ -38,8 +38,13 @@ mod max_label;
 
 pub use bits::{elias_gamma_len, BitReader, BitString};
 pub use codec::{ImplicitFlowScheme, ImplicitMaxScheme, LabelCodec, SepFieldCodec};
-pub use dist_label::{decode_dist, dist_labels, try_decode_dist, DistLabel, ImplicitDistScheme};
-pub use flow_label::{
-    decode_flow, flow_labels, try_decode_flow, FlowLabel, FlowLabelOracle, FLOW_INFINITY,
+pub use dist_label::{
+    decode_dist, dist_labels, dist_labels_parallel, try_decode_dist, DistLabel, ImplicitDistScheme,
 };
-pub use max_label::{decode_max, max_labels, try_decode_max, MaxLabel, MaxLabelOracle};
+pub use flow_label::{
+    decode_flow, flow_labels, flow_labels_parallel, try_decode_flow, FlowLabel, FlowLabelOracle,
+    FLOW_INFINITY,
+};
+pub use max_label::{
+    decode_max, max_labels, max_labels_parallel, try_decode_max, MaxLabel, MaxLabelOracle,
+};

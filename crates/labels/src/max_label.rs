@@ -57,18 +57,39 @@ pub fn max_labels(tree: &RootedTree, sep: &SeparatorDecomposition) -> Vec<MaxLab
         "decomposition does not match tree"
     );
     let kt = KruskalTree::new(tree);
-    tree.nodes()
-        .map(|v| {
-            let chain = sep.ancestors(v);
-            let mut fields = Vec::with_capacity(chain.len());
-            fields.push(0u64);
-            for &a in &chain[1..] {
-                fields.push(u64::from(sep.child_rank(a)));
-            }
-            let omega = chain.iter().map(|&a| kt.max_on_path(v, a)).collect();
-            MaxLabel { sep: fields, omega }
-        })
-        .collect()
+    tree.nodes().map(|v| max_label_of(&kt, sep, v)).collect()
+}
+
+/// [`max_labels`] with per-node assembly fanned across a scoped thread
+/// pool (the Kruskal-tree oracle is built once and shared read-only).
+/// Output is identical to the sequential builder for every thread count.
+pub fn max_labels_parallel(
+    tree: &RootedTree,
+    sep: &SeparatorDecomposition,
+    config: mstv_trees::ParallelConfig,
+) -> Vec<MaxLabel> {
+    assert_eq!(
+        tree.num_nodes(),
+        sep.num_nodes(),
+        "decomposition does not match tree"
+    );
+    let kt = KruskalTree::new(tree);
+    mstv_trees::par_map_chunks(tree.num_nodes(), config.resolved_threads(), |lo, hi| {
+        (lo..hi)
+            .map(|i| max_label_of(&kt, sep, NodeId::from_index(i)))
+            .collect()
+    })
+}
+
+fn max_label_of(kt: &KruskalTree, sep: &SeparatorDecomposition, v: NodeId) -> MaxLabel {
+    let chain = sep.ancestors(v);
+    let mut fields = Vec::with_capacity(chain.len());
+    fields.push(0u64);
+    for &a in &chain[1..] {
+        fields.push(u64::from(sep.child_rank(a)));
+    }
+    let omega = chain.iter().map(|&a| kt.max_on_path(v, a)).collect();
+    MaxLabel { sep: fields, omega }
 }
 
 /// The decoder `D_γ`, identical for every scheme in `Γ`: returns

@@ -11,7 +11,10 @@
 //! Batches fan out with scoped threads, one per non-empty shard, and
 //! results come back in input order. All failures are typed
 //! [`StoreError`]s: unknown node ids, undecodable records, and foreign
-//! label pairs are answers, not panics.
+//! label pairs are answers, not panics. Even a worker panic is
+//! contained — its batch's queries report [`StoreError::ShardPoisoned`]
+//! and the shard heals (caches reset) before the next lock, so one bad
+//! batch never takes the engine down.
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -159,6 +162,37 @@ impl QueryEngine {
         self.shards.len()
     }
 
+    /// Locks shard `si`, recovering from a poisoned mutex.
+    ///
+    /// A worker that panics mid-batch poisons its shard's lock. The
+    /// shard's decoded-label caches — the only state a panicking worker
+    /// could have left half-updated — are discarded, and serving
+    /// continues; the hit/miss counters (plain integers, valid under any
+    /// interleaving) survive. The alternative, propagating the panic on
+    /// every later lock, would turn one bad batch into a permanently
+    /// dead shard.
+    fn lock_shard(&self, si: usize) -> std::sync::MutexGuard<'_, Shard> {
+        match self.shards[si].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut shard = poisoned.into_inner();
+                shard.max.clear();
+                shard.flow.clear();
+                shard.dist.clear();
+                self.shards[si].clear_poison();
+                shard
+            }
+        }
+    }
+
+    /// Locks the aggregate metrics, recovering from poisoning: the
+    /// counters are plain integers, meaningful under any interleaving.
+    fn lock_metrics(&self) -> std::sync::MutexGuard<'_, ServeMetrics> {
+        self.agg
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Answers one query.
     ///
     /// # Errors
@@ -179,8 +213,10 @@ impl QueryEngine {
     /// [`StoreError::UnknownNode`] for an endpoint the snapshot carries
     /// no label for, [`StoreError::CorruptLabel`] when a stored record
     /// does not decode, [`StoreError::LabelMismatch`] when two labels
-    /// come from different schemes, and [`StoreError::MissingSection`]
-    /// for `Dist` queries against a snapshot without a dist section.
+    /// come from different schemes, [`StoreError::MissingSection`]
+    /// for `Dist` queries against a snapshot without a dist section,
+    /// and [`StoreError::ShardPoisoned`] for every query a panicking
+    /// shard worker was serving.
     pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<Answer, StoreError>> {
         let start = Instant::now();
         let ns = self.shards.len();
@@ -191,40 +227,58 @@ impl QueryEngine {
         let mut results: Vec<Option<Result<Answer, StoreError>>> =
             (0..queries.len()).map(|_| None).collect();
         if ns == 1 {
-            let mut shard = self.shards[0].lock().expect("shard poisoned");
+            let mut shard = self.lock_shard(0);
             for &i in &buckets[0] {
                 results[i] = Some(self.answer(&mut shard, &queries[i]));
             }
         } else {
-            let per_shard: Vec<Vec<(usize, Result<Answer, StoreError>)>> =
-                std::thread::scope(|scope| {
-                    let workers: Vec<_> = buckets
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, bucket)| !bucket.is_empty())
-                        .map(|(si, bucket)| {
-                            scope.spawn(move || {
-                                let mut shard = self.shards[si].lock().expect("shard poisoned");
-                                bucket
-                                    .iter()
-                                    .map(|&i| (i, self.answer(&mut shard, &queries[i])))
-                                    .collect()
-                            })
-                        })
-                        .collect();
-                    workers
-                        .into_iter()
-                        .map(|w| w.join().expect("shard worker panicked"))
-                        .collect()
-                });
-            for pairs in per_shard {
-                for (i, r) in pairs {
-                    results[i] = Some(r);
+            type ShardOutcome<'a> = (
+                usize,
+                &'a [usize],
+                std::thread::Result<Vec<(usize, Result<Answer, StoreError>)>>,
+            );
+            let per_shard: Vec<ShardOutcome<'_>> = std::thread::scope(|scope| {
+                let workers: Vec<_> = buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, bucket)| !bucket.is_empty())
+                    .map(|(si, bucket)| {
+                        let handle = scope.spawn(move || {
+                            let mut shard = self.lock_shard(si);
+                            bucket
+                                .iter()
+                                .map(|&i| (i, self.answer(&mut shard, &queries[i])))
+                                .collect()
+                        });
+                        (si, bucket.as_slice(), handle)
+                    })
+                    .collect();
+                // Joining every handle here keeps a worker panic from
+                // re-raising when the scope closes.
+                workers
+                    .into_iter()
+                    .map(|(si, bucket, w)| (si, bucket, w.join()))
+                    .collect()
+            });
+            for (si, bucket, outcome) in per_shard {
+                match outcome {
+                    Ok(pairs) => {
+                        for (i, r) in pairs {
+                            results[i] = Some(r);
+                        }
+                    }
+                    // The worker panicked: its queries get a typed error
+                    // and the shard lock heals on the next lock_shard.
+                    Err(_) => {
+                        for &i in bucket {
+                            results[i] = Some(Err(StoreError::ShardPoisoned { shard: si }));
+                        }
+                    }
                 }
             }
         }
         let errors = results.iter().filter(|r| matches!(r, Some(Err(_)))).count() as u64;
-        let mut agg = self.agg.lock().expect("metrics poisoned");
+        let mut agg = self.lock_metrics();
         agg.queries += queries.len() as u64;
         agg.batches += 1;
         agg.errors += errors;
@@ -239,10 +293,10 @@ impl QueryEngine {
     /// A point-in-time snapshot of the serving counters, aggregated
     /// across shards.
     pub fn metrics(&self) -> ServeMetrics {
-        let mut m = *self.agg.lock().expect("metrics poisoned");
+        let mut m = *self.lock_metrics();
         m.shards = self.shards.len() as u64;
-        for shard in &self.shards {
-            let shard = shard.lock().expect("shard poisoned");
+        for si in 0..self.shards.len() {
+            let shard = self.lock_shard(si);
             m.cache_hits += shard.hits;
             m.cache_misses += shard.misses;
         }
@@ -559,6 +613,50 @@ mod tests {
                 v: NodeId(2)
             })
             .is_ok());
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_for_subsequent_queries() {
+        let t = tree_of(60, 90, 16);
+        let engine = engine_of(&t, 3, 16);
+        // Warm every shard so the caches hold entries to discard.
+        for u in 0..12u32 {
+            assert!(engine
+                .query(Query::Max {
+                    u: NodeId(u),
+                    v: NodeId(20)
+                })
+                .is_ok());
+        }
+        // Poison shard 0 the way a real worker would: panic while
+        // holding its lock.
+        let crashed = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = engine.shards[0].lock().unwrap();
+                panic!("simulated worker crash while holding the shard lock");
+            })
+            .join()
+        });
+        assert!(crashed.is_err());
+        assert!(engine.shards[0].is_poisoned());
+        // Every shard — including the poisoned one — keeps serving, and
+        // metrics() aggregates without panicking.
+        for u in 0..12u32 {
+            assert!(
+                engine
+                    .query(Query::Max {
+                        u: NodeId(u),
+                        v: NodeId(20)
+                    })
+                    .is_ok(),
+                "query via shard {} after poisoning",
+                u % 3
+            );
+        }
+        assert!(!engine.shards[0].is_poisoned(), "lock should have healed");
+        let m = engine.metrics();
+        assert_eq!(m.queries, 24);
+        assert_eq!(m.errors, 0);
     }
 
     #[test]

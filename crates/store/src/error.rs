@@ -72,6 +72,13 @@ pub enum StoreError {
         /// Second query endpoint.
         v: u32,
     },
+    /// A shard worker panicked mid-batch, so the queries it was serving
+    /// have no answers. The shard itself recovers (its caches are reset
+    /// on the next lock), so subsequent batches are unaffected.
+    ShardPoisoned {
+        /// Index of the shard whose worker panicked.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -108,6 +115,10 @@ impl fmt::Display for StoreError {
             StoreError::LabelMismatch { u, v } => write!(
                 f,
                 "labels of {u} and {v} share no separator prefix (foreign snapshot?)"
+            ),
+            StoreError::ShardPoisoned { shard } => write!(
+                f,
+                "shard {shard} worker panicked mid-batch; its queries were dropped"
             ),
         }
     }
@@ -156,6 +167,9 @@ mod tests {
         assert!(StoreError::LabelMismatch { u: 1, v: 2 }
             .to_string()
             .contains("prefix"));
+        assert!(StoreError::ShardPoisoned { shard: 3 }
+            .to_string()
+            .contains("shard 3"));
         let io: StoreError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(std::error::Error::source(&io).is_some());
         assert!(std::error::Error::source(&StoreError::BadMagic).is_none());

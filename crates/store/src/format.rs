@@ -37,7 +37,7 @@ use mstv_graph::{NodeId, Weight};
 use mstv_labels::{
     BitString, ImplicitDistScheme, ImplicitFlowScheme, ImplicitMaxScheme, LabelCodec, SepFieldCodec,
 };
-use mstv_trees::{centroid_decomposition, PathMaxIndex, RootedTree};
+use mstv_trees::{centroid_decomposition_parallel, ParallelConfig, PathMaxIndex, RootedTree};
 
 use crate::crc::crc32;
 use crate::StoreError;
@@ -108,10 +108,33 @@ impl Snapshot {
     /// `MAX`, `FLOW`, and `DIST` labels under one shared centroid
     /// decomposition and the given separator-field codec.
     pub fn build(tree: &RootedTree, sep_codec: SepFieldCodec) -> Snapshot {
-        let sep = centroid_decomposition(tree);
-        let max_scheme = ImplicitMaxScheme::with_decomposition(tree, &sep, sep_codec);
-        let flow_scheme = ImplicitFlowScheme::with_decomposition(tree, &sep, sep_codec);
-        let dist_scheme = ImplicitDistScheme::with_decomposition(tree, &sep, sep_codec);
+        Self::build_parallel(
+            tree,
+            sep_codec,
+            ParallelConfig::with_threads(std::num::NonZeroUsize::MIN),
+        )
+    }
+
+    /// [`Snapshot::build`] with the whole labeling pipeline — centroid
+    /// decomposition, per-node `MAX`/`FLOW`/`DIST` label assembly, and
+    /// bit-level encoding — fanned across a scoped thread pool.
+    ///
+    /// The output is byte-identical to the sequential builder for every
+    /// thread count (`Snapshot::build` *is* this function pinned to one
+    /// worker), so golden snapshot fixtures and checksums are stable no
+    /// matter how a snapshot was produced.
+    pub fn build_parallel(
+        tree: &RootedTree,
+        sep_codec: SepFieldCodec,
+        config: ParallelConfig,
+    ) -> Snapshot {
+        let sep = centroid_decomposition_parallel(tree, config);
+        let max_scheme =
+            ImplicitMaxScheme::with_decomposition_parallel(tree, &sep, sep_codec, config);
+        let flow_scheme =
+            ImplicitFlowScheme::with_decomposition_parallel(tree, &sep, sep_codec, config);
+        let dist_scheme =
+            ImplicitDistScheme::with_decomposition_parallel(tree, &sep, sep_codec, config);
         let parents = tree
             .nodes()
             .map(|v| tree.parent(v).map(|p| (p, tree.parent_weight(v))))
@@ -702,6 +725,28 @@ mod tests {
                 let back = Snapshot::from_bytes(&bytes).expect("roundtrip");
                 assert_eq!(back, snap, "n={n} codec={codec:?}");
                 assert_eq!(back.tree().unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical() {
+        for (n, w, seed) in [(1usize, 1u64, 20u64), (70, 400, 21), (311, 90, 22)] {
+            let t = tree_of(n, w, seed);
+            for codec in [
+                SepFieldCodec::EliasGamma,
+                SepFieldCodec::FixedWidth { bits: 12 },
+            ] {
+                let baseline = Snapshot::build(&t, codec).to_bytes();
+                for threads in [1usize, 2, 8] {
+                    let cfg =
+                        ParallelConfig::with_threads(std::num::NonZeroUsize::new(threads).unwrap());
+                    let par = Snapshot::build_parallel(&t, codec, cfg).to_bytes();
+                    assert_eq!(
+                        par, baseline,
+                        "n={n} codec={codec:?} threads={threads}: snapshot bytes diverged"
+                    );
+                }
             }
         }
     }

@@ -57,6 +57,16 @@ impl<V: Clone> LruCache<V> {
         self.capacity
     }
 
+    /// Drops every cached entry, keeping the configured capacity. Used
+    /// when a shard recovers from a poisoned lock and can no longer
+    /// trust what a panicking worker may have half-written.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     fn unlink(&mut self, i: usize) {
         let (prev, next) = (self.slab[i].prev, self.slab[i].next);
         if prev == NIL {
@@ -170,6 +180,20 @@ mod tests {
         c.insert(3, 30);
         assert_eq!(c.get(1), Some(11));
         assert_eq!(c.get(2), None);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut c: LruCache<u64> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.capacity(), 2);
+        // The cache works normally after a clear.
+        c.insert(3, 30);
+        assert_eq!(c.get(3), Some(30));
     }
 
     #[test]

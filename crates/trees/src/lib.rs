@@ -29,6 +29,7 @@
 mod hld;
 mod kruskal_tree;
 mod lca;
+mod parallel;
 mod pathmax;
 mod rmq;
 mod rooted;
@@ -37,10 +38,11 @@ mod separator;
 pub use hld::HeavyLightIndex;
 pub use kruskal_tree::KruskalTree;
 pub use lca::LcaIndex;
+pub use parallel::{par_map_chunks, ParallelConfig};
 pub use pathmax::PathMaxIndex;
 pub use rmq::SparseTableRmq;
 pub use rooted::RootedTree;
 pub use separator::{
-    centroid_decomposition, first_vertex_decomposition, random_decomposition,
-    SeparatorDecomposition,
+    centroid_decomposition, centroid_decomposition_parallel, first_vertex_decomposition,
+    random_decomposition, SeparatorDecomposition, SEQ_CUTOFF,
 };

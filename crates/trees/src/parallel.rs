@@ -1,0 +1,106 @@
+//! Thread-count policy shared by the parallel tree algorithms.
+//!
+//! [`ParallelConfig`] started life in `mstv-core` as the knob for
+//! `verify_all_parallel`; the marker side (centroid decomposition, label
+//! assembly, snapshot builds) now takes the same knob, so the type lives
+//! here at the bottom of the crate stack and `mstv-core` re-exports it —
+//! `mstv_core::ParallelConfig` keeps working unchanged.
+
+use std::num::NonZeroUsize;
+
+/// Thread-count policy for parallel tree / marker / verifier stages.
+///
+/// The default (`threads: None`) sizes the pool from
+/// [`std::thread::available_parallelism`], so callers no longer hand-pick
+/// thread counts:
+///
+/// ```
+/// use mstv_trees::ParallelConfig;
+/// use std::num::NonZeroUsize;
+///
+/// let auto = ParallelConfig::default();
+/// let four = ParallelConfig::with_threads(NonZeroUsize::new(4).unwrap());
+/// assert!(auto.resolved_threads().get() >= 1);
+/// assert_eq!(four.resolved_threads().get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Explicit worker-thread count; `None` = available parallelism.
+    pub threads: Option<NonZeroUsize>,
+}
+
+impl ParallelConfig {
+    /// A configuration pinned to exactly `threads` workers.
+    pub fn with_threads(threads: NonZeroUsize) -> Self {
+        ParallelConfig {
+            threads: Some(threads),
+        }
+    }
+
+    /// The effective worker count: the explicit setting, else the host's
+    /// available parallelism, else 1.
+    pub fn resolved_threads(&self) -> NonZeroUsize {
+        self.threads
+            .or_else(|| std::thread::available_parallelism().ok())
+            .unwrap_or(NonZeroUsize::MIN)
+    }
+}
+
+impl From<NonZeroUsize> for ParallelConfig {
+    fn from(threads: NonZeroUsize) -> Self {
+        ParallelConfig::with_threads(threads)
+    }
+}
+
+/// Maps `f` over `[0, n)` in contiguous chunks, one per worker thread,
+/// and concatenates the results in chunk order.
+///
+/// `f(lo, hi)` must return the images of `lo..hi` in order; the
+/// concatenation is then identical to `f(0, n)`, so parallel per-node
+/// pipelines built on this helper (label assembly, label encoding) are
+/// deterministic by construction. With one thread (or `n <= 1`) the
+/// closure runs inline with no pool at all.
+pub fn par_map_chunks<T: Send>(
+    n: usize,
+    threads: NonZeroUsize,
+    f: impl Fn(usize, usize) -> Vec<T> + Sync,
+) -> Vec<T> {
+    let threads = threads.get().min(n.max(1));
+    if threads <= 1 {
+        return f(0, n);
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || f(lo, hi))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("chunk worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concatenation_matches_sequential_for_awkward_splits() {
+        for n in [0usize, 1, 2, 7, 64, 65] {
+            for t in [1usize, 2, 3, 8, 64] {
+                let got = par_map_chunks(n, NonZeroUsize::new(t).unwrap(), |lo, hi| {
+                    (lo..hi).map(|i| i * i).collect()
+                });
+                let want: Vec<usize> = (0..n).map(|i| i * i).collect();
+                assert_eq!(got, want, "n={n} t={t}");
+            }
+        }
+    }
+}

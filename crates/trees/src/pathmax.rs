@@ -57,43 +57,64 @@ impl PathMaxIndex {
         PathMaxIndex { up, mx, mn, depth }
     }
 
-    fn lift(&self, v: NodeId, levels_up: u32) -> (NodeId, Weight, Weight) {
-        let mut cur = v.0 as usize;
+    /// Lifts `v` exactly `levels_up` ancestor steps, folding edge stats.
+    ///
+    /// The fold seeds (`Weight::ZERO` for max, `Weight(u64::MAX)` for min)
+    /// are identities, not answers: `lift` reports how many real edges it
+    /// folded so callers can tell an empty fold (`levels_up == 0`, where
+    /// the seeds survive untouched) from a genuine path statistic. Callers
+    /// must never lift past the root — the root's self-step in the tables
+    /// carries the identity weights and would silently dilute counts.
+    fn lift(&self, v: NodeId, levels_up: u32) -> (NodeId, Weight, Weight, u64) {
+        debug_assert!(
+            levels_up <= self.depth[v.index()],
+            "lift({v}, {levels_up}) would pass the root"
+        );
+        // `cur` stays a u32 node id end to end: indexing widens losslessly
+        // and no narrowing cast is needed to rebuild the NodeId.
+        let mut cur = v.0;
         let mut best_max = Weight::ZERO;
         let mut best_min = Weight(u64::MAX);
         let mut remaining = levels_up;
         let mut k = 0;
         while remaining > 0 {
             if remaining & 1 == 1 {
-                best_max = best_max.max(self.mx[k][cur]);
-                best_min = best_min.min(self.mn[k][cur]);
-                cur = self.up[k][cur] as usize;
+                best_max = best_max.max(self.mx[k][cur as usize]);
+                best_min = best_min.min(self.mn[k][cur as usize]);
+                cur = self.up[k][cur as usize];
             }
             remaining >>= 1;
             k += 1;
         }
-        (NodeId(cur as u32), best_max, best_min)
+        (NodeId(cur), best_max, best_min, u64::from(levels_up))
     }
 
-    /// `(lca, max, min)` over the path between `u` and `v`.
-    fn path_stats(&self, u: NodeId, v: NodeId) -> (NodeId, Weight, Weight) {
+    /// `(lca, max, min, edges)` over the path between `u` and `v`.
+    ///
+    /// `edges` counts the tree edges actually folded into the statistics;
+    /// it is zero exactly when `u == v`, the only case in which the
+    /// sentinel seeds survive to the return value.
+    fn path_stats(&self, u: NodeId, v: NodeId) -> (NodeId, Weight, Weight, u64) {
         let (du, dv) = (self.depth[u.index()], self.depth[v.index()]);
         let (mut a, mut b) = (u, v);
         let mut best_max = Weight::ZERO;
         let mut best_min = Weight(u64::MAX);
+        let mut edges = 0u64;
         if du > dv {
-            let (na, mx, mn) = self.lift(a, du - dv);
+            let (na, mx, mn, steps) = self.lift(a, du - dv);
             a = na;
             best_max = best_max.max(mx);
             best_min = best_min.min(mn);
+            edges += steps;
         } else if dv > du {
-            let (nb, mx, mn) = self.lift(b, dv - du);
+            let (nb, mx, mn, steps) = self.lift(b, dv - du);
             b = nb;
             best_max = best_max.max(mx);
             best_min = best_min.min(mn);
+            edges += steps;
         }
         if a == b {
-            return (a, best_max, best_min);
+            return (a, best_max, best_min, edges);
         }
         for k in (0..self.up.len()).rev() {
             if self.up[k][a.index()] != self.up[k][b.index()] {
@@ -103,6 +124,7 @@ impl PathMaxIndex {
                 best_min = best_min
                     .min(self.mn[k][a.index()])
                     .min(self.mn[k][b.index()]);
+                edges += 2u64 << k;
                 a = NodeId(self.up[k][a.index()]);
                 b = NodeId(self.up[k][b.index()]);
             }
@@ -113,7 +135,8 @@ impl PathMaxIndex {
         best_min = best_min
             .min(self.mn[0][a.index()])
             .min(self.mn[0][b.index()]);
-        (NodeId(self.up[0][a.index()]), best_max, best_min)
+        edges += 2;
+        (NodeId(self.up[0][a.index()]), best_max, best_min, edges)
     }
 
     /// Number of indexed nodes.
@@ -136,7 +159,9 @@ impl PathMaxIndex {
         if u == v {
             return Weight::ZERO;
         }
-        self.path_stats(u, v).1
+        let (_, best_max, _, edges) = self.path_stats(u, v);
+        debug_assert!(edges > 0, "distinct nodes must fold at least one edge");
+        best_max
     }
 
     /// Non-panicking [`PathMaxIndex::max_on_path`] for node ids read from
@@ -157,7 +182,9 @@ impl PathMaxIndex {
         if u == v {
             return Weight(u64::MAX);
         }
-        self.path_stats(u, v).2
+        let (_, _, best_min, edges) = self.path_stats(u, v);
+        debug_assert!(edges > 0, "distinct nodes must fold at least one edge");
+        best_min
     }
 
     /// Non-panicking [`PathMaxIndex::min_on_path`]: `None` when either
@@ -288,5 +315,61 @@ mod tests {
         let idx = PathMaxIndex::new(&t);
         assert_eq!(idx.max_on_path(NodeId(0), NodeId(0)), Weight::ZERO);
         assert_eq!(idx.min_on_path(NodeId(0), NodeId(0)), Weight(u64::MAX));
+    }
+
+    #[test]
+    fn adjacent_nodes_report_their_single_edge() {
+        // Paths of exactly one edge (depth difference 1, then the lift
+        // alone answers): the edge weight itself must come back, never a
+        // fold sentinel, in both directions.
+        let t = sample();
+        let idx = PathMaxIndex::new(&t);
+        for (c, p, w) in t.edges() {
+            assert_eq!(idx.max_on_path(c, p), w, "{c}->{p}");
+            assert_eq!(idx.max_on_path(p, c), w, "{p}->{c}");
+            assert_eq!(idx.min_on_path(c, p), w, "{c}->{p}");
+            assert_eq!(idx.min_on_path(p, c), w, "{p}->{c}");
+        }
+    }
+
+    #[test]
+    fn same_node_answers_are_the_documented_identities() {
+        // `u == v` is the empty path: MAX is Weight::ZERO, FLOW is
+        // infinity, by the documented contract — and the only case where
+        // those values arise without a real edge behind them.
+        let t = sample();
+        let idx = PathMaxIndex::new(&t);
+        for v in t.nodes() {
+            assert_eq!(idx.max_on_path(v, v), Weight::ZERO);
+            assert_eq!(idx.min_on_path(v, v), Weight(u64::MAX));
+            assert_eq!(idx.lca(v, v), v);
+        }
+    }
+
+    #[test]
+    fn weight_zero_edges_are_legitimate_answers() {
+        // All-zero weights: MAX(u, v) == 0 coincides with the max-fold
+        // seed and MIN must be 0, not the u64::MAX seed. Cross-check the
+        // whole matrix against the naive walker.
+        let mut rng = StdRng::seed_from_u64(44);
+        let parents = (0..64usize)
+            .map(|i| {
+                (i > 0).then(|| {
+                    let p = rand::Rng::gen_range(&mut rng, 0..i);
+                    (NodeId(p as u32), Weight(0))
+                })
+            })
+            .collect();
+        let t = RootedTree::from_parents(NodeId(0), parents).unwrap();
+        let idx = PathMaxIndex::new(&t);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                if u == v {
+                    continue;
+                }
+                assert_eq!(idx.max_on_path(u, v), Weight::ZERO);
+                assert_eq!(idx.min_on_path(u, v), Weight::ZERO, "u={u} v={v}");
+            }
+        }
     }
 }

@@ -16,11 +16,42 @@
 //! ranks order subtrees by decreasing size, which is what makes the
 //! separator-path component of the label telescope to `O(log n)` bits
 //! (the technique of Gavoille–Peleg–Pérennes–Raz used by the paper).
+//!
+//! # Parallel construction and determinism
+//!
+//! Centroid decomposition is built by an index-based engine that keeps all
+//! per-component scratch (DFS order, parents, subtree sizes) in flat `Vec`
+//! buffers indexed by node id — no hashing on the hot path. After each
+//! separator is removed, the remaining subtrees are independent, so
+//! [`centroid_decomposition_parallel`] fans them out to a scoped pool of
+//! worker threads fed from a shared work queue.
+//!
+//! **Determinism guarantee:** the parallel build is *byte-identical* to
+//! [`centroid_decomposition`] for every tree and thread count. Each
+//! component's centroid depends only on the component itself (ties broken
+//! by a fixed DFS discovery order from the component's representative), and
+//! sibling subtree ranks come from a stable sort by decreasing size with
+//! adjacency-order tie-breaks — none of which depends on scheduling. Tests
+//! assert equality of whole decompositions across 1/2/8 threads.
+//!
+//! **Sequential cutoff:** components of at most [`SEQ_CUTOFF`] nodes are
+//! decomposed to completion inside the worker that pops them instead of
+//! being split back into the shared queue. Below that size the queue lock
+//! and task allocation cost more than the `O(size · log size)` of just
+//! finishing the subtree locally; the value is a power of two picked so
+//! cutoff-sized components still fit comfortably in per-core caches.
+
+use std::cmp::Reverse;
+use std::sync::{Condvar, Mutex};
 
 use mstv_graph::NodeId;
 use rand::Rng;
 
-use crate::RootedTree;
+use crate::{ParallelConfig, RootedTree};
+
+/// Components of at most this many nodes are finished sequentially by the
+/// worker that holds them rather than re-queued (see module docs).
+pub const SEQ_CUTOFF: usize = 1024;
 
 /// A separator decomposition of a tree, with subtree numbering.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -309,63 +340,331 @@ fn decompose(tree: &RootedTree, chooser: &mut dyn SeparatorChooser) -> Separator
     }
 }
 
+/// Sentinel for "no node" in the flat `u32` scratch buffers.
+const NONE: u32 = u32::MAX;
+
+/// Flat adjacency in CSR form, neighbor order identical to [`adjacency`]
+/// (parent edge first per the child, children in `tree.edges()` order) —
+/// the order that fixes all centroid tie-breaks.
+struct Csr {
+    off: Vec<u32>,
+    dst: Vec<u32>,
+}
+
+impl Csr {
+    fn new(tree: &RootedTree) -> Self {
+        let n = tree.num_nodes();
+        let mut deg = vec![0u32; n];
+        for (c, p, _) in tree.edges() {
+            deg[c.index()] += 1;
+            deg[p.index()] += 1;
+        }
+        let mut off = vec![0u32; n + 1];
+        for i in 0..n {
+            off[i + 1] = off[i] + deg[i];
+        }
+        let mut cursor = off.clone();
+        let mut dst = vec![0u32; off[n] as usize];
+        for (c, p, _) in tree.edges() {
+            dst[cursor[c.index()] as usize] = p.0;
+            cursor[c.index()] += 1;
+            dst[cursor[p.index()] as usize] = c.0;
+            cursor[p.index()] += 1;
+        }
+        Csr { off, dst }
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32) -> &[u32] {
+        &self.dst[self.off[v as usize] as usize..self.off[v as usize + 1] as usize]
+    }
+}
+
+/// One pending component: its node set (first element is the DFS
+/// representative), the separator it hangs off, and its level / rank.
+struct Task {
+    comp: Vec<u32>,
+    sep_parent: u32,
+    level: u32,
+    rank: u32,
+}
+
+/// The decomposition facts for one chosen separator. Records from
+/// different components touch different nodes, so workers can produce them
+/// in any order and the merged arrays are identical.
+struct Record {
+    sep: u32,
+    sep_parent: u32,
+    level: u32,
+    rank: u32,
+    size: u32,
+}
+
+/// Reusable index-based scratch for centroid selection: all lookups are
+/// array indexing, membership tests are stamp comparisons (no clearing
+/// between components, no hashing).
+struct Scratch {
+    /// `in_comp[v] == stamp` marks membership in the current component.
+    in_comp: Vec<u32>,
+    /// `seen[v] == stamp` marks DFS discovery in the current component.
+    seen: Vec<u32>,
+    /// DFS-tree parent within the current component (`NONE` at the root).
+    parent: Vec<u32>,
+    /// DFS subtree size within the current component.
+    size: Vec<u32>,
+    /// Position of each node in `order`.
+    pos: Vec<u32>,
+    /// DFS discovery order of the current component.
+    order: Vec<u32>,
+    stamp: u32,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            in_comp: vec![0; n],
+            seen: vec![0; n],
+            parent: vec![NONE; n],
+            size: vec![0; n],
+            pos: vec![0; n],
+            order: Vec::with_capacity(n),
+            stamp: 0,
+        }
+    }
+
+    /// Chooses the centroid of `task.comp`, records it, and returns the
+    /// child components ordered by decreasing size (rank order).
+    fn expand(&mut self, csr: &Csr, task: Task, records: &mut Vec<Record>) -> Vec<Task> {
+        let total = task.comp.len();
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for &v in &task.comp {
+            self.in_comp[v as usize] = stamp;
+        }
+        // DFS from the representative; discovery order fixes tie-breaks.
+        let root = task.comp[0];
+        self.order.clear();
+        self.parent[root as usize] = NONE;
+        self.seen[root as usize] = stamp;
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            self.pos[v as usize] = self.order.len() as u32;
+            self.order.push(v);
+            for &nb in csr.neighbors(v) {
+                if self.in_comp[nb as usize] == stamp && self.seen[nb as usize] != stamp {
+                    self.seen[nb as usize] = stamp;
+                    self.parent[nb as usize] = v;
+                    stack.push(nb);
+                }
+            }
+        }
+        debug_assert_eq!(self.order.len(), total);
+        // Subtree sizes, bottom-up over the discovery order.
+        for &v in &self.order {
+            self.size[v as usize] = 1;
+        }
+        for i in (1..self.order.len()).rev() {
+            let v = self.order[i];
+            let p = self.parent[v as usize];
+            self.size[p as usize] += self.size[v as usize];
+        }
+        // Centroid: minimal max piece after removal (<= total/2 exists).
+        // Strict `<` over the discovery order makes the choice canonical.
+        let mut best = root;
+        let mut best_piece = usize::MAX;
+        for &v in &self.order {
+            let mut piece = total - self.size[v as usize] as usize;
+            for &nb in csr.neighbors(v) {
+                if self.in_comp[nb as usize] == stamp && self.parent[nb as usize] == v {
+                    piece = piece.max(self.size[nb as usize] as usize);
+                }
+            }
+            if piece < best_piece {
+                best_piece = piece;
+                best = v;
+            }
+        }
+        debug_assert!(2 * best_piece <= total);
+        let sep = best;
+        records.push(Record {
+            sep,
+            sep_parent: task.sep_parent,
+            level: task.level,
+            rank: task.rank,
+            size: total as u32,
+        });
+        // Child components, straight off the DFS tree: each DFS subtree is
+        // a contiguous segment of `order`, and the piece through the
+        // separator's own DFS parent is everything outside the separator's
+        // segment. Pieces are collected in the separator's neighbor order,
+        // then stable-sorted by decreasing size — the same rank order the
+        // sequential builder derives.
+        let sep_start = self.pos[sep as usize] as usize;
+        let sep_end = sep_start + self.size[sep as usize] as usize;
+        let mut subs: Vec<Vec<u32>> = Vec::new();
+        for &nb in csr.neighbors(sep) {
+            if self.in_comp[nb as usize] != stamp {
+                continue;
+            }
+            if self.parent[nb as usize] == sep {
+                let s = self.pos[nb as usize] as usize;
+                subs.push(self.order[s..s + self.size[nb as usize] as usize].to_vec());
+            } else {
+                // nb is the separator's DFS parent: its piece is the rest
+                // of the component, listed with nb first so it becomes the
+                // child component's representative.
+                let mut rest = Vec::with_capacity(total - (sep_end - sep_start));
+                rest.push(nb);
+                for &v in self.order[..sep_start].iter().chain(&self.order[sep_end..]) {
+                    if v != nb {
+                        rest.push(v);
+                    }
+                }
+                subs.push(rest);
+            }
+        }
+        subs.sort_by_key(|s| Reverse(s.len()));
+        subs.into_iter()
+            .enumerate()
+            .map(|(j, sub)| Task {
+                comp: sub,
+                sep_parent: sep,
+                level: task.level + 1,
+                rank: j as u32,
+            })
+            .collect()
+    }
+}
+
+/// Runs `stack` to completion with LIFO order, appending to `records`.
+fn run_sequential(
+    csr: &Csr,
+    scratch: &mut Scratch,
+    mut stack: Vec<Task>,
+    records: &mut Vec<Record>,
+) {
+    while let Some(task) = stack.pop() {
+        stack.extend(scratch.expand(csr, task, records));
+    }
+}
+
+fn assemble(n: usize, records: Vec<Record>) -> SeparatorDecomposition {
+    let mut parent = vec![None; n];
+    let mut level = vec![0u32; n];
+    let mut child_rank = vec![0u32; n];
+    let mut component_size = vec![0usize; n];
+    let mut root = NodeId(0);
+    debug_assert_eq!(records.len(), n);
+    for r in records {
+        let i = r.sep as usize;
+        parent[i] = (r.sep_parent != NONE).then_some(NodeId(r.sep_parent));
+        level[i] = r.level;
+        child_rank[i] = r.rank;
+        component_size[i] = r.size as usize;
+        if r.sep_parent == NONE {
+            root = NodeId(r.sep);
+        }
+    }
+    SeparatorDecomposition {
+        root,
+        parent,
+        level,
+        child_rank,
+        component_size,
+    }
+}
+
+fn whole_tree_task(n: usize) -> Task {
+    Task {
+        comp: (0..n as u32).collect(),
+        sep_parent: NONE,
+        level: 1,
+        rank: 0,
+    }
+}
+
 /// The *perfect* separator decomposition: every separator is a centroid of
 /// its component, so each formed subtree has at most half the component's
 /// vertices and the depth is at most `⌊log₂ n⌋ + 1`.
 pub fn centroid_decomposition(tree: &RootedTree) -> SeparatorDecomposition {
-    struct Centroid;
-    impl SeparatorChooser for Centroid {
-        fn choose(
-            &mut self,
-            adj: &[Vec<NodeId>],
-            removed: &[bool],
-            component: &[NodeId],
-        ) -> NodeId {
-            let total = component.len();
-            // Subtree sizes via DFS from component[0].
-            let root = component[0];
-            let mut order = Vec::with_capacity(total);
-            let mut parent: std::collections::HashMap<NodeId, NodeId> =
-                std::collections::HashMap::new();
-            let mut stack = vec![root];
-            let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
-            seen.insert(root);
-            while let Some(v) = stack.pop() {
-                order.push(v);
-                for &nb in &adj[v.index()] {
-                    if !removed[nb.index()] && seen.insert(nb) {
-                        parent.insert(nb, v);
-                        stack.push(nb);
-                    }
-                }
+    let n = tree.num_nodes();
+    let csr = Csr::new(tree);
+    let mut scratch = Scratch::new(n);
+    let mut records = Vec::with_capacity(n);
+    run_sequential(&csr, &mut scratch, vec![whole_tree_task(n)], &mut records);
+    assemble(n, records)
+}
+
+/// Shared work-pool state: pending components plus the number of tasks
+/// currently being expanded (for termination detection).
+struct PoolState {
+    queue: Vec<Task>,
+    active: usize,
+}
+
+/// [`centroid_decomposition`] across a scoped pool of worker threads.
+///
+/// After each separator is removed the remaining subtrees are independent,
+/// so they are fed back into a shared queue and picked up by any idle
+/// worker; components of at most [`SEQ_CUTOFF`] nodes are finished locally
+/// by the worker holding them. The result is **byte-identical** to the
+/// sequential decomposition for every thread count (see module docs).
+pub fn centroid_decomposition_parallel(
+    tree: &RootedTree,
+    config: ParallelConfig,
+) -> SeparatorDecomposition {
+    let n = tree.num_nodes();
+    let threads = config.resolved_threads().get().min(n.max(1));
+    if threads <= 1 || n <= SEQ_CUTOFF {
+        return centroid_decomposition(tree);
+    }
+    let csr = Csr::new(tree);
+    let state = Mutex::new(PoolState {
+        queue: vec![whole_tree_task(n)],
+        active: 0,
+    });
+    let cv = Condvar::new();
+    let records = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| s.spawn(|| decompose_worker(&csr, n, &state, &cv)))
+            .collect();
+        let mut all = Vec::with_capacity(n);
+        for h in handles {
+            all.extend(h.join().expect("decomposition worker panicked"));
+        }
+        all
+    });
+    assemble(n, records)
+}
+
+fn decompose_worker(csr: &Csr, n: usize, state: &Mutex<PoolState>, cv: &Condvar) -> Vec<Record> {
+    let mut scratch = Scratch::new(n);
+    let mut records = Vec::new();
+    let mut guard = state.lock().expect("decomposition queue lock");
+    loop {
+        if let Some(task) = guard.queue.pop() {
+            guard.active += 1;
+            drop(guard);
+            let subs = if task.comp.len() <= SEQ_CUTOFF {
+                run_sequential(csr, &mut scratch, vec![task], &mut records);
+                Vec::new()
+            } else {
+                scratch.expand(csr, task, &mut records)
+            };
+            guard = state.lock().expect("decomposition queue lock");
+            guard.active -= 1;
+            if !subs.is_empty() {
+                guard.queue.extend(subs);
+                cv.notify_all();
+            } else if guard.active == 0 && guard.queue.is_empty() {
+                cv.notify_all();
             }
-            let mut size: std::collections::HashMap<NodeId, usize> =
-                order.iter().map(|&v| (v, 1)).collect();
-            for &v in order.iter().rev() {
-                if let Some(&p) = parent.get(&v) {
-                    *size.get_mut(&p).unwrap() += size[&v];
-                }
-            }
-            // Centroid: max piece after removal is minimal (<= total/2 exists).
-            let mut best = root;
-            let mut best_piece = usize::MAX;
-            for &v in &order {
-                let mut piece = total - size[&v];
-                for &nb in &adj[v.index()] {
-                    if !removed[nb.index()] && parent.get(&nb) == Some(&v) {
-                        piece = piece.max(size[&nb]);
-                    }
-                }
-                if piece < best_piece {
-                    best_piece = piece;
-                    best = v;
-                }
-            }
-            debug_assert!(2 * best_piece <= total);
-            best
+        } else if guard.active == 0 {
+            return records;
+        } else {
+            guard = cv.wait(guard).expect("decomposition queue lock");
         }
     }
-    decompose(tree, &mut Centroid)
 }
 
 /// A deliberately bad decomposition: always removes the smallest-id vertex
@@ -513,6 +812,34 @@ mod tests {
         assert_eq!(d.level(NodeId(0)), 1);
         assert_eq!(d.max_level(), 1);
         d.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn parallel_equals_sequential_small_and_large() {
+        use std::num::NonZeroUsize;
+        // Sizes straddling SEQ_CUTOFF so the worker pool really runs.
+        for n in [1usize, 2, 17, 300, SEQ_CUTOFF + 1, 4 * SEQ_CUTOFF + 7] {
+            let t = tree_of(n, 0xC0FFEE ^ n as u64);
+            let seq = centroid_decomposition(&t);
+            for threads in [1usize, 2, 8] {
+                let cfg = ParallelConfig::with_threads(NonZeroUsize::new(threads).unwrap());
+                let par = centroid_decomposition_parallel(&t, cfg);
+                assert_eq!(par, seq, "n={n} threads={threads}");
+                par.validate(&t).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_on_path_matches_known_root() {
+        use std::num::NonZeroUsize;
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen::path(31, gen::WeightDist::Constant(1), &mut rng);
+        let t = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let cfg = ParallelConfig::with_threads(NonZeroUsize::new(4).unwrap());
+        let d = centroid_decomposition_parallel(&t, cfg);
+        assert_eq!(d.root(), NodeId(15));
+        assert_eq!(d.max_level(), 5);
     }
 
     #[test]

@@ -30,6 +30,15 @@ for seed in $(seq 0 15); do
         || { echo "ci: net smoke failed at seed $seed"; exit 1; }
 done
 
+echo "== parallel marker equivalence (pinned at 2 workers) =="
+# The proptest sweep asserts centroid decompositions (and therefore the
+# whole label pipeline hanging off them) are identical under explicit
+# 1-, 2-, and 8-worker pools, so even a single-core CI box exercises
+# the multi-worker scheduling paths. The marker-level tests repeat the
+# check at the label/bit level for both π_mst and π_flow.
+cargo test -q --offline -p mstv-trees --test separator_parallel_proptest
+cargo test -q --offline -p mstv-core marker_parallel_is_byte_identical
+
 echo "== label-store golden fixture (byte-for-byte) =="
 # The committed fixture pins the snapshot container layout and the label
 # encodings underneath it; any drift fails here rather than silently

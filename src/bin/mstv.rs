@@ -25,7 +25,7 @@ use mst_verification::labels::SepFieldCodec;
 use mst_verification::mst::{check_mst, kruskal, mst_weight, MstVerdict};
 use mst_verification::sensitivity::{sensitivity, EdgeSensitivity};
 use mst_verification::store::{Answer, EngineConfig, Query, QueryEngine, Snapshot};
-use mst_verification::trees::{PathMaxIndex, RootedTree};
+use mst_verification::trees::{ParallelConfig, PathMaxIndex, RootedTree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,7 +59,7 @@ const USAGE: &str = "usage:
   mstv net --replay <log-file>
       re-run a saved event log deterministically on one thread and
       cross-check verdict and counts against the recorded run
-  mstv snapshot write <graph-file> <out.snap> [--codec gamma|fixed]
+  mstv snapshot write <graph-file> <out.snap> [--codec gamma|fixed] [--threads N]
            [--no-dist]
       compute the graph's MST and persist the marked tree plus its full
       MAX/FLOW/DIST label stack as a CRC-checked binary snapshot
@@ -538,7 +538,20 @@ fn cmd_snapshot(args: &[String]) -> Result<(), String> {
                 },
                 Some(other) => return Err(format!("unknown codec {other:?} (gamma|fixed)")),
             };
-            let mut snap = Snapshot::build(&tree, codec);
+            // --threads N fans the whole labeling pipeline (decomposition,
+            // label assembly, bit encoding) across N workers; output bytes
+            // are identical for every thread count.
+            let config = match flag_value(args, "--threads")? {
+                None => ParallelConfig::default(),
+                Some(n) => {
+                    let n = usize::try_from(n)
+                        .ok()
+                        .and_then(std::num::NonZeroUsize::new)
+                        .ok_or("--threads must be a positive integer")?;
+                    ParallelConfig::with_threads(n)
+                }
+            };
+            let mut snap = Snapshot::build_parallel(&tree, codec, config);
             if args.iter().any(|a| a == "--no-dist") {
                 snap.strip_dist();
             }
