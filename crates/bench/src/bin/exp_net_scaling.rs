@@ -1,0 +1,251 @@
+//! E15 — net runtime scaling: verification throughput (nodes/sec) and
+//! peak RSS of the two execution engines as the instance grows, under a
+//! mildly lossy link (drop 0.05, duplicate 0.02, delay 1).
+//!
+//! The point of the experiment is the engine gap: the thread-per-node
+//! engine needs one OS thread (stack and all) per node and is measured
+//! only up to 10k nodes — at 100k it would ask the host for 100k
+//! threads, so that cell is reported as skipped, not attempted. The
+//! event-driven engine multiplexes every node over a bounded pool and
+//! completes the lossy 100k-node instance. Event-log recording is
+//! switched off for the 100k run so the reported RSS reflects the
+//! engine, not a multi-hundred-MB log.
+//!
+//! Where both engines run, their verdicts and exact MessageCost are
+//! asserted equal (and the recorded schedules byte-identical at the
+//! smallest size) — the table cannot be fast-but-wrong. Timings and
+//! RSS are reported, never asserted.
+//!
+//! Peak RSS is `VmHWM` from `/proc/self/status`, reset between runs by
+//! writing `5` to `/proc/self/clear_refs` (both best-effort: outside
+//! Linux the column reports 0). After a reset the high-water mark
+//! restarts from the *current* resident set, so each value includes
+//! the instance and labels shared by all runs — the differences
+//! between rows are the engines'.
+//!
+//! Besides the greppable per-point JSON lines, the whole series is
+//! written to `BENCH_net.json` (override the path with the first
+//! positional argument).
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use mstv_bench::{mst_workload, print_table};
+use mstv_core::{MstScheme, ParallelConfig};
+use mstv_net::{
+    run_verification_with, Engine, FaultProfile, LossyLink, MstWireScheme, NetConfig, NetRun,
+};
+
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+/// Thread-per-node refuses sizes above this: the engine exists to be
+/// faithful, not to fork 100k OS threads on a shared host.
+const THREADS_ENGINE_CAP: usize = 10_000;
+
+const PROFILE: FaultProfile = FaultProfile {
+    drop: 0.05,
+    duplicate: 0.02,
+    max_delay: 1,
+    crash: 0.0,
+    max_crashes: 0,
+};
+
+struct Point {
+    nodes: usize,
+    engine: &'static str,
+    workers: usize,
+    secs: f64,
+    peak_rss_kb: u64,
+    msgs: u64,
+    bits: u128,
+    rounds: u64,
+}
+
+impl Point {
+    fn nodes_per_sec(&self) -> f64 {
+        self.nodes as f64 / self.secs
+    }
+}
+
+fn main() {
+    let pool = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    println!("E15: net runtime scaling (nodes/sec and peak RSS vs instance size)");
+    println!("host parallelism: {pool} (events-engine pool size)");
+    println!(
+        "profile: drop={} dup={} delay={}",
+        PROFILE.drop, PROFILE.duplicate, PROFILE.max_delay
+    );
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &n in &SIZES {
+        let cfg = mst_workload(n, 1 << 16, 0xE15 + n as u64);
+        let labeling = MstScheme::new()
+            .marker_parallel(&cfg, ParallelConfig::default())
+            .expect("workload is an MST");
+        let wire = MstWireScheme::for_config(&cfg);
+        // Log recording costs memory proportional to traffic; at 100k
+        // the measurement is about the engine, so it goes dark there.
+        let record_log = n < 100_000;
+        let net = NetConfig {
+            record_log,
+            ..NetConfig::default()
+        };
+        let link_seed = 0x51ab ^ n as u64;
+
+        let mut run_engine = |engine: Engine, name: &'static str, workers: usize| -> NetRun {
+            reset_peak_rss();
+            let mut link = LossyLink::new(PROFILE, link_seed);
+            let t0 = Instant::now();
+            let run = run_verification_with(&wire, &cfg, &labeling, &mut link, net, engine)
+                .expect("fair-lossy run converges");
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            assert!(run.verdict.accepted(), "clean labels must verify");
+            let p = Point {
+                nodes: n,
+                engine: name,
+                workers,
+                secs,
+                peak_rss_kb: peak_rss_kb(),
+                msgs: run.cost.msgs,
+                bits: run.cost.bits,
+                rounds: run.cost.rounds,
+            };
+            println!(
+                "{{\"experiment\":\"net_scaling\",\"nodes\":{},\"engine\":\"{}\",\
+                 \"workers\":{},\"secs\":{:.6},\"nodes_per_sec\":{:.1},\
+                 \"peak_rss_kb\":{},\"msgs\":{},\"rounds\":{}}}",
+                p.nodes,
+                p.engine,
+                p.workers,
+                p.secs,
+                p.nodes_per_sec(),
+                p.peak_rss_kb,
+                p.msgs,
+                p.rounds
+            );
+            points.push(p);
+            run
+        };
+
+        let evented = run_engine(Engine::events(), "events", pool);
+        if n <= THREADS_ENGINE_CAP {
+            let threaded = run_engine(Engine::Threads, "threads", n);
+            assert_eq!(
+                threaded.verdict, evented.verdict,
+                "n={n}: engines disagree on the verdict"
+            );
+            assert_eq!(
+                threaded.cost, evented.cost,
+                "n={n}: engines disagree on the cost"
+            );
+            if record_log && n == SIZES[0] {
+                assert_eq!(
+                    threaded.log.to_string(),
+                    evented.log.to_string(),
+                    "n={n}: engines recorded different schedules"
+                );
+            }
+        } else {
+            println!(
+                "{{\"experiment\":\"net_scaling\",\"nodes\":{n},\"engine\":\"threads\",\
+                 \"skipped\":\"one OS thread per node does not scale to {n} nodes\"}}"
+            );
+            rows.push(vec![
+                n.to_string(),
+                "threads".to_owned(),
+                "-".to_owned(),
+                "(skipped: 1 thread/node)".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+            ]);
+        }
+    }
+
+    rows.extend(points.iter().map(|p| {
+        vec![
+            p.nodes.to_string(),
+            p.engine.to_owned(),
+            p.workers.to_string(),
+            format!("{:.0}", p.nodes_per_sec()),
+            format!("{}", p.peak_rss_kb),
+            format!("{} / {}", p.msgs, p.rounds),
+        ]
+    }));
+    rows.sort_by_key(|r| (r[0].parse::<usize>().unwrap_or(0), r[1].clone()));
+    print_table(
+        "net runtime scaling (costs cross-checked between engines up to 10k)",
+        &[
+            "nodes",
+            "engine",
+            "workers",
+            "nodes/sec",
+            "peak RSS kB",
+            "msgs / rounds",
+        ],
+        &rows,
+    );
+
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_net.json".to_owned());
+    std::fs::write(&out, series_json(&points, pool)).expect("write benchmark series");
+    println!("series written to {out}");
+}
+
+/// Best-effort reset of the peak-RSS counter (Linux ≥ 4.0).
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// `VmHWM` in kB from `/proc/self/status`, 0 where unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// The committed `BENCH_net.json` schema: experiment id, host
+/// parallelism, the fault profile, one object per completed
+/// (nodes, engine) run, and the skipped thread-engine cells.
+fn series_json(points: &[Point], pool: usize) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"net_scaling\",\n");
+    out.push_str(&format!("  \"host_parallelism\": {pool},\n"));
+    out.push_str(&format!(
+        "  \"profile\": {{\"drop\": {}, \"duplicate\": {}, \"max_delay\": {}}},\n",
+        PROFILE.drop, PROFILE.duplicate, PROFILE.max_delay
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"engine\": \"{}\", \"workers\": {}, \"secs\": {:.6}, \
+             \"nodes_per_sec\": {:.1}, \"peak_rss_kb\": {}, \"msgs\": {}, \"bits\": {}, \
+             \"rounds\": {}}}{}\n",
+            p.nodes,
+            p.engine,
+            p.workers,
+            p.secs,
+            p.nodes_per_sec(),
+            p.peak_rss_kb,
+            p.msgs,
+            p.bits,
+            p.rounds,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"skipped\": [\n");
+    let skipped: Vec<&usize> = SIZES.iter().filter(|&&n| n > THREADS_ENGINE_CAP).collect();
+    for (i, n) in skipped.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {n}, \"engine\": \"threads\", \
+             \"reason\": \"one OS thread per node does not scale\"}}{}\n",
+            if i + 1 == skipped.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -33,6 +33,20 @@ pub enum NetError {
         /// The absent key.
         key: String,
     },
+    /// A node worker died (panicked) while an event was outstanding.
+    /// The run cannot produce a verdict; the router shuts the remaining
+    /// workers down and surfaces the dead node instead of hanging on a
+    /// report that will never arrive.
+    WorkerDied {
+        /// The node whose worker died.
+        node: NodeId,
+    },
+    /// A label payload exceeds what the byte-frame length field can
+    /// carry (`2^32 - 1` bits); encoding it would silently truncate.
+    FrameTooLarge {
+        /// The payload length that does not fit.
+        bits: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -49,6 +63,15 @@ impl fmt::Display for NetError {
             }
             NetError::MissingHeader { key } => {
                 write!(f, "event log lacks required header {key:?}")
+            }
+            NetError::WorkerDied { node } => {
+                write!(f, "worker for {node} died while an event was outstanding")
+            }
+            NetError::FrameTooLarge { bits } => {
+                write!(
+                    f,
+                    "label payload of {bits} bits exceeds the frame length field (2^32 - 1 bits)"
+                )
             }
         }
     }

@@ -4,8 +4,11 @@
 //! The simulators in `mstv-distsim` idealize the network: labels move
 //! between nodes as shared-memory references, rounds are global
 //! barriers, and nothing is ever lost. This crate drops those
-//! idealizations. Each graph node runs as its own OS thread with a
-//! `mpsc` mailbox; everything that crosses a link is a serialized
+//! idealizations. Each graph node runs as a mailbox-driven state
+//! machine on one of two interchangeable [`Engine`]s — one OS thread
+//! per node ([`Engine::Threads`]), or all nodes multiplexed over a
+//! bounded worker pool ([`Engine::Events`], the only way to run
+//! 100k-node instances); everything that crosses a link is a serialized
 //! [`WireMsg`] — real bits, encoded with the instance-wide codecs, so
 //! the measured per-message cost is exactly the label size the paper
 //! bounds by `O(log n · log W)`. A pluggable [`Link`] decides each
@@ -15,19 +18,26 @@
 //!
 //! # Concurrency vs. determinism
 //!
-//! A live run is genuinely concurrent — thread scheduling makes the
-//! event order nondeterministic run to run. Determinism is recovered
-//! at two levels:
+//! A live run is genuinely concurrent — workers race on OS threads —
+//! but the router consumes worker reports in *dispatch order*, so the
+//! schedule it builds (and logs) is a deterministic function of the
+//! instance and the link seed. Three properties follow:
 //!
+//! * **Engine equivalence**: [`Engine::Threads`] and
+//!   [`Engine::Events`] produce the same verdict, the same
+//!   [`MessageCost`](mstv_core::MessageCost), and byte-identical
+//!   [`EventLog`]s for the same inputs — the scheduler is
+//!   unobservable. The equivalence tests assert this on every seed.
 //! * **Replay** ([`replay`]): the router logs every dispatched event
 //!   ([`EventLog`]); node machines are pure functions of their event
 //!   sequence; so re-feeding the log on a single thread reproduces the
-//!   live run's verdict *and* its message/bit counters exactly.
-//! * **Verdict stability**: whatever schedule the threads and the
+//!   live run's verdict *and* its message/bit counters exactly —
+//!   whichever engine recorded the log.
+//! * **Verdict stability**: whatever schedule the router and the
 //!   fault injector produce, a run that converges must end in the same
 //!   verdict as the offline `verify_all` — the protocol's outcome is
-//!   schedule-independent even though its schedule is not. The
-//!   property tests and the CI smoke loop check this across seeds.
+//!   schedule-independent. The property tests and the CI smoke loop
+//!   check this across seeds, on both engines.
 //!
 //! # Fault knobs vs. the Korman–Kutten self-stabilization model
 //!
@@ -100,6 +110,6 @@ pub use link::{FaultProfile, Link, LossyLink, PerfectLink};
 pub use log::{EventLog, LogEvent, RunSummary};
 pub use machine::{MstWireScheme, NodeEvent, VerifierMachine, WireScheme};
 pub use replay::replay;
-pub use runtime::{run_verification, NetConfig, NetRun};
+pub use runtime::{run_verification, run_verification_with, Engine, NetConfig, NetRun};
 pub use stab::{NetSelfStab, NetStabOutcome};
-pub use wire::WireMsg;
+pub use wire::{WireMsg, MAX_FRAME_BITS};

@@ -7,6 +7,12 @@
 //! message and bit counters are *recomputed from machine outputs*, not
 //! copied from the trailer, which is what makes a trailer comparison a
 //! real cross-check of the runtime and not a tautology.
+//!
+//! The replayer is engine-agnostic: a log records the router's
+//! dispatch schedule, which both [`Engine`](crate::runtime::Engine)s
+//! produce identically, so logs recorded under the thread-per-node
+//! engine and the event-driven engine replay the same way — there is
+//! no engine marker in the format and none is needed.
 
 use mstv_core::{Labeling, MessageCost, Verdict};
 use mstv_graph::{ConfigGraph, NodeId};

@@ -1,14 +1,35 @@
-//! The live concurrent runtime: one worker thread per node, a router
-//! on the calling thread.
+//! The live concurrent runtime: a router on the calling thread driving
+//! one of two execution engines.
 //!
-//! Workers own their [`VerifierMachine`](crate::machine::VerifierMachine)
-//! and a `mpsc` mailbox; the router owns the graph topology, the
-//! [`Link`] (fault decisions), the event log, and the cost counters.
-//! Every frame a worker emits travels router-ward, is offered to the
-//! link, and the surviving copies are dispatched to the receiving
-//! worker's mailbox — so the *threads* race freely, but every decision
-//! that affects the protocol (drop, delay, duplicate, crash) is made
-//! in one place, in a well-defined order, and logged.
+//! Workers own their [`VerifierMachine`](crate::machine::VerifierMachine);
+//! the router owns the graph topology, the [`Link`] (fault decisions),
+//! the event log, and the cost counters. Every frame a worker emits
+//! travels router-ward, is offered to the link, and the surviving copies
+//! are dispatched to the receiving worker — so the workers race freely,
+//! but every decision that affects the protocol (drop, delay, duplicate,
+//! crash) is made in one place, in a well-defined order, and logged.
+//!
+//! # Engines
+//!
+//! Two [`Engine`]s execute the same router schedule:
+//!
+//! * [`Engine::Threads`] — one OS thread per node with a `mpsc`
+//!   mailbox. Faithful to "every node is a processor", but a 100k-node
+//!   instance means 100k threads, which no host runs happily.
+//! * [`Engine::Events`] — a bounded worker pool (a
+//!   [`KeyedQueue`](mstv_trees::KeyedQueue) of per-node FIFO inboxes
+//!   multiplexed over `min(workers, n)` threads) that schedules machine
+//!   steps as events. Per-node event order is preserved by the queue's
+//!   lease discipline, so machines observe exactly the sequences the
+//!   router dispatched.
+//!
+//! The two engines are **observably identical**: the router consumes
+//! worker reports in *dispatch order* (per-node report channels under
+//! the threads engine, a sequence-numbered reorder buffer under the
+//! events engine), so the sequence of link decisions, dispatches, and
+//! therefore the [`EventLog`], the verdict, and every counter are
+//! deterministic functions of `(instance, link)` — byte-identical
+//! across engines and across runs. Replay accepts logs from either.
 //!
 //! Quiescence is tracked by an outstanding-event counter: an event is
 //! outstanding from dispatch until its worker's report (outputs +
@@ -17,12 +38,22 @@
 //! over — or some label was lost and a retransmission boundary fires:
 //! the round counter increments, the link may pick crash victims, and
 //! every node gets a tick to re-offer unacknowledged labels.
+//!
+//! A worker that dies (its machine panics) while an event is
+//! outstanding surfaces as [`NetError::WorkerDied`] naming the node —
+//! never a hang. Under the threads engine each node reports on its own
+//! channel, so a dead worker closes *its* channel instead of hiding
+//! behind live ones; under the events engine the panic is caught at the
+//! machine step and reported in-band.
 
-use std::sync::mpsc;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
 use std::thread;
 
 use mstv_core::{Labeling, MessageCost, Verdict};
 use mstv_graph::{ConfigGraph, NodeId, Port};
+use mstv_trees::{KeyedQueue, ParallelConfig};
 
 use crate::error::NetError;
 use crate::link::Link;
@@ -36,11 +67,47 @@ pub struct NetConfig {
     /// Give up (with [`NetError::NoConvergence`]) after this many
     /// retransmission rounds.
     pub max_rounds: u64,
+    /// Record the dispatched schedule in the returned [`EventLog`]
+    /// (default `true`). Recording never affects the run — verdict and
+    /// counters are identical either way — but a 100k-node lossy run
+    /// logs millions of frames, so benchmarks measuring engine memory
+    /// switch it off; the returned log then carries only headers and
+    /// the summary trailer and is not replayable.
+    pub record_log: bool,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
-        NetConfig { max_rounds: 10_000 }
+        NetConfig {
+            max_rounds: 10_000,
+            record_log: true,
+        }
+    }
+}
+
+/// Which execution engine runs the node machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// One OS thread per node. Faithful but caps out at a few thousand
+    /// nodes; the default for small instances and existing callers.
+    #[default]
+    Threads,
+    /// Event-driven: all machines multiplexed over a bounded worker
+    /// pool of `min(workers, n)` threads with per-node FIFO inboxes.
+    /// The only engine that reaches serving-tier instance sizes.
+    Events {
+        /// Worker-pool sizing; the default resolves to the host's
+        /// available parallelism.
+        workers: ParallelConfig,
+    },
+}
+
+impl Engine {
+    /// The event-driven engine with the default (host-sized) pool.
+    pub fn events() -> Self {
+        Engine::Events {
+            workers: ParallelConfig::default(),
+        }
     }
 }
 
@@ -54,7 +121,8 @@ pub struct NetRun {
     /// Crash-restarts that occurred.
     pub crash_restarts: u64,
     /// The complete event schedule, replayable with
-    /// [`replay`](crate::replay::replay).
+    /// [`replay`](crate::replay::replay) (empty if the run was started
+    /// with [`NetConfig::record_log`] off).
     pub log: EventLog,
 }
 
@@ -65,6 +133,13 @@ struct Report {
     verdict: Option<bool>,
 }
 
+/// A report, or the news that the worker's machine panicked on the
+/// event.
+enum WorkerReport {
+    Done(Report),
+    Panicked,
+}
+
 /// A frame in flight, held back by the link's delay decision.
 struct HeldFrame {
     steps: u32,
@@ -73,8 +148,385 @@ struct HeldFrame {
     msg: WireMsg,
 }
 
-/// Runs the ack-hardened one-round verification protocol live: one OS
-/// thread per node, frames subjected to `link`'s fault decisions.
+/// What the router needs from an engine: deliver an event to a node's
+/// machine, and hand back reports **in dispatch order** — the ordering
+/// contract that makes the router (and the event log) deterministic.
+trait Transport {
+    /// Queues `ev` for `node`'s machine.
+    fn dispatch(&mut self, node: usize, ev: NodeEvent) -> Result<(), NetError>;
+    /// Blocks for the report of the oldest not-yet-reported dispatch.
+    fn next_report(&mut self) -> Result<Report, NetError>;
+}
+
+/// Runs one machine step, converting a panic into an in-band report so
+/// the router can surface [`NetError::WorkerDied`] instead of hanging.
+fn machine_step<W: WireScheme>(
+    machine: &mut VerifierMachine<W>,
+    node: usize,
+    ev: &NodeEvent,
+) -> WorkerReport {
+    match catch_unwind(AssertUnwindSafe(|| {
+        let sends = machine.on_event(ev);
+        (sends, machine.decided())
+    })) {
+        Ok((sends, verdict)) => WorkerReport::Done(Report {
+            node,
+            sends,
+            verdict,
+        }),
+        Err(_) => WorkerReport::Panicked,
+    }
+}
+
+/// The thread-per-node engine: each machine moves onto its own OS
+/// thread; events arrive through a `mpsc` mailbox and reports leave on
+/// a per-node channel (so a dead worker closes its own report channel
+/// rather than hiding behind the live ones).
+struct ThreadTransport {
+    mailboxes: Vec<mpsc::Sender<NodeEvent>>,
+    reports: Vec<mpsc::Receiver<WorkerReport>>,
+    /// Nodes with an outstanding report, in dispatch order.
+    pending: VecDeque<usize>,
+    joins: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadTransport {
+    fn spawn<W: WireScheme>(machines: Vec<VerifierMachine<W>>) -> Self {
+        let n = machines.len();
+        let mut mailboxes = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        let mut joins = Vec::with_capacity(n);
+        for (v, machine) in machines.into_iter().enumerate() {
+            let (ev_tx, ev_rx) = mpsc::channel::<NodeEvent>();
+            let (rep_tx, rep_rx) = mpsc::channel::<WorkerReport>();
+            mailboxes.push(ev_tx);
+            reports.push(rep_rx);
+            joins.push(thread::spawn(move || {
+                let mut machine = machine;
+                while let Ok(ev) = ev_rx.recv() {
+                    let report = machine_step(&mut machine, v, &ev);
+                    let died = matches!(report, WorkerReport::Panicked);
+                    if rep_tx.send(report).is_err() || died {
+                        break;
+                    }
+                }
+            }));
+        }
+        ThreadTransport {
+            mailboxes,
+            reports,
+            pending: VecDeque::new(),
+            joins,
+        }
+    }
+}
+
+impl Transport for ThreadTransport {
+    fn dispatch(&mut self, node: usize, ev: NodeEvent) -> Result<(), NetError> {
+        // A closed mailbox means the worker's recv loop ended — it died.
+        self.mailboxes[node]
+            .send(ev)
+            .map_err(|_| NetError::WorkerDied {
+                node: NodeId(node as u32),
+            })?;
+        self.pending.push_back(node);
+        Ok(())
+    }
+
+    fn next_report(&mut self) -> Result<Report, NetError> {
+        let node = self.pending.pop_front().expect("a report is outstanding");
+        match self.reports[node].recv() {
+            Ok(WorkerReport::Done(report)) => Ok(report),
+            // An in-band panic report, or a channel closed by the
+            // worker dying without one: either way the node is dead.
+            Ok(WorkerReport::Panicked) | Err(_) => Err(NetError::WorkerDied {
+                node: NodeId(node as u32),
+            }),
+        }
+    }
+}
+
+impl Drop for ThreadTransport {
+    fn drop(&mut self) {
+        // Closing every mailbox ends each worker's recv loop; joining
+        // afterwards cannot hang.
+        self.mailboxes.clear();
+        for join in self.joins.drain(..) {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The event-driven engine's router side: dispatches carry a global
+/// sequence number, reports come back tagged over one shared channel,
+/// and a stash re-orders them into dispatch order.
+struct EventTransport<'q> {
+    queue: &'q KeyedQueue<(u64, NodeEvent)>,
+    report_rx: mpsc::Receiver<(u64, WorkerReport)>,
+    /// `(seq, node)` of every outstanding dispatch, in dispatch order.
+    pending: VecDeque<(u64, usize)>,
+    /// Reports that arrived ahead of their turn.
+    stash: HashMap<u64, WorkerReport>,
+    next_seq: u64,
+}
+
+impl Transport for EventTransport<'_> {
+    fn dispatch(&mut self, node: usize, ev: NodeEvent) -> Result<(), NetError> {
+        self.queue.post(node, (self.next_seq, ev));
+        self.pending.push_back((self.next_seq, node));
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    fn next_report(&mut self) -> Result<Report, NetError> {
+        let (seq, node) = self.pending.pop_front().expect("a report is outstanding");
+        loop {
+            if let Some(report) = self.stash.remove(&seq) {
+                return match report {
+                    WorkerReport::Done(report) => Ok(report),
+                    WorkerReport::Panicked => Err(NetError::WorkerDied {
+                        node: NodeId(node as u32),
+                    }),
+                };
+            }
+            match self.report_rx.recv() {
+                Ok((s, report)) => {
+                    self.stash.insert(s, report);
+                }
+                // Every pool worker exited while a report was owed.
+                Err(_) => {
+                    return Err(NetError::WorkerDied {
+                        node: NodeId(node as u32),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// One pool worker: lease a node, step its machine on the oldest queued
+/// event, report, release the lease.
+fn event_worker<W: WireScheme>(
+    machines: &[Mutex<VerifierMachine<W>>],
+    queue: &KeyedQueue<(u64, NodeEvent)>,
+    report_tx: &mpsc::Sender<(u64, WorkerReport)>,
+) {
+    while let Some((node, (seq, ev))) = queue.next() {
+        let report = match machines[node].lock() {
+            Ok(mut machine) => machine_step(&mut machine, node, &ev),
+            // Poisoned by an earlier panic on this node: report the
+            // death again rather than stepping a broken machine.
+            Err(_) => WorkerReport::Panicked,
+        };
+        queue.done(node);
+        if report_tx.send((seq, report)).is_err() {
+            return; // the router is gone; shut down quietly
+        }
+    }
+}
+
+/// Closes the queue on every exit path so pool workers can never be
+/// left blocked after the router stops consuming reports.
+struct CloseOnDrop<'q, T>(&'q KeyedQueue<T>);
+
+impl<T> Drop for CloseOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// The engine-independent router: owns the link, the log, the counters,
+/// the holdback buffer, and the quiescence/retransmission logic. Both
+/// engines drive their runs through this exact code, which is what
+/// makes their schedules — and logs — identical.
+struct RouterCore<'l> {
+    net: NetConfig,
+    link: &'l mut dyn Link,
+    /// `other_end[v][p] = (neighbor, neighbor's in-port)`, resolved up
+    /// front so the loop never touches the graph.
+    other_end: Vec<Vec<(usize, Port)>>,
+    log: EventLog,
+    cost: MessageCost,
+    verdicts: Vec<Option<bool>>,
+    held: Vec<HeldFrame>,
+    outstanding: usize,
+    crash_restarts: u64,
+}
+
+impl<'l> RouterCore<'l> {
+    fn new<S>(cfg: &ConfigGraph<S>, link: &'l mut dyn Link, net: NetConfig) -> Self {
+        let g = cfg.graph();
+        let n = g.num_nodes();
+        let other_end: Vec<Vec<(usize, Port)>> = (0..n)
+            .map(|v| {
+                g.neighbors(NodeId(v as u32))
+                    .map(|nb| {
+                        let back = g
+                            .port_towards(nb.node, NodeId(v as u32))
+                            .expect("edges are bidirectional");
+                        (nb.node.index(), back)
+                    })
+                    .collect()
+            })
+            .collect();
+        RouterCore {
+            net,
+            link,
+            other_end,
+            log: EventLog::new(),
+            cost: MessageCost {
+                rounds: 1,
+                ..MessageCost::new()
+            },
+            verdicts: vec![None; n],
+            held: Vec::new(),
+            outstanding: 0,
+            crash_restarts: 0,
+        }
+    }
+
+    fn dispatch<T: Transport>(&mut self, t: &mut T, ev: LogEvent) -> Result<(), NetError> {
+        let node = ev.target().expect("dispatched events target a node") as usize;
+        let nev = ev.to_node_event().expect("dispatched events map to inputs");
+        if self.net.record_log {
+            self.log.events.push(ev);
+        }
+        t.dispatch(node, nev)?;
+        self.outstanding += 1;
+        Ok(())
+    }
+
+    /// One scheduler step over the holdback buffer: everything due is
+    /// dispatched, the rest of the holdback ages by one.
+    fn pump_held<T: Transport>(&mut self, t: &mut T) -> Result<(), NetError> {
+        let mut still_held = Vec::with_capacity(self.held.len());
+        for mut frame in std::mem::take(&mut self.held) {
+            if frame.steps == 0 {
+                self.dispatch(
+                    t,
+                    LogEvent::Deliver {
+                        to: frame.to as u32,
+                        port: frame.port.0,
+                        msg: frame.msg,
+                    },
+                )?;
+            } else {
+                frame.steps -= 1;
+                still_held.push(frame);
+            }
+        }
+        self.held = still_held;
+        Ok(())
+    }
+
+    fn drive<T: Transport>(&mut self, t: &mut T) -> Result<(), NetError> {
+        let n = self.verdicts.len();
+        for v in 0..n {
+            self.dispatch(t, LogEvent::Start { node: v as u32 })?;
+        }
+        loop {
+            while self.outstanding > 0 {
+                let report = t.next_report()?;
+                self.outstanding -= 1;
+                self.verdicts[report.node] = report.verdict;
+                for (port, msg) in report.sends {
+                    self.cost.msgs += 1;
+                    self.cost.bits += u128::from(msg.wire_bits());
+                    let (to, in_port) = self.other_end[report.node][port.index()];
+                    for steps in self.link.offer() {
+                        self.held.push(HeldFrame {
+                            steps,
+                            to,
+                            port: in_port,
+                            msg: msg.clone(),
+                        });
+                    }
+                }
+                self.pump_held(t)?;
+            }
+
+            if !self.held.is_empty() {
+                // Quiescent but frames are still aging: advance the
+                // clock without a retransmission round.
+                self.pump_held(t)?;
+                continue;
+            }
+
+            if self.verdicts.iter().all(Option::is_some) {
+                return Ok(());
+            }
+
+            if self.cost.rounds >= self.net.max_rounds {
+                return Err(NetError::NoConvergence {
+                    rounds: self.cost.rounds,
+                });
+            }
+
+            // Retransmission boundary: some label was lost. Crash picks
+            // first (a crashed node restarts and re-offers everything),
+            // then every node re-offers on unacked ports.
+            self.cost.rounds += 1;
+            if self.net.record_log {
+                self.log.events.push(LogEvent::Round);
+            }
+            for v in self.link.crash_picks(n) {
+                self.crash_restarts += 1;
+                self.verdicts[v] = None;
+                self.dispatch(t, LogEvent::Crash { node: v as u32 })?;
+            }
+            for v in 0..n {
+                self.dispatch(t, LogEvent::Tick { node: v as u32 })?;
+            }
+        }
+    }
+
+    fn finish(mut self) -> NetRun {
+        let n = self.verdicts.len();
+        let rejecting: Vec<NodeId> = self
+            .verdicts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == Some(false))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let verdict = Verdict {
+            rejecting: rejecting.clone(),
+            num_nodes: n,
+        };
+        self.log.summary = Some(RunSummary {
+            rejecting,
+            cost: self.cost,
+        });
+        NetRun {
+            verdict,
+            cost: self.cost,
+            crash_restarts: self.crash_restarts,
+            log: self.log,
+        }
+    }
+}
+
+fn build_machines<W: WireScheme>(
+    scheme: &W,
+    cfg: &ConfigGraph<W::State>,
+    labeling: &Labeling<W::Label>,
+) -> Vec<VerifierMachine<W>> {
+    (0..cfg.graph().num_nodes())
+        .map(|v| {
+            VerifierMachine::new(
+                scheme.clone(),
+                cfg,
+                NodeId(v as u32),
+                labeling.encoded(NodeId(v as u32)).clone(),
+            )
+        })
+        .collect()
+}
+
+/// Runs the ack-hardened one-round verification protocol live on the
+/// thread-per-node engine, frames subjected to `link`'s fault
+/// decisions. Equivalent to [`run_verification_with`] with
+/// [`Engine::Threads`].
 ///
 /// Returns the aggregated verdict, the exact communication cost, and
 /// an event log whose replay reproduces both.
@@ -82,7 +534,8 @@ struct HeldFrame {
 /// # Errors
 ///
 /// [`NetError::NoConvergence`] if the round budget runs out before
-/// every node decides.
+/// every node decides; [`NetError::WorkerDied`] if a node's machine
+/// panics mid-run.
 ///
 /// # Panics
 ///
@@ -94,205 +547,70 @@ pub fn run_verification<W: WireScheme>(
     link: &mut dyn Link,
     net: NetConfig,
 ) -> Result<NetRun, NetError> {
-    let g = cfg.graph();
-    let n = g.num_nodes();
+    run_verification_with(scheme, cfg, labeling, link, net, Engine::Threads)
+}
 
-    // Destinations resolved up front so the router loop never touches
-    // the graph: other_end[v][p] = (neighbor, neighbor's in-port).
-    let other_end: Vec<Vec<(usize, Port)>> = (0..n)
-        .map(|v| {
-            g.neighbors(NodeId(v as u32))
-                .map(|nb| {
-                    let back = g
-                        .port_towards(nb.node, NodeId(v as u32))
-                        .expect("edges are bidirectional");
-                    (nb.node.index(), back)
-                })
-                .collect()
-        })
-        .collect();
-
-    let (report_tx, report_rx) = mpsc::channel::<Report>();
-    let mut mailboxes: Vec<mpsc::Sender<Option<NodeEvent>>> = Vec::with_capacity(n);
-    let mut joins = Vec::with_capacity(n);
-    for v in 0..n {
-        let machine = VerifierMachine::new(
-            scheme.clone(),
-            cfg,
-            NodeId(v as u32),
-            labeling.encoded(NodeId(v as u32)).clone(),
-        );
-        let (tx, rx) = mpsc::channel::<Option<NodeEvent>>();
-        mailboxes.push(tx);
-        let report_tx = report_tx.clone();
-        joins.push(thread::spawn(move || {
-            let mut machine = machine;
-            while let Ok(Some(ev)) = rx.recv() {
-                let sends = machine.on_event(&ev);
-                let report = Report {
-                    node: v,
-                    sends,
-                    verdict: machine.decided(),
+/// [`run_verification`] on a chosen [`Engine`].
+///
+/// Both engines execute the identical router schedule (see the module
+/// docs): for the same instance and link, they return the same verdict,
+/// the same [`MessageCost`], and byte-identical event logs.
+///
+/// # Errors
+///
+/// [`NetError::NoConvergence`] if the round budget runs out before
+/// every node decides; [`NetError::WorkerDied`] if a node's machine
+/// panics mid-run.
+///
+/// # Panics
+///
+/// Panics if `labeling` does not cover the configuration's nodes.
+pub fn run_verification_with<W: WireScheme>(
+    scheme: &W,
+    cfg: &ConfigGraph<W::State>,
+    labeling: &Labeling<W::Label>,
+    link: &mut dyn Link,
+    net: NetConfig,
+    engine: Engine,
+) -> Result<NetRun, NetError> {
+    let machines = build_machines(scheme, cfg, labeling);
+    let n = machines.len();
+    let mut core = RouterCore::new(cfg, link, net);
+    match engine {
+        Engine::Threads => {
+            let mut transport = ThreadTransport::spawn(machines);
+            let result = core.drive(&mut transport);
+            drop(transport); // close every mailbox, join every worker
+            result?;
+        }
+        Engine::Events { workers } => {
+            let pool = workers.resolved_threads().get().min(n.max(1));
+            let machines: Vec<Mutex<VerifierMachine<W>>> =
+                machines.into_iter().map(Mutex::new).collect();
+            let queue: KeyedQueue<(u64, NodeEvent)> = KeyedQueue::new(n);
+            let (report_tx, report_rx) = mpsc::channel();
+            let result = thread::scope(|s| {
+                let _closer = CloseOnDrop(&queue);
+                for _ in 0..pool {
+                    let tx = report_tx.clone();
+                    let machines = &machines;
+                    let queue = &queue;
+                    s.spawn(move || event_worker(machines, queue, &tx));
+                }
+                let mut transport = EventTransport {
+                    queue: &queue,
+                    report_rx,
+                    pending: VecDeque::new(),
+                    stash: HashMap::new(),
+                    next_seq: 0,
                 };
-                if report_tx.send(report).is_err() {
-                    break;
-                }
-            }
-        }));
-    }
-    drop(report_tx);
-
-    let mut log = EventLog::new();
-    let mut cost = MessageCost {
-        rounds: 1,
-        ..MessageCost::new()
-    };
-    let mut verdicts: Vec<Option<bool>> = vec![None; n];
-    let mut outstanding = 0usize;
-    let mut held: Vec<HeldFrame> = Vec::new();
-    let mut crash_restarts = 0u64;
-
-    let dispatch = |ev: LogEvent, log: &mut EventLog, outstanding: &mut usize| {
-        let node = ev.target().expect("dispatched events target a node") as usize;
-        let nev = ev.to_node_event().expect("dispatched events map to inputs");
-        log.events.push(ev);
-        mailboxes[node]
-            .send(Some(nev))
-            .expect("worker alive while events outstanding");
-        *outstanding += 1;
-    };
-
-    for v in 0..n {
-        dispatch(
-            LogEvent::Start { node: v as u32 },
-            &mut log,
-            &mut outstanding,
-        );
-    }
-
-    let result = loop {
-        while outstanding > 0 {
-            let report = report_rx.recv().expect("workers outlive the router loop");
-            outstanding -= 1;
-            verdicts[report.node] = report.verdict;
-            for (port, msg) in report.sends {
-                cost.msgs += 1;
-                cost.bits += u128::from(msg.wire_bits());
-                let (to, in_port) = other_end[report.node][port.index()];
-                for steps in link.offer() {
-                    held.push(HeldFrame {
-                        steps,
-                        to,
-                        port: in_port,
-                        msg: msg.clone(),
-                    });
-                }
-            }
-            // One scheduler step: everything due is dispatched, the
-            // rest of the holdback ages by one.
-            let mut still_held = Vec::with_capacity(held.len());
-            for mut frame in held.drain(..) {
-                if frame.steps == 0 {
-                    dispatch(
-                        LogEvent::Deliver {
-                            to: frame.to as u32,
-                            port: frame.port.0,
-                            msg: frame.msg,
-                        },
-                        &mut log,
-                        &mut outstanding,
-                    );
-                } else {
-                    frame.steps -= 1;
-                    still_held.push(frame);
-                }
-            }
-            held = still_held;
-        }
-
-        if !held.is_empty() {
-            // Quiescent but frames are still aging: advance the clock
-            // without a retransmission round.
-            let mut still_held = Vec::with_capacity(held.len());
-            for mut frame in held.drain(..) {
-                if frame.steps == 0 {
-                    dispatch(
-                        LogEvent::Deliver {
-                            to: frame.to as u32,
-                            port: frame.port.0,
-                            msg: frame.msg,
-                        },
-                        &mut log,
-                        &mut outstanding,
-                    );
-                } else {
-                    frame.steps -= 1;
-                    still_held.push(frame);
-                }
-            }
-            held = still_held;
-            continue;
-        }
-
-        if verdicts.iter().all(Option::is_some) {
-            break Ok(());
-        }
-
-        if cost.rounds >= net.max_rounds {
-            break Err(NetError::NoConvergence {
-                rounds: cost.rounds,
+                core.drive(&mut transport)
+                // `_closer` drops here: the queue closes and the scope
+                // can join its workers, error or not.
             });
+            drop(report_tx);
+            result?;
         }
-
-        // Retransmission boundary: some label was lost. Crash picks
-        // first (a crashed node restarts and re-offers everything),
-        // then every node re-offers on unacked ports.
-        cost.rounds += 1;
-        log.events.push(LogEvent::Round);
-        let crashed = link.crash_picks(n);
-        for v in crashed {
-            crash_restarts += 1;
-            verdicts[v] = None;
-            dispatch(
-                LogEvent::Crash { node: v as u32 },
-                &mut log,
-                &mut outstanding,
-            );
-        }
-        for v in 0..n {
-            dispatch(
-                LogEvent::Tick { node: v as u32 },
-                &mut log,
-                &mut outstanding,
-            );
-        }
-    };
-
-    for tx in &mailboxes {
-        let _ = tx.send(None);
     }
-    drop(mailboxes);
-    for join in joins {
-        let _ = join.join();
-    }
-
-    result?;
-
-    let rejecting: Vec<NodeId> = verdicts
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| **v == Some(false))
-        .map(|(i, _)| NodeId(i as u32))
-        .collect();
-    let verdict = Verdict {
-        rejecting: rejecting.clone(),
-        num_nodes: n,
-    };
-    log.summary = Some(RunSummary { rejecting, cost });
-    Ok(NetRun {
-        verdict,
-        cost,
-        crash_restarts,
-        log,
-    })
+    Ok(core.finish())
 }

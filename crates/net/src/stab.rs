@@ -19,7 +19,7 @@ use mstv_graph::{tree_states, ConfigGraph, Graph, NodeId, TreeState};
 use crate::error::NetError;
 use crate::link::Link;
 use crate::machine::MstWireScheme;
-use crate::runtime::{run_verification, NetConfig, NetRun};
+use crate::runtime::{run_verification_with, Engine, NetConfig, NetRun};
 
 /// What a maintenance cycle over the runtime observed and did.
 #[derive(Debug, Clone)]
@@ -105,8 +105,25 @@ impl NetSelfStab {
         link: &mut dyn Link,
         net: NetConfig,
     ) -> Result<NetStabOutcome, NetError> {
+        self.cycle_with(link, net, Engine::Threads)
+    }
+
+    /// [`NetSelfStab::cycle`] with the verification round on a chosen
+    /// [`Engine`] — the events engine is what makes maintenance cycles
+    /// over serving-tier instances feasible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError::NoConvergence`] from the verification
+    /// round.
+    pub fn cycle_with(
+        &mut self,
+        link: &mut dyn Link,
+        net: NetConfig,
+        engine: Engine,
+    ) -> Result<NetStabOutcome, NetError> {
         let wire = MstWireScheme::for_config(&self.cfg);
-        let verify = run_verification(&wire, &self.cfg, &self.labeling, link, net)?;
+        let verify = run_verification_with(&wire, &self.cfg, &self.labeling, link, net, engine)?;
         if verify.verdict.accepted() {
             return Ok(NetStabOutcome::Clean { verify });
         }

@@ -9,6 +9,20 @@
 
 use mstv_labels::BitString;
 
+use crate::error::NetError;
+
+/// The largest label payload a byte frame can carry: the frame's length
+/// field is a `u32` bit count. [`WireMsg::to_frame`] refuses longer
+/// payloads with [`NetError::FrameTooLarge`] instead of silently
+/// truncating the length.
+pub const MAX_FRAME_BITS: usize = u32::MAX as usize;
+
+/// Checks a payload length against [`MAX_FRAME_BITS`], returning the
+/// length as the `u32` the frame header stores.
+fn frame_bit_len(bits: usize) -> Result<u32, NetError> {
+    u32::try_from(bits).map_err(|_| NetError::FrameTooLarge { bits })
+}
+
 /// A message of the one-round verification protocol, as it travels on a
 /// link.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,15 +64,22 @@ impl WireMsg {
     /// `[0x00]` for an ack, `[tag, bit-length as u32 LE, payload
     /// bytes]` for a label, where the tag is `0x01` (plain) or `0x02`
     /// (refresh).
-    pub fn to_frame(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::FrameTooLarge`] if the payload exceeds
+    /// [`MAX_FRAME_BITS`] — the length header is a `u32` bit count, and
+    /// a longer payload would round-trip corrupted rather than fail.
+    pub fn to_frame(&self) -> Result<Vec<u8>, NetError> {
         match self {
-            WireMsg::Ack => vec![0x00],
+            WireMsg::Ack => Ok(vec![0x00]),
             WireMsg::Label { bits, refresh } => {
+                let bit_len = frame_bit_len(bits.len())?;
                 let mut out = Vec::with_capacity(5 + bits.len() / 8 + 1);
                 out.push(if *refresh { 0x02 } else { 0x01 });
-                out.extend_from_slice(&(bits.len() as u32).to_le_bytes());
+                out.extend_from_slice(&bit_len.to_le_bytes());
                 out.extend_from_slice(&bits.to_bytes());
-                out
+                Ok(out)
             }
         }
     }
@@ -95,11 +116,30 @@ mod tests {
                 bits: bits.clone(),
                 refresh,
             };
-            assert_eq!(WireMsg::from_frame(&msg.to_frame()), Some(msg));
+            assert_eq!(
+                WireMsg::from_frame(&msg.to_frame().expect("payload fits")),
+                Some(msg)
+            );
         }
         assert_eq!(
-            WireMsg::from_frame(&WireMsg::Ack.to_frame()),
+            WireMsg::from_frame(&WireMsg::Ack.to_frame().expect("acks always frame")),
             Some(WireMsg::Ack)
+        );
+    }
+
+    #[test]
+    fn frame_length_boundary_is_enforced() {
+        // The guard itself, at the exact boundary: 2^32 - 1 bits still
+        // frames (the header can represent it), one more bit must be a
+        // typed error rather than a silent `as u32` truncation. The
+        // check is on the length path, so no 512 MiB payload is needed.
+        assert_eq!(frame_bit_len(0), Ok(0));
+        assert_eq!(frame_bit_len(MAX_FRAME_BITS), Ok(u32::MAX));
+        assert_eq!(
+            frame_bit_len(MAX_FRAME_BITS + 1),
+            Err(NetError::FrameTooLarge {
+                bits: MAX_FRAME_BITS + 1
+            })
         );
     }
 

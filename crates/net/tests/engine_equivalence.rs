@@ -1,0 +1,334 @@
+//! Cross-engine equivalence and regression tests: the thread-per-node
+//! and event-driven engines must be observably identical (verdict,
+//! MessageCost, byte-identical EventLog), replay must accept either
+//! engine's logs, and a worker that panics mid-run must surface as a
+//! typed error — never a hang.
+
+use std::num::NonZeroUsize;
+
+use mstv_core::{
+    mst_configuration, Labeling, LocalView, MstLabel, MstScheme, ProofLabelingScheme, Verdict,
+};
+use mstv_graph::{gen, ConfigGraph, TreeState};
+use mstv_labels::BitString;
+use mstv_net::{
+    replay, run_verification_with, Engine, FaultProfile, LossyLink, MstWireScheme, NetConfig,
+    NetError, PerfectLink, WireScheme,
+};
+use mstv_trees::ParallelConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn make_instance(
+    n: usize,
+    extra: usize,
+    max_w: u64,
+    seed: u64,
+) -> (ConfigGraph<TreeState>, Labeling<MstLabel>, MstWireScheme) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_connected(n, extra, gen::WeightDist::Uniform { max: max_w }, &mut rng);
+    let cfg = mst_configuration(g);
+    let labeling = MstScheme::new().marker(&cfg).expect("MST labels");
+    let wire = MstWireScheme::for_config(&cfg);
+    (cfg, labeling, wire)
+}
+
+fn events(workers: usize) -> Engine {
+    Engine::Events {
+        workers: ParallelConfig::with_threads(NonZeroUsize::new(workers).expect("nonzero")),
+    }
+}
+
+fn offline_verdict(cfg: &ConfigGraph<TreeState>, labeling: &Labeling<MstLabel>) -> Verdict {
+    MstScheme::new().verify_all(cfg, labeling)
+}
+
+/// Runs the same instance on both engines under the same (re-seeded)
+/// link and asserts verdict, cost, crash count, and the *entire event
+/// log* are identical.
+fn assert_engines_agree(
+    cfg: &ConfigGraph<TreeState>,
+    labeling: &Labeling<MstLabel>,
+    wire: &MstWireScheme,
+    profile: FaultProfile,
+    link_seed: u64,
+    workers: usize,
+) {
+    let run_on = |engine: Engine| {
+        let mut link = LossyLink::new(profile, link_seed);
+        run_verification_with(wire, cfg, labeling, &mut link, NetConfig::default(), engine)
+            .expect("fair-lossy run converges")
+    };
+    let threads = run_on(Engine::Threads);
+    let evented = run_on(events(workers));
+    assert_eq!(evented.verdict, threads.verdict, "seed {link_seed}");
+    assert_eq!(evented.cost, threads.cost, "seed {link_seed}");
+    assert_eq!(
+        evented.crash_restarts, threads.crash_restarts,
+        "seed {link_seed}"
+    );
+    assert_eq!(
+        evented.log.to_string(),
+        threads.log.to_string(),
+        "seed {link_seed}: engines recorded different schedules"
+    );
+}
+
+#[test]
+fn engines_are_observably_identical_across_seeds() {
+    let (cfg, labeling, wire) = make_instance(40, 60, 128, 17);
+    let profile = FaultProfile {
+        drop: 0.2,
+        duplicate: 0.1,
+        max_delay: 3,
+        crash: 0.03,
+        max_crashes: 3,
+    };
+    for link_seed in [0u64, 1, 2, 42, 0xdead_beef] {
+        assert_engines_agree(&cfg, &labeling, &wire, profile, link_seed, 4);
+    }
+    // A perfect link too: the degenerate single-round schedule.
+    let run_on = |engine: Engine| {
+        run_verification_with(
+            &wire,
+            &cfg,
+            &labeling,
+            &mut PerfectLink,
+            NetConfig::default(),
+            engine,
+        )
+        .expect("perfect link converges")
+    };
+    let threads = run_on(Engine::Threads);
+    let evented = run_on(events(4));
+    assert_eq!(evented.cost, threads.cost);
+    assert_eq!(evented.log.to_string(), threads.log.to_string());
+}
+
+#[test]
+fn events_engine_is_deterministic_across_pool_sizes() {
+    let (cfg, labeling, wire) = make_instance(32, 48, 100, 23);
+    let profile = FaultProfile {
+        drop: 0.25,
+        duplicate: 0.1,
+        max_delay: 2,
+        crash: 0.0,
+        max_crashes: 0,
+    };
+    let run_with = |workers: usize| {
+        let mut link = LossyLink::new(profile, 7);
+        run_verification_with(
+            &wire,
+            &cfg,
+            &labeling,
+            &mut link,
+            NetConfig::default(),
+            events(workers),
+        )
+        .expect("fair-lossy run converges")
+    };
+    let one = run_with(1);
+    for workers in [2, 3, 8] {
+        let many = run_with(workers);
+        assert_eq!(many.cost, one.cost, "workers={workers}");
+        assert_eq!(
+            many.log.to_string(),
+            one.log.to_string(),
+            "workers={workers}: pool size leaked into the schedule"
+        );
+    }
+}
+
+#[test]
+fn events_engine_log_replays_to_exact_cost() {
+    // The satellite contract: record on the events engine with a wide
+    // pool under a lossy schedule, replay single-threaded, and get the
+    // same verdict and the exact MessageCost back.
+    let (cfg, labeling, wire) = make_instance(28, 40, 80, 31);
+    let profile = FaultProfile {
+        drop: 0.3,
+        duplicate: 0.15,
+        max_delay: 3,
+        crash: 0.05,
+        max_crashes: 4,
+    };
+    let mut link = LossyLink::new(profile, 12345);
+    let live = run_verification_with(
+        &wire,
+        &cfg,
+        &labeling,
+        &mut link,
+        NetConfig::default(),
+        events(8),
+    )
+    .expect("fair-lossy run converges");
+    let replayed = replay(&wire, &cfg, &labeling, &live.log).expect("events log replays");
+    assert_eq!(replayed.verdict, live.verdict);
+    assert_eq!(replayed.cost, live.cost);
+    assert_eq!(replayed.crash_restarts, live.crash_restarts);
+    // And through the text format, as a saved log file would travel.
+    let parsed = mstv_net::EventLog::parse(&live.log.to_string()).expect("log text parses");
+    let reparsed = replay(&wire, &cfg, &labeling, &parsed).expect("parsed log replays");
+    assert_eq!(reparsed.cost, live.cost);
+}
+
+#[test]
+fn single_node_and_single_edge_instances_run_on_both_engines() {
+    // n = 1: no edges, every engine must still dispatch Start and
+    // collect the lone verdict (the machine decides on its own label
+    // immediately). n = 2: one edge, the smallest real exchange.
+    for (n, extra) in [(1usize, 0usize), (2, 0)] {
+        let (cfg, labeling, wire) = make_instance(n, extra, 10, 91 + n as u64);
+        let expected = offline_verdict(&cfg, &labeling);
+        for engine in [Engine::Threads, events(1), events(4)] {
+            let run = run_verification_with(
+                &wire,
+                &cfg,
+                &labeling,
+                &mut PerfectLink,
+                NetConfig::default(),
+                engine,
+            )
+            .unwrap_or_else(|e| panic!("n={n} {engine:?}: {e}"));
+            assert_eq!(run.verdict, expected, "n={n} {engine:?}");
+            assert_eq!(run.cost.rounds, 1, "n={n} {engine:?}");
+            let again = replay(&wire, &cfg, &labeling, &run.log).expect("edge-case log replays");
+            assert_eq!(again.cost, run.cost, "n={n} {engine:?}");
+        }
+        // The lossy path exercises retransmission on the tiny instances.
+        if n == 2 {
+            let profile = FaultProfile {
+                drop: 0.5,
+                duplicate: 0.2,
+                max_delay: 2,
+                crash: 0.0,
+                max_crashes: 0,
+            };
+            assert_engines_agree(&cfg, &labeling, &wire, profile, 5, 2);
+        }
+    }
+}
+
+/// A scheme rigged to panic whenever a label is decoded: on an n = 1
+/// instance the lone node decodes its own certificate while handling
+/// `Start`; on larger instances the first delivered label frame blows
+/// up its receiver while every other worker stays alive — exactly the
+/// scenario where the old router hung forever on a report channel that
+/// live workers kept open.
+#[derive(Clone)]
+struct PanicOnDecode;
+
+impl WireScheme for PanicOnDecode {
+    type State = TreeState;
+    type Label = ();
+
+    fn decode_label(&self, _bits: &BitString) -> Option<()> {
+        panic!("rigged decode")
+    }
+
+    fn verify(&self, _view: &LocalView<'_, TreeState, ()>) -> bool {
+        true
+    }
+}
+
+/// Re-types an MST labeling for [`PanicOnDecode`]: same encoded bits,
+/// unit structured labels (never inspected — decode panics first).
+fn unit_labeling(labeling: &Labeling<MstLabel>, n: usize) -> Labeling<()> {
+    let encoded: Vec<BitString> = (0..n)
+        .map(|v| labeling.encoded(mstv_graph::NodeId(v as u32)).clone())
+        .collect();
+    Labeling::new(vec![(); n], encoded)
+}
+
+#[test]
+fn panicking_worker_is_a_typed_error_not_a_hang() {
+    // n = 1: the machine panics while handling its Start event — the
+    // regression case from the issue, where the router's shared report
+    // channel never closed because there were no other workers to
+    // notice, and `recv()` blocked forever.
+    let (cfg1, labeling1, _) = make_instance(1, 0, 10, 7);
+    let unit1 = unit_labeling(&labeling1, 1);
+    // n = 8: one receiver panics on the first label delivery while
+    // seven live workers keep their ends of a shared channel open.
+    let (cfg8, labeling8, _) = make_instance(8, 10, 10, 8);
+    let unit8 = unit_labeling(&labeling8, 8);
+
+    for engine in [Engine::Threads, events(1), events(4)] {
+        let err = run_verification_with(
+            &PanicOnDecode,
+            &cfg1,
+            &unit1,
+            &mut PerfectLink,
+            NetConfig::default(),
+            engine,
+        )
+        .expect_err("a panicked worker must fail the run");
+        assert_eq!(
+            err,
+            NetError::WorkerDied {
+                node: mstv_graph::NodeId(0)
+            },
+            "{engine:?}"
+        );
+
+        let err = run_verification_with(
+            &PanicOnDecode,
+            &cfg8,
+            &unit8,
+            &mut PerfectLink,
+            NetConfig::default(),
+            engine,
+        )
+        .expect_err("a panicked worker must fail the run");
+        assert!(
+            matches!(err, NetError::WorkerDied { .. }),
+            "{engine:?}: got {err}"
+        );
+    }
+}
+
+#[test]
+fn record_log_off_changes_nothing_but_the_log() {
+    let (cfg, labeling, wire) = make_instance(24, 36, 64, 55);
+    let profile = FaultProfile {
+        drop: 0.2,
+        duplicate: 0.1,
+        max_delay: 2,
+        crash: 0.0,
+        max_crashes: 0,
+    };
+    for engine in [Engine::Threads, events(4)] {
+        let mut link = LossyLink::new(profile, 3);
+        let recorded = run_verification_with(
+            &wire,
+            &cfg,
+            &labeling,
+            &mut link,
+            NetConfig::default(),
+            engine,
+        )
+        .expect("run converges");
+        let mut link = LossyLink::new(profile, 3);
+        let bare = run_verification_with(
+            &wire,
+            &cfg,
+            &labeling,
+            &mut link,
+            NetConfig {
+                record_log: false,
+                ..NetConfig::default()
+            },
+            engine,
+        )
+        .expect("run converges");
+        assert_eq!(bare.verdict, recorded.verdict, "{engine:?}");
+        assert_eq!(bare.cost, recorded.cost, "{engine:?}");
+        assert!(bare.log.events.is_empty(), "{engine:?}");
+        // The summary trailer still records the outcome.
+        assert_eq!(
+            bare.log.summary.as_ref().map(|s| s.cost),
+            Some(recorded.cost),
+            "{engine:?}"
+        );
+    }
+}

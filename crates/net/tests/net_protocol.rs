@@ -185,6 +185,53 @@ fn lossy_smoke_verdicts_are_schedule_independent() {
     assert_eq!(faulty.verdict, offline_verdict(&cfg, &corrupted));
 }
 
+/// The events-engine half of the CI smoke sweep: same instances and
+/// fault profile as the threads smoke test, scheduled by the bounded
+/// worker pool instead of one thread per node.
+#[test]
+fn lossy_smoke_events_engine_matches_offline() {
+    use mstv_net::{run_verification_with, Engine};
+
+    let seed = env_seed();
+    let (cfg, labeling, wire) = make_instance(48, 72, 128, seed ^ 0xa5a5);
+    let profile = FaultProfile {
+        drop: 0.25,
+        duplicate: 0.1,
+        max_delay: 2,
+        crash: 0.02,
+        max_crashes: 3,
+    };
+    let engine = Engine::Events {
+        workers: mstv_trees::ParallelConfig::with_threads(
+            std::num::NonZeroUsize::new(8).expect("nonzero"),
+        ),
+    };
+    let mut link = LossyLink::new(profile, seed);
+    let clean = run_verification_with(
+        &wire,
+        &cfg,
+        &labeling,
+        &mut link,
+        NetConfig::default(),
+        engine,
+    )
+    .expect("clean run converges");
+    assert_eq!(clean.verdict, offline_verdict(&cfg, &labeling));
+
+    let corrupted = corrupt_label(&cfg, &labeling, NodeId(7));
+    let mut link = LossyLink::new(profile, seed.wrapping_add(1));
+    let faulty = run_verification_with(
+        &wire,
+        &cfg,
+        &corrupted,
+        &mut link,
+        NetConfig::default(),
+        engine,
+    )
+    .expect("faulty run converges");
+    assert_eq!(faulty.verdict, offline_verdict(&cfg, &corrupted));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

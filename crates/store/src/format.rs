@@ -487,59 +487,46 @@ impl Snapshot {
             }
         }
         let mut checked = 0;
-        if n > 0 {
-            for i in 0..pairs {
-                // A deterministic low-discrepancy sweep over node pairs;
-                // no RNG so fsck results are reproducible byte-for-byte.
-                let u = ((i as u64).wrapping_mul(0x9E37_79B9) % u64::from(n)) as u32;
-                let mut v = ((i as u64).wrapping_mul(0x85EB_CA6B) + 1) as u32 % n;
-                if u == v {
-                    // Decoders answer path queries, which are only
-                    // specified for distinct endpoints.
-                    v = (v + 1) % n;
-                    if u == v {
-                        continue;
-                    }
-                }
-                let (nu, nv) = (NodeId(u), NodeId(v));
-                let mismatch = |what: &str, got: String, want: String| StoreError::Malformed {
-                    context: "label cross-check",
-                    reason: format!("{what}({u}, {v}) decodes to {got}, tree oracle says {want}"),
-                };
-                let got =
-                    mstv_labels::try_decode_max(&max_decoded[u as usize], &max_decoded[v as usize])
-                        .ok_or(StoreError::LabelMismatch { u, v })?;
-                let want = idx
-                    .try_max_on_path(nu, nv)
-                    .expect("fsck pairs are in range");
-                if got != want {
-                    return Err(mismatch("MAX", got.to_string(), want.to_string()));
-                }
-                let got = mstv_labels::try_decode_flow(
-                    &flow_decoded[u as usize],
-                    &flow_decoded[v as usize],
+        for i in 0..pairs {
+            let Some((u, v)) = fsck_pair(i, n) else {
+                break; // n < 2: path queries need distinct endpoints
+            };
+            let (nu, nv) = (NodeId(u), NodeId(v));
+            let mismatch = |what: &str, got: String, want: String| StoreError::Malformed {
+                context: "label cross-check",
+                reason: format!("{what}({u}, {v}) decodes to {got}, tree oracle says {want}"),
+            };
+            let got =
+                mstv_labels::try_decode_max(&max_decoded[u as usize], &max_decoded[v as usize])
+                    .ok_or(StoreError::LabelMismatch { u, v })?;
+            let want = idx
+                .try_max_on_path(nu, nv)
+                .expect("fsck pairs are in range");
+            if got != want {
+                return Err(mismatch("MAX", got.to_string(), want.to_string()));
+            }
+            let got =
+                mstv_labels::try_decode_flow(&flow_decoded[u as usize], &flow_decoded[v as usize])
+                    .ok_or(StoreError::LabelMismatch { u, v })?;
+            let want = idx
+                .try_min_on_path(nu, nv)
+                .expect("fsck pairs are in range");
+            if got != want {
+                return Err(mismatch("FLOW", got.to_string(), want.to_string()));
+            }
+            if !dist_decoded.is_empty() {
+                let got = mstv_labels::try_decode_dist(
+                    &dist_decoded[u as usize],
+                    &dist_decoded[v as usize],
                 )
                 .ok_or(StoreError::LabelMismatch { u, v })?;
-                let want = idx
-                    .try_min_on_path(nu, nv)
-                    .expect("fsck pairs are in range");
+                let x = idx.try_lca(nu, nv).expect("fsck pairs are in range");
+                let want = wdepth[nu.index()] + wdepth[nv.index()] - 2 * wdepth[x.index()];
                 if got != want {
-                    return Err(mismatch("FLOW", got.to_string(), want.to_string()));
+                    return Err(mismatch("DIST", got.to_string(), want.to_string()));
                 }
-                if !dist_decoded.is_empty() {
-                    let got = mstv_labels::try_decode_dist(
-                        &dist_decoded[u as usize],
-                        &dist_decoded[v as usize],
-                    )
-                    .ok_or(StoreError::LabelMismatch { u, v })?;
-                    let x = idx.try_lca(nu, nv).expect("fsck pairs are in range");
-                    let want = wdepth[nu.index()] + wdepth[nv.index()] - 2 * wdepth[x.index()];
-                    if got != want {
-                        return Err(mismatch("DIST", got.to_string(), want.to_string()));
-                    }
-                }
-                checked += 1;
             }
+            checked += 1;
         }
         Ok(FsckReport {
             nodes: n,
@@ -549,6 +536,46 @@ impl Snapshot {
             pairs_checked: checked,
         })
     }
+}
+
+/// The deterministic pair sampler behind [`Snapshot::fsck`]: maps a
+/// check index `i` to a node pair `(u, v)` with `u ≠ v`, or `None` when
+/// `n < 2` (path queries are only specified for distinct endpoints, so
+/// a 0- or 1-node snapshot has no pairs to check).
+///
+/// Two properties the fsck depends on, by construction:
+///
+/// * **Full endpoint coverage** — `u = i mod n`, so any window of `n`
+///   consecutive indices visits every node (and therefore every
+///   `u mod s` residue class of an `s`-sharded query tier) as a first
+///   endpoint. The earlier multiplicative sweep
+///   (`i·0x9E37_79B9 mod n`) visited only `gcd`-reachable residues for
+///   unlucky `n` and could pair a node with itself, silently skipping
+///   the check.
+/// * **Distinct endpoints** — the offset `1 + splitmix64(i) mod (n-1)`
+///   lies in `[1, n-1]`, so `v` never wraps onto `u`. The
+///   `mod (n-1)` of a 64-bit hash carries bias at most `(n-1)/2⁶⁴` per
+///   offset — unobservable at any n a snapshot can hold, and the
+///   price of keeping the sampler allocation-free and O(1) per index.
+///
+/// No RNG state: fsck results are reproducible byte-for-byte.
+pub fn fsck_pair(i: usize, n: u32) -> Option<(u32, u32)> {
+    if n < 2 {
+        return None;
+    }
+    let u = (i as u64 % u64::from(n)) as u32;
+    let offset = 1 + (splitmix64(i as u64) % u64::from(n - 1)) as u32;
+    let v = (u + offset) % n;
+    Some((u, v))
+}
+
+/// SplitMix64's finalizer: a fixed 64-bit mixing permutation
+/// (Steele–Lea–Flood, the seeding function of the xoshiro family).
+fn splitmix64(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn section_name(tag: u8) -> Result<&'static str, StoreError> {
@@ -761,6 +788,47 @@ mod tests {
         assert_eq!(report.pairs_checked, 200);
         assert!(report.max_label_bits > 0);
         assert!(report.total_label_bits >= report.max_label_bits);
+    }
+
+    #[test]
+    fn fsck_pair_covers_every_shard_residue_without_degenerate_pairs() {
+        // The serving tier shards by node id mod shard count (default
+        // 4): a sampler that never produces an endpoint in some residue
+        // class would leave those shards' records uncrosschecked. 257
+        // is prime (and 1 mod 4), the worst case for the old
+        // multiplicative sweep's residue reachability.
+        const SHARDS: u32 = 4;
+        for n in [1u32, 2, 3, 257] {
+            if n < 2 {
+                assert_eq!(fsck_pair(0, n), None);
+                assert_eq!(fsck_pair(17, n), None);
+                continue;
+            }
+            let mut u_classes = vec![false; SHARDS as usize];
+            let mut v_classes = vec![false; SHARDS as usize];
+            let pairs = 4 * n as usize;
+            for i in 0..pairs {
+                let (u, v) = fsck_pair(i, n).expect("n >= 2 always yields a pair");
+                assert!(u < n && v < n, "n={n} i={i}: ({u}, {v}) out of range");
+                assert_ne!(u, v, "n={n} i={i}: degenerate pair");
+                u_classes[(u % SHARDS) as usize] = true;
+                v_classes[(v % SHARDS) as usize] = true;
+            }
+            // Every residue class a node of this instance can inhabit
+            // must appear among the sampled endpoints.
+            for c in 0..SHARDS.min(n) as usize {
+                assert!(u_classes[c], "n={n}: no pair with u ≡ {c} (mod {SHARDS})");
+                assert!(v_classes[c], "n={n}: no pair with v ≡ {c} (mod {SHARDS})");
+            }
+        }
+    }
+
+    #[test]
+    fn fsck_on_single_node_snapshot_checks_zero_pairs() {
+        let t = tree_of(1, 1, 9);
+        let snap = Snapshot::build(&t, SepFieldCodec::EliasGamma);
+        let report = snap.fsck(64).expect("single-node snapshot is honest");
+        assert_eq!(report.pairs_checked, 0);
     }
 
     #[test]

@@ -61,5 +61,5 @@ mod lru;
 pub use crc::crc32;
 pub use engine::{Answer, EngineConfig, Query, QueryEngine};
 pub use error::StoreError;
-pub use format::{DistSection, FsckReport, Snapshot, MAGIC, VERSION};
+pub use format::{fsck_pair, DistSection, FsckReport, Snapshot, MAGIC, VERSION};
 pub use lru::LruCache;

@@ -38,7 +38,7 @@ mod separator;
 pub use hld::HeavyLightIndex;
 pub use kruskal_tree::KruskalTree;
 pub use lca::LcaIndex;
-pub use parallel::{par_map_chunks, ParallelConfig};
+pub use parallel::{par_map_chunks, KeyedQueue, ParallelConfig};
 pub use pathmax::PathMaxIndex;
 pub use rmq::SparseTableRmq;
 pub use rooted::RootedTree;

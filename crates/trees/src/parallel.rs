@@ -1,12 +1,21 @@
-//! Thread-count policy shared by the parallel tree algorithms.
+//! Thread-count policy and queue machinery shared by the parallel
+//! subsystems.
 //!
 //! [`ParallelConfig`] started life in `mstv-core` as the knob for
 //! `verify_all_parallel`; the marker side (centroid decomposition, label
 //! assembly, snapshot builds) now takes the same knob, so the type lives
 //! here at the bottom of the crate stack and `mstv-core` re-exports it —
 //! `mstv_core::ParallelConfig` keeps working unchanged.
+//!
+//! [`KeyedQueue`] is the scheduling primitive underneath the event-driven
+//! engines: per-key FIFO inboxes multiplexed over a bounded pool of
+//! worker threads, with the guarantee that at most one worker processes
+//! a given key at a time (so each key's items are handled strictly in
+//! posting order, whatever the pool size).
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::{Condvar, Mutex};
 
 /// Thread-count policy for parallel tree / marker / verifier stages.
 ///
@@ -87,6 +96,104 @@ pub fn par_map_chunks<T: Send>(
     })
 }
 
+/// A bounded-pool scheduler over per-key FIFO mailboxes.
+///
+/// `post(key, item)` appends to `key`'s inbox; any idle worker calling
+/// [`KeyedQueue::next`] receives the oldest item of some schedulable
+/// key. A key handed to a worker stays *leased* — no other worker can
+/// receive its items — until the worker calls [`KeyedQueue::done`],
+/// which re-schedules the key if more items queued up meanwhile. The
+/// two invariants every consumer relies on:
+///
+/// * **per-key FIFO** — items of one key are processed in posting
+///   order, because the key is leased to one worker at a time;
+/// * **no busy waiting** — `next` blocks on a condvar until an item is
+///   schedulable or the queue is closed ([`KeyedQueue::close`] wakes
+///   every blocked worker and makes `next` return `None` immediately,
+///   discarding whatever is still queued).
+#[derive(Debug)]
+pub struct KeyedQueue<T> {
+    inner: Mutex<KeyedQueueInner<T>>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct KeyedQueueInner<T> {
+    inboxes: Vec<VecDeque<T>>,
+    ready: VecDeque<usize>,
+    /// Key is in `ready` or leased to a worker: either way, `next` must
+    /// not hand it out again until `done` clears the lease.
+    leased: Vec<bool>,
+    closed: bool,
+}
+
+impl<T> KeyedQueue<T> {
+    /// A queue over keys `0..keys`, all inboxes empty.
+    pub fn new(keys: usize) -> Self {
+        KeyedQueue {
+            inner: Mutex::new(KeyedQueueInner {
+                inboxes: (0..keys).map(|_| VecDeque::new()).collect(),
+                ready: VecDeque::new(),
+                leased: vec![false; keys],
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Appends `item` to `key`'s inbox and schedules the key if no
+    /// worker currently holds it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn post(&self, key: usize, item: T) {
+        let mut q = self.inner.lock().expect("keyed queue lock");
+        q.inboxes[key].push_back(item);
+        if !q.leased[key] {
+            q.leased[key] = true;
+            q.ready.push_back(key);
+            self.cv.notify_one();
+        }
+    }
+
+    /// Blocks until some key is schedulable, then leases it to the
+    /// caller and returns its oldest item. Returns `None` once the
+    /// queue is closed.
+    pub fn next(&self) -> Option<(usize, T)> {
+        let mut q = self.inner.lock().expect("keyed queue lock");
+        loop {
+            if q.closed {
+                return None;
+            }
+            if let Some(key) = q.ready.pop_front() {
+                let item = q.inboxes[key].pop_front().expect("ready key has an item");
+                return Some((key, item));
+            }
+            q = self.cv.wait(q).expect("keyed queue lock");
+        }
+    }
+
+    /// Releases the caller's lease on `key`, re-scheduling it if items
+    /// arrived while the lease was held.
+    pub fn done(&self, key: usize) {
+        let mut q = self.inner.lock().expect("keyed queue lock");
+        if q.inboxes[key].is_empty() {
+            q.leased[key] = false;
+        } else {
+            q.ready.push_back(key);
+            self.cv.notify_one();
+        }
+    }
+
+    /// Closes the queue: every blocked and future [`KeyedQueue::next`]
+    /// returns `None`; undelivered items are discarded.
+    pub fn close(&self) {
+        self.inner.lock().expect("keyed queue lock").closed = true;
+        self.cv.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +209,55 @@ mod tests {
                 assert_eq!(got, want, "n={n} t={t}");
             }
         }
+    }
+
+    #[test]
+    fn keyed_queue_preserves_per_key_fifo_under_contention() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        const KEYS: usize = 5;
+        const ITEMS: usize = 200;
+        let queue = KeyedQueue::new(KEYS);
+        let consumed: Vec<Mutex<Vec<usize>>> = (0..KEYS).map(|_| Mutex::new(Vec::new())).collect();
+        let remaining = AtomicUsize::new(KEYS * ITEMS);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some((key, item)) = queue.next() {
+                        consumed[key].lock().unwrap().push(item);
+                        queue.done(key);
+                        if remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                            queue.close();
+                        }
+                    }
+                });
+            }
+            for i in 0..ITEMS {
+                for key in 0..KEYS {
+                    queue.post(key, i);
+                }
+            }
+        });
+        for (key, cell) in consumed.iter().enumerate() {
+            let got = cell.lock().unwrap();
+            let want: Vec<usize> = (0..ITEMS).collect();
+            assert_eq!(*got, want, "key {key} items out of order");
+        }
+    }
+
+    #[test]
+    fn keyed_queue_close_wakes_blocked_workers() {
+        let queue: KeyedQueue<u32> = KeyedQueue::new(2);
+        std::thread::scope(|s| {
+            let worker = s.spawn(|| queue.next());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            queue.close();
+            assert_eq!(worker.join().unwrap(), None);
+        });
+        // Items posted before close are discarded, not delivered.
+        let queue: KeyedQueue<u32> = KeyedQueue::new(1);
+        queue.post(0, 7);
+        queue.close();
+        assert_eq!(queue.next(), None);
     }
 }

@@ -19,14 +19,22 @@ echo "== cargo test =="
 unset RUST_TEST_THREADS
 cargo test -q --offline --workspace
 
-echo "== mstv-net determinism smoke (16 seeds) =="
-# A loom-style sweep: the lossy-convergence test asserts that whatever
-# schedule the threads and the fault injector produce, the wire verdict
+echo "== mstv-net engine equivalence =="
+# The two execution engines (thread-per-node and event-driven pool)
+# must be observably identical: same verdict, same MessageCost,
+# byte-identical event logs, and replay accepts either engine's logs.
+cargo test -q --offline -p mstv-net --test engine_equivalence
+
+echo "== mstv-net determinism smoke (16 seeds, both engines) =="
+# A loom-style sweep: the lossy-convergence tests assert that whatever
+# schedule the workers and the fault injector produce, the wire verdict
 # equals the offline verifier's. Sixteen distinct seeds give sixteen
-# different fault schedules; any nondeterministic verdict fails the run.
+# different fault schedules; any nondeterministic verdict fails the
+# run. The lossy_smoke_ filter picks up both the thread-per-node and
+# the events-engine variant of the test.
 for seed in $(seq 0 15); do
     MSTV_NET_SEED="$seed" cargo test -q --offline -p mstv-net --test net_protocol \
-        lossy_smoke_verdicts_are_schedule_independent >/dev/null \
+        lossy_smoke >/dev/null \
         || { echo "ci: net smoke failed at seed $seed"; exit 1; }
 done
 

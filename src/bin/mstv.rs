@@ -51,10 +51,14 @@ const USAGE: &str = "usage:
   mstv net --nodes N [--extra M] [--max-weight W] [--seed S]
            [--drop P] [--dup P] [--delay D] [--crash P] [--max-crashes K]
            [--fault none|weight|pointer|label] [--max-rounds R] [--log FILE]
+           [--engine threads|events] [--workers N]
       run the one-round verification protocol on the concurrent
-      runtime: one thread per node, serialized label frames on a lossy
-      link (drop/duplicate probabilities, bounded random delay,
-      crash-restarts). Prints the verdict and the MessageCost JSON;
+      runtime: serialized label frames on a lossy link (drop/duplicate
+      probabilities, bounded random delay, crash-restarts). --engine
+      picks the scheduler — one thread per node (threads, default) or
+      an event-driven pool of --workers threads (events; required for
+      very large instances). Both engines produce identical verdicts,
+      costs, and logs. Prints the verdict and the MessageCost JSON;
       --log saves a replayable event log
   mstv net --replay <log-file>
       re-run a saved event log deterministically on one thread and
@@ -432,8 +436,8 @@ fn print_net_run(run: &mst_verification::net::NetRun) {
 
 fn cmd_net(args: &[String]) -> Result<(), String> {
     use mst_verification::net::{
-        replay, run_verification, EventLog, FaultProfile, LossyLink, MstWireScheme, NetConfig,
-        PerfectLink,
+        replay, run_verification_with, Engine, EventLog, FaultProfile, LossyLink, MstWireScheme,
+        NetConfig, PerfectLink,
     };
 
     if let Some(log_path) = flag_str(args, "--replay") {
@@ -487,6 +491,23 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
         };
         let net = NetConfig {
             max_rounds: flag_value(args, "--max-rounds")?.unwrap_or(10_000),
+            record_log: true,
+        };
+        let workers = match flag_value(args, "--workers")? {
+            None => ParallelConfig::default(),
+            Some(w) => {
+                let w = usize::try_from(w)
+                    .ok()
+                    .and_then(std::num::NonZeroUsize::new)
+                    .ok_or("--workers must be a positive integer")?;
+                ParallelConfig::with_threads(w)
+            }
+        };
+        let engine_name = flag_str(args, "--engine").unwrap_or_else(|| "threads".to_owned());
+        let engine = match engine_name.as_str() {
+            "threads" => Engine::Threads,
+            "events" => Engine::Events { workers },
+            other => return Err(format!("unknown engine {other:?} (threads|events)")),
         };
         let (cfg, labeling) = params.build()?;
         let wire = MstWireScheme::for_config(&cfg);
@@ -494,13 +515,16 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
         // topology can be rerun under different fault schedules.
         let link_seed = params.seed ^ 0x9e37_79b9_7f4a_7c15;
         let mut run = if profile.is_perfect() {
-            run_verification(&wire, &cfg, &labeling, &mut PerfectLink, net)
+            run_verification_with(&wire, &cfg, &labeling, &mut PerfectLink, net, engine)
         } else {
             let mut link = LossyLink::new(profile, link_seed);
-            run_verification(&wire, &cfg, &labeling, &mut link, net)
+            run_verification_with(&wire, &cfg, &labeling, &mut link, net, engine)
         }
         .map_err(|e| e.to_string())?;
         params.to_headers(&mut run.log);
+        // Provenance only: both engines record identical logs, so replay
+        // needs no engine marker.
+        run.log.push_header("engine", &engine_name);
         run.log.push_header("drop", profile.drop);
         run.log.push_header("dup", profile.duplicate);
         run.log.push_header("delay", profile.max_delay);
