@@ -71,16 +71,15 @@ fn main() {
     for &shards in &[1usize, 2, 4, 8] {
         for &cache in &[0usize, 4096] {
             let snap = Snapshot::from_bytes(&bytes).expect("own snapshot reloads");
-            let engine = QueryEngine::new(
-                snap,
-                EngineConfig {
-                    shards,
-                    cache_capacity: cache,
-                },
-            );
+            let config = EngineConfig::builder()
+                .shards(shards)
+                .cache_entries(cache)
+                .build()
+                .expect("bench shard counts are valid");
+            let engine = QueryEngine::new(snap, config);
             let mut answers = Vec::with_capacity(QUERIES);
             for chunk in queries.chunks(BATCH) {
-                answers.extend(engine.run_batch(chunk));
+                answers.extend(engine.run_batch_response(chunk).results);
             }
             check_against_oracle(&queries, &answers, &idx, &wdepth);
             let m = engine.metrics();
@@ -109,7 +108,7 @@ fn main() {
 
 fn check_against_oracle(
     queries: &[Query],
-    answers: &[Result<Answer, mstv_store::StoreError>],
+    answers: &[Result<Answer, mstv_store::proto::ErrorCode>],
     idx: &PathMaxIndex,
     wdepth: &[u64],
 ) {

@@ -58,7 +58,7 @@ pub use framework::{
     local_view, try_local_view, Labeling, LocalView, MarkerError, NeighborView, ParallelConfig,
     ProofLabelingScheme, Verdict, ViewError,
 };
-pub use metrics::{Histogram, MessageCost, ServeMetrics, SessionMetrics};
+pub use metrics::{Histogram, LatencyHistogram, MessageCost, ServeMetrics, SessionMetrics};
 pub use mst_scheme::{
     decode_mst_label, encode_mst_label, mst_configuration, MstLabel, MstRejectReason, MstScheme,
 };

@@ -184,6 +184,163 @@ impl Histogram {
     }
 }
 
+/// A log-linear histogram over `u64` nanosecond samples, sized for
+/// latency tails.
+///
+/// Each power-of-two octave is split into 8 linear sub-buckets, so any
+/// recorded value lands in a bucket whose width is at most 1/8th of the
+/// value (≤ 12.5% relative error) — fine enough for honest p50/p99/p999
+/// quantiles without storing raw samples. The struct is a plain `Copy`
+/// array (no atomics, no allocation), matching the rest of this module:
+/// shards fill private blocks and merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; Self::BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; Self::BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// 8 sub-buckets per octave; values below 8 get exact buckets, so
+    /// the top octave (bit length 64) ends at index `8 + 61 * 8 - 1`.
+    const BUCKETS: usize = 8 + 61 * 8;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// The bucket index for `value`: exact below 8, log-linear above.
+    fn bucket_of(value: u64) -> usize {
+        if value < 8 {
+            return value as usize;
+        }
+        let g = 63 - value.leading_zeros() as usize; // g ≥ 3
+        8 * (g - 2) + ((value >> (g - 3)) & 7) as usize
+    }
+
+    /// The inclusive value range `[lo, hi]` a bucket covers.
+    fn bucket_range(bucket: usize) -> (u64, u64) {
+        if bucket < 8 {
+            return (bucket as u64, bucket as u64);
+        }
+        let g = bucket / 8 + 2;
+        let sub = (bucket % 8) as u64;
+        let lo = (1u64 << g) + (sub << (g - 3));
+        (lo, lo + (1u64 << (g - 3)) - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile `q ∈ [0, 1]`: the midpoint of the bucket holding
+    /// the `⌈q · count⌉`-th smallest sample, clamped to the exact
+    /// min/max so the tails never overshoot reality. Returns 0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = Self::bucket_range(i);
+                return lo.midpoint(hi).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// Counters and gauges for a label-serving tier: cache behaviour and
 /// throughput of a batch query engine answering `MAX`/`FLOW`/`VerifyEdge`
 /// from stored labels (the `mstv-store` query engine, `mstv query --bench`,
@@ -208,6 +365,9 @@ pub struct ServeMetrics {
     pub errors: u64,
     /// Wall-clock spent inside batch execution, in nanoseconds.
     pub elapsed_nanos: u64,
+    /// Per-batch (engine) or per-request (server) latency samples, in
+    /// nanoseconds; the source of the exported p50/p99/p999 gauges.
+    pub latency: LatencyHistogram,
 }
 
 impl ServeMetrics {
@@ -227,6 +387,7 @@ impl ServeMetrics {
         self.cache_misses += other.cache_misses;
         self.errors += other.errors;
         self.elapsed_nanos += other.elapsed_nanos;
+        self.latency.merge(&other.latency);
     }
 
     /// Adds `d` to the batch-execution wall-clock.
@@ -267,7 +428,9 @@ impl ServeMetrics {
         format!(
             "{{\"queries\":{},\"batches\":{},\"shards\":{},\"cache_hits\":{},\
              \"cache_misses\":{},\"hit_ratio\":{:.4},\"errors\":{},\
-             \"elapsed_nanos\":{},\"queries_per_sec\":{:.1}}}",
+             \"elapsed_nanos\":{},\"queries_per_sec\":{:.1},\
+             \"lat_p50_nanos\":{},\"lat_p99_nanos\":{},\"lat_p999_nanos\":{},\
+             \"lat_max_nanos\":{}}}",
             self.queries,
             self.batches,
             self.shards,
@@ -277,6 +440,10 @@ impl ServeMetrics {
             self.errors,
             self.elapsed_nanos,
             self.queries_per_sec(),
+            self.latency.p50(),
+            self.latency.p99(),
+            self.latency.p999(),
+            self.latency.max(),
         )
     }
 }
@@ -538,6 +705,7 @@ mod tests {
             cache_misses: 0,
             errors: 0,
             elapsed_nanos: 0,
+            latency: LatencyHistogram::new(),
         };
         assert_eq!(m.hit_ratio(), 0.0);
         assert_eq!(m.queries_per_sec(), 0.0);
@@ -558,6 +726,67 @@ mod tests {
         };
         assert_eq!(fast.queries_per_sec(), 0.0);
         assert!(!fast.to_json().contains("inf"));
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_tight() {
+        // Exact buckets below 8, ≤ 12.5% relative error above.
+        for v in [0u64, 1, 7, 8, 9, 100, 1_000, 123_456, u64::MAX / 2] {
+            let mut h = LatencyHistogram::new();
+            h.record(v);
+            let p = h.percentile(0.5);
+            let err = p.abs_diff(v) as f64;
+            assert!(
+                err <= (v as f64 / 8.0).max(0.0) + 1.0,
+                "p50 of a single sample {v} came back as {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_and_merge() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.p50();
+        let p99 = h.p99();
+        let p999 = h.p999();
+        // True quantiles are 500 / 990 / 1000; buckets are ≤ 12.5% wide.
+        assert!((430..=570).contains(&p50), "p50 = {p50}");
+        assert!((860..=1000).contains(&p99), "p99 = {p99}");
+        assert!(p999 >= p99 && p999 <= 1000, "p999 = {p999}");
+        assert!(h.percentile(1.0) <= 1000);
+
+        let mut lo = LatencyHistogram::new();
+        lo.record(10);
+        let mut hi = LatencyHistogram::new();
+        hi.record(1_000_000);
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 2);
+        assert_eq!(lo.min(), 10);
+        assert_eq!(lo.max(), 1_000_000);
+        // Merging into an empty block copies the other side verbatim.
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&lo);
+        assert_eq!(empty, lo);
+        // Empty percentile is 0, not a panic.
+        assert_eq!(LatencyHistogram::new().p999(), 0);
+    }
+
+    #[test]
+    fn serve_metrics_json_carries_latency_gauges() {
+        let mut m = ServeMetrics::new();
+        m.latency.record(1_000);
+        m.latency.record(2_000);
+        let json = m.to_json();
+        assert!(json.contains("\"lat_p50_nanos\":"));
+        assert!(json.contains("\"lat_p999_nanos\":"));
+        assert!(json.contains("\"lat_max_nanos\":2000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -7,6 +7,19 @@
 
 use std::fmt;
 
+/// The largest payload a `u32`-length-prefixed byte frame can carry,
+/// as a bit count.
+///
+/// Every framed byte format in this workspace (the `mstv-net` wire
+/// frames, the `mstv-store` query protocol) stores payload lengths in a
+/// `u32` field; this constant is the shared guard that keeps an
+/// oversized payload a typed error instead of a silently truncated
+/// length. `MAX_FRAME_BYTES` is the same bound for byte-counted frames.
+pub const MAX_FRAME_BITS: usize = u32::MAX as usize;
+
+/// [`MAX_FRAME_BITS`] for frames whose length field counts whole bytes.
+pub const MAX_FRAME_BYTES: usize = MAX_FRAME_BITS / 8;
+
 /// A growable bit string (MSB-first within the logical stream).
 /// # Example
 ///

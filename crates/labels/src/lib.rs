@@ -36,7 +36,7 @@ mod dist_label;
 mod flow_label;
 mod max_label;
 
-pub use bits::{elias_gamma_len, BitReader, BitString};
+pub use bits::{elias_gamma_len, BitReader, BitString, MAX_FRAME_BITS, MAX_FRAME_BYTES};
 pub use codec::{ImplicitFlowScheme, ImplicitMaxScheme, LabelCodec, SepFieldCodec};
 pub use dist_label::{
     decode_dist, dist_labels, dist_labels_parallel, try_decode_dist, DistLabel, ImplicitDistScheme,

@@ -15,7 +15,13 @@ use crate::error::NetError;
 /// field is a `u32` bit count. [`WireMsg::to_frame`] refuses longer
 /// payloads with [`NetError::FrameTooLarge`] instead of silently
 /// truncating the length.
-pub const MAX_FRAME_BITS: usize = u32::MAX as usize;
+///
+/// This is the workspace-wide framing bound (shared with the
+/// `mstv-store` query protocol, which counts bytes against
+/// [`mstv_labels::MAX_FRAME_BYTES`]); it lives in `mstv-labels` and is
+/// re-exported here so existing `mstv_net::MAX_FRAME_BITS` call sites
+/// keep working.
+pub use mstv_labels::MAX_FRAME_BITS;
 
 /// Checks a payload length against [`MAX_FRAME_BITS`], returning the
 /// length as the `u32` the frame header stores.

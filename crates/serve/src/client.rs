@@ -1,0 +1,133 @@
+//! A blocking client for the query wire protocol.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use mstv_store::proto::{AdminReply, AdminRequest, Frame, Request, Response};
+use mstv_store::Query;
+
+use crate::io::{read_frame, write_frame};
+use crate::ServeError;
+
+/// One connection to a serving tier.
+///
+/// [`Client::request`] is the simple call-and-wait path; for pipelining
+/// (several requests in flight, matched up by id) use [`Client::send`]
+/// and [`Client::recv`] directly.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the connection cannot be established.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sends one request without waiting for its response; returns the
+    /// id the response will echo.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] / [`ServeError::Proto`] on a write or
+    /// encoding failure.
+    pub fn send(&mut self, batch: Vec<Query>) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &Frame::Request(Request { id, batch }))?;
+        Ok(id)
+    }
+
+    /// Receives the next response frame. Responses to pipelined
+    /// requests arrive in an order the ids disambiguate (overload
+    /// rejections are answered inline by the server's reader and can
+    /// overtake queued work).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnexpectedFrame`] if the server sends anything but
+    /// a response.
+    pub fn recv(&mut self) -> Result<Response, ServeError> {
+        match read_frame(&mut self.stream)? {
+            Frame::Response(resp) => Ok(resp),
+            _ => Err(ServeError::UnexpectedFrame),
+        }
+    }
+
+    /// Sends `batch` and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::send`] and [`Client::recv`]; additionally
+    /// [`ServeError::UnexpectedFrame`] if the response answers a
+    /// different id (possible only after mixing `request` with
+    /// unmatched [`Client::send`] calls).
+    pub fn request(&mut self, batch: Vec<Query>) -> Result<Response, ServeError> {
+        let id = self.send(batch)?;
+        let resp = self.recv()?;
+        if resp.id != id {
+            return Err(ServeError::UnexpectedFrame);
+        }
+        Ok(resp)
+    }
+
+    fn admin(&mut self, req: AdminRequest) -> Result<AdminReply, ServeError> {
+        write_frame(&mut self.stream, &Frame::Admin(req))?;
+        match read_frame(&mut self.stream)? {
+            Frame::AdminReply(AdminReply::Err { message }) => Err(ServeError::Server { message }),
+            Frame::AdminReply(reply) => Ok(reply),
+            _ => Err(ServeError::UnexpectedFrame),
+        }
+    }
+
+    /// Fetches the server's stats JSON (epoch, server block, engine
+    /// block).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServeError::UnexpectedFrame`] on a
+    /// non-stats reply.
+    pub fn stats(&mut self) -> Result<String, ServeError> {
+        match self.admin(AdminRequest::Stats)? {
+            AdminReply::Stats { json } => Ok(json),
+            _ => Err(ServeError::UnexpectedFrame),
+        }
+    }
+
+    /// Asks the server to load the snapshot at `path` (a path on the
+    /// *server's* filesystem) and hot-swap it in; returns the new
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Server`] with the server's message if the swap
+    /// fails (unreadable file, corrupt snapshot).
+    pub fn swap_snapshot(&mut self, path: &str) -> Result<u64, ServeError> {
+        match self.admin(AdminRequest::SwapSnapshot {
+            path: path.to_owned(),
+        })? {
+            AdminReply::Ok { epoch } => Ok(epoch),
+            _ => Err(ServeError::UnexpectedFrame),
+        }
+    }
+
+    /// Asks the server to shut down; returns once the server has
+    /// acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServeError::UnexpectedFrame`] on a
+    /// non-ok reply.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        match self.admin(AdminRequest::Shutdown)? {
+            AdminReply::Ok { .. } => Ok(()),
+            _ => Err(ServeError::UnexpectedFrame),
+        }
+    }
+}

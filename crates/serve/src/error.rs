@@ -1,0 +1,57 @@
+//! The serving tier's error type.
+
+use std::fmt;
+use std::io;
+
+use mstv_store::proto::ProtoError;
+
+/// A failure in the serving tier — connecting, framing, or a
+/// server-reported admin error.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io(io::Error),
+    /// A frame failed to encode or decode.
+    Proto(ProtoError),
+    /// The peer sent a frame kind that is not valid in this direction
+    /// (e.g. a `Request` arriving at a client).
+    UnexpectedFrame,
+    /// The server reported an admin operation failure.
+    Server {
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
+            ServeError::Proto(e) => write!(f, "serve protocol error: {e}"),
+            ServeError::UnexpectedFrame => write!(f, "peer sent a frame invalid in this direction"),
+            ServeError::Server { message } => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ServeError {
+    fn from(e: ProtoError) -> Self {
+        ServeError::Proto(e)
+    }
+}

@@ -1,0 +1,29 @@
+//! Blocking frame I/O shared by client and server.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use mstv_store::proto::{header_payload_len, Frame, FRAME_HEADER_LEN};
+
+use crate::ServeError;
+
+/// Encodes and writes one frame.
+pub(crate) fn write_frame(stream: &mut TcpStream, frame: &Frame) -> Result<(), ServeError> {
+    let bytes = frame.encode()?;
+    stream.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads one frame, blocking until it is complete: header first, then
+/// exactly the payload length the (validated) header claims — the
+/// `MAX_FRAME_BYTES` check in [`header_payload_len`] runs before any
+/// payload allocation.
+pub(crate) fn read_frame(stream: &mut TcpStream) -> Result<Frame, ServeError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let payload_len = header_payload_len(&header)?;
+    let mut buf = vec![0u8; FRAME_HEADER_LEN + payload_len];
+    buf[..FRAME_HEADER_LEN].copy_from_slice(&header);
+    stream.read_exact(&mut buf[FRAME_HEADER_LEN..])?;
+    Ok(Frame::decode(&buf)?)
+}

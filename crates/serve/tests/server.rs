@@ -1,0 +1,372 @@
+//! End-to-end tests of the serving tier over real loopback sockets:
+//! oracle-checked answers, typed overload rejection, the hot-swap
+//! guarantee (no dropped or torn queries), admin operations, and
+//! malformed-frame handling.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use mstv_graph::{gen, NodeId, Weight};
+use mstv_labels::SepFieldCodec;
+use mstv_serve::{Client, ServeConfig, ServerHandle};
+use mstv_store::proto::{ErrorCode, PROTO_MAGIC, PROTO_VERSION};
+use mstv_store::{Answer, EngineConfig, Query, Snapshot};
+use mstv_trees::{PathMaxIndex, RootedTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A tree plus the oracles every answer is checked against.
+struct Oracle {
+    idx: PathMaxIndex,
+    wdepth: Vec<u64>,
+}
+
+impl Oracle {
+    fn max(&self, u: NodeId, v: NodeId) -> Weight {
+        if u == v {
+            Weight::ZERO
+        } else {
+            self.idx.max_on_path(u, v)
+        }
+    }
+
+    fn dist(&self, u: NodeId, v: NodeId) -> u64 {
+        let x = self.idx.lca(u, v);
+        self.wdepth[u.index()] + self.wdepth[v.index()] - 2 * self.wdepth[x.index()]
+    }
+}
+
+fn tree_of(n: usize, max_w: u64, seed: u64) -> RootedTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_tree(n, gen::WeightDist::Uniform { max: max_w }, &mut rng);
+    RootedTree::from_graph(&g, NodeId(0)).unwrap()
+}
+
+fn oracle_of(tree: &RootedTree) -> Oracle {
+    let idx = PathMaxIndex::new(tree);
+    let mut wdepth = vec![0u64; tree.num_nodes()];
+    for &v in tree.order() {
+        if let Some(p) = tree.parent(v) {
+            wdepth[v.index()] = wdepth[p.index()] + tree.parent_weight(v).0;
+        }
+    }
+    Oracle { idx, wdepth }
+}
+
+fn snapshot_of(tree: &RootedTree) -> Snapshot {
+    Snapshot::build(tree, SepFieldCodec::EliasGamma)
+}
+
+fn mixed_batch(n: u32, rounds: u32) -> Vec<Query> {
+    let mut batch = Vec::new();
+    for i in 0..rounds {
+        let u = NodeId((i * 17 + 3) % n);
+        let v = NodeId((i * 29 + 11) % n);
+        batch.push(Query::Max { u, v });
+        batch.push(Query::Dist { u, v });
+        batch.push(Query::Flow { u, v });
+        batch.push(Query::VerifyEdge {
+            u,
+            v,
+            w: Weight(u64::from(i) * 7 % 500),
+        });
+    }
+    batch
+}
+
+#[test]
+fn roundtrip_matches_in_process_oracle() {
+    let tree = tree_of(200, 500, 41);
+    let oracle = oracle_of(&tree);
+    let server = ServerHandle::spawn(snapshot_of(&tree), ServeConfig::default(), 0).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let batch = mixed_batch(200, 50);
+    let resp = client.request(batch.clone()).unwrap();
+    assert_eq!(resp.server_epoch, 1);
+    assert_eq!(resp.results.len(), batch.len());
+    for (q, r) in batch.iter().zip(&resp.results) {
+        let a = r.as_ref().expect("in-range queries succeed over the wire");
+        match (*q, *a) {
+            (Query::Max { u, v }, Answer::Max(w)) => assert_eq!(w, oracle.max(u, v)),
+            (Query::Dist { u, v }, Answer::Dist(d)) => assert_eq!(d, oracle.dist(u, v)),
+            (Query::Flow { .. }, Answer::Flow(_)) => {}
+            (
+                Query::VerifyEdge { u, v, w },
+                Answer::VerifyEdge {
+                    accept,
+                    max_on_path,
+                },
+            ) => {
+                assert_eq!(max_on_path, oracle.max(u, v));
+                assert_eq!(accept, w >= max_on_path);
+            }
+            other => panic!("answer kind mismatch: {other:?}"),
+        }
+    }
+
+    // Errors arrive as the same typed codes the in-process API reports.
+    let resp = client
+        .request(vec![Query::Max {
+            u: NodeId(999),
+            v: NodeId(0),
+        }])
+        .unwrap();
+    assert_eq!(
+        resp.results[0],
+        Err(ErrorCode::UnknownNode {
+            node: 999,
+            nodes: 200
+        })
+    );
+
+    let m = server.metrics();
+    assert_eq!(m.batches, 2);
+    assert_eq!(m.errors, 1);
+    assert_eq!(m.latency.count(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn overload_is_a_typed_rejection_not_a_hang() {
+    let tree = tree_of(50, 100, 42);
+    // queue_depth 0: every request finds a full (zero-capacity) inbox,
+    // so the admission-control path answers all of them inline.
+    let config = ServeConfig {
+        queue_depth: 0,
+        ..ServeConfig::default()
+    };
+    let server = ServerHandle::spawn(snapshot_of(&tree), config, 0).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let resp = client
+        .request(vec![
+            Query::Max {
+                u: NodeId(1),
+                v: NodeId(2),
+            },
+            Query::Dist {
+                u: NodeId(3),
+                v: NodeId(4),
+            },
+        ])
+        .unwrap();
+    assert_eq!(resp.server_epoch, 1);
+    for r in &resp.results {
+        assert_eq!(
+            *r,
+            Err(ErrorCode::Overloaded {
+                pending: 0,
+                limit: 0
+            })
+        );
+    }
+    // Rejections are visible in the server metrics as errors.
+    let m = server.metrics();
+    assert_eq!(m.errors, 2);
+    server.shutdown();
+}
+
+/// The acceptance-criteria test: hammer the server from concurrent
+/// clients while the snapshot is swapped under them. Every response
+/// must carry a single epoch whose oracle its answers match exactly —
+/// zero errors, zero torn batches, zero drops.
+#[test]
+fn hot_swap_under_hammer_drops_nothing() {
+    let tree_a = tree_of(300, 400, 1);
+    let tree_b = tree_of(300, 900, 2);
+    let oracles = [oracle_of(&tree_a), oracle_of(&tree_b)];
+    let snap_b = snapshot_of(&tree_b);
+
+    let config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = ServerHandle::spawn(snapshot_of(&tree_a), config, 0).unwrap();
+    let addr = server.addr();
+    assert_eq!(server.epoch(), 1);
+
+    let check = |resp: &mstv_store::proto::Response, batch: &[Query]| {
+        assert!(
+            resp.server_epoch == 1 || resp.server_epoch == 2,
+            "epoch {} is neither generation",
+            resp.server_epoch
+        );
+        let oracle = &oracles[(resp.server_epoch - 1) as usize];
+        assert_eq!(resp.results.len(), batch.len());
+        for (q, r) in batch.iter().zip(&resp.results) {
+            let a = r.as_ref().expect("hammer queries never error");
+            match (*q, *a) {
+                (Query::Max { u, v }, Answer::Max(w)) => assert_eq!(
+                    w,
+                    oracle.max(u, v),
+                    "MAX({u},{v}) wrong for epoch {} — torn or mixed snapshot",
+                    resp.server_epoch
+                ),
+                (Query::Dist { u, v }, Answer::Dist(d)) => assert_eq!(
+                    d,
+                    oracle.dist(u, v),
+                    "DIST({u},{v}) wrong for epoch {}",
+                    resp.server_epoch
+                ),
+                other => panic!("answer kind mismatch: {other:?}"),
+            }
+        }
+    };
+
+    let stop = AtomicBool::new(false);
+    let responses: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2u32)
+            .map(|c| {
+                let (stop, check) = (&stop, &check);
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut batch = Vec::new();
+                    for i in 0..40u32 {
+                        let u = NodeId((i * 13 + c) % 300);
+                        let v = NodeId((i * 31 + 2 * c + 1) % 300);
+                        batch.push(Query::Max { u, v });
+                        batch.push(Query::Dist { u, v });
+                    }
+                    let mut served = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let resp = client.request(batch.clone()).unwrap();
+                        check(&resp, &batch);
+                        served += 1;
+                    }
+                    // One final request after the swap settled: it must
+                    // be answered — the swap may not drop queries — and
+                    // from the new generation.
+                    let resp = client.request(batch.clone()).unwrap();
+                    assert_eq!(resp.server_epoch, 2, "post-swap request on old epoch");
+                    check(&resp, &batch);
+                    served + 1
+                })
+            })
+            .collect();
+
+        // Let the hammer run, swap mid-flight, let it run some more.
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        assert_eq!(server.swap(snap_b), 2);
+        assert_eq!(server.epoch(), 2);
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    // Every request that was sent came back answered: the server-side
+    // request count matches what the clients got, and none errored.
+    let m = server.metrics();
+    assert_eq!(
+        m.batches, responses as u64,
+        "dropped or duplicated requests"
+    );
+    assert_eq!(m.errors, 0);
+    assert!(responses >= 4, "hammer barely ran ({responses} responses)");
+    server.shutdown();
+}
+
+#[test]
+fn admin_stats_swap_and_shutdown_over_the_wire() {
+    let tree_a = tree_of(80, 200, 5);
+    let tree_b = tree_of(80, 800, 6);
+    let oracle_b = oracle_of(&tree_b);
+
+    let dir = std::env::temp_dir().join(format!("mstv_serve_swap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("b.snap");
+    snapshot_of(&tree_b).write_file(&snap_path).unwrap();
+
+    let server = ServerHandle::spawn(snapshot_of(&tree_a), ServeConfig::default(), 0).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let stats = client.stats().unwrap();
+    assert!(stats.starts_with("{\"epoch\":1,"), "stats: {stats}");
+    assert!(stats.contains("\"server\":{"));
+    assert!(stats.contains("\"engine\":{"));
+
+    // A bad path is a server-reported error, not a dead connection.
+    let err = client.swap_snapshot("/nonexistent/path.snap");
+    assert!(matches!(err, Err(mstv_serve::ServeError::Server { .. })));
+
+    // The real swap bumps the epoch and serves the new snapshot.
+    assert_eq!(
+        client.swap_snapshot(snap_path.to_str().unwrap()).unwrap(),
+        2
+    );
+    let (u, v) = (NodeId(7), NodeId(61));
+    let resp = client.request(vec![Query::Max { u, v }]).unwrap();
+    assert_eq!(resp.server_epoch, 2);
+    assert_eq!(resp.results[0], Ok(Answer::Max(oracle_b.max(u, v))));
+
+    client.shutdown_server().unwrap();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn garbage_and_oversized_frames_close_the_connection() {
+    let tree = tree_of(40, 100, 9);
+    let server = ServerHandle::spawn(snapshot_of(&tree), ServeConfig::default(), 0).unwrap();
+
+    // A dropped connection surfaces as clean EOF or as a reset,
+    // depending on whether unread bytes were still buffered server-side
+    // when it closed the socket.
+    let assert_closed = |raw: &mut TcpStream| {
+        let mut sink = Vec::new();
+        match raw.read_to_end(&mut sink) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("server answered {n} bytes instead of dropping the connection"),
+        }
+    };
+
+    // Garbage magic: the server drops the connection.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"NOT A PROTOCOL FRAME AT ALL").unwrap();
+    assert_closed(&mut raw);
+
+    // A valid header claiming an over-bound payload is refused before
+    // any allocation; connection dropped likewise.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    let mut header = Vec::new();
+    header.extend_from_slice(&PROTO_MAGIC);
+    header.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    header.push(1);
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    raw.write_all(&header).unwrap();
+    assert_closed(&mut raw);
+
+    // The server survives both and keeps serving fresh connections.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let resp = client
+        .request(vec![Query::Max {
+            u: NodeId(1),
+            v: NodeId(2),
+        }])
+        .unwrap();
+    assert!(resp.results[0].is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn engine_config_flows_through_serve_config() {
+    let tree = tree_of(30, 60, 12);
+    let config = ServeConfig {
+        engine: EngineConfig::builder()
+            .shards(2)
+            .cache_entries(8)
+            .build()
+            .unwrap(),
+        ..ServeConfig::default()
+    };
+    let server = ServerHandle::spawn(snapshot_of(&tree), config, 0).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .request(vec![Query::Max {
+            u: NodeId(3),
+            v: NodeId(4),
+        }])
+        .unwrap();
+    assert_eq!(server.engine_metrics().shards, 2);
+    server.shutdown();
+}

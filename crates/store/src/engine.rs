@@ -9,13 +9,20 @@
 //! hot node costs a hash lookup instead of an Elias-gamma walk.
 //!
 //! Batches fan out with scoped threads, one per non-empty shard, and
-//! results come back in input order. All failures are typed
-//! [`StoreError`]s: unknown node ids, undecodable records, and foreign
-//! label pairs are answers, not panics. Even a worker panic is
-//! contained — its batch's queries report [`StoreError::ShardPoisoned`]
-//! and the shard heals (caches reset) before the next lock, so one bad
-//! batch never takes the engine down.
+//! results come back in input order. All failures are typed: unknown
+//! node ids, undecodable records, and foreign label pairs are answers,
+//! not panics. Even a worker panic is contained — its batch's queries
+//! report a poisoned-shard error and the shard heals (caches reset)
+//! before the next lock, so one bad batch never takes the engine down.
+//!
+//! The batch entry point is [`QueryEngine::run_batch_response`], which
+//! returns a [`BatchResponse`]: per-query results carrying the wire
+//! protocol's [`ErrorCode`]s plus batch-level [`BatchMetrics`] — the
+//! same vocabulary the `mstv-serve` network tier sends to clients, so
+//! in-process and remote callers see identical failure taxonomies.
 
+use std::fmt;
+use std::num::NonZeroUsize;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -25,26 +32,148 @@ use mstv_labels::{
     try_decode_dist, try_decode_flow, try_decode_max, DistLabel, FlowLabel, MaxLabel, FLOW_INFINITY,
 };
 
+use crate::proto::ErrorCode;
 use crate::{LruCache, Snapshot, StoreError};
 
-/// Engine sizing knobs.
+/// Upper bound on the shard count a config may request — far above any
+/// sensible fan-out, low enough that a typo (`--shards 1000000`) is a
+/// typed error instead of a million mutexes.
+pub const MAX_SHARDS: usize = 4096;
+
+/// Engine sizing knobs, validated at construction.
+///
+/// Build one with [`EngineConfig::builder`]; invalid combinations are
+/// typed [`EngineConfigError`]s rather than silently clamped values
+/// (mirroring the `NonZeroUsize` discipline of
+/// `mstv_trees::ParallelConfig`):
+///
+/// ```
+/// use mstv_store::EngineConfig;
+///
+/// let cfg = EngineConfig::builder().shards(8).cache_entries(512).build()?;
+/// assert_eq!(cfg.shards(), 8);
+/// assert_eq!(cfg.cache_entries(), 512);
+/// assert!(EngineConfig::builder().shards(0).build().is_err());
+/// # Ok::<(), mstv_store::EngineConfigError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Number of shards (threads) a batch fans out over; clamped to ≥ 1.
-    pub shards: usize,
-    /// Decoded-label LRU capacity per shard *per label kind*; 0 disables
-    /// caching, giving a decode-every-time baseline.
-    pub cache_capacity: usize,
+    shards: NonZeroUsize,
+    cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            shards: 4,
+            shards: NonZeroUsize::new(4).expect("4 != 0"),
             cache_capacity: 1024,
         }
     }
 }
+
+impl EngineConfig {
+    /// Starts building a config from the defaults (4 shards, 1024 cache
+    /// entries per shard per label kind).
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
+    /// Number of shards (threads) a batch fans out over.
+    pub fn shards(&self) -> usize {
+        self.shards.get()
+    }
+
+    /// Decoded-label LRU capacity per shard *per label kind*; 0 means
+    /// caching is disabled (a decode-every-time baseline).
+    pub fn cache_entries(&self) -> usize {
+        self.cache_capacity
+    }
+}
+
+/// Builder for [`EngineConfig`]; see [`EngineConfig::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfigBuilder {
+    shards: usize,
+    cache_entries: usize,
+}
+
+impl Default for EngineConfigBuilder {
+    fn default() -> Self {
+        let d = EngineConfig::default();
+        EngineConfigBuilder {
+            shards: d.shards(),
+            cache_entries: d.cache_entries(),
+        }
+    }
+}
+
+impl EngineConfigBuilder {
+    /// Sets the shard count a batch fans out over.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the decoded-label LRU capacity per shard per label kind
+    /// (0 disables caching).
+    pub fn cache_entries(mut self, entries: usize) -> Self {
+        self.cache_entries = entries;
+        self
+    }
+
+    /// Validates the settings into an [`EngineConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineConfigError::ZeroShards`] for a zero shard count and
+    /// [`EngineConfigError::TooManyShards`] above [`MAX_SHARDS`] — the
+    /// old API clamped both silently; misconfiguration is now visible.
+    pub fn build(self) -> Result<EngineConfig, EngineConfigError> {
+        let shards = NonZeroUsize::new(self.shards).ok_or(EngineConfigError::ZeroShards)?;
+        if shards.get() > MAX_SHARDS {
+            return Err(EngineConfigError::TooManyShards {
+                requested: shards.get(),
+                max: MAX_SHARDS,
+            });
+        }
+        Ok(EngineConfig {
+            shards,
+            cache_capacity: self.cache_entries,
+        })
+    }
+}
+
+/// An invalid [`EngineConfig`] request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineConfigError {
+    /// A zero shard count — a batch needs at least one shard to route to.
+    ZeroShards,
+    /// A shard count above [`MAX_SHARDS`].
+    TooManyShards {
+        /// The shard count that was asked for.
+        requested: usize,
+        /// The bound it exceeded.
+        max: usize,
+    },
+}
+
+impl fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineConfigError::ZeroShards => {
+                write!(f, "engine config: shard count must be at least 1")
+            }
+            EngineConfigError::TooManyShards { requested, max } => {
+                write!(
+                    f,
+                    "engine config: {requested} shards exceeds the maximum of {max}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
 
 /// A single query against the label store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +241,40 @@ pub enum Answer {
     },
 }
 
+/// What one batch cost, measured inside
+/// [`QueryEngine::run_batch_response`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchMetrics {
+    /// Queries in the batch.
+    pub queries: u64,
+    /// Queries that surfaced an error instead of an answer.
+    pub errors: u64,
+    /// Wall-clock from batch entry to last answer, in nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+/// The result of one batch: per-query statuses in input order, plus
+/// what the batch cost.
+///
+/// The error type is the wire protocol's [`ErrorCode`] — the same codes
+/// a network client of `mstv-serve` receives — so migrating a call site
+/// between in-process and remote serving changes transport, not error
+/// handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchResponse {
+    /// One entry per query, in input order.
+    pub results: Vec<Result<Answer, ErrorCode>>,
+    /// Batch-level cost counters.
+    pub metrics: BatchMetrics,
+}
+
+impl BatchResponse {
+    /// Number of queries that errored.
+    pub fn error_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+}
+
 struct Shard {
     max: LruCache<Arc<MaxLabel>>,
     flow: LruCache<Arc<FlowLabel>>,
@@ -142,11 +305,10 @@ pub struct QueryEngine {
 impl QueryEngine {
     /// Wraps a loaded snapshot in a serving engine.
     pub fn new(snap: Snapshot, config: EngineConfig) -> QueryEngine {
-        let shards = config.shards.max(1);
         QueryEngine {
             snap,
-            shards: (0..shards)
-                .map(|_| Mutex::new(Shard::new(config.cache_capacity)))
+            shards: (0..config.shards())
+                .map(|_| Mutex::new(Shard::new(config.cache_entries())))
                 .collect(),
             agg: Mutex::new(ServeMetrics::new()),
         }
@@ -197,28 +359,74 @@ impl QueryEngine {
     ///
     /// # Errors
     ///
-    /// See [`QueryEngine::run_batch`].
+    /// The per-query errors of [`QueryEngine::run_batch_response`], as
+    /// their underlying [`StoreError`]s.
     pub fn query(&self, q: Query) -> Result<Answer, StoreError> {
-        self.run_batch(std::slice::from_ref(&q))
+        self.run_batch_inner(std::slice::from_ref(&q))
+            .0
             .pop()
             .expect("one query in, one answer out")
     }
 
-    /// Answers a batch, fanning out across shards; results are returned
-    /// in input order, one per query.
+    /// Answers a batch, fanning out across shards; results come back in
+    /// input order with the wire protocol's typed [`ErrorCode`]s, plus
+    /// the batch's cost counters.
+    ///
+    /// The batch itself never fails — per-query statuses are:
+    /// [`ErrorCode::UnknownNode`] for an endpoint the snapshot carries
+    /// no label for, [`ErrorCode::CorruptLabel`] when a stored record
+    /// does not decode, [`ErrorCode::LabelMismatch`] when two labels
+    /// come from different schemes, [`ErrorCode::MissingSection`] for
+    /// `Dist` queries against a snapshot without a dist section, and
+    /// [`ErrorCode::ShardPoisoned`] for every query a panicking shard
+    /// worker was serving.
+    pub fn run_batch_response(&self, queries: &[Query]) -> BatchResponse {
+        let (results, metrics) = self.run_batch_inner(queries);
+        BatchResponse {
+            results: results
+                .into_iter()
+                .map(|r| r.map_err(|e| ErrorCode::from(&e)))
+                .collect(),
+            metrics,
+        }
+    }
+
+    /// Answers a batch, returning raw [`StoreError`]s per query.
     ///
     /// # Errors
     ///
-    /// Per-query (the batch itself never fails):
-    /// [`StoreError::UnknownNode`] for an endpoint the snapshot carries
-    /// no label for, [`StoreError::CorruptLabel`] when a stored record
-    /// does not decode, [`StoreError::LabelMismatch`] when two labels
-    /// come from different schemes, [`StoreError::MissingSection`]
-    /// for `Dist` queries against a snapshot without a dist section,
-    /// and [`StoreError::ShardPoisoned`] for every query a panicking
-    /// shard worker was serving.
+    /// Per-query; see [`QueryEngine::run_batch_response`] for the
+    /// taxonomy (this shim reports the underlying [`StoreError`]s).
+    #[deprecated(
+        since = "0.7.0",
+        note = "use run_batch_response, which carries the wire protocol's \
+                typed error codes and the batch's cost counters"
+    )]
     pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<Answer, StoreError>> {
+        self.run_batch_inner(queries).0
+    }
+
+    /// The shared batch executor behind [`QueryEngine::query`],
+    /// [`QueryEngine::run_batch_response`], and the deprecated
+    /// `run_batch` shim.
+    ///
+    /// Admission-first counting: `queries` and `batches` are bumped
+    /// under the aggregate lock *before* the fan-out, and the remaining
+    /// counters (errors, elapsed, latency) after it. A concurrent
+    /// [`QueryEngine::metrics`] reader therefore sees every in-flight
+    /// batch's queries already counted, so derived invariants (cache
+    /// lookups ≤ 2 per counted query, errors ≤ counted queries) hold at
+    /// every instant, not just between batches.
+    fn run_batch_inner(
+        &self,
+        queries: &[Query],
+    ) -> (Vec<Result<Answer, StoreError>>, BatchMetrics) {
         let start = Instant::now();
+        {
+            let mut agg = self.lock_metrics();
+            agg.queries += queries.len() as u64;
+            agg.batches += 1;
+        }
         let ns = self.shards.len();
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); ns];
         for (i, q) in queries.iter().enumerate() {
@@ -278,25 +486,44 @@ impl QueryEngine {
             }
         }
         let errors = results.iter().filter(|r| matches!(r, Some(Err(_)))).count() as u64;
-        let mut agg = self.lock_metrics();
-        agg.queries += queries.len() as u64;
-        agg.batches += 1;
-        agg.errors += errors;
-        agg.add_elapsed(start.elapsed());
-        drop(agg);
-        results
-            .into_iter()
-            .map(|r| r.expect("every query was routed to a shard"))
-            .collect()
+        let elapsed = start.elapsed();
+        {
+            let mut agg = self.lock_metrics();
+            agg.errors += errors;
+            agg.add_elapsed(elapsed);
+            agg.latency.record_duration(elapsed);
+        }
+        let batch = BatchMetrics {
+            queries: queries.len() as u64,
+            errors,
+            elapsed_nanos: elapsed.as_nanos() as u64,
+        };
+        (
+            results
+                .into_iter()
+                .map(|r| r.expect("every query was routed to a shard"))
+                .collect(),
+            batch,
+        )
     }
 
     /// A point-in-time snapshot of the serving counters, aggregated
     /// across shards.
+    ///
+    /// The aggregate lock and *every* shard lock are held simultaneously
+    /// while the counters are read, so the returned block is a consistent
+    /// cut: no shard's hit/miss counters can advance between reads. This
+    /// cannot deadlock with batches — workers take exactly one shard
+    /// lock and never the aggregate lock while holding it, and the batch
+    /// path touches the aggregate lock only when no shard lock is held.
     pub fn metrics(&self) -> ServeMetrics {
-        let mut m = *self.lock_metrics();
+        let agg = self.lock_metrics();
+        let guards: Vec<_> = (0..self.shards.len())
+            .map(|si| self.lock_shard(si))
+            .collect();
+        let mut m = *agg;
         m.shards = self.shards.len() as u64;
-        for si in 0..self.shards.len() {
-            let shard = self.lock_shard(si);
+        for shard in &guards {
             m.cache_hits += shard.hits;
             m.cache_misses += shard.misses;
         }
@@ -445,13 +672,39 @@ mod tests {
 
     fn engine_of(tree: &RootedTree, shards: usize, cache: usize) -> QueryEngine {
         let snap = Snapshot::build(tree, SepFieldCodec::EliasGamma);
-        QueryEngine::new(
-            snap,
-            EngineConfig {
-                shards,
-                cache_capacity: cache,
-            },
-        )
+        let config = EngineConfig::builder()
+            .shards(shards)
+            .cache_entries(cache)
+            .build()
+            .expect("test configs are valid");
+        QueryEngine::new(snap, config)
+    }
+
+    #[test]
+    fn config_builder_validates_instead_of_clamping() {
+        let cfg = EngineConfig::builder()
+            .shards(8)
+            .cache_entries(64)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.shards(), 8);
+        assert_eq!(cfg.cache_entries(), 64);
+        assert_eq!(
+            EngineConfig::builder().shards(0).build(),
+            Err(EngineConfigError::ZeroShards)
+        );
+        assert_eq!(
+            EngineConfig::builder().shards(MAX_SHARDS + 1).build(),
+            Err(EngineConfigError::TooManyShards {
+                requested: MAX_SHARDS + 1,
+                max: MAX_SHARDS
+            })
+        );
+        // The boundary itself is allowed, and defaults are valid.
+        assert!(EngineConfig::builder().shards(MAX_SHARDS).build().is_ok());
+        let d = EngineConfig::default();
+        assert_eq!(d.shards(), 4);
+        assert_eq!(d.cache_entries(), 1024);
     }
 
     #[test]
@@ -480,9 +733,12 @@ mod tests {
         }
         for shards in [1usize, 2, 4, 8] {
             let engine = engine_of(&t, shards, 64);
-            let answers = engine.run_batch(&queries);
-            assert_eq!(answers.len(), queries.len());
-            for (q, a) in queries.iter().zip(&answers) {
+            let response = engine.run_batch_response(&queries);
+            assert_eq!(response.results.len(), queries.len());
+            assert_eq!(response.metrics.queries, queries.len() as u64);
+            assert_eq!(response.metrics.errors, 0);
+            assert_eq!(response.error_count(), 0);
+            for (q, a) in queries.iter().zip(&response.results) {
                 let a = a.as_ref().expect("in-range queries succeed");
                 match (*q, *a) {
                     (Query::Max { u, v }, Answer::Max(w)) => {
@@ -529,11 +785,39 @@ mod tests {
             assert_eq!(m.batches, 1);
             assert_eq!(m.shards, shards as u64);
             assert_eq!(m.errors, 0);
+            assert_eq!(m.latency.count(), 1, "one batch, one latency sample");
             assert!(m.cache_misses > 0);
             assert!(
                 m.cache_hits > 0,
                 "repeated endpoints must hit the cache (shards={shards})"
             );
+        }
+    }
+
+    #[test]
+    fn deprecated_run_batch_shim_matches_new_api() {
+        let t = tree_of(40, 100, 21);
+        let engine = engine_of(&t, 2, 16);
+        let queries = [
+            Query::Max {
+                u: NodeId(1),
+                v: NodeId(30),
+            },
+            Query::Dist {
+                u: NodeId(99),
+                v: NodeId(0),
+            },
+        ];
+        #[allow(deprecated)]
+        let old = engine.run_batch(&queries);
+        let new = engine.run_batch_response(&queries);
+        assert_eq!(old.len(), new.results.len());
+        for (o, n) in old.iter().zip(&new.results) {
+            match (o, n) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(e), Err(code)) => assert_eq!(&ErrorCode::from(e), code),
+                other => panic!("shim and new API disagree: {other:?}"),
+            }
         }
     }
 
@@ -564,8 +848,15 @@ mod tests {
                 matches!(engine.query(q), Err(StoreError::UnknownNode { .. })),
                 "{q:?} should name the unknown node"
             );
+            // The wire-facing API reports the same failure as a typed code.
+            let resp = engine.run_batch_response(&[q]);
+            assert!(
+                matches!(resp.results[0], Err(ErrorCode::UnknownNode { .. })),
+                "{q:?} should map to ErrorCode::UnknownNode"
+            );
+            assert_eq!(resp.metrics.errors, 1);
         }
-        assert_eq!(engine.metrics().errors, 4);
+        assert_eq!(engine.metrics().errors, 8);
     }
 
     #[test]
@@ -679,5 +970,65 @@ mod tests {
         let m = engine.metrics();
         assert_eq!(m.cache_hits, 0, "capacity 0 must never hit");
         assert!(m.cache_misses > 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_consistent_under_concurrent_batches() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let t = tree_of(120, 500, 17);
+        let engine = engine_of(&t, 4, 32);
+        let stop = AtomicBool::new(false);
+        // Max-only batches with u != v: each query does at most two
+        // label lookups (hit or miss), and never errors. Admission-first
+        // counting plus the all-locks metrics() snapshot make the
+        // invariants below hold at *every instant* — the old
+        // lock-one-shard-at-a-time reader could observe lookups from
+        // queries it had not yet counted.
+        let batch_of = |w: u32| {
+            let mut batch = Vec::new();
+            for i in 0..60u32 {
+                let u = NodeId((i * 7 + w) % 120);
+                let mut v = NodeId((i * 13 + w + 1) % 120);
+                // Keep u != v so both endpoints always cost a lookup.
+                if u == v {
+                    v = NodeId((v.0 + 1) % 120);
+                }
+                batch.push(Query::Max { u, v });
+            }
+            batch
+        };
+        // One batch up front from this thread: on a single-core host the
+        // reader below can finish before the writers are ever scheduled,
+        // and the invariants need at least one counted batch.
+        assert_eq!(engine.run_batch_response(&batch_of(7)).metrics.errors, 0);
+        std::thread::scope(|s| {
+            for w in 0..2u32 {
+                let (engine, stop, batch_of) = (&engine, &stop, &batch_of);
+                s.spawn(move || {
+                    let batch = batch_of(w);
+                    while !stop.load(Ordering::Relaxed) {
+                        let resp = engine.run_batch_response(&batch);
+                        assert_eq!(resp.metrics.errors, 0);
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let m = engine.metrics();
+                let lookups = m.cache_hits + m.cache_misses;
+                assert!(
+                    lookups <= 2 * m.queries,
+                    "saw {lookups} lookups against {} counted queries — \
+                     the snapshot mixed counters from different instants",
+                    m.queries
+                );
+                assert!(m.errors <= m.queries);
+                assert!(m.latency.count() <= m.batches);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let m = engine.metrics();
+        assert!(m.queries > 0);
+        assert_eq!(m.queries % 60, 0, "each batch admits exactly 60 queries");
     }
 }

@@ -22,8 +22,15 @@
 //!    partitions node-id space across shards, fronts the bit-level
 //!    decoders with per-shard [`LruCache`]s of decoded labels, and
 //!    answers `Max`/`Flow`/`Dist`/`VerifyEdge` batches in input order.
-//!    Serving counters (queries, cache hits/misses, throughput) are
-//!    reported as [`mstv_core::ServeMetrics`].
+//!    Serving counters (queries, cache hits/misses, throughput, latency
+//!    percentiles) are reported as [`mstv_core::ServeMetrics`].
+//!
+//! 3. **[`proto`]** — the versioned wire protocol over the same
+//!    [`Query`]/[`Answer`] vocabulary: length-prefixed
+//!    [`proto::Request`]/[`proto::Response`] frames with typed
+//!    per-query [`proto::ErrorCode`]s, shared by the in-process
+//!    [`QueryEngine::run_batch_response`] and the `mstv-serve` network
+//!    tier.
 //!
 //! ```
 //! use mstv_graph::{gen, NodeId, Weight};
@@ -43,13 +50,16 @@
 //! // Serving side: load, verify integrity, answer queries.
 //! let snap = Snapshot::from_bytes(&bytes).unwrap();
 //! snap.fsck(100).unwrap();
-//! let engine = QueryEngine::new(snap, EngineConfig::default());
-//! let answers = engine.run_batch(&[Query::VerifyEdge {
+//! let config = EngineConfig::builder().shards(2).build()?;
+//! let engine = QueryEngine::new(snap, config);
+//! let response = engine.run_batch_response(&[Query::VerifyEdge {
 //!     u: NodeId(3),
 //!     v: NodeId(42),
 //!     w: Weight(1_000),
 //! }]);
-//! assert!(answers[0].is_ok());
+//! assert!(response.results[0].is_ok());
+//! assert_eq!(response.metrics.queries, 1);
+//! # Ok::<(), mstv_store::EngineConfigError>(())
 //! ```
 
 mod crc;
@@ -57,9 +67,13 @@ mod engine;
 mod error;
 mod format;
 mod lru;
+pub mod proto;
 
 pub use crc::crc32;
-pub use engine::{Answer, EngineConfig, Query, QueryEngine};
+pub use engine::{
+    Answer, BatchMetrics, BatchResponse, EngineConfig, EngineConfigBuilder, EngineConfigError,
+    Query, QueryEngine, MAX_SHARDS,
+};
 pub use error::StoreError;
 pub use format::{fsck_pair, DistSection, FsckReport, Snapshot, MAGIC, VERSION};
 pub use lru::LruCache;

@@ -157,6 +157,34 @@ impl<T> KeyedQueue<T> {
         }
     }
 
+    /// Appends `item` to `key`'s inbox only if the inbox currently
+    /// holds fewer than `limit` undelivered items; otherwise hands the
+    /// item back as `Err`.
+    ///
+    /// This is the admission-control variant of [`KeyedQueue::post`]:
+    /// a serving tier that must reject rather than buffer under
+    /// overload bounds each key's queue depth here, at the source,
+    /// instead of letting a slow consumer grow an inbox without limit.
+    /// Items already leased to a worker do not count against the
+    /// limit — the bound is on *waiting* items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn try_post(&self, key: usize, item: T, limit: usize) -> Result<(), T> {
+        let mut q = self.inner.lock().expect("keyed queue lock");
+        if q.inboxes[key].len() >= limit {
+            return Err(item);
+        }
+        q.inboxes[key].push_back(item);
+        if !q.leased[key] {
+            q.leased[key] = true;
+            q.ready.push_back(key);
+            self.cv.notify_one();
+        }
+        Ok(())
+    }
+
     /// Blocks until some key is schedulable, then leases it to the
     /// caller and returns its oldest item. Returns `None` once the
     /// queue is closed.
@@ -243,6 +271,33 @@ mod tests {
             let want: Vec<usize> = (0..ITEMS).collect();
             assert_eq!(*got, want, "key {key} items out of order");
         }
+    }
+
+    #[test]
+    fn keyed_queue_try_post_bounds_waiting_items() {
+        let queue: KeyedQueue<u32> = KeyedQueue::new(2);
+        // Two waiting items fill a depth-2 inbox; the third is refused
+        // and handed back.
+        assert_eq!(queue.try_post(0, 1, 2), Ok(()));
+        assert_eq!(queue.try_post(0, 2, 2), Ok(()));
+        assert_eq!(queue.try_post(0, 3, 2), Err(3));
+        // A different key has its own budget.
+        assert_eq!(queue.try_post(1, 9, 2), Ok(()));
+        // Draining one item frees one slot: the leased item no longer
+        // counts as waiting.
+        let (key, item) = queue.next().unwrap();
+        assert_eq!((key, item), (0, 1));
+        assert_eq!(queue.try_post(0, 4, 2), Ok(()));
+        assert_eq!(queue.try_post(0, 5, 2), Err(5));
+        queue.done(0);
+        // FIFO order survives the rejected items (key 1 was scheduled
+        // before key 0's re-queue, so it drains first).
+        assert_eq!(queue.next().unwrap(), (1, 9));
+        queue.done(1);
+        assert_eq!(queue.next().unwrap(), (0, 2));
+        queue.done(0);
+        assert_eq!(queue.next().unwrap(), (0, 4));
+        queue.done(0);
     }
 
     #[test]

@@ -66,4 +66,43 @@ cargo run -q --offline --bin mstv -- query "$tmp/g.snap" --bench --queries 5000 
     --shards 4 --cache 256 --seed 7 --verify-against "$tmp/g.txt" \
     | grep -q "oracle: ok" || { echo "ci: serving smoke failed"; exit 1; }
 
+echo "== networked serving smoke (loopback, vs in-process oracle) =="
+# Start a real server on an ephemeral loopback port, push a mixed
+# 1k-query batch through `mstv query --connect`, and require the wire
+# answers to be byte-identical to the in-process engine's on the same
+# snapshot. Then hot-swap to a second snapshot, re-compare against
+# *its* local answers, and shut the server down cleanly.
+cargo build -q --offline --bin mstv
+mstv=target/debug/mstv
+"$mstv" gen --nodes 300 --extra 600 --seed 9 > "$tmp/a.txt"
+"$mstv" gen --nodes 300 --extra 600 --seed 10 > "$tmp/b.txt"
+"$mstv" snapshot write "$tmp/a.txt" "$tmp/a.snap" >/dev/null
+"$mstv" snapshot write "$tmp/b.txt" "$tmp/b.snap" >/dev/null
+RANDOM=42
+for i in $(seq 1 250); do
+    u=$((RANDOM % 300)); v=$((RANDOM % 300)); w=$((RANDOM % 1000))
+    printf 'max %s %s\nflow %s %s\ndist %s %s\nverify %s %s %s\n' \
+        "$u" "$v" "$v" "$u" "$u" "$v" "$u" "$v" "$w"
+done > "$tmp/q.txt"
+"$mstv" serve --snapshot "$tmp/a.snap" --port 0 --workers 2 > "$tmp/serve.out" &
+serve_pid=$!
+for i in $(seq 1 100); do
+    grep -q '^listening on ' "$tmp/serve.out" && break
+    sleep 0.1
+done
+port="$(sed -n 's/^listening on 127\.0\.0\.1://p' "$tmp/serve.out")"
+[ -n "$port" ] || { echo "ci: serve did not report a port"; exit 1; }
+"$mstv" query --connect "127.0.0.1:$port" --batch "$tmp/q.txt" > "$tmp/net_a.txt"
+"$mstv" query "$tmp/a.snap" --batch "$tmp/q.txt" | sed '$d' > "$tmp/local_a.txt"
+diff "$tmp/net_a.txt" "$tmp/local_a.txt" \
+    || { echo "ci: wire answers diverge from the in-process engine"; exit 1; }
+"$mstv" query --connect "127.0.0.1:$port" --swap "$tmp/b.snap" \
+    | grep -q 'swapped: epoch 2' || { echo "ci: hot swap failed"; exit 1; }
+"$mstv" query --connect "127.0.0.1:$port" --batch "$tmp/q.txt" > "$tmp/net_b.txt"
+"$mstv" query "$tmp/b.snap" --batch "$tmp/q.txt" | sed '$d' > "$tmp/local_b.txt"
+diff "$tmp/net_b.txt" "$tmp/local_b.txt" \
+    || { echo "ci: post-swap answers diverge from the new snapshot"; exit 1; }
+"$mstv" query --connect "127.0.0.1:$port" --shutdown-server >/dev/null
+wait "$serve_pid" || { echo "ci: server did not exit cleanly"; exit 1; }
+
 echo "ci: all checks passed"

@@ -24,6 +24,8 @@ use mst_verification::graph::{
 use mst_verification::labels::SepFieldCodec;
 use mst_verification::mst::{check_mst, kruskal, mst_weight, MstVerdict};
 use mst_verification::sensitivity::{sensitivity, EdgeSensitivity};
+use mst_verification::serve::{Client, ServeConfig, ServerHandle};
+use mst_verification::store::proto::ErrorCode;
 use mst_verification::store::{Answer, EngineConfig, Query, QueryEngine, Snapshot};
 use mst_verification::trees::{ParallelConfig, PathMaxIndex, RootedTree};
 use rand::rngs::StdRng;
@@ -84,6 +86,19 @@ const USAGE: &str = "usage:
       sharded throughput benchmark over seeded random queries; prints
       ServeMetrics JSON; --verify-against cross-checks every answer
       against an in-memory oracle rebuilt from the graph
+  mstv serve --snapshot <file.snap> [--port P] [--workers N] [--shards S]
+           [--cache C] [--queue-depth D] [--max-conns M]
+      serve the snapshot's labels over TCP (wire protocol v1) on
+      127.0.0.1; --port 0 picks an ephemeral port. Prints the bound
+      address, then runs until a client sends --shutdown-server
+  mstv query --connect <host:port> max|flow|dist <u> <v>
+  mstv query --connect <host:port> verify <u> <v> <w>
+  mstv query --connect <host:port> --batch <query-file>
+      answer queries from a running `mstv serve` instead of a local
+      snapshot (same query syntax and output line format)
+  mstv query --connect <host:port> --stats|--swap <file.snap>|--shutdown-server
+      admin operations: stats JSON, atomic hot snapshot swap (path is
+      on the server's filesystem), clean shutdown
   mstv dot <graph-file> [<tree-file>]
       Graphviz DOT rendering (tree edges bold)";
 
@@ -111,6 +126,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "net" => cmd_net(&args[1..]),
         "snapshot" => cmd_snapshot(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -686,40 +702,67 @@ fn show_answer(a: &Answer) -> String {
     }
 }
 
+/// Builds an [`EngineConfig`] from `--shards` / `--cache`, reporting a
+/// typed validation error (zero or excessive shard count) as a CLI
+/// error instead of silently clamping.
+fn engine_config_from_flags(args: &[String]) -> Result<EngineConfig, String> {
+    let mut builder = EngineConfig::builder();
+    if let Some(shards) = flag_value(args, "--shards")? {
+        builder = builder.shards(shards as usize);
+    }
+    if let Some(cache) = flag_value(args, "--cache")? {
+        builder = builder.cache_entries(cache as usize);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Parses a query file: one query per line (`#` comments and blank
+/// lines skipped), returning the surviving source lines alongside the
+/// parsed queries so answers can be echoed next to their questions.
+fn read_batch_file(batch_path: &str) -> Result<(Vec<String>, Vec<Query>), String> {
+    let text = std::fs::read_to_string(batch_path)
+        .map_err(|e| format!("cannot read {batch_path}: {e}"))?;
+    let mut lines = Vec::new();
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        queries.push(parse_query(
+            &words,
+            &format!("{batch_path}:{}", lineno + 1),
+        )?);
+        lines.push(line.to_owned());
+    }
+    Ok((lines, queries))
+}
+
+fn print_batch_answers(lines: &[String], results: &[Result<Answer, ErrorCode>]) {
+    for (line, result) in lines.iter().zip(results) {
+        match result {
+            Ok(a) => println!("{line}: {}", show_answer(a)),
+            Err(e) => println!("{line}: error — {e}"),
+        }
+    }
+}
+
 /// The serving-side half: load a snapshot once, answer queries from the
-/// labels alone.
+/// labels alone — or, with `--connect`, forward them to a running
+/// `mstv serve` over the wire protocol.
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing snapshot file")?;
+    if flag_str(args, "--connect").is_some() {
+        return cmd_query_remote(args);
+    }
+    let path = args.first().ok_or("missing snapshot file (or --connect)")?;
     let snap = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
-    let config = EngineConfig {
-        shards: flag_value(args, "--shards")?.unwrap_or(4) as usize,
-        cache_capacity: flag_value(args, "--cache")?.unwrap_or(1024) as usize,
-    };
-    let engine = QueryEngine::new(snap, config);
+    let engine = QueryEngine::new(snap, engine_config_from_flags(args)?);
 
     if let Some(batch_path) = flag_str(args, "--batch") {
-        let text = std::fs::read_to_string(&batch_path)
-            .map_err(|e| format!("cannot read {batch_path}: {e}"))?;
-        let mut lines = Vec::new();
-        let mut queries = Vec::new();
-        for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let words: Vec<&str> = line.split_whitespace().collect();
-            queries.push(parse_query(
-                &words,
-                &format!("{batch_path}:{}", lineno + 1),
-            )?);
-            lines.push(line);
-        }
-        for (line, result) in lines.iter().zip(engine.run_batch(&queries)) {
-            match result {
-                Ok(a) => println!("{line}: {}", show_answer(&a)),
-                Err(e) => println!("{line}: error — {e}"),
-            }
-        }
+        let (lines, queries) = read_batch_file(&batch_path)?;
+        let response = engine.run_batch_response(&queries);
+        print_batch_answers(&lines, &response.results);
         println!("{}", engine.metrics().to_json());
         Ok(())
     } else if args.iter().any(|a| a == "--bench") {
@@ -738,6 +781,108 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         println!("{}", show_answer(&a));
         Ok(())
     }
+}
+
+/// Positional (non-flag) words of a `query --connect` invocation: every
+/// argument that is neither a flag nor a flag's value.
+fn positional_words(args: &[String]) -> Vec<&str> {
+    const VALUE_FLAGS: &[&str] = &["--connect", "--batch", "--swap"];
+    let mut words = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            i += 2;
+        } else if a.starts_with("--") {
+            i += 1;
+        } else {
+            words.push(a);
+            i += 1;
+        }
+    }
+    words
+}
+
+/// `mstv query --connect`: the network client side of the wire
+/// protocol. Queries produce exactly the same output lines as local
+/// mode (minus the trailing metrics JSON, which lives on the server —
+/// see `--stats`), so the two modes can be diffed against each other.
+fn cmd_query_remote(args: &[String]) -> Result<(), String> {
+    let addr = flag_str(args, "--connect").ok_or("--connect needs host:port")?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+
+    if args.iter().any(|a| a == "--stats") {
+        println!("{}", client.stats().map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    if let Some(snap_path) = flag_str(args, "--swap") {
+        let epoch = client
+            .swap_snapshot(&snap_path)
+            .map_err(|e| e.to_string())?;
+        println!("swapped: epoch {epoch}");
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--shutdown-server") {
+        client.shutdown_server().map_err(|e| e.to_string())?;
+        println!("server shut down");
+        return Ok(());
+    }
+
+    if let Some(batch_path) = flag_str(args, "--batch") {
+        let (lines, queries) = read_batch_file(&batch_path)?;
+        let response = client.request(queries).map_err(|e| e.to_string())?;
+        if response.results.len() != lines.len() {
+            return Err(format!(
+                "server answered {} of {} queries",
+                response.results.len(),
+                lines.len()
+            ));
+        }
+        print_batch_answers(&lines, &response.results);
+        Ok(())
+    } else {
+        let words = positional_words(args);
+        if words.is_empty() {
+            return Err("missing query (or --batch/--stats/--swap/--shutdown-server)".to_owned());
+        }
+        let q = parse_query(&words, "query")?;
+        let response = client.request(vec![q]).map_err(|e| e.to_string())?;
+        match response.results.first() {
+            Some(Ok(a)) => {
+                println!("{}", show_answer(a));
+                Ok(())
+            }
+            Some(Err(e)) => Err(e.to_string()),
+            None => Err("server returned an empty response".to_owned()),
+        }
+    }
+}
+
+/// `mstv serve`: bind the networked serving tier around a snapshot and
+/// run until a client asks for shutdown.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let snap_path = flag_str(args, "--snapshot").ok_or("--snapshot is required")?;
+    let snap = Snapshot::read_file(&snap_path).map_err(|e| format!("{snap_path}: {e}"))?;
+    let port = flag_value(args, "--port")?.unwrap_or(0) as u16;
+    let mut config = ServeConfig {
+        engine: engine_config_from_flags(args)?,
+        ..ServeConfig::default()
+    };
+    if let Some(w) = flag_value(args, "--workers")? {
+        config.workers = w as usize;
+    }
+    if let Some(d) = flag_value(args, "--queue-depth")? {
+        config.queue_depth = d as usize;
+    }
+    if let Some(m) = flag_value(args, "--max-conns")? {
+        config.max_connections = m as usize;
+    }
+    let server = ServerHandle::spawn(snap, config, port).map_err(|e| e.to_string())?;
+    // Parseable by scripts that background the server and need the
+    // actual port (stdout is line-buffered, so this arrives promptly).
+    println!("listening on {}", server.addr());
+    server.wait();
+    Ok(())
 }
 
 fn cmd_query_bench(args: &[String], engine: &QueryEngine) -> Result<(), String> {
@@ -769,7 +914,7 @@ fn cmd_query_bench(args: &[String], engine: &QueryEngine) -> Result<(), String> 
         .collect();
     let mut answers = Vec::with_capacity(count);
     for chunk in queries.chunks(BATCH) {
-        answers.extend(engine.run_batch(chunk));
+        answers.extend(engine.run_batch_response(chunk).results);
     }
     println!("{}", engine.metrics().to_json());
 

@@ -19,8 +19,12 @@
 //! * [`sensitivity`] — Tarjan's tree-sensitivity problem,
 //! * [`hypertree`] — the `(h, µ)`-hypertree lower-bound construction,
 //! * [`store`] — persistent label snapshots (CRC-checked binary
-//!   container) and a sharded, cache-fronted query engine serving
-//!   `MAX`/`FLOW`/`DIST`/`VerifyEdge` straight from stored labels.
+//!   container), a sharded, cache-fronted query engine serving
+//!   `MAX`/`FLOW`/`DIST`/`VerifyEdge` straight from stored labels, and
+//!   the versioned query wire protocol ([`store::proto`]),
+//! * [`serve`] — the networked serving tier: a TCP server over
+//!   snapshot query engines with per-connection FIFO scheduling,
+//!   admission control, and atomic hot snapshot swap.
 //!
 //! # Quickstart
 //!
@@ -119,5 +123,6 @@ pub use mstv_labels as labels;
 pub use mstv_mst as mst;
 pub use mstv_net as net;
 pub use mstv_sensitivity as sensitivity;
+pub use mstv_serve as serve;
 pub use mstv_store as store;
 pub use mstv_trees as trees;
