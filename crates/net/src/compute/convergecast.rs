@@ -1,0 +1,503 @@
+//! The distributed marker (phase B of construction): every node
+//! assembles its own `π_mst` label with tree messages only.
+//!
+//! The phase replays the centralized marker's pipeline —
+//! `span_labels`, `centroid_decomposition`, `max_labels`,
+//! `orient_fields` — as a message protocol, reproducing every
+//! deterministic tie-break of the sequential code so the resulting
+//! labels are **bit-identical**:
+//!
+//! 1. **Rooting** ([`Msg::Span`]/[`Msg::SpanUp`]): node 0 roots the
+//!    finished MST; the broadcast carries root id and depth (the
+//!    spanning sublabel), the convergecast returns child identities,
+//!    subtree sizes, and the subtree-maximum *incident* weight — so
+//!    the root learns `n` and the instance-wide `W` the label codecs
+//!    need, which the first [`Msg::Total`] then spreads to everyone.
+//! 2. **Recursive centroid decomposition**, one component at a time,
+//!    components evolving in parallel. Per component: a preorder
+//!    *walk* ([`Msg::Walk`]/[`Msg::WalkRet`]) from the component's
+//!    representative assigns DFS positions and sizes, visiting
+//!    neighbors in *descending* identity order — the exact pop order
+//!    of the sequential stack DFS; [`Msg::Total`] broadcasts the
+//!    component size down the walk tree; [`Msg::MinCast`] convergecasts
+//!    the lexicographic minimum `(piece, pos)` — the sequential
+//!    strict-less scan in position order; [`Msg::Elect`] descends to
+//!    the winner, the component's centroid.
+//! 3. **Separator announcement** ([`Msg::Announce`]): the separator
+//!    ranks its pieces by size (stable sort over ascending neighbor
+//!    identity, as the sequential `pieces` loop does), then floods each
+//!    piece with `(rank, path-maximum weight)`. Every node in the piece
+//!    appends one level to its `γ` sublabel — the rank becomes the
+//!    separator field, the accumulated maximum the `ω` field, and the
+//!    arrival direction (parent port or not) the orientation bit. The
+//!    separator's own edges die; the neighbor that received the
+//!    `from_sep` copy becomes the piece's representative and starts
+//!    the next level's walk. Per-channel FIFO guarantees the announce
+//!    outruns every next-level message into the piece.
+//! 4. **Hand-off** ([`Msg::LabelDone`]/[`Msg::StartVerify`]): a
+//!    convergecast on the spanning tree tells the root all labels are
+//!    complete; the root broadcasts the verification start.
+
+use std::cmp::Reverse;
+
+use mstv_core::Orient;
+
+use super::fragment::{Msg, PortInfo};
+
+/// One node's marker state. Everything here is persistent memory under
+/// the crash-restart model (the journal assumption).
+#[derive(Debug, Clone)]
+pub(crate) struct Marker {
+    /// This node's identity (= its index).
+    my_id: u64,
+    /// Spanning sublabel: distance to the root.
+    pub dist: u64,
+    /// Spanning sublabel: port towards the parent (`None` at node 0).
+    pub parent_port: Option<usize>,
+    /// Spanning sublabel: the parent's identity.
+    pub parent_id: Option<u64>,
+    /// Span-tree child ports (branch ports minus the parent port).
+    span_children: Vec<usize>,
+    /// Per port: the identity of the span child behind it (drives the
+    /// walk's neighbor ordering).
+    child_id: Vec<Option<u64>>,
+    /// Outstanding [`Msg::SpanUp`]s.
+    spanup_pending: usize,
+    /// Accumulators for the rooting convergecast.
+    acc_max: u64,
+    acc_size: u64,
+    /// Instance-wide `(n, max weight)` once known: at the root after
+    /// the rooting convergecast, elsewhere with the first
+    /// [`Msg::Total`] (which is always the level-1, whole-tree one).
+    pub inst: Option<(u64, u64)>,
+    /// Tree edges still inside this node's current component.
+    alive: Vec<bool>,
+    /// Walk state for the current decomposition level.
+    walk_parent: Option<usize>,
+    pos: u64,
+    counter: u64,
+    /// Ports still to visit, descending neighbor identity.
+    order: Vec<usize>,
+    idx: usize,
+    /// Visited children with their walk-subtree sizes, in visit order.
+    dfs_children: Vec<(usize, u64)>,
+    my_size: u64,
+    total: u64,
+    /// Outstanding [`Msg::MinCast`]s.
+    mincast_pending: usize,
+    /// Running minimum `(piece, pos)` and the port it came from
+    /// (`None`: this node is its own subtree's minimum).
+    min_key: (u64, u64),
+    win_port: Option<usize>,
+    /// `γ` sublabel under assembly: separator fields, `ω` fields, and
+    /// orientations, one entry per decomposition level.
+    pub sep: Vec<u64>,
+    pub omega: Vec<u64>,
+    pub orient: Vec<Orient>,
+    /// Set once this node was elected separator of its component.
+    pub label_done: bool,
+    /// Outstanding [`Msg::LabelDone`]s from span children.
+    labeldone_pending: usize,
+    sent_labeldone: bool,
+    /// Set when the embedded verifier should start.
+    pub verify_ready: bool,
+}
+
+impl Marker {
+    pub fn new(my_id: u64, deg: usize) -> Self {
+        Marker {
+            my_id,
+            dist: 0,
+            parent_port: None,
+            parent_id: None,
+            span_children: Vec::new(),
+            child_id: vec![None; deg],
+            spanup_pending: 0,
+            acc_max: 0,
+            acc_size: 0,
+            inst: None,
+            alive: vec![false; deg],
+            walk_parent: None,
+            pos: 0,
+            counter: 0,
+            order: Vec::new(),
+            idx: 0,
+            dfs_children: Vec::new(),
+            my_size: 0,
+            total: 0,
+            mincast_pending: 0,
+            min_key: (0, 0),
+            win_port: None,
+            // `sep[0]` is the shared constant of every `γ` label.
+            sep: vec![0],
+            omega: Vec::new(),
+            orient: Vec::new(),
+            label_done: false,
+            labeldone_pending: 0,
+            sent_labeldone: false,
+            verify_ready: false,
+        }
+    }
+
+    /// Enters the marker phase once GHS is done: the branch ports are
+    /// the tree. Node 0 roots the tree immediately; everyone else waits
+    /// for [`Msg::Span`].
+    pub fn start(&mut self, branch: &[usize], ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        for &i in branch {
+            self.alive[i] = true;
+        }
+        if self.my_id == 0 {
+            self.span_children = branch.to_vec();
+            self.spanup_pending = branch.len();
+            self.labeldone_pending = branch.len();
+            for &i in branch {
+                out.push((
+                    i,
+                    Msg::Span {
+                        root_id: 0,
+                        sender_id: 0,
+                        dist: 0,
+                    },
+                ));
+            }
+            self.maybe_spanup(ports, out);
+        }
+    }
+
+    /// Feeds one delivered marker message.
+    pub fn on_msg(&mut self, p: usize, msg: Msg, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        match msg {
+            Msg::Span {
+                root_id,
+                sender_id,
+                dist,
+            } => {
+                debug_assert_eq!(root_id, 0, "node 0 roots the tree");
+                self.parent_port = Some(p);
+                self.parent_id = Some(sender_id);
+                self.dist = dist + 1;
+                self.span_children = self
+                    .alive
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &a)| a && i != p)
+                    .map(|(i, _)| i)
+                    .collect();
+                self.spanup_pending = self.span_children.len();
+                self.labeldone_pending = self.span_children.len();
+                for k in 0..self.span_children.len() {
+                    let i = self.span_children[k];
+                    out.push((
+                        i,
+                        Msg::Span {
+                            root_id,
+                            sender_id: self.my_id,
+                            dist: self.dist,
+                        },
+                    ));
+                }
+                self.maybe_spanup(ports, out);
+            }
+            Msg::SpanUp {
+                sender_id,
+                max_w,
+                size,
+            } => {
+                self.child_id[p] = Some(sender_id);
+                self.acc_max = self.acc_max.max(max_w);
+                self.acc_size += size;
+                self.spanup_pending -= 1;
+                self.maybe_spanup(ports, out);
+            }
+            Msg::Walk { pos } => {
+                self.reset_level(Some(p), pos);
+                self.advance(ports, out);
+            }
+            Msg::WalkRet { next, size } => {
+                self.counter = next;
+                self.dfs_children.push((p, size));
+                self.advance(ports, out);
+            }
+            Msg::Total { total, max_w } => {
+                if self.inst.is_none() {
+                    // The first Total is the level-1 one: its component
+                    // is the whole tree, so `total` is `n`.
+                    self.inst = Some((total, max_w));
+                }
+                self.total = total;
+                self.total_known(ports, out);
+            }
+            Msg::MinCast { piece, pos } => {
+                if (piece, pos) < self.min_key {
+                    self.min_key = (piece, pos);
+                    self.win_port = Some(p);
+                }
+                self.mincast_pending -= 1;
+                self.finish_mincast(ports, out);
+            }
+            Msg::Elect => {
+                if let Some(w) = self.win_port {
+                    out.push((w, Msg::Elect));
+                } else {
+                    self.become_separator(ports, out);
+                }
+            }
+            Msg::Announce {
+                omega,
+                rank,
+                from_sep,
+            } => {
+                self.sep.push(rank);
+                self.omega.push(omega);
+                self.orient.push(if Some(p) == self.parent_port {
+                    Orient::Up
+                } else {
+                    Orient::Down
+                });
+                for (q, &alive) in self.alive.iter().enumerate() {
+                    if alive && q != p {
+                        out.push((
+                            q,
+                            Msg::Announce {
+                                omega: omega.max(ports[q].weight),
+                                rank,
+                                from_sep: false,
+                            },
+                        ));
+                    }
+                }
+                if from_sep {
+                    // The separator's edge dies; this node represents
+                    // the remaining piece and starts the next level.
+                    self.alive[p] = false;
+                    self.begin_level(ports, out);
+                }
+            }
+            Msg::LabelDone => {
+                self.labeldone_pending -= 1;
+                self.maybe_labeldone(out);
+            }
+            Msg::StartVerify => {
+                self.verify_ready = true;
+                for k in 0..self.span_children.len() {
+                    out.push((self.span_children[k], Msg::StartVerify));
+                }
+            }
+            _ => debug_assert!(false, "GHS payload routed to marker: {msg:?}"),
+        }
+    }
+
+    /// Sends the rooting convergecast up (or, at the root, fixes the
+    /// instance parameters and opens the level-1 decomposition).
+    fn maybe_spanup(&mut self, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        let rooted = self.my_id == 0 || self.parent_port.is_some();
+        if !rooted || self.spanup_pending > 0 {
+            return;
+        }
+        let local_max = ports.iter().map(|q| q.weight).max().unwrap_or(0);
+        let max_w = self.acc_max.max(local_max);
+        let size = self.acc_size + 1;
+        if let Some(pp) = self.parent_port {
+            out.push((
+                pp,
+                Msg::SpanUp {
+                    sender_id: self.my_id,
+                    max_w,
+                    size,
+                },
+            ));
+        } else {
+            self.inst = Some((size, max_w));
+            self.begin_level(ports, out);
+        }
+    }
+
+    /// The neighbor identity behind a tree port, as the sequential
+    /// CSR orders it: a child edge sorts under the child's id, the
+    /// parent edge under this node's own id.
+    fn adj_key(&self, i: usize) -> u64 {
+        if Some(i) == self.parent_port {
+            self.my_id
+        } else {
+            self.child_id[i].expect("tree ports below carry a span child")
+        }
+    }
+
+    /// Resets the per-level walk state. `walk_parent` is `None` for the
+    /// component representative (who owns position 0).
+    fn reset_level(&mut self, walk_parent: Option<usize>, pos: u64) {
+        self.walk_parent = walk_parent;
+        self.pos = pos;
+        self.counter = pos + 1;
+        let mut order: Vec<usize> = (0..self.alive.len())
+            .filter(|&i| self.alive[i] && Some(i) != walk_parent)
+            .collect();
+        // Descending neighbor identity: the sequential stack DFS pushes
+        // ascending and pops the largest first.
+        order.sort_by_key(|&i| Reverse(self.adj_key(i)));
+        self.order = order;
+        self.idx = 0;
+        self.dfs_children.clear();
+        self.win_port = None;
+    }
+
+    /// Becomes the representative of the current component and starts
+    /// its walk (or, for a singleton, seals the label).
+    fn begin_level(&mut self, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        self.reset_level(None, 0);
+        if self.order.is_empty() {
+            self.become_separator(ports, out);
+        } else {
+            self.advance(ports, out);
+        }
+    }
+
+    /// Sends the walk token onward, or closes this node's visit.
+    fn advance(&mut self, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        if self.idx < self.order.len() {
+            let q = self.order[self.idx];
+            self.idx += 1;
+            out.push((q, Msg::Walk { pos: self.counter }));
+            return;
+        }
+        self.my_size = 1 + self.dfs_children.iter().map(|&(_, s)| s).sum::<u64>();
+        if let Some(wp) = self.walk_parent {
+            out.push((
+                wp,
+                Msg::WalkRet {
+                    next: self.counter,
+                    size: self.my_size,
+                },
+            ));
+        } else {
+            // The representative's walk is the whole component.
+            self.total = self.my_size;
+            let (_, max_w) = self.inst.expect("the rep knows the instance");
+            for k in 0..self.dfs_children.len() {
+                let (q, _) = self.dfs_children[k];
+                out.push((
+                    q,
+                    Msg::Total {
+                        total: self.total,
+                        max_w,
+                    },
+                ));
+            }
+            self.total_known(ports, out);
+        }
+    }
+
+    /// With the component total in hand: compute this node's `piece`
+    /// value, forward the total, and open the centroid convergecast.
+    fn total_known(&mut self, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        if self.walk_parent.is_some() {
+            let (_, max_w) = self.inst.expect("set by the first Total");
+            for k in 0..self.dfs_children.len() {
+                let (q, _) = self.dfs_children[k];
+                out.push((
+                    q,
+                    Msg::Total {
+                        total: self.total,
+                        max_w,
+                    },
+                ));
+            }
+        }
+        let down = self.dfs_children.iter().map(|&(_, s)| s).max().unwrap_or(0);
+        let piece = (self.total - self.my_size).max(down);
+        self.min_key = (piece, self.pos);
+        self.win_port = None;
+        self.mincast_pending = self.dfs_children.len();
+        self.finish_mincast(ports, out);
+    }
+
+    /// Once every walk child voted: forward the minimum up, or (at the
+    /// representative) elect the winner.
+    fn finish_mincast(&mut self, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        if self.mincast_pending > 0 {
+            return;
+        }
+        if let Some(wp) = self.walk_parent {
+            out.push((
+                wp,
+                Msg::MinCast {
+                    piece: self.min_key.0,
+                    pos: self.min_key.1,
+                },
+            ));
+        } else if let Some(w) = self.win_port {
+            out.push((w, Msg::Elect));
+        } else {
+            self.become_separator(ports, out);
+        }
+    }
+
+    /// Elected centroid: rank the pieces, announce into each, seal the
+    /// own label, and retire from the decomposition.
+    fn become_separator(&mut self, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        // Pieces in ascending neighbor identity (the sequential CSR
+        // order), stably ranked by descending size.
+        let mut piece_ports: Vec<usize> =
+            (0..self.alive.len()).filter(|&i| self.alive[i]).collect();
+        piece_ports.sort_by_key(|&i| self.adj_key(i));
+        let size_of = |q: usize| {
+            if Some(q) == self.walk_parent {
+                self.total - self.my_size
+            } else {
+                self.dfs_children
+                    .iter()
+                    .find(|&&(c, _)| c == q)
+                    .map(|&(_, s)| s)
+                    .expect("an alive non-parent port is a walk child")
+            }
+        };
+        let mut by_size: Vec<usize> = (0..piece_ports.len()).collect();
+        by_size.sort_by_key(|&k| Reverse(size_of(piece_ports[k])));
+        let mut rank = vec![0u64; piece_ports.len()];
+        for (r, &k) in by_size.iter().enumerate() {
+            rank[k] = r as u64;
+        }
+        for (k, &q) in piece_ports.iter().enumerate() {
+            out.push((
+                q,
+                Msg::Announce {
+                    omega: ports[q].weight,
+                    rank: rank[k],
+                    from_sep: true,
+                },
+            ));
+            self.alive[q] = false;
+        }
+        self.omega.push(0);
+        self.orient.push(Orient::SelfSep);
+        self.label_done = true;
+        self.maybe_labeldone(out);
+    }
+
+    /// Converges "all labels below are done" towards node 0; the root
+    /// flips to the verification phase.
+    fn maybe_labeldone(&mut self, out: &mut Vec<(usize, Msg)>) {
+        if !self.label_done || self.labeldone_pending > 0 || self.sent_labeldone {
+            return;
+        }
+        self.sent_labeldone = true;
+        if let Some(pp) = self.parent_port {
+            out.push((pp, Msg::LabelDone));
+        } else {
+            self.verify_ready = true;
+            for k in 0..self.span_children.len() {
+                out.push((self.span_children[k], Msg::StartVerify));
+            }
+        }
+    }
+
+    /// Seals the state of a single-node instance (no ports, no
+    /// messages): the node is root and level-1 separator at once.
+    pub fn seal_singleton(&mut self) {
+        self.inst = Some((1, 0));
+        self.omega.push(0);
+        self.orient.push(Orient::SelfSep);
+        self.label_done = true;
+        self.verify_ready = true;
+    }
+}

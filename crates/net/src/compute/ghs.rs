@@ -1,0 +1,314 @@
+//! The Gallager–Humblet–Spira fragment protocol (phase A of
+//! distributed construction).
+//!
+//! Each node runs the classic GHS state machine over the tie-broken
+//! edge order of [`EdgeKey`]: fragments start as single nodes, find
+//! their minimum outgoing edge by a Test/Accept/Reject probe plus a
+//! Report convergecast, and merge (equal levels, over the shared
+//! minimum edge, forming a new core) or absorb (lower level into
+//! higher). Because keys are distinct and totally ordered, the union of
+//! all chosen edges is the unique minimum spanning tree under the key
+//! order — which is exactly Kruskal's tree, tie-broken the same way.
+//!
+//! Termination is detected at the final core: both core nodes exchange
+//! `Report(∞)`, conclude no outgoing edge exists anywhere, and flood
+//! [`Msg::Done`] over the branch edges. Every node then knows its
+//! incident MST edges: the ports in [`EdgeState::Branch`].
+//!
+//! Messages that arrive "from the future" (a Test or Connect from a
+//! higher-level fragment, a Report crossing an unfinished find) are
+//! queued and re-examined after every state change, which is the
+//! classic formulation's "place received message on end of queue".
+
+use std::collections::VecDeque;
+
+use super::fragment::{EdgeKey, Msg, PortInfo};
+
+/// Per-port classification, the protocol's persistent output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EdgeState {
+    /// Undecided; a candidate outgoing edge.
+    Basic,
+    /// In the fragment (an MST edge).
+    Branch,
+    /// Proven internal to the fragment (not an MST edge).
+    Rejected,
+}
+
+/// One node's GHS state.
+#[derive(Debug, Clone)]
+pub(crate) struct Ghs {
+    /// Per-port edge classification.
+    pub se: Vec<EdgeState>,
+    /// Fragment level `LN`.
+    level: u64,
+    /// Fragment identity `FN`: the key of the fragment's core edge
+    /// (`None` until the first merge).
+    frag: Option<EdgeKey>,
+    /// `SN == Find`: participating in a minimum-outgoing-edge search.
+    find: bool,
+    /// Best outgoing key seen this search (`None` = `∞`).
+    best: Option<EdgeKey>,
+    /// Port of `best`.
+    best_edge: Option<usize>,
+    /// Port currently being probed with a Test.
+    test_edge: Option<usize>,
+    /// Port towards the fragment core.
+    in_branch: Option<usize>,
+    /// Outstanding Reports expected from branch children.
+    find_count: u64,
+    /// Deferred messages, re-examined after every state change.
+    pending: VecDeque<(usize, Msg)>,
+    /// Set once the whole MST is complete (Done received or halt
+    /// detected at the core).
+    pub done: bool,
+}
+
+impl Ghs {
+    pub fn new(deg: usize) -> Self {
+        Ghs {
+            se: vec![EdgeState::Basic; deg],
+            level: 0,
+            frag: None,
+            find: false,
+            best: None,
+            best_edge: None,
+            test_edge: None,
+            in_branch: None,
+            find_count: 0,
+            pending: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// Spontaneous wakeup: adopt the minimum incident edge and ask to
+    /// connect over it. The runtime starts every node, so no node is
+    /// ever woken by a message instead.
+    pub fn wakeup(&mut self, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        let (m, _) = min_key_port(ports, &self.se, EdgeState::Basic)
+            .expect("wakeup requires at least one edge");
+        self.se[m] = EdgeState::Branch;
+        out.push((m, Msg::Connect { level: 0 }));
+    }
+
+    /// Feeds one delivered protocol message, then retries the deferred
+    /// queue until it makes no further progress.
+    pub fn on_msg(&mut self, j: usize, msg: Msg, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        self.dispatch(j, msg, ports, out);
+        loop {
+            let Some(k) = self.pending.iter().position(|(p, m)| self.ready(*p, m)) else {
+                return;
+            };
+            let (p, m) = self.pending.remove(k).expect("position is in range");
+            self.dispatch(p, m, ports, out);
+        }
+    }
+
+    /// Whether a deferred message can be processed now. Mirrors the
+    /// defer conditions in `dispatch` exactly, so a ready message is
+    /// never re-deferred.
+    fn ready(&self, j: usize, msg: &Msg) -> bool {
+        match msg {
+            Msg::Connect { level } => *level < self.level || self.se[j] != EdgeState::Basic,
+            Msg::Test { level, .. } => *level <= self.level,
+            Msg::Report { .. } => Some(j) != self.in_branch || !self.find,
+            _ => true,
+        }
+    }
+
+    fn dispatch(&mut self, j: usize, msg: Msg, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        match msg {
+            Msg::Connect { level } => {
+                if level < self.level {
+                    // Absorb the lower-level fragment.
+                    self.se[j] = EdgeState::Branch;
+                    out.push((
+                        j,
+                        Msg::Initiate {
+                            level: self.level,
+                            frag: self.frag.expect("a leveled fragment has a core"),
+                            find: self.find,
+                        },
+                    ));
+                    if self.find {
+                        self.find_count += 1;
+                    }
+                } else if self.se[j] == EdgeState::Basic {
+                    self.pending.push_back((j, Msg::Connect { level }));
+                } else {
+                    // Symmetric connect over the shared minimum edge:
+                    // merge, with this edge as the new core.
+                    out.push((
+                        j,
+                        Msg::Initiate {
+                            level: self.level + 1,
+                            frag: ports[j].key(),
+                            find: true,
+                        },
+                    ));
+                }
+            }
+            Msg::Initiate { level, frag, find } => {
+                self.level = level;
+                self.frag = Some(frag);
+                self.find = find;
+                self.in_branch = Some(j);
+                self.best = None;
+                self.best_edge = None;
+                for i in 0..ports.len() {
+                    if i != j && self.se[i] == EdgeState::Branch {
+                        out.push((i, Msg::Initiate { level, frag, find }));
+                        if find {
+                            self.find_count += 1;
+                        }
+                    }
+                }
+                if find {
+                    self.test(ports, out);
+                }
+            }
+            Msg::Test { level, frag } => {
+                if level > self.level {
+                    self.pending.push_back((j, Msg::Test { level, frag }));
+                } else if Some(frag) != self.frag {
+                    out.push((j, Msg::Accept));
+                } else {
+                    if self.se[j] == EdgeState::Basic {
+                        self.se[j] = EdgeState::Rejected;
+                    }
+                    if self.test_edge != Some(j) {
+                        out.push((j, Msg::Reject));
+                    } else {
+                        self.test(ports, out);
+                    }
+                }
+            }
+            Msg::Accept => {
+                self.test_edge = None;
+                let key = ports[j].key();
+                if self.best.is_none_or(|b| key < b) {
+                    self.best = Some(key);
+                    self.best_edge = Some(j);
+                }
+                self.report(out);
+            }
+            Msg::Reject => {
+                if self.se[j] == EdgeState::Basic {
+                    self.se[j] = EdgeState::Rejected;
+                }
+                self.test(ports, out);
+            }
+            Msg::Report { best } => {
+                if Some(j) != self.in_branch {
+                    self.find_count -= 1;
+                    if let Some(w) = best {
+                        if self.best.is_none_or(|b| w < b) {
+                            self.best = Some(w);
+                            self.best_edge = Some(j);
+                        }
+                    }
+                    self.report(out);
+                } else if self.find {
+                    self.pending.push_back((j, Msg::Report { best }));
+                } else {
+                    // Core exchange: `best > self.best` means the
+                    // minimum outgoing edge is on this side; both `∞`
+                    // means the MST is complete.
+                    let other_side_is_worse = match (best, self.best) {
+                        (None, Some(_)) => true,
+                        (Some(w), Some(b)) => w > b,
+                        _ => false,
+                    };
+                    if other_side_is_worse {
+                        self.change_root(out);
+                    } else if best.is_none() && self.best.is_none() {
+                        self.halt(j, out);
+                    }
+                }
+            }
+            Msg::ChangeRoot => self.change_root(out),
+            Msg::Done => {
+                if !self.done {
+                    self.done = true;
+                    for i in 0..self.se.len() {
+                        if i != j && self.se[i] == EdgeState::Branch {
+                            out.push((i, Msg::Done));
+                        }
+                    }
+                }
+            }
+            _ => debug_assert!(false, "marker payload routed to GHS: {msg:?}"),
+        }
+    }
+
+    /// Probes the minimum-key Basic edge, or reports if none is left.
+    fn test(&mut self, ports: &[PortInfo], out: &mut Vec<(usize, Msg)>) {
+        if let Some((m, _)) = min_key_port(ports, &self.se, EdgeState::Basic) {
+            self.test_edge = Some(m);
+            out.push((
+                m,
+                Msg::Test {
+                    level: self.level,
+                    frag: self.frag.expect("a finding fragment has a core"),
+                },
+            ));
+        } else {
+            self.test_edge = None;
+            self.report(out);
+        }
+    }
+
+    /// Sends the subtree minimum towards the core once the local search
+    /// and all children are accounted for.
+    fn report(&mut self, out: &mut Vec<(usize, Msg)>) {
+        if self.find_count == 0 && self.test_edge.is_none() {
+            self.find = false;
+            out.push((
+                self.in_branch.expect("a reporting node was initiated"),
+                Msg::Report { best: self.best },
+            ));
+        }
+    }
+
+    /// Moves the core towards the fragment's minimum outgoing edge,
+    /// connecting outward once it is reached.
+    fn change_root(&mut self, out: &mut Vec<(usize, Msg)>) {
+        let b = self.best_edge.expect("change-root follows a finite report");
+        if self.se[b] == EdgeState::Branch {
+            out.push((b, Msg::ChangeRoot));
+        } else {
+            out.push((b, Msg::Connect { level: self.level }));
+            self.se[b] = EdgeState::Branch;
+        }
+    }
+
+    /// Core-side halt: the MST is complete. The other core node detects
+    /// the halt symmetrically, so Done floods away from the core only.
+    fn halt(&mut self, core_port: usize, out: &mut Vec<(usize, Msg)>) {
+        self.done = true;
+        for i in 0..self.se.len() {
+            if i != core_port && self.se[i] == EdgeState::Branch {
+                out.push((i, Msg::Done));
+            }
+        }
+    }
+
+    /// The MST ports: exactly the Branch edges once `done` is set.
+    pub fn branch_ports(&self) -> impl Iterator<Item = usize> + '_ {
+        self.se
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == EdgeState::Branch)
+            .map(|(i, _)| i)
+    }
+}
+
+/// The minimum-key port among those in state `want`.
+fn min_key_port(ports: &[PortInfo], se: &[EdgeState], want: EdgeState) -> Option<(usize, EdgeKey)> {
+    ports
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| se[i] == want)
+        .map(|(i, p)| (i, p.key()))
+        .min_by_key(|&(_, k)| k)
+}

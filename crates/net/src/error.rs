@@ -47,6 +47,20 @@ pub enum NetError {
         /// The payload length that does not fit.
         bits: usize,
     },
+    /// A frame carries a payload-kind tag this build does not know —
+    /// e.g. a log or capture produced by a newer protocol revision.
+    /// Typed (instead of a generic parse failure) so old replayers
+    /// reject new kinds loudly rather than misparsing them.
+    UnknownMsgKind {
+        /// The unrecognized tag byte.
+        tag: u8,
+    },
+    /// A frame is structurally malformed: short buffer, trailing bytes,
+    /// or dirty padding bits.
+    BadFrame {
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -73,6 +87,10 @@ impl fmt::Display for NetError {
                     "label payload of {bits} bits exceeds the frame length field (2^32 - 1 bits)"
                 )
             }
+            NetError::UnknownMsgKind { tag } => {
+                write!(f, "unknown wire message kind (tag {tag:#04x})")
+            }
+            NetError::BadFrame { reason } => write!(f, "malformed wire frame: {reason}"),
         }
     }
 }

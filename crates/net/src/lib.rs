@@ -96,6 +96,7 @@
 //! # Ok::<(), mstv_core::MarkerError>(())
 //! ```
 
+mod compute;
 mod error;
 mod link;
 mod log;
@@ -105,11 +106,12 @@ mod runtime;
 mod stab;
 mod wire;
 
+pub use compute::{replay_compute, run_compute, ComputeMachine, ComputeRun};
 pub use error::NetError;
 pub use link::{FaultProfile, Link, LossyLink, PerfectLink};
 pub use log::{EventLog, LogEvent, RunSummary};
-pub use machine::{MstWireScheme, NodeEvent, VerifierMachine, WireScheme};
+pub use machine::{MstWireScheme, NodeEvent, ProtocolMachine, VerifierMachine, WireScheme};
 pub use replay::replay;
-pub use runtime::{run_verification, run_verification_with, Engine, NetConfig, NetRun};
+pub use runtime::{run_verification, run_verification_with, Engine, NetConfig, NetRun, PhaseCost};
 pub use stab::{NetSelfStab, NetStabOutcome};
 pub use wire::{WireMsg, MAX_FRAME_BITS};

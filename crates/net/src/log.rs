@@ -18,6 +18,10 @@
 //! d 3 1 l 42 a3f2..    # delivery to node 3, port 1: label, 42 bits, hex payload
 //! d 3 1 lr 42 a3f2..   # same, with the refresh (pull) flag set
 //! d 0 2 a              # delivery to node 0, port 2: ack
+//! d 2 0 g 7 18 b4c1..  # construction payload, GHS phase: seq 7, 18 bits
+//! d 2 0 m 9 18 b4c1..  # construction payload, marker phase
+//! d 4 1 ga 8           # construction ack, GHS phase: next expected seq 8
+//! d 4 1 ma 10          # construction ack, marker phase
 //! r                    # retransmission-round boundary
 //! t 0                  # tick at node 0
 //! c 5                  # crash-restart at node 5
@@ -212,6 +216,23 @@ impl EventLog {
                                 refresh: kind == "lr",
                             }
                         }
+                        Some(kind @ ("g" | "m")) => {
+                            let seq = num(&mut f, i, "payload without sequence number")?;
+                            let bits = num(&mut f, i, "payload without bit length")? as usize;
+                            let hex = f.next().ok_or_else(|| bad(i, "payload without body"))?;
+                            let bytes = hex_decode(hex).ok_or_else(|| bad(i, "bad hex payload"))?;
+                            let payload = BitString::from_bytes(&bytes, bits)
+                                .ok_or_else(|| bad(i, "payload does not frame"))?;
+                            WireMsg::Compute {
+                                marker: kind == "m",
+                                seq,
+                                bits: payload,
+                            }
+                        }
+                        Some(kind @ ("ga" | "ma")) => WireMsg::ComputeAck {
+                            marker: kind == "ma",
+                            seq: num(&mut f, i, "ack without sequence number")?,
+                        },
                         _ => return Err(bad(i, "unknown delivery kind")),
                     };
                     LogEvent::Deliver { to, port, msg }
@@ -298,6 +319,18 @@ impl fmt::Display for EventLog {
                         bits.len(),
                         hex_encode(&bits.to_bytes())
                     )?,
+                    WireMsg::Compute { marker, seq, bits } => writeln!(
+                        f,
+                        "d {to} {port} {} {seq} {} {}",
+                        if *marker { "m" } else { "g" },
+                        bits.len(),
+                        hex_encode(&bits.to_bytes())
+                    )?,
+                    WireMsg::ComputeAck { marker, seq } => writeln!(
+                        f,
+                        "d {to} {port} {} {seq}",
+                        if *marker { "ma" } else { "ga" }
+                    )?,
                 },
             }
         }
@@ -374,6 +407,44 @@ mod tests {
             LogEvent::Round,
             LogEvent::Tick { node: 3 },
             LogEvent::Crash { node: 2 },
+            LogEvent::Deliver {
+                to: 2,
+                port: 1,
+                msg: WireMsg::Compute {
+                    marker: false,
+                    seq: 7,
+                    bits: {
+                        let mut b = BitString::new();
+                        b.push_bits(0b10_1101, 6);
+                        b
+                    },
+                },
+            },
+            LogEvent::Deliver {
+                to: 3,
+                port: 0,
+                msg: WireMsg::Compute {
+                    marker: true,
+                    seq: 0,
+                    bits: BitString::new(),
+                },
+            },
+            LogEvent::Deliver {
+                to: 1,
+                port: 2,
+                msg: WireMsg::ComputeAck {
+                    marker: false,
+                    seq: 8,
+                },
+            },
+            LogEvent::Deliver {
+                to: 0,
+                port: 1,
+                msg: WireMsg::ComputeAck {
+                    marker: true,
+                    seq: 1,
+                },
+            },
         ];
         log.summary = Some(RunSummary {
             rejecting: vec![NodeId(1), NodeId(3)],
@@ -404,6 +475,10 @@ mod tests {
         assert!(EventLog::parse(&bad_tag).is_err());
         let truncated_label = format!("{MAGIC}\nd 0 0 l 9\n");
         assert!(EventLog::parse(&truncated_label).is_err());
+        let truncated_compute = format!("{MAGIC}\nd 0 0 g 7 9\n");
+        assert!(EventLog::parse(&truncated_compute).is_err());
+        let seqless_ack = format!("{MAGIC}\nd 0 0 ma\n");
+        assert!(EventLog::parse(&seqless_ack).is_err());
         let event_after_end = format!("{MAGIC}\nend rejecting=- msgs=0 bits=0 rounds=1\ns 0\n");
         assert!(EventLog::parse(&event_after_end).is_err());
     }

@@ -37,6 +37,26 @@ pub enum NodeEvent {
     CrashRestart,
 }
 
+/// A deterministic per-node protocol machine the runtime can drive.
+///
+/// The router is protocol-agnostic: it dispatches [`NodeEvent`]s,
+/// routes the returned frames through the link model, and watches
+/// [`decided`](ProtocolMachine::decided) for quiescence. The one-round
+/// verifier ([`VerifierMachine`]) and the distributed-construction
+/// machine ([`ComputeMachine`](crate::ComputeMachine)) both implement
+/// this, which is what lets construction reuse the transports, fault
+/// injection, logging, and replay unchanged.
+pub trait ProtocolMachine: Send + 'static {
+    /// Feeds one event, returning the frames to send (paired with the
+    /// local out-port).
+    fn on_event(&mut self, ev: &NodeEvent) -> Vec<(Port, WireMsg)>;
+
+    /// The local verdict, once this node has finished its protocol.
+    /// The router keeps scheduling ticks until every node reports
+    /// `Some`.
+    fn decided(&self) -> Option<bool>;
+}
+
 /// A proof labeling scheme that can ride the wire: it can decode a
 /// label frame back into a structured label using only instance-wide
 /// codec parameters ("known to the algorithm", as the paper assumes),
@@ -158,6 +178,31 @@ impl<W: WireScheme> VerifierMachine<W> {
         }
     }
 
+    /// A machine assembled from parts already held node-locally — the
+    /// constructor the distributed marker uses to embed a verifier:
+    /// after construction, a node holds its own tree state, its
+    /// self-assembled certificate, and its port list, but no
+    /// [`ConfigGraph`] exists anywhere.
+    pub fn from_parts(
+        scheme: W,
+        node: NodeId,
+        state: W::State,
+        encoded: BitString,
+        ports: Vec<(Port, Weight)>,
+    ) -> Self {
+        let deg = ports.len();
+        VerifierMachine {
+            scheme,
+            node,
+            state,
+            encoded,
+            ports,
+            received: vec![None; deg],
+            acked: vec![false; deg],
+            verdict: None,
+        }
+    }
+
     /// The node this machine runs at.
     pub fn node(&self) -> NodeId {
         self.node
@@ -212,6 +257,10 @@ impl<W: WireScheme> VerifierMachine<W> {
                     }
                     Vec::new()
                 }
+                // Construction traffic is not this machine's protocol;
+                // inside a ComputeMachine it is consumed before the
+                // embedded verifier sees events.
+                WireMsg::Compute { .. } | WireMsg::ComputeAck { .. } => Vec::new(),
             },
             NodeEvent::Tick => self.broadcast(|acked, received| !acked || !received),
         }
@@ -271,5 +320,15 @@ impl<W: WireScheme> VerifierMachine<W> {
             neighbors,
         };
         self.verdict = Some(self.scheme.verify(&view));
+    }
+}
+
+impl<W: WireScheme> ProtocolMachine for VerifierMachine<W> {
+    fn on_event(&mut self, ev: &NodeEvent) -> Vec<(Port, WireMsg)> {
+        VerifierMachine::on_event(self, ev)
+    }
+
+    fn decided(&self) -> Option<bool> {
+        VerifierMachine::decided(self)
     }
 }

@@ -4,9 +4,10 @@
 //! log's dispatch order, on one thread. Machines are pure functions of
 //! their event sequence and the log preserves each node's sequence
 //! exactly, so a replay recomputes every send the live run counted —
-//! message and bit counters are *recomputed from machine outputs*, not
-//! copied from the trailer, which is what makes a trailer comparison a
-//! real cross-check of the runtime and not a tautology.
+//! message and bit counters (total and per-phase) are *recomputed from
+//! machine outputs*, not copied from the trailer, which is what makes a
+//! trailer comparison a real cross-check of the runtime and not a
+//! tautology.
 //!
 //! The replayer is engine-agnostic: a log records the router's
 //! dispatch schedule, which both [`Engine`](crate::runtime::Engine)s
@@ -19,8 +20,71 @@ use mstv_graph::{ConfigGraph, NodeId};
 
 use crate::error::NetError;
 use crate::log::EventLog;
-use crate::machine::{VerifierMachine, WireScheme};
-use crate::runtime::NetRun;
+use crate::machine::{ProtocolMachine, VerifierMachine, WireScheme};
+use crate::runtime::{NetRun, PhaseTally};
+
+/// The engine-agnostic replay core: feeds the schedule to `machines`
+/// and recomputes the counters exactly as the live router did — sends
+/// are charged in the round that is current when their triggering event
+/// is fed, which the log's `Round` markers reproduce.
+///
+/// Returns the reproduced outcome plus the machines in their final
+/// states (construction replays read the computed labels out of them).
+pub(crate) fn replay_machines<M: ProtocolMachine>(
+    machines: &mut [M],
+    log: &EventLog,
+) -> Result<NetRun, NetError> {
+    let mut cost = MessageCost {
+        rounds: 1,
+        ..MessageCost::new()
+    };
+    let mut phases = PhaseTally::default();
+    let mut crash_restarts = 0u64;
+    for (i, ev) in log.events.iter().enumerate() {
+        let Some(target) = ev.target() else {
+            cost.rounds += 1;
+            continue;
+        };
+        let machine = machines
+            .get_mut(target as usize)
+            .ok_or_else(|| NetError::BadLog {
+                line: i + 1,
+                reason: format!("event targets node {target} outside the instance"),
+            })?;
+        if matches!(ev, crate::log::LogEvent::Crash { .. }) {
+            crash_restarts += 1;
+        }
+        let sends = machine.on_event(&ev.to_node_event().expect("targeted events map to inputs"));
+        for (_, msg) in sends {
+            cost.msgs += 1;
+            cost.bits += u128::from(msg.wire_bits());
+            phases.count(&msg, cost.rounds);
+        }
+    }
+
+    let mut rejecting = Vec::new();
+    for (v, machine) in machines.iter().enumerate() {
+        match machine.decided() {
+            Some(false) => rejecting.push(NodeId(v as u32)),
+            Some(true) => {}
+            None => {
+                return Err(NetError::Undecided {
+                    node: NodeId(v as u32),
+                })
+            }
+        }
+    }
+    Ok(NetRun {
+        verdict: Verdict {
+            rejecting,
+            num_nodes: machines.len(),
+        },
+        cost,
+        phases: phases.finish(cost.rounds),
+        crash_restarts,
+        log: log.clone(),
+    })
+}
 
 /// Replays `log` against the given instance, returning the reproduced
 /// outcome. The input log rides along in the result (trailer included,
@@ -52,52 +116,5 @@ pub fn replay<W: WireScheme>(
             )
         })
         .collect();
-
-    let mut cost = MessageCost {
-        rounds: 1,
-        ..MessageCost::new()
-    };
-    let mut crash_restarts = 0u64;
-    for (i, ev) in log.events.iter().enumerate() {
-        let Some(target) = ev.target() else {
-            cost.rounds += 1;
-            continue;
-        };
-        let machine = machines
-            .get_mut(target as usize)
-            .ok_or_else(|| NetError::BadLog {
-                line: i + 1,
-                reason: format!("event targets node {target} outside the instance"),
-            })?;
-        if matches!(ev, crate::log::LogEvent::Crash { .. }) {
-            crash_restarts += 1;
-        }
-        let sends = machine.on_event(&ev.to_node_event().expect("targeted events map to inputs"));
-        for (_, msg) in sends {
-            cost.msgs += 1;
-            cost.bits += u128::from(msg.wire_bits());
-        }
-    }
-
-    let mut rejecting = Vec::new();
-    for machine in &machines {
-        match machine.decided() {
-            Some(false) => rejecting.push(machine.node()),
-            Some(true) => {}
-            None => {
-                return Err(NetError::Undecided {
-                    node: machine.node(),
-                })
-            }
-        }
-    }
-    Ok(NetRun {
-        verdict: Verdict {
-            rejecting,
-            num_nodes: n,
-        },
-        cost,
-        crash_restarts,
-        log: log.clone(),
-    })
+    replay_machines(&mut machines, log)
 }

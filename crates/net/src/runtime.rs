@@ -1,13 +1,16 @@
 //! The live concurrent runtime: a router on the calling thread driving
 //! one of two execution engines.
 //!
-//! Workers own their [`VerifierMachine`](crate::machine::VerifierMachine);
-//! the router owns the graph topology, the [`Link`] (fault decisions),
-//! the event log, and the cost counters. Every frame a worker emits
-//! travels router-ward, is offered to the link, and the surviving copies
-//! are dispatched to the receiving worker — so the workers race freely,
-//! but every decision that affects the protocol (drop, delay, duplicate,
-//! crash) is made in one place, in a well-defined order, and logged.
+//! Workers own their node's [`ProtocolMachine`] — a
+//! [`VerifierMachine`](crate::machine::VerifierMachine) for pure
+//! verification runs, a [`ComputeMachine`](crate::ComputeMachine) for
+//! distributed construction; the router owns the graph topology, the
+//! [`Link`] (fault decisions), the event log, and the cost counters.
+//! Every frame a worker emits travels router-ward, is offered to the
+//! link, and the surviving copies are dispatched to the receiving
+//! worker — so the workers race freely, but every decision that affects
+//! the protocol (drop, delay, duplicate, crash) is made in one place,
+//! in a well-defined order, and logged.
 //!
 //! # Engines
 //!
@@ -35,9 +38,9 @@
 //! outstanding from dispatch until its worker's report (outputs +
 //! local verdict) has been processed. When no event is outstanding and
 //! no frame is held back, either every node has decided — the run is
-//! over — or some label was lost and a retransmission boundary fires:
+//! over — or some frame was lost and a retransmission boundary fires:
 //! the round counter increments, the link may pick crash victims, and
-//! every node gets a tick to re-offer unacknowledged labels.
+//! every node gets a tick to re-offer unacknowledged frames.
 //!
 //! A worker that dies (its machine panics) while an event is
 //! outstanding surfaces as [`NetError::WorkerDied`] naming the node —
@@ -52,14 +55,14 @@ use std::sync::{mpsc, Mutex};
 use std::thread;
 
 use mstv_core::{Labeling, MessageCost, Verdict};
-use mstv_graph::{ConfigGraph, NodeId, Port};
+use mstv_graph::{ConfigGraph, Graph, NodeId, Port};
 use mstv_trees::{KeyedQueue, ParallelConfig};
 
 use crate::error::NetError;
 use crate::link::Link;
 use crate::log::{EventLog, LogEvent, RunSummary};
-use crate::machine::{NodeEvent, VerifierMachine, WireScheme};
-use crate::wire::WireMsg;
+use crate::machine::{NodeEvent, ProtocolMachine, VerifierMachine, WireScheme};
+use crate::wire::{PhaseClass, WireMsg};
 
 /// Runtime limits and switches.
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +114,88 @@ impl Engine {
     }
 }
 
+/// [`MessageCost`] split by protocol phase. For a pure verification run
+/// everything lands in `verify`; a construction run
+/// ([`run_compute`](crate::run_compute)) splits its traffic between the
+/// GHS fragment protocol, the distributed marker, and the embedded
+/// verification.
+///
+/// `msgs` and `bits` are exact per phase (every frame carries its phase
+/// in its kind tag). Rounds are a global clock, so they are attributed
+/// by hand-off: a round belongs to the *last* phase to first become
+/// active in it (phases overlap at their seams — on a perfect link all
+/// three run inside round 1, which is then charged to `verify`). The
+/// per-phase `rounds` always sum to the run's total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// GHS fragment protocol (phase A of construction).
+    pub ghs: MessageCost,
+    /// Distributed marker: spanning labels, centroid election,
+    /// separator announcements (phase B).
+    pub marker: MessageCost,
+    /// Label-exchange verification (phase C, and the entirety of a
+    /// pure verification run).
+    pub verify: MessageCost,
+}
+
+/// The router-side accumulator behind [`PhaseCost`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PhaseTally {
+    msgs: [u64; 3],
+    bits: [u128; 3],
+    /// Round in which each phase's first message was sent.
+    first_round: [Option<u64>; 3],
+}
+
+impl PhaseTally {
+    fn class_index(msg: &WireMsg) -> usize {
+        match msg.phase_class() {
+            PhaseClass::Ghs => 0,
+            PhaseClass::Marker => 1,
+            PhaseClass::Verify => 2,
+        }
+    }
+
+    /// Charges one sent message to its phase.
+    pub(crate) fn count(&mut self, msg: &WireMsg, round: u64) {
+        let i = PhaseTally::class_index(msg);
+        self.msgs[i] += 1;
+        self.bits[i] += u128::from(msg.wire_bits());
+        if self.first_round[i].is_none() {
+            self.first_round[i] = Some(round);
+        }
+    }
+
+    /// Resolves the per-phase rounds attribution (see [`PhaseCost`])
+    /// against the run's total round count.
+    pub(crate) fn finish(&self, total_rounds: u64) -> PhaseCost {
+        let mut started: Vec<(u64, usize)> = self
+            .first_round
+            .iter()
+            .enumerate()
+            .filter_map(|(i, first)| first.map(|r| (r, i)))
+            .collect();
+        started.sort_unstable();
+        let mut rounds = [0u64; 3];
+        for (k, &(start, i)) in started.iter().enumerate() {
+            let end = started
+                .get(k + 1)
+                .map_or(total_rounds + 1, |&(next, _)| next);
+            rounds[i] = end - start;
+        }
+        let cost = |i: usize| MessageCost {
+            msgs: self.msgs[i],
+            bits: self.bits[i],
+            rounds: rounds[i],
+        };
+        PhaseCost {
+            ghs: cost(0),
+            marker: cost(1),
+            verify: cost(2),
+        }
+    }
+}
+
 /// Outcome of a live run or a replay.
 #[derive(Debug, Clone)]
 pub struct NetRun {
@@ -118,6 +203,8 @@ pub struct NetRun {
     pub verdict: Verdict,
     /// Messages, bits, and rounds consumed.
     pub cost: MessageCost,
+    /// The same cost split by protocol phase (GHS / marker / verify).
+    pub phases: PhaseCost,
     /// Crash-restarts that occurred.
     pub crash_restarts: u64,
     /// The complete event schedule, replayable with
@@ -160,11 +247,7 @@ trait Transport {
 
 /// Runs one machine step, converting a panic into an in-band report so
 /// the router can surface [`NetError::WorkerDied`] instead of hanging.
-fn machine_step<W: WireScheme>(
-    machine: &mut VerifierMachine<W>,
-    node: usize,
-    ev: &NodeEvent,
-) -> WorkerReport {
+fn machine_step<M: ProtocolMachine>(machine: &mut M, node: usize, ev: &NodeEvent) -> WorkerReport {
     match catch_unwind(AssertUnwindSafe(|| {
         let sends = machine.on_event(ev);
         (sends, machine.decided())
@@ -181,17 +264,20 @@ fn machine_step<W: WireScheme>(
 /// The thread-per-node engine: each machine moves onto its own OS
 /// thread; events arrive through a `mpsc` mailbox and reports leave on
 /// a per-node channel (so a dead worker closes its own report channel
-/// rather than hiding behind the live ones).
-struct ThreadTransport {
+/// rather than hiding behind the live ones). Each thread returns its
+/// machine on exit so [`ThreadTransport::collect`] can hand the final
+/// states back to the caller — construction runs read the computed
+/// labels out of them.
+struct ThreadTransport<M> {
     mailboxes: Vec<mpsc::Sender<NodeEvent>>,
     reports: Vec<mpsc::Receiver<WorkerReport>>,
     /// Nodes with an outstanding report, in dispatch order.
     pending: VecDeque<usize>,
-    joins: Vec<thread::JoinHandle<()>>,
+    joins: Vec<thread::JoinHandle<Option<M>>>,
 }
 
-impl ThreadTransport {
-    fn spawn<W: WireScheme>(machines: Vec<VerifierMachine<W>>) -> Self {
+impl<M: ProtocolMachine> ThreadTransport<M> {
+    fn spawn(machines: Vec<M>) -> Self {
         let n = machines.len();
         let mut mailboxes = Vec::with_capacity(n);
         let mut reports = Vec::with_capacity(n);
@@ -205,11 +291,17 @@ impl ThreadTransport {
                 let mut machine = machine;
                 while let Ok(ev) = ev_rx.recv() {
                     let report = machine_step(&mut machine, v, &ev);
-                    let died = matches!(report, WorkerReport::Panicked);
-                    if rep_tx.send(report).is_err() || died {
-                        break;
+                    if matches!(report, WorkerReport::Panicked) {
+                        // The machine's state is unknown after a panic;
+                        // report the death and withhold the carcass.
+                        let _ = rep_tx.send(report);
+                        return None;
+                    }
+                    if rep_tx.send(report).is_err() {
+                        break; // router gone; the machine is still sound
                     }
                 }
+                Some(machine)
             }));
         }
         ThreadTransport {
@@ -219,9 +311,21 @@ impl ThreadTransport {
             joins,
         }
     }
+
+    /// Shuts the workers down and returns each node's final machine
+    /// (`None` for machines lost to a panic).
+    fn collect(mut self) -> Vec<Option<M>> {
+        // Closing every mailbox ends each worker's recv loop; joining
+        // afterwards cannot hang.
+        self.mailboxes.clear();
+        self.joins
+            .drain(..)
+            .map(|join| join.join().ok().flatten())
+            .collect()
+    }
 }
 
-impl Transport for ThreadTransport {
+impl<M: ProtocolMachine> Transport for ThreadTransport<M> {
     fn dispatch(&mut self, node: usize, ev: NodeEvent) -> Result<(), NetError> {
         // A closed mailbox means the worker's recv loop ended — it died.
         self.mailboxes[node]
@@ -246,10 +350,10 @@ impl Transport for ThreadTransport {
     }
 }
 
-impl Drop for ThreadTransport {
+impl<M> Drop for ThreadTransport<M> {
     fn drop(&mut self) {
-        // Closing every mailbox ends each worker's recv loop; joining
-        // afterwards cannot hang.
+        // Same shutdown as `collect`, for the error paths that never
+        // ask for the machines back.
         self.mailboxes.clear();
         for join in self.joins.drain(..) {
             let _ = join.join();
@@ -306,14 +410,14 @@ impl Transport for EventTransport<'_> {
 
 /// One pool worker: lease a node, step its machine on the oldest queued
 /// event, report, release the lease.
-fn event_worker<W: WireScheme>(
-    machines: &[Mutex<VerifierMachine<W>>],
+fn event_worker<M: ProtocolMachine>(
+    machines: &[Mutex<M>],
     queue: &KeyedQueue<(u64, NodeEvent)>,
     report_tx: &mpsc::Sender<(u64, WorkerReport)>,
 ) {
     while let Some((node, (seq, ev))) = queue.next() {
         let report = match machines[node].lock() {
-            Ok(mut machine) => machine_step(&mut machine, node, &ev),
+            Ok(mut machine) => machine_step(&mut *machine, node, &ev),
             // Poisoned by an earlier panic on this node: report the
             // death again rather than stepping a broken machine.
             Err(_) => WorkerReport::Panicked,
@@ -347,6 +451,7 @@ struct RouterCore<'l> {
     other_end: Vec<Vec<(usize, Port)>>,
     log: EventLog,
     cost: MessageCost,
+    phases: PhaseTally,
     verdicts: Vec<Option<bool>>,
     held: Vec<HeldFrame>,
     outstanding: usize,
@@ -354,8 +459,7 @@ struct RouterCore<'l> {
 }
 
 impl<'l> RouterCore<'l> {
-    fn new<S>(cfg: &ConfigGraph<S>, link: &'l mut dyn Link, net: NetConfig) -> Self {
-        let g = cfg.graph();
+    fn new(g: &Graph, link: &'l mut dyn Link, net: NetConfig) -> Self {
         let n = g.num_nodes();
         let other_end: Vec<Vec<(usize, Port)>> = (0..n)
             .map(|v| {
@@ -378,6 +482,7 @@ impl<'l> RouterCore<'l> {
                 rounds: 1,
                 ..MessageCost::new()
             },
+            phases: PhaseTally::default(),
             verdicts: vec![None; n],
             held: Vec::new(),
             outstanding: 0,
@@ -432,6 +537,7 @@ impl<'l> RouterCore<'l> {
                 for (port, msg) in report.sends {
                     self.cost.msgs += 1;
                     self.cost.bits += u128::from(msg.wire_bits());
+                    self.phases.count(&msg, self.cost.rounds);
                     let (to, in_port) = self.other_end[report.node][port.index()];
                     for steps in self.link.offer() {
                         self.held.push(HeldFrame {
@@ -462,7 +568,7 @@ impl<'l> RouterCore<'l> {
                 });
             }
 
-            // Retransmission boundary: some label was lost. Crash picks
+            // Retransmission boundary: some frame was lost. Crash picks
             // first (a crashed node restarts and re-offers everything),
             // then every node re-offers on unacked ports.
             self.cost.rounds += 1;
@@ -500,6 +606,7 @@ impl<'l> RouterCore<'l> {
         NetRun {
             verdict,
             cost: self.cost,
+            phases: self.phases.finish(self.cost.rounds),
             crash_restarts: self.crash_restarts,
             log: self.log,
         }
@@ -521,6 +628,64 @@ fn build_machines<W: WireScheme>(
             )
         })
         .collect()
+}
+
+/// Drives a set of node machines to quiescence on the chosen engine,
+/// returning the run outcome together with each node's final machine
+/// (`None` for a machine the user's panic hook ate — unreachable when
+/// the run itself succeeded). This is the shared chassis under
+/// [`run_verification_with`] and [`run_compute`](crate::run_compute).
+pub(crate) fn run_machines<M: ProtocolMachine>(
+    machines: Vec<M>,
+    g: &Graph,
+    link: &mut dyn Link,
+    net: NetConfig,
+    engine: Engine,
+) -> Result<(NetRun, Vec<Option<M>>), NetError> {
+    let n = machines.len();
+    assert_eq!(n, g.num_nodes(), "one machine per node");
+    let mut core = RouterCore::new(g, link, net);
+    let finals = match engine {
+        Engine::Threads => {
+            let mut transport = ThreadTransport::spawn(machines);
+            let result = core.drive(&mut transport);
+            let finals = transport.collect(); // close mailboxes, join workers
+            result?;
+            finals
+        }
+        Engine::Events { workers } => {
+            let pool = workers.resolved_threads().get().min(n.max(1));
+            let machines: Vec<Mutex<M>> = machines.into_iter().map(Mutex::new).collect();
+            let queue: KeyedQueue<(u64, NodeEvent)> = KeyedQueue::new(n);
+            let (report_tx, report_rx) = mpsc::channel();
+            let result = thread::scope(|s| {
+                let _closer = CloseOnDrop(&queue);
+                for _ in 0..pool {
+                    let tx = report_tx.clone();
+                    let machines = &machines;
+                    let queue = &queue;
+                    s.spawn(move || event_worker(machines, queue, &tx));
+                }
+                let mut transport = EventTransport {
+                    queue: &queue,
+                    report_rx,
+                    pending: VecDeque::new(),
+                    stash: HashMap::new(),
+                    next_seq: 0,
+                };
+                core.drive(&mut transport)
+                // `_closer` drops here: the queue closes and the scope
+                // can join its workers, error or not.
+            });
+            drop(report_tx);
+            result?;
+            machines
+                .into_iter()
+                .map(|m| m.into_inner().ok()) // poisoned = panicked machine
+                .collect()
+        }
+    };
+    Ok((core.finish(), finals))
 }
 
 /// Runs the ack-hardened one-round verification protocol live on the
@@ -574,43 +739,6 @@ pub fn run_verification_with<W: WireScheme>(
     engine: Engine,
 ) -> Result<NetRun, NetError> {
     let machines = build_machines(scheme, cfg, labeling);
-    let n = machines.len();
-    let mut core = RouterCore::new(cfg, link, net);
-    match engine {
-        Engine::Threads => {
-            let mut transport = ThreadTransport::spawn(machines);
-            let result = core.drive(&mut transport);
-            drop(transport); // close every mailbox, join every worker
-            result?;
-        }
-        Engine::Events { workers } => {
-            let pool = workers.resolved_threads().get().min(n.max(1));
-            let machines: Vec<Mutex<VerifierMachine<W>>> =
-                machines.into_iter().map(Mutex::new).collect();
-            let queue: KeyedQueue<(u64, NodeEvent)> = KeyedQueue::new(n);
-            let (report_tx, report_rx) = mpsc::channel();
-            let result = thread::scope(|s| {
-                let _closer = CloseOnDrop(&queue);
-                for _ in 0..pool {
-                    let tx = report_tx.clone();
-                    let machines = &machines;
-                    let queue = &queue;
-                    s.spawn(move || event_worker(machines, queue, &tx));
-                }
-                let mut transport = EventTransport {
-                    queue: &queue,
-                    report_rx,
-                    pending: VecDeque::new(),
-                    stash: HashMap::new(),
-                    next_seq: 0,
-                };
-                core.drive(&mut transport)
-                // `_closer` drops here: the queue closes and the scope
-                // can join its workers, error or not.
-            });
-            drop(report_tx);
-            result?;
-        }
-    }
-    Ok(core.finish())
+    let (run, _finals) = run_machines(machines, cfg.graph(), link, net, engine)?;
+    Ok(run)
 }

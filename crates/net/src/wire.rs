@@ -6,6 +6,18 @@
 //! bit accounting honest — the bits charged per message are exactly the
 //! bits a real network would carry, so the measured per-edge cost can
 //! be compared against the paper's `O(log n · log W)` label bound.
+//!
+//! Two message families share the format:
+//!
+//! * the one-round **verification** protocol ([`WireMsg::Label`] /
+//!   [`WireMsg::Ack`]), unchanged since the first runtime;
+//! * the **construction** protocol ([`WireMsg::Compute`] /
+//!   [`WireMsg::ComputeAck`]), which carries the GHS fragment messages
+//!   (CONNECT/TEST/REPORT/…) and the distributed-marker messages over a
+//!   per-edge sequence-numbered reliable channel. The GHS phase and the
+//!   marker phase use distinct tags so the router can split
+//!   [`MessageCost`](mstv_core::MessageCost) by phase without decoding
+//!   payloads.
 
 use mstv_labels::BitString;
 
@@ -29,8 +41,8 @@ fn frame_bit_len(bits: usize) -> Result<u32, NetError> {
     u32::try_from(bits).map_err(|_| NetError::FrameTooLarge { bits })
 }
 
-/// A message of the one-round verification protocol, as it travels on a
-/// link.
+/// A message of the verification or construction protocol, as it
+/// travels on a link.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireMsg {
     /// The sender's proof label, bit-serialized with the instance-wide
@@ -50,26 +62,88 @@ pub enum WireMsg {
     /// Acknowledgement of a received label, used only to suppress
     /// retransmissions on lossy links.
     Ack,
+    /// A construction-protocol payload riding the per-edge reliable
+    /// channel: GHS fragment messages (`marker == false`) or
+    /// distributed-marker messages (`marker == true`), already
+    /// bit-serialized by [`compute::fragment`](crate::compute).
+    Compute {
+        /// `false` = GHS phase (CONNECT/INITIATE/TEST/…), `true` =
+        /// marker phase (span/convergecast/announce/…). Drives the
+        /// per-phase cost split without a payload decode.
+        marker: bool,
+        /// Per-edge, per-direction sequence number: the receiver
+        /// delivers in sequence order, exactly once, which restores
+        /// the FIFO exactly-once channel GHS assumes on top of a
+        /// lossy, reordering, duplicating link.
+        seq: u32,
+        /// The serialized protocol message.
+        bits: BitString,
+    },
+    /// Cumulative acknowledgement for the reliable channel: `seq` is
+    /// the receiver's next expected sequence number; everything below
+    /// it is delivered and may be dropped from the sender's outbox.
+    ComputeAck {
+        /// Phase of the frame being acknowledged (cost accounting).
+        marker: bool,
+        /// Next expected sequence number.
+        seq: u32,
+    },
+}
+
+/// Phase classes for the per-phase cost split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PhaseClass {
+    /// GHS fragment protocol (phase A).
+    Ghs,
+    /// Distributed marker (phase B).
+    Marker,
+    /// Label-exchange verification (phase C, and every pure
+    /// verification run).
+    Verify,
 }
 
 impl WireMsg {
     /// Bits charged to the communication cost for this message: the
-    /// exact payload length plus a two-bit tag (three frame kinds) for
-    /// labels, one bit for an ack. Transport framing (the byte-aligned
-    /// length field of [`WireMsg::to_frame`]) is bookkeeping of the
-    /// in-process harness and is not charged, mirroring how the
-    /// synchronous simulator charges only payload bits.
+    /// exact payload length plus a small kind tag — two bits for labels
+    /// and one for acks (the historical three-kind tag space, kept so
+    /// recorded verification runs and benches stay comparable), three
+    /// bits for the construction kinds — plus the 32-bit sequence
+    /// number a reliable channel genuinely has to carry. Transport
+    /// framing (the byte-aligned length field of [`WireMsg::to_frame`])
+    /// is bookkeeping of the in-process harness and is not charged,
+    /// mirroring how the synchronous simulator charges only payload
+    /// bits.
     pub fn wire_bits(&self) -> u64 {
         match self {
             WireMsg::Label { bits, .. } => 2 + bits.len() as u64,
             WireMsg::Ack => 1,
+            WireMsg::Compute { bits, .. } => 3 + 32 + bits.len() as u64,
+            WireMsg::ComputeAck { .. } => 3 + 32,
+        }
+    }
+
+    /// Which phase this message is charged to.
+    pub(crate) fn phase_class(&self) -> PhaseClass {
+        match self {
+            WireMsg::Label { .. } | WireMsg::Ack => PhaseClass::Verify,
+            WireMsg::Compute { marker, .. } | WireMsg::ComputeAck { marker, .. } => {
+                if *marker {
+                    PhaseClass::Marker
+                } else {
+                    PhaseClass::Ghs
+                }
+            }
         }
     }
 
     /// Serializes the message to a self-delimiting byte frame:
-    /// `[0x00]` for an ack, `[tag, bit-length as u32 LE, payload
-    /// bytes]` for a label, where the tag is `0x01` (plain) or `0x02`
-    /// (refresh).
+    ///
+    /// * `[0x00]` — ack;
+    /// * `[0x01 | 0x02, bit-length u32 LE, payload]` — label
+    ///   (plain | refresh);
+    /// * `[0x03 | 0x04, seq u32 LE, bit-length u32 LE, payload]` —
+    ///   construction payload (GHS | marker);
+    /// * `[0x05 | 0x06, seq u32 LE]` — construction ack (GHS | marker).
     ///
     /// # Errors
     ///
@@ -87,24 +161,76 @@ impl WireMsg {
                 out.extend_from_slice(&bits.to_bytes());
                 Ok(out)
             }
+            WireMsg::Compute { marker, seq, bits } => {
+                let bit_len = frame_bit_len(bits.len())?;
+                let mut out = Vec::with_capacity(9 + bits.len() / 8 + 1);
+                out.push(if *marker { 0x04 } else { 0x03 });
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&bit_len.to_le_bytes());
+                out.extend_from_slice(&bits.to_bytes());
+                Ok(out)
+            }
+            WireMsg::ComputeAck { marker, seq } => {
+                let mut out = Vec::with_capacity(5);
+                out.push(if *marker { 0x06 } else { 0x05 });
+                out.extend_from_slice(&seq.to_le_bytes());
+                Ok(out)
+            }
         }
     }
 
-    /// Parses a frame produced by [`WireMsg::to_frame`]. Returns `None`
-    /// on a malformed frame (unknown tag, short buffer, trailing bytes,
-    /// or dirty padding bits).
-    pub fn from_frame(bytes: &[u8]) -> Option<WireMsg> {
-        match bytes.split_first()? {
-            (0x00, []) => Some(WireMsg::Ack),
-            (tag @ (0x01 | 0x02), rest) => {
-                let (len_bytes, payload) = rest.split_first_chunk::<4>()?;
-                let bit_len = u32::from_le_bytes(*len_bytes) as usize;
-                BitString::from_bytes(payload, bit_len).map(|bits| WireMsg::Label {
-                    bits,
-                    refresh: *tag == 0x02,
+    /// Parses a frame produced by [`WireMsg::to_frame`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownMsgKind`] for a tag this build does not know
+    /// (a capture from a newer protocol revision must fail loudly, not
+    /// misparse); [`NetError::BadFrame`] for a structurally broken
+    /// frame (short buffer, trailing bytes, dirty padding bits).
+    pub fn from_frame(bytes: &[u8]) -> Result<WireMsg, NetError> {
+        let bad = |reason: &str| NetError::BadFrame {
+            reason: reason.to_string(),
+        };
+        let payload_of = |rest: &[u8]| -> Result<BitString, NetError> {
+            let (len_bytes, payload) = rest
+                .split_first_chunk::<4>()
+                .ok_or_else(|| bad("truncated length field"))?;
+            let bit_len = u32::from_le_bytes(*len_bytes) as usize;
+            BitString::from_bytes(payload, bit_len)
+                .ok_or_else(|| bad("payload does not match its length field"))
+        };
+        fn seq_of(rest: &[u8]) -> Result<(u32, &[u8]), NetError> {
+            let (seq_bytes, tail) = rest.split_first_chunk::<4>().ok_or(NetError::BadFrame {
+                reason: "truncated sequence field".to_string(),
+            })?;
+            Ok((u32::from_le_bytes(*seq_bytes), tail))
+        }
+        match bytes.split_first().ok_or_else(|| bad("empty frame"))? {
+            (0x00, []) => Ok(WireMsg::Ack),
+            (0x00, _) => Err(bad("trailing bytes after ack")),
+            (tag @ (0x01 | 0x02), rest) => Ok(WireMsg::Label {
+                bits: payload_of(rest)?,
+                refresh: *tag == 0x02,
+            }),
+            (tag @ (0x03 | 0x04), rest) => {
+                let (seq, tail) = seq_of(rest)?;
+                Ok(WireMsg::Compute {
+                    marker: *tag == 0x04,
+                    seq,
+                    bits: payload_of(tail)?,
                 })
             }
-            _ => None,
+            (tag @ (0x05 | 0x06), rest) => {
+                let (seq, tail) = seq_of(rest)?;
+                if !tail.is_empty() {
+                    return Err(bad("trailing bytes after construction ack"));
+                }
+                Ok(WireMsg::ComputeAck {
+                    marker: *tag == 0x06,
+                    seq,
+                })
+            }
+            (tag, _) => Err(NetError::UnknownMsgKind { tag: *tag }),
         }
     }
 }
@@ -124,13 +250,29 @@ mod tests {
             };
             assert_eq!(
                 WireMsg::from_frame(&msg.to_frame().expect("payload fits")),
-                Some(msg)
+                Ok(msg)
             );
         }
         assert_eq!(
             WireMsg::from_frame(&WireMsg::Ack.to_frame().expect("acks always frame")),
-            Some(WireMsg::Ack)
+            Ok(WireMsg::Ack)
         );
+        for marker in [false, true] {
+            let msg = WireMsg::Compute {
+                marker,
+                seq: 0xfeed_0042,
+                bits: bits.clone(),
+            };
+            assert_eq!(
+                WireMsg::from_frame(&msg.to_frame().expect("payload fits")),
+                Ok(msg)
+            );
+            let ack = WireMsg::ComputeAck { marker, seq: 7 };
+            assert_eq!(
+                WireMsg::from_frame(&ack.to_frame().expect("acks always frame")),
+                Ok(ack)
+            );
+        }
     }
 
     #[test]
@@ -150,11 +292,44 @@ mod tests {
     }
 
     #[test]
+    fn unknown_payload_kind_is_a_typed_error() {
+        // Forward compatibility: a frame from a future protocol
+        // revision (unknown tag) must surface as `UnknownMsgKind` with
+        // the offending tag — never as a silent misparse or a generic
+        // failure. Tags 0x00–0x06 are taken; everything above is
+        // future space.
+        for tag in 0x07..=0xff {
+            assert_eq!(
+                WireMsg::from_frame(&[tag, 0, 0, 0, 0]),
+                Err(NetError::UnknownMsgKind { tag }),
+                "tag {tag:#04x}"
+            );
+        }
+        // A malformed-but-known frame is a different, structural error.
+        assert!(matches!(
+            WireMsg::from_frame(&[0x03, 1, 0]),
+            Err(NetError::BadFrame { .. })
+        ));
+    }
+
+    #[test]
     fn malformed_frames_rejected() {
-        assert_eq!(WireMsg::from_frame(&[]), None);
-        assert_eq!(WireMsg::from_frame(&[0x03]), None);
-        assert_eq!(WireMsg::from_frame(&[0x00, 0x00]), None);
-        assert_eq!(WireMsg::from_frame(&[0x01, 9, 0, 0, 0, 0xff]), None);
+        assert!(matches!(
+            WireMsg::from_frame(&[]),
+            Err(NetError::BadFrame { .. })
+        ));
+        assert!(matches!(
+            WireMsg::from_frame(&[0x00, 0x00]),
+            Err(NetError::BadFrame { .. })
+        ));
+        assert!(matches!(
+            WireMsg::from_frame(&[0x01, 9, 0, 0, 0, 0xff]),
+            Err(NetError::BadFrame { .. })
+        ));
+        assert!(matches!(
+            WireMsg::from_frame(&[0x05, 1, 2, 3, 4, 5]),
+            Err(NetError::BadFrame { .. })
+        ));
     }
 
     #[test]
@@ -162,10 +337,24 @@ mod tests {
         let mut bits = BitString::new();
         bits.push_bits(0x5a5a, 16);
         let label = WireMsg::Label {
-            bits,
+            bits: bits.clone(),
             refresh: false,
         };
         assert_eq!(label.wire_bits(), 18);
         assert_eq!(WireMsg::Ack.wire_bits(), 1);
+        let compute = WireMsg::Compute {
+            marker: true,
+            seq: 9,
+            bits,
+        };
+        assert_eq!(compute.wire_bits(), 3 + 32 + 16);
+        assert_eq!(
+            WireMsg::ComputeAck {
+                marker: false,
+                seq: 9
+            }
+            .wire_bits(),
+            35
+        );
     }
 }

@@ -209,6 +209,51 @@ fn single_node_and_single_edge_instances_run_on_both_engines() {
     }
 }
 
+#[test]
+fn compute_engines_are_observably_identical() {
+    // The construction protocol (GHS + marker + verify) through the
+    // same lens as verification: both engines must produce the same
+    // artifacts, the same total and per-phase counters, and the same
+    // event schedule — and the log must replay to all of it exactly.
+    let mut rng = StdRng::seed_from_u64(29);
+    let g = gen::random_connected(24, 32, gen::WeightDist::Uniform { max: 96 }, &mut rng);
+    let profile = FaultProfile {
+        drop: 0.2,
+        duplicate: 0.1,
+        max_delay: 3,
+        crash: 0.02,
+        max_crashes: 2,
+    };
+    for link_seed in [0u64, 3, 11] {
+        let run_on = |engine: Engine| {
+            let mut link = LossyLink::new(profile, link_seed);
+            mstv_net::run_compute(&g, &mut link, NetConfig::default(), engine)
+                .expect("fair-lossy construction converges")
+        };
+        let threads = run_on(Engine::Threads);
+        let evented = run_on(events(4));
+        assert_eq!(evented.net.verdict, threads.net.verdict, "seed {link_seed}");
+        assert_eq!(evented.net.cost, threads.net.cost, "seed {link_seed}");
+        assert_eq!(evented.net.phases, threads.net.phases, "seed {link_seed}");
+        assert_eq!(evented.states, threads.states, "seed {link_seed}");
+        assert_eq!(evented.mst_edges, threads.mst_edges, "seed {link_seed}");
+        assert_eq!(
+            evented.net.log.to_string(),
+            threads.net.log.to_string(),
+            "seed {link_seed}: engines recorded different construction schedules"
+        );
+        let replayed =
+            mstv_net::replay_compute(&g, &threads.net.log).expect("construction log replays");
+        assert_eq!(
+            replayed.net.verdict, threads.net.verdict,
+            "seed {link_seed}"
+        );
+        assert_eq!(replayed.net.cost, threads.net.cost, "seed {link_seed}");
+        assert_eq!(replayed.net.phases, threads.net.phases, "seed {link_seed}");
+        assert_eq!(replayed.states, threads.states, "seed {link_seed}");
+    }
+}
+
 /// A scheme rigged to panic whenever a label is decoded: on an n = 1
 /// instance the lone node decodes its own certificate while handling
 /// `Start`; on larger instances the first delivered label frame blows

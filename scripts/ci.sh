@@ -105,4 +105,32 @@ diff "$tmp/net_b.txt" "$tmp/local_b.txt" \
 "$mstv" query --connect "127.0.0.1:$port" --shutdown-server >/dev/null
 wait "$serve_pid" || { echo "ci: server did not exit cleanly"; exit 1; }
 
+echo "== distributed construction smoke (256 nodes, lossy, both engines) =="
+# Build the MST and its labels on the network under a lossy link, on
+# both engines, and diff everything against the centralized marker:
+# the two engines must print identical verdict/cost/phase lines, the
+# label sizes must match `mstv label` on the same graph, and the
+# snapshot written from the construction log must be byte-identical to
+# the snapshot of the locally computed MST. (The bit-exact per-node
+# label diff runs in `cargo test -p mstv-net --test compute_protocol`.)
+compute_flags=(--nodes 256 --extra 512 --seed 17 --drop 0.15 --dup 0.05 --delay 2)
+"$mstv" net --compute "${compute_flags[@]}" --engine threads > "$tmp/compute_t.txt"
+"$mstv" net --compute "${compute_flags[@]}" --engine events \
+    --log "$tmp/compute.log" > "$tmp/compute_e.txt"
+grep -q 'accepted by all 256 nodes' "$tmp/compute_t.txt" \
+    || { echo "ci: construction run rejected"; exit 1; }
+diff "$tmp/compute_t.txt" <(sed '$d' "$tmp/compute_e.txt") \
+    || { echo "ci: construction engines diverge"; exit 1; }
+"$mstv" gen --nodes 256 --extra 512 --seed 17 > "$tmp/c.txt"
+central_bits="$("$mstv" label "$tmp/c.txt" | sed -n 's/.*max label: \([0-9]*\) bits.*/\1/p')"
+grep -q "labels: max $central_bits bits" "$tmp/compute_e.txt" \
+    || { echo "ci: constructed labels differ from the centralized marker's"; exit 1; }
+"$mstv" net --replay "$tmp/compute.log" \
+    | grep -q 'replay: matches the recorded run' \
+    || { echo "ci: construction log does not replay"; exit 1; }
+"$mstv" snapshot write --from-net "$tmp/compute.log" "$tmp/from_net.snap" >/dev/null
+"$mstv" snapshot write "$tmp/c.txt" "$tmp/central.snap" >/dev/null
+cmp "$tmp/from_net.snap" "$tmp/central.snap" \
+    || { echo "ci: construction snapshot differs from the centralized one"; exit 1; }
+
 echo "ci: all checks passed"

@@ -62,13 +62,28 @@ const USAGE: &str = "usage:
       very large instances). Both engines produce identical verdicts,
       costs, and logs. Prints the verdict and the MessageCost JSON;
       --log saves a replayable event log
+  mstv net --compute --nodes N [--extra M] [--max-weight W] [--seed S]
+           [--drop P] [--dup P] [--delay D] [--crash P] [--max-crashes K]
+           [--max-rounds R] [--log FILE] [--engine threads|events] [--workers N]
+      build the MST and its π_mst labels *on the network*: GHS
+      fragments merge into the tree, a distributed marker labels it,
+      and every node verifies what was built — no centralized step.
+      Prints the verdict, the MessageCost JSON, and the per-phase
+      (ghs/marker/verify) split; --log saves a replayable event log
   mstv net --replay <log-file>
       re-run a saved event log deterministically on one thread and
       cross-check verdict and counts against the recorded run
+      (verification and construction logs alike; construction logs
+      also rebuild the tree and labels)
   mstv snapshot write <graph-file> <out.snap> [--codec gamma|fixed] [--threads N]
            [--no-dist]
       compute the graph's MST and persist the marked tree plus its full
       MAX/FLOW/DIST label stack as a CRC-checked binary snapshot
+  mstv snapshot write --from-net <log-file> <out.snap> [--codec gamma|fixed]
+           [--threads N] [--no-dist]
+      same, but from a `mstv net --compute --log` event log: replay the
+      construction run and snapshot the tree the network built —
+      byte-identical to the snapshot of the same graph's local MST
   mstv snapshot inspect <file.snap>
       print the snapshot header and per-section statistics
   mstv snapshot fsck <file.snap> [--pairs N]
@@ -356,6 +371,20 @@ impl NetInstanceParams {
         })
     }
 
+    /// The instance topology alone — what a construction run starts
+    /// from. `rng` continues past the graph so [`build`] can draw
+    /// fault targets from the same stream.
+    fn graph(&self, rng: &mut StdRng) -> mst_verification::graph::Graph {
+        gen::random_connected(
+            self.nodes,
+            self.extra,
+            gen::WeightDist::Uniform {
+                max: self.max_weight,
+            },
+            rng,
+        )
+    }
+
     /// Rebuilds the instance: graph, configuration, labels, and the
     /// injected fault — all deterministic functions of the parameters,
     /// so a replay reconstructs exactly what the live run verified.
@@ -372,14 +401,7 @@ impl NetInstanceParams {
         use mst_verification::labels::{LabelCodec, SepFieldCodec};
 
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let g = gen::random_connected(
-            self.nodes,
-            self.extra,
-            gen::WeightDist::Uniform {
-                max: self.max_weight,
-            },
-            &mut rng,
-        );
+        let g = self.graph(&mut rng);
         let mut cfg = mst_verification::core::mst_configuration(g);
         // Labels certify the pre-fault MST: state/weight faults are
         // what the certificate is supposed to catch.
@@ -450,111 +472,234 @@ fn print_net_run(run: &mst_verification::net::NetRun) {
     }
 }
 
+/// Flags shared by every live `mstv net` run (verification or
+/// construction): the instance, the fault schedule, round budget, and
+/// scheduler choice.
+struct NetRunFlags {
+    params: NetInstanceParams,
+    profile: mst_verification::net::FaultProfile,
+    net: mst_verification::net::NetConfig,
+    engine: mst_verification::net::Engine,
+    engine_name: String,
+    /// Decoupled from the instance RNG so the same topology can be
+    /// rerun under different fault schedules.
+    link_seed: u64,
+}
+
+fn parse_net_run_flags(args: &[String]) -> Result<NetRunFlags, String> {
+    use mst_verification::net::{Engine, FaultProfile, NetConfig};
+
+    let nodes = flag_value(args, "--nodes")?.ok_or("--nodes is required")? as usize;
+    if nodes == 0 {
+        return Err("--nodes must be positive".to_owned());
+    }
+    let params = NetInstanceParams {
+        nodes,
+        extra: flag_value(args, "--extra")?.unwrap_or(2 * nodes as u64) as usize,
+        max_weight: flag_value(args, "--max-weight")?.unwrap_or(1000),
+        seed: flag_value(args, "--seed")?.unwrap_or(0),
+        fault: flag_str(args, "--fault").unwrap_or_else(|| "none".to_owned()),
+    };
+    let profile = FaultProfile {
+        drop: flag_f64(args, "--drop")?.unwrap_or(0.0),
+        duplicate: flag_f64(args, "--dup")?.unwrap_or(0.0),
+        max_delay: flag_value(args, "--delay")?.unwrap_or(0) as u32,
+        crash: flag_f64(args, "--crash")?.unwrap_or(0.0),
+        max_crashes: flag_value(args, "--max-crashes")?.unwrap_or(8),
+    };
+    let net = NetConfig {
+        max_rounds: flag_value(args, "--max-rounds")?.unwrap_or(10_000),
+        record_log: true,
+    };
+    let workers = match flag_value(args, "--workers")? {
+        None => ParallelConfig::default(),
+        Some(w) => {
+            let w = usize::try_from(w)
+                .ok()
+                .and_then(std::num::NonZeroUsize::new)
+                .ok_or("--workers must be a positive integer")?;
+            ParallelConfig::with_threads(w)
+        }
+    };
+    let engine_name = flag_str(args, "--engine").unwrap_or_else(|| "threads".to_owned());
+    let engine = match engine_name.as_str() {
+        "threads" => Engine::Threads,
+        "events" => Engine::Events { workers },
+        other => return Err(format!("unknown engine {other:?} (threads|events)")),
+    };
+    let link_seed = params.seed ^ 0x9e37_79b9_7f4a_7c15;
+    Ok(NetRunFlags {
+        params,
+        profile,
+        net,
+        engine,
+        engine_name,
+        link_seed,
+    })
+}
+
+impl NetRunFlags {
+    /// Records run provenance in the log: instance parameters, fault
+    /// knobs, link seed. Engine is provenance only — both engines
+    /// record identical logs, so replay needs no engine marker.
+    fn to_headers(&self, log: &mut mst_verification::net::EventLog) {
+        self.params.to_headers(log);
+        log.push_header("engine", &self.engine_name);
+        log.push_header("drop", self.profile.drop);
+        log.push_header("dup", self.profile.duplicate);
+        log.push_header("delay", self.profile.max_delay);
+        log.push_header("crash", self.profile.crash);
+        log.push_header("max-crashes", self.profile.max_crashes);
+        log.push_header("link-seed", self.link_seed);
+    }
+}
+
+/// Checks a replay's outcome against the log's recorded summary
+/// trailer, reporting divergence as a hard error.
+fn check_replay_summary(
+    log: &mst_verification::net::EventLog,
+    run: &mst_verification::net::NetRun,
+) -> Result<(), String> {
+    match &log.summary {
+        Some(summary) => {
+            if summary.rejecting == run.verdict.rejecting && summary.cost == run.cost {
+                println!("replay: matches the recorded run (verdict and counts identical)");
+                Ok(())
+            } else {
+                Err(format!(
+                    "replay diverges from the recorded run: recorded rejecting={:?} {}, \
+                     replayed rejecting={:?} {}",
+                    summary.rejecting,
+                    summary.cost.to_json(),
+                    run.verdict.rejecting,
+                    run.cost.to_json(),
+                ))
+            }
+        }
+        None => {
+            println!("replay: log has no recorded summary to cross-check");
+            Ok(())
+        }
+    }
+}
+
+fn save_log_flag(args: &[String], log: &mst_verification::net::EventLog) -> Result<(), String> {
+    if let Some(path) = flag_str(args, "--log") {
+        std::fs::write(&path, log.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("log: {path} ({} events)", log.events.len());
+    }
+    Ok(())
+}
+
 fn cmd_net(args: &[String]) -> Result<(), String> {
     use mst_verification::net::{
-        replay, run_verification_with, Engine, EventLog, FaultProfile, LossyLink, MstWireScheme,
-        NetConfig, PerfectLink,
+        replay, run_verification_with, EventLog, LossyLink, MstWireScheme, PerfectLink,
     };
 
     if let Some(log_path) = flag_str(args, "--replay") {
         let text = std::fs::read_to_string(&log_path)
             .map_err(|e| format!("cannot read {log_path}: {e}"))?;
         let log = EventLog::parse(&text).map_err(|e| e.to_string())?;
+        if log.header("mode") == Some("compute") {
+            return cmd_net_replay_compute(&log);
+        }
         let params = NetInstanceParams::from_headers(&log)?;
         let (cfg, labeling) = params.build()?;
         let wire = MstWireScheme::for_config(&cfg);
         let run = replay(&wire, &cfg, &labeling, &log).map_err(|e| e.to_string())?;
         print_net_run(&run);
-        match &log.summary {
-            Some(summary) => {
-                if summary.rejecting == run.verdict.rejecting && summary.cost == run.cost {
-                    println!("replay: matches the recorded run (verdict and counts identical)");
-                    Ok(())
-                } else {
-                    Err(format!(
-                        "replay diverges from the recorded run: recorded rejecting={:?} {}, \
-                         replayed rejecting={:?} {}",
-                        summary.rejecting,
-                        summary.cost.to_json(),
-                        run.verdict.rejecting,
-                        run.cost.to_json(),
-                    ))
-                }
-            }
-            None => {
-                println!("replay: log has no recorded summary to cross-check");
-                Ok(())
-            }
-        }
+        check_replay_summary(&log, &run)
+    } else if args.iter().any(|a| a == "--compute") {
+        cmd_net_compute(args)
     } else {
-        let nodes = flag_value(args, "--nodes")?.ok_or("--nodes is required")? as usize;
-        if nodes == 0 {
-            return Err("--nodes must be positive".to_owned());
-        }
-        let params = NetInstanceParams {
-            nodes,
-            extra: flag_value(args, "--extra")?.unwrap_or(2 * nodes as u64) as usize,
-            max_weight: flag_value(args, "--max-weight")?.unwrap_or(1000),
-            seed: flag_value(args, "--seed")?.unwrap_or(0),
-            fault: flag_str(args, "--fault").unwrap_or_else(|| "none".to_owned()),
-        };
-        let profile = FaultProfile {
-            drop: flag_f64(args, "--drop")?.unwrap_or(0.0),
-            duplicate: flag_f64(args, "--dup")?.unwrap_or(0.0),
-            max_delay: flag_value(args, "--delay")?.unwrap_or(0) as u32,
-            crash: flag_f64(args, "--crash")?.unwrap_or(0.0),
-            max_crashes: flag_value(args, "--max-crashes")?.unwrap_or(8),
-        };
-        let net = NetConfig {
-            max_rounds: flag_value(args, "--max-rounds")?.unwrap_or(10_000),
-            record_log: true,
-        };
-        let workers = match flag_value(args, "--workers")? {
-            None => ParallelConfig::default(),
-            Some(w) => {
-                let w = usize::try_from(w)
-                    .ok()
-                    .and_then(std::num::NonZeroUsize::new)
-                    .ok_or("--workers must be a positive integer")?;
-                ParallelConfig::with_threads(w)
-            }
-        };
-        let engine_name = flag_str(args, "--engine").unwrap_or_else(|| "threads".to_owned());
-        let engine = match engine_name.as_str() {
-            "threads" => Engine::Threads,
-            "events" => Engine::Events { workers },
-            other => return Err(format!("unknown engine {other:?} (threads|events)")),
-        };
-        let (cfg, labeling) = params.build()?;
+        let flags = parse_net_run_flags(args)?;
+        let (cfg, labeling) = flags.params.build()?;
         let wire = MstWireScheme::for_config(&cfg);
-        // The link RNG is decoupled from the instance RNG so the same
-        // topology can be rerun under different fault schedules.
-        let link_seed = params.seed ^ 0x9e37_79b9_7f4a_7c15;
-        let mut run = if profile.is_perfect() {
-            run_verification_with(&wire, &cfg, &labeling, &mut PerfectLink, net, engine)
+        let mut run = if flags.profile.is_perfect() {
+            run_verification_with(
+                &wire,
+                &cfg,
+                &labeling,
+                &mut PerfectLink,
+                flags.net,
+                flags.engine,
+            )
         } else {
-            let mut link = LossyLink::new(profile, link_seed);
-            run_verification_with(&wire, &cfg, &labeling, &mut link, net, engine)
+            let mut link = LossyLink::new(flags.profile, flags.link_seed);
+            run_verification_with(&wire, &cfg, &labeling, &mut link, flags.net, flags.engine)
         }
         .map_err(|e| e.to_string())?;
-        params.to_headers(&mut run.log);
-        // Provenance only: both engines record identical logs, so replay
-        // needs no engine marker.
-        run.log.push_header("engine", &engine_name);
-        run.log.push_header("drop", profile.drop);
-        run.log.push_header("dup", profile.duplicate);
-        run.log.push_header("delay", profile.max_delay);
-        run.log.push_header("crash", profile.crash);
-        run.log.push_header("max-crashes", profile.max_crashes);
-        run.log.push_header("link-seed", link_seed);
+        flags.to_headers(&mut run.log);
         print_net_run(&run);
-        if let Some(path) = flag_str(args, "--log") {
-            std::fs::write(&path, run.log.to_string())
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
-            println!("log: {path} ({} events)", run.log.events.len());
-        }
-        Ok(())
+        save_log_flag(args, &run.log)
     }
+}
+
+/// Prints what the construction run built and what it cost, phase by
+/// phase.
+fn print_compute_run(g: &mst_verification::graph::Graph, run: &mst_verification::net::ComputeRun) {
+    println!("verdict: {}", run.net.verdict);
+    println!(
+        "mst: {} edges, total weight {}",
+        run.mst_edges.len(),
+        mst_weight(g, &run.mst_edges)
+    );
+    println!(
+        "labels: max {} bits, total {} bits",
+        run.labeling.max_label_bits(),
+        run.labeling.total_bits()
+    );
+    println!("cost: {}", run.net.cost.to_json());
+    println!(
+        "phases: {{\"ghs\":{},\"marker\":{},\"verify\":{}}}",
+        run.net.phases.ghs.to_json(),
+        run.net.phases.marker.to_json(),
+        run.net.phases.verify.to_json(),
+    );
+    if run.net.crash_restarts > 0 {
+        println!("crash-restarts: {}", run.net.crash_restarts);
+    }
+}
+
+/// `mstv net --compute`: build the MST and its labels on the network.
+fn cmd_net_compute(args: &[String]) -> Result<(), String> {
+    use mst_verification::net::{run_compute, LossyLink, PerfectLink};
+
+    let flags = parse_net_run_flags(args)?;
+    if flags.params.fault != "none" {
+        return Err(
+            "--fault injects faults into a prebuilt labeling; a construction run has none to \
+             corrupt — use --drop/--dup/--delay/--crash to fault the links instead"
+                .to_owned(),
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(flags.params.seed);
+    let g = flags.params.graph(&mut rng);
+    let mut run = if flags.profile.is_perfect() {
+        run_compute(&g, &mut PerfectLink, flags.net, flags.engine)
+    } else {
+        let mut link = LossyLink::new(flags.profile, flags.link_seed);
+        run_compute(&g, &mut link, flags.net, flags.engine)
+    }
+    .map_err(|e| e.to_string())?;
+    run.net.log.push_header("mode", "compute");
+    flags.to_headers(&mut run.net.log);
+    print_compute_run(&g, &run);
+    save_log_flag(args, &run.net.log)
+}
+
+/// Replays a `mstv net --compute --log` event log: rebuilds the
+/// instance from the provenance headers, re-runs the recorded schedule
+/// on one thread, and cross-checks the recorded summary.
+fn cmd_net_replay_compute(log: &mst_verification::net::EventLog) -> Result<(), String> {
+    use mst_verification::net::replay_compute;
+
+    let params = NetInstanceParams::from_headers(log)?;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let g = params.graph(&mut rng);
+    let run = replay_compute(&g, log).map_err(|e| e.to_string())?;
+    print_compute_run(&g, &run);
+    check_replay_summary(log, &run.net)
 }
 
 /// The snapshot-side half of the serving tier: the marker runs once,
@@ -565,12 +710,49 @@ fn cmd_snapshot(args: &[String]) -> Result<(), String> {
         .ok_or("snapshot needs a subcommand: write, inspect, or fsck")?;
     match sub.as_str() {
         "write" => {
-            let gpath = args.get(1).ok_or("missing graph file")?;
-            let out = args.get(2).ok_or("missing output file")?;
-            let g = load_graph(gpath)?;
-            let mst = kruskal(&g);
+            let positionals = positional_words(&args[1..], &["--from-net", "--codec", "--threads"]);
+            let (g, mst) = if let Some(log_path) = flag_str(args, "--from-net") {
+                // The tree the network built: replay the construction
+                // log and snapshot its MST. Replay is exact, so this
+                // file is byte-identical to `snapshot write` on the
+                // same graph.
+                use mst_verification::net::{replay_compute, EventLog};
+                let text = std::fs::read_to_string(&log_path)
+                    .map_err(|e| format!("cannot read {log_path}: {e}"))?;
+                let log = EventLog::parse(&text).map_err(|e| format!("{log_path}: {e}"))?;
+                if log.header("mode") != Some("compute") {
+                    return Err(format!(
+                        "{log_path}: not a construction log (recorded by `mstv net` without \
+                         --compute); only construction runs carry a tree to snapshot"
+                    ));
+                }
+                let params = NetInstanceParams::from_headers(&log)?;
+                let mut rng = StdRng::seed_from_u64(params.seed);
+                let g = params.graph(&mut rng);
+                let run = replay_compute(&g, &log).map_err(|e| format!("{log_path}: {e}"))?;
+                if !run.net.verdict.accepted() {
+                    return Err(format!(
+                        "{log_path}: the recorded run rejected its own construction; refusing \
+                         to snapshot an unverified tree"
+                    ));
+                }
+                (g, run.mst_edges)
+            } else {
+                let gpath = positionals.first().ok_or("missing graph file")?;
+                let g = load_graph(gpath)?;
+                let mst = kruskal(&g);
+                (g, mst)
+            };
+            let out = match (
+                flag_str(args, "--from-net").is_some(),
+                positionals.as_slice(),
+            ) {
+                (true, [out]) => *out,
+                (false, [_, out]) => *out,
+                _ => return Err("missing output file".to_owned()),
+            };
             let tree = RootedTree::from_graph_edges(&g, &mst, NodeId(0))
-                .map_err(|e| format!("{gpath}: {e}"))?;
+                .map_err(|e| format!("snapshot write: {e}"))?;
             let codec = match flag_str(args, "--codec").as_deref() {
                 None | Some("gamma") => SepFieldCodec::EliasGamma,
                 Some("fixed") => SepFieldCodec::FixedWidth {
@@ -783,15 +965,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Positional (non-flag) words of a `query --connect` invocation: every
-/// argument that is neither a flag nor a flag's value.
-fn positional_words(args: &[String]) -> Vec<&str> {
-    const VALUE_FLAGS: &[&str] = &["--connect", "--batch", "--swap"];
+/// Positional (non-flag) words of an invocation: every argument that
+/// is neither a flag nor the value of one of `value_flags`.
+fn positional_words<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str> {
     let mut words = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();
-        if VALUE_FLAGS.contains(&a) {
+        if value_flags.contains(&a) {
             i += 2;
         } else if a.starts_with("--") {
             i += 1;
@@ -841,7 +1022,7 @@ fn cmd_query_remote(args: &[String]) -> Result<(), String> {
         print_batch_answers(&lines, &response.results);
         Ok(())
     } else {
-        let words = positional_words(args);
+        let words = positional_words(args, &["--connect", "--batch", "--swap"]);
         if words.is_empty() {
             return Err("missing query (or --batch/--stats/--swap/--shutdown-server)".to_owned());
         }

@@ -206,3 +206,116 @@ fn net_detects_injected_faults_on_the_wire() {
         );
     }
 }
+
+#[test]
+fn net_compute_builds_labels_replays_and_snapshots_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("mstv-cli-compute-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("compute.log");
+    let log_path = log_path.to_string_lossy();
+
+    // Build the MST and its labels on the network, over a lossy link.
+    let out = run_ok(
+        &[
+            "net",
+            "--compute",
+            "--nodes",
+            "32",
+            "--extra",
+            "48",
+            "--drop",
+            "0.2",
+            "--dup",
+            "0.1",
+            "--delay",
+            "2",
+            "--seed",
+            "7",
+            "--engine",
+            "events",
+            "--log",
+            &log_path,
+        ],
+        &[],
+    );
+    assert!(out.contains("verdict: accepted by all 32 nodes"), "{out}");
+    assert!(out.contains("mst: 31 edges"), "{out}");
+    assert!(out.contains("phases: {\"ghs\":{\"msgs\":"), "{out}");
+
+    // The log replays to the identical outcome, phase split included.
+    let replayed = run_ok(&["net", "--replay", &log_path], &[]);
+    assert!(
+        replayed.contains("replay: matches the recorded run"),
+        "{replayed}"
+    );
+    for line in out.lines().take(5) {
+        assert!(replayed.contains(line), "missing {line:?} in {replayed}");
+    }
+
+    // The threads engine prints the same verdict, cost, and phase lines
+    // (the scheduler is unobservable; no --log, same link schedule).
+    let threads = run_ok(
+        &[
+            "net",
+            "--compute",
+            "--nodes",
+            "32",
+            "--extra",
+            "48",
+            "--drop",
+            "0.2",
+            "--dup",
+            "0.1",
+            "--delay",
+            "2",
+            "--seed",
+            "7",
+            "--engine",
+            "threads",
+        ],
+        &[],
+    );
+    for line in out.lines().take(5) {
+        assert!(threads.contains(line), "missing {line:?} in {threads}");
+    }
+
+    // Snapshot the tree the network built; byte-identical to the
+    // snapshot of the same graph's locally computed MST.
+    let from_net = dir.join("from_net.snap");
+    let from_net = from_net.to_string_lossy();
+    let central = dir.join("central.snap");
+    let central = central.to_string_lossy();
+    run_ok(
+        &["snapshot", "write", "--from-net", &log_path, &from_net],
+        &[],
+    );
+    let graph = run_ok(
+        &["gen", "--nodes", "32", "--extra", "48", "--seed", "7"],
+        &[],
+    );
+    run_ok(
+        &["snapshot", "write", "g.txt", &central],
+        &[("g.txt", &graph)],
+    );
+    let a = std::fs::read(&*from_net).unwrap();
+    let b = std::fs::read(&*central).unwrap();
+    assert_eq!(a, b, "distributed and centralized snapshots differ");
+
+    // A verification log is not a construction log.
+    let verif_log = dir.join("verif.log");
+    let verif_log = verif_log.to_string_lossy();
+    run_ok(
+        &["net", "--nodes", "8", "--seed", "1", "--log", &verif_log],
+        &[],
+    );
+    let out = mstv()
+        .args(["snapshot", "write", "--from-net", &verif_log, "x.snap"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not a construction log"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
