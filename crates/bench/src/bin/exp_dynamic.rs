@@ -1,0 +1,420 @@
+//! E18 — dynamic maintenance throughput: sustained mutations per second
+//! of the incremental relabeling engine (`mstv-dyn`) with **continuous
+//! verification on**, against the full-rebuild baseline, on 10k- and
+//! 100k-node instances.
+//!
+//! Each timed mutation does everything the static pipeline would redo
+//! from scratch: the incremental marker repairs the MST and relabels the
+//! dirty centroid subtrees, and a long-lived [`VerifySession`] over
+//! `π_mst` is kept in lockstep — weight change, per-node parent flips
+//! for the repair's tree deltas, and label overwrites for exactly the
+//! nodes whose `span`/`γ`/orientation sublabels changed — re-verifying
+//! only the dirty frontier. The session verdict must accept after every
+//! single mutation, so the rate cannot be fast-but-unverified. The
+//! baseline redoes the honest static path per mutation: Kruskal, the
+//! full `π_mst` marker, and a full verification pass.
+//!
+//! At every bench checkpoint (untimed) the maintained state is
+//! cross-checked two ways: `session.full_verify()` must accept, and the
+//! incremental marker's snapshot must be **byte-identical** to
+//! `Snapshot::build` on a from-scratch rebuild of the mutated graph.
+//!
+//! Besides the greppable per-point JSON lines, the whole series is
+//! written to `BENCH_dynamic.json` (override the path with the first
+//! positional argument).
+
+use std::time::Instant;
+
+use mstv_bench::{print_table, workload};
+use mstv_core::{
+    mst_configuration, MstLabel, MstScheme, Orient, ProofLabelingScheme, SpanLabel, VerifySession,
+};
+use mstv_dyn::DynMarker;
+use mstv_graph::{EdgeId, Graph, NodeId, Port, Weight};
+use mstv_labels::SepFieldCodec;
+use mstv_mst::kruskal;
+use mstv_store::{DeltaOutcome, DeltaRecord, JournalMutation, Snapshot};
+use mstv_trees::RootedTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_W: u64 = 1 << 20;
+/// `(nodes, timed mutations, full-rebuild baseline samples)` per point.
+const POINTS: [(usize, usize, usize); 2] = [(10_000, 240, 3), (100_000, 120, 2)];
+/// Untimed full cross-checks (full verify + byte-identity) per point.
+const CHECKPOINTS: usize = 3;
+
+struct Point {
+    nodes: usize,
+    mutations: usize,
+    secs: f64,
+    rebuild_secs: f64,
+    outcomes: [usize; 4],
+    frontier_nodes: u64,
+}
+
+impl Point {
+    fn muts_per_sec(&self) -> f64 {
+        self.mutations as f64 / self.secs
+    }
+    fn rebuilds_per_sec(&self) -> f64 {
+        1.0 / self.rebuild_secs
+    }
+    fn speedup(&self) -> f64 {
+        self.muts_per_sec() / self.rebuilds_per_sec()
+    }
+}
+
+fn main() {
+    println!("E18: dynamic maintenance throughput (continuous verification on)");
+
+    let mut points = Vec::new();
+    for &(n, muts, base_samples) in &POINTS {
+        points.push(run_point(n, muts, base_samples));
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                p.mutations.to_string(),
+                format!("{:.1}", p.muts_per_sec()),
+                format!("{:.4}", p.rebuilds_per_sec()),
+                format!("{:.0}x", p.speedup()),
+                format!("{:.1}", p.frontier_nodes as f64 / p.mutations as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "sustained mutations/sec, every mutation verified (vs full rebuild + full verify)",
+        &[
+            "nodes",
+            "mutations",
+            "muts/sec",
+            "rebuilds/sec",
+            "speedup",
+            "avg frontier",
+        ],
+        &rows,
+    );
+
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dynamic.json".to_owned());
+    std::fs::write(&out, series_json(&points)).expect("write benchmark series");
+    println!("series written to {out}");
+}
+
+fn run_point(n: usize, muts: usize, base_samples: usize) -> Point {
+    let g = workload(n, MAX_W, 0xE18 + n as u64);
+    let mut rng = StdRng::seed_from_u64(0xD11A + n as u64);
+
+    // The mutation stream: seeded random reweights over the whole edge
+    // set, so the mix of no-ops, weight-only repairs, and tree swaps is
+    // whatever the instance dictates — nothing is cherry-picked.
+    let stream: Vec<(EdgeId, Weight)> = (0..muts)
+        .map(|_| {
+            let e = EdgeId(rng.gen_range(0..g.num_edges()) as u32);
+            (e, Weight(rng.gen_range(1..=MAX_W)))
+        })
+        .collect();
+
+    // Full-rebuild baseline: per mutation, the static pipeline from
+    // scratch — Kruskal, the π_mst marker, a full verification pass.
+    let mut scratch = g.clone();
+    let mut rebuild_secs = 0.0;
+    for &(e, w) in &stream[..base_samples] {
+        scratch.set_weight(e, w);
+        let t0 = Instant::now();
+        let cfg = mst_configuration(scratch.clone());
+        let scheme = MstScheme::new();
+        let labeling = scheme.marker(&cfg).expect("workload stays connected");
+        assert!(scheme.verify_all(&cfg, &labeling).accepted());
+        rebuild_secs += t0.elapsed().as_secs_f64();
+    }
+    let rebuild_secs = rebuild_secs / base_samples as f64;
+
+    // The maintained state: incremental marker + long-lived session.
+    let mut marker = DynMarker::new(g.clone(), SepFieldCodec::EliasGamma).expect("connected");
+    let mut session =
+        VerifySession::new(MstScheme::new(), mst_configuration(g.clone())).expect("MST config");
+    assert!(session.verdict().accepted());
+
+    let mut outcomes = [0usize; 4];
+    let frontier_before = session.metrics().nodes_verified;
+    let checkpoint_every = muts.div_ceil(CHECKPOINTS);
+    let mut secs = 0.0;
+    let (mut apply_secs, mut sync_secs) = (0.0, 0.0);
+    for (i, &(e, w)) in stream.iter().enumerate() {
+        let edge = g.edge(e);
+        let t0 = Instant::now();
+        let record = marker
+            .apply(JournalMutation::SetWeight {
+                u: edge.u.0,
+                v: edge.v.0,
+                w: w.0,
+            })
+            .expect("stream edges exist");
+        let t1 = Instant::now();
+        apply_secs += (t1 - t0).as_secs_f64();
+        sync_session(&mut session, &marker, &record, e, w);
+        assert!(
+            session.verdict().accepted(),
+            "verifier rejected after mutation {}",
+            i + 1
+        );
+        sync_secs += t1.elapsed().as_secs_f64();
+        secs += t0.elapsed().as_secs_f64();
+        outcomes[record.outcome as usize] += 1;
+
+        if (i + 1) % checkpoint_every == 0 || i + 1 == muts {
+            checkpoint(&mut session, &marker);
+        }
+    }
+    let frontier_nodes = session.metrics().nodes_verified - frontier_before;
+    eprintln!(
+        "  [n={n}] apply {apply_secs:.2}s, session sync+verify {sync_secs:.2}s of {secs:.2}s total"
+    );
+
+    let p = Point {
+        nodes: n,
+        mutations: muts,
+        secs,
+        rebuild_secs,
+        outcomes,
+        frontier_nodes,
+    };
+    println!(
+        "{{\"experiment\":\"dynamic\",\"nodes\":{},\"mutations\":{},\"secs\":{:.4},\
+         \"muts_per_sec\":{:.1},\"rebuild_secs\":{:.4},\"speedup\":{:.1},\
+         \"noop\":{},\"weights_only\":{},\"tree_swap\":{},\"reencode\":{}}}",
+        p.nodes,
+        p.mutations,
+        p.secs,
+        p.muts_per_sec(),
+        p.rebuild_secs,
+        p.speedup(),
+        p.outcomes[DeltaOutcome::NoOp as usize],
+        p.outcomes[DeltaOutcome::WeightsOnly as usize],
+        p.outcomes[DeltaOutcome::TreeSwap as usize],
+        p.outcomes[DeltaOutcome::Reencode as usize],
+    );
+    p
+}
+
+/// Brings the session's configuration and labeling in line with the
+/// marker's post-mutation state, touching only what the record says
+/// changed: the reweighted edge, the repaired parent pointers, and the
+/// labels of nodes whose `span`/`γ`/orientation sublabels moved — all
+/// label overwrites land in one [`VerifySession::relabel_batch`] so the
+/// union frontier re-verifies exactly once.
+fn sync_session(
+    session: &mut VerifySession<MstScheme>,
+    marker: &DynMarker,
+    record: &DeltaRecord,
+    e: EdgeId,
+    w: Weight,
+) {
+    session.set_weight(e, w).expect("edge exists");
+    for td in &record.tree {
+        let node = NodeId(td.node);
+        let port = td
+            .parent
+            .map(|(p, _)| port_of(marker.graph(), node, NodeId(p)));
+        session.flip_tree_edge(node, port).expect("repair is valid");
+    }
+
+    if record.tree.is_empty() {
+        // Weight-only repair: spans and orientations are untouched; only
+        // the γ sublabels of the record's dirty nodes can have moved.
+        let updates: Vec<(NodeId, MstLabel)> = record
+            .dirty_nodes()
+            .into_iter()
+            .map(NodeId)
+            .filter(|&v| &session.labeling().label(v).gamma != marker.max_label(v))
+            .map(|v| {
+                let mut label = session.labeling().label(v).clone();
+                label.gamma = marker.max_label(v).clone();
+                (v, label)
+            })
+            .collect();
+        if !updates.is_empty() {
+            session.relabel_batch(updates);
+        }
+        return;
+    }
+
+    // A tree swap re-hangs a subtree. The labels that can move are
+    // confined to a candidate set the record pins down: the re-hung
+    // subtree S (new-tree descendants of parent-changed nodes) carries
+    // every span change and every root-path change, tree-ancestor
+    // relations (orientation sublabels) can only flip for pairs with an
+    // endpoint in S — so for v itself in S or a chain separator of v in
+    // S — and the dirty centroid subtrees (the record's label deltas)
+    // carry the γ / chain changes. Everything outside the candidate set
+    // is untouched by construction; the per-mutation verdict assert and
+    // the full-verify checkpoints would catch any gap loudly.
+    let tree = marker.tree();
+    let sep = marker.decomposition();
+    let states = session.config().states();
+    let root = tree.root();
+    let root_id = states[root.index()].id;
+    let (tin, tout) = euler_intervals(tree);
+    let is_ancestor = |v: NodeId, a: NodeId| {
+        tin[v.index()] <= tin[a.index()] && tout[a.index()] <= tout[v.index()]
+    };
+
+    // The re-hung subtree S, by DFS below every parent-changed node.
+    let mut rehung = vec![false; states.len()];
+    let mut stack: Vec<NodeId> = record.tree.iter().map(|td| NodeId(td.node)).collect();
+    while let Some(v) = stack.pop() {
+        if std::mem::replace(&mut rehung[v.index()], true) {
+            continue;
+        }
+        stack.extend_from_slice(tree.children(v));
+    }
+
+    let mut candidate = vec![false; states.len()];
+    for v in record.dirty_nodes() {
+        candidate[v as usize] = true;
+    }
+    for i in 0..states.len() {
+        if candidate[i] || rehung[i] {
+            candidate[i] = true;
+            continue;
+        }
+        let mut cur = Some(NodeId::from_index(i));
+        while let Some(a) = cur {
+            if rehung[a.index()] {
+                candidate[i] = true;
+                break;
+            }
+            cur = sep.sep_parent(a);
+        }
+    }
+
+    let mut gamma_dirty = vec![false; states.len()];
+    for d in &record.max {
+        gamma_dirty[d.node as usize] = true;
+    }
+
+    let mut updates: Vec<(NodeId, MstLabel)> = Vec::new();
+    for (i, _) in candidate.iter().enumerate().filter(|(_, c)| **c) {
+        let v = NodeId::from_index(i);
+        let old = session.labeling().label(v);
+        let span = SpanLabel {
+            node_id: states[i].id,
+            root_id,
+            dist: u64::from(tree.depth(v)),
+            parent_id: tree.parent(v).map(|p| states[p.index()].id),
+        };
+        let orient: Vec<Orient> = sep
+            .ancestors(v)
+            .into_iter()
+            .map(|a| {
+                if a == v {
+                    Orient::SelfSep
+                } else if is_ancestor(v, a) {
+                    Orient::Down
+                } else {
+                    Orient::Up
+                }
+            })
+            .collect();
+        let gamma_changed = gamma_dirty[i] && old.gamma != *marker.max_label(v);
+        if old.span == span && old.orient == orient && !gamma_changed {
+            continue;
+        }
+        updates.push((
+            v,
+            MstLabel {
+                span,
+                gamma: marker.max_label(v).clone(),
+                orient,
+            },
+        ));
+    }
+    session.relabel_batch(updates);
+}
+
+/// Euler-tour entry/exit times of every node — O(1) "is `v` a tree
+/// ancestor of `a`" tests for the orientation sweep.
+fn euler_intervals(tree: &RootedTree) -> (Vec<u32>, Vec<u32>) {
+    let n = tree.num_nodes();
+    let (mut tin, mut tout) = (vec![0u32; n], vec![0u32; n]);
+    let mut clock = 0u32;
+    // Iterative DFS: (node, entered?) — the tree can be 100k deep.
+    let mut stack = vec![(tree.root(), false)];
+    while let Some((v, entered)) = stack.pop() {
+        if entered {
+            tout[v.index()] = clock;
+            continue;
+        }
+        tin[v.index()] = clock;
+        clock += 1;
+        stack.push((v, true));
+        for &c in tree.children(v) {
+            stack.push((c, false));
+        }
+    }
+    (tin, tout)
+}
+
+/// Untimed full cross-check: the session's incremental verdict agrees
+/// with a from-scratch verification pass, and the marker's snapshot is
+/// byte-identical to a from-scratch rebuild of the mutated graph.
+fn checkpoint(session: &mut VerifySession<MstScheme>, marker: &DynMarker) {
+    assert!(
+        session.full_verify().accepted(),
+        "full verify contradicts the incremental verdict"
+    );
+    let mst = kruskal(marker.graph());
+    let tree =
+        RootedTree::from_graph_edges(marker.graph(), &mst, NodeId(0)).expect("kruskal spans");
+    assert_eq!(
+        marker.snapshot().to_bytes(),
+        Snapshot::build(&tree, SepFieldCodec::EliasGamma).to_bytes(),
+        "incremental snapshot diverged from a from-scratch rebuild"
+    );
+}
+
+fn port_of(g: &Graph, node: NodeId, parent: NodeId) -> Port {
+    g.neighbors(node)
+        .find(|nb| nb.node == parent)
+        .expect("parent is a neighbor")
+        .port
+}
+
+/// The committed `BENCH_dynamic.json` schema: experiment id, host
+/// parallelism, and one object per instance size.
+fn series_json(points: &[Point]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"dynamic\",\n");
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n  \"max_weight\": {MAX_W},\n  \"points\": [\n",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"mutations\": {}, \"secs\": {:.4}, \
+             \"muts_per_sec\": {:.1}, \"rebuild_secs\": {:.4}, \"rebuilds_per_sec\": {:.4}, \
+             \"speedup\": {:.1}, \"avg_frontier\": {:.1}, \"noop\": {}, \"weights_only\": {}, \
+             \"tree_swap\": {}, \"reencode\": {}}}{}\n",
+            p.nodes,
+            p.mutations,
+            p.secs,
+            p.muts_per_sec(),
+            p.rebuild_secs,
+            p.rebuilds_per_sec(),
+            p.speedup(),
+            p.frontier_nodes as f64 / p.mutations as f64,
+            p.outcomes[DeltaOutcome::NoOp as usize],
+            p.outcomes[DeltaOutcome::WeightsOnly as usize],
+            p.outcomes[DeltaOutcome::TreeSwap as usize],
+            p.outcomes[DeltaOutcome::Reencode as usize],
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

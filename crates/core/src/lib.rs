@@ -67,8 +67,8 @@ pub use pi_flow::{
     check_flow_conditions, max_st_configuration, FlowParts, MaxStLabel, MaxStScheme,
 };
 pub use pi_gamma::{
-    check_gamma_conditions, encode_pi_gamma, orient_fields, reconstruct_decomposition, GammaParts,
-    Orient, PiGammaLabel, PiGammaScheme, PiGammaState,
+    check_gamma_conditions, encode_pi_gamma, orient_field_of, orient_fields,
+    reconstruct_decomposition, GammaParts, Orient, PiGammaLabel, PiGammaScheme, PiGammaState,
 };
 pub use session::{Mutation, VerifySession};
 pub use span::{check_span, span_labels, SpanCodec, SpanLabel, SpanningTreeScheme};

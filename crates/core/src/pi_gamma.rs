@@ -259,7 +259,10 @@ pub fn orient_fields_parallel(
     })
 }
 
-fn orient_field_of(
+/// Assembles the orientation field of a single node — the unit of work
+/// [`orient_fields`] maps over every node. Public for incremental
+/// relabelers, which reassemble only dirty nodes.
+pub fn orient_field_of(
     lca: &LcaIndex,
     sep: &SeparatorDecomposition,
     v: mstv_graph::NodeId,

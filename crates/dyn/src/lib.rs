@@ -1,0 +1,995 @@
+//! `mstv-dyn`: the incremental relabeling engine.
+//!
+//! The batch pipeline (`kruskal` → `Snapshot::build`) prices every
+//! mutation at a full rebuild: re-sort all edges, re-decompose the tree,
+//! re-assemble and re-encode `n` labels. This crate keeps an *accepted*
+//! labeling live under a mutation stream by exploiting two locality
+//! facts of the `Γ` construction:
+//!
+//! 1. **Separator locality.** A node's label mentions only its own
+//!    centroid-ancestor chain — the `O(log n)` separators above it —
+//!    and per-chain values (`ω` path maxima, `φ` path minima, `δ`
+//!    distances). A mutation therefore dirties exactly the nodes whose
+//!    chain changed or whose path to some chain separator crossed a
+//!    touched edge; everything else is bit-identical by construction.
+//! 2. **One-swap repair.** A single weight change moves the MST by at
+//!    most one edge swap ([`mstv_mst::repair_after_weight_change`]), so
+//!    the set of touched edges per mutation is at most two.
+//!
+//! [`DynMarker::apply`] classifies each mutation into the cheapest
+//! sufficient reaction — [`DeltaOutcome::NoOp`] (non-tree weight moves
+//! that do not flip the sensitivity threshold, detected in `O(1)` by
+//! decoding the stored `MAX` labels of the edge's endpoints),
+//! [`DeltaOutcome::WeightsOnly`], [`DeltaOutcome::TreeSwap`], or
+//! [`DeltaOutcome::Reencode`] when a scheme-wide field width moved —
+//! and emits the [`DeltaRecord`] for the MSTVJRNL journal. The
+//! maintained state is asserted (in this crate's tests and in the
+//! dynamic-serving experiment) to be **bit-identical** to a
+//! from-scratch `kruskal` + `Snapshot::build` after every mutation.
+
+use mstv_graph::{EdgeId, Graph, NodeId, Weight};
+use mstv_labels::{
+    decode_max, dist_label_of, dist_label_of_walk, encode_dist_label, flow_label_of,
+    flow_label_of_walk, max_label_of, max_label_of_walk, BitString, DistLabel, DistOracle,
+    FlowLabel, LabelCodec, MaxLabel, SepFieldCodec,
+};
+use mstv_mst::{kruskal, repair_after_weight_change_in, Repair};
+use mstv_store::{
+    DeltaOutcome, DeltaRecord, DistSection, JournalMutation, LabelDelta, Snapshot, TreeDelta,
+};
+use mstv_trees::{
+    centroid_decomposition, KruskalTree, PathMaxIndex, RootedTree, SeparatorDecomposition,
+};
+
+/// Errors surfaced by [`DynMarker`]; everything else (internal
+/// inconsistency) is a panic, because the marker owns its state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynError {
+    /// The input graph is not connected (no spanning tree exists).
+    Disconnected,
+    /// A mutation named a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        nodes: u32,
+    },
+    /// A mutation named a vertex pair with no edge between them.
+    UnknownEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+}
+
+impl std::fmt::Display for DynError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynError::Disconnected => write!(f, "graph is not connected"),
+            DynError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for {nodes} nodes")
+            }
+            DynError::UnknownEdge { u, v } => write!(f, "no edge between {u} and {v}"),
+        }
+    }
+}
+
+impl std::error::Error for DynError {}
+
+/// The live marker: a graph, its canonical MST, and the full label
+/// stack of the `Γ` schemes over it, maintained under mutations.
+///
+/// "Canonical" means the tree Kruskal's algorithm produces under the
+/// EdgeKey order `(weight, edge id)` — the same tie-break every batch
+/// tool in this workspace uses — so the maintained snapshot can be
+/// compared byte-for-byte against `Snapshot::build` on a fresh
+/// `kruskal` run at any point.
+pub struct DynMarker {
+    graph: Graph,
+    sep_codec: SepFieldCodec,
+    tree_edges: Vec<EdgeId>,
+    in_tree: Vec<bool>,
+    tree: RootedTree,
+    sep: SeparatorDecomposition,
+    parents: Vec<Option<(NodeId, Weight)>>,
+    max_s: Vec<MaxLabel>,
+    flow_s: Vec<FlowLabel>,
+    dist_s: Vec<DistLabel>,
+    /// `dist_max[v] == max(dist_s[v].delta)` — kept current so the
+    /// global `δ` width check is a flat `u64` scan per mutation.
+    dist_max: Vec<u64>,
+    enc_max: Vec<BitString>,
+    enc_flow: Vec<BitString>,
+    enc_dist: Vec<BitString>,
+    max_weight: Weight,
+    omega_bits: u32,
+    delta_bits: u32,
+    seq: u64,
+}
+
+impl DynMarker {
+    /// Builds the marker over `graph`: canonical Kruskal MST, centroid
+    /// decomposition, and the full structured + encoded label stack —
+    /// the same pipeline `Snapshot::build` runs, held open for
+    /// incremental maintenance.
+    ///
+    /// # Errors
+    ///
+    /// [`DynError::Disconnected`] when the graph has no spanning tree.
+    pub fn new(graph: Graph, sep_codec: SepFieldCodec) -> Result<DynMarker, DynError> {
+        if graph.num_nodes() == 0 || !graph.is_connected() {
+            return Err(DynError::Disconnected);
+        }
+        let tree_edges = kruskal(&graph);
+        let mut in_tree = vec![false; graph.num_edges()];
+        for &e in &tree_edges {
+            in_tree[e.index()] = true;
+        }
+        let tree = RootedTree::from_graph_edges(&graph, &tree_edges, NodeId(0))
+            .expect("kruskal returns a spanning tree");
+        let sep = centroid_decomposition(&tree);
+        let mut marker = DynMarker {
+            graph,
+            sep_codec,
+            tree_edges,
+            in_tree,
+            parents: parent_entries(&tree),
+            tree,
+            sep,
+            max_s: Vec::new(),
+            flow_s: Vec::new(),
+            dist_s: Vec::new(),
+            dist_max: Vec::new(),
+            enc_max: Vec::new(),
+            enc_flow: Vec::new(),
+            enc_dist: Vec::new(),
+            max_weight: Weight(1),
+            omega_bits: 1,
+            delta_bits: 1,
+            seq: 0,
+        };
+        marker.rebuild_all_labels();
+        Ok(marker)
+    }
+
+    /// The graph under mutation.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The canonical MST edge set (unordered).
+    pub fn tree_edges(&self) -> &[EdgeId] {
+        &self.tree_edges
+    }
+
+    /// The maintained rooted tree.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// The maintained centroid decomposition.
+    pub fn decomposition(&self) -> &SeparatorDecomposition {
+        &self.sep
+    }
+
+    /// The structured `MAX` label of `v` (what `π_mst` carries as `γ`).
+    pub fn max_label(&self, v: NodeId) -> &MaxLabel {
+        &self.max_s[v.index()]
+    }
+
+    /// Mutations applied so far (the next record's `seq`, minus one).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Snapshot of the current state, built from the maintained parts —
+    /// byte-identical to `Snapshot::build` on a fresh canonical rebuild
+    /// of the mutated graph.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_parts(
+            self.tree.root(),
+            self.max_weight,
+            LabelCodec {
+                sep_codec: self.sep_codec,
+                omega_bits: self.omega_bits,
+            },
+            self.parents.clone(),
+            self.enc_max.clone(),
+            self.enc_flow.clone(),
+            Some(DistSection {
+                delta_bits: self.delta_bits,
+                labels: self.enc_dist.clone(),
+            }),
+        )
+    }
+
+    /// Applies one mutation: updates the graph, repairs the MST if the
+    /// sensitivity threshold flipped, relabels exactly the dirty
+    /// centroid subtrees, and returns the journal record describing
+    /// everything that changed.
+    ///
+    /// # Errors
+    ///
+    /// [`DynError::NodeOutOfRange`] / [`DynError::UnknownEdge`] for
+    /// mutations naming nonexistent endpoints; the state is unmodified
+    /// on error.
+    pub fn apply(&mut self, mutation: JournalMutation) -> Result<DeltaRecord, DynError> {
+        let steps = match mutation {
+            JournalMutation::SetWeight { u, v, w } => {
+                vec![(self.resolve_edge(u, v)?, Weight(w))]
+            }
+            JournalMutation::SwapWeights { u1, v1, u2, v2 } => {
+                let e1 = self.resolve_edge(u1, v1)?;
+                let e2 = self.resolve_edge(u2, v2)?;
+                vec![(e1, self.graph.weight(e2)), (e2, self.graph.weight(e1))]
+            }
+        };
+        Ok(self.apply_steps(mutation, &steps))
+    }
+
+    fn resolve_edge(&self, u: u32, v: u32) -> Result<EdgeId, DynError> {
+        let nodes = self.graph.num_nodes() as u32;
+        for node in [u, v] {
+            if node >= nodes {
+                return Err(DynError::NodeOutOfRange { node, nodes });
+            }
+        }
+        self.graph
+            .edge_between(NodeId(u), NodeId(v))
+            .ok_or(DynError::UnknownEdge { u, v })
+    }
+
+    fn apply_steps(
+        &mut self,
+        mutation: JournalMutation,
+        steps: &[(EdgeId, Weight)],
+    ) -> DeltaRecord {
+        let n = self.graph.num_nodes();
+        if steps.iter().all(|&(e, w)| self.graph.weight(e) == w) {
+            return self.finish_record(
+                mutation,
+                DeltaOutcome::NoOp,
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+            );
+        }
+        // Old-side context, needed for crossing tests after a swap. The
+        // old tree itself stays untouched in `self.tree` until commit;
+        // only the membership vector is mutated in place by the repair.
+        let old_in_tree = self.in_tree.clone();
+
+        // Phase 1: mutate weights and repair the tree, one step at a
+        // time. `touched` collects tree edges whose weight changed
+        // without evicting them; removed/added are the repair swaps.
+        let single = steps.len() == 1;
+        let mut touched: Vec<EdgeId> = Vec::new();
+        let mut removed_edges: Vec<EdgeId> = Vec::new();
+        let mut added_edges: Vec<EdgeId> = Vec::new();
+        // Repairs run against the maintained tree; after a swap within
+        // a multi-step mutation, later steps need the intermediate
+        // topology, so it is rebuilt here (cheap membership BFS) while
+        // `self.tree` keeps the pre-mutation view for phase 3. The
+        // repair reads weights from the graph, never from the tree, so
+        // stale cached weights in either tree are harmless — but phase 2
+        // reuses `mid_tree` as the final tree only while `mid_valid`
+        // says no later step re-priced a tree edge behind its back.
+        let mut mid_tree: Option<RootedTree> = None;
+        let mut mid_valid = false;
+        for &(e, w) in steps {
+            if self.graph.weight(e) == w {
+                continue;
+            }
+            if single && !self.in_tree[e.index()] {
+                // O(1) sensitivity test straight off the maintained MAX
+                // labels: a non-tree edge strictly heavier than the path
+                // maximum between its endpoints cannot enter the tree
+                // under the (weight, id) EdgeKey order, so nothing — not
+                // even a width — depends on its weight. (A tie needs the
+                // full repair: the incumbent's edge id decides.)
+                // Only valid while no earlier step dirtied the labels,
+                // hence the `single` guard.
+                let ed = self.graph.edge(e);
+                let path_max = decode_max(&self.max_s[ed.u.index()], &self.max_s[ed.v.index()]);
+                if w > path_max {
+                    self.graph.set_weight(e, w);
+                    continue;
+                }
+            }
+            self.graph.set_weight(e, w);
+            let was_tree = self.in_tree[e.index()];
+            let cur_tree = mid_tree.as_ref().unwrap_or(&self.tree);
+            match repair_after_weight_change_in(
+                &self.graph,
+                cur_tree,
+                &self.in_tree,
+                &mut self.tree_edges,
+                e,
+            ) {
+                Repair::Unchanged => {
+                    if was_tree {
+                        touched.push(e);
+                        mid_valid = false;
+                    }
+                }
+                Repair::Swapped { removed, added } => {
+                    self.in_tree[removed.index()] = false;
+                    self.in_tree[added.index()] = true;
+                    removed_edges.push(removed);
+                    added_edges.push(added);
+                    mid_tree = Some(
+                        RootedTree::from_tree_membership(&self.graph, &self.in_tree, NodeId(0))
+                            .expect("repair preserves the spanning tree"),
+                    );
+                    mid_valid = true;
+                }
+            }
+        }
+        let topo_changed = !removed_edges.is_empty();
+        if !topo_changed && touched.is_empty() {
+            // Only harmless non-tree weights moved: labels and widths
+            // depend on tree edges alone.
+            return self.finish_record(
+                mutation,
+                DeltaOutcome::NoOp,
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+            );
+        }
+
+        // Phase 2: rebuild the structural state that actually moved. A
+        // swap takes the tree phase 1 already rebuilt (or rebuilds it if
+        // a later step re-priced a tree edge) and re-decomposes — the
+        // decomposition reads structure only, so weights-only mutations
+        // keep `self.sep` untouched and just re-price the cached parent
+        // weights in place (membership, depths, and order are all
+        // unchanged).
+        let new_tree_owned: Option<RootedTree> = if topo_changed {
+            if mid_valid {
+                mid_tree
+            } else {
+                Some(
+                    RootedTree::from_tree_membership(&self.graph, &self.in_tree, NodeId(0))
+                        .expect("repair preserves the spanning tree"),
+                )
+            }
+        } else {
+            for &e in &touched {
+                let ed = self.graph.edge(e);
+                let child = if self.tree.parent(ed.u) == Some(ed.v) {
+                    ed.u
+                } else {
+                    ed.v
+                };
+                self.tree.set_parent_weight(child, ed.w);
+            }
+            None
+        };
+        let new_tree: &RootedTree = new_tree_owned.as_ref().unwrap_or(&self.tree);
+        let new_sep_owned = if topo_changed {
+            Some(centroid_decomposition(new_tree))
+        } else {
+            None
+        };
+        let new_sep: &SeparatorDecomposition = new_sep_owned.as_ref().unwrap_or(&self.sep);
+
+        // Phase 3: the dirty set. A node's label changes only if its
+        // separator chain changed, or the tree path from it to some
+        // chain separator gained/lost/re-weighted an edge. Paths are
+        // unique, so a path differs between the old and new tree only
+        // if it crossed a removed edge (old side) or an added edge (new
+        // side); same-path value changes need a touched edge on the
+        // path. Each test is a subtree-membership parity check against
+        // the chain.
+        let mut dirty = vec![false; n];
+        if topo_changed {
+            mark_changed_chains(&self.sep, new_sep, &mut dirty);
+            for &e in removed_edges.iter().chain(&touched) {
+                if old_in_tree[e.index()] {
+                    let memb = subtree_membership(&self.tree, &self.graph, e);
+                    mark_crossing(&mut dirty, &self.sep, &memb);
+                }
+            }
+        }
+        for &e in added_edges.iter().chain(&touched) {
+            if self.in_tree[e.index()] {
+                let memb = subtree_membership(new_tree, &self.graph, e);
+                mark_crossing(&mut dirty, new_sep, &memb);
+            }
+        }
+
+        // Phase 4: re-assemble structured labels for dirty nodes only,
+        // through the same per-node assemblers the batch builder maps
+        // over every node — bit-identity by construction. Small dirty
+        // sets use the zero-preprocessing path-walk assemblers (exact
+        // same outputs, O(depth) per chain entry); only a dirty set big
+        // enough to amortize them pays the O(n log n) oracle builds.
+        let ndirty = dirty.iter().filter(|d| **d).count();
+        if ndirty.saturating_mul(16) <= n.max(16_384) {
+            for (v, _) in dirty.iter().enumerate().filter(|(_, d)| **d) {
+                let vv = NodeId(v as u32);
+                self.max_s[v] = max_label_of_walk(new_tree, new_sep, vv);
+                self.flow_s[v] = flow_label_of_walk(new_tree, new_sep, vv);
+                self.dist_s[v] = dist_label_of_walk(new_tree, new_sep, vv);
+            }
+        } else {
+            let kt = KruskalTree::new(new_tree);
+            let pmi = PathMaxIndex::new(new_tree);
+            let oracle = DistOracle::new(new_tree, new_sep);
+            for (v, _) in dirty.iter().enumerate().filter(|(_, d)| **d) {
+                let vv = NodeId(v as u32);
+                self.max_s[v] = max_label_of(&kt, new_sep, vv);
+                self.flow_s[v] = flow_label_of(&pmi, new_sep, vv);
+                self.dist_s[v] = dist_label_of(&oracle, new_sep, vv);
+            }
+        }
+        for (v, _) in dirty.iter().enumerate().filter(|(_, d)| **d) {
+            self.dist_max[v] = self.dist_s[v].delta.iter().copied().max().unwrap_or(0);
+        }
+
+        // Phase 5: scheme widths. `ω` width follows the max tree-edge
+        // weight, `δ` width the global max distance field; if either
+        // moved, every encoded label is re-encoded (assembly above was
+        // still incremental).
+        let new_max_weight = new_tree
+            .edges()
+            .map(|(_, _, w)| w)
+            .max()
+            .unwrap_or(Weight(1));
+        let new_omega_bits = new_max_weight.bit_width();
+        // `dist_max` mirrors `max(dist_s[v].delta)` per node (updated in
+        // phase 4), so the global maximum is a flat scan, not a walk
+        // through every label's field vector.
+        let max_delta = self.dist_max.iter().copied().max().unwrap_or(0);
+        let new_delta_bits = Weight(max_delta).bit_width();
+        let widths_changed = new_omega_bits != self.omega_bits || new_delta_bits != self.delta_bits;
+        let outcome = if widths_changed {
+            DeltaOutcome::Reencode
+        } else if topo_changed {
+            DeltaOutcome::TreeSwap
+        } else {
+            DeltaOutcome::WeightsOnly
+        };
+
+        // Phase 6: re-encode and emit only the rows whose bits moved.
+        let codec = LabelCodec {
+            sep_codec: self.sep_codec,
+            omega_bits: new_omega_bits,
+        };
+        let mut max_d = Vec::new();
+        let mut flow_d = Vec::new();
+        let mut dist_d = Vec::new();
+        for (v, &is_dirty) in dirty.iter().enumerate() {
+            if !widths_changed && !is_dirty {
+                continue;
+            }
+            let node = v as u32;
+            push_if_changed(
+                &mut self.enc_max,
+                v,
+                codec.encode_max(&self.max_s[v]),
+                node,
+                &mut max_d,
+            );
+            push_if_changed(
+                &mut self.enc_flow,
+                v,
+                codec.encode_flow(&self.flow_s[v]),
+                node,
+                &mut flow_d,
+            );
+            push_if_changed(
+                &mut self.enc_dist,
+                v,
+                encode_dist_label(&self.dist_s[v], self.sep_codec, new_delta_bits),
+                node,
+                &mut dist_d,
+            );
+        }
+
+        // Phase 7: tree-row deltas, then commit the new state. A swap
+        // can move any parent pointer in the re-hung subtree, so it
+        // diffs the full parent table; weights-only mutations can only
+        // have re-priced the touched edges' child rows, visited in
+        // ascending node order (and deduplicated) so the emitted deltas
+        // match the full diff row for row.
+        let tree_d: Vec<TreeDelta> = if topo_changed {
+            let new_parents = parent_entries(new_tree);
+            let d = self
+                .parents
+                .iter()
+                .zip(&new_parents)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(v, (_, b))| TreeDelta {
+                    node: v as u32,
+                    parent: b.map(|(p, w)| (p.0, w.0)),
+                })
+                .collect();
+            self.parents = new_parents;
+            d
+        } else {
+            let mut children: Vec<NodeId> = touched
+                .iter()
+                .map(|&e| {
+                    let ed = self.graph.edge(e);
+                    if new_tree.parent(ed.u) == Some(ed.v) {
+                        ed.u
+                    } else {
+                        ed.v
+                    }
+                })
+                .collect();
+            children.sort_unstable();
+            children.dedup();
+            let mut d = Vec::new();
+            for c in children {
+                let entry = Some((
+                    new_tree.parent(c).expect("touched edges are parent links"),
+                    new_tree.parent_weight(c),
+                ));
+                if self.parents[c.index()] != entry {
+                    self.parents[c.index()] = entry;
+                    d.push(TreeDelta {
+                        node: c.0,
+                        parent: entry.map(|(p, w)| (p.0, w.0)),
+                    });
+                }
+            }
+            d
+        };
+        if let Some(t) = new_tree_owned {
+            self.tree = t;
+        }
+        if let Some(s) = new_sep_owned {
+            self.sep = s;
+        }
+        self.max_weight = new_max_weight;
+        self.omega_bits = new_omega_bits;
+        self.delta_bits = new_delta_bits;
+        self.finish_record(mutation, outcome, tree_d, max_d, flow_d, dist_d)
+    }
+
+    fn finish_record(
+        &mut self,
+        mutation: JournalMutation,
+        outcome: DeltaOutcome,
+        tree: Vec<TreeDelta>,
+        max: Vec<LabelDelta>,
+        flow: Vec<LabelDelta>,
+        dist: Vec<LabelDelta>,
+    ) -> DeltaRecord {
+        self.seq += 1;
+        DeltaRecord {
+            seq: self.seq,
+            mutation,
+            outcome,
+            new_max_weight: self.max_weight,
+            new_omega_bits: self.omega_bits,
+            new_delta_bits: self.delta_bits,
+            tree,
+            max,
+            flow,
+            dist,
+        }
+    }
+
+    /// Full batch (re)build of structured and encoded labels — the
+    /// constructor's path, also reusable as a hard reset.
+    fn rebuild_all_labels(&mut self) {
+        let kt = KruskalTree::new(&self.tree);
+        let pmi = PathMaxIndex::new(&self.tree);
+        let oracle = DistOracle::new(&self.tree, &self.sep);
+        self.max_s = self
+            .tree
+            .nodes()
+            .map(|v| max_label_of(&kt, &self.sep, v))
+            .collect();
+        self.flow_s = self
+            .tree
+            .nodes()
+            .map(|v| flow_label_of(&pmi, &self.sep, v))
+            .collect();
+        self.dist_s = self
+            .tree
+            .nodes()
+            .map(|v| dist_label_of(&oracle, &self.sep, v))
+            .collect();
+        self.dist_max = self
+            .dist_s
+            .iter()
+            .map(|l| l.delta.iter().copied().max().unwrap_or(0))
+            .collect();
+        self.max_weight = self
+            .tree
+            .edges()
+            .map(|(_, _, w)| w)
+            .max()
+            .unwrap_or(Weight(1));
+        self.omega_bits = self.max_weight.bit_width();
+        let max_delta = self
+            .dist_s
+            .iter()
+            .flat_map(|l| l.delta.iter().copied())
+            .max()
+            .unwrap_or(0);
+        self.delta_bits = Weight(max_delta).bit_width();
+        let codec = LabelCodec {
+            sep_codec: self.sep_codec,
+            omega_bits: self.omega_bits,
+        };
+        self.enc_max = self.max_s.iter().map(|l| codec.encode_max(l)).collect();
+        self.enc_flow = self.flow_s.iter().map(|l| codec.encode_flow(l)).collect();
+        self.enc_dist = self
+            .dist_s
+            .iter()
+            .map(|l| encode_dist_label(l, self.sep_codec, self.delta_bits))
+            .collect();
+    }
+}
+
+fn parent_entries(tree: &RootedTree) -> Vec<Option<(NodeId, Weight)>> {
+    tree.nodes()
+        .map(|v| tree.parent(v).map(|p| (p, tree.parent_weight(v))))
+        .collect()
+}
+
+/// Marks dirty every node whose separator-ancestor chain (including the
+/// child ranks its label fields encode) differs between the two
+/// decompositions. A node's chain is its own `(sep_parent, child_rank)`
+/// step followed by its separator parent's chain, so verdicts are shared
+/// along chains: each node is classified once and every climb stops at
+/// the first already-classified ancestor — `O(n)` amortized instead of
+/// `O(n log n)` independent walks.
+fn mark_changed_chains(a: &SeparatorDecomposition, b: &SeparatorDecomposition, dirty: &mut [bool]) {
+    const UNKNOWN: u8 = 0;
+    const EQUAL: u8 = 1;
+    const CHANGED: u8 = 2;
+    let mut state = vec![UNKNOWN; dirty.len()];
+    let mut chain: Vec<NodeId> = Vec::new();
+    for v0 in 0..dirty.len() {
+        let mut cur = NodeId(v0 as u32);
+        let verdict = loop {
+            if state[cur.index()] != UNKNOWN {
+                break state[cur.index()];
+            }
+            chain.push(cur);
+            match (a.sep_parent(cur), b.sep_parent(cur)) {
+                (None, None) => break EQUAL,
+                (Some(pa), Some(pb)) if pa == pb && a.child_rank(cur) == b.child_rank(cur) => {
+                    cur = pb;
+                }
+                _ => break CHANGED,
+            }
+        };
+        for c in chain.drain(..) {
+            state[c.index()] = verdict;
+        }
+        if state[v0] == CHANGED {
+            dirty[v0] = true;
+        }
+    }
+}
+
+/// `true` for nodes in the subtree hanging below tree edge `e` (on the
+/// child endpoint's side).
+fn subtree_membership(tree: &RootedTree, graph: &Graph, e: EdgeId) -> Vec<bool> {
+    let ed = graph.edge(e);
+    let child = if tree.parent(ed.u) == Some(ed.v) {
+        ed.u
+    } else {
+        debug_assert_eq!(tree.parent(ed.v), Some(ed.u), "edge not in tree");
+        ed.v
+    };
+    let mut inside = vec![false; tree.num_nodes()];
+    let mut stack = vec![child];
+    inside[child.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &c in tree.children(v) {
+            inside[c.index()] = true;
+            stack.push(c);
+        }
+    }
+    inside
+}
+
+/// Marks dirty every node whose path to some separator ancestor crosses
+/// the membership boundary (`memb[v] != memb[s]` for some chain node
+/// `s`) — exactly the nodes with a `ω`/`φ`/`δ` field over that edge.
+fn mark_crossing(dirty: &mut [bool], sep: &SeparatorDecomposition, memb: &[bool]) {
+    for (v, d) in dirty.iter_mut().enumerate() {
+        if *d {
+            continue;
+        }
+        let mv = memb[v];
+        let mut cur = sep.sep_parent(NodeId(v as u32));
+        while let Some(s) = cur {
+            if memb[s.index()] != mv {
+                *d = true;
+                break;
+            }
+            cur = sep.sep_parent(s);
+        }
+    }
+}
+
+fn push_if_changed(
+    enc: &mut [BitString],
+    v: usize,
+    new_bits: BitString,
+    node: u32,
+    out: &mut Vec<LabelDelta>,
+) {
+    if enc[v] != new_bits {
+        enc[v] = new_bits.clone();
+        out.push(LabelDelta {
+            node,
+            bits: new_bits,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstv_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The from-scratch pipeline every incremental state must match
+    /// byte-for-byte: canonical Kruskal, root 0, batch snapshot build.
+    fn reference_snapshot(g: &Graph, sep_codec: SepFieldCodec) -> Snapshot {
+        let mst = kruskal(g);
+        let tree = RootedTree::from_graph_edges(g, &mst, NodeId(0)).unwrap();
+        Snapshot::build(&tree, sep_codec)
+    }
+
+    fn canon(mut edges: Vec<EdgeId>) -> Vec<EdgeId> {
+        edges.sort_unstable();
+        edges
+    }
+
+    fn assert_in_sync(marker: &DynMarker, context: &str) {
+        assert_eq!(
+            canon(marker.tree_edges().to_vec()),
+            canon(kruskal(marker.graph())),
+            "{context}: maintained tree drifted from canonical Kruskal"
+        );
+        let incremental = marker.snapshot().to_bytes();
+        let rebuilt = reference_snapshot(marker.graph(), SepFieldCodec::EliasGamma).to_bytes();
+        assert_eq!(
+            incremental, rebuilt,
+            "{context}: incremental snapshot not bit-identical to full rebuild"
+        );
+    }
+
+    fn random_marker(n: usize, extra: usize, max_w: u64, seed: u64) -> (DynMarker, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_connected(n, extra, gen::WeightDist::Uniform { max: max_w }, &mut rng);
+        let marker = DynMarker::new(g, SepFieldCodec::EliasGamma).unwrap();
+        (marker, rng)
+    }
+
+    fn random_mutation(g: &Graph, max_w: u64, rng: &mut StdRng) -> JournalMutation {
+        if rng.gen_range(0..4) == 0 {
+            let a = g.edge(EdgeId(rng.gen_range(0..g.num_edges() as u32)));
+            let b = g.edge(EdgeId(rng.gen_range(0..g.num_edges() as u32)));
+            JournalMutation::SwapWeights {
+                u1: a.u.0,
+                v1: a.v.0,
+                u2: b.u.0,
+                v2: b.v.0,
+            }
+        } else {
+            let e = g.edge(EdgeId(rng.gen_range(0..g.num_edges() as u32)));
+            JournalMutation::SetWeight {
+                u: e.u.0,
+                v: e.v.0,
+                w: rng.gen_range(1..=max_w),
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_marker_matches_batch_build() {
+        for seed in 0..4 {
+            let (marker, _) = random_marker(48, 70, 900, seed);
+            assert_in_sync(&marker, "fresh");
+        }
+    }
+
+    #[test]
+    fn every_mutation_stays_bit_identical_to_rebuild() {
+        for seed in 0..6 {
+            let max_w = if seed % 2 == 0 { 500 } else { 6 }; // odd seeds: dense ties
+            let (mut marker, mut rng) = random_marker(40, 60, max_w, 100 + seed);
+            for step in 0..60 {
+                let m = random_mutation(marker.graph(), max_w, &mut rng);
+                let record = marker.apply(m).unwrap();
+                assert_eq!(record.seq, step + 1);
+                assert_in_sync(&marker, &format!("seed {seed} step {step} ({m:?})"));
+            }
+        }
+    }
+
+    #[test]
+    fn journal_compaction_lands_on_the_live_state() {
+        let (mut marker, mut rng) = random_marker(32, 48, 300, 7);
+        let base = marker.snapshot();
+        let mut journal = mstv_store::Journal::new(&base);
+        for _ in 0..40 {
+            let m = random_mutation(marker.graph(), 300, &mut rng);
+            journal.append(marker.apply(m).unwrap());
+        }
+        // The journal round-trips and folds back into exactly the
+        // marker's current snapshot.
+        let journal = mstv_store::Journal::from_bytes(&journal.to_bytes()).unwrap();
+        let compacted = journal.compact(&base).unwrap();
+        assert_eq!(compacted.to_bytes(), marker.snapshot().to_bytes());
+    }
+
+    #[test]
+    fn non_tree_raise_is_an_o1_noop() {
+        let (mut marker, _) = random_marker(30, 45, 100, 9);
+        // Find a non-tree edge and push it strictly above everything.
+        let e = marker
+            .graph()
+            .edge_ids()
+            .find(|e| !marker.in_tree[e.index()])
+            .expect("45 extra edges guarantee a chord");
+        let ed = marker.graph().edge(e);
+        let record = marker
+            .apply(JournalMutation::SetWeight {
+                u: ed.u.0,
+                v: ed.v.0,
+                w: 10_000,
+            })
+            .unwrap();
+        assert_eq!(record.outcome, DeltaOutcome::NoOp);
+        assert!(record.tree.is_empty());
+        assert!(record.dirty_nodes().is_empty());
+        assert_in_sync(&marker, "non-tree raise");
+        // Lowering it below the path maximum must flip the tree.
+        let record = marker
+            .apply(JournalMutation::SetWeight {
+                u: ed.u.0,
+                v: ed.v.0,
+                w: 1,
+            })
+            .unwrap();
+        assert!(
+            matches!(
+                record.outcome,
+                DeltaOutcome::TreeSwap | DeltaOutcome::Reencode
+            ),
+            "undercutting the tree path must swap, got {:?}",
+            record.outcome
+        );
+        assert_in_sync(&marker, "non-tree undercut");
+    }
+
+    #[test]
+    fn width_growth_forces_a_reencode_record() {
+        // A tree with NO chords (extra = 0): every edge raise stays in
+        // the tree. All weights in 1..=7 (omega_bits = 3); pushing a
+        // tree edge to 200 widens ω to 8 bits — every label must be
+        // re-encoded and the record must say so.
+        let (mut marker, _) = random_marker(24, 0, 7, 11);
+        let e = marker.tree_edges()[0];
+        let ed = marker.graph().edge(e);
+        let record = marker
+            .apply(JournalMutation::SetWeight {
+                u: ed.u.0,
+                v: ed.v.0,
+                w: 200,
+            })
+            .unwrap();
+        assert_eq!(record.outcome, DeltaOutcome::Reencode);
+        assert_eq!(record.new_omega_bits, 8);
+        assert_eq!(record.max.len(), 24, "ω fields widen in every MAX label");
+        assert_in_sync(&marker, "width growth");
+        // And shrinking back down re-encodes again.
+        let record = marker
+            .apply(JournalMutation::SetWeight {
+                u: ed.u.0,
+                v: ed.v.0,
+                w: 1,
+            })
+            .unwrap();
+        assert_eq!(record.outcome, DeltaOutcome::Reencode);
+        assert_in_sync(&marker, "width shrink");
+    }
+
+    #[test]
+    fn weights_only_touches_a_strict_subset() {
+        // A tree-edge reweight deep in the tree (no width move, no swap)
+        // must dirty only the labels whose chain paths cross it.
+        let (mut marker, mut rng) = random_marker(64, 96, 1 << 20, 13);
+        let mut saw_proper_subset = false;
+        for _ in 0..40 {
+            let e = marker.tree_edges()[rng.gen_range(0..marker.tree_edges().len())];
+            let ed = marker.graph().edge(e);
+            let record = marker
+                .apply(JournalMutation::SetWeight {
+                    u: ed.u.0,
+                    v: ed.v.0,
+                    w: rng.gen_range((1 << 19)..(1 << 20)),
+                })
+                .unwrap();
+            assert_in_sync(&marker, "weights-only stream");
+            if record.outcome == DeltaOutcome::WeightsOnly
+                && !record.dirty_nodes().is_empty()
+                && record.dirty_nodes().len() < 64
+            {
+                saw_proper_subset = true;
+            }
+        }
+        assert!(
+            saw_proper_subset,
+            "expected at least one weights-only mutation relabeling a proper subset"
+        );
+    }
+
+    #[test]
+    fn swap_weights_applies_atomically() {
+        let (mut marker, _) = random_marker(20, 30, 400, 17);
+        let e1 = marker.tree_edges()[0];
+        let e2 = marker
+            .graph()
+            .edge_ids()
+            .find(|e| !marker.in_tree[e.index()])
+            .unwrap();
+        let (a, b) = (marker.graph().edge(e1), marker.graph().edge(e2));
+        let (w1, w2) = (marker.graph().weight(e1), marker.graph().weight(e2));
+        marker
+            .apply(JournalMutation::SwapWeights {
+                u1: a.u.0,
+                v1: a.v.0,
+                u2: b.u.0,
+                v2: b.v.0,
+            })
+            .unwrap();
+        assert_eq!(marker.graph().weight(e1), w2);
+        assert_eq!(marker.graph().weight(e2), w1);
+        assert_in_sync(&marker, "swap weights");
+    }
+
+    #[test]
+    fn bad_mutations_leave_state_untouched() {
+        let (mut marker, _) = random_marker(16, 20, 100, 21);
+        let before = marker.snapshot().to_bytes();
+        assert_eq!(
+            marker.apply(JournalMutation::SetWeight { u: 0, v: 99, w: 5 }),
+            Err(DynError::NodeOutOfRange {
+                node: 99,
+                nodes: 16
+            })
+        );
+        // A vertex pair with no edge: complete graphs are tiny, so find
+        // an absent pair by scanning.
+        let missing = (0..16u32)
+            .flat_map(|u| (0..16u32).map(move |v| (u, v)))
+            .find(|&(u, v)| u != v && marker.graph().edge_between(NodeId(u), NodeId(v)).is_none());
+        if let Some((u, v)) = missing {
+            assert_eq!(
+                marker.apply(JournalMutation::SetWeight { u, v, w: 5 }),
+                Err(DynError::UnknownEdge { u, v })
+            );
+        }
+        assert_eq!(marker.seq(), 0);
+        assert_eq!(marker.snapshot().to_bytes(), before);
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected() {
+        let g = Graph::new(3); // no edges at all
+        assert_eq!(
+            DynMarker::new(g, SepFieldCodec::EliasGamma).err(),
+            Some(DynError::Disconnected)
+        );
+    }
+}

@@ -65,14 +65,21 @@ pub fn dist_labels_parallel(
 }
 
 /// Weighted depth from the root lets dist(u, v) be computed through
-/// the LCA in O(1) per (vertex, separator) pair.
-struct DistOracle {
+/// the LCA in O(1) per (vertex, separator) pair. Public so incremental
+/// relabelers can build it once and assemble only dirty labels through
+/// [`dist_label_of`].
+pub struct DistOracle {
     lca: LcaIndex,
     wdepth: Vec<u64>,
 }
 
 impl DistOracle {
-    fn new(tree: &RootedTree, sep: &SeparatorDecomposition) -> Self {
+    /// Builds the oracle for `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sep` does not match `tree` (mismatched node counts).
+    pub fn new(tree: &RootedTree, sep: &SeparatorDecomposition) -> Self {
         assert_eq!(
             tree.num_nodes(),
             sep.num_nodes(),
@@ -94,7 +101,10 @@ impl DistOracle {
     }
 }
 
-fn dist_label_of(oracle: &DistOracle, sep: &SeparatorDecomposition, v: NodeId) -> DistLabel {
+/// Assembles the distance label of a single vertex — the unit of work
+/// [`dist_labels`] maps over every node. Public for incremental
+/// relabelers, which rebuild only dirty nodes.
+pub fn dist_label_of(oracle: &DistOracle, sep: &SeparatorDecomposition, v: NodeId) -> DistLabel {
     let chain = sep.ancestors(v);
     let mut fields = Vec::with_capacity(chain.len());
     fields.push(0u64);
@@ -103,6 +113,53 @@ fn dist_label_of(oracle: &DistOracle, sep: &SeparatorDecomposition, v: NodeId) -
     }
     let delta = chain.iter().map(|&a| oracle.dist(v, a)).collect();
     DistLabel { sep: fields, delta }
+}
+
+/// [`dist_label_of`] computed by direct path walks instead of a prebuilt
+/// LCA + weighted-depth oracle: the summed edge weight of the walked path
+/// *is* the tree distance, so the output is identical, with zero
+/// preprocessing. For incremental relabelers with small dirty sets.
+pub fn dist_label_of_walk(tree: &RootedTree, sep: &SeparatorDecomposition, v: NodeId) -> DistLabel {
+    let chain = sep.ancestors(v);
+    let mut fields = Vec::with_capacity(chain.len());
+    fields.push(0u64);
+    for &a in &chain[1..] {
+        fields.push(u64::from(sep.child_rank(a)));
+    }
+    let delta = chain
+        .iter()
+        .map(|&a| tree.path_stats_naive(v, a).2)
+        .collect();
+    DistLabel { sep: fields, delta }
+}
+
+/// Serializes one distance label exactly as [`ImplicitDistScheme`] (and
+/// the snapshot container on top of it) writes them: `gamma(l)`, the
+/// `l − 1` non-constant separator fields under `sep_codec`, then `l`
+/// fixed-width `δ` fields. `delta_bits` is the scheme-wide width (the
+/// bit width of the global maximum `δ`), carried separately because
+/// distances are bounded by `n·W`, not `W`.
+///
+/// # Panics
+///
+/// Panics if a separator field overflows a fixed-width codec.
+pub fn encode_dist_label(
+    label: &DistLabel,
+    sep_codec: SepFieldCodec,
+    delta_bits: u32,
+) -> BitString {
+    let mut out = BitString::new();
+    out.push_elias_gamma(label.level() as u64);
+    for &f in &label.sep[1..] {
+        match sep_codec {
+            SepFieldCodec::EliasGamma => out.push_elias_gamma(f + 1),
+            SepFieldCodec::FixedWidth { bits } => out.push_bits(f, bits),
+        }
+    }
+    for &d in &label.delta {
+        out.push_bits(d, delta_bits);
+    }
+    out
 }
 
 /// The distance decoder: exact `dist(u, v)` from the two labels.
@@ -188,22 +245,11 @@ impl ImplicitDistScheme {
             .max()
             .unwrap_or(0);
         let delta_bits = Weight(max_delta).bit_width();
-        let encode_one = |l: &DistLabel| {
-            let mut out = BitString::new();
-            out.push_elias_gamma(l.level() as u64);
-            for &f in &l.sep[1..] {
-                match sep_codec {
-                    SepFieldCodec::EliasGamma => out.push_elias_gamma(f + 1),
-                    SepFieldCodec::FixedWidth { bits } => out.push_bits(f, bits),
-                }
-            }
-            for &d in &l.delta {
-                out.push_bits(d, delta_bits);
-            }
-            out
-        };
         let encoded = mstv_trees::par_map_chunks(labels.len(), threads, |lo, hi| {
-            labels[lo..hi].iter().map(encode_one).collect()
+            labels[lo..hi]
+                .iter()
+                .map(|l| encode_dist_label(l, sep_codec, delta_bits))
+                .collect()
         });
         ImplicitDistScheme {
             sep_codec,
@@ -271,6 +317,18 @@ mod tests {
             }
         }
         d
+    }
+
+    #[test]
+    fn walk_assembler_identical_to_oracle_assembler() {
+        for (n, seed) in [(2usize, 70u64), (17, 71), (120, 72)] {
+            let t = tree_of(n, 300, seed);
+            let d = centroid_decomposition(&t);
+            let oracle = DistOracle::new(&t, &d);
+            for v in t.nodes() {
+                assert_eq!(dist_label_of(&oracle, &d, v), dist_label_of_walk(&t, &d, v));
+            }
+        }
     }
 
     #[test]

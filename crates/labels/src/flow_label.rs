@@ -66,7 +66,10 @@ pub fn flow_labels_parallel(
     })
 }
 
-fn flow_label_of(idx: &PathMaxIndex, sep: &SeparatorDecomposition, v: NodeId) -> FlowLabel {
+/// Assembles the `FLOW` label of a single vertex from a prebuilt lifting
+/// index — the unit of work [`flow_labels`] maps over every node. Public
+/// for incremental relabelers, which rebuild only dirty nodes.
+pub fn flow_label_of(idx: &PathMaxIndex, sep: &SeparatorDecomposition, v: NodeId) -> FlowLabel {
     let chain = sep.ancestors(v);
     let mut fields = Vec::with_capacity(chain.len());
     fields.push(0u64);
@@ -74,6 +77,24 @@ fn flow_label_of(idx: &PathMaxIndex, sep: &SeparatorDecomposition, v: NodeId) ->
         fields.push(u64::from(sep.child_rank(a)));
     }
     let phi = chain.iter().map(|&a| idx.min_on_path(v, a)).collect();
+    FlowLabel { sep: fields, phi }
+}
+
+/// [`flow_label_of`] computed by direct path walks instead of a prebuilt
+/// lifting index: O(depth) per chain entry, zero preprocessing, identical
+/// output (same empty-path convention `Weight(u64::MAX)` at the node's
+/// own separator). For incremental relabelers with small dirty sets.
+pub fn flow_label_of_walk(tree: &RootedTree, sep: &SeparatorDecomposition, v: NodeId) -> FlowLabel {
+    let chain = sep.ancestors(v);
+    let mut fields = Vec::with_capacity(chain.len());
+    fields.push(0u64);
+    for &a in &chain[1..] {
+        fields.push(u64::from(sep.child_rank(a)));
+    }
+    let phi = chain
+        .iter()
+        .map(|&a| tree.min_on_path_naive(v, a))
+        .collect();
     FlowLabel { sep: fields, phi }
 }
 
@@ -144,6 +165,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = gen::random_tree(n, gen::WeightDist::Uniform { max: max_w }, &mut rng);
         RootedTree::from_graph(&g, NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn walk_assembler_identical_to_index_assembler() {
+        for (n, seed) in [(2usize, 60u64), (17, 61), (120, 62)] {
+            let t = tree_of(n, 300, seed);
+            let d = centroid_decomposition(&t);
+            let idx = PathMaxIndex::new(&t);
+            for v in t.nodes() {
+                assert_eq!(flow_label_of(&idx, &d, v), flow_label_of_walk(&t, &d, v));
+            }
+        }
     }
 
     #[test]

@@ -39,12 +39,14 @@ mod max_label;
 pub use bits::{elias_gamma_len, BitReader, BitString, MAX_FRAME_BITS, MAX_FRAME_BYTES};
 pub use codec::{ImplicitFlowScheme, ImplicitMaxScheme, LabelCodec, SepFieldCodec};
 pub use dist_label::{
-    decode_dist, dist_labels, dist_labels_parallel, try_decode_dist, DistLabel, ImplicitDistScheme,
+    decode_dist, dist_label_of, dist_label_of_walk, dist_labels, dist_labels_parallel,
+    encode_dist_label, try_decode_dist, DistLabel, DistOracle, ImplicitDistScheme,
 };
 pub use flow_label::{
-    decode_flow, flow_labels, flow_labels_parallel, try_decode_flow, FlowLabel, FlowLabelOracle,
-    FLOW_INFINITY,
+    decode_flow, flow_label_of, flow_label_of_walk, flow_labels, flow_labels_parallel,
+    try_decode_flow, FlowLabel, FlowLabelOracle, FLOW_INFINITY,
 };
 pub use max_label::{
-    decode_max, max_labels, max_labels_parallel, try_decode_max, MaxLabel, MaxLabelOracle,
+    decode_max, max_label_of, max_label_of_walk, max_labels, max_labels_parallel, try_decode_max,
+    MaxLabel, MaxLabelOracle,
 };

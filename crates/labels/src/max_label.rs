@@ -81,7 +81,11 @@ pub fn max_labels_parallel(
     })
 }
 
-fn max_label_of(kt: &KruskalTree, sep: &SeparatorDecomposition, v: NodeId) -> MaxLabel {
+/// Assembles the `MAX` label of a single vertex from a prebuilt Kruskal
+/// reconstruction tree — the unit of work [`max_labels`] maps over every
+/// node. Public so incremental relabelers can rebuild only dirty nodes
+/// while staying bit-identical to the batch builder by construction.
+pub fn max_label_of(kt: &KruskalTree, sep: &SeparatorDecomposition, v: NodeId) -> MaxLabel {
     let chain = sep.ancestors(v);
     let mut fields = Vec::with_capacity(chain.len());
     fields.push(0u64);
@@ -89,6 +93,26 @@ fn max_label_of(kt: &KruskalTree, sep: &SeparatorDecomposition, v: NodeId) -> Ma
         fields.push(u64::from(sep.child_rank(a)));
     }
     let omega = chain.iter().map(|&a| kt.max_on_path(v, a)).collect();
+    MaxLabel { sep: fields, omega }
+}
+
+/// [`max_label_of`] computed by direct path walks on the tree instead of
+/// a prebuilt Kruskal reconstruction tree: O(depth) per chain entry and
+/// zero preprocessing, identical output (both are exact `MAX` oracles,
+/// and the separator fields are assembled the same way). Incremental
+/// relabelers use this when the dirty set is too small to amortize an
+/// O(n log n) index build.
+pub fn max_label_of_walk(tree: &RootedTree, sep: &SeparatorDecomposition, v: NodeId) -> MaxLabel {
+    let chain = sep.ancestors(v);
+    let mut fields = Vec::with_capacity(chain.len());
+    fields.push(0u64);
+    for &a in &chain[1..] {
+        fields.push(u64::from(sep.child_rank(a)));
+    }
+    let omega = chain
+        .iter()
+        .map(|&a| tree.max_on_path_naive(v, a))
+        .collect();
     MaxLabel { sep: fields, omega }
 }
 
@@ -163,6 +187,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = gen::random_tree(n, gen::WeightDist::Uniform { max: max_w }, &mut rng);
         RootedTree::from_graph(&g, NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn walk_assembler_identical_to_index_assembler() {
+        for (n, seed) in [(2usize, 50u64), (17, 51), (120, 52)] {
+            let t = tree_of(n, 300, seed);
+            for d in [centroid_decomposition(&t), first_vertex_decomposition(&t)] {
+                let kt = mstv_trees::KruskalTree::new(&t);
+                for v in t.nodes() {
+                    assert_eq!(max_label_of(&kt, &d, v), max_label_of_walk(&t, &d, v));
+                }
+            }
+        }
     }
 
     #[test]

@@ -59,7 +59,6 @@ pub fn repair_after_weight_change(
         graph.is_spanning_tree(tree_edges),
         "repair requires a spanning tree"
     );
-    let in_tree = tree_edges.contains(&changed);
     let root = graph.edge(changed).u;
     let tree = RootedTree::from_graph_edges(graph, tree_edges, root)
         .expect("spanning tree was just validated");
@@ -67,17 +66,49 @@ pub fn repair_after_weight_change(
     for &e in tree_edges.iter() {
         tree_flags[e.index()] = true;
     }
-    if in_tree {
+    repair_after_weight_change_in(graph, &tree, &tree_flags, tree_edges, changed)
+}
+
+/// As [`repair_after_weight_change`], but against caller-maintained
+/// context: `tree` is the current spanning tree rooted anywhere and
+/// `in_tree[e]` says whether edge `e` belongs to it. Skips the
+/// validation, membership scan, and tree construction — the swap search
+/// itself becomes the only cost, which is the right entry point for
+/// callers that keep these structures live across a mutation stream
+/// (`mstv-dyn`'s `DynMarker`).
+///
+/// `tree` is read for structure only (parents, depths, children);
+/// its cached edge weights may be stale, every weight comes from
+/// `graph`. Only `tree_edges` is updated on a swap — the caller owns
+/// `in_tree` and `tree` and must refresh them from the result.
+///
+/// The caller must ensure `tree`, `in_tree`, and `tree_edges` describe
+/// the same spanning tree of `graph`; this is debug-asserted, not
+/// validated.
+pub fn repair_after_weight_change_in(
+    graph: &Graph,
+    tree: &RootedTree,
+    in_tree: &[bool],
+    tree_edges: &mut Vec<EdgeId>,
+    changed: EdgeId,
+) -> Repair {
+    debug_assert!(graph.is_spanning_tree(tree_edges));
+    debug_assert_eq!(in_tree.len(), graph.num_edges());
+    debug_assert!(tree_edges.iter().all(|e| in_tree[e.index()]));
+    let tree_flags = in_tree;
+    if in_tree[changed.index()] {
         // The changed edge may now be too heavy: compare with the
         // lightest non-tree edge crossing its cut.
         let ce = graph.edge(changed);
-        // The child side of the edge (deeper endpoint) spans one shore.
+        // A tree edge is a parent-child link under any rooting; the
+        // child endpoint's subtree spans one shore of the cut.
         let child = if tree.parent(ce.u) == Some(ce.v) {
             ce.u
         } else {
+            debug_assert_eq!(tree.parent(ce.v), Some(ce.u));
             ce.v
         };
-        let shore = subtree_membership(&tree, child);
+        let shore = subtree_membership(tree, child);
         let mut best: Option<(Weight, EdgeId)> = None;
         for (f, fe) in graph.edges() {
             if tree_flags[f.index()] {
@@ -91,7 +122,11 @@ pub fn repair_after_weight_change(
             }
         }
         match best {
-            Some((w, f)) if w < ce.w => {
+            // Compare full EdgeKeys (weight, id), not bare weights: under
+            // duplicate weights the canonical (Kruskal) MST keeps the edge
+            // with the smaller id, and the repaired tree must stay exactly
+            // that tree, not merely one of equal weight.
+            Some((w, f)) if (w, f) < (ce.w, changed) => {
                 tree_edges.retain(|&e| e != changed);
                 tree_edges.push(f);
                 Repair::Swapped {
@@ -105,8 +140,11 @@ pub fn repair_after_weight_change(
         // The changed edge may now undercut the tree path between its
         // endpoints: compare with the heaviest tree edge on that path.
         let ce = graph.edge(changed);
-        let (heaviest, max_w) = heaviest_path_edge(graph, &tree, ce.u, ce.v);
-        if ce.w < max_w {
+        let (heaviest, max_w) = heaviest_path_edge(graph, tree, ce.u, ce.v);
+        // EdgeKey comparison, for the same determinism reason as above:
+        // a non-tree edge tying the path maximum enters only if its id
+        // beats the incumbent's.
+        if (ce.w, changed) < (max_w, heaviest) {
             tree_edges.retain(|&e| e != heaviest);
             tree_edges.push(changed);
             Repair::Swapped {
@@ -255,6 +293,126 @@ mod tests {
             g.set_weight(e, Weight(rng.gen_range(1..=99)));
             repair_after_weight_change(&g, &mut t, e);
             assert!(is_mst(&g, &t));
+        }
+    }
+
+    #[test]
+    fn prebuilt_context_variant_matches_wrapper() {
+        // The `_in` fast path must agree with the validated wrapper for
+        // every mutation, with the context tree rooted anywhere — here
+        // it is kept rooted at node 0 across a whole stream, the way
+        // `DynMarker` uses it.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = gen::random_connected(40, 90, gen::WeightDist::Uniform { max: 50 }, &mut rng);
+        let mut t_fast = kruskal(&g);
+        let mut in_tree = vec![false; g.num_edges()];
+        for &e in &t_fast {
+            in_tree[e.index()] = true;
+        }
+        for _ in 0..60 {
+            let e = EdgeId(rng.gen_range(0..g.num_edges() as u32));
+            g.set_weight(e, Weight(rng.gen_range(1..=50)));
+            let mut t_slow = t_fast.clone();
+            let tree = RootedTree::from_graph_edges(&g, &t_fast, NodeId(0)).unwrap();
+            let fast = repair_after_weight_change_in(&g, &tree, &in_tree, &mut t_fast, e);
+            let slow = repair_after_weight_change(&g, &mut t_slow, e);
+            assert_eq!(fast, slow);
+            assert_eq!(canon(t_fast.clone()), canon(t_slow));
+            if let Repair::Swapped { removed, added } = fast {
+                in_tree[removed.index()] = false;
+                in_tree[added.index()] = true;
+            }
+            assert!(is_mst(&g, &t_fast));
+        }
+    }
+
+    /// Sorted edge set, for comparing a repaired tree against Kruskal's.
+    fn canon(mut edges: Vec<EdgeId>) -> Vec<EdgeId> {
+        edges.sort_unstable();
+        edges
+    }
+
+    #[test]
+    fn duplicate_weight_tie_keeps_kruskal_tree() {
+        // Square with all-equal weights: Kruskal keeps e0,e1,e2 (smallest
+        // ids). Raise tree edge e1 to tie with the chord e3 — under the
+        // EdgeKey order (weight, id) the chord e3 must NOT evict e1.
+        let mut g = Graph::new(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(5)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(3)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(3), Weight(5)).unwrap();
+        let e3 = g.add_edge(NodeId(3), NodeId(0), Weight(5)).unwrap();
+        let mut t = kruskal(&g);
+        assert_eq!(canon(t.clone()), vec![e0, e1, e2]);
+        g.set_weight(e1, Weight(5));
+        assert_eq!(
+            repair_after_weight_change(&g, &mut t, e1),
+            Repair::Unchanged
+        );
+        assert_eq!(canon(t.clone()), canon(kruskal(&g)));
+        // The mirror case: drop the chord e3 to tie with tree edge e2.
+        // e3's id is larger, so the path maximum (e2, smaller id) stays.
+        g.set_weight(e3, Weight(5));
+        assert_eq!(
+            repair_after_weight_change(&g, &mut t, e3),
+            Repair::Unchanged
+        );
+        assert_eq!(canon(t), canon(kruskal(&g)));
+    }
+
+    #[test]
+    fn duplicate_weight_tie_swaps_when_id_wins() {
+        // Same square, but now the chord has the SMALLEST id: a tie must
+        // go to the chord, exactly as Kruskal would pick it.
+        let mut g = Graph::new(4);
+        let e0 = g.add_edge(NodeId(3), NodeId(0), Weight(9)).unwrap();
+        let e1 = g.add_edge(NodeId(0), NodeId(1), Weight(5)).unwrap();
+        let e2 = g.add_edge(NodeId(1), NodeId(2), Weight(3)).unwrap();
+        let e3 = g.add_edge(NodeId(2), NodeId(3), Weight(5)).unwrap();
+        let mut t = kruskal(&g);
+        assert_eq!(canon(t.clone()), vec![e1, e2, e3]);
+        // Drop the old chord e0 to tie the heaviest path edges (e1, e3).
+        g.set_weight(e0, Weight(5));
+        assert_eq!(
+            repair_after_weight_change(&g, &mut t, e0),
+            Repair::Swapped {
+                removed: e3,
+                added: e0
+            }
+        );
+        assert_eq!(canon(t.clone()), canon(kruskal(&g)));
+        // A tree-edge raise that makes it strictly heavier than the
+        // equal-weight chord across its cut: the chord must evict it.
+        g.set_weight(e1, Weight(9));
+        assert_eq!(
+            repair_after_weight_change(&g, &mut t, e1),
+            Repair::Swapped {
+                removed: e1,
+                added: e3
+            }
+        );
+        assert_eq!(canon(t), canon(kruskal(&g)));
+    }
+
+    #[test]
+    fn randomized_duplicate_weights_track_kruskal_exactly() {
+        // Tiny weight range ⇒ ties everywhere. After every repair the
+        // edge SET (not just the weight) must equal canonical Kruskal's.
+        let mut rng = StdRng::seed_from_u64(3);
+        for case in 0..40 {
+            let mut g =
+                gen::random_connected(20, 45, gen::WeightDist::Uniform { max: 4 }, &mut rng);
+            let mut t = kruskal(&g);
+            for step in 0..20 {
+                let e = EdgeId(rng.gen_range(0..g.num_edges() as u32));
+                g.set_weight(e, Weight(rng.gen_range(1..=4)));
+                repair_after_weight_change(&g, &mut t, e);
+                assert_eq!(
+                    canon(t.clone()),
+                    canon(kruskal(&g)),
+                    "case {case} step {step}: repaired tree drifted from Kruskal's"
+                );
+            }
         }
     }
 

@@ -34,7 +34,7 @@ mod verify;
 
 pub use algorithms::{kruskal, mst_weight, prim, shortest_path_tree};
 pub use boruvka::{boruvka, boruvka_trace, BoruvkaPhase, BoruvkaTrace};
-pub use dynamic::{repair_after_weight_change, Repair};
+pub use dynamic::{repair_after_weight_change, repair_after_weight_change_in, Repair};
 pub use perturb::{tree_favored_key, EdgeKey};
 pub use second_best::second_best_mst_weight;
 pub use unionfind::UnionFind;

@@ -1,0 +1,78 @@
+//! Property tests pinning `sensitivity::exact` to the definition-based
+//! brute-force oracle on arbitrary random graphs.
+//!
+//! The incremental no-op decision in `mstv-dyn` (a non-tree weight change
+//! below its sensitivity threshold touches no label) rides on this
+//! equivalence, so the sweep deliberately includes duplicate-weight
+//! instances where tie-breaking is the whole story.
+
+use mstv_graph::gen;
+use mstv_mst::kruskal;
+use mstv_sensitivity::{brute_force_sensitivity, sensitivity};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_case(nodes: usize, extra: usize, max_w: u64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_connected(
+        nodes,
+        extra,
+        gen::WeightDist::Uniform { max: max_w },
+        &mut rng,
+    );
+    let t = kruskal(&g);
+    let fast = sensitivity(&g, &t);
+    let slow = brute_force_sensitivity(&g, &t);
+    assert_eq!(fast.len(), g.num_edges());
+    for (i, (f, s)) in fast.iter().zip(slow.iter()).enumerate() {
+        assert_eq!(
+            f, s,
+            "edge {i} diverges (n={nodes}, max_w={max_w}, seed={seed})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Wide weight range: mostly distinct weights, occasional ties.
+    #[test]
+    fn exact_matches_brute_on_general_weights(
+        nodes in 2usize..40,
+        extra in 0usize..60,
+        max_w in 1u64..1000,
+        seed in any::<u64>(),
+    ) {
+        check_case(nodes, extra, max_w, seed);
+    }
+
+    /// Tiny weight range: duplicate weights everywhere, so every cycle
+    /// and cut is decided by tie-breaks rather than strict comparisons.
+    #[test]
+    fn exact_matches_brute_on_duplicate_weights(
+        nodes in 2usize..32,
+        extra in 0usize..48,
+        max_w in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        check_case(nodes, extra, max_w, seed);
+    }
+}
+
+/// All-equal weights are the degenerate extreme of the duplicate sweep:
+/// every spanning tree is minimum, every tree edge needs exactly a +1 to
+/// stop being safe wherever a chord covers it.
+#[test]
+fn exact_matches_brute_on_constant_weights() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_connected(24, 40, gen::WeightDist::Uniform { max: 1 }, &mut rng);
+        let t = kruskal(&g);
+        assert_eq!(
+            sensitivity(&g, &t),
+            brute_force_sensitivity(&g, &t),
+            "seed {seed}"
+        );
+    }
+}

@@ -117,6 +117,24 @@ impl Client {
         }
     }
 
+    /// Sends one serialized journal delta record
+    /// (`mstv_store::DeltaRecord::to_bytes`) for the server to fold
+    /// into its serving snapshot in place; returns the epoch afterwards
+    /// (base epoch plus the new delta sequence).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Server`] with the server's message if the record
+    /// does not parse, is out of sequence, or does not apply.
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<u64, ServeError> {
+        match self.admin(AdminRequest::ApplyDelta {
+            bytes: bytes.to_vec(),
+        })? {
+            AdminReply::Ok { epoch } => Ok(epoch),
+            _ => Err(ServeError::UnexpectedFrame),
+        }
+    }
+
     /// Asks the server to shut down; returns once the server has
     /// acknowledged.
     ///

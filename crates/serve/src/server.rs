@@ -18,7 +18,13 @@
 //!   request, so every answer of a response comes from exactly one
 //!   snapshot generation (no torn batches), and
 //!   [`ServerHandle::swap`] replaces the `Arc` under a brief write
-//!   lock without dropping a single in-flight query.
+//!   lock without dropping a single in-flight query. For small changes
+//!   a full swap is unnecessary: the admin `ApplyDelta` frame folds a
+//!   `MSTVJRNL` journal record into the serving engine *in place*
+//!   ([`QueryEngine::apply_delta`]), evicting only the dirty nodes from
+//!   the decoded-label caches; the reported epoch advances by the
+//!   engine's delta sequence so clients can still attribute every
+//!   answer to one exact post-mutation state.
 //! * **Interruptible blocking reads** — each connection gets a reader
 //!   thread with a short read timeout, re-checking the shutdown flag
 //!   between polls, so shutdown never hangs on an idle socket.
@@ -35,7 +41,7 @@ use mstv_store::proto::{
     header_payload_len, AdminReply, AdminRequest, ErrorCode, Frame, ProtoError, Request, Response,
     FRAME_HEADER_LEN,
 };
-use mstv_store::{EngineConfig, QueryEngine, Snapshot};
+use mstv_store::{DeltaRecord, EngineConfig, QueryEngine, Snapshot};
 use mstv_trees::KeyedQueue;
 
 use crate::io::write_frame;
@@ -101,8 +107,14 @@ struct Shared {
 }
 
 impl Shared {
+    /// The externally visible epoch: the generation's base epoch plus
+    /// how many live deltas have been folded into it. Both a hot swap
+    /// and an applied delta therefore advance what clients observe, and
+    /// [`Shared::swap_in`]'s accounting keeps the sequence monotonic
+    /// across mixed histories of swaps and deltas.
     fn epoch(&self) -> u64 {
-        self.serving.read().unwrap_or_else(|e| e.into_inner()).epoch
+        let serving = self.current();
+        serving.epoch + serving.engine.delta_seq()
     }
 
     fn current(&self) -> Arc<Serving> {
@@ -113,11 +125,13 @@ impl Shared {
     /// serving generation. The engine is constructed *outside* the
     /// write lock, so queries keep flowing off the old generation for
     /// the whole build; only the `Arc` replacement itself excludes
-    /// readers.
+    /// readers. The new base epoch starts past everything the old
+    /// generation reported (its base plus its applied deltas), so the
+    /// epoch a client sees never goes backwards.
     fn swap_in(&self, snap: Snapshot) -> u64 {
         let engine = QueryEngine::new(snap, self.config.engine);
         let mut guard = self.serving.write().unwrap_or_else(|e| e.into_inner());
-        let epoch = guard.epoch + 1;
+        let epoch = guard.epoch + guard.engine.delta_seq() + 1;
         *guard = Arc::new(Serving { epoch, engine });
         epoch
     }
@@ -270,9 +284,13 @@ fn worker_loop(shared: &Shared) {
         // guarantee.
         let serving = shared.current();
         let batch = serving.engine.run_batch_response(&job.request.batch);
+        // The epoch a response reports is the generation's base epoch
+        // plus the delta sequence its batch actually ran at (captured
+        // under the engine's state lock) — so a client can map every
+        // answer to the exact post-delta snapshot that produced it.
         let response = Frame::Response(Response {
             id: job.request.id,
-            server_epoch: serving.epoch,
+            server_epoch: serving.epoch + batch.delta_seq,
             results: batch.results,
         });
         // Counters are recorded before the response leaves, so a client
@@ -436,6 +454,25 @@ fn handle_admin(shared: &Shared, req: AdminRequest) -> AdminReply {
                 message: format!("swap of {path} failed: {e}"),
             },
         },
+        AdminRequest::ApplyDelta { bytes } => {
+            // Pin the serving generation for the whole apply: the read
+            // lock keeps a concurrent swap from retiring the engine
+            // between the parse (which needs its node count) and the
+            // fold, so the delta lands on the generation whose epoch
+            // the reply reports — or fails typed, changing nothing.
+            let guard = shared.serving.read().unwrap_or_else(|e| e.into_inner());
+            let n = guard.engine.with_snapshot(mstv_store::Snapshot::num_nodes);
+            match DeltaRecord::from_bytes(&bytes, n)
+                .and_then(|record| guard.engine.apply_delta(&record))
+            {
+                Ok(seq) => AdminReply::Ok {
+                    epoch: guard.epoch + seq,
+                },
+                Err(e) => AdminReply::Err {
+                    message: format!("delta apply failed: {e}"),
+                },
+            }
+        }
         AdminRequest::Shutdown => AdminReply::Ok {
             epoch: shared.epoch(),
         },

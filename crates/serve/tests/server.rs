@@ -266,6 +266,146 @@ fn hot_swap_under_hammer_drops_nothing() {
     server.shutdown();
 }
 
+/// The live-mutation counterpart of the hot-swap hammer: concurrent
+/// clients query while an admin connection streams a burst of
+/// `mstv-dyn` delta records into the serving engine in place. Every
+/// response must carry an epoch whose oracle its answers match exactly
+/// — a stale cached decode surviving a delta's invalidation, or a batch
+/// torn across a delta, would answer from the wrong generation.
+#[test]
+fn delta_burst_under_hammer_serves_each_generation_exactly() {
+    const N: usize = 200;
+    const BURST: usize = 12;
+    let mut rng = StdRng::seed_from_u64(0xDE17A);
+    let graph = gen::random_connected(N, 320, gen::WeightDist::Uniform { max: 400 }, &mut rng);
+    let mut marker = mstv_dyn::DynMarker::new(graph, SepFieldCodec::EliasGamma).unwrap();
+    let base = marker.snapshot();
+
+    // Script the burst up front: a parent-edge reweight per step (always
+    // a tree edge, so MAX/DIST answers actually move), plus the oracle
+    // after each step. Epoch k+1 on the wire serves oracles[k].
+    let mut records = Vec::with_capacity(BURST);
+    let mut oracles = Vec::with_capacity(BURST + 1);
+    oracles.push(oracle_of(marker.tree()));
+    use rand::Rng;
+    for _ in 0..BURST {
+        let v = NodeId(rng.gen_range(1..N as u32));
+        let u = marker.tree().parent(v).unwrap();
+        let w = rng.gen_range(1..=400u64);
+        let record = marker
+            .apply(mstv_store::JournalMutation::SetWeight { u: u.0, v: v.0, w })
+            .unwrap();
+        records.push(record.to_bytes());
+        oracles.push(oracle_of(marker.tree()));
+    }
+
+    let server = ServerHandle::spawn(base, ServeConfig::default(), 0).unwrap();
+    let addr = server.addr();
+    assert_eq!(server.epoch(), 1);
+
+    let check = |resp: &mstv_store::proto::Response, batch: &[Query]| {
+        let epoch = resp.server_epoch;
+        assert!(
+            (1..=1 + BURST as u64).contains(&epoch),
+            "epoch {epoch} is no generation of the burst"
+        );
+        let oracle = &oracles[(epoch - 1) as usize];
+        assert_eq!(resp.results.len(), batch.len());
+        for (q, r) in batch.iter().zip(&resp.results) {
+            let a = r.as_ref().expect("hammer queries never error");
+            match (*q, *a) {
+                (Query::Max { u, v }, Answer::Max(w)) => assert_eq!(
+                    w,
+                    oracle.max(u, v),
+                    "MAX({u},{v}) wrong for epoch {epoch} — stale cache or torn delta"
+                ),
+                (Query::Dist { u, v }, Answer::Dist(d)) => assert_eq!(
+                    d,
+                    oracle.dist(u, v),
+                    "DIST({u},{v}) wrong for epoch {epoch}"
+                ),
+                other => panic!("answer kind mismatch: {other:?}"),
+            }
+        }
+    };
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (stop, check) = (&stop, &check);
+        let handles: Vec<_> = (0..2u32)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    // Repeat endpoints across requests so the shard
+                    // caches are hot when the deltas land.
+                    let mut batch = Vec::new();
+                    for i in 0..50u32 {
+                        let u = NodeId((i * 11 + c) % N as u32);
+                        let v = NodeId((i * 23 + 3 * c + 1) % N as u32);
+                        batch.push(Query::Max { u, v });
+                        batch.push(Query::Dist { u, v });
+                    }
+                    while !stop.load(Ordering::Relaxed) {
+                        let resp = client.request(batch.clone()).unwrap();
+                        check(&resp, &batch);
+                    }
+                    // After the burst settled, answers must come from
+                    // the final generation.
+                    let resp = client.request(batch.clone()).unwrap();
+                    assert_eq!(
+                        resp.server_epoch,
+                        1 + BURST as u64,
+                        "post-burst request served a stale generation"
+                    );
+                    check(&resp, &batch);
+                })
+            })
+            .collect();
+
+        // Stream the burst from an admin connection while the hammer
+        // runs. Each apply must advance the epoch by exactly one.
+        let mut admin = Client::connect(addr).unwrap();
+        for (k, bytes) in records.iter().enumerate() {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(admin.apply_delta(bytes).unwrap(), 2 + k as u64);
+        }
+        // Replaying the last record is out of sequence: a typed server
+        // error, and the epoch stays put.
+        assert!(matches!(
+            admin.apply_delta(records.last().unwrap()),
+            Err(mstv_serve::ServeError::Server { .. })
+        ));
+        assert_eq!(server.epoch(), 1 + BURST as u64);
+
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    // No query errored anywhere in the burst.
+    assert_eq!(server.metrics().errors, 0);
+
+    // A hot swap after live deltas keeps the epoch monotonic: the new
+    // base starts past base + deltas.
+    let swapped = server.swap(marker.snapshot());
+    assert_eq!(swapped, 1 + BURST as u64 + 1);
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client
+        .request(vec![Query::Max {
+            u: NodeId(3),
+            v: NodeId(77),
+        }])
+        .unwrap();
+    assert_eq!(resp.server_epoch, swapped);
+    assert_eq!(
+        resp.results[0],
+        Ok(Answer::Max(oracles[BURST].max(NodeId(3), NodeId(77))))
+    );
+    server.shutdown();
+}
+
 #[test]
 fn admin_stats_swap_and_shutdown_over_the_wire() {
     let tree_a = tree_of(80, 200, 5);

@@ -23,7 +23,7 @@
 
 use std::fmt;
 use std::num::NonZeroUsize;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use mstv_core::ServeMetrics;
@@ -33,7 +33,7 @@ use mstv_labels::{
 };
 
 use crate::proto::ErrorCode;
-use crate::{LruCache, Snapshot, StoreError};
+use crate::{DeltaRecord, LruCache, Snapshot, StoreError};
 
 /// Upper bound on the shard count a config may request — far above any
 /// sensible fan-out, low enough that a typo (`--shards 1000000`) is a
@@ -266,6 +266,11 @@ pub struct BatchResponse {
     pub results: Vec<Result<Answer, ErrorCode>>,
     /// Batch-level cost counters.
     pub metrics: BatchMetrics,
+    /// The engine's delta sequence number when this batch ran — how many
+    /// [`DeltaRecord`]s had been applied to the serving snapshot. All
+    /// answers of one batch come from a single delta generation, never a
+    /// mix: the batch holds the state lock for its whole fan-out.
+    pub delta_seq: u64,
 }
 
 impl BatchResponse {
@@ -295,18 +300,33 @@ impl Shard {
     }
 }
 
-/// A multi-threaded query service over one loaded [`Snapshot`].
-pub struct QueryEngine {
+/// The mutable serving state: the snapshot plus how many deltas have
+/// been folded into it. One `RwLock` guards both so a batch can never
+/// observe a snapshot from one delta generation tagged with another's
+/// sequence number.
+struct EngineState {
     snap: Snapshot,
+    delta_seq: u64,
+}
+
+/// A multi-threaded query service over one loaded [`Snapshot`].
+///
+/// The snapshot is no longer immutable for the engine's lifetime:
+/// [`QueryEngine::apply_delta`] folds a journal [`DeltaRecord`] into the
+/// serving state in place, invalidating exactly the dirty nodes from
+/// every shard's decoded-label caches — the live-mutation path that
+/// makes a hot swap unnecessary for small changes.
+pub struct QueryEngine {
+    state: RwLock<EngineState>,
     shards: Vec<Mutex<Shard>>,
     agg: Mutex<ServeMetrics>,
 }
 
 impl QueryEngine {
-    /// Wraps a loaded snapshot in a serving engine.
+    /// Wraps a loaded snapshot in a serving engine (delta sequence 0).
     pub fn new(snap: Snapshot, config: EngineConfig) -> QueryEngine {
         QueryEngine {
-            snap,
+            state: RwLock::new(EngineState { snap, delta_seq: 0 }),
             shards: (0..config.shards())
                 .map(|_| Mutex::new(Shard::new(config.cache_entries())))
                 .collect(),
@@ -314,14 +334,79 @@ impl QueryEngine {
         }
     }
 
-    /// The snapshot being served.
-    pub fn snapshot(&self) -> &Snapshot {
-        &self.snap
+    /// Runs `f` against the snapshot currently being served.
+    ///
+    /// The read lock is held only for the call — the replacement for the
+    /// old `snapshot(&self) -> &Snapshot` accessor, which cannot exist
+    /// now that [`QueryEngine::apply_delta`] mutates the state in place.
+    pub fn with_snapshot<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R {
+        f(&self.read_state().snap)
+    }
+
+    /// How many [`DeltaRecord`]s have been applied since construction.
+    pub fn delta_seq(&self) -> u64 {
+        self.read_state().delta_seq
+    }
+
+    /// Folds one journal [`DeltaRecord`] into the serving snapshot and
+    /// returns the new delta sequence number.
+    ///
+    /// The write lock excludes every in-flight batch, so the record's row
+    /// updates and the eviction of its [`DeltaRecord::dirty_nodes`] from
+    /// *every* shard's three label caches (a query caches both of its
+    /// endpoints under the first endpoint's shard, so one shard's caches
+    /// can hold any node) are atomic with respect to queries: a batch
+    /// sees the snapshot entirely before or entirely after the delta,
+    /// never a torn mix of old rows and stale decodes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] if `record.seq` is not the next in
+    /// sequence (the engine applies journals in order, gap-free), or any
+    /// error of [`DeltaRecord::apply_to`] — in both cases the snapshot,
+    /// the caches, and the sequence number are left untouched.
+    pub fn apply_delta(&self, record: &DeltaRecord) -> Result<u64, StoreError> {
+        let mut state = self
+            .state
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if record.seq != state.delta_seq + 1 {
+            return Err(StoreError::Malformed {
+                context: "delta record",
+                reason: format!(
+                    "record seq {} applied to engine at delta seq {} (want {})",
+                    record.seq,
+                    state.delta_seq,
+                    state.delta_seq + 1
+                ),
+            });
+        }
+        record.apply_to(&mut state.snap)?;
+        state.delta_seq = record.seq;
+        let dirty = record.dirty_nodes();
+        for si in 0..self.shards.len() {
+            let mut shard = self.lock_shard(si);
+            for &node in &dirty {
+                shard.max.invalidate(node);
+                shard.flow.invalidate(node);
+                shard.dist.invalidate(node);
+            }
+        }
+        Ok(state.delta_seq)
     }
 
     /// Number of shards the engine fans out over.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Locks the serving state for reading, recovering from poisoning
+    /// (writers mutate nothing on the failure paths that could panic
+    /// mid-update; see [`QueryEngine::apply_delta`]).
+    fn read_state(&self) -> std::sync::RwLockReadGuard<'_, EngineState> {
+        self.state
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Locks shard `si`, recovering from a poisoned mutex.
@@ -381,13 +466,14 @@ impl QueryEngine {
     /// [`ErrorCode::ShardPoisoned`] for every query a panicking shard
     /// worker was serving.
     pub fn run_batch_response(&self, queries: &[Query]) -> BatchResponse {
-        let (results, metrics) = self.run_batch_inner(queries);
+        let (results, metrics, delta_seq) = self.run_batch_inner(queries);
         BatchResponse {
             results: results
                 .into_iter()
                 .map(|r| r.map_err(|e| ErrorCode::from(&e)))
                 .collect(),
             metrics,
+            delta_seq,
         }
     }
 
@@ -410,6 +496,11 @@ impl QueryEngine {
     /// [`QueryEngine::run_batch_response`], and the deprecated
     /// `run_batch` shim.
     ///
+    /// The state read lock is held for the whole fan-out, so every
+    /// answer of the batch comes from one delta generation (the returned
+    /// sequence number); an [`QueryEngine::apply_delta`] waits for the
+    /// batch rather than tearing it.
+    ///
     /// Admission-first counting: `queries` and `batches` are bumped
     /// under the aggregate lock *before* the fan-out, and the remaining
     /// counters (errors, elapsed, latency) after it. A concurrent
@@ -420,13 +511,15 @@ impl QueryEngine {
     fn run_batch_inner(
         &self,
         queries: &[Query],
-    ) -> (Vec<Result<Answer, StoreError>>, BatchMetrics) {
+    ) -> (Vec<Result<Answer, StoreError>>, BatchMetrics, u64) {
         let start = Instant::now();
         {
             let mut agg = self.lock_metrics();
             agg.queries += queries.len() as u64;
             agg.batches += 1;
         }
+        let state = self.read_state();
+        let snap = &state.snap;
         let ns = self.shards.len();
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); ns];
         for (i, q) in queries.iter().enumerate() {
@@ -437,7 +530,7 @@ impl QueryEngine {
         if ns == 1 {
             let mut shard = self.lock_shard(0);
             for &i in &buckets[0] {
-                results[i] = Some(self.answer(&mut shard, &queries[i]));
+                results[i] = Some(Self::answer(snap, &mut shard, &queries[i]));
             }
         } else {
             type ShardOutcome<'a> = (
@@ -455,7 +548,7 @@ impl QueryEngine {
                             let mut shard = self.lock_shard(si);
                             bucket
                                 .iter()
-                                .map(|&i| (i, self.answer(&mut shard, &queries[i])))
+                                .map(|&i| (i, Self::answer(snap, &mut shard, &queries[i])))
                                 .collect()
                         });
                         (si, bucket.as_slice(), handle)
@@ -485,6 +578,8 @@ impl QueryEngine {
                 }
             }
         }
+        let delta_seq = state.delta_seq;
+        drop(state);
         let errors = results.iter().filter(|r| matches!(r, Some(Err(_)))).count() as u64;
         let elapsed = start.elapsed();
         {
@@ -504,6 +599,7 @@ impl QueryEngine {
                 .map(|r| r.expect("every query was routed to a shard"))
                 .collect(),
             batch,
+            delta_seq,
         )
     }
 
@@ -530,45 +626,45 @@ impl QueryEngine {
         m
     }
 
-    fn check_node(&self, v: NodeId) -> Result<(), StoreError> {
-        if v.0 >= self.snap.num_nodes() {
+    fn check_node(snap: &Snapshot, v: NodeId) -> Result<(), StoreError> {
+        if v.0 >= snap.num_nodes() {
             return Err(StoreError::UnknownNode {
                 node: v.0,
-                nodes: self.snap.num_nodes(),
+                nodes: snap.num_nodes(),
             });
         }
         Ok(())
     }
 
-    fn answer(&self, shard: &mut Shard, q: &Query) -> Result<Answer, StoreError> {
+    fn answer(snap: &Snapshot, shard: &mut Shard, q: &Query) -> Result<Answer, StoreError> {
         let mismatch = |u: NodeId, v: NodeId| StoreError::LabelMismatch { u: u.0, v: v.0 };
         match *q {
-            Query::Max { u, v } => Ok(Answer::Max(self.max_of(shard, u, v)?)),
+            Query::Max { u, v } => Ok(Answer::Max(Self::max_of(snap, shard, u, v)?)),
             Query::Flow { u, v } => {
                 if u == v {
-                    self.check_node(u)?;
+                    Self::check_node(snap, u)?;
                     return Ok(Answer::Flow(FLOW_INFINITY));
                 }
-                let a = self.flow_label(shard, u)?;
-                let b = self.flow_label(shard, v)?;
+                let a = Self::flow_label(snap, shard, u)?;
+                let b = Self::flow_label(snap, shard, v)?;
                 let w = try_decode_flow(&a, &b).ok_or_else(|| mismatch(u, v))?;
                 Ok(Answer::Flow(w))
             }
             Query::Dist { u, v } => {
-                if self.snap.dist().is_none() {
+                if snap.dist().is_none() {
                     return Err(StoreError::MissingSection { section: "dist" });
                 }
                 if u == v {
-                    self.check_node(u)?;
+                    Self::check_node(snap, u)?;
                     return Ok(Answer::Dist(0));
                 }
-                let a = self.dist_label(shard, u)?;
-                let b = self.dist_label(shard, v)?;
+                let a = Self::dist_label(snap, shard, u)?;
+                let b = Self::dist_label(snap, shard, v)?;
                 let d = try_decode_dist(&a, &b).ok_or_else(|| mismatch(u, v))?;
                 Ok(Answer::Dist(d))
             }
             Query::VerifyEdge { u, v, w } => {
-                let max_on_path = self.max_of(shard, u, v)?;
+                let max_on_path = Self::max_of(snap, shard, u, v)?;
                 Ok(Answer::VerifyEdge {
                     accept: w >= max_on_path,
                     max_on_path,
@@ -577,27 +673,35 @@ impl QueryEngine {
         }
     }
 
-    fn max_of(&self, shard: &mut Shard, u: NodeId, v: NodeId) -> Result<Weight, StoreError> {
+    fn max_of(
+        snap: &Snapshot,
+        shard: &mut Shard,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<Weight, StoreError> {
         if u == v {
-            self.check_node(u)?;
+            Self::check_node(snap, u)?;
             return Ok(Weight::ZERO);
         }
-        let a = self.max_label(shard, u)?;
-        let b = self.max_label(shard, v)?;
+        let a = Self::max_label(snap, shard, u)?;
+        let b = Self::max_label(snap, shard, v)?;
         try_decode_max(&a, &b).ok_or(StoreError::LabelMismatch { u: u.0, v: v.0 })
     }
 
-    fn max_label(&self, shard: &mut Shard, v: NodeId) -> Result<Arc<MaxLabel>, StoreError> {
-        self.check_node(v)?;
+    fn max_label(
+        snap: &Snapshot,
+        shard: &mut Shard,
+        v: NodeId,
+    ) -> Result<Arc<MaxLabel>, StoreError> {
+        Self::check_node(snap, v)?;
         if let Some(label) = shard.max.get(v.0) {
             shard.hits += 1;
             return Ok(label);
         }
         shard.misses += 1;
         let label = Arc::new(
-            self.snap
-                .codec()
-                .try_decode_max_label(&self.snap.max_labels()[v.0 as usize])
+            snap.codec()
+                .try_decode_max_label(&snap.max_labels()[v.0 as usize])
                 .ok_or(StoreError::CorruptLabel {
                     section: "max",
                     node: v.0,
@@ -607,17 +711,20 @@ impl QueryEngine {
         Ok(label)
     }
 
-    fn flow_label(&self, shard: &mut Shard, v: NodeId) -> Result<Arc<FlowLabel>, StoreError> {
-        self.check_node(v)?;
+    fn flow_label(
+        snap: &Snapshot,
+        shard: &mut Shard,
+        v: NodeId,
+    ) -> Result<Arc<FlowLabel>, StoreError> {
+        Self::check_node(snap, v)?;
         if let Some(label) = shard.flow.get(v.0) {
             shard.hits += 1;
             return Ok(label);
         }
         shard.misses += 1;
         let label = Arc::new(
-            self.snap
-                .codec()
-                .try_decode_flow_label(&self.snap.flow_labels()[v.0 as usize])
+            snap.codec()
+                .try_decode_flow_label(&snap.flow_labels()[v.0 as usize])
                 .ok_or(StoreError::CorruptLabel {
                     section: "flow",
                     node: v.0,
@@ -627,20 +734,22 @@ impl QueryEngine {
         Ok(label)
     }
 
-    fn dist_label(&self, shard: &mut Shard, v: NodeId) -> Result<Arc<DistLabel>, StoreError> {
-        self.check_node(v)?;
+    fn dist_label(
+        snap: &Snapshot,
+        shard: &mut Shard,
+        v: NodeId,
+    ) -> Result<Arc<DistLabel>, StoreError> {
+        Self::check_node(snap, v)?;
         if let Some(label) = shard.dist.get(v.0) {
             shard.hits += 1;
             return Ok(label);
         }
         shard.misses += 1;
-        let dist = self
-            .snap
+        let dist = snap
             .dist()
             .ok_or(StoreError::MissingSection { section: "dist" })?;
         let label = Arc::new(
-            self.snap
-                .codec()
+            snap.codec()
                 .try_decode_dist_label(&dist.labels[v.0 as usize], dist.delta_bits)
                 .ok_or(StoreError::CorruptLabel {
                     section: "dist",
@@ -970,6 +1079,136 @@ mod tests {
         let m = engine.metrics();
         assert_eq!(m.cache_hits, 0, "capacity 0 must never hit");
         assert!(m.cache_misses > 0);
+    }
+
+    /// The full row-diff between two same-shape snapshots, as a journal
+    /// record — the sound-by-construction delta the serving tests use.
+    fn diff_record(
+        seq: u64,
+        mutation: crate::JournalMutation,
+        prev: &Snapshot,
+        next: &Snapshot,
+    ) -> DeltaRecord {
+        use mstv_labels::BitString;
+        let (pt, nt) = (prev.tree().unwrap(), next.tree().unwrap());
+        let tree = (0..prev.num_nodes())
+            .filter_map(|i| {
+                let v = NodeId(i);
+                let entry = nt.parent(v).map(|p| (p.0, nt.parent_weight(v).0));
+                let old = pt.parent(v).map(|p| (p.0, pt.parent_weight(v).0));
+                (entry != old).then_some(crate::TreeDelta {
+                    node: i,
+                    parent: entry,
+                })
+            })
+            .collect();
+        let diff_labels = |a: &[BitString], b: &[BitString]| -> Vec<crate::LabelDelta> {
+            a.iter()
+                .zip(b)
+                .enumerate()
+                .filter(|(_, (x, y))| x != y)
+                .map(|(i, (_, y))| crate::LabelDelta {
+                    node: i as u32,
+                    bits: y.clone(),
+                })
+                .collect()
+        };
+        DeltaRecord {
+            seq,
+            mutation,
+            outcome: crate::DeltaOutcome::WeightsOnly,
+            new_max_weight: next.max_weight(),
+            new_omega_bits: next.codec().omega_bits,
+            new_delta_bits: next.dist().map_or(1, |d| d.delta_bits),
+            tree,
+            max: diff_labels(prev.max_labels(), next.max_labels()),
+            flow: diff_labels(prev.flow_labels(), next.flow_labels()),
+            dist: diff_labels(&prev.dist().unwrap().labels, &next.dist().unwrap().labels),
+        }
+    }
+
+    #[test]
+    fn apply_delta_evicts_stale_decodes_from_every_shard() {
+        // Two trees over the same node set, differing in one parent-edge
+        // weight: after the delta, answers must match the *new* oracle —
+        // including for endpoints whose decoded labels were cached in a
+        // shard other than their own (answer() caches both endpoints
+        // under the first endpoint's shard).
+        let t_old = tree_of(90, 300, 31);
+        let mut parents: Vec<Option<(NodeId, Weight)>> = (0..90u32)
+            .map(|i| {
+                let v = NodeId(i);
+                t_old.parent(v).map(|p| (p, t_old.parent_weight(v)))
+            })
+            .collect();
+        let (victim, bumped) = (NodeId(41), Weight(299_999));
+        parents[victim.index()] = Some((parents[victim.index()].unwrap().0, bumped));
+        let t_new = RootedTree::from_parents(NodeId(0), parents).unwrap();
+
+        let snap_old = Snapshot::build(&t_old, SepFieldCodec::EliasGamma);
+        let snap_new = Snapshot::build(&t_new, SepFieldCodec::EliasGamma);
+        let mutation = crate::JournalMutation::SetWeight {
+            u: t_old.parent(victim).unwrap().0,
+            v: victim.0,
+            w: bumped.0,
+        };
+        let record = diff_record(1, mutation, &snap_old, &snap_new);
+        assert!(!record.max.is_empty(), "a reweight must move MAX labels");
+
+        let config = EngineConfig::builder()
+            .shards(3)
+            .cache_entries(64)
+            .build()
+            .unwrap();
+        let engine = QueryEngine::new(snap_old, config);
+        // Warm every shard's caches with pre-delta decodes.
+        let mut queries = Vec::new();
+        for u in 0..90u32 {
+            queries.push(Query::Max {
+                u: NodeId(u),
+                v: NodeId((u + 45) % 90),
+            });
+        }
+        let warm = engine.run_batch_response(&queries);
+        assert_eq!(warm.error_count(), 0);
+        assert_eq!(warm.delta_seq, 0);
+        assert_eq!(engine.delta_seq(), 0);
+
+        // Out-of-sequence records are refused and change nothing.
+        let mut skipped = record.clone();
+        skipped.seq = 2;
+        assert!(matches!(
+            engine.apply_delta(&skipped),
+            Err(StoreError::Malformed {
+                context: "delta record",
+                ..
+            })
+        ));
+        assert_eq!(engine.delta_seq(), 0);
+
+        assert_eq!(engine.apply_delta(&record).unwrap(), 1);
+        assert_eq!(engine.delta_seq(), 1);
+        assert_eq!(
+            engine.with_snapshot(Snapshot::to_bytes),
+            snap_new.to_bytes(),
+            "the delta must land the serving snapshot exactly on the rebuild"
+        );
+
+        // Every (possibly cached) answer now matches the new oracle.
+        let idx = PathMaxIndex::new(&t_new);
+        let resp = engine.run_batch_response(&queries);
+        assert_eq!(resp.delta_seq, 1);
+        for (q, a) in queries.iter().zip(&resp.results) {
+            if let (Query::Max { u, v }, Answer::Max(w)) = (*q, a.as_ref().unwrap()) {
+                assert_eq!(
+                    *w,
+                    idx.max_on_path(u, v),
+                    "MAX({u},{v}) served a stale cached decode after the delta"
+                );
+            }
+        }
+        // Replaying the same record is out of sequence now.
+        assert!(engine.apply_delta(&record).is_err());
     }
 
     #[test]

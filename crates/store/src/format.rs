@@ -48,13 +48,14 @@ pub const MAGIC: [u8; 8] = *b"MSTVSNAP";
 /// The container version this code writes and reads.
 pub const VERSION: u16 = 1;
 
-/// Parent sentinel for the root node in the tree section.
-const NO_PARENT: u32 = u32::MAX;
+/// Parent sentinel for the root node in the tree section (shared with
+/// the delta-journal tree records).
+pub(crate) const NO_PARENT: u32 = u32::MAX;
 
 /// Largest label record accepted on read (bits). Labels are
 /// `O(log n · log W)`, so even pathological trees stay far below this;
 /// the cap keeps a corrupted length prefix from driving allocations.
-const MAX_LABEL_BITS: u32 = 1 << 26;
+pub(crate) const MAX_LABEL_BITS: u32 = 1 << 26;
 
 mod tag {
     pub const TREE: u8 = 1;
@@ -154,6 +155,41 @@ impl Snapshot {
         }
     }
 
+    /// Assembles a snapshot directly from its parts, bypassing the
+    /// marker. This is the constructor incremental relabelers
+    /// (`mstv-dyn`) use to persist a label stack they maintained
+    /// themselves; nothing is validated here — run [`Snapshot::fsck`]
+    /// to vouch for the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-node vectors disagree on length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        root: NodeId,
+        max_weight: Weight,
+        codec: LabelCodec,
+        parents: Vec<Option<(NodeId, Weight)>>,
+        max_labels: Vec<BitString>,
+        flow_labels: Vec<BitString>,
+        dist: Option<DistSection>,
+    ) -> Snapshot {
+        assert_eq!(parents.len(), max_labels.len(), "per-node vectors differ");
+        assert_eq!(parents.len(), flow_labels.len(), "per-node vectors differ");
+        if let Some(d) = &dist {
+            assert_eq!(parents.len(), d.labels.len(), "per-node vectors differ");
+        }
+        Snapshot {
+            root,
+            max_weight,
+            codec,
+            parents,
+            max_labels,
+            flow_labels,
+            dist,
+        }
+    }
+
     /// Number of labelled nodes.
     pub fn num_nodes(&self) -> u32 {
         self.parents.len() as u32
@@ -222,6 +258,42 @@ impl Snapshot {
     #[cfg(test)]
     pub(crate) fn corrupt_max_label_for_test(&mut self, v: NodeId) {
         self.max_labels[v.index()] = BitString::new();
+    }
+
+    /// In-place mutators for the delta-journal applier: a
+    /// [`crate::DeltaRecord`] rewrites exactly the dirty rows of each
+    /// section plus the scheme-wide header fields. Crate-private so
+    /// every mutation path outside this crate goes through the
+    /// journal's validation.
+    pub(crate) fn set_scheme_widths(
+        &mut self,
+        max_weight: Weight,
+        omega_bits: u32,
+        delta_bits: u32,
+    ) {
+        self.max_weight = max_weight;
+        self.codec.omega_bits = omega_bits;
+        if let Some(d) = &mut self.dist {
+            d.delta_bits = delta_bits;
+        }
+    }
+
+    pub(crate) fn set_parent_entry(&mut self, v: usize, entry: Option<(NodeId, Weight)>) {
+        self.parents[v] = entry;
+    }
+
+    pub(crate) fn set_max_label(&mut self, v: usize, bits: BitString) {
+        self.max_labels[v] = bits;
+    }
+
+    pub(crate) fn set_flow_label(&mut self, v: usize, bits: BitString) {
+        self.flow_labels[v] = bits;
+    }
+
+    pub(crate) fn set_dist_label(&mut self, v: usize, bits: BitString) {
+        if let Some(d) = &mut self.dist {
+            d.labels[v] = bits;
+        }
     }
 
     /// Reconstructs the stored tree.
@@ -677,17 +749,23 @@ fn parse_label_payload(
 
 /// A bounds-checked little-endian cursor; every read that would run past
 /// the end reports [`StoreError::Truncated`] with the offset it needed.
-struct ByteReader<'a> {
+/// Shared with the delta-journal reader, which frames records the same
+/// way the snapshot frames sections.
+pub(crate) struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         ByteReader { buf, pos: 0 }
     }
 
-    fn take(&mut self, len: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+    pub(crate) fn take(
+        &mut self,
+        len: usize,
+        context: &'static str,
+    ) -> Result<&'a [u8], StoreError> {
         if self.buf.len() - self.pos < len {
             return Err(StoreError::Truncated {
                 context,
@@ -699,27 +777,31 @@ impl<'a> ByteReader<'a> {
         Ok(slice)
     }
 
-    fn rest(&self) -> &'a [u8] {
+    pub(crate) fn rest(&self) -> &'a [u8] {
         &self.buf[self.pos..]
     }
 
-    fn read_u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    pub(crate) fn read_u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
         Ok(self.take(1, context)?[0])
     }
 
-    fn read_u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
+    pub(crate) fn read_u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
         Ok(u16::from_le_bytes(
             self.take(2, context)?.try_into().expect("2 bytes"),
         ))
     }
 
-    fn read_u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+    pub(crate) fn read_u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
         Ok(u32::from_le_bytes(
             self.take(4, context)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn read_u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+    pub(crate) fn read_u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
         Ok(u64::from_le_bytes(
             self.take(8, context)?.try_into().expect("8 bytes"),
         ))

@@ -66,6 +66,7 @@ mod crc;
 mod engine;
 mod error;
 mod format;
+mod journal;
 mod lru;
 pub mod proto;
 
@@ -76,4 +77,8 @@ pub use engine::{
 };
 pub use error::StoreError;
 pub use format::{fsck_pair, DistSection, FsckReport, Snapshot, MAGIC, VERSION};
+pub use journal::{
+    DeltaOutcome, DeltaRecord, Journal, JournalMutation, LabelDelta, TreeDelta, JOURNAL_MAGIC,
+    JOURNAL_VERSION,
+};
 pub use lru::LruCache;

@@ -25,6 +25,8 @@ struct Entry<V> {
 pub struct LruCache<V> {
     map: HashMap<u32, usize>,
     slab: Vec<Entry<V>>,
+    /// Slab slots freed by `invalidate`, reused before the slab grows.
+    free: Vec<usize>,
     head: usize,
     tail: usize,
     capacity: usize,
@@ -36,6 +38,7 @@ impl<V: Clone> LruCache<V> {
         LruCache {
             map: HashMap::with_capacity(capacity.min(1 << 20)),
             slab: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
             head: NIL,
             tail: NIL,
             capacity,
@@ -63,8 +66,22 @@ impl<V: Clone> LruCache<V> {
     pub fn clear(&mut self) {
         self.map.clear();
         self.slab.clear();
+        self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+    }
+
+    /// Drops the entry for `key` if present, returning whether one was
+    /// cached. Unlike `clear`, every other entry keeps its slot and its
+    /// recency, so applying a delta to a handful of dirty nodes does not
+    /// cold-start the whole shard.
+    pub fn invalidate(&mut self, key: u32) -> bool {
+        let Some(i) = self.map.remove(&key) else {
+            return false;
+        };
+        self.unlink(i);
+        self.free.push(i);
+        true
     }
 
     fn unlink(&mut self, i: usize) {
@@ -126,6 +143,11 @@ impl<V: Clone> LruCache<V> {
             self.slab[lru].key = key;
             self.slab[lru].value = value;
             lru
+        } else if let Some(i) = self.free.pop() {
+            // Reuse a slot freed by `invalidate`.
+            self.slab[i].key = key;
+            self.slab[i].value = value;
+            i
         } else {
             self.slab.push(Entry {
                 key,
@@ -218,6 +240,57 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_drops_only_the_target() {
+        let mut c: LruCache<u64> = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert!(c.invalidate(2));
+        assert!(!c.invalidate(2), "second invalidate is a miss");
+        assert!(!c.invalidate(99), "absent key is a miss");
+        // The others survive with their values.
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(10));
+        assert_eq!(c.get(3), Some(30));
+        assert_eq!(c.len(), 2);
+        // The freed slot is reused: the slab must not grow past capacity.
+        c.insert(4, 40);
+        c.insert(5, 50); // evicts the LRU (key 1)
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(3), Some(30));
+        assert_eq!(c.get(4), Some(40));
+        assert_eq!(c.get(5), Some(50));
+        assert!(c.slab.len() <= c.capacity(), "slab leaked a slot");
+    }
+
+    #[test]
+    fn invalidate_head_and_tail_keep_list_consistent() {
+        let mut c: LruCache<u64> = LruCache::new(4);
+        for k in 0..4 {
+            c.insert(k, u64::from(k));
+        }
+        assert!(c.invalidate(3)); // MRU head
+        assert!(c.invalidate(0)); // LRU tail
+        assert_eq!(c.len(), 2);
+        c.insert(7, 70);
+        c.insert(8, 80);
+        c.insert(9, 90); // evicts key 1, the current tail
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(2), Some(2));
+        assert_eq!(c.get(7), Some(70));
+        assert_eq!(c.get(8), Some(80));
+        assert_eq!(c.get(9), Some(90));
+    }
+
+    #[test]
+    fn invalidate_on_zero_capacity_is_a_miss() {
+        let mut c: LruCache<u64> = LruCache::new(0);
+        c.insert(1, 10);
+        assert!(!c.invalidate(1));
+    }
+
+    #[test]
     fn randomized_against_reference_model() {
         // Cross-check against a naive recency-list model.
         let mut c: LruCache<u32> = LruCache::new(8);
@@ -226,7 +299,12 @@ mod tests {
         for _ in 0..10_000 {
             state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
             let key = (state >> 16) % 24;
-            if state & 1 == 0 {
+            if state & 7 == 7 {
+                let got = c.invalidate(key);
+                let want = model.iter().any(|&(k, _)| k == key);
+                assert_eq!(got, want, "invalidate {key}");
+                model.retain(|&(k, _)| k != key);
+            } else if state & 1 == 0 {
                 let val = state >> 8;
                 c.insert(key, val);
                 model.retain(|&(k, _)| k != key);

@@ -35,7 +35,9 @@
 //!   status is an [`ErrorCode`] with its arguments (layout in
 //!   [`ErrorCode`]'s docs).
 //! * **AdminRequest** — `tag: u8`: `1` stats, `2` swap-snapshot
-//!   followed by `len: u32 | len × utf-8 path bytes`, `3` shutdown.
+//!   followed by `len: u32 | len × utf-8 path bytes`, `3` shutdown,
+//!   `4` apply-delta followed by `len: u32 | len × record bytes` (one
+//!   serialized `MSTVJRNL` [`crate::DeltaRecord`] frame).
 //! * **AdminReply** — `tag: u8`: `1` ok followed by `epoch: u64`,
 //!   `2` stats followed by a length-prefixed JSON string, `3` error
 //!   followed by a length-prefixed message.
@@ -324,6 +326,15 @@ pub enum AdminRequest {
     },
     /// Drain and stop the server.
     Shutdown,
+    /// Fold one journal delta record into the serving snapshot in place
+    /// (no engine rebuild, no epoch-resetting swap): the live-mutation
+    /// path of `mstv-dyn`. The reply's epoch reflects the new delta
+    /// sequence.
+    ApplyDelta {
+        /// One serialized [`crate::DeltaRecord`] frame
+        /// (`DeltaRecord::to_bytes`).
+        bytes: Vec<u8>,
+    },
 }
 
 /// Server replies to [`AdminRequest`]s.
@@ -552,6 +563,11 @@ impl Reader<'_> {
         let bytes = self.take(len, context)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Malformed { context })
     }
+
+    fn bytes(&mut self, context: &'static str) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32(context)? as usize;
+        Ok(self.take(len, context)?.to_vec())
+    }
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -563,11 +579,15 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 fn put_string(out: &mut Vec<u8>, s: &str) -> Result<(), ProtoError> {
-    let len = u32::try_from(s.len()).map_err(|_| ProtoError::Oversized {
-        bytes: s.len() as u64,
+    put_bytes(out, s.as_bytes())
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) -> Result<(), ProtoError> {
+    let len = u32::try_from(bytes.len()).map_err(|_| ProtoError::Oversized {
+        bytes: bytes.len() as u64,
     })?;
     put_u32(out, len);
-    out.extend_from_slice(s.as_bytes());
+    out.extend_from_slice(bytes);
     Ok(())
 }
 
@@ -758,6 +778,10 @@ fn encode_admin(out: &mut Vec<u8>, req: &AdminRequest) -> Result<(), ProtoError>
             put_string(out, path)?;
         }
         AdminRequest::Shutdown => out.push(3),
+        AdminRequest::ApplyDelta { bytes } => {
+            out.push(4);
+            put_bytes(out, bytes)?;
+        }
     }
     Ok(())
 }
@@ -769,6 +793,9 @@ fn decode_admin(r: &mut Reader<'_>) -> Result<AdminRequest, ProtoError> {
             path: r.string("swap path")?,
         },
         3 => AdminRequest::Shutdown,
+        4 => AdminRequest::ApplyDelta {
+            bytes: r.bytes("delta record")?,
+        },
         _ => {
             return Err(ProtoError::Malformed {
                 context: "admin tag",
@@ -848,6 +875,9 @@ mod tests {
             }),
             Frame::Admin(AdminRequest::SwapSnapshot {
                 path: "/tmp/x.snap".to_owned(),
+            }),
+            Frame::Admin(AdminRequest::ApplyDelta {
+                bytes: vec![0xDE, 0xAD, 0xBE, 0xEF],
             }),
             Frame::AdminReply(AdminReply::Stats {
                 json: "{\"ok\":true}".to_owned(),

@@ -1,0 +1,153 @@
+//! Golden-fixture test for the MSTVJRNL container: a journal cut from a
+//! fixed seeded mutation sequence is committed to the repo and checked
+//! byte-for-byte, so any accidental change to the journal layout (or to
+//! the snapshot rows it carries) fails CI instead of silently orphaning
+//! existing journal files.
+//!
+//! To bless a deliberate format change, bump `JOURNAL_VERSION` and run
+//! `MSTV_BLESS=1 cargo test -p mstv-store --test journal_golden`.
+
+use mstv_graph::{gen, NodeId, Weight};
+use mstv_labels::{BitString, SepFieldCodec};
+use mstv_store::{
+    DeltaOutcome, DeltaRecord, Journal, JournalMutation, LabelDelta, Snapshot, TreeDelta,
+    JOURNAL_VERSION,
+};
+use mstv_trees::RootedTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.jrnl");
+const GOLDEN_NODES: usize = 96;
+const GOLDEN_MUTATIONS: usize = 8;
+
+/// The fixed seeded base tree (same shape generator as the snapshot
+/// golden, different seed so the two fixtures are independent).
+fn golden_parents() -> Vec<Option<(NodeId, Weight)>> {
+    let mut rng = StdRng::seed_from_u64(0x005E_ED0B);
+    let g = gen::random_tree(
+        GOLDEN_NODES,
+        gen::WeightDist::Uniform { max: 5000 },
+        &mut rng,
+    );
+    let tree = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+    (0..GOLDEN_NODES)
+        .map(|i| {
+            let v = NodeId(i as u32);
+            tree.parent(v).map(|p| (p, tree.parent_weight(v)))
+        })
+        .collect()
+}
+
+/// The deterministic golden journal: eight seeded parent-edge reweights,
+/// each journaled as the exact row diff between consecutive full builds
+/// (sound by construction, independent of the incremental marker).
+fn golden_journal() -> (Snapshot, Journal, Snapshot) {
+    let mut parents = golden_parents();
+    let tree = RootedTree::from_parents(NodeId(0), parents.clone()).unwrap();
+    let base = Snapshot::build(&tree, SepFieldCodec::EliasGamma);
+    let mut journal = Journal::new(&base);
+    let mut prev = base.clone();
+    let mut rng = StdRng::seed_from_u64(0xD317A);
+    for seq0 in 0..GOLDEN_MUTATIONS {
+        let node = rng.gen_range(1..GOLDEN_NODES as u32);
+        let w = Weight(rng.gen_range(1..5000));
+        let parent = parents[node as usize].unwrap().0;
+        parents[node as usize] = Some((parent, w));
+        let tree = RootedTree::from_parents(NodeId(0), parents.clone()).unwrap();
+        let next = Snapshot::build(&tree, SepFieldCodec::EliasGamma);
+        journal.append(diff_record(
+            seq0 as u64 + 1,
+            JournalMutation::SetWeight {
+                u: parent.0,
+                v: node,
+                w: w.0,
+            },
+            &prev,
+            &next,
+        ));
+        prev = next;
+    }
+    (base, journal, prev)
+}
+
+fn diff_record(
+    seq: u64,
+    mutation: JournalMutation,
+    prev: &Snapshot,
+    next: &Snapshot,
+) -> DeltaRecord {
+    let (pt, nt) = (prev.tree().unwrap(), next.tree().unwrap());
+    let tree = (0..prev.num_nodes())
+        .filter_map(|i| {
+            let v = NodeId(i);
+            let entry = nt.parent(v).map(|p| (p.0, nt.parent_weight(v).0));
+            let old = pt.parent(v).map(|p| (p.0, pt.parent_weight(v).0));
+            (entry != old).then_some(TreeDelta {
+                node: i,
+                parent: entry,
+            })
+        })
+        .collect();
+    let diff_labels = |a: &[BitString], b: &[BitString]| -> Vec<LabelDelta> {
+        a.iter()
+            .zip(b)
+            .enumerate()
+            .filter(|(_, (x, y))| x != y)
+            .map(|(i, (_, y))| LabelDelta {
+                node: i as u32,
+                bits: y.clone(),
+            })
+            .collect()
+    };
+    DeltaRecord {
+        seq,
+        mutation,
+        outcome: DeltaOutcome::WeightsOnly,
+        new_max_weight: next.max_weight(),
+        new_omega_bits: next.codec().omega_bits,
+        new_delta_bits: next.dist().map_or(1, |d| d.delta_bits),
+        tree,
+        max: diff_labels(prev.max_labels(), next.max_labels()),
+        flow: diff_labels(prev.flow_labels(), next.flow_labels()),
+        dist: diff_labels(&prev.dist().unwrap().labels, &next.dist().unwrap().labels),
+    }
+}
+
+#[test]
+fn golden_journal_matches_byte_for_byte() {
+    let (_, journal, _) = golden_journal();
+    let bytes = journal.to_bytes();
+    if std::env::var_os("MSTV_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &bytes).unwrap();
+    }
+    let golden = std::fs::read(GOLDEN_PATH).expect(
+        "fixture missing; create with MSTV_BLESS=1 cargo test -p mstv-store --test journal_golden",
+    );
+    assert_eq!(
+        bytes, golden,
+        "journal encoding drifted from the committed golden fixture; \
+         if the change is deliberate, bump mstv_store::JOURNAL_VERSION and \
+         re-bless with MSTV_BLESS=1 (version is currently {JOURNAL_VERSION})"
+    );
+}
+
+#[test]
+fn golden_journal_loads_compacts_and_fscks() {
+    let journal = Journal::read_file(GOLDEN_PATH).expect("committed fixture parses");
+    assert_eq!(journal.base_nodes() as usize, GOLDEN_NODES);
+    assert_eq!(journal.base_root(), 0);
+    assert_eq!(journal.records().len(), GOLDEN_MUTATIONS);
+
+    let (base, _, target) = golden_journal();
+    journal.verify_base(&base).expect("anchored to its base");
+    let compacted = journal.compact(&base).expect("records apply");
+    assert_eq!(
+        compacted.to_bytes(),
+        target.to_bytes(),
+        "compaction must land byte-identically on the mutated snapshot"
+    );
+    let (records, report) = journal.fsck(&base, 128).expect("compacted state is sound");
+    assert_eq!(records, GOLDEN_MUTATIONS);
+    assert_eq!(report.nodes as usize, GOLDEN_NODES);
+}

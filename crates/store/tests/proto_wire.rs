@@ -98,6 +98,8 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         (0usize..40).prop_map(|n| Frame::Admin(AdminRequest::SwapSnapshot {
             path: "p/".repeat(n)
         })),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|bytes| Frame::Admin(AdminRequest::ApplyDelta { bytes })),
         any::<u64>().prop_map(|epoch| Frame::AdminReply(AdminReply::Ok { epoch })),
         (0usize..40).prop_map(|n| Frame::AdminReply(AdminReply::Stats {
             json: "{}".repeat(n)

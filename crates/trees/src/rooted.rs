@@ -119,6 +119,58 @@ impl RootedTree {
         Self::from_graph_edges(graph, &all, root)
     }
 
+    /// Builds a rooted tree from a per-edge membership slice —
+    /// `in_tree[e]` says whether edge `e` of `graph` is a tree edge.
+    ///
+    /// Produces exactly the tree [`RootedTree::from_graph_edges`] builds
+    /// from the corresponding edge list (same BFS discovery order, hence
+    /// identical children order and preorder), but the hot path is a slice
+    /// index per neighbor instead of an ordered-set probe per neighbor —
+    /// the constructor incremental maintainers call once per mutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the membership length does not match the
+    /// graph's edge count or the selected edges are not a spanning tree.
+    pub fn from_tree_membership(
+        graph: &Graph,
+        in_tree: &[bool],
+        root: NodeId,
+    ) -> Result<Self, GraphError> {
+        if in_tree.len() != graph.num_edges() {
+            return Err(GraphError::NotASpanningTree {
+                reason: format!(
+                    "membership covers {} of {} edges",
+                    in_tree.len(),
+                    graph.num_edges()
+                ),
+            });
+        }
+        if in_tree.iter().filter(|b| **b).count() != graph.num_nodes().saturating_sub(1) {
+            return Err(GraphError::NotASpanningTree {
+                reason: "edge count is not n - 1".to_owned(),
+            });
+        }
+        let n = graph.num_nodes();
+        let mut parents: Vec<Option<(NodeId, Weight)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[root.index()] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for nb in graph.neighbors(v) {
+                if in_tree[nb.edge.index()] && !seen[nb.node.index()] {
+                    seen[nb.node.index()] = true;
+                    parents[nb.node.index()] = Some((v, nb.weight));
+                    queue.push_back(nb.node);
+                }
+            }
+        }
+        // `from_parents` rejects the unreached remainder of a
+        // non-spanning selection (cycles leave nodes without parents).
+        Self::from_parents(root, parents)
+    }
+
     /// Builds a rooted tree from a subset of a graph's edges.
     ///
     /// # Errors
@@ -169,6 +221,23 @@ impl RootedTree {
     #[inline]
     pub fn parent(&self, v: NodeId) -> Option<NodeId> {
         self.parent[v.index()]
+    }
+
+    /// Overwrites the cached weight of the edge between `child` and its
+    /// parent. Structure (parents, depths, traversal order) is untouched;
+    /// the caller keeps the mirror consistent with its graph — this is
+    /// the weights-only fast path of incremental maintenance, where a
+    /// tree edge is re-priced without moving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` is the root (it has no parent edge).
+    pub fn set_parent_weight(&mut self, child: NodeId, w: Weight) {
+        assert!(
+            self.parent[child.index()].is_some(),
+            "the root has no parent edge to re-weight"
+        );
+        self.parent_weight[child.index()] = w;
     }
 
     /// Weight of the edge from `v` to its parent (`Weight::ZERO` at root).
@@ -244,6 +313,31 @@ impl RootedTree {
             }
         }
         best
+    }
+
+    /// All three path aggregates — `(MAX, FLOW, DIST)` = (largest edge
+    /// weight, smallest edge weight, summed weight) of the tree path —
+    /// in one O(depth) climb, with the empty-path conventions of the
+    /// individual oracles: `(Weight::ZERO, Weight(u64::MAX), 0)` when
+    /// `u == v`. Zero preprocessing, so incremental relabelers can
+    /// re-assemble a handful of dirty labels without paying a full
+    /// O(n log n) index build first.
+    pub fn path_stats_naive(&self, u: NodeId, v: NodeId) -> (Weight, Weight, u64) {
+        let (mut a, mut b) = (u, v);
+        let (mut max, mut min, mut sum) = (Weight::ZERO, Weight(u64::MAX), 0u64);
+        while a != b {
+            let step = if self.depth(a) >= self.depth(b) {
+                &mut a
+            } else {
+                &mut b
+            };
+            let w = self.parent_weight(*step);
+            max = max.max(w);
+            min = min.min(w);
+            sum += w.0;
+            *step = self.parent(*step).expect("non-root node has parent");
+        }
+        (max, min, sum)
     }
 
     /// Naive `FLOW(u, v)`: the smallest edge weight on the tree path, or
@@ -354,6 +448,42 @@ mod tests {
     }
 
     #[test]
+    fn set_parent_weight_repriced_edge_only() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(4)).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), Weight(7)).unwrap();
+        let mut t = RootedTree::from_graph_edges(&g, &[e0, e1], NodeId(0)).unwrap();
+        t.set_parent_weight(NodeId(2), Weight(11));
+        assert_eq!(t.parent_weight(NodeId(2)), Weight(11));
+        assert_eq!(t.parent_weight(NodeId(1)), Weight(4));
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "root has no parent edge")]
+    fn set_parent_weight_rejects_root() {
+        let mut g = Graph::new(2);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let mut t = RootedTree::from_graph_edges(&g, &[e0], NodeId(0)).unwrap();
+        t.set_parent_weight(NodeId(0), Weight(2));
+    }
+
+    #[test]
+    fn path_stats_matches_individual_oracles() {
+        let t = sample();
+        for u in t.nodes() {
+            for v in t.nodes() {
+                let (max, min, _) = t.path_stats_naive(u, v);
+                assert_eq!(max, t.max_on_path_naive(u, v));
+                assert_eq!(min, t.min_on_path_naive(u, v));
+            }
+        }
+        // Summed weights: 3 -2- 1 -5- 0 -3- 2 -1- 5.
+        assert_eq!(t.path_stats_naive(NodeId(3), NodeId(5)).2, 11);
+        assert_eq!(t.path_stats_naive(NodeId(4), NodeId(4)).2, 0);
+    }
+
+    #[test]
     fn path_to_root() {
         let t = sample();
         assert_eq!(
@@ -402,6 +532,40 @@ mod tests {
         assert_eq!(t.parent(NodeId(0)), Some(NodeId(3)));
         assert_eq!(t.parent_weight(NodeId(0)), Weight(9));
         assert_eq!(t.max_on_path_naive(NodeId(1), NodeId(2)), Weight(9));
+    }
+
+    #[test]
+    fn from_tree_membership_matches_edge_list() {
+        let mut g = Graph::new(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), Weight(4)).unwrap();
+        let _e1 = g.add_edge(NodeId(1), NodeId(2), Weight(6)).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(3), Weight(2)).unwrap();
+        let e3 = g.add_edge(NodeId(3), NodeId(0), Weight(9)).unwrap();
+        let edges = [e0, e2, e3];
+        let mut memb = vec![false; g.num_edges()];
+        for e in edges {
+            memb[e.index()] = true;
+        }
+        let via_list = RootedTree::from_graph_edges(&g, &edges, NodeId(2)).unwrap();
+        let via_memb = RootedTree::from_tree_membership(&g, &memb, NodeId(2)).unwrap();
+        assert_eq!(via_list, via_memb);
+
+        // n - 1 edges that close a cycle (a triangle beside a pendant
+        // node) leave node 3 unreached — rejected, not silently
+        // mis-rooted.
+        let mut h = Graph::new(4);
+        let t0 = h.add_edge(NodeId(0), NodeId(1), Weight(1)).unwrap();
+        let t1 = h.add_edge(NodeId(1), NodeId(2), Weight(2)).unwrap();
+        let t2 = h.add_edge(NodeId(2), NodeId(0), Weight(3)).unwrap();
+        let _t3 = h.add_edge(NodeId(2), NodeId(3), Weight(4)).unwrap();
+        let mut cyc = vec![false; h.num_edges()];
+        for e in [t0, t1, t2] {
+            cyc[e.index()] = true;
+        }
+        assert!(RootedTree::from_tree_membership(&h, &cyc, NodeId(0)).is_err());
+        // Wrong membership length and wrong edge count are typed errors.
+        assert!(RootedTree::from_tree_membership(&g, &[true; 2], NodeId(0)).is_err());
+        assert!(RootedTree::from_tree_membership(&g, &[true; 4], NodeId(0)).is_err());
     }
 
     #[test]

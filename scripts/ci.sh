@@ -133,4 +133,28 @@ grep -q "labels: max $central_bits bits" "$tmp/compute_e.txt" \
 cmp "$tmp/from_net.snap" "$tmp/central.snap" \
     || { echo "ci: construction snapshot differs from the centralized one"; exit 1; }
 
+echo "== delta-journal golden fixture (byte-for-byte) =="
+# The committed journal fixture pins the MSTVJRNL container layout and
+# the per-record delta framing; drift fails here rather than silently
+# orphaning journals written by older builds.
+cargo test -q --offline -p mstv-store --test journal_golden
+
+echo "== dynamic mutation smoke (64-mutation stream, journal vs rebuild) =="
+# Stream 64 seeded mutations through the incremental marker with every
+# step asserted byte-identical to a from-scratch rebuild, fsck the
+# resulting journal against its base, fold it back into a snapshot, and
+# require the compacted bytes to equal `snapshot write` on the mutated
+# graph — the centralized path and the incremental path must agree on
+# every byte.
+"$mstv" gen --nodes 256 --extra 300 --max-weight 500 --seed 21 > "$tmp/d.txt"
+"$mstv" snapshot write "$tmp/d.txt" "$tmp/d.snap" >/dev/null
+"$mstv" mutate "$tmp/d.txt" --gen 64 --seed 3 > "$tmp/muts.txt"
+"$mstv" mutate "$tmp/d.txt" --stream "$tmp/muts.txt" --journal "$tmp/d.jrnl" \
+    --emit-graph "$tmp/dm.txt" --verify-rebuild >/dev/null
+"$mstv" snapshot fsck "$tmp/d.jrnl" --base "$tmp/d.snap" >/dev/null
+"$mstv" mutate --compact "$tmp/d.snap" "$tmp/d.jrnl" "$tmp/compacted.snap" >/dev/null
+"$mstv" snapshot write "$tmp/dm.txt" "$tmp/rebuilt.snap" >/dev/null
+cmp "$tmp/compacted.snap" "$tmp/rebuilt.snap" \
+    || { echo "ci: compacted journal differs from the rebuilt snapshot"; exit 1; }
+
 echo "ci: all checks passed"

@@ -17,6 +17,7 @@
 use std::process::ExitCode;
 
 use mst_verification::core::{MstScheme, Mutation, ProofLabelingScheme, VerifySession};
+use mst_verification::dynmark::DynMarker;
 use mst_verification::graph::io::{parse_edge_list, parse_tree_file, to_edge_list};
 use mst_verification::graph::{
     dot::to_dot, gen, tree_states, ConfigGraph, EdgeId, NodeId, Port, Weight,
@@ -26,7 +27,10 @@ use mst_verification::mst::{check_mst, kruskal, mst_weight, MstVerdict};
 use mst_verification::sensitivity::{sensitivity, EdgeSensitivity};
 use mst_verification::serve::{Client, ServeConfig, ServerHandle};
 use mst_verification::store::proto::ErrorCode;
-use mst_verification::store::{Answer, EngineConfig, Query, QueryEngine, Snapshot};
+use mst_verification::store::{
+    Answer, DeltaOutcome, EngineConfig, Journal, JournalMutation, Query, QueryEngine, Snapshot,
+    JOURNAL_MAGIC,
+};
 use mst_verification::trees::{ParallelConfig, PathMaxIndex, RootedTree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,7 +92,24 @@ const USAGE: &str = "usage:
       print the snapshot header and per-section statistics
   mstv snapshot fsck <file.snap> [--pairs N]
       deep-check a snapshot: CRCs, framing, every label record decoded,
-      and N decoded answers cross-checked against a fresh path oracle
+      and N decoded answers cross-checked against a fresh path oracle.
+      Given a delta journal instead (detected by magic), --base <file.snap>
+      names its base snapshot; fsck then walks every record and
+      deep-checks the compacted result
+  mstv mutate <graph-file> --gen N [--seed S] [--max-weight W]
+      emit a seeded random mutation stream for the graph (one per line:
+      `set u v w` reweights the edge (u, v); `swap u1 v1 u2 v2`
+      exchanges two edges' weights)
+  mstv mutate <graph-file> --stream <muts-file> --journal <out.jrnl>
+           [--codec gamma|fixed] [--emit-graph <out-file>] [--verify-rebuild]
+      run the stream through the incremental marker and write the
+      MSTVSNAP delta journal: a base-snapshot anchor plus one
+      CRC-framed record per mutation. --emit-graph saves the mutated
+      edge list; --verify-rebuild asserts after every mutation that the
+      incremental snapshot is byte-identical to a from-scratch rebuild
+  mstv mutate --compact <base.snap> <journal.jrnl> <out.snap>
+      fold a delta journal into its base snapshot; the output is
+      byte-identical to `mstv snapshot write` on the mutated graph
   mstv query <file.snap> max|flow|dist <u> <v>
   mstv query <file.snap> verify <u> <v> <w>
       answer one query from the stored labels alone (verify runs the
@@ -140,6 +161,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "session" => cmd_session(&args[1..]),
         "net" => cmd_net(&args[1..]),
         "snapshot" => cmd_snapshot(&args[1..]),
+        "mutate" => cmd_mutate(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
@@ -816,6 +838,23 @@ fn cmd_snapshot(args: &[String]) -> Result<(), String> {
         "fsck" => {
             let path = args.get(1).ok_or("missing snapshot file")?;
             let pairs = flag_value(args, "--pairs")?.unwrap_or(256) as usize;
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            if bytes.starts_with(&JOURNAL_MAGIC) {
+                let journal = Journal::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+                let base_path = flag_str(args, "--base")
+                    .ok_or("fsck of a delta journal needs --base <file.snap>")?;
+                let base =
+                    Snapshot::read_file(&base_path).map_err(|e| format!("{base_path}: {e}"))?;
+                let (records, report) = journal
+                    .fsck(&base, pairs)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!(
+                    "{path}: ok — {records} records over base {base_path}, compacted result \
+                     fscks clean ({} nodes, {} sampled answers match the tree oracle)",
+                    report.nodes, report.pairs_checked,
+                );
+                return Ok(());
+            }
             let snap = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
             let report = snap.fsck(pairs).map_err(|e| format!("{path}: {e}"))?;
             println!(
@@ -832,6 +871,175 @@ fn cmd_snapshot(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown snapshot subcommand {other:?}")),
+    }
+}
+
+/// The dynamic half of the store: generate mutation streams, run them
+/// through the incremental marker into an MSTVSNAP delta journal, and
+/// fold journals back into snapshots.
+fn cmd_mutate(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("--compact") {
+        return cmd_mutate_compact(&args[1..]);
+    }
+    let positionals = positional_words(
+        args,
+        &[
+            "--gen",
+            "--seed",
+            "--max-weight",
+            "--stream",
+            "--journal",
+            "--codec",
+            "--emit-graph",
+        ],
+    );
+    let gpath = positionals.first().ok_or("missing graph file")?;
+    let g = load_graph(gpath)?;
+
+    if let Some(count) = flag_value(args, "--gen")? {
+        return cmd_mutate_gen(args, &g, count as usize);
+    }
+
+    let stream_path = flag_str(args, "--stream").ok_or("--stream (or --gen/--compact) needed")?;
+    let journal_path = flag_str(args, "--journal").ok_or("--stream needs --journal <out.jrnl>")?;
+    let codec = match flag_str(args, "--codec").as_deref() {
+        None | Some("gamma") => SepFieldCodec::EliasGamma,
+        Some("fixed") => SepFieldCodec::FixedWidth {
+            bits: (usize::BITS - g.num_nodes().leading_zeros()).max(1),
+        },
+        Some(other) => return Err(format!("unknown codec {other:?} (gamma|fixed)")),
+    };
+    let verify_rebuild = args.iter().any(|a| a == "--verify-rebuild");
+
+    let text = std::fs::read_to_string(&stream_path)
+        .map_err(|e| format!("cannot read {stream_path}: {e}"))?;
+    let mut marker = DynMarker::new(g, codec).map_err(|e| format!("{gpath}: {e}"))?;
+    let mut journal = Journal::new(&marker.snapshot());
+    let mut outcomes = [0usize; 4];
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let loc = format!("{stream_path}:{}", lineno + 1);
+        let mutation = parse_mutation(line, &loc)?;
+        let record = marker.apply(mutation).map_err(|e| format!("{loc}: {e}"))?;
+        outcomes[record.outcome as usize] += 1;
+        if verify_rebuild {
+            let fresh = DynMarker::new(marker.graph().clone(), codec)
+                .expect("mutations preserve connectivity")
+                .snapshot();
+            if marker.snapshot().to_bytes() != fresh.to_bytes() {
+                return Err(format!(
+                    "{loc}: incremental snapshot diverged from a from-scratch rebuild"
+                ));
+            }
+        }
+        journal.append(record);
+    }
+    journal
+        .write_file(&journal_path)
+        .map_err(|e| format!("cannot write {journal_path}: {e}"))?;
+    if let Some(out) = flag_str(args, "--emit-graph") {
+        std::fs::write(&out, to_edge_list(marker.graph()))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    println!(
+        "wrote {journal_path}: {} records over {} nodes ({} no-op, {} weights-only, {} tree-swap, \
+         {} re-encode){}",
+        journal.records().len(),
+        journal.base_nodes(),
+        outcomes[DeltaOutcome::NoOp as usize],
+        outcomes[DeltaOutcome::WeightsOnly as usize],
+        outcomes[DeltaOutcome::TreeSwap as usize],
+        outcomes[DeltaOutcome::Reencode as usize],
+        if verify_rebuild {
+            ", every step byte-identical to a rebuild"
+        } else {
+            ""
+        },
+    );
+    Ok(())
+}
+
+/// `mstv mutate --gen`: a seeded stream of valid mutations against the
+/// graph's edge set, mostly reweights with some weight swaps mixed in.
+fn cmd_mutate_gen(
+    args: &[String],
+    g: &mst_verification::graph::Graph,
+    count: usize,
+) -> Result<(), String> {
+    let seed = flag_value(args, "--seed")?.unwrap_or(0);
+    let max_w = match flag_value(args, "--max-weight")? {
+        Some(0) => return Err("--max-weight must be positive".to_owned()),
+        Some(w) => w,
+        None => g.edges().map(|(_, e)| e.w.0).max().unwrap_or(1),
+    };
+    let m = g.num_edges();
+    if m == 0 {
+        return Err("graph has no edges to mutate".to_owned());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..count {
+        if m >= 2 && rng.gen_range(0..4) == 0 {
+            let a = rng.gen_range(0..m);
+            let b = (a + rng.gen_range(1..m)) % m;
+            let (ea, eb) = (g.edge(EdgeId(a as u32)), g.edge(EdgeId(b as u32)));
+            println!("swap {} {} {} {}", ea.u.0, ea.v.0, eb.u.0, eb.v.0);
+        } else {
+            let e = g.edge(EdgeId(rng.gen_range(0..m) as u32));
+            println!("set {} {} {}", e.u.0, e.v.0, rng.gen_range(1..=max_w));
+        }
+    }
+    Ok(())
+}
+
+/// `mstv mutate --compact`: fold a journal into its base snapshot.
+fn cmd_mutate_compact(args: &[String]) -> Result<(), String> {
+    let [base_path, journal_path, out] =
+        positional_words(args, &[])
+            .try_into()
+            .map_err(|_: Vec<&str>| {
+                "--compact needs <base.snap> <journal.jrnl> <out.snap>".to_owned()
+            })?;
+    let base = Snapshot::read_file(base_path).map_err(|e| format!("{base_path}: {e}"))?;
+    let journal = Journal::read_file(journal_path).map_err(|e| format!("{journal_path}: {e}"))?;
+    let snap = journal
+        .compact(&base)
+        .map_err(|e| format!("{journal_path}: {e}"))?;
+    let bytes = snap.to_bytes();
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} records folded into {} nodes, {} bytes",
+        journal.records().len(),
+        snap.num_nodes(),
+        bytes.len(),
+    );
+    Ok(())
+}
+
+/// Parses one mutation-stream line: `set u v w` or `swap u1 v1 u2 v2`.
+fn parse_mutation(line: &str, loc: &str) -> Result<JournalMutation, String> {
+    let num = |w: &str| -> Result<u64, String> {
+        w.parse()
+            .map_err(|e| format!("{loc}: bad number {w:?}: {e}"))
+    };
+    let words: Vec<&str> = line.split_whitespace().collect();
+    match words.as_slice() {
+        ["set", u, v, w] => Ok(JournalMutation::SetWeight {
+            u: num(u)? as u32,
+            v: num(v)? as u32,
+            w: num(w)?,
+        }),
+        ["swap", u1, v1, u2, v2] => Ok(JournalMutation::SwapWeights {
+            u1: num(u1)? as u32,
+            v1: num(v1)? as u32,
+            u2: num(u2)? as u32,
+            v2: num(v2)? as u32,
+        }),
+        _ => Err(format!(
+            "{loc}: cannot parse mutation (expected `set u v w` or `swap u1 v1 u2 v2`)"
+        )),
     }
 }
 
@@ -1070,12 +1278,11 @@ fn cmd_query_bench(args: &[String], engine: &QueryEngine) -> Result<(), String> 
     const BATCH: usize = 1024;
     let count = flag_value(args, "--queries")?.unwrap_or(100_000) as usize;
     let seed = flag_value(args, "--seed")?.unwrap_or(0);
-    let n = engine.snapshot().num_nodes();
+    let (n, has_dist, max_w) =
+        engine.with_snapshot(|s| (s.num_nodes(), s.dist().is_some(), s.max_weight().0));
     if n == 0 {
         return Err("snapshot is empty".to_owned());
     }
-    let has_dist = engine.snapshot().dist().is_some();
-    let max_w = engine.snapshot().max_weight().0;
     let mut rng = StdRng::seed_from_u64(seed);
     let queries: Vec<Query> = (0..count)
         .map(|i| {

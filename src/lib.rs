@@ -117,6 +117,7 @@
 
 pub use mstv_core as core;
 pub use mstv_distsim as distsim;
+pub use mstv_dyn as dynmark;
 pub use mstv_graph as graph;
 pub use mstv_hypertree as hypertree;
 pub use mstv_labels as labels;
