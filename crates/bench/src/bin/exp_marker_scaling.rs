@@ -10,8 +10,25 @@
 //! parallel run is cross-checked bit-for-bit against the single-worker
 //! baseline on the same instance, so the table cannot be
 //! fast-but-wrong; timings themselves are reported, never asserted.
-//! Speedups depend on the machine — on a single-core box every row
-//! reports ~1× and that is the honest answer.
+//!
+//! Thread counts above the host's available parallelism measure
+//! scheduler contention, not the pipeline — on a 1-core box a
+//! `threads=8` row reads as a parallel regression when it is only
+//! oversubscription. Such counts are therefore **skipped by default**
+//! (pass `--all-threads` to run them anyway), and every emitted point
+//! carries `host_parallelism` and an `oversubscribed` flag so a series
+//! recorded on one machine cannot be misread on another.
+//!
+//! Two throughput rates are reported per point. `labels_per_sec` divides
+//! the node count by the marker time; because label sizes grow as
+//! Θ(log n) — the paper's lower bound, not an implementation artifact —
+//! this rate carries a gentle negative slope in `n` even at perfect
+//! efficiency. `fields_per_sec` divides the total number of `γ` fields
+//! assembled and encoded (`Σ_v level(v)`) by the same time: it is the
+//! size-independent measure of pipeline speed, the one that should stay
+//! flat or rise as `n` grows. Each configuration is timed `REPS`
+//! times and the fastest repetition kept, so a scheduler hiccup on a
+//! small box cannot masquerade as a scaling cliff.
 //!
 //! Besides the greppable per-point JSON lines, the whole series is
 //! written to `BENCH_marker.json` (override the path with the first
@@ -30,26 +47,40 @@ use mstv_trees::RootedTree;
 
 const SIZES: [usize; 2] = [10_000, 100_000];
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
 
 struct Point {
     nodes: usize,
     threads: usize,
+    total_fields: usize,
     marker_secs: f64,
     snapshot_secs: f64,
+    host_parallelism: usize,
 }
 
 impl Point {
     fn labels_per_sec(&self) -> f64 {
         self.nodes as f64 / self.marker_secs
     }
+
+    fn fields_per_sec(&self) -> f64 {
+        self.total_fields as f64 / self.marker_secs
+    }
+
+    fn oversubscribed(&self) -> bool {
+        self.threads > self.host_parallelism
+    }
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(0, NonZeroUsize::get)
 }
 
 fn main() {
+    let all_threads = std::env::args().any(|a| a == "--all-threads");
+    let host = host_parallelism();
     println!("E14: parallel marker scaling (labels/sec vs worker count)");
-    println!(
-        "host parallelism: {}",
-        std::thread::available_parallelism().map_or(0, NonZeroUsize::get)
-    );
+    println!("host parallelism: {host}");
 
     let mut points: Vec<Point> = Vec::new();
     let mut rows = Vec::new();
@@ -67,19 +98,40 @@ fn main() {
             .expect("workload is an MST");
         let baseline_snap =
             Snapshot::build_parallel(&tree, SepFieldCodec::EliasGamma, one_worker());
+        let total_fields: usize = baseline_labeling
+            .labels()
+            .iter()
+            .map(|l| l.gamma.level())
+            .sum();
 
         for &threads in &THREADS {
+            if threads > host.max(1) && !all_threads {
+                println!(
+                    "skipping threads={threads} at n={n}: oversubscribed on a \
+                     host with parallelism {host} (--all-threads runs it anyway)"
+                );
+                continue;
+            }
             let pc = ParallelConfig::with_threads(NonZeroUsize::new(threads).unwrap());
 
-            let t0 = Instant::now();
-            let labeling = scheme
-                .marker_parallel(&cfg, pc)
-                .expect("workload is an MST");
-            let marker_secs = t0.elapsed().as_secs_f64().max(1e-9);
+            // Fastest of REPS interleaved repetitions per stage; the last
+            // repetition's outputs feed the bit-identity checks below.
+            let mut marker_secs = f64::INFINITY;
+            let mut snapshot_secs = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let labeling = scheme
+                    .marker_parallel(&cfg, pc)
+                    .expect("workload is an MST");
+                marker_secs = marker_secs.min(t0.elapsed().as_secs_f64().max(1e-9));
 
-            let t1 = Instant::now();
-            let snap = Snapshot::build_parallel(&tree, SepFieldCodec::EliasGamma, pc);
-            let snapshot_secs = t1.elapsed().as_secs_f64().max(1e-9);
+                let t1 = Instant::now();
+                let snap = Snapshot::build_parallel(&tree, SepFieldCodec::EliasGamma, pc);
+                snapshot_secs = snapshot_secs.min(t1.elapsed().as_secs_f64().max(1e-9));
+                last = Some((labeling, snap));
+            }
+            let (labeling, snap) = last.expect("REPS >= 1");
 
             for v in tree.nodes() {
                 assert_eq!(
@@ -96,17 +148,25 @@ fn main() {
             let p = Point {
                 nodes: n,
                 threads,
+                total_fields,
                 marker_secs,
                 snapshot_secs,
+                host_parallelism: host,
             };
             println!(
                 "{{\"experiment\":\"marker_scaling\",\"nodes\":{},\"threads\":{},\
-                 \"marker_secs\":{:.6},\"snapshot_secs\":{:.6},\"labels_per_sec\":{:.1}}}",
+                 \"total_fields\":{},\"marker_secs\":{:.6},\"snapshot_secs\":{:.6},\
+                 \"labels_per_sec\":{:.1},\"fields_per_sec\":{:.1},\
+                 \"host_parallelism\":{},\"oversubscribed\":{}}}",
                 p.nodes,
                 p.threads,
+                p.total_fields,
                 p.marker_secs,
                 p.snapshot_secs,
-                p.labels_per_sec()
+                p.labels_per_sec(),
+                p.fields_per_sec(),
+                p.host_parallelism,
+                p.oversubscribed(),
             );
             points.push(p);
         }
@@ -123,19 +183,30 @@ fn main() {
                 p.nodes.to_string(),
                 p.threads.to_string(),
                 format!("{:.0}", p.labels_per_sec()),
+                format!("{:.0}", p.fields_per_sec()),
                 format!("{:.2}x", p.labels_per_sec() / base_lps),
                 format!("{:.3}", p.snapshot_secs),
+                if p.oversubscribed() { "yes" } else { "" }.to_owned(),
             ]
         }));
     }
     print_table(
         "parallel marker scaling (all runs bit-checked against 1 worker)",
-        &["nodes", "threads", "labels/sec", "speedup", "snapshot secs"],
+        &[
+            "nodes",
+            "threads",
+            "labels/sec",
+            "fields/sec",
+            "speedup",
+            "snapshot secs",
+            "oversub",
+        ],
         &rows,
     );
 
     let out = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "BENCH_marker.json".to_owned());
     std::fs::write(&out, series_json(&points)).expect("write benchmark series");
     println!("series written to {out}");
@@ -146,22 +217,30 @@ fn one_worker() -> ParallelConfig {
 }
 
 /// The committed `BENCH_marker.json` schema: experiment id, host
-/// parallelism, and one object per (nodes, threads) point.
+/// parallelism, and one object per (nodes, threads) point — each point
+/// repeating the host parallelism it was recorded under, with an
+/// explicit `oversubscribed` flag.
 fn series_json(points: &[Point]) -> String {
     let mut out = String::from("{\n  \"experiment\": \"marker_scaling\",\n");
     out.push_str(&format!(
         "  \"host_parallelism\": {},\n  \"points\": [\n",
-        std::thread::available_parallelism().map_or(0, NonZeroUsize::get)
+        host_parallelism()
     ));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"nodes\": {}, \"threads\": {}, \"marker_secs\": {:.6}, \
-             \"snapshot_secs\": {:.6}, \"labels_per_sec\": {:.1}}}{}\n",
+            "    {{\"nodes\": {}, \"threads\": {}, \"total_fields\": {}, \
+             \"marker_secs\": {:.6}, \"snapshot_secs\": {:.6}, \
+             \"labels_per_sec\": {:.1}, \"fields_per_sec\": {:.1}, \
+             \"host_parallelism\": {}, \"oversubscribed\": {}}}{}\n",
             p.nodes,
             p.threads,
+            p.total_fields,
             p.marker_secs,
             p.snapshot_secs,
             p.labels_per_sec(),
+            p.fields_per_sec(),
+            p.host_parallelism,
+            p.oversubscribed(),
             if i + 1 == points.len() { "" } else { "," }
         ));
     }

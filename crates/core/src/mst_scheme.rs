@@ -86,9 +86,10 @@ impl MstScheme {
     ) -> Result<Labeling<MstLabel>, MarkerError> {
         let g = cfg.graph();
         let (tree, span) = span_labels(cfg)?;
-        // The induced tree must be a *minimum* spanning tree.
+        // The induced tree must be a *minimum* spanning tree; the offline
+        // union-find check is the cache-friendly accept path.
         let tree_edges = cfg.induced_edges();
-        match mstv_mst::check_mst(g, &tree_edges) {
+        match mstv_mst::check_mst_offline(g, &tree_edges) {
             mstv_mst::MstVerdict::Mst => {}
             mstv_mst::MstVerdict::NotSpanningTree => return Err(MarkerError::NotSpanning),
             mstv_mst::MstVerdict::CycleViolation { non_tree_edge, .. } => {
@@ -101,15 +102,18 @@ impl MstScheme {
         let gammas = mstv_labels::max_labels_parallel(&tree, &sep, config);
         let orients = orient_fields_parallel(&tree, &sep, config);
         let threads = config.resolved_threads();
-        let labels: Vec<MstLabel> = par_map_chunks(g.num_nodes(), threads, |lo, hi| {
-            (lo..hi)
-                .map(|i| MstLabel {
-                    span: span[i],
-                    gamma: gammas[i].clone(),
-                    orient: orients[i].clone(),
-                })
-                .collect()
-        });
+        // Assembly moves the sublabels into place — pure pointer traffic,
+        // so it needs no fan-out and stays identical at every thread count.
+        let labels: Vec<MstLabel> = span
+            .iter()
+            .zip(gammas)
+            .zip(orients)
+            .map(|((&span, gamma), orient)| MstLabel {
+                span,
+                gamma,
+                orient,
+            })
+            .collect();
         let span_codec = SpanCodec::for_config(cfg);
         // ω fields must span the whole graph's weight range, not just the
         // tree's: the family is F(n, W).

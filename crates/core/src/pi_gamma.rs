@@ -238,8 +238,9 @@ pub fn check_gamma_conditions(
 /// tree and the separator decomposition the marker used.
 pub fn orient_fields(tree: &RootedTree, sep: &SeparatorDecomposition) -> Vec<Vec<Orient>> {
     let lca = LcaIndex::new(tree);
+    let mut chain = Vec::new();
     tree.nodes()
-        .map(|v| orient_field_of(&lca, sep, v))
+        .map(|v| orient_field_of_buf(&lca, sep, v, &mut chain))
         .collect()
 }
 
@@ -253,8 +254,9 @@ pub fn orient_fields_parallel(
 ) -> Vec<Vec<Orient>> {
     let lca = LcaIndex::new(tree);
     mstv_trees::par_map_chunks(tree.num_nodes(), config.resolved_threads(), |lo, hi| {
+        let mut chain = Vec::new();
         (lo..hi)
-            .map(|i| orient_field_of(&lca, sep, mstv_graph::NodeId::from_index(i)))
+            .map(|i| orient_field_of_buf(&lca, sep, mstv_graph::NodeId::from_index(i), &mut chain))
             .collect()
     })
 }
@@ -267,9 +269,22 @@ pub fn orient_field_of(
     sep: &SeparatorDecomposition,
     v: mstv_graph::NodeId,
 ) -> Vec<Orient> {
-    sep.ancestors(v)
-        .into_iter()
-        .map(|a| {
+    orient_field_of_buf(lca, sep, v, &mut Vec::new())
+}
+
+/// [`orient_field_of`] with the separator chain staged in a caller-owned
+/// buffer, so the batch builders allocate one chain per worker instead of
+/// one per node.
+fn orient_field_of_buf(
+    lca: &LcaIndex,
+    sep: &SeparatorDecomposition,
+    v: mstv_graph::NodeId,
+    chain: &mut Vec<mstv_graph::NodeId>,
+) -> Vec<Orient> {
+    sep.ancestors_into(v, chain);
+    chain
+        .iter()
+        .map(|&a| {
             if a == v {
                 Orient::SelfSep
             } else if lca.is_ancestor(v, a) {

@@ -29,9 +29,9 @@
 
 use mstv_graph::{EdgeId, Graph, NodeId, Weight};
 use mstv_labels::{
-    decode_max, dist_label_of, dist_label_of_walk, encode_dist_label, flow_label_of,
-    flow_label_of_walk, max_label_of, max_label_of_walk, BitString, DistLabel, DistOracle,
-    FlowLabel, LabelCodec, MaxLabel, SepFieldCodec,
+    decode_max, dist_label_of, dist_label_of_walk, encode_dist_label, encode_dist_label_into,
+    flow_label_of, flow_label_of_walk, max_label_of, max_label_of_walk, BitString, DistLabel,
+    DistOracle, FlowLabel, LabelCodec, MaxLabel, SepFieldCodec,
 };
 use mstv_mst::{kruskal, repair_after_weight_change_in, Repair};
 use mstv_store::{
@@ -463,32 +463,29 @@ impl DynMarker {
         let mut max_d = Vec::new();
         let mut flow_d = Vec::new();
         let mut dist_d = Vec::new();
+        // One scratch buffer for all three families: a node whose bits
+        // did not move costs a re-encode into reused capacity, never a
+        // fresh allocation. Only actually-changed rows own new bytes.
+        let mut scratch = BitString::new();
         for (v, &is_dirty) in dirty.iter().enumerate() {
             if !widths_changed && !is_dirty {
                 continue;
             }
             let node = v as u32;
-            push_if_changed(
-                &mut self.enc_max,
-                v,
-                codec.encode_max(&self.max_s[v]),
-                node,
-                &mut max_d,
+            scratch.clear();
+            codec.encode_max_into(&self.max_s[v], &mut scratch);
+            push_if_changed(&mut self.enc_max, v, &scratch, node, &mut max_d);
+            scratch.clear();
+            codec.encode_flow_into(&self.flow_s[v], &mut scratch);
+            push_if_changed(&mut self.enc_flow, v, &scratch, node, &mut flow_d);
+            scratch.clear();
+            encode_dist_label_into(
+                &self.dist_s[v],
+                self.sep_codec,
+                new_delta_bits,
+                &mut scratch,
             );
-            push_if_changed(
-                &mut self.enc_flow,
-                v,
-                codec.encode_flow(&self.flow_s[v]),
-                node,
-                &mut flow_d,
-            );
-            push_if_changed(
-                &mut self.enc_dist,
-                v,
-                encode_dist_label(&self.dist_s[v], self.sep_codec, new_delta_bits),
-                node,
-                &mut dist_d,
-            );
+            push_if_changed(&mut self.enc_dist, v, &scratch, node, &mut dist_d);
         }
 
         // Phase 7: tree-row deltas, then commit the new state. A swap
@@ -720,15 +717,15 @@ fn mark_crossing(dirty: &mut [bool], sep: &SeparatorDecomposition, memb: &[bool]
 fn push_if_changed(
     enc: &mut [BitString],
     v: usize,
-    new_bits: BitString,
+    new_bits: &BitString,
     node: u32,
     out: &mut Vec<LabelDelta>,
 ) {
-    if enc[v] != new_bits {
+    if enc[v] != *new_bits {
         enc[v] = new_bits.clone();
         out.push(LabelDelta {
             node,
-            bits: new_bits,
+            bits: new_bits.clone(),
         });
     }
 }

@@ -21,8 +21,8 @@ use mstv_graph::{NodeId, Weight};
 use mstv_trees::{centroid_decomposition, RootedTree, SeparatorDecomposition};
 
 use crate::{
-    decode_flow, decode_max, flow_labels, max_labels, BitString, DistLabel, FlowLabel, MaxLabel,
-    FLOW_INFINITY,
+    decode_flow, decode_max, flow_labels, max_labels, BitSlice, BitString, DistLabel, DistView,
+    FlowLabel, FlowView, MaxLabel, MaxView, FLOW_INFINITY,
 };
 
 /// How separator-path fields are written.
@@ -79,6 +79,17 @@ impl LabelCodec {
         }
     }
 
+    /// Reads one separator field as an equality-comparable token (see
+    /// [`crate::BitReader::try_read_elias_gamma_token`]) — the pairwise
+    /// decoders compare fields but never use their numeric values.
+    #[inline]
+    fn try_read_sep_token(&self, r: &mut crate::BitReader<'_>) -> Option<(u32, u64)> {
+        match self.sep_codec {
+            SepFieldCodec::EliasGamma => r.try_read_elias_gamma_token(),
+            SepFieldCodec::FixedWidth { bits } => Some((bits, r.try_read_bits(bits)?)),
+        }
+    }
+
     /// Serializes a `MAX` label: `gamma(l)`, then the `l - 1` non-constant
     /// separator fields, then `l` fixed-width `ω` fields.
     ///
@@ -88,14 +99,25 @@ impl LabelCodec {
     /// field overflows a fixed-width codec.
     pub fn encode_max(&self, label: &MaxLabel) -> BitString {
         let mut out = BitString::new();
+        self.encode_max_into(label, &mut out);
+        out
+    }
+
+    /// [`LabelCodec::encode_max`] appending to an existing buffer — the
+    /// arena path: encode a whole tree's labels into one
+    /// [`crate::PackedLabels`] with zero per-node allocations.
+    ///
+    /// # Panics
+    ///
+    /// As [`LabelCodec::encode_max`].
+    pub fn encode_max_into(&self, label: &MaxLabel, out: &mut BitString) {
         out.push_elias_gamma(label.level() as u64);
         for &f in &label.sep[1..] {
-            self.push_sep_field(&mut out, f);
+            self.push_sep_field(out, f);
         }
         for &w in &label.omega {
             out.push_bits(w.0, self.omega_bits);
         }
-        out
     }
 
     /// Deserializes a `MAX` label.
@@ -210,6 +232,139 @@ impl LabelCodec {
         (r.remaining() == 0).then_some(DistLabel { sep, delta })
     }
 
+    /// Decodes a whole borrowed window — a columnar snapshot record, a
+    /// frame field — straight into the flattened [`MaxView`] the query
+    /// engine caches, with no intermediate [`MaxLabel`]. Same
+    /// validation as [`LabelCodec::try_decode_max_label`]: truncated
+    /// streams, implausible levels, and trailing garbage all return
+    /// `None`.
+    pub fn try_decode_max_view(&self, bits: BitSlice<'_>) -> Option<MaxView> {
+        let (level, fields) = self.decode_packed_fields(bits, self.omega_bits)?;
+        Some(MaxView::from_packed(level, fields))
+    }
+
+    /// [`LabelCodec::try_decode_max_view`] for `FLOW` labels: the raw
+    /// `0` pattern maps to [`FLOW_INFINITY`]'s `u64::MAX` so the view
+    /// decoder's `min` is the `FLOW` decoder.
+    pub fn try_decode_flow_view(&self, bits: BitSlice<'_>) -> Option<FlowView> {
+        let (level, mut fields) = self.decode_packed_fields(bits, self.omega_bits)?;
+        for v in &mut fields[level as usize - 1..] {
+            if *v == 0 {
+                *v = FLOW_INFINITY.0;
+            }
+        }
+        Some(FlowView::from_packed(level, fields))
+    }
+
+    /// [`LabelCodec::try_decode_max_view`] for distance labels, whose
+    /// `δ` fields carry their own scheme-wide width.
+    pub fn try_decode_dist_view(&self, bits: BitSlice<'_>, delta_bits: u32) -> Option<DistView> {
+        let (level, fields) = self.decode_packed_fields(bits, delta_bits)?;
+        Some(DistView::from_packed(level, fields))
+    }
+
+    /// The shared whole-window field decoder behind the view decoders:
+    /// level, then the flattened field block in the views' own layout
+    /// (`level - 1` separator fields followed by `level` raw value
+    /// fields of width `value_bits`) — a single allocation, filled in
+    /// one pass over the bits.
+    fn decode_packed_fields(&self, bits: BitSlice<'_>, value_bits: u32) -> Option<(u32, Vec<u64>)> {
+        let mut r = bits.reader();
+        let l = r.try_read_elias_gamma()? as usize;
+        if l == 0 || l > r.remaining() + 1 {
+            return None;
+        }
+        let mut fields = Vec::with_capacity(2 * l - 1);
+        for _ in 1..l {
+            fields.push(self.try_read_sep_field(&mut r)?);
+        }
+        for _ in 0..l {
+            fields.push(r.try_read_bits(value_bits)?);
+        }
+        (r.remaining() == 0).then_some((l as u32, fields))
+    }
+
+    /// Answers `MAX(u, v)` straight from two encoded label windows —
+    /// no intermediate label, no view, no heap allocation. An answer
+    /// only needs the `ω` field at the shared-prefix index, so the
+    /// decoder streams both separator paths in lockstep to find that
+    /// index and then jumps straight to the one value field per label
+    /// (value blocks are fixed-width). This is the cache-disabled cold
+    /// path of the query engine; validation matches
+    /// [`LabelCodec::try_decode_max_view`] — truncation, implausible
+    /// levels, and trailing garbage all return `None`.
+    pub fn try_decode_max_pair(&self, a: BitSlice<'_>, b: BitSlice<'_>) -> Option<Weight> {
+        let (x, y) = self.pair_values(a, b, self.omega_bits)?;
+        Some(Weight(x.max(y)))
+    }
+
+    /// [`LabelCodec::try_decode_max_pair`] for `FLOW` labels: the raw
+    /// `0` pattern means [`FLOW_INFINITY`], and the combine is `min`.
+    pub fn try_decode_flow_pair(&self, a: BitSlice<'_>, b: BitSlice<'_>) -> Option<Weight> {
+        let (x, y) = self.pair_values(a, b, self.omega_bits)?;
+        let x = if x == 0 { FLOW_INFINITY } else { Weight(x) };
+        let y = if y == 0 { FLOW_INFINITY } else { Weight(y) };
+        Some(x.min(y))
+    }
+
+    /// [`LabelCodec::try_decode_max_pair`] for distance labels: the
+    /// outer `Option` is window validity, the inner one is the
+    /// [`crate::decode_dist_views`] overflow guard — `Some(None)` when
+    /// `δ_u + δ_v` overflows `u64`.
+    pub fn try_decode_dist_pair(
+        &self,
+        a: BitSlice<'_>,
+        b: BitSlice<'_>,
+        delta_bits: u32,
+    ) -> Option<Option<u64>> {
+        let (x, y) = self.pair_values(a, b, delta_bits)?;
+        Some(x.checked_add(y))
+    }
+
+    /// The lockstep walk behind the pairwise decoders: read both
+    /// levels, compare separator fields as they stream past to find
+    /// the shared-prefix length `cp` (at least 1 — `sep[0] = 0` is
+    /// implicit in both), drain the longer path, then skip directly to
+    /// value field `cp - 1` of each window and read only that.
+    fn pair_values(&self, a: BitSlice<'_>, b: BitSlice<'_>, value_bits: u32) -> Option<(u64, u64)> {
+        let mut ra = a.reader();
+        let mut rb = b.reader();
+        let la = ra.try_read_elias_gamma()? as usize;
+        let lb = rb.try_read_elias_gamma()? as usize;
+        if la == 0 || la > ra.remaining() + 1 || lb == 0 || lb > rb.remaining() + 1 {
+            return None;
+        }
+        let m = la.min(lb) - 1;
+        let mut cp = 1usize;
+        let mut diverged = false;
+        for _ in 0..m {
+            // Equality is all the walk needs, so compare raw prefix-free
+            // tokens — no bit reversal into numeric field values.
+            let fa = self.try_read_sep_token(&mut ra)?;
+            let fb = self.try_read_sep_token(&mut rb)?;
+            if !diverged && fa == fb {
+                cp += 1;
+            } else {
+                diverged = true;
+            }
+        }
+        for _ in m..la - 1 {
+            self.try_read_sep_token(&mut ra)?;
+        }
+        for _ in m..lb - 1 {
+            self.try_read_sep_token(&mut rb)?;
+        }
+        // Exact framing: what remains must be precisely the two value
+        // blocks — the pairwise twin of the trailing-garbage check.
+        if ra.remaining() != la * value_bits as usize || rb.remaining() != lb * value_bits as usize
+        {
+            return None;
+        }
+        ra.try_skip_bits((cp - 1) * value_bits as usize)?;
+        rb.try_skip_bits((cp - 1) * value_bits as usize)?;
+        Some((ra.try_read_bits(value_bits)?, rb.try_read_bits(value_bits)?))
+    }
+
     /// Serializes a `FLOW` label; the neutral `+∞` is written as the
     /// reserved pattern `0` (weights are positive, so `0` is free).
     ///
@@ -218,15 +373,25 @@ impl LabelCodec {
     /// Panics if a finite `φ` value does not fit in `omega_bits`.
     pub fn encode_flow(&self, label: &FlowLabel) -> BitString {
         let mut out = BitString::new();
+        self.encode_flow_into(label, &mut out);
+        out
+    }
+
+    /// [`LabelCodec::encode_flow`] appending to an existing buffer —
+    /// the arena path, mirroring [`LabelCodec::encode_max_into`].
+    ///
+    /// # Panics
+    ///
+    /// As [`LabelCodec::encode_flow`].
+    pub fn encode_flow_into(&self, label: &FlowLabel, out: &mut BitString) {
         out.push_elias_gamma(label.level() as u64);
         for &f in &label.sep[1..] {
-            self.push_sep_field(&mut out, f);
+            self.push_sep_field(out, f);
         }
         for &w in &label.phi {
             let raw = if w == FLOW_INFINITY { 0 } else { w.0 };
             out.push_bits(raw, self.omega_bits);
         }
-        out
     }
 
     /// Deserializes a `FLOW` label.
@@ -560,6 +725,95 @@ mod tests {
         }
         assert_eq!(codec.try_decode_flow_label(&cut), None);
         assert_eq!(codec.try_decode_max_label(&BitString::new()), None);
+    }
+
+    #[test]
+    fn pair_decoders_agree_with_structured_decoders() {
+        use crate::{dist_labels, try_decode_dist};
+        use mstv_trees::centroid_decomposition;
+        let t = tree_of(90, 800, 13);
+        let sep = centroid_decomposition(&t);
+        for codec in [
+            LabelCodec::for_tree(&t, SepFieldCodec::EliasGamma),
+            LabelCodec::for_tree(&t, SepFieldCodec::FixedWidth { bits: 7 }),
+        ] {
+            let max = max_labels(&t, &sep);
+            let flow = flow_labels(&t, &sep);
+            let dist = dist_labels(&t, &sep);
+            let delta_bits = dist
+                .iter()
+                .flat_map(|l| l.delta.iter())
+                .map(|&d| 64 - d.leading_zeros())
+                .max()
+                .unwrap()
+                .max(1);
+            let enc_max: Vec<_> = max.iter().map(|l| codec.encode_max(l)).collect();
+            let enc_flow: Vec<_> = flow.iter().map(|l| codec.encode_flow(l)).collect();
+            let enc_dist: Vec<_> = dist
+                .iter()
+                .map(|l| {
+                    let mut out = BitString::new();
+                    crate::encode_dist_label_into(l, codec.sep_codec, delta_bits, &mut out);
+                    out
+                })
+                .collect();
+            for u in (0..90).step_by(7) {
+                for v in (0..90).step_by(13) {
+                    assert_eq!(
+                        codec.try_decode_max_pair(enc_max[u].as_slice(), enc_max[v].as_slice()),
+                        Some(decode_max(&max[u], &max[v])),
+                        "max {u},{v}"
+                    );
+                    assert_eq!(
+                        codec.try_decode_flow_pair(enc_flow[u].as_slice(), enc_flow[v].as_slice()),
+                        Some(decode_flow(&flow[u], &flow[v])),
+                        "flow {u},{v}"
+                    );
+                    assert_eq!(
+                        codec.try_decode_dist_pair(
+                            enc_dist[u].as_slice(),
+                            enc_dist[v].as_slice(),
+                            delta_bits
+                        ),
+                        Some(try_decode_dist(&dist[u], &dist[v])),
+                        "dist {u},{v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_decoders_reject_malformed_windows() {
+        let t = tree_of(40, 300, 14);
+        let scheme = ImplicitMaxScheme::gamma_small(&t);
+        let codec = scheme.codec();
+        let good = scheme.encoded(NodeId(2));
+        // Trailing garbage on either side is rejected.
+        let mut padded = good.clone();
+        padded.push(true);
+        assert_eq!(
+            codec.try_decode_max_pair(padded.as_slice(), good.as_slice()),
+            None
+        );
+        assert_eq!(
+            codec.try_decode_max_pair(good.as_slice(), padded.as_slice()),
+            None
+        );
+        // Truncated windows are rejected, never panic.
+        let enc = scheme.encoded(NodeId(5));
+        let mut cut = BitString::new();
+        for i in 0..enc.len() / 2 {
+            cut.push(enc.get(i));
+        }
+        assert_eq!(
+            codec.try_decode_max_pair(cut.as_slice(), good.as_slice()),
+            None
+        );
+        assert_eq!(
+            codec.try_decode_max_pair(BitString::new().as_slice(), good.as_slice()),
+            None
+        );
     }
 
     #[test]

@@ -149,6 +149,22 @@ pub fn encode_dist_label(
     delta_bits: u32,
 ) -> BitString {
     let mut out = BitString::new();
+    encode_dist_label_into(label, sep_codec, delta_bits, &mut out);
+    out
+}
+
+/// [`encode_dist_label`] appending to an existing buffer — the arena
+/// path, mirroring [`crate::LabelCodec::encode_max_into`].
+///
+/// # Panics
+///
+/// As [`encode_dist_label`].
+pub fn encode_dist_label_into(
+    label: &DistLabel,
+    sep_codec: SepFieldCodec,
+    delta_bits: u32,
+    out: &mut BitString,
+) {
     out.push_elias_gamma(label.level() as u64);
     for &f in &label.sep[1..] {
         match sep_codec {
@@ -159,7 +175,6 @@ pub fn encode_dist_label(
     for &d in &label.delta {
         out.push_bits(d, delta_bits);
     }
-    out
 }
 
 /// The distance decoder: exact `dist(u, v)` from the two labels.

@@ -35,12 +35,16 @@ mod codec;
 mod dist_label;
 mod flow_label;
 mod max_label;
+mod packed;
+pub mod reference;
+mod view;
 
-pub use bits::{elias_gamma_len, BitReader, BitString, MAX_FRAME_BITS, MAX_FRAME_BYTES};
+pub use bits::{elias_gamma_len, BitReader, BitSlice, BitString, MAX_FRAME_BITS, MAX_FRAME_BYTES};
 pub use codec::{ImplicitFlowScheme, ImplicitMaxScheme, LabelCodec, SepFieldCodec};
 pub use dist_label::{
     decode_dist, dist_label_of, dist_label_of_walk, dist_labels, dist_labels_parallel,
-    encode_dist_label, try_decode_dist, DistLabel, DistOracle, ImplicitDistScheme,
+    encode_dist_label, encode_dist_label_into, try_decode_dist, DistLabel, DistOracle,
+    ImplicitDistScheme,
 };
 pub use flow_label::{
     decode_flow, flow_label_of, flow_label_of_walk, flow_labels, flow_labels_parallel,
@@ -49,4 +53,8 @@ pub use flow_label::{
 pub use max_label::{
     decode_max, max_label_of, max_label_of_walk, max_labels, max_labels_parallel, try_decode_max,
     MaxLabel, MaxLabelOracle,
+};
+pub use packed::PackedLabels;
+pub use view::{
+    decode_dist_views, decode_flow_views, decode_max_views, DistView, FlowView, MaxView,
 };

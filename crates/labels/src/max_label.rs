@@ -43,26 +43,28 @@ impl MaxLabel {
 /// Encodes `MAX` labels for every vertex of `tree` under the given
 /// separator decomposition (any member of the family `Γ`).
 ///
-/// Runs in `O(Σ_v level(v))` path-maximum queries, each `O(1)` via the
-/// Kruskal reconstruction tree — `O(n log n)` total for a perfect
-/// decomposition.
+/// Runs in `O(Σ_v level(v))` time — `O(n log n)` for a perfect
+/// decomposition — via one cache-friendly DFS sweep per separator over
+/// its own component (see `omega_sweep`), with no auxiliary
+/// path-maximum index.
 ///
 /// # Panics
 ///
 /// Panics if `sep` does not belong to `tree` (mismatched node counts).
 pub fn max_labels(tree: &RootedTree, sep: &SeparatorDecomposition) -> Vec<MaxLabel> {
-    assert_eq!(
-        tree.num_nodes(),
-        sep.num_nodes(),
-        "decomposition does not match tree"
-    );
-    let kt = KruskalTree::new(tree);
-    tree.nodes().map(|v| max_label_of(&kt, sep, v)).collect()
+    // One worker = no pool is spawned; the parallel builder is
+    // bit-identical at any thread count.
+    max_labels_parallel(
+        tree,
+        sep,
+        mstv_trees::ParallelConfig::with_threads(std::num::NonZeroUsize::MIN),
+    )
 }
 
-/// [`max_labels`] with per-node assembly fanned across a scoped thread
-/// pool (the Kruskal-tree oracle is built once and shared read-only).
-/// Output is identical to the sequential builder for every thread count.
+/// [`max_labels`] with the separator-field assembly fanned across a
+/// scoped thread pool. The `ω` sweep itself is a single linear pass (see
+/// [`omega_sweep`]) and stays sequential. Output is identical to the
+/// sequential builder for every thread count.
 pub fn max_labels_parallel(
     tree: &RootedTree,
     sep: &SeparatorDecomposition,
@@ -73,25 +75,121 @@ pub fn max_labels_parallel(
         sep.num_nodes(),
         "decomposition does not match tree"
     );
-    let kt = KruskalTree::new(tree);
-    mstv_trees::par_map_chunks(tree.num_nodes(), config.resolved_threads(), |lo, hi| {
-        (lo..hi)
-            .map(|i| max_label_of(&kt, sep, NodeId::from_index(i)))
-            .collect()
-    })
+    let omegas = omega_sweep(tree, sep);
+    let fields: Vec<Vec<u64>> =
+        mstv_trees::par_map_chunks(tree.num_nodes(), config.resolved_threads(), |lo, hi| {
+            let mut chain = Vec::new();
+            (lo..hi)
+                .map(|i| sep_fields(sep, NodeId::from_index(i), &mut chain))
+                .collect()
+        });
+    fields
+        .into_iter()
+        .zip(omegas)
+        .map(|(sep, omega)| MaxLabel { sep, omega })
+        .collect()
 }
 
-/// Assembles the `MAX` label of a single vertex from a prebuilt Kruskal
-/// reconstruction tree — the unit of work [`max_labels`] maps over every
-/// node. Public so incremental relabelers can rebuild only dirty nodes
-/// while staying bit-identical to the batch builder by construction.
-pub fn max_label_of(kt: &KruskalTree, sep: &SeparatorDecomposition, v: NodeId) -> MaxLabel {
-    let chain = sep.ancestors(v);
+/// The `E_ω` sublabels of every vertex, computed by one DFS sweep per
+/// separator over its own component: the sweep from `s` carries the
+/// running path maximum outward, so each of the `Σ_v level(v)` fields
+/// costs O(1) amortized with near-sequential array traffic. The random
+/// path-maximum queries of the per-node assembler ([`max_label_of`])
+/// compute the exact same maxima, so the two routes are bit-identical;
+/// this one is the cache-friendly batch path, that one the
+/// O(1)-per-dirty-node incremental path.
+fn omega_sweep(tree: &RootedTree, sep: &SeparatorDecomposition) -> Vec<Vec<Weight>> {
+    let n = tree.num_nodes();
+    let mut omega: Vec<Vec<Weight>> = (0..n)
+        .map(|i| vec![Weight::ZERO; sep.level(NodeId::from_index(i)) as usize])
+        .collect();
+    // Interval-label the separator tree so "u lies in the component of
+    // separator s" is the O(1) test tin[s] <= tin[u] < tout[s] (u's
+    // level-l(s) separator is s iff s is its separator-tree ancestor).
+    // Children live in one flat CSR array to keep the setup allocation-
+    // and cache-cheap.
+    let mut off = vec![0u32; n + 1];
+    for i in 0..n {
+        if let Some(p) = sep.sep_parent(NodeId::from_index(i)) {
+            off[p.index() + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut kids = vec![NodeId(0); n.saturating_sub(1)];
+    let mut cursor: Vec<u32> = off[..n].to_vec();
+    for i in 0..n {
+        let v = NodeId::from_index(i);
+        if let Some(p) = sep.sep_parent(v) {
+            kids[cursor[p.index()] as usize] = v;
+            cursor[p.index()] += 1;
+        }
+    }
+    let mut tin = vec![0u32; n];
+    let mut tout = vec![0u32; n];
+    let mut timer = 0u32;
+    let mut walk: Vec<(NodeId, u32)> = vec![(sep.root(), off[sep.root().index()])];
+    tin[sep.root().index()] = timer;
+    timer += 1;
+    while let Some(top) = walk.last_mut() {
+        let (v, next_child) = *top;
+        if next_child < off[v.index() + 1] {
+            top.1 += 1;
+            let c = kids[next_child as usize];
+            tin[c.index()] = timer;
+            timer += 1;
+            walk.push((c, off[c.index()]));
+        } else {
+            tout[v.index()] = timer;
+            walk.pop();
+        }
+    }
+    // One DFS per separator, confined to its component, carrying the
+    // running maximum; entries are (node, predecessor, MAX(node, s)).
+    let mut stack: Vec<(NodeId, NodeId, Weight)> = Vec::new();
+    for i in 0..n {
+        let s = NodeId::from_index(i);
+        let slot = sep.level(s) as usize - 1;
+        let (lo, hi) = (tin[i], tout[i]);
+        let inside = |u: NodeId| (lo..hi).contains(&tin[u.index()]);
+        stack.push((s, s, Weight::ZERO));
+        while let Some((u, prev, m)) = stack.pop() {
+            omega[u.index()][slot] = m;
+            if let Some(p) = tree.parent(u) {
+                if p != prev && inside(p) {
+                    stack.push((p, u, m.max(tree.parent_weight(u))));
+                }
+            }
+            for &c in tree.children(u) {
+                if c != prev && inside(c) {
+                    stack.push((c, u, m.max(tree.parent_weight(c))));
+                }
+            }
+        }
+    }
+    omega
+}
+
+/// The `E_sep` fields of one vertex, with the separator chain staged in a
+/// caller-owned buffer so batch builders allocate one chain per worker.
+fn sep_fields(sep: &SeparatorDecomposition, v: NodeId, chain: &mut Vec<NodeId>) -> Vec<u64> {
+    sep.ancestors_into(v, chain);
     let mut fields = Vec::with_capacity(chain.len());
     fields.push(0u64);
     for &a in &chain[1..] {
         fields.push(u64::from(sep.child_rank(a)));
     }
+    fields
+}
+
+/// Assembles the `MAX` label of a single vertex from a prebuilt Kruskal
+/// reconstruction tree. Public so incremental relabelers can rebuild only
+/// dirty nodes while staying bit-identical to the batch builder: both
+/// compute the exact path maxima, whatever the route.
+pub fn max_label_of(kt: &KruskalTree, sep: &SeparatorDecomposition, v: NodeId) -> MaxLabel {
+    let mut chain = Vec::new();
+    let fields = sep_fields(sep, v, &mut chain);
     let omega = chain.iter().map(|&a| kt.max_on_path(v, a)).collect();
     MaxLabel { sep: fields, omega }
 }
@@ -197,6 +295,37 @@ mod tests {
                 let kt = mstv_trees::KruskalTree::new(&t);
                 for v in t.nodes() {
                     assert_eq!(max_label_of(&kt, &d, v), max_label_of_walk(&t, &d, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sweep_identical_to_per_node_assembler() {
+        // The batch builder's per-separator ω sweep and the per-node
+        // Kruskal-oracle assembler must agree field-for-field on every
+        // member of Γ — the incremental relabelers depend on it.
+        let mut rng = StdRng::seed_from_u64(59);
+        for (n, seed) in [(2usize, 60u64), (17, 61), (120, 62), (301, 63)] {
+            let t = tree_of(n, 300, seed);
+            for d in [
+                centroid_decomposition(&t),
+                first_vertex_decomposition(&t),
+                random_decomposition(&t, &mut rng),
+            ] {
+                let kt = mstv_trees::KruskalTree::new(&t);
+                let batch = max_labels(&t, &d);
+                let par = max_labels_parallel(
+                    &t,
+                    &d,
+                    mstv_trees::ParallelConfig::with_threads(
+                        std::num::NonZeroUsize::new(3).unwrap(),
+                    ),
+                );
+                for v in t.nodes() {
+                    let one = max_label_of(&kt, &d, v);
+                    assert_eq!(batch[v.index()], one, "n={n} v={v}");
+                    assert_eq!(par[v.index()], one, "n={n} v={v} (3 workers)");
                 }
             }
         }

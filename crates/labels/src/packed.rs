@@ -1,0 +1,175 @@
+//! An arena for per-node label assembly.
+//!
+//! Building a labeling for an `n`-node tree used to allocate one
+//! `BitString` per node — `n` heap blocks for what is logically a
+//! single contiguous bit stream plus boundaries. [`PackedLabels`] is
+//! that contiguous form: one bit buffer holding every label
+//! back-to-back, and an offsets table (`count + 1` entries, in bits)
+//! marking the boundaries. Encoders append straight into the tail via
+//! [`PackedLabels::append_with`]; readers get a borrowed
+//! [`BitSlice`] per label, no copy.
+//!
+//! This is also exactly the MSTVSNAP v2 columnar section layout
+//! (offsets then payload), so a snapshot writer can serialize an arena
+//! with two `extend_from_slice` calls and a mapped snapshot can hand
+//! out the same `BitSlice` views directly from the file bytes.
+
+use crate::{BitSlice, BitString};
+
+/// Labels packed back-to-back in one bit buffer with a bit-offset
+/// boundary table.
+///
+/// Invariant: `offsets` is non-empty, starts at 0, is non-decreasing,
+/// and ends at `bits.len()`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackedLabels {
+    bits: BitString,
+    offsets: Vec<u64>,
+}
+
+impl PackedLabels {
+    /// An empty arena.
+    pub fn new() -> Self {
+        PackedLabels {
+            bits: BitString::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// An empty arena with room for `labels` labels totalling
+    /// `total_bits` bits before reallocating.
+    pub fn with_capacity(labels: usize, total_bits: usize) -> Self {
+        let mut offsets = Vec::with_capacity(labels + 1);
+        offsets.push(0);
+        PackedLabels {
+            bits: BitString::with_capacity(total_bits),
+            offsets,
+        }
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the arena holds no labels.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Total bits across all labels.
+    pub fn total_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Appends one label by letting `f` encode directly into the shared
+    /// tail — the zero-allocation assembly path. Whatever `f` pushes
+    /// becomes the new label.
+    pub fn append_with<R>(&mut self, f: impl FnOnce(&mut BitString) -> R) -> R {
+        let r = f(&mut self.bits);
+        self.offsets.push(self.bits.len() as u64);
+        r
+    }
+
+    /// Appends one label by copying a borrowed window.
+    pub fn push_slice(&mut self, label: BitSlice<'_>) {
+        self.append_with(|out| out.extend_from_bits(label));
+    }
+
+    /// Collects owned bit strings into an arena.
+    pub fn from_bitstrings<'a>(labels: impl IntoIterator<Item = &'a BitString>) -> Self {
+        let mut out = PackedLabels::new();
+        for l in labels {
+            out.push_slice(l.as_slice());
+        }
+        out
+    }
+
+    /// A borrowed view of label `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> BitSlice<'_> {
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        BitSlice::new(self.bits.as_bytes(), start, end - start)
+    }
+
+    /// The boundary table: `len() + 1` bit offsets starting at 0 —
+    /// the v2 snapshot section writes this verbatim.
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The packed payload bytes (final byte zero-padded) — the v2
+    /// snapshot section writes this verbatim after the offsets.
+    pub fn payload_bytes(&self) -> &[u8] {
+        self.bits.as_bytes()
+    }
+
+    /// Iterates the labels as borrowed views.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = BitSlice<'_>> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let mut arena = PackedLabels::with_capacity(3, 200);
+        let mut owned = Vec::new();
+        for i in 0..3u64 {
+            let mut b = BitString::new();
+            b.push_elias_gamma(i * 1000 + 1);
+            b.push_bits(i, 7);
+            b.push_bits(u64::MAX, 64);
+            owned.push(b.clone());
+            arena.append_with(|out| {
+                out.push_elias_gamma(i * 1000 + 1);
+                out.push_bits(i, 7);
+                out.push_bits(u64::MAX, 64);
+            });
+        }
+        assert_eq!(arena.len(), 3);
+        assert_eq!(
+            arena.total_bits(),
+            owned.iter().map(BitString::len).sum::<usize>()
+        );
+        for (i, b) in owned.iter().enumerate() {
+            assert_eq!(arena.get(i), b.as_slice(), "label {i}");
+            assert_eq!(arena.get(i).to_bitstring(), *b);
+        }
+    }
+
+    #[test]
+    fn empty_labels_are_representable() {
+        let mut arena = PackedLabels::new();
+        arena.append_with(|_| {});
+        arena.append_with(|out| out.push(true));
+        arena.append_with(|_| {});
+        assert_eq!(arena.len(), 3);
+        assert!(arena.get(0).is_empty());
+        assert_eq!(arena.get(1).len(), 1);
+        assert!(arena.get(2).is_empty());
+        assert_eq!(arena.offsets(), &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn from_bitstrings_matches_push_slice() {
+        let mut a = BitString::new();
+        a.push_bits(0b1011, 4);
+        let mut b = BitString::new();
+        b.push_elias_delta(99);
+        let arena = PackedLabels::from_bitstrings([&a, &b]);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(0), a.as_slice());
+        assert_eq!(arena.get(1), b.as_slice());
+        let views: Vec<_> = arena.iter().collect();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[1], b.as_slice());
+    }
+}

@@ -1,0 +1,295 @@
+//! Compact decoded label views for the query hot path.
+//!
+//! A decoded [`crate::MaxLabel`] carries two `Vec<u64>`s (separator path
+//! and `ω` sublabel) — three heap blocks per cached label once wrapped
+//! in an `Arc`, and the implicit `sep[0] = 0` stored explicitly. A
+//! *view* is the same information flattened into one shared allocation:
+//! the label's level plus a single `Arc<[u64]>` holding the `l - 1`
+//! non-constant separator fields followed by the `l` value fields.
+//!
+//! Views are what the `mstv-store` query engine caches: cloning one is
+//! a refcount bump, decoding one touches a single contiguous block, and
+//! the pairwise decoders ([`decode_max_views`] and friends) walk the
+//! shared-prefix fields exactly like their structured-label twins in
+//! [`crate::decode_max`] — same answers, smaller resident state.
+
+use std::sync::Arc;
+
+use mstv_graph::Weight;
+
+use crate::{DistLabel, FlowLabel, MaxLabel};
+
+/// Builds the flattened field block: `sep[1..l]` then the `l` values.
+fn pack_fields(sep: &[u64], values: impl ExactSizeIterator<Item = u64>) -> Arc<[u64]> {
+    let l = values.len();
+    debug_assert_eq!(sep.len(), l);
+    let mut fields = Vec::with_capacity(2 * l - 1);
+    fields.extend_from_slice(&sep[1..]);
+    fields.extend(values);
+    Arc::from(fields)
+}
+
+/// The shared-prefix length of two viewed separator paths. Both paths
+/// implicitly start with `sep[0] = 0`, so the prefix is at least 1 —
+/// the reason the view decoders are infallible where the structured
+/// ones return `None` on foreign labels.
+fn common_prefix_len(a: &LabelView, b: &LabelView) -> usize {
+    let m = (a.level as usize - 1).min(b.level as usize - 1);
+    let mut cp = 0;
+    while cp < m && a.fields[cp] == b.fields[cp] {
+        cp += 1;
+    }
+    cp + 1
+}
+
+/// The level + flattened-fields core shared by all three families.
+///
+/// `fields` holds `level - 1` separator fields then `level` value
+/// fields (`ω`, mapped `φ`, or `δ` depending on the family); `level`
+/// is always at least 1 — decoders reject level-0 streams before a
+/// view is built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LabelView {
+    level: u32,
+    fields: Arc<[u64]>,
+}
+
+impl LabelView {
+    fn new(sep: &[u64], values: impl ExactSizeIterator<Item = u64>) -> Self {
+        let level = values.len() as u32;
+        assert!(level >= 1, "label views require level >= 1");
+        LabelView {
+            level,
+            fields: pack_fields(sep, values),
+        }
+    }
+
+    /// Rebuilds the explicit separator path, `sep[0] = 0` included.
+    fn sep(&self) -> Vec<u64> {
+        let l = self.level as usize;
+        let mut sep = Vec::with_capacity(l);
+        sep.push(0);
+        sep.extend_from_slice(&self.fields[..l - 1]);
+        sep
+    }
+
+    #[inline]
+    fn value(&self, k: usize) -> u64 {
+        self.fields[self.level as usize - 1 + k]
+    }
+
+    fn heap_words(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+macro_rules! family_view {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name(LabelView);
+
+        impl $name {
+            /// Builds a view from raw parts: the explicit separator
+            /// path (`sep[0]` must be 0) and the `level` value fields.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `sep` and `values` differ in length or are
+            /// empty.
+            pub fn from_parts(sep: &[u64], values: impl ExactSizeIterator<Item = u64>) -> Self {
+                $name(LabelView::new(sep, values))
+            }
+
+            /// Builds a view from the already-flattened field block —
+            /// `level - 1` separator fields then `level` values, the
+            /// layout a decoder can produce in a single pass with one
+            /// allocation (the codec's cold hot path).
+            pub(crate) fn from_packed(level: u32, fields: Vec<u64>) -> Self {
+                debug_assert!(level >= 1, "label views require level >= 1");
+                debug_assert_eq!(fields.len(), 2 * level as usize - 1);
+                $name(LabelView {
+                    level,
+                    fields: Arc::from(fields),
+                })
+            }
+
+            /// The label's level `l` (number of separator-path entries).
+            pub fn level(&self) -> usize {
+                self.0.level as usize
+            }
+
+            /// Number of `u64` words in the shared heap block — the
+            /// view's resident size, what the cache accounting sees.
+            pub fn heap_words(&self) -> usize {
+                self.0.heap_words()
+            }
+        }
+    };
+}
+
+family_view! {
+    /// A decoded `MAX` label as one shared allocation; pair two with
+    /// [`decode_max_views`].
+    MaxView
+}
+
+family_view! {
+    /// A decoded `FLOW` label as one shared allocation (`φ = +∞` is
+    /// stored as the raw `u64::MAX` of [`crate::FLOW_INFINITY`]); pair two
+    /// with [`decode_flow_views`].
+    FlowView
+}
+
+family_view! {
+    /// A decoded distance label as one shared allocation; pair two with
+    /// [`decode_dist_views`].
+    DistView
+}
+
+impl MaxView {
+    /// Flattens a structured label.
+    pub fn from_label(label: &MaxLabel) -> Self {
+        Self::from_parts(&label.sep, label.omega.iter().map(|w| w.0))
+    }
+
+    /// Expands back to the structured form (tests and oracles).
+    pub fn to_label(&self) -> MaxLabel {
+        MaxLabel {
+            sep: self.0.sep(),
+            omega: (0..self.level()).map(|k| Weight(self.0.value(k))).collect(),
+        }
+    }
+}
+
+impl FlowView {
+    /// Flattens a structured label ([`crate::FLOW_INFINITY`] stays `u64::MAX`,
+    /// so `min` over raw fields is still the `FLOW` decoder).
+    pub fn from_label(label: &FlowLabel) -> Self {
+        Self::from_parts(&label.sep, label.phi.iter().map(|w| w.0))
+    }
+
+    /// Expands back to the structured form (tests and oracles).
+    pub fn to_label(&self) -> FlowLabel {
+        FlowLabel {
+            sep: self.0.sep(),
+            phi: (0..self.level()).map(|k| Weight(self.0.value(k))).collect(),
+        }
+    }
+}
+
+impl DistView {
+    /// Flattens a structured label.
+    pub fn from_label(label: &DistLabel) -> Self {
+        Self::from_parts(&label.sep, label.delta.iter().copied())
+    }
+
+    /// Expands back to the structured form (tests and oracles).
+    pub fn to_label(&self) -> DistLabel {
+        DistLabel {
+            sep: self.0.sep(),
+            delta: (0..self.level()).map(|k| self.0.value(k)).collect(),
+        }
+    }
+}
+
+/// `MAX(u, v)` from two views — [`crate::decode_max`] on the flattened
+/// representation. Views always share the implicit `sep[0] = 0`, so
+/// unlike the structured decoder this cannot fail.
+pub fn decode_max_views(a: &MaxView, b: &MaxView) -> Weight {
+    let cp = common_prefix_len(&a.0, &b.0);
+    Weight(a.0.value(cp - 1).max(b.0.value(cp - 1)))
+}
+
+/// `FLOW(u, v)` from two views; [`crate::FLOW_INFINITY`] when the paths
+/// coincide, exactly as [`crate::decode_flow`].
+pub fn decode_flow_views(a: &FlowView, b: &FlowView) -> Weight {
+    let cp = common_prefix_len(&a.0, &b.0);
+    Weight(a.0.value(cp - 1).min(b.0.value(cp - 1)))
+}
+
+/// `dist(u, v)` from two views, or `None` on `u64` overflow — the same
+/// guard as [`crate::try_decode_dist`].
+pub fn decode_dist_views(a: &DistView, b: &DistView) -> Option<u64> {
+    let cp = common_prefix_len(&a.0, &b.0);
+    a.0.value(cp - 1).checked_add(b.0.value(cp - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_flow, decode_max, dist_labels, flow_labels, max_labels, try_decode_dist};
+    use mstv_graph::{gen, NodeId};
+    use mstv_trees::{centroid_decomposition, RootedTree};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn views_agree_with_structured_decoders() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = gen::random_tree(120, gen::WeightDist::Uniform { max: 900 }, &mut rng);
+        let tree = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let sep = centroid_decomposition(&tree);
+        let max = max_labels(&tree, &sep);
+        let flow = flow_labels(&tree, &sep);
+        let dist = dist_labels(&tree, &sep);
+        let max_v: Vec<_> = max.iter().map(MaxView::from_label).collect();
+        let flow_v: Vec<_> = flow.iter().map(FlowView::from_label).collect();
+        let dist_v: Vec<_> = dist.iter().map(DistView::from_label).collect();
+        for u in (0..120).step_by(7) {
+            for v in (0..120).step_by(11) {
+                assert_eq!(
+                    decode_max_views(&max_v[u], &max_v[v]),
+                    decode_max(&max[u], &max[v]),
+                    "max {u},{v}"
+                );
+                assert_eq!(
+                    decode_flow_views(&flow_v[u], &flow_v[v]),
+                    decode_flow(&flow[u], &flow[v]),
+                    "flow {u},{v}"
+                );
+                assert_eq!(
+                    decode_dist_views(&dist_v[u], &dist_v[v]),
+                    try_decode_dist(&dist[u], &dist[v]),
+                    "dist {u},{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn views_roundtrip_to_structured_labels() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let g = gen::random_tree(60, gen::WeightDist::Uniform { max: 50 }, &mut rng);
+        let tree = RootedTree::from_graph(&g, NodeId(0)).unwrap();
+        let sep = centroid_decomposition(&tree);
+        for l in max_labels(&tree, &sep) {
+            assert_eq!(MaxView::from_label(&l).to_label(), l);
+        }
+        for l in flow_labels(&tree, &sep) {
+            assert_eq!(FlowView::from_label(&l).to_label(), l);
+        }
+        for l in dist_labels(&tree, &sep) {
+            assert_eq!(DistView::from_label(&l).to_label(), l);
+        }
+    }
+
+    #[test]
+    fn view_is_one_shared_allocation() {
+        let label = MaxLabel {
+            sep: vec![0, 3, 1],
+            omega: vec![Weight(9), Weight(5), Weight(2)],
+        };
+        let v = MaxView::from_label(&label);
+        assert_eq!(v.level(), 3);
+        assert_eq!(v.heap_words(), 5); // 2 sep fields + 3 omega fields
+        let clone = v.clone();
+        assert!(Arc::ptr_eq(&v.0.fields, &clone.0.fields));
+    }
+
+    #[test]
+    fn dist_views_overflow_checked() {
+        let a = DistView::from_parts(&[0], [u64::MAX].into_iter());
+        let b = DistView::from_parts(&[0], [1u64].into_iter());
+        assert_eq!(decode_dist_views(&a, &b), None);
+    }
+}

@@ -39,6 +39,6 @@ pub use perturb::{tree_favored_key, EdgeKey};
 pub use second_best::second_best_mst_weight;
 pub use unionfind::UnionFind;
 pub use verify::{
-    check_mst, check_mst_lifting, check_mst_naive, is_max_spanning_tree, is_mst,
+    check_mst, check_mst_lifting, check_mst_naive, check_mst_offline, is_max_spanning_tree, is_mst,
     maximum_spanning_tree, MstVerdict,
 };

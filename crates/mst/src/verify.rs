@@ -101,6 +101,42 @@ pub fn check_mst(graph: &Graph, tree_edges: &[EdgeId]) -> MstVerdict {
     MstVerdict::Mst
 }
 
+/// Verifies a candidate MST offline via a single edge sort and union-find
+/// (Kruskal-style, `O(m log m)` in the sort and near-linear after): the
+/// path maximum between `u` and `v` is at most `w` iff the tree edges of
+/// weight `≤ w` already connect `u` and `v`. Sequential array scans
+/// instead of per-edge random path-maximum queries make this the
+/// cache-friendliest accept path, so the `π_mst` marker uses it as the
+/// gate before label assembly. The verdict is identical to [`check_mst`]:
+/// on the (rare) reject path the exact oracle is re-run to name the first
+/// offending edge and its true path maximum.
+pub fn check_mst_offline(graph: &Graph, tree_edges: &[EdgeId]) -> MstVerdict {
+    if !graph.is_spanning_tree(tree_edges) {
+        return MstVerdict::NotSpanningTree;
+    }
+    let mut in_tree = vec![false; graph.num_edges()];
+    for &e in tree_edges {
+        in_tree[e.index()] = true;
+    }
+    // Ascending by weight with tree edges first among ties, so when a
+    // non-tree edge `e` is tested every tree edge of weight ≤ w(e) — and
+    // no heavier one — has been unioned.
+    let mut order: Vec<EdgeId> = graph.edge_ids().collect();
+    order.sort_unstable_by_key(|&e| (graph.weight(e), !in_tree[e.index()]));
+    let mut uf = crate::UnionFind::new(graph.num_nodes());
+    for &e in &order {
+        let edge = graph.edge(e);
+        if in_tree[e.index()] {
+            uf.union(edge.u.index(), edge.v.index());
+        } else if uf.find(edge.u.index()) != uf.find(edge.v.index()) {
+            // Some tree-path edge outweighs this non-tree edge; fall back
+            // to the exact oracle for the canonical witness.
+            return check_mst(graph, tree_edges);
+        }
+    }
+    MstVerdict::Mst
+}
+
 /// Verifies a candidate MST by walking tree paths per non-tree edge
 /// (O(n·m) worst case) — the baseline the faster verifiers are benchmarked
 /// against.
@@ -209,6 +245,7 @@ mod tests {
             assert_eq!(check_mst(&g, &t), MstVerdict::Mst);
             assert_eq!(check_mst_naive(&g, &t), MstVerdict::Mst);
             assert_eq!(check_mst_lifting(&g, &t), MstVerdict::Mst);
+            assert_eq!(check_mst_offline(&g, &t), MstVerdict::Mst);
             assert!(is_mst(&g, &t));
         }
     }
@@ -222,6 +259,7 @@ mod tests {
         assert_eq!(check_mst(&g, &t), MstVerdict::NotSpanningTree);
         assert_eq!(check_mst_naive(&g, &t), MstVerdict::NotSpanningTree);
         assert_eq!(check_mst_lifting(&g, &t), MstVerdict::NotSpanningTree);
+        assert_eq!(check_mst_offline(&g, &t), MstVerdict::NotSpanningTree);
     }
 
     #[test]
@@ -252,6 +290,9 @@ mod tests {
             check_mst_lifting(&g, &bad),
             MstVerdict::CycleViolation { .. }
         ));
+        // The offline check falls back to the exact oracle on rejection,
+        // so its witness is the canonical one.
+        assert_eq!(check_mst_offline(&g, &bad), check_mst(&g, &bad));
     }
 
     #[test]
@@ -271,6 +312,7 @@ mod tests {
             }
         }
         assert_eq!(check_mst(&g, &t), MstVerdict::Mst);
+        assert_eq!(check_mst_offline(&g, &t), MstVerdict::Mst);
     }
 
     #[test]
@@ -319,6 +361,7 @@ mod tests {
                 check_mst(&g, &bad),
                 MstVerdict::CycleViolation { .. }
             ));
+            assert_eq!(check_mst_offline(&g, &bad), check_mst(&g, &bad));
             detected += 1;
         }
         assert!(detected > 5, "tamper test exercised too few cases");
@@ -398,6 +441,9 @@ mod tests {
             let optimal = mst_weight(&g, &kruskal(&g));
             let is_opt = mst_weight(&g, &t) == optimal;
             assert_eq!(is_mst(&g, &t), is_opt);
+            // Tie-heavy instances: the offline tie ordering (tree edges
+            // first at equal weight) must agree with the exact oracle.
+            assert_eq!(check_mst_offline(&g, &t) == MstVerdict::Mst, is_opt);
         }
     }
 }

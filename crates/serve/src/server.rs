@@ -41,7 +41,7 @@ use mstv_store::proto::{
     header_payload_len, AdminReply, AdminRequest, ErrorCode, Frame, ProtoError, Request, Response,
     FRAME_HEADER_LEN,
 };
-use mstv_store::{DeltaRecord, EngineConfig, QueryEngine, Snapshot};
+use mstv_store::{DeltaRecord, EngineConfig, QueryEngine, Snapshot, SnapshotStore};
 use mstv_trees::KeyedQueue;
 
 use crate::io::write_frame;
@@ -62,6 +62,12 @@ pub struct ServeConfig {
     /// Sizing of the [`QueryEngine`] wrapped around each snapshot —
     /// both the initial one and every hot-swapped replacement.
     pub engine: EngineConfig,
+    /// Serve label bytes straight from memory-mapped snapshot files.
+    /// Applies to hot swaps by path (`AdminRequest::SwapSnapshot`):
+    /// the replacement file is opened with [`Snapshot::open_mmap`]
+    /// instead of being decoded into owned buffers. Mapped generations
+    /// reject `ApplyDelta` as read-only.
+    pub mmap: bool,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +77,7 @@ impl Default for ServeConfig {
             max_connections: 64,
             queue_depth: 64,
             engine: EngineConfig::default(),
+            mmap: false,
         }
     }
 }
@@ -128,8 +135,8 @@ impl Shared {
     /// readers. The new base epoch starts past everything the old
     /// generation reported (its base plus its applied deltas), so the
     /// epoch a client sees never goes backwards.
-    fn swap_in(&self, snap: Snapshot) -> u64 {
-        let engine = QueryEngine::new(snap, self.config.engine);
+    fn swap_in(&self, store: SnapshotStore) -> u64 {
+        let engine = QueryEngine::from_store(store, self.config.engine);
         let mut guard = self.serving.write().unwrap_or_else(|e| e.into_inner());
         let epoch = guard.epoch + guard.engine.delta_seq() + 1;
         *guard = Arc::new(Serving { epoch, engine });
@@ -169,12 +176,27 @@ impl ServerHandle {
         config: ServeConfig,
         port: u16,
     ) -> Result<ServerHandle, ServeError> {
+        Self::spawn_store(SnapshotStore::Owned(snap), config, port)
+    }
+
+    /// Like [`ServerHandle::spawn`], but over any [`SnapshotStore`] —
+    /// in particular a memory-mapped one (`Snapshot::open_mmap`), whose
+    /// label bytes stay in the page cache instead of owned buffers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the listener cannot bind.
+    pub fn spawn_store(
+        store: SnapshotStore,
+        config: ServeConfig,
+        port: u16,
+    ) -> Result<ServerHandle, ServeError> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
         let max_connections = config.max_connections.max(1);
-        let engine = QueryEngine::new(snap, config.engine);
+        let engine = QueryEngine::from_store(store, config.engine);
         let shards = engine.num_shards() as u64;
         let shared = Arc::new(Shared {
             serving: RwLock::new(Arc::new(Serving { epoch: 1, engine })),
@@ -234,7 +256,13 @@ impl ServerHandle {
     /// epoch. In-flight requests finish against whichever generation
     /// they started on; no query is dropped or answered from a mix.
     pub fn swap(&self, snap: Snapshot) -> u64 {
-        self.shared.swap_in(snap)
+        self.shared.swap_in(SnapshotStore::Owned(snap))
+    }
+
+    /// [`ServerHandle::swap`] over any [`SnapshotStore`], e.g. a
+    /// memory-mapped replacement generation.
+    pub fn swap_store(&self, store: SnapshotStore) -> u64 {
+        self.shared.swap_in(store)
     }
 
     /// Signals every thread to stop, then joins them all: workers, the
@@ -446,14 +474,25 @@ fn handle_admin(shared: &Shared, req: AdminRequest) -> AdminReply {
                 ),
             }
         }
-        AdminRequest::SwapSnapshot { path } => match Snapshot::read_file(&path) {
-            Ok(snap) => AdminReply::Ok {
-                epoch: shared.swap_in(snap),
-            },
-            Err(e) => AdminReply::Err {
-                message: format!("swap of {path} failed: {e}"),
-            },
-        },
+        AdminRequest::SwapSnapshot { path } => {
+            // In mmap mode the replacement generation serves straight
+            // from the new file's pages; otherwise it is decoded into
+            // owned buffers as before. Validation (CRCs, framing,
+            // structure) happens in either open path.
+            let store = if shared.config.mmap {
+                Snapshot::open_mmap(&path).map(SnapshotStore::Mapped)
+            } else {
+                Snapshot::read_file(&path).map(SnapshotStore::Owned)
+            };
+            match store {
+                Ok(store) => AdminReply::Ok {
+                    epoch: shared.swap_in(store),
+                },
+                Err(e) => AdminReply::Err {
+                    message: format!("swap of {path} failed: {e}"),
+                },
+            }
+        }
         AdminRequest::ApplyDelta { bytes } => {
             // Pin the serving generation for the whole apply: the read
             // lock keeps a concurrent swap from retiring the engine
@@ -461,7 +500,9 @@ fn handle_admin(shared: &Shared, req: AdminRequest) -> AdminReply {
             // fold, so the delta lands on the generation whose epoch
             // the reply reports — or fails typed, changing nothing.
             let guard = shared.serving.read().unwrap_or_else(|e| e.into_inner());
-            let n = guard.engine.with_snapshot(mstv_store::Snapshot::num_nodes);
+            let n = guard
+                .engine
+                .with_store(mstv_store::SnapshotStore::num_nodes);
             match DeltaRecord::from_bytes(&bytes, n)
                 .and_then(|record| guard.engine.apply_delta(&record))
             {

@@ -23,17 +23,18 @@
 
 use std::fmt;
 use std::num::NonZeroUsize;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
 use mstv_core::ServeMetrics;
 use mstv_graph::{NodeId, Weight};
 use mstv_labels::{
-    try_decode_dist, try_decode_flow, try_decode_max, DistLabel, FlowLabel, MaxLabel, FLOW_INFINITY,
+    decode_dist_views, decode_flow_views, decode_max_views, BitSlice, DistView, FlowView,
+    LabelCodec, MaxView, FLOW_INFINITY,
 };
 
 use crate::proto::ErrorCode;
-use crate::{DeltaRecord, LruCache, Snapshot, StoreError};
+use crate::{DeltaRecord, LruCache, MappedSnapshot, Snapshot, StoreError};
 
 /// Upper bound on the shard count a config may request — far above any
 /// sensible fan-out, low enough that a typo (`--shards 1000000`) is a
@@ -83,8 +84,10 @@ impl EngineConfig {
         self.shards.get()
     }
 
-    /// Decoded-label LRU capacity per shard *per label kind*; 0 means
-    /// caching is disabled (a decode-every-time baseline).
+    /// Decoded-label LRU capacity per shard *per label kind*; 0 disables
+    /// caching, and queries then skip view materialization entirely and
+    /// answer through the codec's fused zero-allocation pairwise
+    /// decoders — the fastest cold-cache configuration.
     pub fn cache_entries(&self) -> usize {
         self.cache_capacity
     }
@@ -280,10 +283,105 @@ impl BatchResponse {
     }
 }
 
+/// The snapshot an engine serves from: either a fully materialized
+/// [`Snapshot`] (mutable via the delta journal) or a read-only
+/// [`MappedSnapshot`] whose encoded labels stay in the file's memory
+/// map until a query touches them.
+///
+/// Every serving path reads labels through the borrowed-slice accessors
+/// here, so the engine's decode-and-cache machinery is identical for
+/// both backings; the only behavioral difference is that
+/// [`QueryEngine::apply_delta`] refuses mapped stores with
+/// [`StoreError::ReadOnlySnapshot`].
+pub enum SnapshotStore {
+    /// An owned, in-memory snapshot — the journal-mutable backing.
+    Owned(Snapshot),
+    /// A read-only memory-mapped snapshot — the zero-copy backing.
+    Mapped(MappedSnapshot),
+}
+
+impl SnapshotStore {
+    /// Number of labelled nodes.
+    pub fn num_nodes(&self) -> u32 {
+        match self {
+            SnapshotStore::Owned(s) => s.num_nodes(),
+            SnapshotStore::Mapped(s) => s.num_nodes(),
+        }
+    }
+
+    /// The codec all stored `MAX`/`FLOW` labels were encoded under.
+    pub fn codec(&self) -> LabelCodec {
+        match self {
+            SnapshotStore::Owned(s) => s.codec(),
+            SnapshotStore::Mapped(s) => s.codec(),
+        }
+    }
+
+    /// The largest tree-edge weight (`W`), as recorded in the header.
+    pub fn max_weight(&self) -> Weight {
+        match self {
+            SnapshotStore::Owned(s) => s.max_weight(),
+            SnapshotStore::Mapped(s) => s.max_weight(),
+        }
+    }
+
+    /// Whether the snapshot carries a dist section.
+    pub fn has_dist(&self) -> bool {
+        match self {
+            SnapshotStore::Owned(s) => s.dist().is_some(),
+            SnapshotStore::Mapped(s) => s.dist_delta_bits().is_some(),
+        }
+    }
+
+    fn max_slice(&self, v: usize) -> BitSlice<'_> {
+        match self {
+            SnapshotStore::Owned(s) => s.max_labels()[v].as_slice(),
+            SnapshotStore::Mapped(s) => s.max_slice(v),
+        }
+    }
+
+    fn flow_slice(&self, v: usize) -> BitSlice<'_> {
+        match self {
+            SnapshotStore::Owned(s) => s.flow_labels()[v].as_slice(),
+            SnapshotStore::Mapped(s) => s.flow_slice(v),
+        }
+    }
+
+    /// The encoded dist label of `v` and the section's `δ` width, or
+    /// `None` without a dist section.
+    fn dist_slice(&self, v: usize) -> Option<(BitSlice<'_>, u32)> {
+        match self {
+            SnapshotStore::Owned(s) => {
+                let d = s.dist()?;
+                Some((d.labels[v].as_slice(), d.delta_bits))
+            }
+            SnapshotStore::Mapped(s) => {
+                let bits = s.dist_delta_bits()?;
+                Some((s.dist_slice(v)?, bits))
+            }
+        }
+    }
+}
+
+impl From<Snapshot> for SnapshotStore {
+    fn from(snap: Snapshot) -> Self {
+        SnapshotStore::Owned(snap)
+    }
+}
+
+impl From<MappedSnapshot> for SnapshotStore {
+    fn from(snap: MappedSnapshot) -> Self {
+        SnapshotStore::Mapped(snap)
+    }
+}
+
 struct Shard {
-    max: LruCache<Arc<MaxLabel>>,
-    flow: LruCache<Arc<FlowLabel>>,
-    dist: LruCache<Arc<DistLabel>>,
+    max: LruCache<MaxView>,
+    flow: LruCache<FlowView>,
+    dist: LruCache<DistView>,
+    /// With capacity 0 the caches can never hit, so queries bypass view
+    /// materialization and answer through the fused pairwise decoders.
+    cached: bool,
     hits: u64,
     misses: u64,
 }
@@ -294,18 +392,19 @@ impl Shard {
             max: LruCache::new(capacity),
             flow: LruCache::new(capacity),
             dist: LruCache::new(capacity),
+            cached: capacity > 0,
             hits: 0,
             misses: 0,
         }
     }
 }
 
-/// The mutable serving state: the snapshot plus how many deltas have
-/// been folded into it. One `RwLock` guards both so a batch can never
-/// observe a snapshot from one delta generation tagged with another's
-/// sequence number.
+/// The mutable serving state: the snapshot store plus how many deltas
+/// have been folded into it. One `RwLock` guards both so a batch can
+/// never observe a snapshot from one delta generation tagged with
+/// another's sequence number.
 struct EngineState {
-    snap: Snapshot,
+    store: SnapshotStore,
     delta_seq: u64,
 }
 
@@ -325,8 +424,24 @@ pub struct QueryEngine {
 impl QueryEngine {
     /// Wraps a loaded snapshot in a serving engine (delta sequence 0).
     pub fn new(snap: Snapshot, config: EngineConfig) -> QueryEngine {
+        Self::from_store(SnapshotStore::Owned(snap), config)
+    }
+
+    /// Wraps a memory-mapped snapshot in a serving engine. Labels decode
+    /// lazily out of the map on first touch; [`QueryEngine::apply_delta`]
+    /// reports [`StoreError::ReadOnlySnapshot`].
+    pub fn new_mapped(snap: MappedSnapshot, config: EngineConfig) -> QueryEngine {
+        Self::from_store(SnapshotStore::Mapped(snap), config)
+    }
+
+    /// Wraps either snapshot backing in a serving engine (delta
+    /// sequence 0).
+    pub fn from_store(store: SnapshotStore, config: EngineConfig) -> QueryEngine {
         QueryEngine {
-            state: RwLock::new(EngineState { snap, delta_seq: 0 }),
+            state: RwLock::new(EngineState {
+                store,
+                delta_seq: 0,
+            }),
             shards: (0..config.shards())
                 .map(|_| Mutex::new(Shard::new(config.cache_entries())))
                 .collect(),
@@ -334,13 +449,30 @@ impl QueryEngine {
         }
     }
 
-    /// Runs `f` against the snapshot currently being served.
+    /// Runs `f` against the owned snapshot currently being served.
     ///
     /// The read lock is held only for the call — the replacement for the
     /// old `snapshot(&self) -> &Snapshot` accessor, which cannot exist
     /// now that [`QueryEngine::apply_delta`] mutates the state in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine serves a memory-mapped snapshot, which has
+    /// no owned [`Snapshot`] to borrow — mapped-compatible callers
+    /// should use [`QueryEngine::with_store`].
     pub fn with_snapshot<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R {
-        f(&self.read_state().snap)
+        match &self.read_state().store {
+            SnapshotStore::Owned(snap) => f(snap),
+            SnapshotStore::Mapped(_) => {
+                panic!("with_snapshot on a memory-mapped engine; use with_store")
+            }
+        }
+    }
+
+    /// Runs `f` against the serving [`SnapshotStore`], whichever backing
+    /// it has. The read lock is held only for the call.
+    pub fn with_store<R>(&self, f: impl FnOnce(&SnapshotStore) -> R) -> R {
+        f(&self.read_state().store)
     }
 
     /// How many [`DeltaRecord`]s have been applied since construction.
@@ -361,10 +493,13 @@ impl QueryEngine {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Malformed`] if `record.seq` is not the next in
-    /// sequence (the engine applies journals in order, gap-free), or any
-    /// error of [`DeltaRecord::apply_to`] — in both cases the snapshot,
-    /// the caches, and the sequence number are left untouched.
+    /// [`StoreError::ReadOnlySnapshot`] if the engine serves a
+    /// memory-mapped snapshot (its label bytes live in a read-only
+    /// map), [`StoreError::Malformed`] if `record.seq` is not the next
+    /// in sequence (the engine applies journals in order, gap-free), or
+    /// any error of [`DeltaRecord::apply_to`] — in all cases the
+    /// snapshot, the caches, and the sequence number are left
+    /// untouched.
     pub fn apply_delta(&self, record: &DeltaRecord) -> Result<u64, StoreError> {
         let mut state = self
             .state
@@ -381,7 +516,11 @@ impl QueryEngine {
                 ),
             });
         }
-        record.apply_to(&mut state.snap)?;
+        let snap = match &mut state.store {
+            SnapshotStore::Owned(snap) => snap,
+            SnapshotStore::Mapped(_) => return Err(StoreError::ReadOnlySnapshot),
+        };
+        record.apply_to(snap)?;
         state.delta_seq = record.seq;
         let dirty = record.dirty_nodes();
         for si in 0..self.shards.len() {
@@ -519,7 +658,7 @@ impl QueryEngine {
             agg.batches += 1;
         }
         let state = self.read_state();
-        let snap = &state.snap;
+        let store = &state.store;
         let ns = self.shards.len();
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); ns];
         for (i, q) in queries.iter().enumerate() {
@@ -530,7 +669,7 @@ impl QueryEngine {
         if ns == 1 {
             let mut shard = self.lock_shard(0);
             for &i in &buckets[0] {
-                results[i] = Some(Self::answer(snap, &mut shard, &queries[i]));
+                results[i] = Some(Self::answer(store, &mut shard, &queries[i]));
             }
         } else {
             type ShardOutcome<'a> = (
@@ -548,7 +687,7 @@ impl QueryEngine {
                             let mut shard = self.lock_shard(si);
                             bucket
                                 .iter()
-                                .map(|&i| (i, Self::answer(snap, &mut shard, &queries[i])))
+                                .map(|&i| (i, Self::answer(store, &mut shard, &queries[i])))
                                 .collect()
                         });
                         (si, bucket.as_slice(), handle)
@@ -626,45 +765,77 @@ impl QueryEngine {
         m
     }
 
-    fn check_node(snap: &Snapshot, v: NodeId) -> Result<(), StoreError> {
-        if v.0 >= snap.num_nodes() {
+    fn check_node(store: &SnapshotStore, v: NodeId) -> Result<(), StoreError> {
+        if v.0 >= store.num_nodes() {
             return Err(StoreError::UnknownNode {
                 node: v.0,
-                nodes: snap.num_nodes(),
+                nodes: store.num_nodes(),
             });
         }
         Ok(())
     }
 
-    fn answer(snap: &Snapshot, shard: &mut Shard, q: &Query) -> Result<Answer, StoreError> {
-        let mismatch = |u: NodeId, v: NodeId| StoreError::LabelMismatch { u: u.0, v: v.0 };
+    fn answer(store: &SnapshotStore, shard: &mut Shard, q: &Query) -> Result<Answer, StoreError> {
         match *q {
-            Query::Max { u, v } => Ok(Answer::Max(Self::max_of(snap, shard, u, v)?)),
+            Query::Max { u, v } => Ok(Answer::Max(Self::max_of(store, shard, u, v)?)),
             Query::Flow { u, v } => {
                 if u == v {
-                    Self::check_node(snap, u)?;
+                    Self::check_node(store, u)?;
                     return Ok(Answer::Flow(FLOW_INFINITY));
                 }
-                let a = Self::flow_label(snap, shard, u)?;
-                let b = Self::flow_label(snap, shard, v)?;
-                let w = try_decode_flow(&a, &b).ok_or_else(|| mismatch(u, v))?;
-                Ok(Answer::Flow(w))
+                if !shard.cached {
+                    Self::check_node(store, u)?;
+                    Self::check_node(store, v)?;
+                    shard.misses += 2;
+                    let w = store
+                        .codec()
+                        .try_decode_flow_pair(
+                            store.flow_slice(u.0 as usize),
+                            store.flow_slice(v.0 as usize),
+                        )
+                        .ok_or_else(|| Self::attribute_corrupt_flow(store, u, v))?;
+                    return Ok(Answer::Flow(w));
+                }
+                let a = Self::flow_view(store, shard, u)?;
+                let b = Self::flow_view(store, shard, v)?;
+                Ok(Answer::Flow(decode_flow_views(&a, &b)))
             }
             Query::Dist { u, v } => {
-                if snap.dist().is_none() {
+                if !store.has_dist() {
                     return Err(StoreError::MissingSection { section: "dist" });
                 }
                 if u == v {
-                    Self::check_node(snap, u)?;
+                    Self::check_node(store, u)?;
                     return Ok(Answer::Dist(0));
                 }
-                let a = Self::dist_label(snap, shard, u)?;
-                let b = Self::dist_label(snap, shard, v)?;
-                let d = try_decode_dist(&a, &b).ok_or_else(|| mismatch(u, v))?;
+                if !shard.cached {
+                    Self::check_node(store, u)?;
+                    Self::check_node(store, v)?;
+                    shard.misses += 2;
+                    let (a, delta_bits) = store
+                        .dist_slice(u.0 as usize)
+                        .ok_or(StoreError::MissingSection { section: "dist" })?;
+                    let (b, _) = store
+                        .dist_slice(v.0 as usize)
+                        .ok_or(StoreError::MissingSection { section: "dist" })?;
+                    let d = store
+                        .codec()
+                        .try_decode_dist_pair(a, b, delta_bits)
+                        .ok_or_else(|| Self::attribute_corrupt_dist(store, u, v))?
+                        .ok_or(StoreError::LabelMismatch { u: u.0, v: v.0 })?;
+                    return Ok(Answer::Dist(d));
+                }
+                let a = Self::dist_view(store, shard, u)?;
+                let b = Self::dist_view(store, shard, v)?;
+                // `None` is a u64 overflow of the summed half-distances —
+                // only possible when the two labels came from different
+                // schemes (honest distances are bounded by n·W).
+                let d = decode_dist_views(&a, &b)
+                    .ok_or(StoreError::LabelMismatch { u: u.0, v: v.0 })?;
                 Ok(Answer::Dist(d))
             }
             Query::VerifyEdge { u, v, w } => {
-                let max_on_path = Self::max_of(snap, shard, u, v)?;
+                let max_on_path = Self::max_of(store, shard, u, v)?;
                 Ok(Answer::VerifyEdge {
                     accept: w >= max_on_path,
                     max_on_path,
@@ -674,90 +845,142 @@ impl QueryEngine {
     }
 
     fn max_of(
-        snap: &Snapshot,
+        store: &SnapshotStore,
         shard: &mut Shard,
         u: NodeId,
         v: NodeId,
     ) -> Result<Weight, StoreError> {
         if u == v {
-            Self::check_node(snap, u)?;
+            Self::check_node(store, u)?;
             return Ok(Weight::ZERO);
         }
-        let a = Self::max_label(snap, shard, u)?;
-        let b = Self::max_label(snap, shard, v)?;
-        try_decode_max(&a, &b).ok_or(StoreError::LabelMismatch { u: u.0, v: v.0 })
+        if !shard.cached {
+            Self::check_node(store, u)?;
+            Self::check_node(store, v)?;
+            shard.misses += 2;
+            return store
+                .codec()
+                .try_decode_max_pair(store.max_slice(u.0 as usize), store.max_slice(v.0 as usize))
+                .ok_or_else(|| Self::attribute_corrupt_max(store, u, v));
+        }
+        let a = Self::max_view(store, shard, u)?;
+        let b = Self::max_view(store, shard, v)?;
+        Ok(decode_max_views(&a, &b))
     }
 
-    fn max_label(
-        snap: &Snapshot,
-        shard: &mut Shard,
-        v: NodeId,
-    ) -> Result<Arc<MaxLabel>, StoreError> {
-        Self::check_node(snap, v)?;
-        if let Some(label) = shard.max.get(v.0) {
-            shard.hits += 1;
-            return Ok(label);
+    /// A failed pairwise decode cannot tell which of the two windows is
+    /// the broken one, so the error path re-decodes each side alone —
+    /// slow, but only ever reached on corrupt data.
+    fn attribute_corrupt_max(store: &SnapshotStore, u: NodeId, v: NodeId) -> StoreError {
+        let codec = store.codec();
+        let node = if codec
+            .try_decode_max_view(store.max_slice(u.0 as usize))
+            .is_none()
+        {
+            u.0
+        } else {
+            v.0
+        };
+        StoreError::CorruptLabel {
+            section: "max",
+            node,
         }
-        shard.misses += 1;
-        let label = Arc::new(
-            snap.codec()
-                .try_decode_max_label(&snap.max_labels()[v.0 as usize])
-                .ok_or(StoreError::CorruptLabel {
-                    section: "max",
-                    node: v.0,
-                })?,
-        );
-        shard.max.insert(v.0, Arc::clone(&label));
-        Ok(label)
     }
 
-    fn flow_label(
-        snap: &Snapshot,
-        shard: &mut Shard,
-        v: NodeId,
-    ) -> Result<Arc<FlowLabel>, StoreError> {
-        Self::check_node(snap, v)?;
-        if let Some(label) = shard.flow.get(v.0) {
-            shard.hits += 1;
-            return Ok(label);
+    fn attribute_corrupt_flow(store: &SnapshotStore, u: NodeId, v: NodeId) -> StoreError {
+        let codec = store.codec();
+        let node = if codec
+            .try_decode_flow_view(store.flow_slice(u.0 as usize))
+            .is_none()
+        {
+            u.0
+        } else {
+            v.0
+        };
+        StoreError::CorruptLabel {
+            section: "flow",
+            node,
         }
-        shard.misses += 1;
-        let label = Arc::new(
-            snap.codec()
-                .try_decode_flow_label(&snap.flow_labels()[v.0 as usize])
-                .ok_or(StoreError::CorruptLabel {
-                    section: "flow",
-                    node: v.0,
-                })?,
-        );
-        shard.flow.insert(v.0, Arc::clone(&label));
-        Ok(label)
     }
 
-    fn dist_label(
-        snap: &Snapshot,
+    fn attribute_corrupt_dist(store: &SnapshotStore, u: NodeId, v: NodeId) -> StoreError {
+        let decodes = |n: NodeId| {
+            store
+                .dist_slice(n.0 as usize)
+                .is_some_and(|(bits, db)| store.codec().try_decode_dist_view(bits, db).is_some())
+        };
+        StoreError::CorruptLabel {
+            section: "dist",
+            node: if !decodes(u) { u.0 } else { v.0 },
+        }
+    }
+
+    fn max_view(
+        store: &SnapshotStore,
         shard: &mut Shard,
         v: NodeId,
-    ) -> Result<Arc<DistLabel>, StoreError> {
-        Self::check_node(snap, v)?;
-        if let Some(label) = shard.dist.get(v.0) {
+    ) -> Result<MaxView, StoreError> {
+        Self::check_node(store, v)?;
+        if let Some(view) = shard.max.get(v.0) {
             shard.hits += 1;
-            return Ok(label);
+            return Ok(view);
         }
         shard.misses += 1;
-        let dist = snap
-            .dist()
+        let view = store
+            .codec()
+            .try_decode_max_view(store.max_slice(v.0 as usize))
+            .ok_or(StoreError::CorruptLabel {
+                section: "max",
+                node: v.0,
+            })?;
+        shard.max.insert(v.0, view.clone());
+        Ok(view)
+    }
+
+    fn flow_view(
+        store: &SnapshotStore,
+        shard: &mut Shard,
+        v: NodeId,
+    ) -> Result<FlowView, StoreError> {
+        Self::check_node(store, v)?;
+        if let Some(view) = shard.flow.get(v.0) {
+            shard.hits += 1;
+            return Ok(view);
+        }
+        shard.misses += 1;
+        let view = store
+            .codec()
+            .try_decode_flow_view(store.flow_slice(v.0 as usize))
+            .ok_or(StoreError::CorruptLabel {
+                section: "flow",
+                node: v.0,
+            })?;
+        shard.flow.insert(v.0, view.clone());
+        Ok(view)
+    }
+
+    fn dist_view(
+        store: &SnapshotStore,
+        shard: &mut Shard,
+        v: NodeId,
+    ) -> Result<DistView, StoreError> {
+        Self::check_node(store, v)?;
+        if let Some(view) = shard.dist.get(v.0) {
+            shard.hits += 1;
+            return Ok(view);
+        }
+        shard.misses += 1;
+        let (bits, delta_bits) = store
+            .dist_slice(v.0 as usize)
             .ok_or(StoreError::MissingSection { section: "dist" })?;
-        let label = Arc::new(
-            snap.codec()
-                .try_decode_dist_label(&dist.labels[v.0 as usize], dist.delta_bits)
-                .ok_or(StoreError::CorruptLabel {
-                    section: "dist",
-                    node: v.0,
-                })?,
-        );
-        shard.dist.insert(v.0, Arc::clone(&label));
-        Ok(label)
+        let view = store.codec().try_decode_dist_view(bits, delta_bits).ok_or(
+            StoreError::CorruptLabel {
+                section: "dist",
+                node: v.0,
+            },
+        )?;
+        shard.dist.insert(v.0, view.clone());
+        Ok(view)
     }
 }
 
@@ -901,6 +1124,39 @@ mod tests {
                 "repeated endpoints must hit the cache (shards={shards})"
             );
         }
+    }
+
+    #[test]
+    fn cache_disabled_pair_path_matches_cached_view_path() {
+        // With cache_entries(0) the engine answers through the fused
+        // pairwise decoders (no views at all); every answer and error
+        // must coincide with the cached engine's, and the shard
+        // counters must show the bypass (misses counted, hits
+        // impossible).
+        let t = tree_of(130, 900, 31);
+        let cached = engine_of(&t, 2, 64);
+        let uncached = engine_of(&t, 2, 0);
+        let mut queries = Vec::new();
+        for i in (0..132u32).step_by(3) {
+            for j in (0..132u32).step_by(11) {
+                let (u, v) = (NodeId(i), NodeId(j));
+                queries.push(Query::Max { u, v });
+                queries.push(Query::Flow { u, v });
+                queries.push(Query::Dist { u, v });
+                queries.push(Query::VerifyEdge {
+                    u,
+                    v,
+                    w: Weight(u64::from(i * 31 + j) % 900),
+                });
+            }
+        }
+        let a = cached.run_batch_response(&queries);
+        let b = uncached.run_batch_response(&queries);
+        assert_eq!(a.results, b.results);
+        let m = uncached.metrics();
+        assert_eq!(m.cache_hits, 0, "capacity 0 can never hit");
+        assert!(m.cache_misses > 0, "bypassed decodes still count as misses");
+        assert!(cached.metrics().cache_hits > 0);
     }
 
     #[test]
@@ -1269,5 +1525,111 @@ mod tests {
         let m = engine.metrics();
         assert!(m.queries > 0);
         assert_eq!(m.queries % 60, 0, "each batch admits exactly 60 queries");
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "mstv-engine-test-{}-{name}.snap",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn mapped_engine_answers_match_owned_engine() {
+        use crate::SnapshotFormat;
+        let t = tree_of(120, 300, 23);
+        let snap = Snapshot::build(&t, SepFieldCodec::EliasGamma);
+        let path = tmp_path("mapped-vs-owned");
+        snap.write_file_format(&path, SnapshotFormat::V2).unwrap();
+        let mapped = Snapshot::open_mmap(&path).unwrap();
+        assert!(mapped.is_zero_copy());
+
+        let config = EngineConfig::builder()
+            .shards(3)
+            .cache_entries(16)
+            .build()
+            .unwrap();
+        let owned = QueryEngine::new(snap, config);
+        let engine = QueryEngine::new_mapped(mapped, config);
+        assert!(engine.with_store(|s| matches!(s, SnapshotStore::Mapped(_))));
+
+        let mut queries = Vec::new();
+        for i in (0..120u32).step_by(3) {
+            for j in (1..120u32).step_by(11) {
+                let (u, v) = (NodeId(i), NodeId(j));
+                queries.push(Query::Max { u, v });
+                queries.push(Query::Flow { u, v });
+                queries.push(Query::Dist { u, v });
+                queries.push(Query::VerifyEdge {
+                    u,
+                    v,
+                    w: Weight(150),
+                });
+            }
+        }
+        let expect = owned.run_batch_response(&queries).results;
+        let got = engine.run_batch_response(&queries).results;
+        for (i, (e, g)) in expect.iter().zip(&got).enumerate() {
+            assert_eq!(
+                e.as_ref().unwrap(),
+                g.as_ref().unwrap(),
+                "query {i} diverged between owned and mapped engines"
+            );
+        }
+        // Re-run to exercise the cache-hit path over cached views.
+        let again = engine.run_batch_response(&queries).results;
+        for (e, g) in expect.iter().zip(&again) {
+            assert_eq!(e.as_ref().unwrap(), g.as_ref().unwrap());
+        }
+        let m = engine.metrics();
+        assert!(m.cache_hits > 0, "second pass must hit the view cache");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_engine_rejects_deltas_as_read_only() {
+        use crate::SnapshotFormat;
+        let t = tree_of(40, 90, 31);
+        let snap = Snapshot::build(&t, SepFieldCodec::EliasGamma);
+        let path = tmp_path("mapped-readonly");
+        snap.write_file_format(&path, SnapshotFormat::V2).unwrap();
+        let mapped = Snapshot::open_mmap(&path).unwrap();
+
+        // A legitimate one-edge reweight delta; the mapped engine must
+        // reject it before touching any label.
+        let mut parents: Vec<Option<(NodeId, Weight)>> = (0..40u32)
+            .map(|i| {
+                let v = NodeId(i);
+                t.parent(v).map(|p| (p, t.parent_weight(v)))
+            })
+            .collect();
+        let (victim, bumped) = (NodeId(7), Weight(89_999));
+        parents[victim.index()] = Some((parents[victim.index()].unwrap().0, bumped));
+        let t_new = RootedTree::from_parents(NodeId(0), parents).unwrap();
+        let snap_new = Snapshot::build(&t_new, SepFieldCodec::EliasGamma);
+        let mutation = crate::JournalMutation::SetWeight {
+            u: t.parent(victim).unwrap().0,
+            v: victim.0,
+            w: bumped.0,
+        };
+        let record = diff_record(1, mutation, &snap, &snap_new);
+
+        let engine = QueryEngine::new_mapped(mapped, EngineConfig::default());
+        match engine.apply_delta(&record) {
+            Err(StoreError::ReadOnlySnapshot) => {}
+            other => panic!("expected ReadOnlySnapshot, got {other:?}"),
+        }
+        assert_eq!(engine.delta_seq(), 0, "rejected delta must not advance seq");
+        // The engine still serves reads after the rejected mutation.
+        let ans = engine
+            .query(Query::Max {
+                u: NodeId(1),
+                v: NodeId(2),
+            })
+            .unwrap();
+        assert!(matches!(ans, Answer::Max(_)));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -79,6 +79,11 @@ pub enum StoreError {
         /// Index of the shard whose worker panicked.
         shard: usize,
     },
+    /// A mutation (delta-journal apply) was attempted against a
+    /// memory-mapped snapshot, which serves its labels directly from the
+    /// read-only file bytes. Reopen the snapshot as an owned
+    /// [`crate::Snapshot`] to mutate it.
+    ReadOnlySnapshot,
 }
 
 impl fmt::Display for StoreError {
@@ -119,6 +124,10 @@ impl fmt::Display for StoreError {
             StoreError::ShardPoisoned { shard } => write!(
                 f,
                 "shard {shard} worker panicked mid-batch; its queries were dropped"
+            ),
+            StoreError::ReadOnlySnapshot => write!(
+                f,
+                "snapshot is memory-mapped (read-only); deltas need an owned snapshot"
             ),
         }
     }
@@ -170,6 +179,9 @@ mod tests {
         assert!(StoreError::ShardPoisoned { shard: 3 }
             .to_string()
             .contains("shard 3"));
+        assert!(StoreError::ReadOnlySnapshot
+            .to_string()
+            .contains("read-only"));
         let io: StoreError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(std::error::Error::source(&io).is_some());
         assert!(std::error::Error::source(&StoreError::BadMagic).is_none());

@@ -68,17 +68,21 @@ mod error;
 mod format;
 mod journal;
 mod lru;
+mod mmap;
 pub mod proto;
 
 pub use crc::crc32;
 pub use engine::{
     Answer, BatchMetrics, BatchResponse, EngineConfig, EngineConfigBuilder, EngineConfigError,
-    Query, QueryEngine, MAX_SHARDS,
+    Query, QueryEngine, SnapshotStore, MAX_SHARDS,
 };
 pub use error::StoreError;
-pub use format::{fsck_pair, DistSection, FsckReport, Snapshot, MAGIC, VERSION};
+pub use format::{
+    fsck_pair, DistSection, FsckReport, Snapshot, SnapshotFormat, MAGIC, VERSION, VERSION_V2,
+};
 pub use journal::{
     DeltaOutcome, DeltaRecord, Journal, JournalMutation, LabelDelta, TreeDelta, JOURNAL_MAGIC,
     JOURNAL_VERSION,
 };
 pub use lru::LruCache;
+pub use mmap::MappedSnapshot;

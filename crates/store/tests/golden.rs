@@ -8,12 +8,15 @@
 
 use mstv_graph::{gen, NodeId};
 use mstv_labels::SepFieldCodec;
-use mstv_store::{EngineConfig, Query, QueryEngine, Snapshot, VERSION};
+use mstv_store::{
+    EngineConfig, MappedSnapshot, Query, QueryEngine, Snapshot, SnapshotFormat, VERSION, VERSION_V2,
+};
 use mstv_trees::{PathMaxIndex, RootedTree};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.snap");
+const GOLDEN_V2_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_v2.snap");
 const GOLDEN_NODES: usize = 96;
 
 fn golden_tree() -> RootedTree {
@@ -40,6 +43,64 @@ fn golden_fixture_matches_byte_for_byte() {
          if the change is deliberate, bump mstv_store::VERSION and re-bless \
          with MSTV_BLESS=1 (version is currently {VERSION})"
     );
+}
+
+#[test]
+fn golden_v2_fixture_matches_byte_for_byte() {
+    let bytes = Snapshot::build(&golden_tree(), SepFieldCodec::EliasGamma)
+        .to_bytes_format(SnapshotFormat::V2);
+    if std::env::var_os("MSTV_BLESS").is_some() {
+        std::fs::write(GOLDEN_V2_PATH, &bytes).unwrap();
+    }
+    let golden = std::fs::read(GOLDEN_V2_PATH)
+        .expect("fixture missing; create with MSTV_BLESS=1 cargo test -p mstv-store --test golden");
+    assert_eq!(
+        bytes, golden,
+        "columnar snapshot encoding drifted from the committed golden \
+         fixture; if the change is deliberate, bump mstv_store::VERSION_V2 \
+         and re-bless with MSTV_BLESS=1 (version is currently {VERSION_V2})"
+    );
+}
+
+#[test]
+fn golden_v1_and_v2_fixtures_cross_read() {
+    // Both containers carry the same snapshot: they parse back equal,
+    // and re-encoding one fixture in the other's format reproduces the
+    // other fixture's bytes exactly.
+    let v1 = Snapshot::read_file(GOLDEN_PATH).expect("v1 fixture parses");
+    let v2 = Snapshot::read_file(GOLDEN_V2_PATH).expect("v2 fixture parses");
+    assert_eq!(v1, v2, "v1 and v2 fixtures decode to different snapshots");
+    assert_eq!(
+        v1.to_bytes_format(SnapshotFormat::V2),
+        std::fs::read(GOLDEN_V2_PATH).unwrap(),
+        "re-encoding the v1 fixture as v2 does not reproduce the v2 fixture"
+    );
+    assert_eq!(
+        v2.to_bytes(),
+        std::fs::read(GOLDEN_PATH).unwrap(),
+        "re-encoding the v2 fixture as v1 does not reproduce the v1 fixture"
+    );
+}
+
+#[test]
+fn golden_v2_fixture_serves_zero_copy() {
+    // The mmap reader must serve the committed columnar fixture without
+    // repacking, and its answers must match a fresh path oracle.
+    let mapped = MappedSnapshot::open(GOLDEN_V2_PATH).expect("v2 fixture maps");
+    assert_eq!(mapped.version(), VERSION_V2);
+    assert!(mapped.is_zero_copy(), "v2 fixture should serve zero-copy");
+    assert_eq!(mapped.num_nodes() as usize, GOLDEN_NODES);
+    mapped.fsck(128).expect("mapped fixture is self-consistent");
+
+    let tree = golden_tree();
+    let idx = PathMaxIndex::new(&tree);
+    let codec = mapped.codec();
+    for (u, v) in [(0usize, 95usize), (3, 42), (17, 71), (94, 1)] {
+        let got = codec
+            .try_decode_max_pair(mapped.max_slice(u), mapped.max_slice(v))
+            .expect("mapped labels decode");
+        assert_eq!(got, idx.max_on_path(NodeId(u as u32), NodeId(v as u32)));
+    }
 }
 
 #[test]

@@ -13,6 +13,10 @@ pub struct LcaIndex {
     tour: Vec<NodeId>,
     /// First occurrence of each node in the tour.
     first: Vec<u32>,
+    /// Last occurrence of each node in the tour: a node's subtree spans
+    /// exactly `first[v]..=last[v]`, so ancestor tests are two interval
+    /// comparisons with no RMQ.
+    last: Vec<u32>,
     /// Depths along the tour, indexed like `tour`.
     rmq: SparseTableRmq<u32>,
     depth: Vec<u32>,
@@ -24,6 +28,7 @@ impl LcaIndex {
         let n = tree.num_nodes();
         let mut tour = Vec::with_capacity(2 * n - 1);
         let mut first = vec![u32::MAX; n];
+        let mut last = vec![0u32; n];
         // Iterative Euler tour.
         enum Step {
             Visit(NodeId),
@@ -36,6 +41,7 @@ impl LcaIndex {
                     if first[v.index()] == u32::MAX {
                         first[v.index()] = tour.len() as u32;
                     }
+                    last[v.index()] = tour.len() as u32;
                     tour.push(v);
                     // Push children interleaved with re-emissions of v.
                     for &c in tree.children(v).iter().rev() {
@@ -43,7 +49,10 @@ impl LcaIndex {
                         stack.push(Step::Visit(c));
                     }
                 }
-                Step::Emit(v) => tour.push(v),
+                Step::Emit(v) => {
+                    last[v.index()] = tour.len() as u32;
+                    tour.push(v);
+                }
             }
         }
         let depths: Vec<u32> = tour.iter().map(|&v| tree.depth(v)).collect();
@@ -52,6 +61,7 @@ impl LcaIndex {
             rmq: SparseTableRmq::new(depths),
             tour,
             first,
+            last,
             depth,
         }
     }
@@ -79,9 +89,11 @@ impl LcaIndex {
     }
 
     /// Whether `a` is an ancestor of `d` (inclusive: every node is its own
-    /// ancestor).
+    /// ancestor). O(1) via Euler-interval containment — `d`'s occurrences
+    /// all lie inside `a`'s subtree span.
     pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
-        self.lca(a, d) == a
+        self.first[a.index()] <= self.first[d.index()]
+            && self.last[d.index()] <= self.last[a.index()]
     }
 }
 

@@ -140,14 +140,24 @@ impl SeparatorDecomposition {
     /// The separator ancestors of `v` from level 1 down to `v` itself
     /// (`result[k-1]` is the level-`k` separator of `v`).
     pub fn ancestors(&self, v: NodeId) -> Vec<NodeId> {
-        let mut chain = vec![v];
+        let mut chain = Vec::new();
+        self.ancestors_into(v, &mut chain);
+        chain
+    }
+
+    /// [`SeparatorDecomposition::ancestors`] into a caller-owned buffer
+    /// (cleared first) — the allocation-free form the batch label
+    /// builders loop over, one buffer per worker instead of one `Vec`
+    /// per node.
+    pub fn ancestors_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.push(v);
         let mut cur = v;
         while let Some(p) = self.sep_parent(cur) {
-            chain.push(p);
+            out.push(p);
             cur = p;
         }
-        chain.reverse();
-        chain
+        out.reverse();
     }
 
     /// The deepest level in the decomposition.

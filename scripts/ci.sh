@@ -157,4 +157,16 @@ echo "== dynamic mutation smoke (64-mutation stream, journal vs rebuild) =="
 cmp "$tmp/compacted.snap" "$tmp/rebuilt.snap" \
     || { echo "ci: compacted journal differs from the rebuilt snapshot"; exit 1; }
 
+echo "== columnar (v2) snapshot smoke (cross-read + zero-copy serving) =="
+# The golden stage above already byte-pins both container versions and
+# their cross-read; here the CLI path: write the same graph in both
+# formats, require the v2 file to fsck, and serve a seeded workload
+# straight from the mmap'd columnar sections with the label cache off —
+# the cold-cache fused-decode path — with every answer oracle-checked.
+"$mstv" snapshot write --format v2 "$tmp/g.txt" "$tmp/g2.snap" >/dev/null
+"$mstv" snapshot fsck "$tmp/g2.snap" >/dev/null
+"$mstv" query "$tmp/g2.snap" --bench --queries 5000 --shards 4 --cache 0 \
+    --mmap --seed 7 --verify-against "$tmp/g.txt" \
+    | grep -q "oracle: ok" || { echo "ci: v2 cold-cache smoke failed"; exit 1; }
+
 echo "ci: all checks passed"

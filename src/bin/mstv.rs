@@ -29,7 +29,7 @@ use mst_verification::serve::{Client, ServeConfig, ServerHandle};
 use mst_verification::store::proto::ErrorCode;
 use mst_verification::store::{
     Answer, DeltaOutcome, EngineConfig, Journal, JournalMutation, Query, QueryEngine, Snapshot,
-    JOURNAL_MAGIC,
+    SnapshotFormat, JOURNAL_MAGIC,
 };
 use mst_verification::trees::{ParallelConfig, PathMaxIndex, RootedTree};
 use rand::rngs::StdRng;
@@ -80,11 +80,14 @@ const USAGE: &str = "usage:
       (verification and construction logs alike; construction logs
       also rebuild the tree and labels)
   mstv snapshot write <graph-file> <out.snap> [--codec gamma|fixed] [--threads N]
-           [--no-dist]
+           [--no-dist] [--format v1|v2]
       compute the graph's MST and persist the marked tree plus its full
-      MAX/FLOW/DIST label stack as a CRC-checked binary snapshot
+      MAX/FLOW/DIST label stack as a CRC-checked binary snapshot;
+      --format v2 writes columnar label sections (an offsets table plus
+      one contiguous bit payload per section) that mmap-mode readers
+      serve zero-copy
   mstv snapshot write --from-net <log-file> <out.snap> [--codec gamma|fixed]
-           [--threads N] [--no-dist]
+           [--threads N] [--no-dist] [--format v1|v2]
       same, but from a `mstv net --compute --log` event log: replay the
       construction run and snapshot the tree the network built —
       byte-identical to the snapshot of the same graph's local MST
@@ -113,20 +116,25 @@ const USAGE: &str = "usage:
   mstv query <file.snap> max|flow|dist <u> <v>
   mstv query <file.snap> verify <u> <v> <w>
       answer one query from the stored labels alone (verify runs the
-      MST cycle check: accept iff w ≥ MAX(u, v))
-  mstv query <file.snap> --batch <query-file> [--shards S] [--cache C]
+      MST cycle check: accept iff w ≥ MAX(u, v)); --mmap serves label
+      bytes straight from a memory map of the file (fastest with
+      --format v2 snapshots, which need no load-time repacking)
+  mstv query <file.snap> --batch <query-file> [--shards S] [--cache C] [--mmap]
       one query per line (same syntax), answers in order, then serving
       metrics JSON
   mstv query <file.snap> --bench [--queries N] [--shards S] [--cache C]
-           [--seed X] [--verify-against <graph-file>]
+           [--seed X] [--verify-against <graph-file>] [--mmap]
       sharded throughput benchmark over seeded random queries; prints
       ServeMetrics JSON; --verify-against cross-checks every answer
       against an in-memory oracle rebuilt from the graph
   mstv serve --snapshot <file.snap> [--port P] [--workers N] [--shards S]
-           [--cache C] [--queue-depth D] [--max-conns M]
+           [--cache C] [--queue-depth D] [--max-conns M] [--mmap]
       serve the snapshot's labels over TCP (wire protocol v1) on
       127.0.0.1; --port 0 picks an ephemeral port. Prints the bound
-      address, then runs until a client sends --shutdown-server
+      address, then runs until a client sends --shutdown-server.
+      --mmap memory-maps the snapshot (and every hot-swapped
+      replacement); mapped generations reject delta applies as
+      read-only
   mstv query --connect <host:port> max|flow|dist <u> <v>
   mstv query --connect <host:port> verify <u> <v> <w>
   mstv query --connect <host:port> --batch <query-file>
@@ -732,7 +740,10 @@ fn cmd_snapshot(args: &[String]) -> Result<(), String> {
         .ok_or("snapshot needs a subcommand: write, inspect, or fsck")?;
     match sub.as_str() {
         "write" => {
-            let positionals = positional_words(&args[1..], &["--from-net", "--codec", "--threads"]);
+            let positionals = positional_words(
+                &args[1..],
+                &["--from-net", "--codec", "--threads", "--format"],
+            );
             let (g, mst) = if let Some(log_path) = flag_str(args, "--from-net") {
                 // The tree the network built: replay the construction
                 // log and snapshot its MST. Replay is exact, so this
@@ -795,16 +806,21 @@ fn cmd_snapshot(args: &[String]) -> Result<(), String> {
                     ParallelConfig::with_threads(n)
                 }
             };
+            let format = match flag_str(args, "--format") {
+                None => SnapshotFormat::V1,
+                Some(f) => f.parse::<SnapshotFormat>()?,
+            };
             let mut snap = Snapshot::build_parallel(&tree, codec, config);
             if args.iter().any(|a| a == "--no-dist") {
                 snap.strip_dist();
             }
-            let bytes = snap.to_bytes();
+            let bytes = snap.to_bytes_format(format);
             std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
             println!(
-                "wrote {out}: {} nodes, {} bytes ({} label bits, max label {} bits)",
+                "wrote {out}: {} nodes, {} bytes, container v{} ({} label bits, max label {} bits)",
                 snap.num_nodes(),
                 bytes.len(),
+                format.version(),
                 snap.total_label_bits(),
                 snap.max_label_bits(),
             );
@@ -814,10 +830,18 @@ fn cmd_snapshot(args: &[String]) -> Result<(), String> {
             let path = args.get(1).ok_or("missing snapshot file")?;
             let snap = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
             let codec = snap.codec();
-            println!(
-                "{path}: snapshot version {}",
-                mst_verification::store::VERSION
-            );
+            // The container version lives in the file prelude (bytes
+            // 8..10); the parsed Snapshot is version-agnostic.
+            let version = std::fs::read(path)
+                .ok()
+                .and_then(|b| b.get(8..10).map(|v| u16::from_le_bytes([v[0], v[1]])))
+                .unwrap_or(mst_verification::store::VERSION);
+            let layout = if version >= mst_verification::store::VERSION_V2 {
+                "columnar"
+            } else {
+                "row"
+            };
+            println!("{path}: snapshot version {version} ({layout} label sections)");
             println!("  nodes:      {} (root {})", snap.num_nodes(), snap.root());
             println!("  max weight: {}", snap.max_weight());
             println!(
@@ -1146,8 +1170,17 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         return cmd_query_remote(args);
     }
     let path = args.first().ok_or("missing snapshot file (or --connect)")?;
-    let snap = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
-    let engine = QueryEngine::new(snap, engine_config_from_flags(args)?);
+    let config = engine_config_from_flags(args)?;
+    // --mmap serves label bytes straight from the page cache: the file
+    // is validated once at open, then every label decode slices the
+    // mapped bytes instead of owned copies.
+    let engine = if args.iter().any(|a| a == "--mmap") {
+        let mapped = Snapshot::open_mmap(path).map_err(|e| format!("{path}: {e}"))?;
+        QueryEngine::new_mapped(mapped, config)
+    } else {
+        let snap = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
+        QueryEngine::new(snap, config)
+    };
 
     if let Some(batch_path) = flag_str(args, "--batch") {
         let (lines, queries) = read_batch_file(&batch_path)?;
@@ -1158,11 +1191,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     } else if args.iter().any(|a| a == "--bench") {
         cmd_query_bench(args, &engine)
     } else {
-        let words: Vec<&str> = args[1..]
-            .iter()
-            .take_while(|a| !a.starts_with("--"))
-            .map(String::as_str)
-            .collect();
+        let words = positional_words(&args[1..], &["--shards", "--cache"]);
         if words.is_empty() {
             return Err("missing query (or --batch/--bench)".to_owned());
         }
@@ -1250,8 +1279,8 @@ fn cmd_query_remote(args: &[String]) -> Result<(), String> {
 /// `mstv serve`: bind the networked serving tier around a snapshot and
 /// run until a client asks for shutdown.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use mst_verification::store::SnapshotStore;
     let snap_path = flag_str(args, "--snapshot").ok_or("--snapshot is required")?;
-    let snap = Snapshot::read_file(&snap_path).map_err(|e| format!("{snap_path}: {e}"))?;
     let port = flag_value(args, "--port")?.unwrap_or(0) as u16;
     let mut config = ServeConfig {
         engine: engine_config_from_flags(args)?,
@@ -1266,7 +1295,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(m) = flag_value(args, "--max-conns")? {
         config.max_connections = m as usize;
     }
-    let server = ServerHandle::spawn(snap, config, port).map_err(|e| e.to_string())?;
+    config.mmap = args.iter().any(|a| a == "--mmap");
+    let store = if config.mmap {
+        SnapshotStore::Mapped(
+            Snapshot::open_mmap(&snap_path).map_err(|e| format!("{snap_path}: {e}"))?,
+        )
+    } else {
+        SnapshotStore::Owned(
+            Snapshot::read_file(&snap_path).map_err(|e| format!("{snap_path}: {e}"))?,
+        )
+    };
+    let server = ServerHandle::spawn_store(store, config, port).map_err(|e| e.to_string())?;
     // Parseable by scripts that background the server and need the
     // actual port (stdout is line-buffered, so this arrives promptly).
     println!("listening on {}", server.addr());
@@ -1279,7 +1318,7 @@ fn cmd_query_bench(args: &[String], engine: &QueryEngine) -> Result<(), String> 
     let count = flag_value(args, "--queries")?.unwrap_or(100_000) as usize;
     let seed = flag_value(args, "--seed")?.unwrap_or(0);
     let (n, has_dist, max_w) =
-        engine.with_snapshot(|s| (s.num_nodes(), s.dist().is_some(), s.max_weight().0));
+        engine.with_store(|s| (s.num_nodes(), s.has_dist(), s.max_weight().0));
     if n == 0 {
         return Err("snapshot is empty".to_owned());
     }

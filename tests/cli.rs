@@ -319,3 +319,32 @@ fn net_compute_builds_labels_replays_and_snapshots_byte_identically() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn query_flags_may_precede_the_query_words() {
+    let dir = std::env::temp_dir().join(format!("mstv-cli-query-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("q.snap");
+    let snap = snap.to_string_lossy();
+
+    let graph = run_ok(
+        &["gen", "--nodes", "40", "--extra", "60", "--seed", "5"],
+        &[],
+    );
+    run_ok(
+        &["snapshot", "write", "--format", "v2", "g.txt", &snap],
+        &[("g.txt", &graph)],
+    );
+
+    // Flag placement must not matter: `--mmap`/`--cache` before the
+    // positional query words parse the same as after them, and the
+    // zero-copy answer equals the owned-path answer.
+    let owned = run_ok(&["query", &snap, "max", "3", "17"], &[]);
+    let flags_after = run_ok(&["query", &snap, "max", "3", "17", "--mmap"], &[]);
+    let flags_before = run_ok(
+        &["query", &snap, "--mmap", "--cache", "0", "max", "3", "17"],
+        &[],
+    );
+    assert_eq!(owned, flags_after);
+    assert_eq!(owned, flags_before);
+}
