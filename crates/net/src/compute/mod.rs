@@ -150,6 +150,30 @@ impl ComputeMachine {
     /// Phase B → C hand-off: seal the label, derive the instance-wide
     /// codecs, and start the embedded verifier (feeding it any label
     /// frames that arrived early).
+    ///
+    /// # Crash-restart at the hand-off (audited)
+    ///
+    /// The hand-off is atomic within a machine step — `verify_ready`
+    /// flips and `start_verify` runs in the same `on_event` call — so a
+    /// crash cannot land *between* marker completion and verifier
+    /// start; it lands either before (verifier still `None`) or after
+    /// (verifier live, with its own volatile-wipe semantics). Both
+    /// sides are safe, and the window is exercised by the scripted
+    /// crash test at the boundary:
+    ///
+    /// * Early label frames from faster neighbors wait in the stash,
+    ///   which crash-restarts do **not** clear (journal model). They
+    ///   are un-acked at their senders, so even a restart that *had*
+    ///   dropped them would see retransmissions; nothing hinges on the
+    ///   stash surviving — only dedup does (the embedded verifier
+    ///   store-once handles duplicates anyway).
+    /// * A restarted verifier re-pulls neighbor labels with the
+    ///   `refresh` flag, and answers to refresh pulls never carry the
+    ///   flag themselves, so the convergecast cannot hang or ping-pong.
+    /// * Phase attribution keys on each frame's kind tag at *send*
+    ///   time, so a crash straddling the hand-off cannot re-bill
+    ///   marker traffic to verify (no stale `PhaseCost`):
+    ///   retransmissions bill to their own phase, whenever they fire.
     fn start_verify(&mut self, out: &mut Vec<(Port, WireMsg)>) {
         let (n, w_star) = self.marker.inst.expect("instance known before verify");
         // Exactly the codecs `MstWireScheme::for_config` derives: ids

@@ -61,6 +61,12 @@ pub enum NetError {
         /// What was wrong with it.
         reason: String,
     },
+    /// An adversary specification string
+    /// (see [`AdversarySpec`](crate::AdversarySpec)) does not parse.
+    BadAdversarySpec {
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -91,6 +97,9 @@ impl fmt::Display for NetError {
                 write!(f, "unknown wire message kind (tag {tag:#04x})")
             }
             NetError::BadFrame { reason } => write!(f, "malformed wire frame: {reason}"),
+            NetError::BadAdversarySpec { reason } => {
+                write!(f, "malformed adversary spec: {reason}")
+            }
         }
     }
 }

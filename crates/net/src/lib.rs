@@ -70,6 +70,17 @@
 //! reference, and a frame the codecs cannot parse is a rejection, not
 //! a panic.
 //!
+//! Beyond the probabilistic knobs, the [`adversary`](AdversarySpec)
+//! layer scripts *worst-case* faults from a compact seeded spec:
+//! Byzantine label forgery at k colluding nodes (rewriting root
+//! pointers, ω fields, or raw certificate bits — see
+//! [`forge_labeling`]), a partition that heals at a chosen round,
+//! windowed worst-case reordering, and join/leave churn. The spec
+//! rides the [`EventLog`] header, so an adversarial run replays from
+//! the log alone, forgery included. E20 (`BENCH_adversary.json`)
+//! drives every class through detect → recompute → re-verify and
+//! pins the headline soundness claim: zero forged labelings accepted.
+//!
 //! # Example
 //!
 //! ```
@@ -96,6 +107,7 @@
 //! # Ok::<(), mstv_core::MarkerError>(())
 //! ```
 
+mod adversary;
 mod compute;
 mod error;
 mod link;
@@ -106,12 +118,19 @@ mod runtime;
 mod stab;
 mod wire;
 
+pub use adversary::{
+    forge_labeling, AdversaryLink, AdversarySpec, ChurnSpec, ForgeClass, ForgeOutcome, ForgeSpec,
+    PartitionSpec, ReorderSpec,
+};
 pub use compute::{replay_compute, run_compute, ComputeMachine, ComputeRun};
 pub use error::NetError;
 pub use link::{FaultProfile, Link, LossyLink, PerfectLink};
 pub use log::{EventLog, LogEvent, RunSummary};
 pub use machine::{MstWireScheme, NodeEvent, ProtocolMachine, VerifierMachine, WireScheme};
 pub use replay::replay;
-pub use runtime::{run_verification, run_verification_with, Engine, NetConfig, NetRun, PhaseCost};
+pub use runtime::{
+    run_verification, run_verification_encoded_with, run_verification_with, Engine, NetConfig,
+    NetRun, PhaseCost,
+};
 pub use stab::{NetSelfStab, NetStabOutcome};
 pub use wire::{WireMsg, MAX_FRAME_BITS};

@@ -212,7 +212,7 @@ impl EventLog {
                             let payload = BitString::from_bytes(&bytes, bits)
                                 .ok_or_else(|| bad(i, "payload does not frame"))?;
                             WireMsg::Label {
-                                bits: payload,
+                                bits: payload.into(),
                                 refresh: kind == "lr",
                             }
                         }
@@ -395,7 +395,7 @@ mod tests {
                 to: 1,
                 port: 0,
                 msg: WireMsg::Label {
-                    bits,
+                    bits: bits.into(),
                     refresh: true,
                 },
             },

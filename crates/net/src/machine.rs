@@ -9,6 +9,8 @@
 //! event log sufficient for exact replay: feeding a machine the same
 //! event sequence reproduces the same outputs bit for bit.
 
+use std::sync::Arc;
+
 use mstv_core::{LocalView, NeighborView};
 use mstv_graph::{ConfigGraph, NodeId, Port, Weight};
 use mstv_labels::BitString;
@@ -139,43 +141,61 @@ impl WireScheme for MstWireScheme {
 /// just processed a duplicate, holds the sender's label), so an answer
 /// can never trigger another answer: refresh chains have depth one and
 /// the protocol cannot ping-pong.
+/// # Memory layout
+///
+/// The machine keeps a *compact* per-node footprint so the events
+/// engine can multiplex hundreds of thousands of them: neighbor labels
+/// are **not** decoded (or even copied) on arrival. A delivered frame's
+/// payload is retained *by pointer* — the [`Arc<BitString>`] inside the
+/// frame aliases the sender's own certificate allocation, so no matter
+/// how many neighbors hold a certificate it exists **once** in the
+/// process (the same zero-copy column trick `mstv-store`'s v2
+/// snapshots play with label payloads). Decoding happens once, at
+/// decide time, and the payload pointers are dropped the moment the
+/// verdict is fixed — a decided machine holds no neighbor payload at
+/// all. Delivery and ack flags are bitsets, and the own certificate is
+/// a shared [`Arc<BitString>`] so broadcasting clones a pointer, not a
+/// payload. None of this is observable: the emitted frames, their
+/// order, and the verdict are identical to decoding on arrival, so
+/// event logs recorded by earlier layouts replay unchanged.
 #[derive(Debug, Clone)]
 pub struct VerifierMachine<W: WireScheme> {
     scheme: W,
     node: NodeId,
     state: W::State,
-    /// The node's own certificate as wire bits — persistent memory.
-    encoded: BitString,
+    /// The node's own certificate as wire bits — persistent memory,
+    /// shared with every frame that carries it.
+    encoded: Arc<BitString>,
     /// `(port, weight)` per incident edge, in port order.
     ports: Vec<(Port, Weight)>,
-    /// Per port: `None` until a label frame arrives, then the decode
-    /// result (`Some(None)` = arrived but malformed).
-    received: Vec<Option<Option<W::Label>>>,
-    /// Per port: whether the neighbor acked our label.
-    acked: Vec<bool>,
+    /// Per port: the received frame's payload, shared with its sender
+    /// (and every other holder) by [`Arc`]; dropped at decide time,
+    /// `None` again afterwards.
+    frames: Vec<Option<Arc<BitString>>>,
+    /// Delivery bitset, one bit per port — outlives the payload drop,
+    /// because the duplicate/refresh logic needs the *fact* of
+    /// delivery after the bits are gone.
+    delivered: Vec<u64>,
+    /// Ack bitset, one bit per port.
+    acked: Vec<u64>,
     verdict: Option<bool>,
 }
 
 impl<W: WireScheme> VerifierMachine<W> {
     /// A machine for node `v` of the configuration, holding `encoded`
     /// as its certificate.
-    pub fn new(scheme: W, cfg: &ConfigGraph<W::State>, v: NodeId, encoded: BitString) -> Self {
+    pub fn new(
+        scheme: W,
+        cfg: &ConfigGraph<W::State>,
+        v: NodeId,
+        encoded: impl Into<Arc<BitString>>,
+    ) -> Self {
         let ports: Vec<(Port, Weight)> = cfg
             .graph()
             .neighbors(v)
             .map(|nb| (nb.port, nb.weight))
             .collect();
-        let deg = ports.len();
-        VerifierMachine {
-            scheme,
-            node: v,
-            state: cfg.state(v).clone(),
-            encoded,
-            ports,
-            received: vec![None; deg],
-            acked: vec![false; deg],
-            verdict: None,
-        }
+        VerifierMachine::from_parts(scheme, v, cfg.state(v).clone(), encoded, ports)
     }
 
     /// A machine assembled from parts already held node-locally — the
@@ -187,7 +207,7 @@ impl<W: WireScheme> VerifierMachine<W> {
         scheme: W,
         node: NodeId,
         state: W::State,
-        encoded: BitString,
+        encoded: impl Into<Arc<BitString>>,
         ports: Vec<(Port, Weight)>,
     ) -> Self {
         let deg = ports.len();
@@ -195,12 +215,38 @@ impl<W: WireScheme> VerifierMachine<W> {
             scheme,
             node,
             state,
-            encoded,
+            encoded: encoded.into(),
             ports,
-            received: vec![None; deg],
-            acked: vec![false; deg],
+            frames: vec![None; deg],
+            delivered: vec![0; deg.div_ceil(64)],
+            acked: vec![0; deg.div_ceil(64)],
             verdict: None,
         }
+    }
+
+    fn is_acked(&self, i: usize) -> bool {
+        self.acked[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn set_acked(&mut self, i: usize) {
+        self.acked[i / 64] |= 1 << (i % 64);
+    }
+
+    fn is_received(&self, i: usize) -> bool {
+        self.delivered[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn set_received(&mut self, i: usize) {
+        self.delivered[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Frees the neighbor payloads once they can no longer matter:
+    /// after a decide, only the *fact* that a port delivered (for the
+    /// duplicate/refresh logic) is needed, never the bits again —
+    /// the next thing that could need bits is a crash-restart, which
+    /// wipes everything anyway.
+    fn release_payloads(&mut self) {
+        self.frames.fill(None);
     }
 
     /// The node this machine runs at.
@@ -218,10 +264,9 @@ impl<W: WireScheme> VerifierMachine<W> {
     pub fn on_event(&mut self, ev: &NodeEvent) -> Vec<(Port, WireMsg)> {
         match ev {
             NodeEvent::Start | NodeEvent::CrashRestart => {
-                for slot in &mut self.received {
-                    *slot = None;
-                }
-                self.acked.fill(false);
+                self.frames.fill(None);
+                self.delivered.fill(0);
+                self.acked.fill(0);
                 self.verdict = None;
                 self.try_decide();
                 self.broadcast(|_, _| true)
@@ -229,12 +274,16 @@ impl<W: WireScheme> VerifierMachine<W> {
             NodeEvent::Deliver { port, msg } => match msg {
                 WireMsg::Label { bits, refresh } => {
                     let i = port.index();
-                    if i >= self.received.len() {
+                    if i >= self.frames.len() {
                         return Vec::new();
                     }
                     let mut out = vec![(*port, WireMsg::Ack)];
-                    if self.received[i].is_none() {
-                        self.received[i] = Some(self.scheme.decode_label(bits));
+                    if !self.is_received(i) {
+                        // Retain the shared payload only; decoding
+                        // waits for the decide, after which the
+                        // pointer is dropped.
+                        self.frames[i] = Some(Arc::clone(bits));
+                        self.set_received(i);
                         self.try_decide();
                     } else if *refresh {
                         // A duplicate pull: the sender restarted and
@@ -244,7 +293,7 @@ impl<W: WireScheme> VerifierMachine<W> {
                         out.push((
                             *port,
                             WireMsg::Label {
-                                bits: self.encoded.clone(),
+                                bits: Arc::clone(&self.encoded),
                                 refresh: false,
                             },
                         ));
@@ -252,8 +301,8 @@ impl<W: WireScheme> VerifierMachine<W> {
                     out
                 }
                 WireMsg::Ack => {
-                    if let Some(a) = self.acked.get_mut(port.index()) {
-                        *a = true;
+                    if port.index() < self.frames.len() {
+                        self.set_acked(port.index());
                     }
                     Vec::new()
                 }
@@ -270,56 +319,68 @@ impl<W: WireScheme> VerifierMachine<W> {
     /// selects, flagging `refresh` on ports whose neighbor label is
     /// still missing.
     fn broadcast(&self, send_on: impl Fn(bool, bool) -> bool) -> Vec<(Port, WireMsg)> {
-        self.ports
-            .iter()
-            .zip(self.acked.iter().zip(&self.received))
-            .filter(|(_, (&acked, received))| send_on(acked, received.is_some()))
-            .map(|(&(p, _), (_, received))| {
-                (
+        let mut out = Vec::new();
+        for (i, &(p, _)) in self.ports.iter().enumerate() {
+            let received = self.is_received(i);
+            if send_on(self.is_acked(i), received) {
+                out.push((
                     p,
                     WireMsg::Label {
-                        bits: self.encoded.clone(),
-                        refresh: received.is_none(),
+                        bits: Arc::clone(&self.encoded),
+                        refresh: !received,
                     },
-                )
-            })
-            .collect()
+                ));
+            }
+        }
+        out
     }
 
     fn try_decide(&mut self) {
-        if self.verdict.is_some() || self.received.iter().any(Option::is_none) {
+        let all = (0..self.ports.len()).all(|i| self.is_received(i));
+        if self.verdict.is_some() || !all {
             return;
         }
-        // The own certificate must decode too: a node whose persistent
-        // label bits were corrupted beyond the codecs rejects itself.
-        let Some(own) = self.scheme.decode_label(&self.encoded) else {
-            self.verdict = Some(false);
-            return;
+        self.verdict = Some(self.decide());
+        self.release_payloads();
+    }
+
+    /// The verdict, with every port delivered: decode everything (the
+    /// own certificate too — a node whose persistent label bits were
+    /// corrupted beyond the codecs rejects itself), then run the
+    /// scheme's local verifier. A malformed neighbor frame is a
+    /// rejection, exactly as a malformed label would be in the
+    /// shared-memory verifier.
+    fn decide(&self) -> bool {
+        let Some(own) = self.scheme.decode_label(self.encoded.as_ref()) else {
+            return false;
         };
-        let mut neighbors = Vec::with_capacity(self.ports.len());
-        for (&(port, weight), slot) in self.ports.iter().zip(&self.received) {
-            match slot.as_ref().expect("all ports received") {
-                Some(label) => neighbors.push(NeighborView {
-                    port,
-                    weight,
-                    label,
-                }),
-                // A malformed neighbor frame is a rejection, exactly as
-                // a malformed label would be in the shared-memory
-                // verifier.
-                None => {
-                    self.verdict = Some(false);
-                    return;
-                }
+        let mut labels = Vec::with_capacity(self.ports.len());
+        for frame in &self.frames {
+            let bits = frame
+                .as_ref()
+                .expect("decide runs with every port delivered");
+            match self.scheme.decode_label(bits.as_ref()) {
+                Some(label) => labels.push(label),
+                None => return false,
             }
         }
+        let neighbors = self
+            .ports
+            .iter()
+            .zip(&labels)
+            .map(|(&(port, weight), label)| NeighborView {
+                port,
+                weight,
+                label,
+            })
+            .collect();
         let view = LocalView {
             node: self.node,
             state: &self.state,
             label: &own,
             neighbors,
         };
-        self.verdict = Some(self.scheme.verify(&view));
+        self.scheme.verify(&view)
     }
 }
 

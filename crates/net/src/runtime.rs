@@ -51,11 +51,12 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 
 use mstv_core::{Labeling, MessageCost, Verdict};
 use mstv_graph::{ConfigGraph, Graph, NodeId, Port};
+use mstv_labels::BitString;
 use mstv_trees::{KeyedQueue, ParallelConfig};
 
 use crate::error::NetError;
@@ -125,7 +126,13 @@ impl Engine {
 /// by hand-off: a round belongs to the *last* phase to first become
 /// active in it (phases overlap at their seams — on a perfect link all
 /// three run inside round 1, which is then charged to `verify`). The
-/// per-phase `rounds` always sum to the run's total.
+/// per-phase `rounds` always sum to the run's total: rounds before the
+/// first message (and a run that sends no messages at all — a single
+/// isolated node decides without talking) are charged to `verify`,
+/// since the clock only advances while verification is still owed.
+/// The invariant holds under *any* link, including the reordering
+/// adversary — attribution keys on send rounds, which reordering does
+/// not move.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseCost {
     /// GHS fragment protocol (phase A of construction).
@@ -167,7 +174,10 @@ impl PhaseTally {
     }
 
     /// Resolves the per-phase rounds attribution (see [`PhaseCost`])
-    /// against the run's total round count.
+    /// against the run's total round count. The per-phase rounds must
+    /// sum to `total_rounds` for every run shape — pinned by
+    /// `phase_costs_are_exhaustive_and_attributed` and the adversary
+    /// suite's reorder test.
     pub(crate) fn finish(&self, total_rounds: u64) -> PhaseCost {
         let mut started: Vec<(u64, usize)> = self
             .first_round
@@ -177,11 +187,21 @@ impl PhaseTally {
             .collect();
         started.sort_unstable();
         let mut rounds = [0u64; 3];
+        if started.is_empty() {
+            // No message was ever sent (every node decided in
+            // isolation); the clock still ran, and what it was running
+            // for was the verification verdict.
+            rounds[2] = total_rounds;
+        }
         for (k, &(start, i)) in started.iter().enumerate() {
+            // Rounds before the first message belong to the first
+            // phase to speak (normally `start == 1`, but a scripted
+            // link can silence the opening rounds entirely).
+            let start = if k == 0 { start.min(1) } else { start };
             let end = started
                 .get(k + 1)
                 .map_or(total_rounds + 1, |&(next, _)| next);
-            rounds[i] = end - start;
+            rounds[i] = end.saturating_sub(start);
         }
         let cost = |i: usize| MessageCost {
             msgs: self.msgs[i],
@@ -446,37 +466,57 @@ impl<T> Drop for CloseOnDrop<'_, T> {
 struct RouterCore<'l> {
     net: NetConfig,
     link: &'l mut dyn Link,
-    /// `other_end[v][p] = (neighbor, neighbor's in-port)`, resolved up
-    /// front so the loop never touches the graph.
-    other_end: Vec<Vec<(usize, Port)>>,
+    /// `(neighbor, neighbor's in-port)` per `(node, port)`, resolved up
+    /// front so the loop never touches the graph. CSR-flattened — one
+    /// allocation instead of one per node — so the router itself stays
+    /// O(1) bytes per node beyond the edge list: the entry for
+    /// `(v, p)` lives at `other_end[other_off[v] + p]`.
+    other_end: Vec<(u32, Port)>,
+    other_off: Vec<u32>,
     log: EventLog,
     cost: MessageCost,
     phases: PhaseTally,
     verdicts: Vec<Option<bool>>,
     held: Vec<HeldFrame>,
+    /// Events queued for dispatch, in dispatch order. Everything goes
+    /// through this queue so [`DISPATCH_WINDOW`] can bound how far the
+    /// engines run ahead of the router without reordering anything.
+    ready: VecDeque<LogEvent>,
     outstanding: usize,
     crash_restarts: u64,
 }
 
+/// Hard ceiling on dispatched-but-unreported events. The router is the
+/// pipeline's serial stage, so without a bound the workers run a whole
+/// round ahead of it and every in-flight frame, inbox entry, and
+/// report sits allocated at once — O(round traffic) live memory at
+/// 100k nodes. Dispatching through [`RouterCore::ready`] keeps engine
+/// queues and report backlogs O(window) instead, and costs no
+/// wall-clock (the router was the bottleneck anyway). The *order* of
+/// dispatches is exactly the unbounded order — the queue is FIFO and
+/// reports are consumed in dispatch order — so logs, costs, and
+/// verdicts are bit-identical to an unbounded run.
+const DISPATCH_WINDOW: usize = 1024;
+
 impl<'l> RouterCore<'l> {
     fn new(g: &Graph, link: &'l mut dyn Link, net: NetConfig) -> Self {
         let n = g.num_nodes();
-        let other_end: Vec<Vec<(usize, Port)>> = (0..n)
-            .map(|v| {
-                g.neighbors(NodeId(v as u32))
-                    .map(|nb| {
-                        let back = g
-                            .port_towards(nb.node, NodeId(v as u32))
-                            .expect("edges are bidirectional");
-                        (nb.node.index(), back)
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut other_end: Vec<(u32, Port)> = Vec::new();
+        let mut other_off: Vec<u32> = Vec::with_capacity(n);
+        for v in 0..n {
+            other_off.push(u32::try_from(other_end.len()).expect("edge table fits u32"));
+            for nb in g.neighbors(NodeId(v as u32)) {
+                let back = g
+                    .port_towards(nb.node, NodeId(v as u32))
+                    .expect("edges are bidirectional");
+                other_end.push((nb.node.0, back));
+            }
+        }
         RouterCore {
             net,
             link,
             other_end,
+            other_off,
             log: EventLog::new(),
             cost: MessageCost {
                 rounds: 1,
@@ -485,6 +525,7 @@ impl<'l> RouterCore<'l> {
             phases: PhaseTally::default(),
             verdicts: vec![None; n],
             held: Vec::new(),
+            ready: VecDeque::new(),
             outstanding: 0,
             crash_restarts: 0,
         }
@@ -501,35 +542,46 @@ impl<'l> RouterCore<'l> {
         Ok(())
     }
 
+    /// Dispatches queued events until the window is full or the queue
+    /// is empty.
+    fn pump_ready<T: Transport>(&mut self, t: &mut T) -> Result<(), NetError> {
+        while self.outstanding < DISPATCH_WINDOW {
+            let Some(ev) = self.ready.pop_front() else {
+                return Ok(());
+            };
+            self.dispatch(t, ev)?;
+        }
+        Ok(())
+    }
+
     /// One scheduler step over the holdback buffer: everything due is
     /// dispatched, the rest of the holdback ages by one.
     fn pump_held<T: Transport>(&mut self, t: &mut T) -> Result<(), NetError> {
         let mut still_held = Vec::with_capacity(self.held.len());
         for mut frame in std::mem::take(&mut self.held) {
             if frame.steps == 0 {
-                self.dispatch(
-                    t,
-                    LogEvent::Deliver {
-                        to: frame.to as u32,
-                        port: frame.port.0,
-                        msg: frame.msg,
-                    },
-                )?;
+                self.ready.push_back(LogEvent::Deliver {
+                    to: frame.to as u32,
+                    port: frame.port.0,
+                    msg: frame.msg,
+                });
             } else {
                 frame.steps -= 1;
                 still_held.push(frame);
             }
         }
         self.held = still_held;
-        Ok(())
+        self.pump_ready(t)
     }
 
     fn drive<T: Transport>(&mut self, t: &mut T) -> Result<(), NetError> {
         let n = self.verdicts.len();
+        self.link.round_start(self.cost.rounds);
         for v in 0..n {
-            self.dispatch(t, LogEvent::Start { node: v as u32 })?;
+            self.ready.push_back(LogEvent::Start { node: v as u32 });
         }
         loop {
+            self.pump_ready(t)?;
             while self.outstanding > 0 {
                 let report = t.next_report()?;
                 self.outstanding -= 1;
@@ -538,8 +590,10 @@ impl<'l> RouterCore<'l> {
                     self.cost.msgs += 1;
                     self.cost.bits += u128::from(msg.wire_bits());
                     self.phases.count(&msg, self.cost.rounds);
-                    let (to, in_port) = self.other_end[report.node][port.index()];
-                    for steps in self.link.offer() {
+                    let (to, in_port) =
+                        self.other_end[self.other_off[report.node] as usize + port.index()];
+                    let to = to as usize;
+                    for steps in self.link.offer_edge(report.node, to) {
                         self.held.push(HeldFrame {
                             steps,
                             to,
@@ -549,6 +603,7 @@ impl<'l> RouterCore<'l> {
                     }
                 }
                 self.pump_held(t)?;
+                self.pump_ready(t)?;
             }
 
             if !self.held.is_empty() {
@@ -575,13 +630,14 @@ impl<'l> RouterCore<'l> {
             if self.net.record_log {
                 self.log.events.push(LogEvent::Round);
             }
+            self.link.round_start(self.cost.rounds);
             for v in self.link.crash_picks(n) {
                 self.crash_restarts += 1;
                 self.verdicts[v] = None;
-                self.dispatch(t, LogEvent::Crash { node: v as u32 })?;
+                self.ready.push_back(LogEvent::Crash { node: v as u32 });
             }
             for v in 0..n {
-                self.dispatch(t, LogEvent::Tick { node: v as u32 })?;
+                self.ready.push_back(LogEvent::Tick { node: v as u32 });
             }
         }
     }
@@ -739,6 +795,47 @@ pub fn run_verification_with<W: WireScheme>(
     engine: Engine,
 ) -> Result<NetRun, NetError> {
     let machines = build_machines(scheme, cfg, labeling);
+    let (run, _finals) = run_machines(machines, cfg.graph(), link, net, engine)?;
+    Ok(run)
+}
+
+/// [`run_verification_with`] from pre-encoded certificates alone.
+///
+/// Node `v` holds `encoded[v]` as its certificate and decodes labels
+/// only at decide time, exactly as it decodes neighbor frames — no
+/// structured [`Labeling`] (Θ(n log n) words of decoded labels) need
+/// exist anywhere in the process. Certificates travel as shared
+/// [`Arc`]s, so beyond the bit payloads each machine costs only its
+/// port list and receive slots; this is the entry point the scale
+/// benches use to measure the engine, not the instance materializer.
+///
+/// # Errors
+///
+/// [`NetError::NoConvergence`] if the round budget runs out before
+/// every node decides; [`NetError::WorkerDied`] if a node's machine
+/// panics mid-run.
+///
+/// # Panics
+///
+/// Panics if `encoded` does not have one certificate per node.
+pub fn run_verification_encoded_with<W: WireScheme>(
+    scheme: &W,
+    cfg: &ConfigGraph<W::State>,
+    encoded: Vec<Arc<BitString>>,
+    link: &mut dyn Link,
+    net: NetConfig,
+    engine: Engine,
+) -> Result<NetRun, NetError> {
+    assert_eq!(
+        encoded.len(),
+        cfg.graph().num_nodes(),
+        "one certificate per node"
+    );
+    let machines: Vec<VerifierMachine<W>> = encoded
+        .into_iter()
+        .enumerate()
+        .map(|(v, e)| VerifierMachine::new(scheme.clone(), cfg, NodeId(v as u32), e))
+        .collect();
     let (run, _finals) = run_machines(machines, cfg.graph(), link, net, engine)?;
     Ok(run)
 }

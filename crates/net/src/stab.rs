@@ -68,6 +68,14 @@ impl NetSelfStab {
         NetSelfStab { cfg, labeling }
     }
 
+    /// Assembles a network from an existing configuration and labeling
+    /// — the entry point for adversarial scenarios, where the starting
+    /// state is a *forged* or otherwise corrupted labeling rather than
+    /// a fresh marker run.
+    pub fn from_parts(cfg: ConfigGraph<TreeState>, labeling: Labeling<MstLabel>) -> Self {
+        NetSelfStab { cfg, labeling }
+    }
+
     /// The current configuration (states + graph).
     pub fn config(&self) -> &ConfigGraph<TreeState> {
         &self.cfg

@@ -169,4 +169,36 @@ echo "== columnar (v2) snapshot smoke (cross-read + zero-copy serving) =="
     --mmap --seed 7 --verify-against "$tmp/g.txt" \
     | grep -q "oracle: ok" || { echo "ci: v2 cold-cache smoke failed"; exit 1; }
 
+echo "== adversary smoke (256 nodes, one run per fault class, replayed) =="
+# One live run per adversary class on the events engine, each forged
+# labeling required to be rejected, each log required to replay -- the
+# forge schedule rides the log's `adversary` header, so the replay
+# reconstructs the forged labeling from the spec alone. The honest
+# partition/reorder/churn schedule must still converge to accept, and
+# the threads engine must print the same verdict/cost lines as the
+# events engine under it.
+adv_flags=(--nodes 256 --extra 512 --seed 17 --drop 0.1 --dup 0.02 --delay 1)
+for spec in "forge:class=root,k=2;seed=7" \
+            "forge:class=omega,k=2;seed=7" \
+            "forge:class=bits,k=2;seed=7"; do
+    "$mstv" net "${adv_flags[@]}" --engine events --adversary "$spec" \
+        --log "$tmp/adv.log" > "$tmp/adv.txt"
+    grep -q 'verdict: rejected at' "$tmp/adv.txt" \
+        || { echo "ci: forged labeling accepted ($spec)"; exit 1; }
+    "$mstv" net --replay "$tmp/adv.log" \
+        | grep -q 'replay: matches the recorded run' \
+        || { echo "ci: adversary log does not replay ($spec)"; exit 1; }
+done
+honest="partition:start=2,heal=5;reorder:window=8;churn:rate=0.02,away=2,cap=8;seed=7"
+"$mstv" net "${adv_flags[@]}" --engine events --adversary "$honest" \
+    --log "$tmp/adv_h.log" > "$tmp/adv_e.txt"
+grep -q 'accepted by all 256 nodes' "$tmp/adv_e.txt" \
+    || { echo "ci: honest labels rejected under schedule adversary"; exit 1; }
+"$mstv" net --replay "$tmp/adv_h.log" \
+    | grep -q 'replay: matches the recorded run' \
+    || { echo "ci: schedule-adversary log does not replay"; exit 1; }
+"$mstv" net "${adv_flags[@]}" --engine threads --adversary "$honest" > "$tmp/adv_t.txt"
+diff "$tmp/adv_t.txt" <(sed '$d' "$tmp/adv_e.txt") \
+    || { echo "ci: adversary engines diverge"; exit 1; }
+
 echo "ci: all checks passed"

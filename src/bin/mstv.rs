@@ -56,19 +56,29 @@ const USAGE: &str = "usage:
         restore <node>
   mstv net --nodes N [--extra M] [--max-weight W] [--seed S]
            [--drop P] [--dup P] [--delay D] [--crash P] [--max-crashes K]
-           [--fault none|weight|pointer|label] [--max-rounds R] [--log FILE]
-           [--engine threads|events] [--workers N]
+           [--fault none|weight|pointer|label] [--adversary SPEC]
+           [--max-rounds R] [--log FILE] [--engine threads|events] [--workers N]
       run the one-round verification protocol on the concurrent
       runtime: serialized label frames on a lossy link (drop/duplicate
       probabilities, bounded random delay, crash-restarts). --engine
       picks the scheduler — one thread per node (threads, default) or
       an event-driven pool of --workers threads (events; required for
       very large instances). Both engines produce identical verdicts,
-      costs, and logs. Prints the verdict and the MessageCost JSON;
-      --log saves a replayable event log
+      costs, and logs. --adversary layers an adversarial schedule on
+      the link: sections of
+        forge:class=root|omega|bits,k=K   Byzantine forgery at K nodes
+        partition:start=R,heal=R          healing partition window
+        reorder:window=W                  worst-case frame reordering
+        churn:rate=P,away=R,cap=K         join/leave churn
+      joined by ';' plus a mandatory seed=S, e.g.
+      --adversary 'forge:class=root,k=2;reorder:window=8;seed=7'.
+      Prints the verdict and the MessageCost JSON; --log saves a
+      replayable event log (the spec rides a header, so replays
+      reconstruct forged labelings exactly)
   mstv net --compute --nodes N [--extra M] [--max-weight W] [--seed S]
            [--drop P] [--dup P] [--delay D] [--crash P] [--max-crashes K]
-           [--max-rounds R] [--log FILE] [--engine threads|events] [--workers N]
+           [--adversary SPEC] [--max-rounds R] [--log FILE]
+           [--engine threads|events] [--workers N]
       build the MST and its π_mst labels *on the network*: GHS
       fragments merge into the tree, a distributed marker labels it,
       and every node verifies what was built — no centralized step.
@@ -514,6 +524,8 @@ struct NetRunFlags {
     /// Decoupled from the instance RNG so the same topology can be
     /// rerun under different fault schedules.
     link_seed: u64,
+    /// Adversarial schedule (`--adversary`), if any.
+    adversary: Option<mst_verification::net::AdversarySpec>,
 }
 
 fn parse_net_run_flags(args: &[String]) -> Result<NetRunFlags, String> {
@@ -558,6 +570,9 @@ fn parse_net_run_flags(args: &[String]) -> Result<NetRunFlags, String> {
         other => return Err(format!("unknown engine {other:?} (threads|events)")),
     };
     let link_seed = params.seed ^ 0x9e37_79b9_7f4a_7c15;
+    let adversary = flag_str(args, "--adversary")
+        .map(|s| s.parse().map_err(|e| format!("--adversary: {e}")))
+        .transpose()?;
     Ok(NetRunFlags {
         params,
         profile,
@@ -565,6 +580,7 @@ fn parse_net_run_flags(args: &[String]) -> Result<NetRunFlags, String> {
         engine,
         engine_name,
         link_seed,
+        adversary,
     })
 }
 
@@ -581,7 +597,56 @@ impl NetRunFlags {
         log.push_header("crash", self.profile.crash);
         log.push_header("max-crashes", self.profile.max_crashes);
         log.push_header("link-seed", self.link_seed);
+        if let Some(spec) = &self.adversary {
+            log.push_header("adversary", spec);
+        }
     }
+
+    /// The link this run's flags describe: the adversary schedule over
+    /// the lossy base when `--adversary` was given, else the plain
+    /// profile-driven link (perfect profiles shortcut to
+    /// [`PerfectLink`](mst_verification::net::PerfectLink)).
+    fn build_link(&self, n: usize) -> Box<dyn mst_verification::net::Link> {
+        use mst_verification::net::{AdversaryLink, LossyLink, PerfectLink};
+        match &self.adversary {
+            Some(spec) => Box::new(AdversaryLink::new(*spec, self.profile, self.link_seed, n)),
+            None if self.profile.is_perfect() => Box::new(PerfectLink),
+            None => Box::new(LossyLink::new(self.profile, self.link_seed)),
+        }
+    }
+}
+
+/// Applies an adversary spec's forgery (if any) to a freshly built
+/// labeling, reporting what was forged. Deterministic from the spec,
+/// so a replay that re-runs this (from the `adversary` log header)
+/// reconstructs the identical forged certificates the live run
+/// verified.
+fn apply_spec_forgery(
+    spec: Option<&mst_verification::net::AdversarySpec>,
+    cfg: &mst_verification::graph::ConfigGraph<mst_verification::graph::TreeState>,
+    labeling: &mut mst_verification::core::Labeling<mst_verification::core::MstLabel>,
+) -> Result<(), String> {
+    let Some(spec) = spec else { return Ok(()) };
+    let Some(forge) = spec.forge else {
+        return Ok(());
+    };
+    let outcome =
+        mst_verification::net::forge_labeling(cfg, labeling, forge.class, forge.k, spec.seed)
+            .ok_or_else(|| {
+                format!(
+                    "no rejecting {} forgery with k={} exists on this instance \
+                     (try another class, k, or seed)",
+                    forge.class.name(),
+                    forge.k
+                )
+            })?;
+    println!(
+        "adversary: forged class={} at {} colluding node(s) {:?}",
+        forge.class.name(),
+        outcome.forgers.len(),
+        outcome.forgers.iter().map(|v| v.0).collect::<Vec<_>>(),
+    );
+    Ok(())
 }
 
 /// Checks a replay's outcome against the log's recorded summary
@@ -622,9 +687,7 @@ fn save_log_flag(args: &[String], log: &mst_verification::net::EventLog) -> Resu
 }
 
 fn cmd_net(args: &[String]) -> Result<(), String> {
-    use mst_verification::net::{
-        replay, run_verification_with, EventLog, LossyLink, MstWireScheme, PerfectLink,
-    };
+    use mst_verification::net::{replay, run_verification_with, EventLog, MstWireScheme};
 
     if let Some(log_path) = flag_str(args, "--replay") {
         let text = std::fs::read_to_string(&log_path)
@@ -634,7 +697,19 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
             return cmd_net_replay_compute(&log);
         }
         let params = NetInstanceParams::from_headers(&log)?;
-        let (cfg, labeling) = params.build()?;
+        let (cfg, mut labeling) = params.build()?;
+        // A recorded adversary schedule: re-apply the (deterministic)
+        // forgery so the replayed machines hold the same certificates
+        // the live run's did. Partition/reorder/churn need nothing —
+        // replay is link-free.
+        let adversary = log
+            .header("adversary")
+            .map(|s| {
+                s.parse::<mst_verification::net::AdversarySpec>()
+                    .map_err(|e| format!("adversary header: {e}"))
+            })
+            .transpose()?;
+        apply_spec_forgery(adversary.as_ref(), &cfg, &mut labeling)?;
         let wire = MstWireScheme::for_config(&cfg);
         let run = replay(&wire, &cfg, &labeling, &log).map_err(|e| e.to_string())?;
         print_net_run(&run);
@@ -643,21 +718,18 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
         cmd_net_compute(args)
     } else {
         let flags = parse_net_run_flags(args)?;
-        let (cfg, labeling) = flags.params.build()?;
+        let (cfg, mut labeling) = flags.params.build()?;
+        apply_spec_forgery(flags.adversary.as_ref(), &cfg, &mut labeling)?;
         let wire = MstWireScheme::for_config(&cfg);
-        let mut run = if flags.profile.is_perfect() {
-            run_verification_with(
-                &wire,
-                &cfg,
-                &labeling,
-                &mut PerfectLink,
-                flags.net,
-                flags.engine,
-            )
-        } else {
-            let mut link = LossyLink::new(flags.profile, flags.link_seed);
-            run_verification_with(&wire, &cfg, &labeling, &mut link, flags.net, flags.engine)
-        }
+        let mut link = flags.build_link(cfg.graph().num_nodes());
+        let mut run = run_verification_with(
+            &wire,
+            &cfg,
+            &labeling,
+            link.as_mut(),
+            flags.net,
+            flags.engine,
+        )
         .map_err(|e| e.to_string())?;
         flags.to_headers(&mut run.log);
         print_net_run(&run);
@@ -693,7 +765,7 @@ fn print_compute_run(g: &mst_verification::graph::Graph, run: &mst_verification:
 
 /// `mstv net --compute`: build the MST and its labels on the network.
 fn cmd_net_compute(args: &[String]) -> Result<(), String> {
-    use mst_verification::net::{run_compute, LossyLink, PerfectLink};
+    use mst_verification::net::run_compute;
 
     let flags = parse_net_run_flags(args)?;
     if flags.params.fault != "none" {
@@ -703,15 +775,18 @@ fn cmd_net_compute(args: &[String]) -> Result<(), String> {
                 .to_owned(),
         );
     }
+    if flags.adversary.as_ref().is_some_and(|a| a.forge.is_some()) {
+        return Err(
+            "forge adversaries rewrite a prebuilt labeling; a construction run builds its own — \
+             use the partition/reorder/churn sections to attack the construction instead"
+                .to_owned(),
+        );
+    }
     let mut rng = StdRng::seed_from_u64(flags.params.seed);
     let g = flags.params.graph(&mut rng);
-    let mut run = if flags.profile.is_perfect() {
-        run_compute(&g, &mut PerfectLink, flags.net, flags.engine)
-    } else {
-        let mut link = LossyLink::new(flags.profile, flags.link_seed);
-        run_compute(&g, &mut link, flags.net, flags.engine)
-    }
-    .map_err(|e| e.to_string())?;
+    let mut link = flags.build_link(g.num_nodes());
+    let mut run =
+        run_compute(&g, link.as_mut(), flags.net, flags.engine).map_err(|e| e.to_string())?;
     run.net.log.push_header("mode", "compute");
     flags.to_headers(&mut run.net.log);
     print_compute_run(&g, &run);
